@@ -1,0 +1,64 @@
+//! The compiler's built-in function and constant tables.
+//!
+//! The paper: "Currently our system implements a small number of
+//! MATLAB functions." This module is that set — the functions the
+//! paper's four benchmark scripts require, plus the constants.
+//! Identifier resolution consults these tables to classify names that
+//! are never assigned.
+
+/// Built-in functions the compiler can lower.
+pub const BUILTIN_FUNCTIONS: &[&str] = &[
+    "zeros", "ones", "eye", "rand", "linspace", // constructors
+    "size", "length", "numel", // shape queries
+    "abs", "sqrt", "sin", "cos", "tan", "exp", "log", "log2", "floor", "ceil", "round",
+    "sign", "mod", "rem", // element-wise math
+    "sum", "mean", "prod", "max", "min", "any", "all", "norm", "dot", "trapz", "trapz2", // reductions
+    "circshift", // structural
+    "disp", "load", // I/O
+];
+
+/// Built-in constants (zero-argument value names).
+pub const BUILTIN_CONSTANTS: &[&str] = &["pi", "eps", "Inf", "inf", "NaN", "nan"];
+
+/// Is `name` a built-in function?
+pub fn is_builtin_function(name: &str) -> bool {
+    BUILTIN_FUNCTIONS.contains(&name)
+}
+
+/// Is `name` a built-in constant?
+pub fn is_builtin_constant(name: &str) -> bool {
+    BUILTIN_CONSTANTS.contains(&name)
+}
+
+/// Value of a built-in constant.
+pub fn constant_value(name: &str) -> Option<f64> {
+    match name {
+        "pi" => Some(std::f64::consts::PI),
+        "eps" => Some(f64::EPSILON),
+        "Inf" | "inf" => Some(f64::INFINITY),
+        "NaN" | "nan" => Some(f64::NAN),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(is_builtin_function("trapz2"));
+        assert!(is_builtin_function("zeros"));
+        assert!(!is_builtin_function("pi"));
+        assert!(is_builtin_constant("pi"));
+        assert!(!is_builtin_constant("zeros"));
+        assert!(!is_builtin_function("qr"));
+    }
+
+    #[test]
+    fn constant_values() {
+        assert_eq!(constant_value("pi"), Some(std::f64::consts::PI));
+        assert!(constant_value("NaN").unwrap().is_nan());
+        assert_eq!(constant_value("zeros"), None);
+    }
+}

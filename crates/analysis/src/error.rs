@@ -1,0 +1,31 @@
+//! Analysis diagnostics.
+
+use otter_frontend::Span;
+use std::fmt;
+
+/// An error raised by resolution, SSA construction, or inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl AnalysisError {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        AnalysisError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span.is_dummy() {
+            write!(f, "analysis error: {}", self.message)
+        } else {
+            write!(f, "analysis error at {}: {}", self.span, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+pub type Result<T> = std::result::Result<T, AnalysisError>;

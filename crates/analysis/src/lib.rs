@@ -1,0 +1,33 @@
+//! # otter-analysis
+//!
+//! The analysis passes of the Otter compiler (paper §3, passes 2-3):
+//!
+//! * **Identifier resolution** ([`resolve()`](resolve::resolve)) — classify names as
+//!   variables vs functions, load every reachable M-file, rewrite
+//!   `name(args)` ambiguities into explicit indexing.
+//! * **Static single assignment + web coalescing** ([`ssa`]) — the
+//!   paper's answer to MATLAB variables changing attributes at run
+//!   time: straight-line redefinitions split into separate compiler
+//!   variables, while φ-connected versions coalesce back into one.
+//! * **Type/rank/shape inference** ([`infer()`](infer::infer)) — forward abstract
+//!   interpretation over the lattice of (literal/integer/real/complex)
+//!   × (scalar/matrix) × shape, with integer-constant propagation so
+//!   `zeros(n, n)` gets a static shape, and sample-data files typing
+//!   `load`ed inputs.
+//!
+//! Expression rewriting (pass 4), owner-computes guards (pass 5), and
+//! peephole optimization (pass 6) operate on the IR and live in
+//! `otter-codegen`.
+
+pub mod builtins;
+pub mod error;
+pub mod infer;
+pub mod resolve;
+pub mod ssa;
+pub mod types;
+
+pub use error::AnalysisError;
+pub use infer::{binary_result_type, infer, FuncSig, Inference, InferOptions, ScopeTypes};
+pub use resolve::{resolve, Resolved};
+pub use ssa::{ssa_rename, SsaInfo};
+pub use types::{BaseTy, Dim, RankTy, Shape, VarTy};

@@ -1,0 +1,299 @@
+//! The type/rank/shape lattice of the paper's third pass.
+//!
+//! "Variables may have one of four types: literal, integer, real, and
+//! complex. ... A variable may have either scalar or matrix rank. Each
+//! matrix variable has an associated shape, i.e., the number of rows
+//! and columns. As much as possible, type and rank information is
+//! determined at compile time."
+//!
+//! Inference additionally tracks *known constant values* of integer
+//! scalars, which is how shapes like `zeros(n, n)` become static when
+//! `n = 2048` appears earlier in the script — the paper's
+//! "static inference mechanism extracts information about variables
+//! from ... constants".
+
+use std::fmt;
+
+/// Base (element) type lattice: `Bottom < Integer < Real < Complex`,
+/// with `Literal` (strings) incomparable to the numeric chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BaseTy {
+    /// No information yet (unreached code).
+    Bottom,
+    Integer,
+    Real,
+    /// Supported by the lattice for completeness; no construct in the
+    /// accepted subset produces complex values, so inferring it is a
+    /// compile error downstream.
+    Complex,
+    /// Character string.
+    Literal,
+}
+
+impl BaseTy {
+    /// Least upper bound.
+    pub fn join(self, other: BaseTy) -> BaseTy {
+        use BaseTy::*;
+        match (self, other) {
+            (Bottom, x) | (x, Bottom) => x,
+            (Literal, Literal) => Literal,
+            (Literal, _) | (_, Literal) => {
+                // Mixing strings and numbers: treat as string-ish
+                // error-carrier; callers reject it.
+                Literal
+            }
+            (a, b) => a.max(b),
+        }
+    }
+
+    pub fn is_numeric(self) -> bool {
+        matches!(self, BaseTy::Integer | BaseTy::Real | BaseTy::Complex)
+    }
+}
+
+/// Rank lattice: scalar vs matrix (vectors are matrices with a
+/// unit dimension, as in the paper's run-time representation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankTy {
+    Bottom,
+    Scalar,
+    Matrix,
+}
+
+impl RankTy {
+    /// Least upper bound; `Scalar ⊔ Matrix` is a *conflict* the caller
+    /// must handle (the paper handles it via SSA renaming).
+    pub fn join(self, other: RankTy) -> Result<RankTy, RankConflict> {
+        use RankTy::*;
+        match (self, other) {
+            (Bottom, x) | (x, Bottom) => Ok(x),
+            (Scalar, Scalar) => Ok(Scalar),
+            (Matrix, Matrix) => Ok(Matrix),
+            (Scalar, Matrix) | (Matrix, Scalar) => Err(RankConflict),
+        }
+    }
+}
+
+/// Marker for a scalar/matrix merge, resolved by SSA-based renaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankConflict;
+
+/// One dimension of a shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    Known(usize),
+    Unknown,
+}
+
+impl Dim {
+    pub fn join(self, other: Dim) -> Dim {
+        match (self, other) {
+            (Dim::Known(a), Dim::Known(b)) if a == b => Dim::Known(a),
+            _ => Dim::Unknown,
+        }
+    }
+
+    pub fn as_known(self) -> Option<usize> {
+        match self {
+            Dim::Known(n) => Some(n),
+            Dim::Unknown => None,
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Known(n) => write!(f, "{n}"),
+            Dim::Unknown => write!(f, "?"),
+        }
+    }
+}
+
+/// Matrix shape (rows × cols); scalars carry `(1, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    pub rows: Dim,
+    pub cols: Dim,
+}
+
+impl Shape {
+    pub const SCALAR: Shape = Shape { rows: Dim::Known(1), cols: Dim::Known(1) };
+    pub const UNKNOWN: Shape = Shape { rows: Dim::Unknown, cols: Dim::Unknown };
+
+    pub fn known(rows: usize, cols: usize) -> Shape {
+        Shape { rows: Dim::Known(rows), cols: Dim::Known(cols) }
+    }
+
+    pub fn join(self, other: Shape) -> Shape {
+        Shape { rows: self.rows.join(other.rows), cols: self.cols.join(other.cols) }
+    }
+
+    pub fn transposed(self) -> Shape {
+        Shape { rows: self.cols, cols: self.rows }
+    }
+
+    /// Definitely a vector (one known-unit dimension)?
+    pub fn is_vector(self) -> bool {
+        self.rows == Dim::Known(1) || self.cols == Dim::Known(1)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// The full inferred attribute bundle for one variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VarTy {
+    pub base: BaseTy,
+    pub rank: RankTy,
+    pub shape: Shape,
+    /// Statically known numeric value, when the variable is a
+    /// compile-time constant scalar (drives static shapes).
+    pub konst: Option<f64>,
+}
+
+impl VarTy {
+    pub const BOTTOM: VarTy =
+        VarTy { base: BaseTy::Bottom, rank: RankTy::Bottom, shape: Shape::UNKNOWN, konst: None };
+
+    /// An integer-valued scalar constant.
+    pub fn int_const(v: f64) -> VarTy {
+        VarTy {
+            base: if v.fract() == 0.0 { BaseTy::Integer } else { BaseTy::Real },
+            rank: RankTy::Scalar,
+            shape: Shape::SCALAR,
+            konst: Some(v),
+        }
+    }
+
+    /// A scalar of the given base type, value unknown.
+    pub fn scalar(base: BaseTy) -> VarTy {
+        VarTy { base, rank: RankTy::Scalar, shape: Shape::SCALAR, konst: None }
+    }
+
+    /// A matrix of the given base type and shape.
+    pub fn matrix(base: BaseTy, shape: Shape) -> VarTy {
+        VarTy { base, rank: RankTy::Matrix, shape, konst: None }
+    }
+
+    /// A string literal.
+    pub fn string() -> VarTy {
+        VarTy { base: BaseTy::Literal, rank: RankTy::Scalar, shape: Shape::SCALAR, konst: None }
+    }
+
+    /// Least upper bound; rank conflicts bubble up.
+    pub fn join(self, other: VarTy) -> Result<VarTy, RankConflict> {
+        if self == VarTy::BOTTOM {
+            return Ok(other);
+        }
+        if other == VarTy::BOTTOM {
+            return Ok(self);
+        }
+        Ok(VarTy {
+            base: self.base.join(other.base),
+            rank: self.rank.join(other.rank)?,
+            shape: self.shape.join(other.shape),
+            konst: match (self.konst, other.konst) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+        })
+    }
+
+    pub fn is_scalar(&self) -> bool {
+        self.rank == RankTy::Scalar
+    }
+
+    pub fn is_matrix(&self) -> bool {
+        self.rank == RankTy::Matrix
+    }
+}
+
+impl fmt::Display for VarTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match self.base {
+            BaseTy::Bottom => "⊥",
+            BaseTy::Integer => "integer",
+            BaseTy::Real => "real",
+            BaseTy::Complex => "complex",
+            BaseTy::Literal => "literal",
+        };
+        match self.rank {
+            RankTy::Scalar => write!(f, "{base} scalar"),
+            RankTy::Matrix => write!(f, "{base} matrix {}", self.shape),
+            RankTy::Bottom => write!(f, "⊥"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_lattice_order() {
+        assert_eq!(BaseTy::Integer.join(BaseTy::Real), BaseTy::Real);
+        assert_eq!(BaseTy::Real.join(BaseTy::Integer), BaseTy::Real);
+        assert_eq!(BaseTy::Bottom.join(BaseTy::Integer), BaseTy::Integer);
+        assert_eq!(BaseTy::Integer.join(BaseTy::Integer), BaseTy::Integer);
+        assert_eq!(BaseTy::Real.join(BaseTy::Complex), BaseTy::Complex);
+    }
+
+    #[test]
+    fn rank_conflict_detected() {
+        assert_eq!(RankTy::Scalar.join(RankTy::Scalar), Ok(RankTy::Scalar));
+        assert_eq!(RankTy::Bottom.join(RankTy::Matrix), Ok(RankTy::Matrix));
+        assert!(RankTy::Scalar.join(RankTy::Matrix).is_err());
+    }
+
+    #[test]
+    fn shape_join_degrades_gracefully() {
+        let a = Shape::known(3, 4);
+        assert_eq!(a.join(a), a);
+        let b = Shape::known(3, 5);
+        let j = a.join(b);
+        assert_eq!(j.rows, Dim::Known(3));
+        assert_eq!(j.cols, Dim::Unknown);
+    }
+
+    #[test]
+    fn transpose_swaps_dims() {
+        let s = Shape::known(2, 7).transposed();
+        assert_eq!(s, Shape::known(7, 2));
+    }
+
+    #[test]
+    fn const_tracking_through_join() {
+        let a = VarTy::int_const(5.0);
+        let same = a.join(a).unwrap();
+        assert_eq!(same.konst, Some(5.0));
+        let b = VarTy::int_const(6.0);
+        let merged = a.join(b).unwrap();
+        assert_eq!(merged.konst, None);
+        assert_eq!(merged.base, BaseTy::Integer);
+    }
+
+    #[test]
+    fn int_const_classifies_fraction() {
+        assert_eq!(VarTy::int_const(2.0).base, BaseTy::Integer);
+        assert_eq!(VarTy::int_const(2.5).base, BaseTy::Real);
+    }
+
+    #[test]
+    fn bottom_is_identity() {
+        let m = VarTy::matrix(BaseTy::Real, Shape::known(2, 2));
+        assert_eq!(VarTy::BOTTOM.join(m).unwrap(), m);
+        assert_eq!(m.join(VarTy::BOTTOM).unwrap(), m);
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        let v = VarTy::matrix(BaseTy::Real, Shape::known(2048, 1));
+        assert_eq!(v.to_string(), "real matrix 2048x1");
+        assert_eq!(VarTy::scalar(BaseTy::Integer).to_string(), "integer scalar");
+    }
+}

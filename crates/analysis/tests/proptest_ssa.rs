@@ -1,0 +1,146 @@
+//! Property tests for the SSA/web-renaming pass and inference:
+//! invariants over randomly generated straight-line-with-control-flow
+//! programs.
+
+use otter_analysis::{infer, resolve, ssa_rename, InferOptions};
+use otter_frontend::{parse, EmptyProvider, Program};
+use proptest::prelude::*;
+
+const VARS: [&str; 4] = ["w", "x", "y", "z"];
+
+/// One random statement (textual generation keeps the generator
+/// simple and guarantees parseability).
+#[derive(Debug, Clone)]
+struct GenStmt {
+    kind: u8,
+    a: u8,
+    b: u8,
+}
+
+fn stmt() -> impl Strategy<Value = GenStmt> {
+    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(kind, a, b)| GenStmt { kind, a, b })
+}
+
+fn var(x: u8) -> &'static str {
+    VARS[x as usize % VARS.len()]
+}
+
+/// Render a statement. `defined` tracks which variables have been
+/// assigned so far so uses are always defined (keeps inference happy).
+fn render(stmts: &[GenStmt]) -> String {
+    let mut out = String::from("w = 1;\nx = 2;\ny = 3.5;\nz = 4;\n");
+    let mut depth: usize = 0;
+    for s in stmts {
+        match s.kind % 8 {
+            0..=2 => {
+                // Plain scalar reassignment (creates SSA versions).
+                out.push_str(&format!("{} = {} + {};\n", var(s.a), var(s.b), s.kind % 9));
+            }
+            3 => {
+                out.push_str(&format!("{} = {} * 2 - 1;\n", var(s.a), var(s.a)));
+            }
+            4 if depth < 2 => {
+                out.push_str(&format!("if {} > 0\n{} = {} + 1;\nelse\n{} = 0;\nend\n",
+                    var(s.b), var(s.a), var(s.a), var(s.a)));
+            }
+            5 if depth < 2 => {
+                out.push_str(&format!(
+                    "for k{} = 1:3\n{} = {} + 1;\nend\n",
+                    s.b % 3,
+                    var(s.a),
+                    var(s.a)
+                ));
+            }
+            6 => {
+                // Rank change in straight line: scalar → vector.
+                out.push_str(&format!("{} = [1, 2, {}];\n{} = 0;\n", var(s.a), s.b % 7, var(s.a)));
+            }
+            _ => {
+                out.push_str(&format!("{} = abs({});\n", var(s.a), var(s.b)));
+            }
+        }
+        let _ = &mut depth;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// SSA renaming always yields a parseable program whose webs map
+    /// back to their base variables, and web count never exceeds
+    /// version count.
+    #[test]
+    fn ssa_invariants(stmts in proptest::collection::vec(stmt(), 0..20)) {
+        let src = render(&stmts);
+        let resolved = resolve(&src, &EmptyProvider)
+            .unwrap_or_else(|e| panic!("resolve: {e}\n{src}"));
+        let info = ssa_rename(&resolved.program.script, &[]);
+        // Webs ≤ versions for every variable.
+        for (name, webs) in &info.webs_per_var {
+            let versions = info.versions_per_var[name];
+            prop_assert!(webs.len() <= versions, "{name}: {} webs > {versions} versions", webs.len());
+            // First web keeps the base name; later webs are suffixed.
+            prop_assert_eq!(&webs[0], name);
+            for (i, w) in webs.iter().enumerate().skip(1) {
+                prop_assert_eq!(w, &format!("{name}__{i}"));
+            }
+        }
+        // base_of is consistent.
+        for (web, base) in &info.base_of {
+            prop_assert!(info.webs_per_var[base].contains(web));
+        }
+        // The renamed program re-parses (names are valid identifiers).
+        let printed = otter_frontend::pretty::program_to_string(&Program {
+            script: info.block.clone(),
+            functions: vec![],
+        });
+        prop_assert!(parse(&printed).is_ok(), "unparseable rename output:\n{printed}");
+    }
+
+    /// Inference on generated programs either succeeds or fails with a
+    /// diagnostic — never panics — and on success every used variable
+    /// has a non-bottom rank.
+    #[test]
+    fn inference_total_and_grounded(stmts in proptest::collection::vec(stmt(), 0..20)) {
+        let src = render(&stmts);
+        let resolved = resolve(&src, &EmptyProvider)
+            .unwrap_or_else(|e| panic!("resolve: {e}\n{src}"));
+        let mut program = resolved.program;
+        let info = ssa_rename(&program.script, &[]);
+        program.script = info.block;
+        match infer(&program, InferOptions::default()) {
+            Ok(inf) => {
+                for (name, ty) in &inf.script_vars {
+                    prop_assert!(
+                        ty.rank != otter_analysis::RankTy::Bottom,
+                        "{name} stayed bottom\n{src}"
+                    );
+                }
+            }
+            Err(_e) => {
+                // Rank conflicts across control flow are legal outcomes
+                // for generated programs; the property is "no panic".
+            }
+        }
+    }
+
+    /// SSA renaming is idempotent: renaming an already-renamed program
+    /// creates no new webs.
+    #[test]
+    fn ssa_idempotent(stmts in proptest::collection::vec(stmt(), 0..16)) {
+        let src = render(&stmts);
+        let resolved = resolve(&src, &EmptyProvider).unwrap();
+        let once = ssa_rename(&resolved.program.script, &[]);
+        let twice = ssa_rename(&once.block, &[]);
+        for (name, webs) in &twice.webs_per_var {
+            prop_assert_eq!(
+                webs.len(),
+                1,
+                "renaming twice split `{}` again:\n{}",
+                name,
+                render(&stmts)
+            );
+        }
+    }
+}

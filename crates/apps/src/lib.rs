@@ -1,0 +1,109 @@
+//! # otter-apps
+//!
+//! The four benchmark MATLAB applications of the paper's evaluation
+//! (§5-6), parameterized so the test suite can run scaled-down
+//! instances and the benchmark harness the paper-scale ones:
+//!
+//! 1. **Conjugate gradient** — solves a positive-definite system of
+//!    2048 equations; "extensive use of matrix-vector multiplication
+//!    and vector dot product".
+//! 2. **Ocean engineering** — "evaluates the nonlinear wave excitation
+//!    force on a submerged sphere using the Morrison equation";
+//!    vector shifts, outer products, and `trapz2`.
+//! 3. **N-body** — 5 000-particle simulation using `mean` and the
+//!    run-time library's broadcast.
+//! 4. **Transitive closure** — "computes the transitive closure of a
+//!    matrix through repeated matrix multiplications".
+//!
+//! Each module produces a plain MATLAB script (compiler-subset only,
+//! deterministic synthetic data — the paper's production inputs are
+//! not available) plus the names of its result variables so the tests
+//! can compare engines.
+
+pub mod cg;
+pub mod nbody;
+pub mod ocean;
+pub mod transitive;
+
+/// A benchmark application instance: name, script text, and the
+/// workspace variables that constitute its result.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Display name as the paper's figures label it.
+    pub name: &'static str,
+    /// Short identifier for file names / bench IDs.
+    pub id: &'static str,
+    /// The MATLAB source.
+    pub script: String,
+    /// Variables to check/report at the end of the run.
+    pub result_vars: Vec<&'static str>,
+}
+
+/// All four applications at paper scale (Figures 2–6).
+pub fn paper_apps() -> Vec<App> {
+    vec![
+        cg::conjugate_gradient(cg::Params::paper()),
+        ocean::ocean_engineering(ocean::Params::paper()),
+        nbody::n_body(nbody::Params::paper()),
+        transitive::transitive_closure(transitive::Params::paper()),
+    ]
+}
+
+/// All four applications at test scale (seconds, not minutes).
+pub fn test_apps() -> Vec<App> {
+    vec![
+        cg::conjugate_gradient(cg::Params::test()),
+        ocean::ocean_engineering(ocean::Params::test()),
+        nbody::n_body(nbody::Params::test()),
+        transitive::transitive_closure(transitive::Params::test()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_paper_apps_exist() {
+        let apps = paper_apps();
+        assert_eq!(apps.len(), 4);
+        let names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+        assert!(names.contains(&"Conjugate Gradient"));
+        assert!(names.contains(&"Ocean Engineering"));
+        assert!(names.contains(&"N-body Problem"));
+        assert!(names.contains(&"Transitive Closure"));
+    }
+
+    #[test]
+    fn scripts_are_semicolon_terminated() {
+        // Display echo would flood benchmark output.
+        for app in test_apps() {
+            for line in app.script.lines() {
+                let t = line.trim();
+                if t.is_empty()
+                    || t.starts_with('%')
+                    || t == "end"
+                    || t.starts_with("for ")
+                    || t.starts_with("while ")
+                    || t.starts_with("if ")
+                    || t.starts_with("elseif ")
+                    || t == "else"
+                    || t == "break;"
+                    || t == "continue;"
+                {
+                    continue;
+                }
+                assert!(t.ends_with(';'), "{}: unterminated line: {line}", app.id);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_parameters() {
+        let apps = paper_apps();
+        let cg = apps.iter().find(|a| a.id == "cg").unwrap();
+        assert!(cg.script.contains("n = 2048;"), "paper solves 2048 equations");
+        let nb = apps.iter().find(|a| a.id == "nbody").unwrap();
+        assert!(nb.script.contains("n = 5000;"), "paper simulates 5000 particles");
+    }
+}

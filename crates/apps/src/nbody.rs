@@ -1,0 +1,107 @@
+//! Benchmark 3 — n-body simulation (paper §5):
+//! "performs an n-body simulation for 5,000 particles. This algorithm
+//! uses the built-in function mean. In addition, it exercises the
+//! run-time library's broadcast function."
+//!
+//! The paper's n-body uses O(n) vector operations per step (its §6
+//! discussion: "the preponderance of O(n) operations limits the
+//! opportunities for speedup"), i.e. a mean-field approximation rather
+//! than all-pairs forces. This reconstruction follows that structure:
+//! per step, the centre of mass comes from `mean` (an O(n) reduction),
+//! forces and integration are O(n) element-wise vectors, and a probe
+//! particle is read out each step — the element read that "exercises
+//! the run-time library's broadcast function".
+
+use crate::App;
+
+/// Problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Particle count.
+    pub n: usize,
+    /// Time steps.
+    pub steps: usize,
+}
+
+impl Params {
+    /// Paper scale: 5 000 particles.
+    pub fn paper() -> Params {
+        Params { n: 5000, steps: 100 }
+    }
+
+    /// Test scale.
+    pub fn test() -> Params {
+        Params { n: 200, steps: 20 }
+    }
+}
+
+/// Build the n-body benchmark script.
+pub fn n_body(p: Params) -> App {
+    let Params { n, steps } = p;
+    let script = format!(
+        "\
+% Mean-field n-body simulation (1-D positions and velocities).
+n = {n};
+nsteps = {steps};
+dt = 0.002;
+g = 4.0;
+% Deterministic initial conditions: smooth position spread, zero
+% total momentum.
+xs = (1:n)' / n;
+x = xs + 0.05 * sin(xs * 12.566370614359172);
+v = 0.1 * cos(xs * 6.283185307179586);
+v = v - mean(v);
+probe = 0;
+for step = 1:nsteps
+  cm = mean(x);
+  acc = g * (cm - x);
+  v = v + dt * acc;
+  x = x + dt * v;
+  probe = probe + x(17);
+end
+cmend = mean(x);
+spread = norm(x - cmend);
+ke = sum(v .* v) / 2;
+"
+    );
+    App {
+        name: "N-body Problem",
+        id: "nbody",
+        script,
+        result_vars: vec!["probe", "cmend", "spread", "ke"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conserves_center_of_mass() {
+        let app = n_body(Params::test());
+        let out = otter_interp::run_script(&app.script, None)
+            .unwrap_or_else(|e| panic!("{e}\n{}", app.script));
+        // Zero net momentum ⇒ centre of mass is stationary at its
+        // initial value (mean of x at t=0).
+        let cmend = out.scalar("cmend").unwrap();
+        let n = Params::test().n as f64;
+        let cm0_expect = (n + 1.0) / (2.0 * n); // mean of xs (sin-mean ~ 0)
+        assert!((cmend - cm0_expect).abs() < 1e-2, "cmend={cmend} vs {cm0_expect}");
+    }
+
+    #[test]
+    fn probe_accumulates() {
+        let app = n_body(Params { n: 64, steps: 5 });
+        let out = otter_interp::run_script(&app.script, None).unwrap();
+        let probe = out.scalar("probe").unwrap();
+        assert!(probe.is_finite() && probe != 0.0);
+    }
+
+    #[test]
+    fn energy_is_bounded() {
+        let app = n_body(Params::test());
+        let out = otter_interp::run_script(&app.script, None).unwrap();
+        let ke = out.scalar("ke").unwrap();
+        assert!(ke > 0.0 && ke < 100.0, "ke={ke}");
+    }
+}

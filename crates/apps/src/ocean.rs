@@ -1,0 +1,119 @@
+//! Benchmark 2 — ocean engineering (paper §5):
+//! "an ocean engineering application from the Department of Civil
+//! Engineering at Oregon State University. It evaluates the nonlinear
+//! wave excitation force on a submerged sphere using the Morrison
+//! equation. It requires vector shifts, outer products, and calls to
+//! the built-in function trapz2."
+//!
+//! The original script is unavailable; this reconstruction computes
+//! the Morrison-equation force history of a linear (Airy) wave on a
+//! submerged sphere — drag term `½ρ C_d A u|u|` plus inertia term
+//! `ρ C_m V u̇` — with the acceleration from centred differences
+//! implemented as *vector shifts*, the impulse from `trapz2`, and a
+//! depth-decay pressure field from an *outer product*: the exact
+//! primitive mix the paper names.
+
+use crate::App;
+
+/// Problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Time samples over one wave period.
+    pub nt: usize,
+    /// Depth samples for the pressure field.
+    pub nz: usize,
+}
+
+impl Params {
+    /// Paper-era scale: the paper notes "the size of the data set is
+    /// relatively small, and most of the operations performed have
+    /// O(n) time complexity".
+    pub fn paper() -> Params {
+        Params { nt: 16384, nz: 64 }
+    }
+
+    /// Test scale.
+    pub fn test() -> Params {
+        Params { nt: 256, nz: 8 }
+    }
+}
+
+/// Build the ocean-engineering benchmark script.
+pub fn ocean_engineering(p: Params) -> App {
+    let Params { nt, nz } = p;
+    let script = format!(
+        "\
+% Morrison-equation wave force on a submerged sphere.
+nt = {nt};
+nz = {nz};
+t = linspace(0, 6.28318530717958647692, nt);
+% Airy wave kinematics at the sphere's depth (deterministic).
+uvel = sin(t) + 0.3 * sin(2 * t);
+% Centred-difference acceleration via circular vector shifts.
+dt = t(2) - t(1);
+uplus = circshift(uvel, -1);
+uminus = circshift(uvel, 1);
+accel = (uplus - uminus) / (2 * dt);
+% Morrison equation: drag + inertia.
+rho = 1025;
+cd = 1.0;
+cm = 2.0;
+dia = 2.0;
+area = 3.14159265358979323846 * dia * dia / 4;
+vol = 3.14159265358979323846 * dia * dia * dia / 6;
+fdrag = 0.5 * rho * cd * area * (uvel .* abs(uvel));
+finert = rho * cm * vol * accel;
+f = fdrag + finert;
+% Integral quantities the engineers report.
+impulse = trapz2(t, f);
+fpeak = max(abs(f));
+frms = sqrt(mean(f .* f));
+% Depth-decayed force field (outer product) and its energy.
+z = linspace(0, 20, nz);
+decay = exp(z / -6.3);
+field = decay' * f;
+energy = sum(sum(field .* field)) * dt;
+"
+    );
+    App {
+        name: "Ocean Engineering",
+        id: "ocean",
+        script,
+        result_vars: vec!["impulse", "fpeak", "frms", "energy"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physics_sanity() {
+        let app = ocean_engineering(Params::test());
+        let out = otter_interp::run_script(&app.script, None)
+            .unwrap_or_else(|e| panic!("{e}\n{}", app.script));
+        let fpeak = out.scalar("fpeak").unwrap();
+        let frms = out.scalar("frms").unwrap();
+        let energy = out.scalar("energy").unwrap();
+        assert!(fpeak > 0.0 && frms > 0.0 && energy > 0.0);
+        assert!(frms < fpeak, "RMS below peak");
+        // The wave is symmetric, so drag impulse nearly cancels and
+        // inertia integrates to ~0 over a full period: net impulse is
+        // small compared to peak·period.
+        let impulse = out.scalar("impulse").unwrap();
+        assert!(impulse.abs() < fpeak, "impulse={impulse} fpeak={fpeak}");
+    }
+
+    #[test]
+    fn field_scales_with_depth_samples() {
+        let small = ocean_engineering(Params { nt: 128, nz: 4 });
+        let big = ocean_engineering(Params { nt: 128, nz: 16 });
+        let e_small = otter_interp::run_script(&small.script, None)
+            .unwrap()
+            .scalar("energy")
+            .unwrap();
+        let e_big =
+            otter_interp::run_script(&big.script, None).unwrap().scalar("energy").unwrap();
+        assert!(e_big > e_small, "more depth samples add energy rows");
+    }
+}

@@ -1,0 +1,94 @@
+//! Benchmark 4 — transitive closure (paper §5):
+//! "computes the transitive closure of a matrix through repeated
+//! matrix multiplications. It was chosen to test the speed of the
+//! run-time library's implementation of matrix multiplication."
+//!
+//! §6: "The script computes the transitive closure of an n × n matrix
+//! through log n matrix multiplications. The conventional sequential
+//! matrix multiplication algorithm requires O(n³) floating-point
+//! operations. Hence this script would seem to be a good candidate for
+//! parallel execution" — and indeed it shows the paper's best speedup
+//! (78× on 16 Meiko CPUs).
+//!
+//! The adjacency matrix is a deterministic sparse digraph: a ring plus
+//! a few long chords, so the closure is total (every vertex reaches
+//! every other) and the result is easy to validate.
+
+use crate::App;
+
+/// Problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Vertex count.
+    pub n: usize,
+}
+
+impl Params {
+    /// Paper-era scale (an n² matrix with "several hundred thousand
+    /// elements or more").
+    pub fn paper() -> Params {
+        Params { n: 512 }
+    }
+
+    /// Test scale.
+    pub fn test() -> Params {
+        Params { n: 48 }
+    }
+}
+
+/// Build the transitive-closure benchmark script.
+pub fn transitive_closure(p: Params) -> App {
+    let Params { n } = p;
+    let script = format!(
+        "\
+% Transitive closure by repeated Boolean matrix squaring.
+n = {n};
+a = zeros(n, n);
+for i = 1:n-1
+  a(i, i + 1) = 1;
+end
+a(n, 1) = 1;
+% A few chords make shorter paths without changing the closure.
+a(1, floor(n / 2)) = 1;
+a(floor(n / 3), n) = 1;
+c = a + eye(n);
+k = ceil(log2(n));
+for it = 1:k
+  c = c * c;
+  c = c > 0;
+end
+reach = sum(sum(c));
+diagstart = c(1, 1);
+"
+    );
+    App {
+        name: "Transitive Closure",
+        id: "tc",
+        script,
+        result_vars: vec!["reach", "diagstart"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_closure_is_total() {
+        let p = Params::test();
+        let app = transitive_closure(p);
+        let out = otter_interp::run_script(&app.script, None)
+            .unwrap_or_else(|e| panic!("{e}\n{}", app.script));
+        // The ring makes the graph strongly connected: n² reachable
+        // pairs.
+        let reach = out.scalar("reach").unwrap();
+        assert_eq!(reach, (p.n * p.n) as f64);
+        assert_eq!(out.scalar("diagstart"), Some(1.0));
+    }
+
+    #[test]
+    fn squaring_count_is_logarithmic() {
+        let app = transitive_closure(Params { n: 64 });
+        assert!(app.script.contains("ceil(log2(n))"));
+    }
+}

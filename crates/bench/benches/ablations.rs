@@ -1,0 +1,41 @@
+//! Criterion benches for the ablation studies: peephole on/off and
+//! compiler-pipeline cost itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otter_core::{compile, run_compiled, CompileOptions};
+use otter_machine::meiko_cs2;
+
+fn bench_peephole(c: &mut Criterion) {
+    let machine = meiko_cs2();
+    let app = otter_apps::cg::conjugate_gradient(otter_apps::cg::Params::test());
+    let with = compile(&app.script, &otter_frontend::EmptyProvider, &CompileOptions::default())
+        .unwrap();
+    let without = compile(
+        &app.script,
+        &otter_frontend::EmptyProvider,
+        &CompileOptions { no_peephole: true, ..Default::default() },
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("ablation_peephole");
+    g.sample_size(10);
+    g.bench_function("cg_with_peephole", |b| {
+        b.iter(|| run_compiled(&with, &machine, 4).unwrap())
+    });
+    g.bench_function("cg_without_peephole", |b| {
+        b.iter(|| run_compiled(&without, &machine, 4).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_compile_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler_pipeline");
+    for app in otter_apps::test_apps() {
+        g.bench_with_input(BenchmarkId::new("compile", app.id), &app, |b, app| {
+            b.iter(|| otter_core::compile_str(&app.script).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_peephole, bench_compile_time);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches: real wall-clock time of the workloads behind
+//! every figure, on the host CPU.
+//!
+//! * `fig2/*` — the three engines on each benchmark app (single CPU).
+//! * `fig3..fig6/*` — the compiled app at increasing rank counts
+//!   (real threads; wall time, not modeled time).
+//!
+//! Caveat for reading the numbers: at test scale the SPMD engine's
+//! wall time is dominated by thread/channel orchestration, so the
+//! interpreter (a single tight Rust loop) can win outright and rank
+//! sweeps can grow with p. That is the *host's* overhead profile, not
+//! the modeled 1998 machines' — the modeled figures in the harness are
+//! the reproduction artifact. The `fig6_tc` group uses a larger
+//! problem (n = 128, ~29 Mflop) where real compute dominates and
+//! wall-clock scaling with ranks is visible on multi-core hosts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otter_core::{compile_str, run_compiled, run_interpreter, run_matcom, BaselineOptions};
+use otter_machine::{meiko_cs2, workstation};
+
+fn bench_fig2(c: &mut Criterion) {
+    let ws = workstation();
+    let opts = BaselineOptions::default();
+    let mut g = c.benchmark_group("fig2_single_cpu");
+    g.sample_size(10);
+    for app in otter_apps::test_apps() {
+        let compiled = compile_str(&app.script).expect("app compiles");
+        g.bench_with_input(BenchmarkId::new("interpreter", app.id), &app, |b, app| {
+            b.iter(|| run_interpreter(&app.script, &ws, &opts).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("matcom", app.id), &app, |b, app| {
+            b.iter(|| run_matcom(&app.script, &ws, &opts).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("otter", app.id), &app, |b, _| {
+            b.iter(|| run_compiled(&compiled, &ws, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_speedup(c: &mut Criterion, figure: &str, app_id: &str) {
+    let machine = meiko_cs2();
+    let app = if app_id == "tc" {
+        // Big enough for real compute to dominate thread overhead.
+        otter_apps::transitive::transitive_closure(otter_apps::transitive::Params { n: 128 })
+    } else {
+        otter_apps::test_apps().into_iter().find(|a| a.id == app_id).unwrap()
+    };
+    let compiled = compile_str(&app.script).expect("app compiles");
+    let mut g = c.benchmark_group(figure);
+    g.sample_size(10);
+    for p in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new(app_id, p), &p, |b, &p| {
+            b.iter(|| run_compiled(&compiled, &machine, p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    bench_speedup(c, "fig3_cg", "cg");
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    bench_speedup(c, "fig4_ocean", "ocean");
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    bench_speedup(c, "fig5_nbody", "nbody");
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    bench_speedup(c, "fig6_tc", "tc");
+}
+
+criterion_group!(benches, bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_fig6);
+criterion_main!(benches);

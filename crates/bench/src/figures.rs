@@ -1,0 +1,183 @@
+//! Figures 2–6: the performance experiments.
+//!
+//! All figures normalize against the MathWorks-interpreter stand-in
+//! running on a single CPU of the *same* machine, matching the paper's
+//! "speedup over MATLAB" axes.
+
+use otter_apps::App;
+use otter_core::{compile, run_compiled, run_interpreter, BaselineOptions, CompileOptions};
+use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
+
+/// Which problem sizes to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale problems (n = 2048 CG, 5 000 particles, 512² TC).
+    Paper,
+    /// Scaled-down problems for CI and debug builds.
+    Test,
+}
+
+impl Scale {
+    pub fn apps(self) -> Vec<App> {
+        match self {
+            Scale::Paper => otter_apps::paper_apps(),
+            Scale::Test => otter_apps::test_apps(),
+        }
+    }
+}
+
+/// One row of Figure 2: relative single-CPU performance
+/// (interpreter ≡ 1.0; higher is faster).
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    pub app: String,
+    pub interpreter: f64,
+    pub matcom: f64,
+    pub otter: f64,
+}
+
+/// Figure 2 — relative performance of the three systems on one
+/// UltraSPARC CPU.
+pub fn fig2(scale: Scale) -> Vec<Fig2Row> {
+    let ws = workstation();
+    let opts = BaselineOptions::default();
+    scale
+        .apps()
+        .iter()
+        .map(|app| {
+            let interp = run_interpreter(&app.script, &ws, &opts)
+                .unwrap_or_else(|e| panic!("{}: interp: {e}", app.id));
+            let matcom = otter_core::run_matcom(&app.script, &ws, &opts)
+                .unwrap_or_else(|e| panic!("{}: matcom: {e}", app.id));
+            let compiled = compile(
+                &app.script,
+                &otter_frontend::EmptyProvider,
+                &CompileOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
+            let otter = run_compiled(&compiled, &ws, 1)
+                .unwrap_or_else(|e| panic!("{}: otter: {e}", app.id));
+            let t0 = interp.modeled_seconds;
+            Fig2Row {
+                app: app.name.to_string(),
+                interpreter: 1.0,
+                matcom: t0 / matcom.modeled_seconds,
+                otter: t0 / otter.modeled_seconds,
+            }
+        })
+        .collect()
+}
+
+/// One machine's speedup curve.
+#[derive(Debug, Clone)]
+pub struct SpeedupSeries {
+    pub machine: String,
+    /// (CPU count, speedup over the interpreter on one CPU of this
+    /// machine).
+    pub points: Vec<(usize, f64)>,
+}
+
+/// One figure: an application's speedup on all three architectures.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    pub figure: &'static str,
+    pub app: String,
+    pub series: Vec<SpeedupSeries>,
+    /// Total messages at the largest CPU count on the first machine
+    /// (reported in EXPERIMENTS.md).
+    pub messages_at_max: u64,
+}
+
+/// CPU counts swept on a machine (powers of two up to its size).
+pub fn cpu_sweep(machine: &Machine) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut p = 1;
+    while p <= machine.max_cpus {
+        out.push(p);
+        p *= 2;
+    }
+    out
+}
+
+/// Figures 3–6 — one application's speedup over the interpreter on the
+/// three modeled parallel machines.
+pub fn speedup_figure(figure: &'static str, app: &App) -> FigureData {
+    let machines = [meiko_cs2(), sparc20_cluster(), enterprise_smp()];
+    let compiled = compile(
+        &app.script,
+        &otter_frontend::EmptyProvider,
+        &CompileOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
+    let opts = BaselineOptions::default();
+    let mut series = Vec::new();
+    let mut messages_at_max = 0;
+    for m in &machines {
+        let interp = run_interpreter(&app.script, m, &opts)
+            .unwrap_or_else(|e| panic!("{}: interp: {e}", app.id));
+        let t0 = interp.modeled_seconds;
+        let mut points = Vec::new();
+        for p in cpu_sweep(m) {
+            let run = run_compiled(&compiled, m, p)
+                .unwrap_or_else(|e| panic!("{}: p={p}: {e}", app.id));
+            points.push((p, t0 / run.modeled_seconds));
+            if m.name.contains("Meiko") && p == m.max_cpus {
+                messages_at_max = run.messages;
+            }
+        }
+        series.push(SpeedupSeries { machine: m.name.clone(), points });
+    }
+    FigureData { figure, app: app.name.to_string(), series, messages_at_max }
+}
+
+/// The four speedup figures in paper order.
+pub fn all_speedup_figures(scale: Scale) -> Vec<FigureData> {
+    let apps = scale.apps();
+    let find = |id: &str| apps.iter().find(|a| a.id == id).unwrap();
+    vec![
+        speedup_figure("Figure 3", find("cg")),
+        speedup_figure("Figure 4", find("ocean")),
+        speedup_figure("Figure 5", find("nbody")),
+        speedup_figure("Figure 6", find("tc")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_otter_beats_interpreter_everywhere() {
+        for row in fig2(Scale::Test) {
+            assert!(
+                row.otter > 1.0,
+                "{}: Otter must outperform the interpreter (got {})",
+                row.app,
+                row.otter
+            );
+            assert!(row.matcom > 1.0, "{}: MATCOM must too ({})", row.app, row.matcom);
+            assert_eq!(row.interpreter, 1.0);
+        }
+    }
+
+    #[test]
+    fn cpu_sweeps_match_machines() {
+        assert_eq!(cpu_sweep(&meiko_cs2()), vec![1, 2, 4, 8, 16]);
+        assert_eq!(cpu_sweep(&enterprise_smp()), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn transitive_closure_scales_best() {
+        // Figure 6 vs Figures 4/5: at max Meiko CPUs, the O(n³) app
+        // must show more speedup than the O(n) apps.
+        let apps = Scale::Test.apps();
+        let tc = speedup_figure("f6", apps.iter().find(|a| a.id == "tc").unwrap());
+        let ocean = speedup_figure("f4", apps.iter().find(|a| a.id == "ocean").unwrap());
+        let tc_max = tc.series[0].points.last().unwrap().1;
+        let ocean_max = ocean.series[0].points.last().unwrap().1;
+        assert!(
+            tc_max > ocean_max,
+            "TC speedup {tc_max} should beat ocean {ocean_max} on the Meiko"
+        );
+    }
+}

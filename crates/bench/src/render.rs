@@ -1,0 +1,251 @@
+//! Text rendering of tables and figures for the harness binary and
+//! EXPERIMENTS.md.
+
+use crate::ablation::{CollectiveAblation, GrainPoint, PeepholeAblation, TypeInferAblation};
+use crate::figures::{Fig2Row, FigureData};
+use crate::table1::System;
+use std::fmt::Write;
+
+/// Render Table 1.
+pub fn render_table1(systems: &[System]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1. Experimental and commercial MATLAB-based systems targeting parallel computers."
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:<34} {:<24} {}",
+        "Name", "Site", "Implementation", "Pure-MATLAB parallel"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(98));
+    for s in systems {
+        let _ = writeln!(
+            out,
+            "{:<18} {:<34} {:<24} {}",
+            s.name,
+            s.site,
+            s.implementation,
+            if s.pure_matlab_parallel { "yes" } else { "no" }
+        );
+    }
+    out
+}
+
+/// Render Figure 2 as a table.
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 2. Relative performance on a single UltraSPARC CPU (interpreter = 1.0)."
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>12} {:>12}",
+        "Application", "Interpreter", "MATCOM", "Otter"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(62));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12.2} {:>12.2} {:>12.2}",
+            r.app, r.interpreter, r.matcom, r.otter
+        );
+    }
+    out
+}
+
+/// Render one speedup figure as a table plus an ASCII chart.
+pub fn render_figure(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}. {} — speedup over the MATLAB interpreter on one CPU of each machine.",
+        fig.figure, fig.app
+    );
+    // Header: CPU counts from the widest series.
+    let widest = fig.series.iter().max_by_key(|s| s.points.len()).unwrap();
+    let _ = write!(out, "{:<22}", "Machine");
+    for (p, _) in &widest.points {
+        let _ = write!(out, "{:>9}", format!("p={p}"));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(22 + 9 * widest.points.len()));
+    for s in &fig.series {
+        let _ = write!(out, "{:<22}", s.machine);
+        for (_, v) in &s.points {
+            let _ = write!(out, "{v:>9.1}");
+        }
+        let _ = writeln!(out);
+    }
+    // ASCII chart of the final column.
+    let max = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(_, v)| *v))
+        .fold(1.0_f64, f64::max);
+    let _ = writeln!(out);
+    for s in &fig.series {
+        let best = s.points.last().map(|(_, v)| *v).unwrap_or(0.0);
+        let bars = ((best / max) * 40.0).round() as usize;
+        let _ = writeln!(out, "{:<22} {} {:.1}x", s.machine, "#".repeat(bars.max(1)), best);
+    }
+    out
+}
+
+/// Render a speedup figure as CSV (for external plotting).
+pub fn render_figure_csv(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {}", fig.figure, fig.app);
+    let _ = writeln!(out, "machine,cpus,speedup");
+    for s in &fig.series {
+        for (p, v) in &s.points {
+            let _ = writeln!(out, "{},{},{:.4}", s.machine, p, v);
+        }
+    }
+    out
+}
+
+/// Render Figure 2 as CSV.
+pub fn render_fig2_csv(rows: &[Fig2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "application,interpreter,matcom,otter");
+    for r in rows {
+        let _ = writeln!(out, "{},{:.4},{:.4},{:.4}", r.app, r.interpreter, r.matcom, r.otter);
+    }
+    out
+}
+
+/// Render the peephole ablation.
+pub fn render_peephole(rows: &[PeepholeAblation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: pass-6 peephole optimizer (Meiko CS-2).");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "Application", "CPUs", "IR w/", "IR w/o", "sec w/", "sec w/o", "msgs -%"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(88));
+    for a in rows {
+        let msg_drop = if a.messages_without > 0 {
+            100.0 * (1.0 - a.messages_with as f64 / a.messages_without as f64)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>10} {:>10} {:>12.4} {:>12.4} {:>8.1}%",
+            a.app, a.p, a.instrs_with, a.instrs_without, a.seconds_with, a.seconds_without,
+            msg_drop
+        );
+    }
+    out
+}
+
+/// Render the type-inference ablation.
+pub fn render_typeinfer(rows: &[TypeInferAblation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation: type inference (real vs complex-assumed), Meiko CS-2."
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6} {:>12} {:>14} {:>10} {:>12}",
+        "Application", "CPUs", "sec (real)", "sec (complex)", "slowdown", "bytes ratio"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(82));
+    for a in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} {:>12.4} {:>14.4} {:>9.2}x {:>11.1}x",
+            a.app,
+            a.p,
+            a.seconds_real,
+            a.seconds_complex,
+            a.seconds_complex / a.seconds_real,
+            a.bytes_complex as f64 / a.bytes_real as f64
+        );
+    }
+    out
+}
+
+/// Render the collectives ablation.
+pub fn render_collectives(rows: &[CollectiveAblation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation: collective schedules (binomial tree vs linear), CG-style message mix."
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6} {:>14} {:>14} {:>10}",
+        "Machine", "CPUs", "tree (s)", "linear (s)", "linear/tree"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(70));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} {:>14.6} {:>14.6} {:>9.2}x",
+            r.machine,
+            r.p,
+            r.seconds_tree,
+            r.seconds_linear,
+            r.seconds_linear / r.seconds_tree
+        );
+    }
+    out
+}
+
+/// Render the grain-size sweep.
+pub fn render_grain(machine: &str, p: usize, pts: &[GrainPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Grain-size sweep: conjugate-gradient speedup at p={p} on the {machine}."
+    );
+    let _ = writeln!(out, "{:<10} {:>10}", "n", "speedup");
+    let _ = writeln!(out, "{}", "-".repeat(21));
+    for pt in pts {
+        let _ = writeln!(out, "{:<10} {:>10.2}", pt.n, pt.speedup);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::SpeedupSeries;
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let s = render_table1(crate::TABLE1);
+        assert!(s.contains("Otter"));
+        assert!(s.contains("FALCON"));
+        assert_eq!(s.lines().count(), 3 + crate::TABLE1.len());
+    }
+
+    #[test]
+    fn figure_render_includes_all_machines() {
+        let fig = FigureData {
+            figure: "Figure 9",
+            app: "Test".into(),
+            series: vec![
+                SpeedupSeries {
+                    machine: "Meiko CS-2".into(),
+                    points: vec![(1, 2.0), (2, 4.0)],
+                },
+                SpeedupSeries {
+                    machine: "Enterprise SMP".into(),
+                    points: vec![(1, 2.0)],
+                },
+            ],
+            messages_at_max: 0,
+        };
+        let s = render_figure(&fig);
+        assert!(s.contains("Meiko CS-2"));
+        assert!(s.contains("Enterprise SMP"));
+        assert!(s.contains("p=2"));
+        assert!(s.contains("4.0"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Table 1 — "Experimental and commercial MATLAB-based systems
+//! targeting parallel computers. Only FALCON and Otter generate
+//! parallel code from pure MATLAB (i.e., MATLAB without any
+//! extensions)."
+//!
+//! A static reproduction of the paper's survey table.
+
+/// One surveyed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct System {
+    pub name: &'static str,
+    pub site: &'static str,
+    pub implementation: &'static str,
+    /// Accepts *pure* MATLAB and emits parallel code.
+    pub pure_matlab_parallel: bool,
+}
+
+/// The paper's Table 1.
+pub const TABLE1: &[System] = &[
+    System {
+        name: "MATLAB Toolbox",
+        site: "University of Rostock, Germany",
+        implementation: "Interpreter",
+        pure_matlab_parallel: false,
+    },
+    System {
+        name: "MultiMATLAB",
+        site: "Cornell University",
+        implementation: "Interpreter",
+        pure_matlab_parallel: false,
+    },
+    System {
+        name: "Parallel Toolbox",
+        site: "Wake Forest University",
+        implementation: "Interpreter",
+        pure_matlab_parallel: false,
+    },
+    System {
+        name: "Paramat",
+        site: "Alpha Data Parallel Systems, UK",
+        implementation: "Interpreter",
+        pure_matlab_parallel: false,
+    },
+    System {
+        name: "CONLAB",
+        site: "University of Umea, Sweden",
+        implementation: "Compiles to C/PICL",
+        pure_matlab_parallel: false,
+    },
+    System {
+        name: "FALCON",
+        site: "University of Illinois",
+        implementation: "Compiles to Fortran 90",
+        pure_matlab_parallel: true,
+    },
+    System {
+        name: "RTExpress",
+        site: "Integrated Sensors",
+        implementation: "Compiles to C/MPI",
+        pure_matlab_parallel: false,
+    },
+    System {
+        name: "Otter",
+        site: "Oregon State University",
+        implementation: "Compiles to C/MPI",
+        pure_matlab_parallel: true,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_systems_surveyed() {
+        assert_eq!(TABLE1.len(), 8);
+    }
+
+    #[test]
+    fn only_falcon_and_otter_are_pure_parallel() {
+        let pure: Vec<&str> = TABLE1
+            .iter()
+            .filter(|s| s.pure_matlab_parallel)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(pure, vec!["FALCON", "Otter"]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Codegen diagnostics.
+
+use otter_frontend::Span;
+use std::fmt;
+
+/// An error raised while lowering or emitting code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodegenError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl CodegenError {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        CodegenError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span.is_dummy() {
+            write!(f, "codegen error: {}", self.message)
+        } else {
+            write!(f, "codegen error at {}: {}", self.span, self.message)
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+pub type Result<T> = std::result::Result<T, CodegenError>;

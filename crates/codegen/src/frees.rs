@@ -1,0 +1,179 @@
+//! Temporary de-allocation (paper §4: "The run-time library is
+//! responsible for the allocation and de-allocation of vectors and
+//! matrices").
+//!
+//! The compiler's `ML_tmp*` temporaries are single-assignment; this
+//! pass inserts an explicit [`Instr::Free`] after each temporary's
+//! last use in its defining block, so a rank's live memory tracks the
+//! program's actual working set instead of accumulating every
+//! intermediate — which is what makes the paper's §7 "larger problems"
+//! memory argument hold for long scripts.
+
+use otter_ir::*;
+
+/// Insert `Free` instructions for dead temporaries. `live_out` names
+/// must never be freed (a `while` condition's inputs, function
+/// outputs).
+pub fn insert_frees(p: &mut IrProgram) -> usize {
+    let mut count = 0;
+    process_block(&mut p.main, &[], &mut count);
+    for f in p.functions.values_mut() {
+        let outs: Vec<String> = f.outs.iter().map(|(n, _)| n.clone()).collect();
+        process_block(&mut f.body, &outs, &mut count);
+    }
+    count
+}
+
+fn is_temp(name: &str) -> bool {
+    name.starts_with("ML_tmp")
+}
+
+fn process_block(block: &mut Vec<Instr>, live_out: &[String], count: &mut usize) {
+    // Recurse first, threading while-condition liveness exactly like
+    // the peephole pass.
+    for instr in block.iter_mut() {
+        match instr {
+            Instr::If { then_body, else_body, .. } => {
+                process_block(then_body, live_out, count);
+                process_block(else_body, live_out, count);
+            }
+            Instr::While { pre, cond, body } => {
+                let mut live = live_out.to_vec();
+                cond.vars(&mut live);
+                let mut pre_reads = Vec::new();
+                for i in pre.iter() {
+                    crate::peephole::instr_reads(i, &mut pre_reads);
+                }
+                let mut body_live = live.clone();
+                body_live.extend(pre_reads);
+                process_block(pre, &live, count);
+                process_block(body, &body_live, count);
+            }
+            Instr::For { body, .. } => process_block(body, live_out, count),
+            _ => {}
+        }
+    }
+    // Find each temp's defining index and last-use index in this block.
+    let mut i = 0;
+    while i < block.len() {
+        let Some(dst) = crate::peephole::instr_dst(&block[i]) else {
+            i += 1;
+            continue;
+        };
+        if !is_temp(&dst) || matches!(block[i], Instr::Free { .. }) || live_out.contains(&dst) {
+            i += 1;
+            continue;
+        }
+        // Last index in the rest of the block that reads `dst`.
+        let mut last_use: Option<usize> = None;
+        for (off, instr) in block[i + 1..].iter().enumerate() {
+            let mut reads = Vec::new();
+            crate::peephole::instr_reads(instr, &mut reads);
+            if reads.iter().any(|r| r == &dst) {
+                last_use = Some(i + 1 + off);
+            }
+            // A later redefinition of the same temp cannot happen
+            // (single-assignment), so no def check needed.
+        }
+        match last_use {
+            Some(u) => {
+                // Freeing is only sound if the last use is a direct
+                // instruction, not a nested block that may re-execute
+                // (loops): freeing after a loop body's last iteration
+                // is fine since the use is within the loop instr,
+                // which completes before the Free runs.
+                block.insert(u + 1, Instr::Free { name: dst });
+                *count += 1;
+                // Skip past the insertion point.
+                i += 1;
+            }
+            None => {
+                // Dead temp (possible when the peephole pass was
+                // disabled): free immediately after definition.
+                block.insert(i + 1, Instr::Free { name: dst });
+                *count += 1;
+                i += 2;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frees_after_last_use() {
+        let mut p = IrProgram {
+            main: vec![
+                Instr::MatMul { dst: "ML_tmp1".into(), a: "b".into(), b: "c".into() },
+                Instr::Reduce { dst: "s".into(), op: RedOp::SumAll, m: "ML_tmp1".into() },
+                Instr::AssignScalar { dst: "t".into(), src: SExpr::var("s") },
+            ],
+            ..Default::default()
+        };
+        let n = insert_frees(&mut p);
+        assert_eq!(n, 1);
+        assert_eq!(p.main[2], Instr::Free { name: "ML_tmp1".into() });
+        assert_eq!(p.main.len(), 4);
+    }
+
+    #[test]
+    fn temp_used_inside_loop_freed_after_loop() {
+        let mut p = IrProgram {
+            main: vec![
+                Instr::InitMatrix {
+                    dst: "ML_tmp1".into(),
+                    init: MatInit::Ones { rows: SExpr::c(4.0), cols: SExpr::c(1.0) },
+                },
+                Instr::For {
+                    var: "i".into(),
+                    start: SExpr::c(1.0),
+                    step: SExpr::c(1.0),
+                    stop: SExpr::c(3.0),
+                    body: vec![Instr::Reduce {
+                        dst: "s".into(),
+                        op: RedOp::SumAll,
+                        m: "ML_tmp1".into(),
+                    }],
+                },
+            ],
+            ..Default::default()
+        };
+        insert_frees(&mut p);
+        // Free comes after the whole For.
+        assert!(matches!(p.main[2], Instr::Free { .. }), "{:?}", p.main);
+    }
+
+    #[test]
+    fn while_condition_inputs_not_freed() {
+        let mut p = IrProgram {
+            main: vec![Instr::While {
+                pre: vec![Instr::Reduce {
+                    dst: "ML_tmp9".into(),
+                    op: RedOp::Norm2,
+                    m: "r".into(),
+                }],
+                cond: SExpr::bin(SBinOp::Gt, SExpr::var("ML_tmp9"), SExpr::c(0.5)),
+                body: vec![],
+            }],
+            ..Default::default()
+        };
+        insert_frees(&mut p);
+        let Instr::While { pre, .. } = &p.main[0] else { panic!() };
+        assert!(
+            !pre.iter().any(|i| matches!(i, Instr::Free { .. })),
+            "condition input must stay live: {pre:?}"
+        );
+    }
+
+    #[test]
+    fn user_variables_never_freed() {
+        let mut p = IrProgram {
+            main: vec![Instr::MatMul { dst: "c".into(), a: "a".into(), b: "b".into() }],
+            ..Default::default()
+        };
+        let n = insert_frees(&mut p);
+        assert_eq!(n, 0);
+    }
+}

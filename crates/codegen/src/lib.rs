@@ -1,0 +1,26 @@
+//! # otter-codegen
+//!
+//! The back half of the Otter compiler (paper §3, passes 4-7):
+//!
+//! * **Lowering** ([`lower()`](lower::lower)) — pass 4 (expression rewriting: hoist
+//!   communication-bearing subexpressions to statement level as
+//!   run-time-library calls) and pass 5 (owner-computes guards around
+//!   element stores, `ML_broadcast` for remote element reads).
+//! * **Peephole optimization** ([`peephole()`](peephole::peephole)) — pass 6: collapse
+//!   sequences of run-time calls (copy-propagation of `ML_tmp*`
+//!   destinations, multiply+sum → dot fusion).
+//! * **C emission** ([`c_emit`]) — pass 7: traverse the IR "emitting C
+//!   code interspersed with calls to the run-time library", matching
+//!   the shape of the paper's two §3 excerpts.
+
+pub mod c_emit;
+pub mod error;
+pub mod frees;
+pub mod lower;
+pub mod peephole;
+
+pub use c_emit::emit_c;
+pub use error::CodegenError;
+pub use frees::insert_frees;
+pub use lower::lower;
+pub use peephole::peephole;

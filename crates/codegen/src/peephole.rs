@@ -1,0 +1,620 @@
+//! Pass 6 — peephole optimization (paper §3): "looking for ways in
+//! which a sequence of run-time library calls can be replaced by a
+//! single call."
+//!
+//! Three rewrites, each applied to every block recursively:
+//!
+//! 1. **Copy collapse** — a run-time call into `ML_tmpK` immediately
+//!    followed by a plain copy `x = ML_tmpK` (and no later use of the
+//!    temp) retargets the call at `x` and drops the copy.
+//! 2. **Scalar collapse** — likewise for scalar temporaries
+//!    (`ML_tmpK = dot(...); x = ML_tmpK;` → `x = dot(...)`).
+//! 3. **Dot fusion** — an element-wise multiply whose only consumer is
+//!    a full-sum reduction becomes one fused `ML_dot` call, halving
+//!    both the memory traffic and the loop count of the classic
+//!    `sum(a .* b)` idiom.
+
+use otter_ir::*;
+
+/// Statistics from one peephole run (exposed for the ablation bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeepholeStats {
+    pub copies_collapsed: usize,
+    pub scalars_collapsed: usize,
+    pub dots_fused: usize,
+    pub dead_removed: usize,
+}
+
+/// Optimize a program in place; returns what was rewritten.
+pub fn peephole(p: &mut IrProgram) -> PeepholeStats {
+    let mut stats = PeepholeStats::default();
+    optimize_block(&mut p.main, &[], &mut stats);
+    for f in p.functions.values_mut() {
+        // Function outputs are live on exit.
+        let outs: Vec<String> = f.outs.iter().map(|(n, _)| n.clone()).collect();
+        optimize_block(&mut f.body, &outs, &mut stats);
+    }
+    stats
+}
+
+/// `live_out` — names read *after* this block by the enclosing
+/// construct: a `while` condition's variables for its pre/body blocks,
+/// the function outputs for a function body. Everything a rewrite
+/// wants to treat as dead must also be absent from this set.
+fn optimize_block(block: &mut Vec<Instr>, live_out: &[String], stats: &mut PeepholeStats) {
+    // Recurse into nested blocks first.
+    for instr in block.iter_mut() {
+        match instr {
+            Instr::If { then_body, else_body, .. } => {
+                optimize_block(then_body, live_out, stats);
+                optimize_block(else_body, live_out, stats);
+            }
+            Instr::While { pre, cond, body } => {
+                // The condition executes after the pre-block (and the
+                // pre-block re-executes after the body), so its inputs
+                // are live-out of both.
+                let mut live = live_out.to_vec();
+                cond.vars(&mut live);
+                collect_dimof(cond, &mut live);
+                // The pre-block also re-reads whatever it reads.
+                let mut pre_reads = Vec::new();
+                for i in pre.iter() {
+                    reads_of(i, &mut pre_reads);
+                }
+                let mut body_live = live.clone();
+                body_live.extend(pre_reads);
+                optimize_block(pre, &live, stats);
+                optimize_block(body, &body_live, stats);
+            }
+            Instr::For { body, .. } => optimize_block(body, live_out, stats),
+            _ => {}
+        }
+    }
+    // Iterate local rewrites until a fixed point.
+    loop {
+        let before = *stats;
+        collapse_pairs(block, live_out, stats);
+        fuse_dots(block, live_out, stats);
+        eliminate_dead(block, live_out, stats);
+        if *stats == before {
+            break;
+        }
+    }
+}
+
+/// Can an instruction be dropped if its destination is never read?
+/// Communication-bearing instructions are safe to drop *uniformly*
+/// (every rank executes the same IR, so all ranks drop together);
+/// `Rand` initializers are kept because deleting one would shift the
+/// seeded stream of later `rand` calls.
+fn is_pure(instr: &Instr) -> bool {
+    match instr {
+        Instr::AssignScalar { .. }
+        | Instr::CopyMatrix { .. }
+        | Instr::ElemWise { .. }
+        | Instr::MatMul { .. }
+        | Instr::MatVec { .. }
+        | Instr::Outer { .. }
+        | Instr::Transpose { .. }
+        | Instr::BroadcastElem { .. }
+        | Instr::Reduce { .. }
+        | Instr::Dot { .. }
+        | Instr::TrapzXY { .. }
+        | Instr::ColReduce { .. }
+        | Instr::Shift { .. }
+        | Instr::ExtractRow { .. }
+        | Instr::ExtractCol { .. }
+        | Instr::ExtractRange { .. }
+        | Instr::ExtractStrided { .. } => true,
+        Instr::InitMatrix { init, .. } => !matches!(init, MatInit::Rand { .. }),
+        _ => false,
+    }
+}
+
+/// Drop pure instructions whose temp destination is never read.
+fn eliminate_dead(block: &mut Vec<Instr>, live_out: &[String], stats: &mut PeepholeStats) {
+    let mut i = 0;
+    while i < block.len() {
+        let removable = is_pure(&block[i])
+            && match dst_of(&block[i]) {
+                Some(d) => {
+                    is_temp(&d)
+                        && !used_later(&d, &block[i + 1..])
+                        && !live_out.contains(&d)
+                }
+                None => false,
+            };
+        if removable {
+            block.remove(i);
+            stats.dead_removed += 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn is_temp(name: &str) -> bool {
+    name.starts_with("ML_tmp")
+}
+
+/// All variable names an instruction *reads* (conservatively includes
+/// nested blocks). Exposed crate-wide: the de-allocation pass reuses
+/// the same liveness facts.
+pub(crate) fn instr_reads(instr: &Instr, out: &mut Vec<String>) {
+    reads_of(instr, out)
+}
+
+/// The destination an instruction writes, if any (crate-wide alias).
+pub(crate) fn instr_dst(instr: &Instr) -> Option<String> {
+    dst_of(instr)
+}
+
+fn reads_of(instr: &Instr, out: &mut Vec<String>) {
+    let sexpr = |e: &SExpr, out: &mut Vec<String>| {
+        e.vars(out);
+        collect_dimof(e, out);
+    };
+    match instr {
+        Instr::AssignScalar { src, .. } => sexpr(src, out),
+        Instr::InitMatrix { init, .. } => match init {
+            MatInit::Zeros { rows, cols }
+            | MatInit::Ones { rows, cols }
+            | MatInit::Rand { rows, cols } => {
+                sexpr(rows, out);
+                sexpr(cols, out);
+            }
+            MatInit::Eye { n } => sexpr(n, out),
+            MatInit::Range { start, step, stop } => {
+                sexpr(start, out);
+                sexpr(step, out);
+                sexpr(stop, out);
+            }
+            MatInit::Literal { rows } => {
+                for r in rows {
+                    for c in r {
+                        sexpr(c, out);
+                    }
+                }
+            }
+            MatInit::Linspace { a, b, n } => {
+                sexpr(a, out);
+                sexpr(b, out);
+                sexpr(n, out);
+            }
+        },
+        Instr::CopyMatrix { src, .. } => out.push(src.clone()),
+        Instr::LoadFile { .. } => {}
+        Instr::ElemWise { expr, .. } => {
+            expr.mat_operands(out);
+            collect_ew_scalars(expr, out);
+        }
+        Instr::MatMul { a, b, .. } | Instr::Dot { a, b, .. } => {
+            out.push(a.clone());
+            out.push(b.clone());
+        }
+        Instr::MatVec { a, x, .. } => {
+            out.push(a.clone());
+            out.push(x.clone());
+        }
+        Instr::Outer { u, v, .. } => {
+            out.push(u.clone());
+            out.push(v.clone());
+        }
+        Instr::Transpose { a, .. } => out.push(a.clone()),
+        Instr::BroadcastElem { m, i, j, .. } => {
+            out.push(m.clone());
+            sexpr(i, out);
+            if let Some(j) = j {
+                sexpr(j, out);
+            }
+        }
+        Instr::StoreElem { m, i, j, val } => {
+            out.push(m.clone());
+            sexpr(i, out);
+            if let Some(j) = j {
+                sexpr(j, out);
+            }
+            sexpr(val, out);
+        }
+        Instr::Reduce { m, .. } | Instr::ColReduce { m, .. } => out.push(m.clone()),
+        Instr::TrapzXY { x, y, .. } => {
+            out.push(x.clone());
+            out.push(y.clone());
+        }
+        Instr::Shift { v, k, .. } => {
+            out.push(v.clone());
+            sexpr(k, out);
+        }
+        Instr::ExtractRow { m, i, .. } => {
+            out.push(m.clone());
+            sexpr(i, out);
+        }
+        Instr::ExtractCol { m, j, .. } => {
+            out.push(m.clone());
+            sexpr(j, out);
+        }
+        Instr::AssignRow { m, i, v } => {
+            out.push(m.clone());
+            sexpr(i, out);
+            out.push(v.clone());
+        }
+        Instr::AssignCol { m, j, v } => {
+            out.push(m.clone());
+            sexpr(j, out);
+            out.push(v.clone());
+        }
+        Instr::ExtractRange { v, lo, hi, .. } => {
+            out.push(v.clone());
+            sexpr(lo, out);
+            sexpr(hi, out);
+        }
+        Instr::ExtractStrided { v, lo, step, hi, .. } => {
+            out.push(v.clone());
+            sexpr(lo, out);
+            sexpr(step, out);
+            sexpr(hi, out);
+        }
+        Instr::FillRow { m, i, val } => {
+            out.push(m.clone());
+            sexpr(i, out);
+            sexpr(val, out);
+        }
+        Instr::FillCol { m, j, val } => {
+            out.push(m.clone());
+            sexpr(j, out);
+            sexpr(val, out);
+        }
+        Instr::FillRange { m, lo, hi, val } => {
+            out.push(m.clone());
+            sexpr(lo, out);
+            sexpr(hi, out);
+            sexpr(val, out);
+        }
+        Instr::AssignRange { m, lo, hi, v } => {
+            out.push(m.clone());
+            sexpr(lo, out);
+            sexpr(hi, out);
+            out.push(v.clone());
+        }
+        Instr::If { cond, then_body, else_body } => {
+            sexpr(cond, out);
+            for i in then_body.iter().chain(else_body) {
+                reads_of(i, out);
+            }
+        }
+        Instr::While { pre, cond, body } => {
+            sexpr(cond, out);
+            for i in pre.iter().chain(body) {
+                reads_of(i, out);
+            }
+        }
+        Instr::For { start, step, stop, body, .. } => {
+            sexpr(start, out);
+            sexpr(step, out);
+            sexpr(stop, out);
+            for i in body {
+                reads_of(i, out);
+            }
+        }
+        Instr::Free { .. } | Instr::Break | Instr::Continue => {}
+        Instr::Call { args, .. } => {
+            for a in args {
+                match a {
+                    Arg::Scalar(s) => sexpr(s, out),
+                    Arg::Matrix(m) => out.push(m.clone()),
+                }
+            }
+        }
+        Instr::Print { target, .. } => match target {
+            PrintTarget::Scalar(s) => sexpr(s, out),
+            PrintTarget::Matrix(m) => out.push(m.clone()),
+        },
+    }
+}
+
+fn collect_dimof(e: &SExpr, out: &mut Vec<String>) {
+    match e {
+        SExpr::DimOf { var, .. } => out.push(var.clone()),
+        SExpr::Neg(x) | SExpr::Not(x) => collect_dimof(x, out),
+        SExpr::Bin(_, a, b) => {
+            collect_dimof(a, out);
+            collect_dimof(b, out);
+        }
+        SExpr::Call(_, args) => {
+            for a in args {
+                collect_dimof(a, out);
+            }
+        }
+        SExpr::Const(_) | SExpr::Var(_) | SExpr::OwnElem => {}
+    }
+}
+
+fn collect_ew_scalars(e: &EwExpr, out: &mut Vec<String>) {
+    match e {
+        EwExpr::Scalar(s) => {
+            s.vars(out);
+            collect_dimof(s, out);
+        }
+        EwExpr::Neg(x) | EwExpr::Not(x) => collect_ew_scalars(x, out),
+        EwExpr::Bin(_, a, b) => {
+            collect_ew_scalars(a, out);
+            collect_ew_scalars(b, out);
+        }
+        EwExpr::Call(_, args) => {
+            for a in args {
+                collect_ew_scalars(a, out);
+            }
+        }
+        EwExpr::Mat(_) => {}
+    }
+}
+
+/// The destination a simple instruction writes, if retargetable.
+fn dst_of_mut(instr: &mut Instr) -> Option<&mut String> {
+    match instr {
+        Instr::InitMatrix { dst, .. }
+        | Instr::CopyMatrix { dst, .. }
+        | Instr::LoadFile { dst, .. }
+        | Instr::ElemWise { dst, .. }
+        | Instr::MatMul { dst, .. }
+        | Instr::MatVec { dst, .. }
+        | Instr::Outer { dst, .. }
+        | Instr::Transpose { dst, .. }
+        | Instr::BroadcastElem { dst, .. }
+        | Instr::Reduce { dst, .. }
+        | Instr::Dot { dst, .. }
+        | Instr::TrapzXY { dst, .. }
+        | Instr::ColReduce { dst, .. }
+        | Instr::Shift { dst, .. }
+        | Instr::ExtractRow { dst, .. }
+        | Instr::ExtractCol { dst, .. }
+        | Instr::ExtractRange { dst, .. }
+        | Instr::ExtractStrided { dst, .. }
+        | Instr::AssignScalar { dst, .. } => Some(dst),
+        _ => None,
+    }
+}
+
+fn dst_of(instr: &Instr) -> Option<String> {
+    let mut c = instr.clone();
+    dst_of_mut(&mut c).map(|d| d.clone())
+}
+
+/// Is a temp read anywhere in `rest`? (Temps are single-assignment by
+/// construction, so reads are the only conflict.)
+fn used_later(name: &str, rest: &[Instr]) -> bool {
+    let mut reads = Vec::new();
+    for i in rest {
+        reads_of(i, &mut reads);
+    }
+    reads.iter().any(|r| r == name)
+}
+
+/// Rewrites 1 and 2: call-into-temp + copy-out-of-temp.
+fn collapse_pairs(block: &mut Vec<Instr>, live_out: &[String], stats: &mut PeepholeStats) {
+    let mut i = 0;
+    while i + 1 < block.len() {
+        let collapse = match (&block[i], &block[i + 1]) {
+            (first, Instr::CopyMatrix { dst, src })
+                if is_temp(src)
+                    && dst_of(first).as_deref() == Some(src)
+                    && !used_later(src, &block[i + 2..])
+                    && !live_out.contains(src)
+                    && dst != src =>
+            {
+                Some((dst.clone(), false))
+            }
+            (first, Instr::ElemWise { dst, expr: EwExpr::Mat(src) })
+                if is_temp(src)
+                    && dst_of(first).as_deref() == Some(src.as_str())
+                    && !used_later(src, &block[i + 2..])
+                    && !live_out.contains(src)
+                    && dst != src =>
+            {
+                Some((dst.clone(), false))
+            }
+            (first, Instr::AssignScalar { dst, src: SExpr::Var(src) })
+                if is_temp(src)
+                    && dst_of(first).as_deref() == Some(src.as_str())
+                    && !used_later(src, &block[i + 2..])
+                    && !live_out.contains(src)
+                    && dst != src =>
+            {
+                Some((dst.clone(), true))
+            }
+            _ => None,
+        };
+        if let Some((new_dst, scalar)) = collapse {
+            if let Some(d) = dst_of_mut(&mut block[i]) {
+                *d = new_dst;
+            }
+            block.remove(i + 1);
+            if scalar {
+                stats.scalars_collapsed += 1;
+            } else {
+                stats.copies_collapsed += 1;
+            }
+            // Re-examine the same position.
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Rewrite 3: `t = a .* b; s = sum(t)` → `s = dot(a, b)`.
+fn fuse_dots(block: &mut Vec<Instr>, live_out: &[String], stats: &mut PeepholeStats) {
+    let mut i = 0;
+    while i + 1 < block.len() {
+        let fused = match (&block[i], &block[i + 1]) {
+            (Instr::ElemWise { dst: t, expr }, Instr::Reduce { dst, op: RedOp::SumAll, m })
+                if t == m
+                    && is_temp(t)
+                    && !used_later(t, &block[i + 2..])
+                    && !live_out.contains(t) =>
+            {
+                if let EwExpr::Bin(EwOp::Mul, a, b) = expr {
+                    if let (EwExpr::Mat(a), EwExpr::Mat(b)) = (a.as_ref(), b.as_ref()) {
+                        Some(Instr::Dot { dst: dst.clone(), a: a.clone(), b: b.clone() })
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(instr) = fused {
+            block[i] = instr;
+            block.remove(i + 1);
+            stats.dots_fused += 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(main: Vec<Instr>) -> IrProgram {
+        IrProgram { main, ..Default::default() }
+    }
+
+    #[test]
+    fn collapses_matmul_copy() {
+        let mut p = prog(vec![
+            Instr::MatMul { dst: "ML_tmp1".into(), a: "b".into(), b: "c".into() },
+            Instr::CopyMatrix { dst: "a".into(), src: "ML_tmp1".into() },
+        ]);
+        let stats = peephole(&mut p);
+        assert_eq!(stats.copies_collapsed, 1);
+        assert_eq!(p.main, vec![Instr::MatMul { dst: "a".into(), a: "b".into(), b: "c".into() }]);
+    }
+
+    #[test]
+    fn keeps_copy_when_temp_reused() {
+        let mut p = prog(vec![
+            Instr::MatMul { dst: "ML_tmp1".into(), a: "b".into(), b: "c".into() },
+            Instr::CopyMatrix { dst: "a".into(), src: "ML_tmp1".into() },
+            Instr::Reduce { dst: "s".into(), op: RedOp::SumAll, m: "ML_tmp1".into() },
+        ]);
+        let stats = peephole(&mut p);
+        assert_eq!(stats.copies_collapsed, 0);
+        assert_eq!(p.main.len(), 3);
+    }
+
+    #[test]
+    fn collapses_scalar_temp() {
+        let mut p = prog(vec![
+            Instr::Dot { dst: "ML_tmp2".into(), a: "r".into(), b: "r".into() },
+            Instr::AssignScalar { dst: "rho".into(), src: SExpr::var("ML_tmp2") },
+        ]);
+        let stats = peephole(&mut p);
+        assert_eq!(stats.scalars_collapsed, 1);
+        assert_eq!(
+            p.main,
+            vec![Instr::Dot { dst: "rho".into(), a: "r".into(), b: "r".into() }]
+        );
+    }
+
+    #[test]
+    fn fuses_multiply_sum_into_dot() {
+        let mut p = prog(vec![
+            Instr::ElemWise {
+                dst: "ML_tmp1".into(),
+                expr: EwExpr::bin(EwOp::Mul, EwExpr::mat("x"), EwExpr::mat("y")),
+            },
+            Instr::Reduce { dst: "ML_tmp2".into(), op: RedOp::SumAll, m: "ML_tmp1".into() },
+            Instr::AssignScalar { dst: "d".into(), src: SExpr::var("ML_tmp2") },
+        ]);
+        let stats = peephole(&mut p);
+        assert_eq!(stats.dots_fused, 1);
+        assert_eq!(stats.scalars_collapsed, 1);
+        assert_eq!(p.main, vec![Instr::Dot { dst: "d".into(), a: "x".into(), b: "y".into() }]);
+    }
+
+    #[test]
+    fn does_not_fuse_when_product_is_reused() {
+        let mut p = prog(vec![
+            Instr::ElemWise {
+                dst: "ML_tmp1".into(),
+                expr: EwExpr::bin(EwOp::Mul, EwExpr::mat("x"), EwExpr::mat("y")),
+            },
+            Instr::Reduce { dst: "s".into(), op: RedOp::SumAll, m: "ML_tmp1".into() },
+            Instr::Reduce { dst: "t".into(), op: RedOp::MaxAll, m: "ML_tmp1".into() },
+        ]);
+        let stats = peephole(&mut p);
+        assert_eq!(stats.dots_fused, 0);
+        assert_eq!(p.main.len(), 3);
+    }
+
+    #[test]
+    fn optimizes_inside_loops() {
+        let mut p = prog(vec![Instr::For {
+            var: "i".into(),
+            start: SExpr::c(1.0),
+            step: SExpr::c(1.0),
+            stop: SExpr::c(10.0),
+            body: vec![
+                Instr::MatVec { dst: "ML_tmp1".into(), a: "A".into(), x: "p".into() },
+                Instr::CopyMatrix { dst: "q".into(), src: "ML_tmp1".into() },
+            ],
+        }]);
+        let stats = peephole(&mut p);
+        assert_eq!(stats.copies_collapsed, 1);
+        let Instr::For { body, .. } = &p.main[0] else { panic!() };
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn dead_temps_are_removed() {
+        let mut p = prog(vec![
+            Instr::Transpose { dst: "ML_tmp3".into(), a: "v".into() },
+            Instr::Dot { dst: "d".into(), a: "v".into(), b: "w".into() },
+        ]);
+        let stats = peephole(&mut p);
+        assert_eq!(stats.dead_removed, 1);
+        assert_eq!(p.main, vec![Instr::Dot { dst: "d".into(), a: "v".into(), b: "w".into() }]);
+    }
+
+    #[test]
+    fn rand_init_never_removed() {
+        let mut p = prog(vec![
+            Instr::InitMatrix {
+                dst: "ML_tmp1".into(),
+                init: MatInit::Rand { rows: SExpr::c(4.0), cols: SExpr::c(4.0) },
+            },
+            Instr::InitMatrix {
+                dst: "a".into(),
+                init: MatInit::Rand { rows: SExpr::c(4.0), cols: SExpr::c(4.0) },
+            },
+        ]);
+        let stats = peephole(&mut p);
+        assert_eq!(stats.dead_removed, 0, "removing rand would shift later streams");
+        assert_eq!(p.main.len(), 2);
+    }
+
+    #[test]
+    fn live_temps_are_kept() {
+        let mut p = prog(vec![
+            Instr::Transpose { dst: "ML_tmp3".into(), a: "v".into() },
+            Instr::Dot { dst: "d".into(), a: "ML_tmp3".into(), b: "w".into() },
+        ]);
+        let stats = peephole(&mut p);
+        assert_eq!(stats.dead_removed, 0);
+        assert_eq!(p.main.len(), 2);
+    }
+
+    #[test]
+    fn non_temp_sources_untouched() {
+        let mut p = prog(vec![
+            Instr::MatMul { dst: "x".into(), a: "b".into(), b: "c".into() },
+            Instr::CopyMatrix { dst: "a".into(), src: "x".into() },
+        ]);
+        let stats = peephole(&mut p);
+        assert_eq!(stats.copies_collapsed, 0);
+        assert_eq!(p.main.len(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! `otterc` — the Otter compiler as a command-line tool, mirroring how
+//! the paper's users would have driven it:
+//!
+//! ```text
+//! otterc script.m                      # emit SPMD C to script.c
+//! otterc script.m -o out.c            # choose the output path
+//! otterc script.m --emit ir           # dump the SPMD IR instead
+//! otterc script.m --emit ast          # dump the resolved/SSA'd AST
+//! otterc script.m --run               # compile AND execute (1 CPU)
+//! otterc script.m --run -p 16 --machine meiko
+//! otterc script.m --no-peephole ...   # disable pass 6
+//! ```
+//!
+//! M-file functions are resolved from the script's directory, like the
+//! MATLAB path; `load` reads sample data files from the same place.
+
+use otter_core::{compile, run_compiled, CompileOptions};
+use otter_frontend::DirProvider;
+use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+struct Args {
+    input: PathBuf,
+    output: Option<PathBuf>,
+    emit: Emit,
+    run: bool,
+    p: usize,
+    machine: Machine,
+    no_peephole: bool,
+}
+
+#[derive(PartialEq)]
+enum Emit {
+    C,
+    Ir,
+    Ast,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: otterc <script.m> [-o out.c] [--emit c|ir|ast] [--run] \
+         [-p N] [--machine meiko|cluster|smp|workstation] [--no-peephole]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut input = None;
+    let mut output = None;
+    let mut emit = Emit::C;
+    let mut run = false;
+    let mut p = 1usize;
+    let mut machine = meiko_cs2();
+    let mut no_peephole = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => output = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--emit" => {
+                emit = match it.next().as_deref() {
+                    Some("c") => Emit::C,
+                    Some("ir") => Emit::Ir,
+                    Some("ast") => Emit::Ast,
+                    _ => usage(),
+                }
+            }
+            "--run" => run = true,
+            "-p" => {
+                p = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--machine" => {
+                machine = match it.next().as_deref() {
+                    Some("meiko") => meiko_cs2(),
+                    Some("cluster") => sparc20_cluster(),
+                    Some("smp") => enterprise_smp(),
+                    Some("workstation") => workstation(),
+                    _ => usage(),
+                }
+            }
+            "--no-peephole" => no_peephole = true,
+            "-h" | "--help" => usage(),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(PathBuf::from(other));
+            }
+            _ => usage(),
+        }
+    }
+    Args {
+        input: input.unwrap_or_else(|| usage()),
+        output,
+        emit,
+        run,
+        p,
+        machine,
+        no_peephole,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let src = match std::fs::read_to_string(&args.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("otterc: cannot read {}: {e}", args.input.display());
+            exit(1);
+        }
+    };
+    let dir = args
+        .input
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+        .unwrap_or(Path::new("."))
+        .to_path_buf();
+    let provider = DirProvider::new(&dir);
+    let opts = CompileOptions { data_dir: Some(dir), no_peephole: args.no_peephole };
+    let compiled = match compile(&src, &provider, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("otterc: {}: {e}", args.input.display());
+            exit(1);
+        }
+    };
+
+    match args.emit {
+        Emit::Ir => print!("{}", compiled.ir_text()),
+        Emit::Ast => {
+            // Show the program after resolution + SSA (re-run the front
+            // half; cheap and keeps Compiled lean).
+            match otter_analysis::resolve(&src, &provider) {
+                Ok(resolved) => {
+                    let mut program = resolved.program;
+                    let info = otter_analysis::ssa_rename(&program.script, &[]);
+                    program.script = info.block;
+                    print!("{}", otter_frontend::pretty::program_to_string(&program));
+                }
+                Err(e) => {
+                    eprintln!("otterc: {e}");
+                    exit(1);
+                }
+            }
+        }
+        Emit::C => {
+            let out_path = args
+                .output
+                .clone()
+                .unwrap_or_else(|| args.input.with_extension("c"));
+            if let Err(e) = std::fs::write(&out_path, &compiled.c_source) {
+                eprintln!("otterc: cannot write {}: {e}", out_path.display());
+                exit(1);
+            }
+            eprintln!(
+                "otterc: wrote {} ({} IR instructions, peephole {:?})",
+                out_path.display(),
+                compiled.ir.instr_count(),
+                compiled.peephole_stats
+            );
+        }
+    }
+
+    if args.run {
+        match run_compiled(&compiled, &args.machine, args.p) {
+            Ok(r) => {
+                print!("{}", r.output);
+                eprintln!(
+                    "otterc: ran on {} x{}: modeled {:.6} s, {} messages, {} bytes",
+                    args.machine.name, args.p, r.modeled_seconds, r.messages, r.bytes
+                );
+            }
+            Err(e) => {
+                eprintln!("otterc: execution failed: {e}");
+                exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The compiler driver: the paper's seven passes in order.
+//!
+//! 1. scan + parse (otter-frontend)
+//! 2. identifier resolution, M-file loading (otter-analysis::resolve)
+//! 3. SSA + type/rank/shape inference (otter-analysis::{ssa, infer})
+//! 4. expression rewriting → IR (otter-codegen::lower)
+//! 5. owner-computes guards (inside lowering)
+//! 6. peephole optimization (otter-codegen::peephole)
+//! 7. C emission (otter-codegen::c_emit)
+
+use crate::error::{OtterError, Result};
+use otter_analysis::{infer, resolve, ssa_rename, Inference, InferOptions};
+use otter_codegen::peephole::PeepholeStats;
+use otter_codegen::{emit_c, insert_frees, lower, peephole};
+use otter_frontend::SourceProvider;
+use otter_ir::IrProgram;
+use std::path::PathBuf;
+
+/// Compilation options.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// Directory for sample data files (`load`) — used at compile time
+    /// for inference and at run time for the actual read.
+    pub data_dir: Option<PathBuf>,
+    /// Run the pass-6 peephole optimizer (on by default; the ablation
+    /// bench turns it off).
+    pub no_peephole: bool,
+}
+
+/// A fully compiled program.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Executable SPMD IR.
+    pub ir: IrProgram,
+    /// The inference results (for tooling and tests).
+    pub inference: Inference,
+    /// Emitted SPMD C translation unit.
+    pub c_source: String,
+    /// What pass 6 rewrote.
+    pub peephole_stats: PeepholeStats,
+    /// Data directory carried to execution.
+    pub data_dir: Option<PathBuf>,
+}
+
+/// Compile a MATLAB script with the full pipeline.
+pub fn compile(
+    src: &str,
+    provider: &dyn SourceProvider,
+    opts: &CompileOptions,
+) -> Result<Compiled> {
+    // Passes 1–2.
+    let resolved = resolve(src, provider)?;
+    let mut program = resolved.program;
+
+    // Pass 3a: SSA web renaming, script and every function body.
+    let info = ssa_rename(&program.script, &[]);
+    program.script = info.block;
+    for f in &mut program.functions {
+        let finfo = ssa_rename(&f.body, &f.params);
+        f.body = finfo.block;
+    }
+
+    // Pass 3b: inference.
+    let inference = infer(&program, InferOptions { data_dir: opts.data_dir.clone() })?;
+
+    // Passes 4–5: lowering.
+    let mut ir = lower(&program, &inference)?;
+
+    // Pass 6: peephole.
+    let peephole_stats =
+        if opts.no_peephole { PeepholeStats::default() } else { peephole(&mut ir) };
+
+    // De-allocation of dead temporaries (paper §4: the run-time
+    // library allocates *and de-allocates*). Always runs — it is
+    // memory hygiene, not an optimization.
+    let _frees = insert_frees(&mut ir);
+
+    // Pass 7: C emission.
+    let c_source = emit_c(&ir);
+
+    Ok(Compiled { ir, inference, c_source, peephole_stats, data_dir: opts.data_dir.clone() })
+}
+
+/// Convenience: compile with no M-files and defaults.
+pub fn compile_str(src: &str) -> Result<Compiled> {
+    compile(src, &otter_frontend::EmptyProvider, &CompileOptions::default())
+}
+
+impl Compiled {
+    /// The IR rendered for debugging.
+    pub fn ir_text(&self) -> String {
+        otter_ir::display::program_to_string(&self.ir)
+    }
+}
+
+// Re-exported for bench/ablation callers.
+pub use otter_codegen::peephole::PeepholeStats as Pass6Stats;
+
+#[allow(unused_imports)]
+use OtterError as _;

@@ -1,0 +1,178 @@
+//! The three execution engines the paper's evaluation compares, behind
+//! one API: run a MATLAB script, get a workspace, the display output,
+//! and a **modeled execution time** on a chosen machine.
+//!
+//! * [`run_interpreter`] — The MathWorks-interpreter stand-in (the
+//!   baseline of every figure).
+//! * [`run_matcom`] — MATCOM-style sequential compiled code: same
+//!   evaluator, compiled-code cost coefficients.
+//! * [`run_otter`] — the real pipeline: compile to SPMD IR, execute on
+//!   `p` ranks over the machine model, modeled time = slowest rank's
+//!   virtual clock.
+
+use crate::compile::{compile, CompileOptions, Compiled};
+use crate::error::{OtterError, Result};
+use crate::exec::{ExecOptions, Executor, XVal};
+use otter_interp::{assemble_program, Interp, Value};
+use otter_machine::{ExecutionStyle, Machine};
+use otter_mpi::run_spmd;
+use otter_rt::Dense;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// A machine-independent run result: final workspace (fully gathered),
+/// display output, and the modeled wall-clock seconds on the machine
+/// the run was configured with.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    pub workspace: HashMap<String, Value>,
+    pub output: String,
+    /// Modeled execution time in seconds.
+    pub modeled_seconds: f64,
+    /// Total messages sent (0 for sequential engines).
+    pub messages: u64,
+    /// Total bytes sent (0 for sequential engines).
+    pub bytes: u64,
+    /// Largest per-rank high-water mark of live matrix memory
+    /// (the paper's §7 claim: distributed blocks shrink per-CPU
+    /// memory, so bigger problems fit).
+    pub peak_rank_bytes: usize,
+}
+
+impl EngineRun {
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.workspace.get(name).and_then(|v| v.as_scalar())
+    }
+
+    pub fn matrix(&self, name: &str) -> Option<Dense> {
+        self.workspace.get(name).and_then(|v| v.to_matrix())
+    }
+}
+
+/// Common configuration for baseline (sequential) runs.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineOptions {
+    pub data_dir: Option<PathBuf>,
+    pub m_files: Option<otter_frontend::MapProvider>,
+}
+
+fn run_sequential(
+    src: &str,
+    style: ExecutionStyle,
+    machine: &Machine,
+    opts: &BaselineOptions,
+) -> Result<EngineRun> {
+    let empty = otter_frontend::MapProvider::new();
+    let provider = opts.m_files.as_ref().unwrap_or(&empty);
+    let program = assemble_program(src, provider)?;
+    let mut interp = Interp::with_style(program, style);
+    interp.data_dir = opts.data_dir.clone();
+    interp.run()?;
+    let modeled = interp.meter.seconds_on(&machine.cpu);
+    // The interpreter's peak: high-water mark of the named workspace
+    // on one CPU (expression temporaries excluded on both sides'
+    // "named values" views; the SPMD executor's compiler temporaries
+    // ARE named, so its figure is the more conservative one).
+    let peak: usize = interp.peak_workspace_bytes;
+    Ok(EngineRun {
+        workspace: interp.workspace(),
+        output: interp.output.clone(),
+        modeled_seconds: modeled,
+        messages: 0,
+        bytes: 0,
+        peak_rank_bytes: peak,
+    })
+}
+
+/// Run the MathWorks-interpreter baseline on one CPU of `machine`.
+pub fn run_interpreter(src: &str, machine: &Machine, opts: &BaselineOptions) -> Result<EngineRun> {
+    run_sequential(src, ExecutionStyle::Interpreter, machine, opts)
+}
+
+/// Run the MATCOM-compiler baseline on one CPU of `machine`.
+pub fn run_matcom(src: &str, machine: &Machine, opts: &BaselineOptions) -> Result<EngineRun> {
+    run_sequential(src, ExecutionStyle::Matcom, machine, opts)
+}
+
+/// Run a compiled program on `p` CPUs of `machine`. The workspace is
+/// gathered from the distributed final state (all ranks agree; rank 0
+/// reports).
+pub fn run_compiled(compiled: &Compiled, machine: &Machine, p: usize) -> Result<EngineRun> {
+    let ir = compiled.ir.clone();
+    let exec_opts = ExecOptions { data_dir: compiled.data_dir.clone(), ..Default::default() };
+    let results = run_spmd(machine, p, move |comm| {
+        let opts = exec_opts.clone();
+        let executor = Executor::new(&ir, comm, opts);
+        let outcome = executor.run();
+        match outcome {
+            Ok(o) => {
+                // The program is done: snapshot the modeled time and
+                // traffic counters now, before the reporting gathers
+                // below (which are not part of the benchmarked
+                // computation).
+                let finished_at = comm.clock();
+                let finished_stats = comm.stats();
+                // Gather every matrix so rank 0 can report a
+                // machine-independent workspace. Iterate in sorted
+                // order: gathers are collectives, so every rank must
+                // visit variables in the same sequence.
+                let mut names: Vec<&String> = o.workspace.keys().collect();
+                names.sort();
+                let mut ws: HashMap<String, Value> = HashMap::new();
+                for name in names {
+                    let val = &o.workspace[name];
+                    match val {
+                        XVal::S(v) => {
+                            ws.insert(name.clone(), Value::Scalar(*v));
+                        }
+                        XVal::M(m) => {
+                            let full = m.gather_all(comm);
+                            ws.insert(name.clone(), Value::Matrix(full).normalized());
+                        }
+                    }
+                }
+                Ok((ws, o.output, finished_at, o.peak_local_bytes, finished_stats))
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    });
+    // All ranks computed the same workspace; use rank 0's.
+    let mut iter = results.into_iter();
+    let first = iter.next().expect("at least one rank");
+    let (workspace, output, mut max_clock, mut peak_rank_bytes, fstats) =
+        first.value.map_err(OtterError::Execution)?;
+    let mut messages = fstats.messages_sent;
+    let mut bytes = fstats.bytes_sent;
+    for r in iter {
+        let (_, _, clock, peak, stats) = r.value.map_err(OtterError::Execution)?;
+        max_clock = max_clock.max(clock);
+        peak_rank_bytes = peak_rank_bytes.max(peak);
+        messages += stats.messages_sent;
+        bytes += stats.bytes_sent;
+    }
+    Ok(EngineRun {
+        workspace,
+        output,
+        modeled_seconds: max_clock,
+        messages,
+        bytes,
+        peak_rank_bytes,
+    })
+}
+
+/// Compile and run in one step (the Otter engine).
+pub fn run_otter(
+    src: &str,
+    machine: &Machine,
+    p: usize,
+    opts: &BaselineOptions,
+) -> Result<EngineRun> {
+    let empty = otter_frontend::MapProvider::new();
+    let provider = opts.m_files.as_ref().unwrap_or(&empty);
+    let compiled = compile(
+        src,
+        provider,
+        &CompileOptions { data_dir: opts.data_dir.clone(), no_peephole: false },
+    )?;
+    run_compiled(&compiled, machine, p)
+}

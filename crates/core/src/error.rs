@@ -1,0 +1,51 @@
+//! Unified driver error type.
+
+use std::fmt;
+
+/// Any failure along the compile-or-execute path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OtterError {
+    Frontend(String),
+    Analysis(String),
+    Codegen(String),
+    Execution(String),
+}
+
+impl fmt::Display for OtterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OtterError::Frontend(m) => write!(f, "front-end: {m}"),
+            OtterError::Analysis(m) => write!(f, "analysis: {m}"),
+            OtterError::Codegen(m) => write!(f, "codegen: {m}"),
+            OtterError::Execution(m) => write!(f, "execution: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OtterError {}
+
+impl From<otter_frontend::FrontendError> for OtterError {
+    fn from(e: otter_frontend::FrontendError) -> Self {
+        OtterError::Frontend(e.to_string())
+    }
+}
+
+impl From<otter_analysis::AnalysisError> for OtterError {
+    fn from(e: otter_analysis::AnalysisError) -> Self {
+        OtterError::Analysis(e.to_string())
+    }
+}
+
+impl From<otter_codegen::CodegenError> for OtterError {
+    fn from(e: otter_codegen::CodegenError) -> Self {
+        OtterError::Codegen(e.to_string())
+    }
+}
+
+impl From<otter_interp::InterpError> for OtterError {
+    fn from(e: otter_interp::InterpError) -> Self {
+        OtterError::Execution(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, OtterError>;

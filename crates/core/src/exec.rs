@@ -1,0 +1,674 @@
+//! SPMD execution of compiled IR.
+//!
+//! One [`Executor`] runs per rank, exactly like the generated C
+//! program would run per MPI process: replicated scalars live in a
+//! per-rank environment, distributed matrices are `otter-rt`
+//! [`DistMatrix`] objects, and every communication-bearing instruction
+//! calls the run-time library, which talks MPI (here: `otter-mpi`).
+//!
+//! The executor charges compiled-code ("Otter") cost coefficients to
+//! the rank's virtual clock: a tiny dispatch charge per instruction
+//! plus a run-time-library call overhead, with element work charged
+//! inside the run-time library itself.
+
+use crate::error::{OtterError, Result};
+use otter_ir::*;
+use otter_machine::{ExecutionStyle, StyleCosts};
+use otter_mpi::Comm;
+use otter_rt::{io as rtio, Dense, DistMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// A run-time value: replicated scalar or distributed matrix.
+#[derive(Debug, Clone)]
+pub enum XVal {
+    S(f64),
+    M(DistMatrix),
+}
+
+impl XVal {
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            XVal::S(v) => Some(*v),
+            XVal::M(_) => None,
+        }
+    }
+
+    pub fn as_matrix(&self) -> Option<&DistMatrix> {
+        match self {
+            XVal::M(m) => Some(m),
+            XVal::S(_) => None,
+        }
+    }
+}
+
+/// Why a block stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+}
+
+/// Options controlling one SPMD execution.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    pub data_dir: Option<PathBuf>,
+    /// Seed for `rand` matrix initializers (replicated across ranks so
+    /// every rank agrees on the data).
+    pub rand_seed: u64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { data_dir: None, rand_seed: 0x07732 }
+    }
+}
+
+/// Per-rank executor state.
+pub struct Executor<'a> {
+    program: &'a IrProgram,
+    comm: &'a mut Comm,
+    costs: StyleCosts,
+    opts: ExecOptions,
+    /// Scope stack; last is current. Scope 0 is the script workspace.
+    scopes: Vec<HashMap<String, XVal>>,
+    /// Output the root rank accumulates (None elsewhere).
+    pub output: String,
+    /// Monotone counter making successive `rand` calls draw different
+    /// (but rank-replicated) streams.
+    rand_calls: u64,
+    /// High-water mark of live distributed-matrix bytes on this rank
+    /// (the paper's §7 memory argument: each rank holds only its
+    /// blocks, so the aggregate machine admits problems a single
+    /// workstation cannot hold).
+    peak_local_bytes: usize,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(program: &'a IrProgram, comm: &'a mut Comm, opts: ExecOptions) -> Self {
+        Executor {
+            program,
+            comm,
+            costs: ExecutionStyle::Otter.costs(),
+            opts,
+            scopes: vec![HashMap::new()],
+            output: String::new(),
+            rand_calls: 0,
+            peak_local_bytes: 0,
+        }
+    }
+
+    /// Run the whole program; returns the final script workspace.
+    pub fn run(mut self) -> Result<ExecOutcome> {
+        let main = &self.program.main;
+        self.exec_block(main)?;
+        self.note_memory();
+        let workspace = self.scopes.pop().expect("script scope");
+        Ok(ExecOutcome {
+            workspace,
+            output: self.output,
+            peak_local_bytes: self.peak_local_bytes,
+        })
+    }
+
+    /// Update the local-memory high-water mark from the live scopes.
+    fn note_memory(&mut self) {
+        let live: usize = self
+            .scopes
+            .iter()
+            .flat_map(|env| env.values())
+            .map(|v| match v {
+                XVal::M(m) => m.local_els() * std::mem::size_of::<f64>(),
+                XVal::S(_) => std::mem::size_of::<f64>(),
+            })
+            .sum();
+        self.peak_local_bytes = self.peak_local_bytes.max(live);
+    }
+
+    fn env(&mut self) -> &mut HashMap<String, XVal> {
+        self.scopes.last_mut().expect("scope stack never empty")
+    }
+
+    fn get(&self, name: &str) -> Result<&XVal> {
+        self.scopes
+            .last()
+            .unwrap()
+            .get(name)
+            .ok_or_else(|| OtterError::Execution(format!("undefined IR variable `{name}`")))
+    }
+
+    fn get_mat(&self, name: &str) -> Result<&DistMatrix> {
+        self.get(name)?.as_matrix().ok_or_else(|| {
+            OtterError::Execution(format!("IR variable `{name}` is not a matrix"))
+        })
+    }
+
+    fn get_scalar(&self, name: &str) -> Result<f64> {
+        self.get(name)?.as_scalar().ok_or_else(|| {
+            OtterError::Execution(format!("IR variable `{name}` is not a scalar"))
+        })
+    }
+
+    // ---- scalar expressions ---------------------------------------------
+
+    fn eval_s(&self, e: &SExpr) -> Result<f64> {
+        self.eval_s_own(e, None)
+    }
+
+    fn eval_s_own(&self, e: &SExpr, own: Option<f64>) -> Result<f64> {
+        Ok(match e {
+            SExpr::Const(v) => *v,
+            SExpr::Var(n) => self.get_scalar(n)?,
+            SExpr::DimOf { var, sel } => {
+                let m = self.get_mat(var)?;
+                match sel {
+                    DimSel::Rows => m.rows() as f64,
+                    DimSel::Cols => m.cols() as f64,
+                    DimSel::Length => m.rows().max(m.cols()) as f64,
+                    DimSel::Numel => m.len() as f64,
+                }
+            }
+            SExpr::OwnElem => own.ok_or_else(|| {
+                OtterError::Execution("OwnElem outside an owner guard".into())
+            })?,
+            SExpr::Neg(x) => -self.eval_s_own(x, own)?,
+            SExpr::Not(x) => f64::from(self.eval_s_own(x, own)? == 0.0),
+            SExpr::Bin(op, a, b) => op.eval(self.eval_s_own(a, own)?, self.eval_s_own(b, own)?),
+            SExpr::Call(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval_s_own(a, own)?);
+                }
+                f.eval(&vals)
+            }
+        })
+    }
+
+    /// A 1-based MATLAB index to 0-based usize.
+    fn eval_index(&self, e: &SExpr) -> Result<usize> {
+        let v = self.eval_s(e)?;
+        if v < 1.0 || v.fract() != 0.0 {
+            return Err(OtterError::Execution(format!("index {v} is not a positive integer")));
+        }
+        Ok(v as usize - 1)
+    }
+
+    // ---- element-wise loops ------------------------------------------------
+
+    fn exec_elemwise(&mut self, dst: &str, expr: &EwExpr) -> Result<()> {
+        // Gather operand names, check alignment, snapshot local slices.
+        let mut names = Vec::new();
+        expr.mat_operands(&mut names);
+        let first = names.first().cloned().ok_or_else(|| {
+            OtterError::Execution("element-wise loop without matrix operands".into())
+        })?;
+        let model = self.get_mat(&first)?.clone();
+        for n in &names {
+            let m = self.get_mat(n)?;
+            if !m.aligned_with(&model) {
+                return Err(OtterError::Execution(format!(
+                    "element-wise operands `{first}` and `{n}` are not aligned \
+                     ({}x{} vs {}x{})",
+                    model.rows(),
+                    model.cols(),
+                    m.rows(),
+                    m.cols()
+                )));
+            }
+        }
+        let len = model.local_els();
+        let mut out = vec![0.0; len];
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.eval_ew(expr, k)?;
+        }
+        self.comm.compute(len as f64 * expr.flop_weight().max(1.0));
+        let result = model.with_local(out);
+        self.env().insert(dst.to_string(), XVal::M(result));
+        Ok(())
+    }
+
+    fn eval_ew(&self, e: &EwExpr, k: usize) -> Result<f64> {
+        Ok(match e {
+            EwExpr::Mat(m) => self.get_mat(m)?.local()[k],
+            EwExpr::Scalar(s) => self.eval_s(s)?,
+            EwExpr::Neg(x) => -self.eval_ew(x, k)?,
+            EwExpr::Not(x) => f64::from(self.eval_ew(x, k)? == 0.0),
+            EwExpr::Bin(op, a, b) => op.eval(self.eval_ew(a, k)?, self.eval_ew(b, k)?),
+            EwExpr::Call(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval_ew(a, k)?);
+                }
+                f.eval(&vals)
+            }
+        })
+    }
+
+    // ---- instructions ---------------------------------------------------------
+
+    fn exec_block(&mut self, block: &[Instr]) -> Result<Flow> {
+        for i in block {
+            match self.exec_instr(i)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_instr(&mut self, i: &Instr) -> Result<Flow> {
+        // Compiled-code dispatch charge.
+        self.comm.compute(self.costs.statement_dispatch);
+        self.note_memory();
+        match i {
+            Instr::AssignScalar { dst, src } => {
+                let v = self.eval_s(src)?;
+                self.env().insert(dst.clone(), XVal::S(v));
+            }
+            Instr::InitMatrix { dst, init } => {
+                self.comm.compute(self.costs.op_overhead);
+                let m = self.exec_init(init)?;
+                self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::CopyMatrix { dst, src } => {
+                let m = self.get_mat(src)?.clone();
+                self.comm.compute(m.local_els() as f64);
+                self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::LoadFile { dst, path } => {
+                self.comm.compute(self.costs.op_overhead);
+                let full = match &self.opts.data_dir {
+                    Some(d) => d.join(path),
+                    None => PathBuf::from(path),
+                };
+                let m = rtio::load_distributed(self.comm, &full)
+                    .map_err(OtterError::Execution)?;
+                self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::ElemWise { dst, expr } => {
+                self.comm.compute(self.costs.op_overhead);
+                self.exec_elemwise(dst, expr)?;
+            }
+            Instr::MatMul { dst, a, b } => {
+                self.comm.compute(self.costs.op_overhead);
+                let (a, b) = (self.get_mat(a)?.clone(), self.get_mat(b)?.clone());
+                let m = a.matmul(self.comm, &b);
+                self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::MatVec { dst, a, x } => {
+                self.comm.compute(self.costs.op_overhead);
+                let (a, x) = (self.get_mat(a)?.clone(), self.get_mat(x)?.clone());
+                let m = a.matvec(self.comm, &x);
+                self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::Outer { dst, u, v } => {
+                self.comm.compute(self.costs.op_overhead);
+                let (u, v) = (self.get_mat(u)?.clone(), self.get_mat(v)?.clone());
+                let m = DistMatrix::outer(self.comm, &u, &v);
+                self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::Transpose { dst, a } => {
+                self.comm.compute(self.costs.op_overhead);
+                let a = self.get_mat(a)?.clone();
+                let m = a.transpose(self.comm);
+                self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::BroadcastElem { dst, m, i, j } => {
+                self.comm.compute(self.costs.op_overhead);
+                let mi = self.eval_index(i)?;
+                let mat = self.get_mat(m)?.clone();
+                let (r, c) = match j {
+                    Some(j) => (mi, self.eval_index(j)?),
+                    None => linear_to_rc(&mat, mi)?,
+                };
+                let v = mat.get_bcast(self.comm, r, c);
+                self.env().insert(dst.clone(), XVal::S(v));
+            }
+            Instr::StoreElem { m, i, j, val } => {
+                let mi = self.eval_index(i)?;
+                let mat = self.get_mat(m)?;
+                let (r, c) = match j {
+                    Some(j) => (mi, self.eval_index(j)?),
+                    None => linear_to_rc(mat, mi)?,
+                };
+                // Owner-computes: only the owner evaluates and stores.
+                let is_owner = mat.is_owner(r, c);
+                if is_owner {
+                    let own = mat.get_local(r, c);
+                    let v = self.eval_s_own(val, Some(own))?;
+                    let name = m.clone();
+                    let XVal::M(stored) = self.env().get_mut(&name).unwrap() else {
+                        unreachable!("checked matrix above")
+                    };
+                    stored.set_if_owner(r, c, v);
+                }
+                self.comm.compute(1.0);
+            }
+            Instr::Reduce { dst, op, m } => {
+                self.comm.compute(self.costs.op_overhead);
+                let mat = self.get_mat(m)?.clone();
+                let v = match op {
+                    RedOp::SumAll => mat.sum_all(self.comm),
+                    RedOp::MeanAll => mat.mean_all(self.comm),
+                    RedOp::MaxAll => mat.max_all(self.comm),
+                    RedOp::MinAll => mat.min_all(self.comm),
+                    RedOp::ProdAll => mat.prod_all(self.comm),
+                    RedOp::AnyAll => mat.any_all(self.comm),
+                    RedOp::AllAll => mat.all_all(self.comm),
+                    RedOp::Norm2 => mat.norm2(self.comm),
+                    RedOp::Trapz => mat.trapz(self.comm),
+                };
+                self.env().insert(dst.clone(), XVal::S(v));
+            }
+            Instr::Dot { dst, a, b } => {
+                self.comm.compute(self.costs.op_overhead);
+                let (a, b) = (self.get_mat(a)?.clone(), self.get_mat(b)?.clone());
+                let v = a.dot(self.comm, &b);
+                self.env().insert(dst.clone(), XVal::S(v));
+            }
+            Instr::TrapzXY { dst, x, y } => {
+                self.comm.compute(self.costs.op_overhead);
+                let (x, y) = (self.get_mat(x)?.clone(), self.get_mat(y)?.clone());
+                let v = DistMatrix::trapz_xy(self.comm, &x, &y);
+                self.env().insert(dst.clone(), XVal::S(v));
+            }
+            Instr::ColReduce { dst, op, m } => {
+                self.comm.compute(self.costs.op_overhead);
+                let mat = self.get_mat(m)?.clone();
+                let r = match op {
+                    ColRedOp::Sum => mat.sum(self.comm),
+                    ColRedOp::Mean => mat.mean(self.comm),
+                    ColRedOp::Prod => mat.prod(self.comm),
+                    ColRedOp::Max => mat.max(self.comm),
+                    ColRedOp::Min => mat.min(self.comm),
+                    ColRedOp::Any => mat.any(self.comm),
+                    ColRedOp::All => mat.all(self.comm),
+                };
+                self.env().insert(dst.clone(), XVal::M(r));
+            }
+            Instr::Shift { dst, v, k } => {
+                self.comm.compute(self.costs.op_overhead);
+                let kk = self.eval_s(k)? as i64;
+                let vm = self.get_mat(v)?.clone();
+                let m = vm.circshift(self.comm, kk);
+                self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::ExtractRow { dst, m, i } => {
+                self.comm.compute(self.costs.op_overhead);
+                let mi = self.eval_index(i)?;
+                let mat = self.get_mat(m)?.clone();
+                let r = mat.extract_row(self.comm, mi);
+                self.env().insert(dst.clone(), XVal::M(r));
+            }
+            Instr::ExtractCol { dst, m, j } => {
+                self.comm.compute(self.costs.op_overhead);
+                let mj = self.eval_index(j)?;
+                let mat = self.get_mat(m)?.clone();
+                let c = mat.extract_col(self.comm, mj);
+                self.env().insert(dst.clone(), XVal::M(c));
+            }
+            Instr::AssignRow { m, i, v } => {
+                self.comm.compute(self.costs.op_overhead);
+                let mi = self.eval_index(i)?;
+                let vv = self.get_mat(v)?.clone();
+                let name = m.clone();
+                let mut mat = self.get_mat(&name)?.clone();
+                mat.assign_row(self.comm, mi, &vv);
+                self.env().insert(name, XVal::M(mat));
+            }
+            Instr::AssignCol { m, j, v } => {
+                self.comm.compute(self.costs.op_overhead);
+                let mj = self.eval_index(j)?;
+                let vv = self.get_mat(v)?.clone();
+                let name = m.clone();
+                let mut mat = self.get_mat(&name)?.clone();
+                mat.assign_col(self.comm, mj, &vv);
+                self.env().insert(name, XVal::M(mat));
+            }
+            Instr::ExtractRange { dst, v, lo, hi } => {
+                self.comm.compute(self.costs.op_overhead);
+                let l = self.eval_index(lo)?;
+                let h = self.eval_s(hi)? as usize; // inclusive 1-based == exclusive 0-based
+                let vm = self.get_mat(v)?.clone();
+                let m = vm.extract_range(self.comm, l, h);
+                self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::ExtractStrided { dst, v, lo, step, hi } => {
+                self.comm.compute(self.costs.op_overhead);
+                let l = self.eval_index(lo)?;
+                let st = self.eval_s(step)? as i64;
+                let h = self.eval_index(hi)?;
+                if st == 0 {
+                    return Err(OtterError::Execution("stride must be nonzero".into()));
+                }
+                let count = if (st > 0 && h >= l) || (st < 0 && h <= l) {
+                    ((h as i64 - l as i64) / st) as usize + 1
+                } else {
+                    0
+                };
+                let vm = self.get_mat(v)?.clone();
+                let m = vm.extract_strided(self.comm, l, st, count);
+                self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::FillRow { m, i, val } => {
+                self.comm.compute(self.costs.op_overhead);
+                let mi = self.eval_index(i)?;
+                let v = self.eval_s(val)?;
+                let name = m.clone();
+                let mut mat = self.get_mat(&name)?.clone();
+                mat.fill_row(self.comm, mi, v);
+                self.env().insert(name, XVal::M(mat));
+            }
+            Instr::FillCol { m, j, val } => {
+                self.comm.compute(self.costs.op_overhead);
+                let mj = self.eval_index(j)?;
+                let v = self.eval_s(val)?;
+                let name = m.clone();
+                let mut mat = self.get_mat(&name)?.clone();
+                mat.fill_col(self.comm, mj, v);
+                self.env().insert(name, XVal::M(mat));
+            }
+            Instr::FillRange { m, lo, hi, val } => {
+                self.comm.compute(self.costs.op_overhead);
+                let l = self.eval_index(lo)?;
+                let h = self.eval_s(hi)? as usize;
+                let v = self.eval_s(val)?;
+                let name = m.clone();
+                let mut mat = self.get_mat(&name)?.clone();
+                mat.fill_range(self.comm, l, h, v);
+                self.env().insert(name, XVal::M(mat));
+            }
+            Instr::AssignRange { m, lo, hi, v } => {
+                self.comm.compute(self.costs.op_overhead);
+                let l = self.eval_index(lo)?;
+                let h = self.eval_s(hi)? as usize;
+                let w = self.get_mat(v)?.clone();
+                let name = m.clone();
+                let mut mat = self.get_mat(&name)?.clone();
+                mat.assign_range(self.comm, l, h, &w);
+                self.env().insert(name, XVal::M(mat));
+            }
+            Instr::If { cond, then_body, else_body } => {
+                let c = self.eval_s(cond)?;
+                let body = if c != 0.0 { then_body } else { else_body };
+                return self.exec_block(body);
+            }
+            Instr::While { pre, cond, body } => loop {
+                if let f @ (Flow::Break | Flow::Continue) = self.exec_block(pre)? {
+                    return Err(OtterError::Execution(format!(
+                        "control flow {f:?} escaping a while condition"
+                    )));
+                }
+                if self.eval_s(cond)? == 0.0 {
+                    return Ok(Flow::Normal);
+                }
+                match self.exec_block(body)? {
+                    Flow::Break => return Ok(Flow::Normal),
+                    Flow::Normal | Flow::Continue => {}
+                }
+            },
+            Instr::For { var, start, step, stop, body } => {
+                let (s, st, p) =
+                    (self.eval_s(start)?, self.eval_s(step)?, self.eval_s(stop)?);
+                if st == 0.0 {
+                    return Err(OtterError::Execution("for-loop step is zero".into()));
+                }
+                let mut x = s;
+                while (st > 0.0 && x <= p) || (st < 0.0 && x >= p) {
+                    self.env().insert(var.clone(), XVal::S(x));
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    x += st;
+                }
+            }
+            Instr::Free { name } => {
+                self.env().remove(name);
+            }
+            Instr::Break => return Ok(Flow::Break),
+            Instr::Continue => return Ok(Flow::Continue),
+            Instr::Call { fun, args, outs } => {
+                self.comm.compute(self.costs.op_overhead);
+                let f = self.program.functions.get(fun).ok_or_else(|| {
+                    OtterError::Execution(format!("unknown IR function `{fun}`"))
+                })?;
+                let mut frame: HashMap<String, XVal> = HashMap::new();
+                for ((pname, prank), arg) in f.params.iter().zip(args) {
+                    let v = match (prank, arg) {
+                        (VarRank::Scalar, Arg::Scalar(s)) => XVal::S(self.eval_s(s)?),
+                        (VarRank::Matrix, Arg::Matrix(m)) => XVal::M(self.get_mat(m)?.clone()),
+                        _ => {
+                            return Err(OtterError::Execution(format!(
+                                "argument rank mismatch calling `{fun}`"
+                            )))
+                        }
+                    };
+                    frame.insert(pname.clone(), v);
+                }
+                self.scopes.push(frame);
+                let body_result = self.exec_block(&f.body);
+                let frame = self.scopes.pop().expect("call frame");
+                body_result?;
+                for ((oname, _), dst) in f.outs.iter().zip(outs) {
+                    let v = frame.get(oname).cloned().ok_or_else(|| {
+                        OtterError::Execution(format!(
+                            "output `{oname}` of `{fun}` never assigned"
+                        ))
+                    })?;
+                    self.env().insert(dst.clone(), v);
+                }
+            }
+            Instr::Print { name, target } => {
+                self.comm.compute(self.costs.op_overhead);
+                match target {
+                    PrintTarget::Scalar(s) => {
+                        let v = self.eval_s(s)?;
+                        if self.comm.rank() == 0 {
+                            self.output.push_str(&rtio::print_scalar(name, v));
+                        }
+                    }
+                    PrintTarget::Matrix(m) => {
+                        let mat = self.get_mat(m)?.clone();
+                        if let Some(text) = rtio::print_distributed(self.comm, name, &mat) {
+                            self.output.push_str(&text);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_init(&mut self, init: &MatInit) -> Result<DistMatrix> {
+        Ok(match init {
+            MatInit::Zeros { rows, cols } => {
+                let (r, c) = (self.eval_s(rows)? as usize, self.eval_s(cols)? as usize);
+                DistMatrix::zeros(self.comm, r, c)
+            }
+            MatInit::Ones { rows, cols } => {
+                let (r, c) = (self.eval_s(rows)? as usize, self.eval_s(cols)? as usize);
+                DistMatrix::ones(self.comm, r, c)
+            }
+            MatInit::Eye { n } => {
+                let n = self.eval_s(n)? as usize;
+                DistMatrix::eye(self.comm, n)
+            }
+            MatInit::Rand { rows, cols } => {
+                let (r, c) = (self.eval_s(rows)? as usize, self.eval_s(cols)? as usize);
+                // Replicated stream: every rank generates the full
+                // matrix from the same seed and keeps its block, so
+                // the data is identical no matter how many CPUs run.
+                self.rand_calls += 1;
+                let mut rng =
+                    StdRng::seed_from_u64(self.opts.rand_seed.wrapping_add(self.rand_calls));
+                let data: Vec<f64> = (0..r * c).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let dense = Dense::from_vec(r, c, data);
+                self.comm.compute((r * c) as f64 * 4.0);
+                DistMatrix::from_replicated(self.comm, &dense)
+            }
+            MatInit::Range { start, step, stop } => {
+                let (s, st, p) =
+                    (self.eval_s(start)?, self.eval_s(step)?, self.eval_s(stop)?);
+                DistMatrix::range(self.comm, s, st, p)
+            }
+            MatInit::Literal { rows } => {
+                let mut data = Vec::new();
+                let (nr, nc) = (rows.len(), rows.first().map_or(0, |r| r.len()));
+                for row in rows {
+                    for cell in row {
+                        data.push(self.eval_s(cell)?);
+                    }
+                }
+                let dense = Dense::from_vec(nr, nc, data);
+                DistMatrix::from_replicated(self.comm, &dense)
+            }
+            MatInit::Linspace { a, b, n } => {
+                let (a, b) = (self.eval_s(a)?, self.eval_s(b)?);
+                let n = self.eval_s(n)? as usize;
+                let dense = if n < 2 {
+                    Dense::row_vector(&[b])
+                } else {
+                    let step = (b - a) / (n - 1) as f64;
+                    Dense::row_vector(
+                        &(0..n).map(|i| a + step * i as f64).collect::<Vec<_>>(),
+                    )
+                };
+                DistMatrix::from_replicated(self.comm, &dense)
+            }
+        })
+    }
+}
+
+/// Convert a linear (column-major) 0-based index into (row, col).
+fn linear_to_rc(m: &DistMatrix, k: usize) -> Result<(usize, usize)> {
+    if k >= m.len() {
+        return Err(OtterError::Execution(format!(
+            "linear index {} out of bounds ({} elements)",
+            k + 1,
+            m.len()
+        )));
+    }
+    if m.is_vector() {
+        // Vectors index along their length.
+        if m.rows() == 1 {
+            Ok((0, k))
+        } else {
+            Ok((k, 0))
+        }
+    } else {
+        // Column-major like MATLAB.
+        Ok((k % m.rows(), k / m.rows()))
+    }
+}
+
+/// Result of one rank's execution.
+pub struct ExecOutcome {
+    pub workspace: HashMap<String, XVal>,
+    pub output: String,
+    /// High-water mark of this rank's live distributed-matrix bytes.
+    pub peak_local_bytes: usize,
+}

@@ -1,0 +1,41 @@
+//! # otter-core
+//!
+//! The Otter compiler driver and execution engines — the paper's
+//! primary contribution assembled from the substrate crates:
+//!
+//! ```text
+//! MATLAB script ──► otter-frontend (scan/parse)
+//!                ──► otter-analysis (resolve, SSA, inference)
+//!                ──► otter-codegen (rewrite → IR, peephole, C text)
+//!                ──► otter-core::exec (SPMD execution over otter-rt / otter-mpi)
+//! ```
+//!
+//! Three engines mirror the paper's evaluation:
+//! [`run_interpreter`] (the MathWorks baseline),
+//! [`run_matcom`] (the commercial sequential compiler baseline), and
+//! [`run_otter`] (compile + SPMD execution on a modeled machine).
+//!
+//! ```
+//! use otter_core::{compile_str, run_compiled};
+//! use otter_machine::meiko_cs2;
+//!
+//! let compiled = compile_str("a = [1, 2; 3, 4];\nb = a * a;\ns = sum(b(:, 1));").unwrap();
+//! assert!(compiled.c_source.contains("ML_matrix_multiply"));
+//! let run = run_compiled(&compiled, &meiko_cs2(), 4).unwrap();
+//! assert_eq!(run.scalar("s"), Some(22.0));
+//! ```
+
+pub mod compile;
+pub mod engines;
+pub mod error;
+pub mod exec;
+
+pub use compile::{compile, compile_str, CompileOptions, Compiled};
+pub use engines::{
+    run_compiled, run_interpreter, run_matcom, run_otter, BaselineOptions, EngineRun,
+};
+pub use error::OtterError;
+pub use exec::{ExecOptions, Executor, XVal};
+
+#[cfg(test)]
+mod tests;

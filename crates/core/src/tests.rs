@@ -1,0 +1,475 @@
+//! End-to-end pipeline tests: compile → SPMD-execute → compare against
+//! the interpreter oracle at several processor counts.
+
+use crate::*;
+use otter_frontend::MapProvider;
+use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation};
+use otter_rt::Dense;
+
+/// Compile a script and execute on `p` CPUs; panic on any failure.
+fn otter(src: &str, p: usize) -> EngineRun {
+    let compiled = compile_str(src).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
+    run_compiled(&compiled, &meiko_cs2(), p)
+        .unwrap_or_else(|e| panic!("exec(p={p}): {e}\n{src}"))
+}
+
+/// Oracle comparison: compiled result equals interpreter result for
+/// every listed variable, at several processor counts.
+fn check_matches_interpreter(src: &str, vars: &[&str]) {
+    let base = run_interpreter(src, &workstation(), &BaselineOptions::default())
+        .unwrap_or_else(|e| panic!("interp: {e}\n{src}"));
+    for p in [1usize, 2, 3, 4, 8] {
+        let run = otter(src, p);
+        for v in vars {
+            let a = base.workspace.get(*v).unwrap_or_else(|| panic!("interp lacks {v}"));
+            let b = run.workspace.get(*v).unwrap_or_else(|| panic!("otter lacks {v}"));
+            match (a.to_matrix(), b.to_matrix()) {
+                (Some(ma), Some(mb)) => {
+                    assert_eq!(
+                        (ma.rows(), ma.cols()),
+                        (mb.rows(), mb.cols()),
+                        "{v} shape, p={p}"
+                    );
+                    for (x, y) in ma.data().iter().zip(mb.data()) {
+                        assert!(
+                            (x - y).abs() <= 1e-9 * (1.0 + x.abs()),
+                            "{v}: {x} vs {y} (p={p})"
+                        );
+                    }
+                }
+                _ => panic!("{v} not numeric"),
+            }
+        }
+    }
+}
+
+#[test]
+fn scalar_pipeline() {
+    let run = otter("x = 2 + 3 * 4;\ny = x ^ 2;", 2);
+    assert_eq!(run.scalar("x"), Some(14.0));
+    assert_eq!(run.scalar("y"), Some(196.0));
+}
+
+#[test]
+fn paper_example_compiles_and_runs() {
+    // a = b * c + d(i,j) — the §3 running example, end to end.
+    let src = "n = 6;\nb = ones(n, n);\nc = ones(n, n);\nd = eye(n);\ni = 1;\nj = 1;\na = b * c + d(i, j);\ns = sum(sum(a));";
+    check_matches_interpreter(src, &["a", "s"]);
+}
+
+#[test]
+fn paper_owner_store_example() {
+    let src = "n = 5;\na = ones(n, n);\nb = ones(n, n);\nb(2, 3) = 4;\ni = 2;\nj = 3;\na(i, j) = a(i, j) / b(j, i);\ns = sum(sum(a));";
+    check_matches_interpreter(src, &["a", "s"]);
+}
+
+#[test]
+fn elementwise_fusion_matches() {
+    let src = "n = 7;\nx = ones(n, 1);\ny = 2 * x + x .* x - x / 4;\ns = sum(y);";
+    check_matches_interpreter(src, &["y", "s"]);
+}
+
+#[test]
+fn matvec_and_dot() {
+    let src = "n = 8;\nA = eye(n);\nv = ones(n, 1);\nw = A * v;\nd = v' * w;";
+    check_matches_interpreter(src, &["w", "d"]);
+}
+
+#[test]
+fn transpose_roundtrip() {
+    let src = "a = [1, 2, 3; 4, 5, 6];\nb = a';\nc = b';\ns = sum(sum(c - a));";
+    check_matches_interpreter(src, &["b", "s"]);
+}
+
+#[test]
+fn control_flow_loops() {
+    let src = "s = 0;\nfor i = 1:50\nif mod(i, 3) == 0\ns = s + i;\nend\nend\nk = 0;\nwhile k < 10\nk = k + 2;\nend";
+    check_matches_interpreter(src, &["s", "k"]);
+}
+
+#[test]
+fn ranges_and_reductions() {
+    let src = "v = 1:100;\ns = sum(v);\nm = mean(v);\nx = max(v);\nn2 = norm(v);";
+    check_matches_interpreter(src, &["s", "m", "x", "n2"]);
+}
+
+#[test]
+fn row_and_column_slices() {
+    let src = "a = [1, 2, 3; 4, 5, 6; 7, 8, 9];\nr = a(2, :);\nc = a(:, 3);\na(1, :) = r;\na(:, 2) = c;\ns = sum(sum(a));";
+    check_matches_interpreter(src, &["r", "c", "a", "s"]);
+}
+
+#[test]
+fn vector_range_extraction() {
+    let src = "v = 10:10:100;\nw = v(3:7);\ns = sum(w);";
+    check_matches_interpreter(src, &["w", "s"]);
+}
+
+#[test]
+fn circshift_compiled() {
+    let src = "v = 1:9;\nw = circshift(v, 2);\nu = circshift(v, -4);\ns = sum(w .* u);";
+    check_matches_interpreter(src, &["w", "u", "s"]);
+}
+
+#[test]
+fn trapz_compiled() {
+    let src = "x = 0:10;\ny = x .* x;\na = trapz(y);\nb = trapz2(x, y);";
+    check_matches_interpreter(src, &["a", "b"]);
+}
+
+#[test]
+fn user_functions_compiled() {
+    let m = MapProvider::new()
+        .with("scale2", "function y = scale2(v, s)\ny = v .* s;\n")
+        .with("norm_diff", "function d = norm_diff(a, b)\nd = norm(a - b);\n");
+    let src = "v = ones(6, 1);\nw = scale2(v, 3);\nd = norm_diff(w, v);";
+    let opts = BaselineOptions { m_files: Some(m.clone()), data_dir: None };
+    let base = run_interpreter(src, &workstation(), &opts).unwrap();
+    let run = run_otter(src, &meiko_cs2(), 3, &opts).unwrap();
+    assert_eq!(base.scalar("d"), run.scalar("d"));
+    assert!((run.scalar("d").unwrap() - (2.0f64 * 2.0 * 6.0).sqrt()).abs() < 1e-12);
+}
+
+#[test]
+fn outer_product_compiled() {
+    let src = "u = [1; 2; 3];\nv = [4, 5];\nm = u * v;\ns = sum(sum(m));";
+    check_matches_interpreter(src, &["m", "s"]);
+}
+
+#[test]
+fn matrix_sum_columns() {
+    let src = "a = [1, 2; 3, 4; 5, 6];\ncs = sum(a);\ncm = mean(a);";
+    check_matches_interpreter(src, &["cs", "cm"]);
+}
+
+#[test]
+fn ssa_rank_change_through_pipeline() {
+    let src = "x = 2;\ny = x + 1;\nx = [1, 2, 3];\nz = x(2) + y;";
+    check_matches_interpreter(src, &["z"]);
+}
+
+#[test]
+fn end_keyword_in_compiled_code() {
+    let src = "v = 1:10;\na = v(end);\nb = v(end - 3);\nw = v(2:end);\ns = sum(w);";
+    check_matches_interpreter(src, &["a", "b", "s"]);
+}
+
+#[test]
+fn display_output_on_root_only() {
+    let compiled = compile_str("x = 41 + 1\n").unwrap();
+    let run = run_compiled(&compiled, &meiko_cs2(), 4).unwrap();
+    assert!(run.output.contains("x ="), "{}", run.output);
+    assert!(run.output.contains("42"), "{}", run.output);
+}
+
+#[test]
+fn c_source_contains_runtime_calls() {
+    let compiled = compile_str(
+        "n = 4;\nb = ones(n, n);\nc = ones(n, n);\nd = eye(n);\ni = 2;\nj = 2;\na = b * c + d(i, j);",
+    )
+    .unwrap();
+    let c = &compiled.c_source;
+    assert!(c.contains("ML_matrix_multiply"), "{c}");
+    assert!(c.contains("ML_broadcast"), "{c}");
+    assert!(c.contains("realbase["), "{c}");
+    assert!(c.contains("int main(int argc, char **argv)"), "{c}");
+}
+
+#[test]
+fn peephole_reduces_instruction_count() {
+    let src = "n = 32;\nv = ones(n, 1);\nw = ones(n, 1);\nd = sum(v .* w);";
+    let with = compile_str(src).unwrap();
+    let without = compile(
+        src,
+        &otter_frontend::EmptyProvider,
+        &CompileOptions { no_peephole: true, ..Default::default() },
+    )
+    .unwrap();
+    assert!(with.peephole_stats.dots_fused >= 1, "{:?}", with.peephole_stats);
+    assert!(with.ir.instr_count() < without.ir.instr_count());
+    // Same answer either way.
+    let a = run_compiled(&with, &meiko_cs2(), 4).unwrap();
+    let b = run_compiled(&without, &meiko_cs2(), 4).unwrap();
+    assert_eq!(a.scalar("d"), b.scalar("d"));
+    assert_eq!(a.scalar("d"), Some(32.0));
+}
+
+#[test]
+fn modeled_speedup_on_compute_bound_code() {
+    // A big matmul should speed up with more CPUs on the Meiko.
+    let src = "n = 64;\na = ones(n, n);\nb = ones(n, n);\nc = a * b;\ns = sum(sum(c));";
+    let compiled = compile_str(src).unwrap();
+    let t1 = run_compiled(&compiled, &meiko_cs2(), 1).unwrap().modeled_seconds;
+    let t8 = run_compiled(&compiled, &meiko_cs2(), 8).unwrap().modeled_seconds;
+    assert!(t8 < t1 / 3.0, "t1={t1} t8={t8}");
+}
+
+#[test]
+fn interpreter_slower_than_compiled_modeled() {
+    let src = "n = 50;\ns = 0;\nfor i = 1:n\ns = s + i * i;\nend";
+    let b = BaselineOptions::default();
+    let interp = run_interpreter(src, &workstation(), &b).unwrap();
+    let matcom = run_matcom(src, &workstation(), &b).unwrap();
+    let compiled = compile_str(src).unwrap();
+    let otter = run_compiled(&compiled, &workstation(), 1).unwrap();
+    assert!(interp.modeled_seconds > matcom.modeled_seconds);
+    assert!(matcom.modeled_seconds > otter.modeled_seconds * 0.1);
+    assert_eq!(interp.scalar("s"), otter.scalar("s"));
+}
+
+#[test]
+fn cluster_flattens_on_fine_grain_code() {
+    // O(n) work with reductions every iteration: the Ethernet cluster
+    // should benefit far less than the Meiko.
+    let src = "n = 2000;\nv = ones(n, 1);\ns = 0;\nfor it = 1:5\ns = s + sum(v);\nend";
+    let compiled = compile_str(src).unwrap();
+    let meiko_1 = run_compiled(&compiled, &meiko_cs2(), 1).unwrap().modeled_seconds;
+    let meiko_8 = run_compiled(&compiled, &meiko_cs2(), 8).unwrap().modeled_seconds;
+    let cl_1 = run_compiled(&compiled, &sparc20_cluster(), 1).unwrap().modeled_seconds;
+    let cl_8 = run_compiled(&compiled, &sparc20_cluster(), 8).unwrap().modeled_seconds;
+    let meiko_speedup = meiko_1 / meiko_8;
+    let cluster_speedup = cl_1 / cl_8;
+    assert!(
+        meiko_speedup > cluster_speedup,
+        "meiko {meiko_speedup} vs cluster {cluster_speedup}"
+    );
+}
+
+#[test]
+fn smp_limits_enforced() {
+    let compiled = compile_str("x = 1;").unwrap();
+    assert!(run_compiled(&compiled, &enterprise_smp(), 8).is_ok());
+}
+
+#[test]
+fn if_elseif_chain_compiled() {
+    for (x, expect) in [(-3.0, -1.0), (0.0, 0.0), (9.0, 1.0)] {
+        let src =
+            format!("x = {x};\nif x < 0\ny = -1;\nelseif x == 0\ny = 0;\nelse\ny = 1;\nend");
+        let run = otter(&src, 2);
+        assert_eq!(run.scalar("y"), Some(expect), "x={x}");
+    }
+}
+
+#[test]
+fn load_through_pipeline() {
+    let dir = std::env::temp_dir().join(format!("otter_core_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let m = Dense::from_vec(4, 3, (0..12).map(f64::from).collect());
+    otter_rt::io::write_matrix_file(&dir.join("input.dat"), &m).unwrap();
+    let src = "d = load('input.dat');\ns = sum(sum(d));";
+    let opts = BaselineOptions { data_dir: Some(dir.clone()), m_files: None };
+    let run = run_otter(src, &meiko_cs2(), 3, &opts).unwrap();
+    assert_eq!(run.scalar("s"), Some(66.0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn matlab_column_reduction_conventions() {
+    // max/min/prod/any/all follow sum's vector-vs-matrix conventions
+    // in both engines.
+    let src = "\
+a = [1, 5; 3, 2; 4, 9];
+cmax = max(a);
+cmin = min(a);
+cprod = prod(a);
+cany = any(a - 1);
+call_ = all(a - 1);
+v = [2, 0, 7];
+vmax = max(v);
+vprod = prod(v);
+vany = any(v);
+vall = all(v);
+s1 = sum(cmax) + sum(cmin) + sum(cprod);
+s2 = sum(cany) + sum(call_);
+";
+    check_matches_interpreter(src, &["vmax", "vprod", "vany", "vall", "s1", "s2"]);
+    let run = otter(src, 3);
+    assert_eq!(run.matrix("cmax").unwrap().data(), &[4.0, 9.0]);
+    assert_eq!(run.matrix("cmin").unwrap().data(), &[1.0, 2.0]);
+    assert_eq!(run.matrix("cprod").unwrap().data(), &[12.0, 90.0]);
+    assert_eq!(run.scalar("vmax"), Some(7.0));
+    assert_eq!(run.scalar("vprod"), Some(0.0));
+    assert_eq!(run.scalar("vany"), Some(1.0));
+    assert_eq!(run.scalar("vall"), Some(0.0));
+}
+
+#[test]
+fn any_all_on_predicates() {
+    let src = "\
+v = 1:10;
+bigv = any(v > 8);
+allpos = all(v > 0);
+nonebig = any(v > 100);
+";
+    check_matches_interpreter(src, &["bigv", "allpos", "nonebig"]);
+    let run = otter(src, 4);
+    assert_eq!(run.scalar("bigv"), Some(1.0));
+    assert_eq!(run.scalar("allpos"), Some(1.0));
+    assert_eq!(run.scalar("nonebig"), Some(0.0));
+}
+
+#[test]
+fn strided_indexing_compiled() {
+    let src = "\
+v = 1:20;
+odds = v(1:2:end);
+rev = v(end:-3:1);
+s1 = sum(odds);
+s2 = sum(rev);
+";
+    check_matches_interpreter(src, &["odds", "rev", "s1", "s2"]);
+}
+
+#[test]
+fn scalar_slice_fills_compiled() {
+    let src = "\
+a = ones(5, 4);
+a(2, :) = 0;
+a(:, 3) = 7;
+v = 1:10;
+v(3:6) = -1;
+w = 1:10;
+w(4:7) = [40, 50, 60, 70];
+s = sum(sum(a)) + sum(v) + sum(w);
+";
+    check_matches_interpreter(src, &["a", "v", "w", "s"]);
+}
+
+#[test]
+fn linear_indexing_on_matrices_is_column_major() {
+    let src = "\
+a = [1, 4; 2, 5; 3, 6];
+x = a(2);
+y = a(5);
+a(6) = 99;
+s = sum(sum(a));
+";
+    check_matches_interpreter(src, &["x", "y", "s"]);
+    let run = otter(src, 3);
+    assert_eq!(run.scalar("x"), Some(2.0), "column-major linear index");
+    assert_eq!(run.scalar("y"), Some(5.0));
+}
+
+#[test]
+fn nested_function_calls_compiled() {
+    let m = MapProvider::new()
+        .with("double_it", "function y = double_it(x)\ny = x * 2;\n")
+        .with(
+            "quadruple",
+            "function y = quadruple(x)\ny = double_it(double_it(x));\n",
+        );
+    let src = "v = ones(5, 1);\nw = quadruple(v);\ns = sum(w);";
+    let opts = BaselineOptions { m_files: Some(m), data_dir: None };
+    let run = run_otter(src, &meiko_cs2(), 3, &opts).unwrap();
+    assert_eq!(run.scalar("s"), Some(20.0));
+}
+
+#[test]
+fn function_with_control_flow_compiled() {
+    let m = MapProvider::new().with(
+        "clampv",
+        "function y = clampv(v, lo, hi)\ny = min(max(v, lo), hi);\n",
+    );
+    let src = "v = -3:3;\nw = clampv(v, -1, 2);\ns = sum(w);";
+    let opts = BaselineOptions { m_files: Some(m.clone()), data_dir: None };
+    let base = run_interpreter(src, &workstation(), &opts).unwrap();
+    let run = run_otter(src, &meiko_cs2(), 4, &opts).unwrap();
+    assert_eq!(base.scalar("s"), run.scalar("s"));
+    assert_eq!(run.scalar("s"), Some((-1 + -1 + -1 + 0 + 1 + 2 + 2) as f64));
+}
+
+#[test]
+fn deeply_nested_control_flow() {
+    let src = "\
+total = 0;
+for i = 1:4
+  for j = 1:4
+    if mod(i + j, 2) == 0
+      for k = 1:3
+        if k == 2
+          continue;
+        end
+        total = total + i * 100 + j * 10 + k;
+      end
+    else
+      while total < 0
+        total = total + 1;
+      end
+    end
+  end
+end
+";
+    check_matches_interpreter(src, &["total"]);
+}
+
+#[test]
+fn function_called_with_two_shapes() {
+    // The signature must widen to cover both call sites (a bug the
+    // property tests caught: re-inference previously used only the
+    // second call's shapes).
+    let m = MapProvider::new().with("total", "function s = total(v)\ns = sum(v);\n");
+    let src = "a = total(ones(6, 1));\nb = total(ones(9, 1));\nc = a + b;";
+    let opts = BaselineOptions { m_files: Some(m), data_dir: None };
+    let run = run_otter(src, &meiko_cs2(), 3, &opts).unwrap();
+    assert_eq!(run.scalar("c"), Some(15.0));
+}
+
+#[test]
+fn while_with_reduction_condition_through_pipeline() {
+    // Regression for the DCE-vs-while-condition liveness bug: the
+    // pre-block reduction feeding the loop test must survive pass 6.
+    let src = "\
+n = 64;
+r = ones(n, 1);
+it = 0;
+while norm(r) > 0.04 * n
+  r = r / 2;
+  it = it + 1;
+end
+final = norm(r);
+";
+    check_matches_interpreter(src, &["it", "final"]);
+    let run = otter(src, 4);
+    assert!(run.scalar("it").unwrap() >= 1.0);
+}
+
+#[test]
+fn per_rank_memory_shrinks_with_p() {
+    // Paper §7: "a parallel computer may have far more primary memory
+    // than an individual workstation" — each rank holds ~1/p of every
+    // matrix.
+    let src = "n = 128;\nu = (1:n) / n;\nA = u' * u + n * eye(n);\nb = A * ones(n, 1);\ns = norm(b);";
+    let compiled = compile_str(src).unwrap();
+    let p1 = run_compiled(&compiled, &meiko_cs2(), 1).unwrap().peak_rank_bytes;
+    let p8 = run_compiled(&compiled, &meiko_cs2(), 8).unwrap().peak_rank_bytes;
+    let ratio = p1 as f64 / p8 as f64;
+    assert!(
+        (6.0..10.0).contains(&ratio),
+        "peak per-rank memory must scale ~1/p: p1={p1} p8={p8} ratio={ratio}"
+    );
+}
+
+#[test]
+fn temporaries_are_freed() {
+    // Sequential temporary-heavy code must not accumulate temps: peak
+    // stays near one live matrix, not the sum of all intermediates.
+    let n = 64usize;
+    let src = format!(
+        "n = {n};\na = ones(n, n);\nfor it = 1:10\na = a + ones(n, n) * 0.1;\nend\ns = sum(sum(a));"
+    );
+    let compiled = compile_str(&src).unwrap();
+    assert!(
+        compiled.ir_text().contains("free "),
+        "frees must be inserted:\n{}",
+        compiled.ir_text()
+    );
+    let run = run_compiled(&compiled, &meiko_cs2(), 1).unwrap();
+    let one_matrix = n * n * 8;
+    assert!(
+        run.peak_rank_bytes < 4 * one_matrix,
+        "peak {} should be a few matrices, not 11+ ({})",
+        run.peak_rank_bytes,
+        11 * one_matrix
+    );
+}

@@ -1,0 +1,87 @@
+//! Integration tests for the `otterc` command-line compiler.
+
+use std::process::Command;
+
+fn otterc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_otterc"))
+}
+
+fn workdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("otterc_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn compiles_a_script_to_c() {
+    let dir = workdir("c");
+    let m = dir.join("demo.m");
+    std::fs::write(&m, "n = 8;\na = eye(n);\nv = ones(n, 1);\nw = a * v;\ns = sum(w);\n")
+        .unwrap();
+    let out = otterc().arg(&m).output().expect("otterc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let c = std::fs::read_to_string(dir.join("demo.c")).expect("demo.c written");
+    assert!(c.contains("ML_matrix_vector_multiply"), "{c}");
+    assert!(c.contains("int main(int argc, char **argv)"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn runs_a_script_and_prints_output() {
+    let dir = workdir("run");
+    let m = dir.join("hello.m");
+    std::fs::write(&m, "x = 6 * 7\n").unwrap();
+    let out = otterc()
+        .arg(&m)
+        .args(["--run", "-p", "4", "--machine", "meiko"])
+        .output()
+        .expect("otterc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("x ="), "{stdout}");
+    assert!(stdout.contains("42"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("modeled"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resolves_m_files_from_script_directory() {
+    let dir = workdir("mfiles");
+    std::fs::write(dir.join("triple.m"), "function y = triple(x)\ny = x * 3;\n").unwrap();
+    let m = dir.join("main.m");
+    std::fs::write(&m, "z = triple(14)\n").unwrap();
+    let out = otterc().arg(&m).args(["--run"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("42"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn emit_ir_prints_program() {
+    let dir = workdir("ir");
+    let m = dir.join("p.m");
+    std::fs::write(&m, "a = ones(4, 4);\nb = a * a;\n").unwrap();
+    let out = otterc().arg(&m).args(["--emit", "ir"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("matmul(a, a)"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compile_errors_exit_nonzero_with_message() {
+    let dir = workdir("err");
+    let m = dir.join("bad.m");
+    std::fs::write(&m, "x = mystery_fn(3);\n").unwrap();
+    let out = otterc().arg(&m).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mystery_fn"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = otterc().arg("--bogus-flag").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,405 @@
+//! Abstract syntax tree for the MATLAB subset.
+//!
+//! Pass 1 of the paper builds a parse tree and augments it with links
+//! "to simplify code analysis", yielding an AST. We build the AST
+//! directly. Nodes carry [`Span`]s; names are plain strings until the
+//! resolution pass (`otter-analysis`) classifies them as variables or
+//! functions.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Binary operators as they appear in source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*` — matrix multiply when either operand has matrix rank.
+    Mul,
+    /// `/` — matrix right division; element division for scalars.
+    Div,
+    /// `\` — matrix left division (solve).
+    LeftDiv,
+    /// `^` — matrix power for matrix base, scalar power otherwise.
+    Pow,
+    /// `.*`
+    ElemMul,
+    /// `./`
+    ElemDiv,
+    /// `.\`
+    ElemLeftDiv,
+    /// `.^`
+    ElemPow,
+    /// `==`
+    Eq,
+    /// `~=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+}
+
+impl BinOp {
+    /// True for operators that apply element-by-element regardless of
+    /// operand rank (comparisons, logicals, and the dotted family, plus
+    /// `+`/`-`, which are element-wise in MATLAB).
+    pub fn is_elementwise(self) -> bool {
+        !matches!(self, BinOp::Mul | BinOp::Div | BinOp::LeftDiv | BinOp::Pow)
+    }
+
+    /// True for comparison/logical operators, whose result is a 0/1
+    /// "logical" value (we give them integer type).
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+        )
+    }
+
+    /// MATLAB surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::LeftDiv => "\\",
+            BinOp::Pow => "^",
+            BinOp::ElemMul => ".*",
+            BinOp::ElemDiv => "./",
+            BinOp::ElemLeftDiv => ".\\",
+            BinOp::ElemPow => ".^",
+            BinOp::Eq => "==",
+            BinOp::Ne => "~=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `+` (no-op, kept for faithful pretty-printing)
+    Plus,
+    /// `~`
+    Not,
+}
+
+impl UnOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Plus => "+",
+            UnOp::Not => "~",
+        }
+    }
+}
+
+/// Transpose flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransposeOp {
+    /// `'` — conjugate transpose.
+    Conjugate,
+    /// `.'` — plain transpose.
+    Plain,
+}
+
+/// An expression node with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Synthesized expression with no real source location.
+    pub fn synth(kind: ExprKind) -> Self {
+        Expr { kind, span: Span::DUMMY }
+    }
+
+    /// Integer-literal convenience constructor.
+    pub fn int(v: i64) -> Self {
+        Expr::synth(ExprKind::Number { value: v as f64, is_int: true })
+    }
+
+    /// Variable-reference convenience constructor.
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::synth(ExprKind::Ident(name.into()))
+    }
+
+    /// Walk this expression and all sub-expressions, outer-first.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::Number { .. }
+            | ExprKind::Str(_)
+            | ExprKind::Ident(_)
+            | ExprKind::Colon
+            | ExprKind::EndKeyword => {}
+            ExprKind::Unary { operand, .. } => operand.walk(f),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            ExprKind::Transpose { operand, .. } => operand.walk(f),
+            ExprKind::Range { start, step, stop } => {
+                start.walk(f);
+                if let Some(s) = step {
+                    s.walk(f);
+                }
+                stop.walk(f);
+            }
+            ExprKind::Index { args, .. } | ExprKind::Call { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Matrix(rows) => {
+                for row in rows {
+                    for e in row {
+                        e.walk(f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect the free identifier names referenced by this expression
+    /// (callee names of `Call` included — before resolution, callers
+    /// cannot tell variables and functions apart, same as the paper's
+    /// pass 2 problem statement).
+    pub fn idents(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| match &e.kind {
+            ExprKind::Ident(n) => out.push(n.clone()),
+            ExprKind::Index { base, .. } => out.push(base.clone()),
+            ExprKind::Call { callee, .. } => out.push(callee.clone()),
+            _ => {}
+        });
+        out
+    }
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Numeric literal; `is_int` feeds the type lattice.
+    Number { value: f64, is_int: bool },
+    /// String literal.
+    Str(String),
+    /// A name, not yet classified as variable or function.
+    Ident(String),
+    /// `start:stop` or `start:step:stop`.
+    Range { start: Box<Expr>, step: Option<Box<Expr>>, stop: Box<Expr> },
+    /// Bare `:` inside an index (whole dimension).
+    Colon,
+    /// `end` inside an index (last element of the dimension).
+    EndKeyword,
+    /// Unary operator application.
+    Unary { op: UnOp, operand: Box<Expr> },
+    /// Binary operator application.
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Postfix transpose.
+    Transpose { op: TransposeOp, operand: Box<Expr> },
+    /// `name(args)` when resolution has classified `name` as a
+    /// *variable*: matrix indexing.
+    Index { base: String, args: Vec<Expr> },
+    /// `name(args)` when `name` is (or may be) a *function*. The parser
+    /// emits every `name(args)` as `Call`; resolution rewrites the
+    /// variable cases to `Index`.
+    Call { callee: String, args: Vec<Expr> },
+    /// `[a, b; c, d]` matrix literal: rows of element expressions.
+    Matrix(Vec<Vec<Expr>>),
+}
+
+/// Assignment target: `x` or `x(indices)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    pub name: String,
+    /// `None` for whole-variable assignment; `Some` for indexed stores.
+    pub indices: Option<Vec<Expr>>,
+    pub span: Span,
+}
+
+impl LValue {
+    pub fn whole(name: impl Into<String>) -> Self {
+        LValue { name: name.into(), indices: None, span: Span::DUMMY }
+    }
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub span: Span,
+    /// True when the statement was *not* terminated by `;`, i.e. MATLAB
+    /// would echo its result.
+    pub display: bool,
+}
+
+/// Statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Bare expression (result would be echoed unless suppressed).
+    Expr(Expr),
+    /// `lhs = rhs`.
+    Assign { lhs: LValue, rhs: Expr },
+    /// `[a, b] = f(...)` — multiple return values.
+    MultiAssign { lhs: Vec<LValue>, rhs: Expr },
+    /// `if`/`elseif` chain with optional `else`.
+    If { arms: Vec<(Expr, Block)>, else_body: Option<Block> },
+    /// `while cond ... end`.
+    While { cond: Expr, body: Block },
+    /// `for var = range ... end`.
+    For { var: String, iter: Expr, body: Block },
+    Break,
+    Continue,
+    Return,
+    /// `global a b c`.
+    Global(Vec<String>),
+}
+
+/// A sequence of statements.
+pub type Block = Vec<Stmt>;
+
+/// An M-file function definition:
+/// `function [outs] = name(params)` + body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<String>,
+    pub outs: Vec<String>,
+    pub body: Block,
+    pub span: Span,
+}
+
+/// A parsed M-file: either a script (statements, no params/returns) or
+/// one or more function definitions (first is the file's public one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// Script-level statements (empty for pure function files).
+    pub script: Block,
+    /// Function definitions found in the file.
+    pub functions: Vec<Function>,
+}
+
+impl SourceFile {
+    /// True if the file has no script part (a function M-file).
+    pub fn is_function_file(&self) -> bool {
+        self.script.is_empty() && !self.functions.is_empty()
+    }
+}
+
+/// A whole MATLAB *program*: the original script plus every reachable
+/// M-file function, as assembled by identifier resolution (paper §3,
+/// "at the end of this pass every M-file in the user's program has
+/// been added to the AST").
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub script: Block,
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_classification() {
+        assert!(BinOp::Add.is_elementwise());
+        assert!(BinOp::ElemMul.is_elementwise());
+        assert!(!BinOp::Mul.is_elementwise());
+        assert!(!BinOp::LeftDiv.is_elementwise());
+        assert!(BinOp::Lt.is_elementwise());
+    }
+
+    #[test]
+    fn predicate_classification() {
+        assert!(BinOp::Eq.is_predicate());
+        assert!(BinOp::And.is_predicate());
+        assert!(!BinOp::Add.is_predicate());
+        assert!(!BinOp::ElemMul.is_predicate());
+    }
+
+    #[test]
+    fn idents_collects_nested_names() {
+        // b * c + d(i,j) — from the paper's running example.
+        let e = Expr::synth(ExprKind::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::synth(ExprKind::Binary {
+                op: BinOp::Mul,
+                lhs: Box::new(Expr::var("b")),
+                rhs: Box::new(Expr::var("c")),
+            })),
+            rhs: Box::new(Expr::synth(ExprKind::Call {
+                callee: "d".into(),
+                args: vec![Expr::var("i"), Expr::var("j")],
+            })),
+        });
+        let mut names = e.idents();
+        names.sort();
+        assert_eq!(names, vec!["b", "c", "d", "i", "j"]);
+    }
+
+    #[test]
+    fn walk_visits_matrix_elements() {
+        let e = Expr::synth(ExprKind::Matrix(vec![
+            vec![Expr::int(1), Expr::var("x")],
+            vec![Expr::var("y"), Expr::int(2)],
+        ]));
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 5); // matrix + 4 elements
+    }
+
+    #[test]
+    fn function_lookup() {
+        let p = Program {
+            script: vec![],
+            functions: vec![Function {
+                name: "trapz2".into(),
+                params: vec!["x".into()],
+                outs: vec!["s".into()],
+                body: vec![],
+                span: Span::DUMMY,
+            }],
+        };
+        assert!(p.function("trapz2").is_some());
+        assert!(p.function("nope").is_none());
+    }
+}

@@ -1,0 +1,653 @@
+//! Hand-written scanner for the MATLAB subset.
+//!
+//! Corresponds to the `lex` specification of the paper's pass 1, with
+//! the same documented restriction: inside matrix literals, elements
+//! must be separated by commas (white-space separation is rejected by
+//! the parser, not silently misread).
+//!
+//! MATLAB's one genuinely context-sensitive token is `'`, which is a
+//! postfix transpose after a value-producing token and a string
+//! delimiter everywhere else; [`TokenKind::allows_postfix_quote`]
+//! encodes the rule.
+
+use crate::error::{FrontendError, FrontendErrorKind, Result};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Scanner state over a single source buffer.
+pub struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Kind of the previous significant token, for `'` disambiguation.
+    prev: Option<TokenKind>,
+}
+
+impl<'src> Lexer<'src> {
+    pub fn new(src: &'src str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, prev: None }
+    }
+
+    /// Scan the entire buffer into a token vector ending in `Eof`.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            // Collapse runs of newlines into one; a leading newline
+            // carries no information either.
+            let redundant_newline = tok.kind == TokenKind::Newline
+                && matches!(out.last().map(|t: &Token| &t.kind), None | Some(TokenKind::Newline));
+            if !redundant_newline {
+                out.push(tok);
+            }
+            if done {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span::new(start as u32, self.pos as u32, line, col)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    // Comment to end of line; the newline itself is
+                    // still significant and handled by next_token.
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'.') if self.bytes[self.pos..].starts_with(b"...") => {
+                    // Line continuation: swallow through the newline.
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia();
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let Some(b) = self.peek() else {
+            return Ok(self.emit(TokenKind::Eof, start, line, col));
+        };
+        let kind = match b {
+            b'\n' => {
+                self.bump();
+                TokenKind::Newline
+            }
+            b'0'..=b'9' => self.number(start, line, col)?,
+            b'.' => {
+                if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                    self.number(start, line, col)?
+                } else {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'*') => {
+                            self.bump();
+                            TokenKind::DotStar
+                        }
+                        Some(b'/') => {
+                            self.bump();
+                            TokenKind::DotSlash
+                        }
+                        Some(b'\\') => {
+                            self.bump();
+                            TokenKind::DotBackslash
+                        }
+                        Some(b'^') => {
+                            self.bump();
+                            TokenKind::DotCaret
+                        }
+                        Some(b'\'') => {
+                            self.bump();
+                            TokenKind::DotTranspose
+                        }
+                        _ => {
+                            return Err(FrontendError::new(
+                                FrontendErrorKind::UnexpectedChar('.'),
+                                self.span_from(start, line, col),
+                            ))
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                if self.prev.as_ref().is_some_and(|p| p.allows_postfix_quote()) {
+                    self.bump();
+                    TokenKind::Transpose
+                } else {
+                    self.string(start, line, col)?
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.bump();
+                TokenKind::Minus
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'\\' => {
+                self.bump();
+                TokenKind::Backslash
+            }
+            b'^' => {
+                self.bump();
+                TokenKind::Caret
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Eq
+                }
+            }
+            b'~' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Not
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::LtEq
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                self.bump();
+                TokenKind::Amp
+            }
+            b'|' => {
+                self.bump();
+                TokenKind::Pipe
+            }
+            b':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            other => {
+                self.bump();
+                return Err(FrontendError::new(
+                    FrontendErrorKind::UnexpectedChar(other as char),
+                    self.span_from(start, line, col),
+                ));
+            }
+        };
+        Ok(self.emit(kind, start, line, col))
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) -> Token {
+        self.prev = Some(kind.clone());
+        Token { kind, span: self.span_from(start, line, col) }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+
+    fn number(&mut self, start: usize, line: u32, col: u32) -> Result<TokenKind> {
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && !self.bytes[self.pos..].starts_with(b"...") {
+            // A `.` directly followed by an operator char is an
+            // element-wise operator, not a decimal point: `2.*x`.
+            let next = self.peek2();
+            if !matches!(next, Some(b'*') | Some(b'/') | Some(b'\\') | Some(b'^') | Some(b'\'')) {
+                saw_dot = true;
+                self.bump();
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            // Only take the exponent if it is well-formed; `2e` alone
+            // would otherwise swallow an identifier.
+            let save = (self.pos, self.line, self.col);
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                saw_exp = true;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                (self.pos, self.line, self.col) = save;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let value: f64 = text.parse().map_err(|_| {
+            FrontendError::new(
+                FrontendErrorKind::BadNumber(text.to_string()),
+                self.span_from(start, line, col),
+            )
+        })?;
+        Ok(TokenKind::Number { value, is_int: !saw_dot && !saw_exp })
+    }
+
+    fn string(&mut self, start: usize, line: u32, col: u32) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    return Err(FrontendError::new(
+                        FrontendErrorKind::UnterminatedString,
+                        self.span_from(start, line, col),
+                    ))
+                }
+                Some(b'\'') => {
+                    self.bump();
+                    if self.peek() == Some(b'\'') {
+                        // `''` is an escaped quote inside the string.
+                        self.bump();
+                        text.push('\'');
+                    } else {
+                        break;
+                    }
+                }
+                Some(b) => {
+                    self.bump();
+                    text.push(b as char);
+                }
+            }
+        }
+        Ok(TokenKind::Str(text))
+    }
+}
+
+/// Scan `src` into tokens. Convenience wrapper over [`Lexer`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn scans_simple_assignment() {
+        assert_eq!(
+            kinds("x = 3;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Number { value: 3.0, is_int: true },
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn scans_elementwise_operators() {
+        assert_eq!(
+            kinds("a .* b ./ c .^ d .\\ e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::DotStar,
+                TokenKind::Ident("b".into()),
+                TokenKind::DotSlash,
+                TokenKind::Ident("c".into()),
+                TokenKind::DotCaret,
+                TokenKind::Ident("d".into()),
+                TokenKind::DotBackslash,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_forms() {
+        assert_eq!(kinds("2"), vec![TokenKind::Number { value: 2.0, is_int: true }, TokenKind::Eof]);
+        assert_eq!(
+            kinds("2.5"),
+            vec![TokenKind::Number { value: 2.5, is_int: false }, TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds(".5"),
+            vec![TokenKind::Number { value: 0.5, is_int: false }, TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("1e3"),
+            vec![TokenKind::Number { value: 1000.0, is_int: false }, TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("1.5e-2"),
+            vec![TokenKind::Number { value: 0.015, is_int: false }, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn integer_dot_star_is_elementwise() {
+        // `2.*x` must scan as 2 .* x, not (2.) * x.
+        assert_eq!(
+            kinds("2.*x"),
+            vec![
+                TokenKind::Number { value: 2.0, is_int: true },
+                TokenKind::DotStar,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn trailing_dot_number() {
+        assert_eq!(
+            kinds("2. + 1"),
+            vec![
+                TokenKind::Number { value: 2.0, is_int: false },
+                TokenKind::Plus,
+                TokenKind::Number { value: 1.0, is_int: true },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn exponent_without_digits_is_ident_suffix() {
+        assert_eq!(
+            kinds("2e"),
+            vec![
+                TokenKind::Number { value: 2.0, is_int: true },
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn transpose_vs_string() {
+        // After an identifier, `'` is transpose.
+        assert_eq!(
+            kinds("a'"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Transpose, TokenKind::Eof]
+        );
+        // After `=`, `'` starts a string.
+        assert_eq!(
+            kinds("x = 'hi'"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Str("hi".into()),
+                TokenKind::Eof
+            ]
+        );
+        // After `)`, transpose.
+        assert_eq!(
+            kinds("f(x)'"),
+            vec![
+                TokenKind::Ident("f".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Transpose,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn double_transpose_chains() {
+        assert_eq!(
+            kinds("a''"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Transpose,
+                TokenKind::Transpose,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_transpose() {
+        assert_eq!(
+            kinds("a.'"),
+            vec![TokenKind::Ident("a".into()), TokenKind::DotTranspose, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        assert_eq!(
+            kinds("x = 'it''s'"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = tokenize("x = 'oops").unwrap_err();
+        assert_eq!(err.kind, FrontendErrorKind::UnterminatedString);
+        let err = tokenize("x = 'oops\ny = 1").unwrap_err();
+        assert_eq!(err.kind, FrontendErrorKind::UnterminatedString);
+    }
+
+    #[test]
+    fn comments_are_skipped_but_newline_kept() {
+        assert_eq!(
+            kinds("x = 1 % set x\ny = 2"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Number { value: 1.0, is_int: true },
+                TokenKind::Newline,
+                TokenKind::Ident("y".into()),
+                TokenKind::Eq,
+                TokenKind::Number { value: 2.0, is_int: true },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        assert_eq!(
+            kinds("x = 1 + ...\n 2"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Number { value: 1.0, is_int: true },
+                TokenKind::Plus,
+                TokenKind::Number { value: 2.0, is_int: true },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn newline_runs_collapse() {
+        assert_eq!(
+            kinds("\n\n\nx\n\n\ny\n\n"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Newline,
+                TokenKind::Ident("y".into()),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <= b ~= c >= d == e < f > g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LtEq,
+                TokenKind::Ident("b".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::GtEq,
+                TokenKind::Ident("d".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_reported_with_position() {
+        let err = tokenize("x = @").unwrap_err();
+        assert_eq!(err.kind, FrontendErrorKind::UnexpectedChar('@'));
+        assert_eq!(err.span.line, 1);
+        assert_eq!(err.span.col, 5);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = tokenize("a\nbb\n ccc").unwrap();
+        let cc = toks.iter().find(|t| t.kind == TokenKind::Ident("ccc".into())).unwrap();
+        assert_eq!(cc.span.line, 3);
+        assert_eq!(cc.span.col, 2);
+    }
+
+    #[test]
+    fn keywords_scanned() {
+        assert_eq!(
+            kinds("for i = 1"),
+            vec![
+                TokenKind::For,
+                TokenKind::Ident("i".into()),
+                TokenKind::Eq,
+                TokenKind::Number { value: 1.0, is_int: true },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn end_then_transpose() {
+        // `end` produces a value in index context, so `'` after it is
+        // transpose: a(end)' — contrived but legal.
+        assert_eq!(
+            kinds("a(end)'"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LParen,
+                TokenKind::End,
+                TokenKind::RParen,
+                TokenKind::Transpose,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

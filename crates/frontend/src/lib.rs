@@ -1,0 +1,36 @@
+//! # otter-frontend
+//!
+//! Front end of the Otter parallel MATLAB compiler reproduction:
+//! scanner, recursive-descent parser, AST, pretty-printer, and M-file
+//! source management.
+//!
+//! This is pass 1 of the paper's multi-pass pipeline ("Preliminary
+//! Results from a Parallel MATLAB Compiler", Quinn et al., IPPS 1998,
+//! §3): build a parse tree for the initial script and augment it into
+//! an abstract syntax tree. The paper's documented restriction is
+//! preserved: matrix-literal elements must be comma-delimited.
+//!
+//! ```
+//! use otter_frontend::parser::parse;
+//!
+//! let file = parse("a = b * c + d(i,j);").unwrap();
+//! assert_eq!(file.script.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod source;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    BinOp, Block, Expr, ExprKind, Function, LValue, Program, SourceFile, Stmt, StmtKind,
+    TransposeOp, UnOp,
+};
+pub use error::{FrontendError, FrontendErrorKind};
+pub use parser::{parse, parse_expr};
+pub use source::{DirProvider, EmptyProvider, MapProvider, SourceProvider};
+pub use span::Span;

@@ -1,0 +1,290 @@
+//! Pretty-printer: AST back to MATLAB surface syntax.
+//!
+//! Used for diagnostics, SSA-form dumps, and the parse→print→parse
+//! round-trip property tests. Output is always comma-delimited and
+//! fully parenthesized only where precedence requires it.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for s in &p.script {
+        write_stmt(&mut out, s, 0);
+    }
+    for f in &p.functions {
+        out.push('\n');
+        write_function(&mut out, f);
+    }
+    out
+}
+
+/// Render a single function definition.
+pub fn write_function(out: &mut String, f: &Function) {
+    out.push_str("function ");
+    match f.outs.len() {
+        0 => {}
+        1 => {
+            out.push_str(&f.outs[0]);
+            out.push_str(" = ");
+        }
+        _ => {
+            out.push('[');
+            out.push_str(&f.outs.join(", "));
+            out.push_str("] = ");
+        }
+    }
+    out.push_str(&f.name);
+    out.push('(');
+    out.push_str(&f.params.join(", "));
+    out.push_str(")\n");
+    for s in &f.body {
+        write_stmt(out, s, 1);
+    }
+}
+
+/// Render one statement at the given indent level.
+pub fn write_stmt(out: &mut String, s: &Stmt, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let term = if s.display { "\n" } else { ";\n" };
+    match &s.kind {
+        StmtKind::Expr(e) => {
+            let _ = write!(out, "{pad}{}{term}", expr_to_string(e));
+        }
+        StmtKind::Assign { lhs, rhs } => {
+            let _ = write!(out, "{pad}{} = {}{term}", lvalue_to_string(lhs), expr_to_string(rhs));
+        }
+        StmtKind::MultiAssign { lhs, rhs } => {
+            let targets: Vec<String> = lhs.iter().map(lvalue_to_string).collect();
+            let _ = write!(out, "{pad}[{}] = {}{term}", targets.join(", "), expr_to_string(rhs));
+        }
+        StmtKind::If { arms, else_body } => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                let kw = if i == 0 { "if" } else { "elseif" };
+                let _ = write!(out, "{pad}{kw} {}\n", expr_to_string(cond));
+                for st in body {
+                    write_stmt(out, st, indent + 1);
+                }
+            }
+            if let Some(body) = else_body {
+                let _ = write!(out, "{pad}else\n");
+                for st in body {
+                    write_stmt(out, st, indent + 1);
+                }
+            }
+            let _ = write!(out, "{pad}end\n");
+        }
+        StmtKind::While { cond, body } => {
+            let _ = write!(out, "{pad}while {}\n", expr_to_string(cond));
+            for st in body {
+                write_stmt(out, st, indent + 1);
+            }
+            let _ = write!(out, "{pad}end\n");
+        }
+        StmtKind::For { var, iter, body } => {
+            let _ = write!(out, "{pad}for {var} = {}\n", expr_to_string(iter));
+            for st in body {
+                write_stmt(out, st, indent + 1);
+            }
+            let _ = write!(out, "{pad}end\n");
+        }
+        StmtKind::Break => {
+            let _ = write!(out, "{pad}break{term}");
+        }
+        StmtKind::Continue => {
+            let _ = write!(out, "{pad}continue{term}");
+        }
+        StmtKind::Return => {
+            let _ = write!(out, "{pad}return{term}");
+        }
+        StmtKind::Global(names) => {
+            let _ = write!(out, "{pad}global {}{term}", names.join(", "));
+        }
+    }
+}
+
+fn lvalue_to_string(lv: &LValue) -> String {
+    match &lv.indices {
+        None => lv.name.clone(),
+        Some(idx) => {
+            let parts: Vec<String> = idx.iter().map(expr_to_string).collect();
+            format!("{}({})", lv.name, parts.join(", "))
+        }
+    }
+}
+
+/// Operator precedence for minimal parenthesization; higher binds
+/// tighter. Mirrors the parser's levels.
+fn prec(e: &ExprKind) -> u8 {
+    match e {
+        ExprKind::Binary { op, .. } => match op {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul
+            | BinOp::Div
+            | BinOp::LeftDiv
+            | BinOp::ElemMul
+            | BinOp::ElemDiv
+            | BinOp::ElemLeftDiv => 6,
+            BinOp::Pow | BinOp::ElemPow => 8,
+        },
+        ExprKind::Range { .. } => 4,
+        ExprKind::Unary { .. } => 7,
+        ExprKind::Transpose { .. } => 9,
+        _ => 10,
+    }
+}
+
+/// Render an expression with minimal parentheses.
+pub fn expr_to_string(e: &Expr) -> String {
+    render(e, 0)
+}
+
+fn render(e: &Expr, parent_prec: u8) -> String {
+    let my = prec(&e.kind);
+    let body = match &e.kind {
+        ExprKind::Number { value, is_int } => {
+            if *is_int && value.fract() == 0.0 && value.abs() < 1e15 {
+                format!("{}", *value as i64)
+            } else {
+                // Keep a decimal point so the literal re-parses as
+                // non-integer.
+                let s = format!("{value}");
+                if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+        }
+        ExprKind::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        ExprKind::Ident(n) => n.clone(),
+        ExprKind::Colon => ":".into(),
+        ExprKind::EndKeyword => "end".into(),
+        ExprKind::Range { start, step, stop } => match step {
+            Some(st) => format!(
+                "{}:{}:{}",
+                render(start, my + 1),
+                render(st, my + 1),
+                render(stop, my + 1)
+            ),
+            None => format!("{}:{}", render(start, my + 1), render(stop, my + 1)),
+        },
+        ExprKind::Unary { op, operand } => {
+            format!("{}{}", op.symbol(), render(operand, my))
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            // Left-associative: the right child needs parens at equal
+            // precedence.
+            format!("{} {} {}", render(lhs, my), op.symbol(), render(rhs, my + 1))
+        }
+        ExprKind::Transpose { op, operand } => {
+            let sym = match op {
+                TransposeOp::Conjugate => "'",
+                TransposeOp::Plain => ".'",
+            };
+            format!("{}{}", render(operand, my), sym)
+        }
+        ExprKind::Index { base, args } => {
+            let parts: Vec<String> = args.iter().map(|a| render(a, 0)).collect();
+            format!("{}({})", base, parts.join(", "))
+        }
+        ExprKind::Call { callee, args } => {
+            let parts: Vec<String> = args.iter().map(|a| render(a, 0)).collect();
+            format!("{}({})", callee, parts.join(", "))
+        }
+        ExprKind::Matrix(rows) => {
+            let row_strs: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    let cells: Vec<String> = r.iter().map(|c| render(c, 0)).collect();
+                    cells.join(", ")
+                })
+                .collect();
+            format!("[{}]", row_strs.join("; "))
+        }
+    };
+    if my < parent_prec && !matches!(e.kind, ExprKind::Call { .. } | ExprKind::Index { .. }) {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    fn roundtrip(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = expr_to_string(&e1);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reprint of `{src}` as `{printed}` failed: {err}"));
+        // Spans differ; compare structure via a second print.
+        assert_eq!(printed, expr_to_string(&e2), "src={src}");
+    }
+
+    #[test]
+    fn simple_roundtrips() {
+        for src in [
+            "a + b * c",
+            "(a + b) * c",
+            "-2^2",
+            "a' * a",
+            "x(1:2:9)",
+            "[1, 2; 3, 4]",
+            "b * c + d(i, j)",
+            "1:n-1",
+            "a ./ (b .* c)",
+            "~(a == b)",
+            "m(:, j)",
+            "v(end-1)",
+            "'it''s'",
+            "2.5e-3 + x",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn statement_printing() {
+        let f = parse("if a < 1\nx = 1;\nelse\nx = 2;\nend").unwrap();
+        let mut out = String::new();
+        write_stmt(&mut out, &f.script[0], 0);
+        assert!(out.contains("if a < 1"));
+        assert!(out.contains("else"));
+        assert!(out.ends_with("end\n"));
+    }
+
+    #[test]
+    fn function_printing() {
+        let f = parse("function [q, r] = decomp(a)\nq = a;\nr = a;\n").unwrap();
+        let mut out = String::new();
+        write_function(&mut out, &f.functions[0]);
+        assert!(out.starts_with("function [q, r] = decomp(a)\n"));
+    }
+
+    #[test]
+    fn float_literals_keep_a_point() {
+        let e = parse_expr("2.0").unwrap();
+        let s = expr_to_string(&e);
+        let e2 = parse_expr(&s).unwrap();
+        let ExprKind::Number { is_int, .. } = e2.kind else { panic!() };
+        assert!(!is_int, "printed as {s}");
+    }
+
+    #[test]
+    fn program_roundtrip_structure() {
+        let src = "x = 1;\nfor i = 1:3\nx = x * 2;\nend\n";
+        let f1 = parse(src).unwrap();
+        let p1 = Program { script: f1.script, functions: f1.functions };
+        let printed = program_to_string(&p1);
+        let f2 = parse(&printed).unwrap();
+        let p2 = Program { script: f2.script, functions: f2.functions };
+        assert_eq!(printed, program_to_string(&p2));
+    }
+}

@@ -1,0 +1,127 @@
+//! M-file source management.
+//!
+//! A MATLAB *program* is a script plus every M-file reachable from it
+//! (paper §3). The resolution pass asks a [`SourceProvider`] for the
+//! text of `name.m` whenever it meets an identifier that is not a
+//! variable and not a built-in. Providers exist for in-memory maps
+//! (tests, embedded benchmark apps) and directories on disk.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Supplies M-file sources by function name.
+pub trait SourceProvider {
+    /// Return the source text of `name.m`, or `None` if no such
+    /// user-defined M-file exists (the name may still be a built-in).
+    fn m_file(&self, name: &str) -> Option<String>;
+}
+
+/// A provider with no M-files at all; scripts must be self-contained.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EmptyProvider;
+
+impl SourceProvider for EmptyProvider {
+    fn m_file(&self, _name: &str) -> Option<String> {
+        None
+    }
+}
+
+/// In-memory provider mapping function names to source text.
+#[derive(Debug, Default, Clone)]
+pub struct MapProvider {
+    files: HashMap<String, String>,
+}
+
+impl MapProvider {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name.m` with the given source.
+    pub fn insert(&mut self, name: impl Into<String>, src: impl Into<String>) -> &mut Self {
+        self.files.insert(name.into(), src.into());
+        self
+    }
+
+    /// Builder-style registration.
+    pub fn with(mut self, name: impl Into<String>, src: impl Into<String>) -> Self {
+        self.insert(name, src);
+        self
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True if no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+impl SourceProvider for MapProvider {
+    fn m_file(&self, name: &str) -> Option<String> {
+        self.files.get(name).cloned()
+    }
+}
+
+/// Provider reading `<dir>/<name>.m` from the filesystem, like the
+/// MATLAB path.
+#[derive(Debug, Clone)]
+pub struct DirProvider {
+    dir: PathBuf,
+}
+
+impl DirProvider {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DirProvider { dir: dir.into() }
+    }
+}
+
+impl SourceProvider for DirProvider {
+    fn m_file(&self, name: &str) -> Option<String> {
+        // Reject path-traversal attempts; M-file names are identifiers.
+        if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return None;
+        }
+        std::fs::read_to_string(self.dir.join(format!("{name}.m"))).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_provider_has_nothing() {
+        assert!(EmptyProvider.m_file("foo").is_none());
+    }
+
+    #[test]
+    fn map_provider_round_trip() {
+        let p = MapProvider::new().with("sq", "function y = sq(x)\ny = x * x;\n");
+        assert!(p.m_file("sq").unwrap().contains("x * x"));
+        assert!(p.m_file("cube").is_none());
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn dir_provider_reads_files() {
+        let dir = std::env::temp_dir().join(format!("otter_src_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("tri.m"), "function y = tri(x)\ny = x;\n").unwrap();
+        let p = DirProvider::new(&dir);
+        assert!(p.m_file("tri").is_some());
+        assert!(p.m_file("missing").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_provider_rejects_traversal() {
+        let p = DirProvider::new("/tmp");
+        assert!(p.m_file("../etc/passwd").is_none());
+        assert!(p.m_file("a/b").is_none());
+    }
+}

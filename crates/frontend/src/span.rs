@@ -1,0 +1,106 @@
+//! Source locations.
+//!
+//! Every token and AST node carries a [`Span`] so that later passes
+//! (resolution, inference, code generation) can report errors in terms
+//! of the original MATLAB source, mirroring the line/column tracking the
+//! paper's lex/yacc front end gets for free.
+
+use std::fmt;
+
+/// A half-open byte range into a single source file, plus the 1-based
+/// line/column of its start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+
+    /// Create a span from raw parts.
+    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The smallest span containing both `self` and `other`.
+    ///
+    /// Line/column information is taken from whichever span starts
+    /// first, so diagnostics point at the beginning of the merged
+    /// construct.
+    pub fn to(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// True if this is the dummy span of a synthesized node.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True if the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_earliest_position() {
+        let a = Span::new(10, 14, 2, 3);
+        let b = Span::new(20, 25, 3, 1);
+        let m = a.to(b);
+        assert_eq!(m.start, 10);
+        assert_eq!(m.end, 25);
+        assert_eq!(m.line, 2);
+        assert_eq!(m.col, 3);
+        // Merging is symmetric.
+        let m2 = b.to(a);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn dummy_is_detectable() {
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!Span::new(0, 1, 1, 1).is_dummy());
+    }
+
+    #[test]
+    fn display_shows_line_col() {
+        let s = Span::new(0, 4, 7, 9);
+        assert_eq!(s.to_string(), "7:9");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Span::new(3, 8, 1, 4).len(), 5);
+        assert!(Span::new(3, 3, 1, 4).is_empty());
+        assert!(!Span::new(3, 4, 1, 4).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Token definitions for the MATLAB subset Otter accepts.
+//!
+//! The paper (§3) builds its scanner with `lex`; we use a hand-written
+//! scanner but accept the same surface syntax, with the paper's one
+//! documented restriction: matrix-literal elements must be separated by
+//! commas, not bare whitespace.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token together with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// The kinds of token the scanner produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal. MATLAB has only doubles at the surface level;
+    /// whether a literal is *integer-valued* matters to type inference,
+    /// so we preserve that flag.
+    Number { value: f64, is_int: bool },
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Identifier or (contextually) a keyword candidate.
+    Ident(String),
+
+    // Keywords.
+    If,
+    ElseIf,
+    Else,
+    End,
+    While,
+    For,
+    Function,
+    Return,
+    Break,
+    Continue,
+    Global,
+
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Backslash,
+    Caret,
+    DotStar,
+    DotSlash,
+    DotBackslash,
+    DotCaret,
+    /// `'` — complex-conjugate transpose (context-disambiguated from strings).
+    Transpose,
+    /// `.'` — plain transpose.
+    DotTranspose,
+    Eq,
+    EqEq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Amp,
+    Pipe,
+    Not,
+    Colon,
+
+    // Delimiters.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    /// Statement-terminating newline (significant in MATLAB).
+    Newline,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True for tokens after which a `'` means *transpose* rather than
+    /// the start of a string literal. This is the classic MATLAB lexer
+    /// hack: `a'` transposes but `x = 'a'` is a string.
+    pub fn allows_postfix_quote(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Ident(_)
+                | TokenKind::Number { .. }
+                | TokenKind::RParen
+                | TokenKind::RBracket
+                | TokenKind::Transpose
+                | TokenKind::DotTranspose
+                | TokenKind::End
+                | TokenKind::Str(_)
+        )
+    }
+
+    /// Keyword lookup; returns `None` for plain identifiers.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        Some(match s {
+            "if" => TokenKind::If,
+            "elseif" => TokenKind::ElseIf,
+            "else" => TokenKind::Else,
+            "end" => TokenKind::End,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "function" => TokenKind::Function,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "global" => TokenKind::Global,
+            _ => return None,
+        })
+    }
+
+    /// Short name used in error messages ("expected X, found Y").
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Number { value, .. } => format!("number `{value}`"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::If => "`if`".into(),
+            TokenKind::ElseIf => "`elseif`".into(),
+            TokenKind::Else => "`else`".into(),
+            TokenKind::End => "`end`".into(),
+            TokenKind::While => "`while`".into(),
+            TokenKind::For => "`for`".into(),
+            TokenKind::Function => "`function`".into(),
+            TokenKind::Return => "`return`".into(),
+            TokenKind::Break => "`break`".into(),
+            TokenKind::Continue => "`continue`".into(),
+            TokenKind::Global => "`global`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Backslash => "`\\`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::DotStar => "`.*`".into(),
+            TokenKind::DotSlash => "`./`".into(),
+            TokenKind::DotBackslash => "`.\\`".into(),
+            TokenKind::DotCaret => "`.^`".into(),
+            TokenKind::Transpose => "`'`".into(),
+            TokenKind::DotTranspose => "`.'`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::NotEq => "`~=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::LtEq => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::GtEq => "`>=`".into(),
+            TokenKind::Amp => "`&`".into(),
+            TokenKind::Pipe => "`|`".into(),
+            TokenKind::Not => "`~`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Newline => "end of line".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::While));
+        assert_eq!(TokenKind::keyword("elseif"), Some(TokenKind::ElseIf));
+        assert_eq!(TokenKind::keyword("whileX"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+    }
+
+    #[test]
+    fn postfix_quote_context() {
+        assert!(TokenKind::Ident("a".into()).allows_postfix_quote());
+        assert!(TokenKind::RParen.allows_postfix_quote());
+        assert!(TokenKind::Number { value: 1.0, is_int: true }.allows_postfix_quote());
+        assert!(!TokenKind::Eq.allows_postfix_quote());
+        assert!(!TokenKind::LParen.allows_postfix_quote());
+        assert!(!TokenKind::Comma.allows_postfix_quote());
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(TokenKind::DotStar.describe(), "`.*`");
+        assert_eq!(TokenKind::Ident("foo".into()).describe(), "identifier `foo`");
+    }
+}

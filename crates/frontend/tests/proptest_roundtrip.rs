@@ -1,0 +1,109 @@
+//! Property tests for the front end: random expression generation,
+//! print→parse round-trips, and robustness of the scanner on
+//! arbitrary input.
+
+use otter_frontend::ast::*;
+use otter_frontend::pretty::expr_to_string;
+use otter_frontend::{lexer, parse_expr};
+use proptest::prelude::*;
+
+/// Generate random well-formed expressions over a small vocabulary.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (1u32..1000).prop_map(|v| Expr::int(v as i64)),
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("xs")]
+            .prop_map(|n| Expr::var(n)),
+        (1u32..100, 1u32..100)
+            .prop_map(|(a, b)| Expr::synth(ExprKind::Number {
+                value: a as f64 / b as f64,
+                is_int: false
+            })),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            // Binary operators.
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::ElemMul),
+                    Just(BinOp::ElemDiv),
+                    Just(BinOp::Pow),
+                    Just(BinOp::Lt),
+                    Just(BinOp::And),
+                ]
+            )
+                .prop_map(|(l, r, op)| Expr::synth(ExprKind::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r)
+                })),
+            // Unary.
+            inner.clone().prop_map(|e| Expr::synth(ExprKind::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(e)
+            })),
+            // Transpose.
+            inner.clone().prop_map(|e| Expr::synth(ExprKind::Transpose {
+                op: TransposeOp::Conjugate,
+                operand: Box::new(e)
+            })),
+            // Call with up to 2 args.
+            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(first, mut rest)| {
+                    let mut args = vec![first];
+                    args.append(&mut rest);
+                    Expr::synth(ExprKind::Call { callee: "f".into(), args })
+                }
+            ),
+            // Range.
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::synth(ExprKind::Range {
+                start: Box::new(a),
+                step: None,
+                stop: Box::new(b)
+            })),
+        ]
+    })
+}
+
+proptest! {
+    /// print → parse → print is a fixed point: whatever the printer
+    /// produces, re-parsing yields the same surface form.
+    #[test]
+    fn print_parse_print_is_stable(e in expr_strategy()) {
+        let printed = expr_to_string(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("printer produced unparseable `{printed}`: {err}"));
+        let printed2 = expr_to_string(&reparsed);
+        prop_assert_eq!(printed, printed2);
+    }
+
+    /// The scanner never panics, whatever bytes arrive.
+    #[test]
+    fn lexer_total_on_arbitrary_ascii(s in "[ -~\n\t]{0,200}") {
+        let _ = lexer::tokenize(&s); // Ok or Err, never panic
+    }
+
+    /// Token spans are monotonically non-decreasing and in-bounds.
+    #[test]
+    fn token_spans_are_ordered(s in "[a-z0-9+*();,=\\[\\] .':\n-]{0,120}") {
+        if let Ok(tokens) = lexer::tokenize(&s) {
+            let mut last_start = 0u32;
+            for t in &tokens {
+                prop_assert!(t.span.start >= last_start, "span order in {s:?}");
+                prop_assert!(t.span.end as usize <= s.len() || t.span.len() == 0);
+                last_start = t.span.start;
+            }
+        }
+    }
+
+    /// Parsing arbitrary input never panics either.
+    #[test]
+    fn parser_total_on_arbitrary_ascii(s in "[ -~\n]{0,200}") {
+        let _ = otter_frontend::parse(&s);
+    }
+}

@@ -1,0 +1,335 @@
+//! Built-in functions of the interpreter.
+//!
+//! The paper is explicit that Otter implements "a small number of
+//! MATLAB functions" — the ones its four benchmark scripts need. The
+//! interpreter implements the same set (plus `disp`/`load` plumbing) so
+//! it can serve as the oracle for every compiled script.
+
+use crate::error::{InterpError, Result};
+use crate::interp::Interp;
+use crate::value::Value;
+use otter_frontend::Span;
+use otter_machine::OpClass;
+use otter_rt::Dense;
+use rand::Rng;
+
+impl Interp {
+    /// Try to dispatch `name` as a builtin. `Ok(None)` means "not a
+    /// builtin" (the caller then looks for a user M-file function).
+    pub(crate) fn call_builtin(
+        &mut self,
+        name: &str,
+        argv: &[Value],
+        _nout: usize,
+        span: Span,
+    ) -> Result<Option<Vec<Value>>> {
+        let one = |v: Value| Ok(Some(vec![v]));
+        match name {
+            // ---- constructors ----
+            "zeros" | "ones" | "rand" => {
+                let (r, c) = self.dims_from_args(argv, span)?;
+                let m = match name {
+                    "zeros" => Dense::zeros(r, c),
+                    "ones" => Dense::ones(r, c),
+                    _ => {
+                        let data = (0..r * c).map(|_| self.rng.gen_range(0.0..1.0)).collect();
+                        Dense::from_vec(r, c, data)
+                    }
+                };
+                self.meter.op(OpClass::Add, m.len());
+                one(Value::Matrix(m).normalized())
+            }
+            "eye" => {
+                let n = self.arg_scalar(argv, 0, name, span)? as usize;
+                self.meter.op(OpClass::Add, n * n);
+                one(Value::Matrix(Dense::eye(n)))
+            }
+            "linspace" => {
+                let a = self.arg_scalar(argv, 0, name, span)?;
+                let b = self.arg_scalar(argv, 1, name, span)?;
+                let n = if argv.len() > 2 {
+                    self.arg_scalar(argv, 2, name, span)? as usize
+                } else {
+                    100
+                };
+                if n < 2 {
+                    return one(Value::Matrix(Dense::row_vector(&[b])));
+                }
+                let step = (b - a) / (n - 1) as f64;
+                let data: Vec<f64> = (0..n).map(|i| a + step * i as f64).collect();
+                self.meter.op(OpClass::Add, n);
+                one(Value::Matrix(Dense::row_vector(&data)))
+            }
+
+            // ---- shape queries ----
+            "size" => {
+                let v = self.arg(argv, 0, name, span)?;
+                let (r, c) = v.size();
+                self.meter.op(OpClass::Add, 1);
+                if argv.len() == 2 {
+                    let d = self.arg_scalar(argv, 1, name, span)?;
+                    let out = if d == 1.0 { r } else { c };
+                    return one(Value::Scalar(out as f64));
+                }
+                Ok(Some(vec![Value::Scalar(r as f64), Value::Scalar(c as f64)]))
+            }
+            "length" => {
+                let v = self.arg(argv, 0, name, span)?;
+                let (r, c) = v.size();
+                self.meter.op(OpClass::Add, 1);
+                one(Value::Scalar(r.max(c) as f64))
+            }
+            "numel" => {
+                let v = self.arg(argv, 0, name, span)?;
+                self.meter.op(OpClass::Add, 1);
+                one(Value::Scalar(v.numel() as f64))
+            }
+
+            // ---- element-wise math ----
+            "abs" => self.map_builtin(argv, name, span, OpClass::Add, f64::abs),
+            "sqrt" => self.map_builtin(argv, name, span, OpClass::Div, f64::sqrt),
+            "sin" => self.map_builtin(argv, name, span, OpClass::Transcendental, f64::sin),
+            "cos" => self.map_builtin(argv, name, span, OpClass::Transcendental, f64::cos),
+            "tan" => self.map_builtin(argv, name, span, OpClass::Transcendental, f64::tan),
+            "exp" => self.map_builtin(argv, name, span, OpClass::Transcendental, f64::exp),
+            "log" => self.map_builtin(argv, name, span, OpClass::Transcendental, f64::ln),
+            "log2" => self.map_builtin(argv, name, span, OpClass::Transcendental, f64::log2),
+            "floor" => self.map_builtin(argv, name, span, OpClass::Add, f64::floor),
+            "ceil" => self.map_builtin(argv, name, span, OpClass::Add, f64::ceil),
+            "round" => self.map_builtin(argv, name, span, OpClass::Add, f64::round),
+            "sign" => self.map_builtin(argv, name, span, OpClass::Add, f64::signum),
+            "mod" => {
+                let a = self.arg(argv, 0, name, span)?.clone();
+                let b = self.arg(argv, 1, name, span)?.clone();
+                let r = self.apply_binary_fn(a, b, OpClass::Div, |x, y| x.rem_euclid(y), span)?;
+                one(r)
+            }
+            "rem" => {
+                let a = self.arg(argv, 0, name, span)?.clone();
+                let b = self.arg(argv, 1, name, span)?.clone();
+                let r = self.apply_binary_fn(a, b, OpClass::Div, |x, y| x % y, span)?;
+                one(r)
+            }
+
+            // ---- reductions ----
+            "sum" => {
+                let m = self.arg_matrix(argv, 0, name, span)?;
+                self.meter.op(OpClass::Add, m.len());
+                one(Value::Matrix(m.sum()).normalized())
+            }
+            "mean" => {
+                let m = self.arg_matrix(argv, 0, name, span)?;
+                self.meter.op(OpClass::Add, m.len());
+                one(Value::Matrix(m.mean()).normalized())
+            }
+            "max" | "min" => {
+                if argv.len() == 2 {
+                    let a = self.arg(argv, 0, name, span)?.clone();
+                    let b = self.arg(argv, 1, name, span)?.clone();
+                    let f = if name == "max" { f64::max } else { f64::min };
+                    let r = self.apply_binary_fn(a, b, OpClass::Add, f, span)?;
+                    return one(r);
+                }
+                let m = self.arg_matrix(argv, 0, name, span)?;
+                if m.is_empty() {
+                    return Err(InterpError::new(format!("{name} of empty matrix"), span));
+                }
+                self.meter.op(OpClass::Add, m.len());
+                // MATLAB convention: vectors reduce to a scalar,
+                // matrices to per-column extrema.
+                let v = if name == "max" { m.max() } else { m.min() };
+                one(Value::Matrix(v).normalized())
+            }
+            "prod" => {
+                let m = self.arg_matrix(argv, 0, name, span)?;
+                self.meter.op(OpClass::Mul, m.len());
+                one(Value::Matrix(m.prod()).normalized())
+            }
+            "any" => {
+                let m = self.arg_matrix(argv, 0, name, span)?;
+                self.meter.op(OpClass::Add, m.len());
+                one(Value::Matrix(m.any()).normalized())
+            }
+            "all" => {
+                let m = self.arg_matrix(argv, 0, name, span)?;
+                self.meter.op(OpClass::Add, m.len());
+                one(Value::Matrix(m.all()).normalized())
+            }
+            "norm" => {
+                let m = self.arg_matrix(argv, 0, name, span)?;
+                self.meter.op(OpClass::Mul, m.len());
+                one(Value::Scalar(m.norm2()))
+            }
+            "dot" => {
+                let a = self.arg_matrix(argv, 0, name, span)?;
+                let b = self.arg_matrix(argv, 1, name, span)?;
+                if a.len() != b.len() {
+                    return Err(InterpError::new("dot length mismatch", span));
+                }
+                self.meter.op(OpClass::Mul, a.len());
+                one(Value::Scalar(a.dot(&b)))
+            }
+            "trapz" => {
+                let a = self.arg_matrix(argv, 0, name, span)?;
+                self.meter.op(OpClass::Mul, a.len());
+                if argv.len() == 2 {
+                    let y = self.arg_matrix(argv, 1, name, span)?;
+                    one(Value::Scalar(Dense::trapz_xy(&a, &y)))
+                } else {
+                    one(Value::Scalar(a.trapz()))
+                }
+            }
+            // The ocean script's 2-argument trapezoid rule.
+            "trapz2" => {
+                let x = self.arg_matrix(argv, 0, name, span)?;
+                let y = self.arg_matrix(argv, 1, name, span)?;
+                self.meter.op(OpClass::Mul, x.len());
+                one(Value::Scalar(Dense::trapz_xy(&x, &y)))
+            }
+
+            // ---- structural ----
+            "circshift" => {
+                let v = self.arg_matrix(argv, 0, name, span)?;
+                let k = self.arg_scalar(argv, 1, name, span)? as i64;
+                if !v.is_vector() {
+                    return Err(InterpError::new("circshift supports vectors only", span));
+                }
+                self.meter.op(OpClass::Add, v.len());
+                one(Value::Matrix(v.circshift(k)))
+            }
+            "repmat" => {
+                let m = self.arg_matrix(argv, 0, name, span)?;
+                let rr = self.arg_scalar(argv, 1, name, span)? as usize;
+                let cc = self.arg_scalar(argv, 2, name, span)? as usize;
+                let mut row = m.clone();
+                for _ in 1..cc {
+                    row = row.hcat(&m);
+                }
+                let mut out = row.clone();
+                for _ in 1..rr {
+                    out = out.vcat(&row);
+                }
+                self.meter.op(OpClass::Add, out.len());
+                one(Value::Matrix(out))
+            }
+
+            // ---- I/O ----
+            "disp" => {
+                let v = self.arg(argv, 0, name, span)?.clone();
+                use std::fmt::Write;
+                let _ = writeln!(self.output, "{v}");
+                Ok(Some(vec![]))
+            }
+            "load" => {
+                let Value::Str(fname) = self.arg(argv, 0, name, span)? else {
+                    return Err(InterpError::new("load expects a file-name string", span));
+                };
+                let path = match &self.data_dir {
+                    Some(d) => d.join(fname),
+                    None => std::path::PathBuf::from(fname),
+                };
+                let m = otter_rt::io::read_matrix_file(&path)
+                    .map_err(|e| InterpError::new(format!("load: {e}"), span))?;
+                self.meter.op(OpClass::Add, m.len());
+                one(Value::Matrix(m).normalized())
+            }
+
+            _ => Ok(None),
+        }
+    }
+
+    // ---- argument helpers ----
+
+    fn arg<'a>(&self, argv: &'a [Value], i: usize, name: &str, span: Span) -> Result<&'a Value> {
+        argv.get(i).ok_or_else(|| {
+            InterpError::new(format!("`{name}` needs at least {} argument(s)", i + 1), span)
+        })
+    }
+
+    fn arg_scalar(&self, argv: &[Value], i: usize, name: &str, span: Span) -> Result<f64> {
+        let v = self.arg(argv, i, name, span)?;
+        v.as_scalar().ok_or_else(|| {
+            InterpError::new(format!("`{name}` argument {} must be a scalar", i + 1), span)
+        })
+    }
+
+    fn arg_matrix(&self, argv: &[Value], i: usize, name: &str, span: Span) -> Result<Dense> {
+        let v = self.arg(argv, i, name, span)?;
+        v.to_matrix().ok_or_else(|| {
+            InterpError::new(format!("`{name}` argument {} must be numeric", i + 1), span)
+        })
+    }
+
+    fn dims_from_args(&self, argv: &[Value], span: Span) -> Result<(usize, usize)> {
+        match argv.len() {
+            0 => Ok((1, 1)),
+            1 => {
+                let n = self.arg_scalar(argv, 0, "zeros", span)? as usize;
+                Ok((n, n))
+            }
+            _ => {
+                let r = self.arg_scalar(argv, 0, "zeros", span)? as usize;
+                let c = self.arg_scalar(argv, 1, "zeros", span)? as usize;
+                Ok((r, c))
+            }
+        }
+    }
+
+    fn map_builtin(
+        &mut self,
+        argv: &[Value],
+        name: &str,
+        span: Span,
+        class: OpClass,
+        f: impl Fn(f64) -> f64,
+    ) -> Result<Option<Vec<Value>>> {
+        let v = self.arg(argv, 0, name, span)?;
+        let out = match v {
+            Value::Scalar(x) => {
+                self.meter.op(class, 1);
+                Value::Scalar(f(*x))
+            }
+            Value::Matrix(m) => {
+                self.meter.op(class, m.len());
+                Value::Matrix(m.map(f))
+            }
+            Value::Str(_) => {
+                return Err(InterpError::new(format!("`{name}` of a string"), span))
+            }
+        };
+        Ok(Some(vec![out]))
+    }
+
+    /// Element-wise two-argument builtin with scalar broadcast.
+    fn apply_binary_fn(
+        &mut self,
+        a: Value,
+        b: Value,
+        class: OpClass,
+        f: impl Fn(f64, f64) -> f64,
+        span: Span,
+    ) -> Result<Value> {
+        match (a, b) {
+            (Value::Scalar(x), Value::Scalar(y)) => {
+                self.meter.op(class, 1);
+                Ok(Value::Scalar(f(x, y)))
+            }
+            (Value::Scalar(x), Value::Matrix(m)) => {
+                self.meter.op(class, m.len());
+                Ok(Value::Matrix(m.map(|y| f(x, y))))
+            }
+            (Value::Matrix(m), Value::Scalar(y)) => {
+                self.meter.op(class, m.len());
+                Ok(Value::Matrix(m.map(|x| f(x, y))))
+            }
+            (Value::Matrix(ma), Value::Matrix(mb)) => {
+                if ma.rows() != mb.rows() || ma.cols() != mb.cols() {
+                    return Err(InterpError::new("shape mismatch", span));
+                }
+                self.meter.op(class, ma.len());
+                Ok(Value::Matrix(ma.zip(&mb, f)))
+            }
+            _ => Err(InterpError::new("numeric arguments required", span)),
+        }
+    }
+}

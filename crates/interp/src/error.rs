@@ -1,0 +1,49 @@
+//! Interpreter diagnostics.
+
+use otter_frontend::Span;
+use std::fmt;
+
+/// A run-time error raised while interpreting a script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl InterpError {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        InterpError { message: message.into(), span }
+    }
+
+    /// Error with no useful location.
+    pub fn nowhere(message: impl Into<String>) -> Self {
+        InterpError { message: message.into(), span: Span::DUMMY }
+    }
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span.is_dummy() {
+            write!(f, "run-time error: {}", self.message)
+        } else {
+            write!(f, "run-time error at {}: {}", self.span, self.message)
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+pub type Result<T> = std::result::Result<T, InterpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_span() {
+        let e = InterpError::new("undefined variable `x`", Span::new(0, 1, 3, 2));
+        assert_eq!(e.to_string(), "run-time error at 3:2: undefined variable `x`");
+        let e = InterpError::nowhere("boom");
+        assert_eq!(e.to_string(), "run-time error: boom");
+    }
+}

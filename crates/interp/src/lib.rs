@@ -1,0 +1,508 @@
+//! # otter-interp
+//!
+//! A tree-walking MATLAB interpreter: the reproduction's stand-in for
+//! The MathWorks interpreter, the baseline every figure of the paper
+//! normalizes against ("speedup over MATLAB").
+//!
+//! Two things distinguish it from a toy evaluator:
+//!
+//! 1. **It meters its own overheads.** Per-statement dispatch, per-op
+//!    dynamic dispatch, and the per-element interpreter penalty are
+//!    charged to a [`CostMeter`] using the calibrated coefficients in
+//!    `otter-machine`, so the modeled baseline time can be evaluated
+//!    on any of the paper's machines.
+//! 2. **It is the correctness oracle.** The compiled SPMD pipeline
+//!    must produce the same workspace, which the integration tests
+//!    verify for every benchmark script and processor count.
+//!
+//! ```
+//! use otter_interp::run_script;
+//!
+//! let out = run_script("x = [1, 2; 3, 4];\ns = sum(x(:, 1));", None).unwrap();
+//! assert_eq!(out.scalar("s"), Some(4.0));
+//! ```
+
+pub mod builtins;
+pub mod error;
+pub mod interp;
+pub mod meter;
+pub mod value;
+
+pub use error::InterpError;
+pub use interp::{Flow, Interp};
+pub use meter::CostMeter;
+pub use value::Value;
+
+use otter_frontend::{parse, MapProvider, Program, SourceProvider};
+
+/// Result of running a script: final workspace and metering.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Final values of script-level variables.
+    pub workspace: std::collections::HashMap<String, Value>,
+    /// Everything the script displayed.
+    pub output: String,
+    /// Modeled cost of the run.
+    pub meter: CostMeter,
+}
+
+impl RunOutcome {
+    /// Fetch a workspace variable.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.workspace.get(name)
+    }
+
+    /// Fetch a scalar workspace variable.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.workspace.get(name).and_then(|v| v.as_scalar())
+    }
+
+    /// Fetch a matrix workspace variable.
+    pub fn matrix(&self, name: &str) -> Option<otter_rt::Dense> {
+        self.workspace.get(name).and_then(|v| v.to_matrix())
+    }
+}
+
+/// Assemble a [`Program`] from a script plus reachable M-files —
+/// a lightweight version of the resolution pass, used when running
+/// scripts directly through the interpreter. (The compiler pipeline
+/// uses `otter-analysis`'s full resolution instead.)
+pub fn assemble_program(
+    src: &str,
+    provider: &dyn SourceProvider,
+) -> Result<Program, otter_frontend::FrontendError> {
+    let file = parse(src)?;
+    let mut program = Program { script: file.script, functions: file.functions };
+    // Chase referenced names breadth-first.
+    let mut queued: Vec<String> = Vec::new();
+    let collect = |block: &otter_frontend::Block, queued: &mut Vec<String>| {
+        for stmt in block {
+            collect_names(stmt, queued);
+        }
+    };
+    collect(&program.script, &mut queued);
+    for f in &program.functions {
+        collect(&f.body, &mut queued);
+    }
+    let mut i = 0;
+    while i < queued.len() {
+        let name = queued[i].clone();
+        i += 1;
+        if program.function(&name).is_some() {
+            continue;
+        }
+        if let Some(src) = provider.m_file(&name) {
+            let file = parse(&src).map_err(|e| e.in_file(format!("{name}.m")))?;
+            for f in file.functions {
+                collect(&f.body, &mut queued);
+                program.functions.push(f);
+            }
+        }
+    }
+    Ok(program)
+}
+
+fn collect_names(stmt: &otter_frontend::Stmt, out: &mut Vec<String>) {
+    use otter_frontend::StmtKind;
+    let from_expr = |e: &otter_frontend::Expr, out: &mut Vec<String>| {
+        for n in e.idents() {
+            out.push(n);
+        }
+    };
+    match &stmt.kind {
+        StmtKind::Expr(e) => from_expr(e, out),
+        StmtKind::Assign { rhs, lhs } => {
+            from_expr(rhs, out);
+            if let Some(idx) = &lhs.indices {
+                for e in idx {
+                    from_expr(e, out);
+                }
+            }
+        }
+        StmtKind::MultiAssign { rhs, .. } => from_expr(rhs, out),
+        StmtKind::If { arms, else_body } => {
+            for (c, b) in arms {
+                from_expr(c, out);
+                for s in b {
+                    collect_names(s, out);
+                }
+            }
+            if let Some(b) = else_body {
+                for s in b {
+                    collect_names(s, out);
+                }
+            }
+        }
+        StmtKind::While { cond, body } => {
+            from_expr(cond, out);
+            for s in body {
+                collect_names(s, out);
+            }
+        }
+        StmtKind::For { iter, body, .. } => {
+            from_expr(iter, out);
+            for s in body {
+                collect_names(s, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Parse and run a script with optional M-file sources; returns the
+/// final workspace.
+pub fn run_script(
+    src: &str,
+    m_files: Option<&MapProvider>,
+) -> Result<RunOutcome, Box<dyn std::error::Error>> {
+    let empty = MapProvider::new();
+    let provider = m_files.unwrap_or(&empty);
+    let program = assemble_program(src, provider)?;
+    let mut interp = Interp::new(program);
+    interp.run()?;
+    Ok(RunOutcome {
+        workspace: interp_workspace(&interp),
+        output: interp.output.clone(),
+        meter: interp.meter.clone(),
+    })
+}
+
+fn interp_workspace(interp: &Interp) -> std::collections::HashMap<String, Value> {
+    // The script scope is scope 0 and the only one left after run().
+    interp.workspace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> RunOutcome {
+        run_script(src, None).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        let o = run("x = 2 + 3 * 4;");
+        assert_eq!(o.scalar("x"), Some(14.0));
+    }
+
+    #[test]
+    fn operator_precedence_matches_matlab() {
+        assert_eq!(run("x = -2^2;").scalar("x"), Some(-4.0));
+        assert_eq!(run("x = 2^-1;").scalar("x"), Some(0.5));
+        assert_eq!(run("x = 8 / 4 / 2;").scalar("x"), Some(1.0));
+        assert_eq!(run("x = 2 + 3 < 4;").scalar("x"), Some(0.0));
+    }
+
+    #[test]
+    fn vector_ops_and_ranges() {
+        let o = run("v = 1:5;\ns = sum(v .* v);");
+        assert_eq!(o.scalar("s"), Some(55.0));
+    }
+
+    #[test]
+    fn matrix_literal_and_matmul() {
+        let o = run("a = [1, 2; 3, 4];\nb = a * a;\nt = b(2, 1);");
+        assert_eq!(o.scalar("t"), Some(15.0));
+    }
+
+    #[test]
+    fn transpose_and_dot() {
+        let o = run("v = [1, 2, 3];\nd = v * v';");
+        assert_eq!(o.scalar("d"), Some(14.0));
+    }
+
+    #[test]
+    fn indexing_forms() {
+        let o = run(
+            "a = [1, 2, 3; 4, 5, 6];\nr = a(2, :);\nc = a(:, 3);\ne = a(end, end);\nl = a(3);",
+        );
+        assert_eq!(o.matrix("r").unwrap().data(), &[4.0, 5.0, 6.0]);
+        assert_eq!(o.matrix("c").unwrap().data(), &[3.0, 6.0]);
+        assert_eq!(o.scalar("e"), Some(6.0));
+        // Linear indexing is column-major: a(3) == 2.
+        assert_eq!(o.scalar("l"), Some(2.0));
+    }
+
+    #[test]
+    fn range_indexing_with_end() {
+        let o = run("v = 10:10:100;\nw = v(2:end-1);\ns = sum(w);");
+        assert_eq!(o.scalar("s"), Some(20.0 + 30.0 + 40.0 + 50.0 + 60.0 + 70.0 + 80.0 + 90.0));
+    }
+
+    #[test]
+    fn indexed_assignment_and_growth() {
+        let o = run("a = zeros(2, 2);\na(1, 2) = 5;\na(3, 3) = 7;\ns = sum(sum(a));");
+        assert_eq!(o.scalar("s"), Some(12.0));
+        let a = o.matrix("a").unwrap();
+        assert_eq!((a.rows(), a.cols()), (3, 3));
+    }
+
+    #[test]
+    fn vector_growth_by_linear_index() {
+        let o = run("v(3) = 9;\nn = length(v);");
+        assert_eq!(o.scalar("n"), Some(3.0));
+        assert_eq!(o.matrix("v").unwrap().data(), &[0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn while_loop_with_break() {
+        let o = run("i = 0;\nwhile 1\ni = i + 1;\nif i >= 5\nbreak;\nend\nend");
+        assert_eq!(o.scalar("i"), Some(5.0));
+    }
+
+    #[test]
+    fn for_loop_accumulates() {
+        let o = run("s = 0;\nfor i = 1:100\ns = s + i;\nend");
+        assert_eq!(o.scalar("s"), Some(5050.0));
+    }
+
+    #[test]
+    fn for_loop_continue() {
+        let o = run("s = 0;\nfor i = 1:10\nif mod(i, 2) == 0\ncontinue;\nend\ns = s + i;\nend");
+        assert_eq!(o.scalar("s"), Some(25.0));
+    }
+
+    #[test]
+    fn if_elseif_else_chain() {
+        let src = |x: i32| {
+            format!("x = {x};\nif x < 0\ny = -1;\nelseif x == 0\ny = 0;\nelse\ny = 1;\nend")
+        };
+        assert_eq!(run(&src(-5)).scalar("y"), Some(-1.0));
+        assert_eq!(run(&src(0)).scalar("y"), Some(0.0));
+        assert_eq!(run(&src(3)).scalar("y"), Some(1.0));
+    }
+
+    #[test]
+    fn user_functions_via_provider() {
+        let m = MapProvider::new().with(
+            "sq",
+            "function y = sq(x)\ny = x .* x;\n",
+        );
+        let o = run_script("z = sq(4) + sq(3);", Some(&m)).unwrap();
+        assert_eq!(o.scalar("z"), Some(25.0));
+    }
+
+    #[test]
+    fn multi_return_function() {
+        let m = MapProvider::new().with(
+            "stats",
+            "function [s, m] = stats(v)\ns = sum(v);\nm = mean(v);\n",
+        );
+        let o = run_script("[a, b] = stats([2, 4, 6]);", Some(&m)).unwrap();
+        assert_eq!(o.scalar("a"), Some(12.0));
+        assert_eq!(o.scalar("b"), Some(4.0));
+    }
+
+    #[test]
+    fn recursion_works() {
+        let m = MapProvider::new().with(
+            "factorial_m",
+            "function y = factorial_m(n)\nif n <= 1\ny = 1;\nelse\ny = n * factorial_m(n - 1);\nend\n",
+        );
+        let o = run_script("f = factorial_m(10);", Some(&m)).unwrap();
+        assert_eq!(o.scalar("f"), Some(3628800.0));
+    }
+
+    #[test]
+    fn functions_have_their_own_scope() {
+        let m = MapProvider::new().with("clobber", "function y = clobber(x)\nt = 99;\ny = x;\n");
+        let o = run_script("t = 1;\nz = clobber(2);", Some(&m)).unwrap();
+        assert_eq!(o.scalar("t"), Some(1.0), "function locals must not leak");
+    }
+
+    #[test]
+    fn globals_are_shared() {
+        let m = MapProvider::new().with(
+            "bump",
+            "function y = bump(x)\nglobal counter\ncounter = counter + 1;\ny = x;\n",
+        );
+        let o = run_script(
+            "global counter\ncounter = 0;\na = bump(0);\nb = bump(0);\nc = counter;",
+            Some(&m),
+        )
+        .unwrap();
+        assert_eq!(o.scalar("c"), Some(2.0));
+    }
+
+    #[test]
+    fn builtin_reductions() {
+        let o = run("v = [3, 1, 4, 1, 5];\nmx = max(v);\nmn = min(v);\nnm = norm([3, 4]);");
+        assert_eq!(o.scalar("mx"), Some(5.0));
+        assert_eq!(o.scalar("mn"), Some(1.0));
+        assert_eq!(o.scalar("nm"), Some(5.0));
+    }
+
+    #[test]
+    fn builtin_max_two_arg_broadcast() {
+        let o = run("v = max([1, 5, 3], 2);");
+        assert_eq!(o.matrix("v").unwrap().data(), &[2.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn trapz_builtins() {
+        let o = run("y = 0:4;\na = trapz(y);\nx = [0, 2, 4];\nb = trapz2(x, [0, 2, 4]);");
+        assert_eq!(o.scalar("a"), Some(8.0));
+        assert_eq!(o.scalar("b"), Some(8.0));
+    }
+
+    #[test]
+    fn solve_via_left_division() {
+        let o = run("a = [2, 0; 0, 4];\nb = [2; 8];\nx = a \\ b;");
+        assert_eq!(o.matrix("x").unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_with_pivoting() {
+        let o = run("a = [0, 1; 1, 0];\nb = [3; 7];\nx = a \\ b;");
+        assert_eq!(o.matrix("x").unwrap().data(), &[7.0, 3.0]);
+    }
+
+    #[test]
+    fn display_output_captured() {
+        let o = run("x = 3\ny = 4;");
+        assert!(o.output.contains("x ="));
+        assert!(!o.output.contains("y ="));
+    }
+
+    #[test]
+    fn disp_builtin() {
+        let o = run("disp(42);");
+        assert!(o.output.contains("42"));
+    }
+
+    #[test]
+    fn ans_variable() {
+        let o = run("3 + 4;\nx = ans * 2;");
+        assert_eq!(o.scalar("x"), Some(14.0));
+    }
+
+    #[test]
+    fn rand_is_seeded_and_in_range() {
+        let a = run("x = rand(4, 4);\ns = sum(sum(x));");
+        let b = run("x = rand(4, 4);\ns = sum(sum(x));");
+        assert_eq!(a.scalar("s"), b.scalar("s"), "same seed, same stream");
+        let m = a.matrix("x").unwrap();
+        assert!(m.data().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let o = run("v = 1:1000;\ns = sum(v);");
+        assert!(o.meter.units() > 1000.0);
+        assert!(o.meter.statements() >= 2);
+    }
+
+    #[test]
+    fn interpreter_costs_exceed_matcom_costs() {
+        use otter_machine::ExecutionStyle;
+        let program = assemble_program("v = 1:100;\ns = 0;\nfor i = 1:100\ns = s + v(i);\nend", &MapProvider::new()).unwrap();
+        let mut i1 = Interp::new(program.clone());
+        i1.run().unwrap();
+        let mut i2 = Interp::with_style(program, ExecutionStyle::Matcom);
+        i2.run().unwrap();
+        assert!(i1.meter.units() > 5.0 * i2.meter.units());
+    }
+
+    #[test]
+    fn undefined_variable_reports_span() {
+        let err = run_script("x = nosuchthing + 1;", None).unwrap_err();
+        assert!(err.to_string().contains("nosuchthing"), "{err}");
+    }
+
+    #[test]
+    fn shape_mismatch_reported() {
+        let err = run_script("a = [1, 2] + [1, 2, 3];", None).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn string_values() {
+        let o = run("s = 'hello';\nn = length(s);");
+        assert_eq!(o.scalar("n"), Some(5.0));
+    }
+
+    #[test]
+    fn colon_full_slice_returns_column() {
+        // a(:) flattens column-major in MATLAB; our subset returns the
+        // linear selection.
+        let o = run("a = [1, 3; 2, 4];\nv = a(:);\ns = v(2);");
+        assert_eq!(o.scalar("s"), Some(2.0));
+    }
+
+    #[test]
+    fn elementwise_power() {
+        let o = run("v = [1, 2, 3] .^ 2;\ns = sum(v);");
+        assert_eq!(o.scalar("s"), Some(14.0));
+    }
+
+    #[test]
+    fn logical_reductions_via_comparison() {
+        let o = run("v = [1, 5, 2, 8];\nbig = sum(v > 3);");
+        assert_eq!(o.scalar("big"), Some(2.0));
+    }
+
+    #[test]
+    fn linspace_builtin() {
+        let o = run("v = linspace(0, 1, 5);");
+        assert_eq!(o.matrix("v").unwrap().data(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn size_two_outputs() {
+        let o = run("a = zeros(3, 7);\n[r, c] = size(a);");
+        assert_eq!(o.scalar("r"), Some(3.0));
+        assert_eq!(o.scalar("c"), Some(7.0));
+    }
+}
+
+#[cfg(test)]
+mod builtin_tests {
+    use super::*;
+
+    fn run(src: &str) -> RunOutcome {
+        run_script(src, None).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    #[test]
+    fn prod_conventions() {
+        assert_eq!(run("p = prod([1, 2, 3, 4]);").scalar("p"), Some(24.0));
+        let o = run("p = prod([1, 2; 3, 4]);");
+        assert_eq!(o.matrix("p").unwrap().data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn any_all_conventions() {
+        assert_eq!(run("a = any([0, 0, 1]);").scalar("a"), Some(1.0));
+        assert_eq!(run("a = any([0, 0, 0]);").scalar("a"), Some(0.0));
+        assert_eq!(run("a = all([1, 2, 3]);").scalar("a"), Some(1.0));
+        assert_eq!(run("a = all([1, 0, 3]);").scalar("a"), Some(0.0));
+        let o = run("a = any([0, 1; 0, 0]);");
+        assert_eq!(o.matrix("a").unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn max_min_column_conventions() {
+        let o = run("m = max([1, 5; 3, 2]);\nn = min([1, 5; 3, 2]);");
+        assert_eq!(o.matrix("m").unwrap().data(), &[3.0, 5.0]);
+        assert_eq!(o.matrix("n").unwrap().data(), &[1.0, 2.0]);
+        // Vectors still give scalars.
+        assert_eq!(run("m = max([4, 9, 2]);").scalar("m"), Some(9.0));
+    }
+
+    #[test]
+    fn strided_indexing_interpreted() {
+        let o = run("v = 1:20;\nw = v(1:2:end);\ns = sum(w);");
+        assert_eq!(o.scalar("s"), Some(100.0));
+        let o = run("v = 1:10;\nw = v(10:-3:1);");
+        assert_eq!(o.matrix("w").unwrap().data(), &[10.0, 7.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn scalar_slice_fill_interpreted() {
+        let o = run("a = ones(3, 3);\na(2, :) = 0;\ns = sum(sum(a));");
+        assert_eq!(o.scalar("s"), Some(6.0));
+        let o = run("v = 1:6;\nv(2:4) = 9;\ns = sum(v);");
+        assert_eq!(o.scalar("s"), Some(1.0 + 27.0 + 5.0 + 6.0));
+    }
+}

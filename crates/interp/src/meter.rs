@@ -1,0 +1,108 @@
+//! Cost metering: the interpreter's modeled execution time.
+//!
+//! Every executed statement and every vector operation charges
+//! flop-units according to [`ExecutionStyle::Interpreter`]'s
+//! coefficients; the figures' "speedup over MATLAB" baselines divide
+//! by the resulting modeled seconds on the target machine's CPU.
+
+use otter_machine::{CpuModel, ExecutionStyle, OpClass, StyleCosts};
+
+/// Accumulates modeled flop-units for one interpreted run.
+#[derive(Debug, Clone)]
+pub struct CostMeter {
+    costs: StyleCosts,
+    units: f64,
+    statements: u64,
+    ops: u64,
+}
+
+impl CostMeter {
+    /// Meter with the given style's coefficients.
+    pub fn new(style: ExecutionStyle) -> Self {
+        CostMeter { costs: style.costs(), units: 0.0, statements: 0, ops: 0 }
+    }
+
+    /// Charge one statement dispatch.
+    pub fn statement(&mut self) {
+        self.units += self.costs.statement_dispatch;
+        self.statements += 1;
+    }
+
+    /// Charge one vector/matrix operation over `elements` elements.
+    pub fn op(&mut self, class: OpClass, elements: usize) {
+        self.units += self.costs.op_units(class, elements);
+        self.ops += 1;
+    }
+
+    /// Charge raw flop-units of O(n³) dense linear algebra (matrix
+    /// multiply, solve).
+    pub fn raw(&mut self, units: f64) {
+        self.units += units * self.costs.matmul_factor;
+        self.ops += 1;
+    }
+
+    /// Charge raw flop-units of O(n²) dense linear algebra
+    /// (matrix-vector products).
+    pub fn raw_matvec(&mut self, units: f64) {
+        self.units += units * self.costs.matvec_factor;
+        self.ops += 1;
+    }
+
+    /// Total accumulated flop-units.
+    pub fn units(&self) -> f64 {
+        self.units
+    }
+
+    /// Modeled wall-seconds on the given CPU.
+    pub fn seconds_on(&self, cpu: &CpuModel) -> f64 {
+        self.units * cpu.flop_time()
+    }
+
+    /// Number of statements executed.
+    pub fn statements(&self) -> u64 {
+        self.statements
+    }
+
+    /// Number of vector operations executed.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otter_machine::workstation;
+
+    #[test]
+    fn accumulates_dispatch_and_ops() {
+        let mut m = CostMeter::new(ExecutionStyle::Interpreter);
+        m.statement();
+        m.op(OpClass::Add, 100);
+        let c = ExecutionStyle::Interpreter.costs();
+        let expect = c.statement_dispatch + c.op_units(OpClass::Add, 100);
+        assert_eq!(m.units(), expect);
+        assert_eq!(m.statements(), 1);
+        assert_eq!(m.ops(), 1);
+    }
+
+    #[test]
+    fn seconds_scale_with_cpu() {
+        let mut m = CostMeter::new(ExecutionStyle::Interpreter);
+        m.op(OpClass::Mul, 1000);
+        let ws = workstation();
+        let secs = m.seconds_on(&ws.cpu);
+        assert!((secs - m.units() / ws.cpu.flops).abs() < 1e-18);
+    }
+
+    #[test]
+    fn matcom_charges_less_than_interpreter() {
+        let mut i = CostMeter::new(ExecutionStyle::Interpreter);
+        let mut m = CostMeter::new(ExecutionStyle::Matcom);
+        for meter in [&mut i, &mut m] {
+            meter.statement();
+            meter.op(OpClass::Add, 10);
+        }
+        assert!(i.units() > m.units());
+    }
+}

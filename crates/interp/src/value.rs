@@ -1,0 +1,144 @@
+//! Runtime values of the interpreter.
+//!
+//! MATLAB has no scalar/matrix type distinction at the surface — a
+//! scalar is a 1×1 matrix — but the interpreter keeps scalars unboxed
+//! because that is exactly the representation choice whose *absence*
+//! of compile-time knowledge the paper's type inference pass exists to
+//! recover.
+
+use otter_rt::Dense;
+use std::fmt;
+
+/// A dynamically typed MATLAB value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Scalar(f64),
+    Matrix(Dense),
+    Str(String),
+}
+
+impl Value {
+    /// Coerce to a scalar if the value is one (including 1×1 matrices).
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            Value::Scalar(v) => Some(*v),
+            Value::Matrix(m) if m.is_scalar() => Some(m.get(0, 0)),
+            _ => None,
+        }
+    }
+
+    /// View as a dense matrix (scalars become 1×1).
+    pub fn to_matrix(&self) -> Option<Dense> {
+        match self {
+            Value::Scalar(v) => Some(Dense::from_vec(1, 1, vec![*v])),
+            Value::Matrix(m) => Some(m.clone()),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// MATLAB truthiness: nonzero scalar, or all-nonzero nonempty
+    /// matrix.
+    pub fn is_true(&self) -> bool {
+        match self {
+            Value::Scalar(v) => *v != 0.0,
+            Value::Matrix(m) => !m.is_empty() && m.data().iter().all(|&x| x != 0.0),
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Element count (`numel`).
+    pub fn numel(&self) -> usize {
+        match self {
+            Value::Scalar(_) => 1,
+            Value::Matrix(m) => m.len(),
+            Value::Str(s) => s.len(),
+        }
+    }
+
+    /// `(rows, cols)` (`size`).
+    pub fn size(&self) -> (usize, usize) {
+        match self {
+            Value::Scalar(_) => (1, 1),
+            Value::Matrix(m) => (m.rows(), m.cols()),
+            Value::Str(s) => (1, s.len()),
+        }
+    }
+
+    /// Normalize: collapse 1×1 matrices to scalars (MATLAB operations
+    /// producing 1×1 results behave as scalars downstream).
+    pub fn normalized(self) -> Value {
+        match self {
+            Value::Matrix(m) if m.is_scalar() => Value::Scalar(m.get(0, 0)),
+            v => v,
+        }
+    }
+
+    /// Human-readable type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Scalar(_) => "scalar",
+            Value::Matrix(_) => "matrix",
+            Value::Str(_) => "string",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Scalar(v) => write!(f, "{v:>12.6}"),
+            Value::Matrix(m) => write!(f, "{m}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Scalar(v)
+    }
+}
+
+impl From<Dense> for Value {
+    fn from(m: Dense) -> Self {
+        Value::Matrix(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_coercion() {
+        assert_eq!(Value::Scalar(3.0).as_scalar(), Some(3.0));
+        assert_eq!(Value::Matrix(Dense::from_vec(1, 1, vec![4.0])).as_scalar(), Some(4.0));
+        assert_eq!(Value::Matrix(Dense::zeros(2, 2)).as_scalar(), None);
+        assert_eq!(Value::Str("x".into()).as_scalar(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Scalar(1.0).is_true());
+        assert!(!Value::Scalar(0.0).is_true());
+        assert!(Value::Matrix(Dense::ones(2, 2)).is_true());
+        assert!(!Value::Matrix(Dense::zeros(2, 2)).is_true());
+        assert!(!Value::Matrix(Dense::from_vec(1, 2, vec![1.0, 0.0])).is_true());
+        assert!(!Value::Matrix(Dense::from_vec(1, 0, vec![])).is_true());
+    }
+
+    #[test]
+    fn normalization_collapses_1x1() {
+        let v = Value::Matrix(Dense::from_vec(1, 1, vec![7.0])).normalized();
+        assert_eq!(v, Value::Scalar(7.0));
+        let m = Value::Matrix(Dense::zeros(2, 1)).normalized();
+        assert!(matches!(m, Value::Matrix(_)));
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Value::Scalar(0.0).size(), (1, 1));
+        assert_eq!(Value::Matrix(Dense::zeros(3, 4)).size(), (3, 4));
+        assert_eq!(Value::Matrix(Dense::zeros(3, 4)).numel(), 12);
+    }
+}

@@ -1,0 +1,631 @@
+//! IR node definitions.
+
+use std::collections::BTreeMap;
+
+/// Scalar builtin functions usable inside replicated scalar
+/// expressions (pure C library calls in the emitted code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SFun {
+    Sqrt,
+    Abs,
+    Sin,
+    Cos,
+    Tan,
+    Exp,
+    Log,
+    Log2,
+    Floor,
+    Ceil,
+    Round,
+    Sign,
+    Pow,
+    Mod,
+    Rem,
+    Max,
+    Min,
+}
+
+impl SFun {
+    /// Number of arguments.
+    pub fn arity(self) -> usize {
+        match self {
+            SFun::Pow | SFun::Mod | SFun::Rem | SFun::Max | SFun::Min => 2,
+            _ => 1,
+        }
+    }
+
+    /// The C expression spelling, as the emitter prints it.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            SFun::Sqrt => "sqrt",
+            SFun::Abs => "fabs",
+            SFun::Sin => "sin",
+            SFun::Cos => "cos",
+            SFun::Tan => "tan",
+            SFun::Exp => "exp",
+            SFun::Log => "log",
+            SFun::Log2 => "log2",
+            SFun::Floor => "floor",
+            SFun::Ceil => "ceil",
+            SFun::Round => "round",
+            SFun::Sign => "ML_sign",
+            SFun::Pow => "pow",
+            SFun::Mod => "ML_mod",
+            SFun::Rem => "fmod",
+            SFun::Max => "ML_max",
+            SFun::Min => "ML_min",
+        }
+    }
+
+    /// Evaluate on doubles (the executor's semantics; `ML_mod` is
+    /// MATLAB's sign-following `mod`).
+    pub fn eval(self, args: &[f64]) -> f64 {
+        match self {
+            SFun::Sqrt => args[0].sqrt(),
+            SFun::Abs => args[0].abs(),
+            SFun::Sin => args[0].sin(),
+            SFun::Cos => args[0].cos(),
+            SFun::Tan => args[0].tan(),
+            SFun::Exp => args[0].exp(),
+            SFun::Log => args[0].ln(),
+            SFun::Log2 => args[0].log2(),
+            SFun::Floor => args[0].floor(),
+            SFun::Ceil => args[0].ceil(),
+            SFun::Round => args[0].round(),
+            SFun::Sign => args[0].signum(),
+            SFun::Pow => args[0].powf(args[1]),
+            SFun::Mod => args[0].rem_euclid(args[1]),
+            SFun::Rem => args[0] % args[1],
+            SFun::Max => args[0].max(args[1]),
+            SFun::Min => args[0].min(args[1]),
+        }
+    }
+}
+
+/// Scalar binary operators (replicated arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl SBinOp {
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            SBinOp::Add => "+",
+            SBinOp::Sub => "-",
+            SBinOp::Mul => "*",
+            SBinOp::Div => "/",
+            SBinOp::Eq => "==",
+            SBinOp::Ne => "!=",
+            SBinOp::Lt => "<",
+            SBinOp::Le => "<=",
+            SBinOp::Gt => ">",
+            SBinOp::Ge => ">=",
+            SBinOp::And => "&&",
+            SBinOp::Or => "||",
+        }
+    }
+
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            SBinOp::Add => a + b,
+            SBinOp::Sub => a - b,
+            SBinOp::Mul => a * b,
+            SBinOp::Div => a / b,
+            SBinOp::Eq => f64::from(a == b),
+            SBinOp::Ne => f64::from(a != b),
+            SBinOp::Lt => f64::from(a < b),
+            SBinOp::Le => f64::from(a <= b),
+            SBinOp::Gt => f64::from(a > b),
+            SBinOp::Ge => f64::from(a >= b),
+            SBinOp::And => f64::from(a != 0.0 && b != 0.0),
+            SBinOp::Or => f64::from(a != 0.0 || b != 0.0),
+        }
+    }
+}
+
+/// Replicated scalar expression — every rank computes the same value
+/// redundantly (paper §3 assumption 1: "scalar variables are
+/// replicated across the set of processors").
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExpr {
+    Const(f64),
+    /// Scalar variable reference.
+    Var(String),
+    /// Run-time dimension of a matrix variable (`m->rows` /
+    /// `m->cols` / local-free `numel` in the emitted C). Lowered from
+    /// `size`/`length`/`numel`/`end` when the shape is not static.
+    DimOf { var: String, sel: DimSel },
+    /// The element being stored by the enclosing
+    /// [`Instr::StoreElem`] — the paper's
+    /// `*ML_realaddr2(a, i-1, j-1)` read inside the owner guard.
+    /// Valid only inside `StoreElem::val`.
+    OwnElem,
+    Neg(Box<SExpr>),
+    Not(Box<SExpr>),
+    Bin(SBinOp, Box<SExpr>, Box<SExpr>),
+    Call(SFun, Vec<SExpr>),
+}
+
+/// Which dimension [`SExpr::DimOf`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimSel {
+    Rows,
+    Cols,
+    /// `max(rows, cols)` — MATLAB `length`.
+    Length,
+    /// `rows * cols` — MATLAB `numel` and linear `end`.
+    Numel,
+}
+
+impl SExpr {
+    pub fn var(name: impl Into<String>) -> SExpr {
+        SExpr::Var(name.into())
+    }
+
+    pub fn c(v: f64) -> SExpr {
+        SExpr::Const(v)
+    }
+
+    pub fn bin(op: SBinOp, a: SExpr, b: SExpr) -> SExpr {
+        SExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Free scalar-variable names referenced.
+    pub fn vars(&self, out: &mut Vec<String>) {
+        match self {
+            SExpr::Const(_) => {}
+            SExpr::DimOf { .. } | SExpr::OwnElem => {}
+            SExpr::Var(v) => out.push(v.clone()),
+            SExpr::Neg(e) | SExpr::Not(e) => e.vars(out),
+            SExpr::Bin(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            SExpr::Call(_, args) => {
+                for a in args {
+                    a.vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// Element-wise operators within a fused loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EwOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl EwOp {
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            EwOp::Add => a + b,
+            EwOp::Sub => a - b,
+            EwOp::Mul => a * b,
+            EwOp::Div => a / b,
+            EwOp::Pow => a.powf(b),
+            EwOp::Eq => f64::from(a == b),
+            EwOp::Ne => f64::from(a != b),
+            EwOp::Lt => f64::from(a < b),
+            EwOp::Le => f64::from(a <= b),
+            EwOp::Gt => f64::from(a > b),
+            EwOp::Ge => f64::from(a >= b),
+            EwOp::And => f64::from(a != 0.0 && b != 0.0),
+            EwOp::Or => f64::from(a != 0.0 || b != 0.0),
+        }
+    }
+
+    /// C spelling for the emitted per-element loop body (`Pow` prints
+    /// as a `pow()` call instead).
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            EwOp::Add => "+",
+            EwOp::Sub => "-",
+            EwOp::Mul => "*",
+            EwOp::Div => "/",
+            EwOp::Pow => "pow",
+            EwOp::Eq => "==",
+            EwOp::Ne => "!=",
+            EwOp::Lt => "<",
+            EwOp::Le => "<=",
+            EwOp::Gt => ">",
+            EwOp::Ge => ">=",
+            EwOp::And => "&&",
+            EwOp::Or => "||",
+        }
+    }
+}
+
+/// Element-wise expression tree over *aligned* distributed operands
+/// and replicated scalars. Compiles to one fused per-element loop —
+/// the `for (ML_tmp3 = ...)` loop of the paper's §3 example.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EwExpr {
+    /// A distributed matrix operand (must be aligned with the
+    /// destination).
+    Mat(String),
+    /// A replicated scalar value.
+    Scalar(SExpr),
+    Neg(Box<EwExpr>),
+    Not(Box<EwExpr>),
+    Bin(EwOp, Box<EwExpr>, Box<EwExpr>),
+    /// Element-wise scalar function application.
+    Call(SFun, Vec<EwExpr>),
+}
+
+impl EwExpr {
+    pub fn mat(name: impl Into<String>) -> EwExpr {
+        EwExpr::Mat(name.into())
+    }
+
+    pub fn bin(op: EwOp, a: EwExpr, b: EwExpr) -> EwExpr {
+        EwExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Matrix operand names referenced by this tree.
+    pub fn mat_operands(&self, out: &mut Vec<String>) {
+        match self {
+            EwExpr::Mat(m) => out.push(m.clone()),
+            EwExpr::Scalar(_) => {}
+            EwExpr::Neg(e) | EwExpr::Not(e) => e.mat_operands(out),
+            EwExpr::Bin(_, a, b) => {
+                a.mat_operands(out);
+                b.mat_operands(out);
+            }
+            EwExpr::Call(_, args) => {
+                for a in args {
+                    a.mat_operands(out);
+                }
+            }
+        }
+    }
+
+    /// Approximate per-element flop weight of evaluating this tree —
+    /// used for modeled-time charging.
+    pub fn flop_weight(&self) -> f64 {
+        match self {
+            EwExpr::Mat(_) | EwExpr::Scalar(_) => 0.0,
+            EwExpr::Neg(e) | EwExpr::Not(e) => 1.0 + e.flop_weight(),
+            EwExpr::Bin(op, a, b) => {
+                let w = match op {
+                    EwOp::Div => 4.0,
+                    EwOp::Pow => 16.0,
+                    _ => 1.0,
+                };
+                w + a.flop_weight() + b.flop_weight()
+            }
+            EwExpr::Call(f, args) => {
+                let w = match f {
+                    SFun::Sqrt | SFun::Abs | SFun::Floor | SFun::Ceil | SFun::Round
+                    | SFun::Sign | SFun::Max | SFun::Min => 4.0,
+                    _ => 16.0,
+                };
+                w + args.iter().map(|a| a.flop_weight()).sum::<f64>()
+            }
+        }
+    }
+}
+
+/// Whole-object reductions producing a replicated scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RedOp {
+    SumAll,
+    MeanAll,
+    MaxAll,
+    MinAll,
+    ProdAll,
+    AnyAll,
+    AllAll,
+    Norm2,
+    Trapz,
+}
+
+impl RedOp {
+    pub fn c_name(self) -> &'static str {
+        match self {
+            RedOp::SumAll => "ML_sum_all",
+            RedOp::MeanAll => "ML_mean_all",
+            RedOp::MaxAll => "ML_max_all",
+            RedOp::MinAll => "ML_min_all",
+            RedOp::ProdAll => "ML_prod_all",
+            RedOp::AnyAll => "ML_any_all",
+            RedOp::AllAll => "ML_all_all",
+            RedOp::Norm2 => "ML_norm2",
+            RedOp::Trapz => "ML_trapz",
+        }
+    }
+}
+
+/// Matrix constructors computed without communication.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatInit {
+    Zeros { rows: SExpr, cols: SExpr },
+    Ones { rows: SExpr, cols: SExpr },
+    Eye { n: SExpr },
+    /// Seeded uniform random matrix; the seed keeps interpreter and
+    /// compiled runs comparable.
+    Rand { rows: SExpr, cols: SExpr },
+    Range { start: SExpr, step: SExpr, stop: SExpr },
+    /// Literal `[a, b; c, d]` of replicated scalar expressions.
+    Literal { rows: Vec<Vec<SExpr>> },
+    /// Row vector of `n` points from `a` to `b` inclusive.
+    Linspace { a: SExpr, b: SExpr, n: SExpr },
+}
+
+/// One SPMD instruction. Matrix operands are variable names; scalar
+/// operands are replicated [`SExpr`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // ---- replicated scalar computation ----
+    /// `dst = expr;` on every rank.
+    AssignScalar { dst: String, src: SExpr },
+
+    // ---- constructors ----
+    /// `dst = <constructor>` (no communication).
+    InitMatrix { dst: String, init: MatInit },
+    /// Copy a whole matrix variable: `dst = src`.
+    CopyMatrix { dst: String, src: String },
+    /// Load from a data file via rank-0 + scatter.
+    LoadFile { dst: String, path: String },
+
+    // ---- element-wise loop (no communication) ----
+    /// `dst(k) = expr(k)` for every locally owned element.
+    ElemWise { dst: String, expr: EwExpr },
+
+    // ---- run-time library calls (communication-bearing) ----
+    /// `ML_matrix_multiply(a, b, dst)`.
+    MatMul { dst: String, a: String, b: String },
+    /// `ML_matrix_vector_multiply(a, x, dst)`.
+    MatVec { dst: String, a: String, x: String },
+    /// Outer product `dst = u * v'` of two vectors.
+    Outer { dst: String, u: String, v: String },
+    /// `dst = aᵀ` (all-to-all redistribution).
+    Transpose { dst: String, a: String },
+    /// `ML_broadcast(&dst, m, i, j)` — fetch one element to a
+    /// replicated scalar. Indices are 1-based MATLAB expressions; the
+    /// `- 1` adjustment happens at execution/emission, exactly like
+    /// the generated C in the paper.
+    BroadcastElem { dst: String, m: String, i: SExpr, j: Option<SExpr> },
+    /// Owner-computes guarded element store:
+    /// `if (ML_owner(m, i-1, j-1)) *ML_realaddr2(m, i-1, j-1) = val;`
+    StoreElem { m: String, i: SExpr, j: Option<SExpr>, val: SExpr },
+    /// Whole-object reduction to a replicated scalar.
+    Reduce { dst: String, op: RedOp, m: String },
+    /// `dst = dot(a, b)` (fused multiply + sum; pass-6 peephole
+    /// output).
+    Dot { dst: String, a: String, b: String },
+    /// `dst = trapz(x, y)`.
+    TrapzXY { dst: String, x: String, y: String },
+    /// MATLAB `sum`/`mean` of a true matrix → row vector of column
+    /// aggregates.
+    ColReduce { dst: String, op: ColRedOp, m: String },
+    /// Circular shift of a vector.
+    Shift { dst: String, v: String, k: SExpr },
+    /// `dst = m(i, :)` (owner broadcast).
+    ExtractRow { dst: String, m: String, i: SExpr },
+    /// `dst = m(:, j)` (no communication).
+    ExtractCol { dst: String, m: String, j: SExpr },
+    /// `m(i, :) = v` (gather to owner).
+    AssignRow { m: String, i: SExpr, v: String },
+    /// `m(:, j) = v` (no communication).
+    AssignCol { m: String, j: SExpr, v: String },
+    /// `dst = v(lo:hi)` (1-based inclusive bounds, redistribution).
+    ExtractRange { dst: String, v: String, lo: SExpr, hi: SExpr },
+    /// `dst = v(lo:step:hi)` — strided gather (1-based inclusive).
+    ExtractStrided { dst: String, v: String, lo: SExpr, step: SExpr, hi: SExpr },
+    /// `m(i, :) = val` — scalar fill of a row (no communication).
+    FillRow { m: String, i: SExpr, val: SExpr },
+    /// `m(:, j) = val` — scalar fill of a column (no communication).
+    FillCol { m: String, j: SExpr, val: SExpr },
+    /// `v(lo:hi) = val` — scalar fill of an element range.
+    FillRange { m: String, lo: SExpr, hi: SExpr, val: SExpr },
+    /// `v(lo:hi) = w` — store a vector into an element range.
+    AssignRange { m: String, lo: SExpr, hi: SExpr, v: String },
+    /// De-allocate a temporary's distributed storage (paper §4: "the
+    /// run-time library is responsible for the allocation and
+    /// de-allocation of vectors and matrices"). Inserted after the
+    /// last use of each compiler temporary.
+    Free { name: String },
+
+    // ---- control flow (replicated conditions) ----
+    If { cond: SExpr, then_body: Vec<Instr>, else_body: Vec<Instr> },
+    /// `while`: re-evaluate `pre` (instructions computing the
+    /// condition's inputs, e.g. a norm reduction) then test `cond`.
+    While { pre: Vec<Instr>, cond: SExpr, body: Vec<Instr> },
+    /// Counted loop over a replicated scalar induction variable.
+    For { var: String, start: SExpr, step: SExpr, stop: SExpr, body: Vec<Instr> },
+    Break,
+    Continue,
+
+    // ---- calls and I/O ----
+    /// Call an IR function. `args`/`outs` pair positionally with the
+    /// callee's parameters/returns.
+    Call { fun: String, args: Vec<Arg>, outs: Vec<String> },
+    /// Display a value (rank 0 prints).
+    Print { name: String, target: PrintTarget },
+}
+
+/// Column-aggregate reductions (`sum(A)`, `mean(A)` on matrices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColRedOp {
+    Sum,
+    Mean,
+    Prod,
+    Max,
+    Min,
+    Any,
+    All,
+}
+
+/// An actual argument to an IR function call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    Scalar(SExpr),
+    Matrix(String),
+}
+
+/// What a `Print` displays.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrintTarget {
+    Scalar(SExpr),
+    Matrix(String),
+}
+
+/// Whether an IR variable is a replicated scalar or a distributed
+/// matrix — the paper's *rank* attribute, fixed at compile time by
+/// type inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarRank {
+    Scalar,
+    Matrix,
+}
+
+/// A compiled function: parameters, returns, body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunction {
+    pub name: String,
+    pub params: Vec<(String, VarRank)>,
+    pub outs: Vec<(String, VarRank)>,
+    pub body: Vec<Instr>,
+    /// Rank of every local variable (for emitter declarations).
+    pub var_ranks: BTreeMap<String, VarRank>,
+}
+
+/// A whole compiled program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IrProgram {
+    /// Script body.
+    pub main: Vec<Instr>,
+    /// Compiled M-file functions, by name (deterministic order).
+    pub functions: BTreeMap<String, IrFunction>,
+    /// Rank of every script-level variable (for the emitter's
+    /// declarations and the executor's environment).
+    pub var_ranks: BTreeMap<String, VarRank>,
+}
+
+impl IrProgram {
+    /// Count instructions recursively (used by compiler statistics and
+    /// the peephole pass's tests).
+    pub fn instr_count(&self) -> usize {
+        fn count(body: &[Instr]) -> usize {
+            body.iter()
+                .map(|i| match i {
+                    Instr::If { then_body, else_body, .. } => {
+                        1 + count(then_body) + count(else_body)
+                    }
+                    Instr::While { pre, body, .. } => 1 + count(pre) + count(body),
+                    Instr::For { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.main)
+            + self.functions.values().map(|f| count(&f.body)).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sexpr_eval_via_ops() {
+        let e = SExpr::bin(
+            SBinOp::Add,
+            SExpr::c(2.0),
+            SExpr::bin(SBinOp::Mul, SExpr::c(3.0), SExpr::c(4.0)),
+        );
+        // Structural check only here; evaluation lives in the executor.
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        assert!(vars.is_empty());
+    }
+
+    #[test]
+    fn sexpr_collects_vars() {
+        let e = SExpr::bin(SBinOp::Div, SExpr::var("num"), SExpr::var("den"));
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        assert_eq!(vars, vec!["num", "den"]);
+    }
+
+    #[test]
+    fn sfun_arity_and_eval() {
+        assert_eq!(SFun::Sqrt.arity(), 1);
+        assert_eq!(SFun::Pow.arity(), 2);
+        assert_eq!(SFun::Pow.eval(&[2.0, 10.0]), 1024.0);
+        assert_eq!(SFun::Mod.eval(&[-1.0, 3.0]), 2.0, "MATLAB mod follows divisor sign");
+        assert_eq!(SFun::Rem.eval(&[-1.0, 3.0]), -1.0);
+    }
+
+    #[test]
+    fn ewexpr_operands_and_weight() {
+        // b .* c + s
+        let e = EwExpr::bin(
+            EwOp::Add,
+            EwExpr::bin(EwOp::Mul, EwExpr::mat("b"), EwExpr::mat("c")),
+            EwExpr::Scalar(SExpr::var("s")),
+        );
+        let mut ops = Vec::new();
+        e.mat_operands(&mut ops);
+        assert_eq!(ops, vec!["b", "c"]);
+        assert_eq!(e.flop_weight(), 2.0);
+        let div = EwExpr::bin(EwOp::Div, EwExpr::mat("a"), EwExpr::mat("b"));
+        assert_eq!(div.flop_weight(), 4.0);
+    }
+
+    #[test]
+    fn sbinop_eval_table() {
+        assert_eq!(SBinOp::Le.eval(2.0, 2.0), 1.0);
+        assert_eq!(SBinOp::And.eval(1.0, 0.0), 0.0);
+        assert_eq!(SBinOp::Sub.eval(5.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn ewop_eval_table() {
+        assert_eq!(EwOp::Pow.eval(3.0, 2.0), 9.0);
+        assert_eq!(EwOp::Ne.eval(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn instr_count_recurses() {
+        let p = IrProgram {
+            main: vec![
+                Instr::AssignScalar { dst: "x".into(), src: SExpr::c(1.0) },
+                Instr::For {
+                    var: "i".into(),
+                    start: SExpr::c(1.0),
+                    step: SExpr::c(1.0),
+                    stop: SExpr::c(10.0),
+                    body: vec![Instr::Break, Instr::Continue],
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(p.instr_count(), 4);
+    }
+}

@@ -1,0 +1,22 @@
+//! # otter-ir
+//!
+//! The mid-level SPMD intermediate representation the Otter compiler
+//! lowers analyzed MATLAB into, and from which both back ends work:
+//!
+//! * the **C emitter** (`otter-codegen::c_emit`) prints it as the
+//!   SPMD C + `ML_*` run-time-library calls the paper shows in §3;
+//! * the **executor** (`otter-core::exec`) runs it directly against
+//!   `otter-rt`'s distributed matrices over `otter-mpi`.
+//!
+//! The IR reflects the paper's pass-4 invariant: every
+//! communication-bearing operation (matrix multiply, element
+//! broadcast, reductions, shifts, slicing) has been hoisted to
+//! statement level as a run-time-library call ([`Instr`]), while
+//! element-wise work remains as expression trees ([`EwExpr`]) that
+//! compile to communication-free per-element loops. Scalar expressions
+//! ([`SExpr`]) are replicated computations, identical on every rank.
+
+pub mod display;
+pub mod instr;
+
+pub use instr::*;

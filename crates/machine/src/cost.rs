@@ -1,0 +1,199 @@
+//! Cost model for the three execution styles the paper compares
+//! (§5): the MathWorks interpreter, the MATCOM sequential compiler,
+//! and Otter-compiled code.
+//!
+//! Costs are charged per *scalar operation class* by the interpreter
+//! and by the SPMD executor's virtual clock. The constants are
+//! calibrated so the single-CPU comparison reproduces the Figure-2
+//! relationships (compiled code always beats the interpreter; Otter
+//! and MATCOM trade wins), not the paper's absolute numbers — the
+//! paper's own absolute numbers depend on 1998 silicon.
+
+/// Classes of scalar work with distinct costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Add/subtract/compare/logical/copy.
+    Add,
+    /// Multiply.
+    Mul,
+    /// Divide / square root.
+    Div,
+    /// Transcendental (sin, cos, exp, ...).
+    Transcendental,
+}
+
+impl OpClass {
+    /// Relative cost in "flop units" (an `Add` is 1.0).
+    pub fn weight(self) -> f64 {
+        match self {
+            OpClass::Add => 1.0,
+            OpClass::Mul => 1.0,
+            OpClass::Div => 4.0,
+            OpClass::Transcendental => 16.0,
+        }
+    }
+}
+
+/// Which of the paper's three systems is "executing" the script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionStyle {
+    /// The MathWorks interpreter: per-statement dispatch, per-operation
+    /// dynamic dispatch, per-element boxing overheads.
+    Interpreter,
+    /// MATCOM-style sequential compiled C++: no dispatch, but full
+    /// temporaries for every vector operation and run-time shape checks.
+    Matcom,
+    /// Otter-compiled SPMD code: element-wise loops emitted inline,
+    /// run-time library for communication-bearing operations.
+    Otter,
+}
+
+/// Overhead coefficients of an execution style, in units of one
+/// sustained flop-time of the host CPU.
+///
+/// Modeled statement time is
+/// `dispatch + Σ_ops (op_overhead + elements * element_factor * weight)`,
+/// with dense linear algebra charged through the two `*_factor`
+/// multipliers on its raw flop count instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StyleCosts {
+    /// Fixed cost per executed statement (interpreter statement fetch,
+    /// parse-tree walk), in flop units.
+    pub statement_dispatch: f64,
+    /// Fixed cost per vector/matrix operation (dynamic dispatch, shape
+    /// check, temporary allocation), in flop units.
+    pub op_overhead: f64,
+    /// Multiplier on per-element work relative to ideal compiled code.
+    pub element_factor: f64,
+    /// Multiplier on O(n²) dense kernels (matrix-vector products):
+    /// these stream memory once, so even the interpreter's built-in C
+    /// kernel is comparatively close to compiled code.
+    pub matvec_factor: f64,
+    /// Multiplier on O(n³) dense kernels (matrix multiply): MATLAB 5's
+    /// pre-BLAS triple loop had poor cache behaviour on large
+    /// matrices, so the gap to compiled code is widest here.
+    pub matmul_factor: f64,
+}
+
+impl ExecutionStyle {
+    /// Calibrated coefficients; see module docs.
+    ///
+    /// Rationale for the values (calibrated against the paper's two
+    /// hard anchors — CG ≈ 50× and transitive closure ≈ 78× over the
+    /// interpreter on 16 Meiko CPUs — and Figure 2's property that the
+    /// MATCOM/Otter comparison splits 2-2):
+    /// * Interpreter: ~2000 flop-equivalents of per-statement dispatch
+    ///   and ~400 per vector op (dynamic dispatch + temporary);
+    ///   element work ×3 (type-checked copy-heavy loops); matvec ×2.8
+    ///   (its built-in C kernel streams memory once, close to
+    ///   compiled); matmul ×5.2 (MATLAB 5 predates its BLAS
+    ///   integration — naive triple loop, poor cache use at n ≥ 512).
+    /// * MATCOM: op-at-a-time C++ with full temporaries (element
+    ///   ×1.6) but well-tuned sequential kernels (linalg ×0.8) — which
+    ///   is exactly why it wins the linalg-bound apps in Figure 2 and
+    ///   loses the fusion-friendly ones.
+    /// * Otter: fused element-wise loops (×1.0) and straightforward
+    ///   distributed kernels (×1.0), plus a small run-time-library
+    ///   call overhead.
+    pub fn costs(self) -> StyleCosts {
+        match self {
+            ExecutionStyle::Interpreter => StyleCosts {
+                statement_dispatch: 2000.0,
+                op_overhead: 400.0,
+                element_factor: 3.0,
+                matvec_factor: 2.8,
+                matmul_factor: 5.2,
+            },
+            ExecutionStyle::Matcom => StyleCosts {
+                statement_dispatch: 8.0,
+                op_overhead: 40.0,
+                element_factor: 1.6,
+                matvec_factor: 0.6,
+                matmul_factor: 0.8,
+            },
+            ExecutionStyle::Otter => StyleCosts {
+                statement_dispatch: 4.0,
+                op_overhead: 24.0,
+                element_factor: 1.0,
+                matvec_factor: 1.0,
+                matmul_factor: 1.0,
+            },
+        }
+    }
+
+    /// Display name used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionStyle::Interpreter => "MathWorks interpreter",
+            ExecutionStyle::Matcom => "MATCOM compiler",
+            ExecutionStyle::Otter => "Otter compiler",
+        }
+    }
+}
+
+impl StyleCosts {
+    /// Modeled flop-units for one vector operation of `elements`
+    /// elements in class `class`.
+    pub fn op_units(&self, class: OpClass, elements: usize) -> f64 {
+        self.op_overhead + elements as f64 * self.element_factor * class.weight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreter_dominated_by_dispatch_on_scalar_code() {
+        let i = ExecutionStyle::Interpreter.costs();
+        let o = ExecutionStyle::Otter.costs();
+        // One scalar add: interpreter pays dispatch; compiled barely anything.
+        let interp = i.statement_dispatch + i.op_units(OpClass::Add, 1);
+        let otter = o.statement_dispatch + o.op_units(OpClass::Add, 1);
+        assert!(interp / otter > 20.0, "interp={interp} otter={otter}");
+    }
+
+    #[test]
+    fn interpreter_gap_narrows_on_large_vectors() {
+        let i = ExecutionStyle::Interpreter.costs();
+        let o = ExecutionStyle::Otter.costs();
+        let n = 1_000_000;
+        let interp = i.statement_dispatch + i.op_units(OpClass::Add, n);
+        let otter = o.statement_dispatch + o.op_units(OpClass::Add, n);
+        let ratio = interp / otter;
+        // Ratio approaches the element factor (3), far from the
+        // scalar-code ratio.
+        assert!(ratio < 3.5 && ratio > 2.5, "ratio={ratio}");
+    }
+
+    #[test]
+    fn linalg_factors_reflect_1998_matlab() {
+        let i = ExecutionStyle::Interpreter.costs();
+        assert!(i.matmul_factor > i.matvec_factor, "matmul gap is widest");
+        let m = ExecutionStyle::Matcom.costs();
+        assert!(m.matvec_factor < 1.0, "MATCOM's tuned kernels beat naive compiled code");
+    }
+
+    #[test]
+    fn matcom_sits_between() {
+        let i = ExecutionStyle::Interpreter.costs();
+        let m = ExecutionStyle::Matcom.costs();
+        let o = ExecutionStyle::Otter.costs();
+        assert!(i.element_factor > m.element_factor);
+        assert!(m.element_factor > o.element_factor);
+        assert!(i.statement_dispatch > m.statement_dispatch);
+    }
+
+    #[test]
+    fn op_class_weights_ordered() {
+        assert!(OpClass::Transcendental.weight() > OpClass::Div.weight());
+        assert!(OpClass::Div.weight() > OpClass::Mul.weight());
+        assert_eq!(OpClass::Add.weight(), 1.0);
+    }
+
+    #[test]
+    fn labels_are_paper_names() {
+        assert_eq!(ExecutionStyle::Interpreter.label(), "MathWorks interpreter");
+        assert_eq!(ExecutionStyle::Otter.label(), "Otter compiler");
+    }
+}

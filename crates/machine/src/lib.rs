@@ -1,0 +1,31 @@
+//! # otter-machine
+//!
+//! Performance models of the three parallel architectures the paper
+//! benchmarks on (§6), plus the single-workstation model used for the
+//! sequential comparison (§5):
+//!
+//! * **Meiko CS-2** — 16-CPU distributed-memory multicomputer with a
+//!   fat-tree interconnect; the paper calls it "the best balance
+//!   between processor speed, message latency, and aggregate
+//!   message-passing bandwidth".
+//! * **SPARCserver-20 cluster** — four 4-CPU SMPs joined by Ethernet;
+//!   "the most unbalanced system", whose "relatively high latency and
+//!   low bandwidth ... puts a severe damper on speedup achieved beyond
+//!   four CPUs".
+//! * **Sun Enterprise SMP** — an 8-CPU shared-memory machine.
+//!
+//! The original hardware is unavailable, so these models capture what
+//! determines the *shape* of the paper's figures: per-CPU compute rate,
+//! per-message latency (α), per-byte transfer time (β), and — for the
+//! bus-based SMP and the Ethernet cluster — an aggregate-bandwidth
+//! ceiling that makes communication contend when many CPUs talk at
+//! once. The virtual-time engine in `otter-mpi` charges costs against
+//! these models.
+
+pub mod cost;
+pub mod machine;
+pub mod presets;
+
+pub use cost::{ExecutionStyle, OpClass, StyleCosts};
+pub use machine::{CpuModel, LinkModel, Machine, Topology};
+pub use presets::{all_parallel, enterprise_smp, meiko_cs2, sparc20_cluster, workstation};

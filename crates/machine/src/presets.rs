@@ -1,0 +1,140 @@
+//! Preset machine models for the paper's test beds.
+//!
+//! Parameter sources (all 1997-era public specifications, rounded):
+//!
+//! | machine | CPU | sustained Mflop/s | α (latency) | β (bandwidth) |
+//! |---|---|---|---|---|
+//! | Meiko CS-2 | 90 MHz SuperSPARC + Elan | 25 | 15 µs | 40 MB/s switched |
+//! | SPARC-20 cluster | 75 MHz SuperSPARC-II ×4 per node | 20 | intra 25 µs / 60 MB/s; inter 900 µs / 1.1 MB/s, 10 Mb Ethernet shared |
+//! | Enterprise SMP | 167 MHz UltraSPARC | 60 | 8 µs | 150 MB/s per CPU, 500 MB/s bus |
+//! | workstation | one 167 MHz UltraSPARC of the Enterprise | 60 | — | — |
+//!
+//! The absolute values matter less than the ratios: the Meiko has the
+//! best *balance* of compute to communication; the Ethernet cluster
+//! has catastrophic inter-node α and a shared-segment ceiling; the SMP
+//! has fast links but only 8 CPUs and a finite bus. These are exactly
+//! the properties §6 of the paper uses to explain its curves.
+
+use crate::machine::{CpuModel, LinkModel, Machine, Topology};
+
+/// 16-CPU Meiko CS-2 distributed-memory multicomputer.
+pub fn meiko_cs2() -> Machine {
+    Machine {
+        name: "Meiko CS-2".into(),
+        cpu: CpuModel::new("SuperSPARC 90 MHz", 25e6),
+        topology: Topology::Distributed(LinkModel::new(15e-6, 40e6)),
+        max_cpus: 16,
+    }
+}
+
+/// Four Sun SPARCserver 20s (4 CPUs each) on one 10 Mb/s Ethernet
+/// segment.
+pub fn sparc20_cluster() -> Machine {
+    Machine {
+        name: "SPARC 20 SMP cluster".into(),
+        cpu: CpuModel::new("SuperSPARC-II 75 MHz", 20e6),
+        topology: Topology::ClusterOfSmps {
+            node_size: 4,
+            intra: LinkModel::new(25e-6, 60e6),
+            // TCP/IP over shared 10 Mb Ethernet, 1998: ~0.9 ms
+            // round-trip-half latency, ~1.1 MB/s, one segment shared by
+            // every concurrent inter-node transfer.
+            inter: LinkModel::new(900e-6, 1.1e6).with_aggregate(1.1e6),
+        },
+        max_cpus: 16,
+    }
+}
+
+/// 8-CPU Sun Enterprise shared-memory multiprocessor.
+///
+/// The per-message latency is *software*: 1998 vendor MPI over shared
+/// memory copied through a locked buffer pool (~40 µs/message), far
+/// above the Meiko's Elan hardware DMA — and every transfer crosses
+/// one Gigaplane bus (aggregate ceiling). This is what makes the
+/// Meiko "the best balance between processor speed, message latency,
+/// and aggregate message-passing bandwidth" (paper §6) even though the
+/// Enterprise's CPUs are faster.
+pub fn enterprise_smp() -> Machine {
+    Machine {
+        name: "Enterprise SMP".into(),
+        cpu: CpuModel::new("UltraSPARC 167 MHz", 60e6),
+        topology: Topology::SharedMemory(
+            LinkModel::new(40e-6, 120e6).with_aggregate(300e6),
+        ),
+        max_cpus: 8,
+    }
+}
+
+/// Single UltraSPARC workstation CPU — the platform of the paper's §5
+/// sequential comparison ("a single UltraSPARC CPU").
+pub fn workstation() -> Machine {
+    Machine {
+        name: "UltraSPARC workstation".into(),
+        cpu: CpuModel::new("UltraSPARC 167 MHz", 60e6),
+        topology: Topology::SharedMemory(LinkModel::new(8e-6, 150e6)),
+        max_cpus: 1,
+    }
+}
+
+/// All three parallel test beds, in the order the figures plot them.
+pub fn all_parallel() -> Vec<Machine> {
+    vec![meiko_cs2(), sparc20_cluster(), enterprise_smp()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_counts_match_paper() {
+        assert_eq!(meiko_cs2().max_cpus, 16);
+        assert_eq!(sparc20_cluster().max_cpus, 16);
+        assert_eq!(enterprise_smp().max_cpus, 8);
+        assert_eq!(workstation().max_cpus, 1);
+    }
+
+    #[test]
+    fn cluster_is_most_unbalanced() {
+        // Paper §6: cluster communication/computation ratio is worst.
+        // Compare time to ship 1 MB between "distant" CPUs against the
+        // time to compute 1 Mflop.
+        for (m, from, to) in [
+            (meiko_cs2(), 0usize, 8usize),
+            (sparc20_cluster(), 0, 8),
+            (enterprise_smp(), 0, 4),
+        ] {
+            let comm = m.message_time(from, to, 1 << 20, 1);
+            let comp = 1e6 * m.cpu.flop_time();
+            let ratio = comm / comp;
+            if m.name.contains("cluster") {
+                assert!(ratio > 10.0, "{}: ratio={ratio}", m.name);
+            } else {
+                assert!(ratio < 2.0, "{}: ratio={ratio}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn meiko_balance_beats_cluster_inter_node() {
+        let meiko = meiko_cs2();
+        let cluster = sparc20_cluster();
+        let bytes = 64 * 1024;
+        let t_meiko = meiko.message_time(0, 8, bytes, 1);
+        let t_cluster = cluster.message_time(0, 8, bytes, 1);
+        assert!(t_cluster > 20.0 * t_meiko);
+    }
+
+    #[test]
+    fn smp_fastest_cpu() {
+        assert!(enterprise_smp().cpu.flops > meiko_cs2().cpu.flops);
+        assert!(meiko_cs2().cpu.flops > sparc20_cluster().cpu.flops);
+    }
+
+    #[test]
+    fn cluster_intra_node_is_cheap() {
+        let m = sparc20_cluster();
+        let intra = m.message_time(0, 3, 8192, 1);
+        let inter = m.message_time(0, 4, 8192, 1);
+        assert!(inter / intra > 50.0, "intra={intra} inter={inter}");
+    }
+}

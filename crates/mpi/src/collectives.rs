@@ -1,0 +1,397 @@
+//! MPI-style collective operations over [`Comm`], built from
+//! point-to-point messages with binomial-tree schedules — the same
+//! structure a 1998 MPICH would use, which matters because the figures'
+//! speedup shapes depend on collectives costing `O(log p)` latency
+//! terms.
+
+use crate::comm::Comm;
+
+/// Reduction operators supported by `reduce`/`allreduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    /// Apply the operator element-wise, accumulating `src` into `dst`.
+    pub fn fold(self, dst: &mut [f64], src: &[f64]) {
+        assert_eq!(dst.len(), src.len(), "reduction buffers differ in length");
+        match self {
+            ReduceOp::Sum => dst.iter_mut().zip(src).for_each(|(d, s)| *d += s),
+            ReduceOp::Prod => dst.iter_mut().zip(src).for_each(|(d, s)| *d *= s),
+            ReduceOp::Max => dst.iter_mut().zip(src).for_each(|(d, s)| *d = d.max(*s)),
+            ReduceOp::Min => dst.iter_mut().zip(src).for_each(|(d, s)| *d = d.min(*s)),
+        }
+    }
+
+    /// Identity element of the operator.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Prod => 1.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+        }
+    }
+}
+
+impl Comm {
+    /// Broadcast `data` from `root` to every rank; returns the data on
+    /// all ranks. Binomial tree: `⌈log₂ p⌉` rounds, round `k` has up to
+    /// `2^k` transfers in flight (passed as the fabric-sharing hint).
+    pub fn broadcast(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        assert!(root < p, "broadcast root {root} out of range");
+        if p == 1 {
+            return data.to_vec();
+        }
+        // Work in a root-relative rank space so any root works.
+        let vrank = (self.rank() + p - root) % p;
+        let mut have: Option<Vec<f64>> = if vrank == 0 { Some(data.to_vec()) } else { None };
+        let rounds = p.next_power_of_two().trailing_zeros();
+        for k in 0..rounds {
+            let stride = 1usize << k;
+            let stage_width = stride.min(p - stride); // transfers this round
+            if vrank < stride {
+                // This rank already has the data; it may need to send.
+                let peer = vrank + stride;
+                if peer < p {
+                    let abs = (peer + root) % p;
+                    let payload = have.as_ref().expect("tree invariant: holder has data");
+                    let payload = payload.clone();
+                    self.send_concurrent(abs, &payload, stage_width);
+                }
+            } else if vrank < stride * 2 {
+                let peer = vrank - stride;
+                let abs = (peer + root) % p;
+                have = Some(self.recv(abs));
+            }
+        }
+        have.expect("broadcast delivered to every rank")
+    }
+
+    /// Broadcast a single scalar from `root`.
+    pub fn broadcast_scalar(&mut self, root: usize, v: f64) -> f64 {
+        self.broadcast(root, &[v])[0]
+    }
+
+    /// Reduce `data` element-wise with `op` onto `root`. Non-root
+    /// ranks get `None`. Mirror image of the broadcast tree.
+    pub fn reduce(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        let p = self.size();
+        assert!(root < p, "reduce root {root} out of range");
+        if p == 1 {
+            return Some(data.to_vec());
+        }
+        let vrank = (self.rank() + p - root) % p;
+        let mut acc = data.to_vec();
+        let rounds = p.next_power_of_two().trailing_zeros();
+        // Fold up the tree: largest stride first.
+        for k in (0..rounds).rev() {
+            let stride = 1usize << k;
+            let stage_width = stride.min(p.saturating_sub(stride));
+            if vrank < stride {
+                let peer = vrank + stride;
+                if peer < p {
+                    let abs = (peer + root) % p;
+                    let incoming = self.recv(abs);
+                    op.fold(&mut acc, &incoming);
+                    // Charge the fold as compute: one op per element.
+                    self.compute(incoming.len() as f64);
+                }
+            } else if vrank < stride * 2 {
+                let peer = vrank - stride;
+                let abs = (peer + root) % p;
+                let payload = acc.clone();
+                self.send_concurrent(abs, &payload, stage_width);
+            }
+        }
+        if vrank == 0 {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// Reduce-to-all: reduce onto rank 0, then broadcast the result.
+    /// (MPICH's small-message allreduce did exactly this.)
+    pub fn allreduce(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        let partial = self.reduce(0, data, op);
+        match partial {
+            Some(v) => self.broadcast(0, &v),
+            None => self.broadcast(0, &[]),
+        }
+    }
+
+    /// Scalar all-reduce convenience.
+    pub fn allreduce_scalar(&mut self, v: f64, op: ReduceOp) -> f64 {
+        self.allreduce(&[v], op)[0]
+    }
+
+    /// Gather variable-length contributions onto `root`, concatenated
+    /// in rank order. Non-root ranks get `None`. Linear schedule — the
+    /// payloads differ per rank so a tree saves little, and gather in
+    /// the generated code is I/O-bound anyway (paper §3 assumption 5:
+    /// "one processor coordinates all I/O").
+    pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        let p = self.size();
+        assert!(root < p, "gather root {root} out of range");
+        if self.rank() == root {
+            let mut parts: Vec<Vec<f64>> = Vec::with_capacity(p);
+            for r in 0..p {
+                if r == root {
+                    parts.push(data.to_vec());
+                } else {
+                    parts.push(self.recv(r));
+                }
+            }
+            Some(parts)
+        } else {
+            self.send(root, data);
+            None
+        }
+    }
+
+    /// Gather everyone's contribution to every rank (gather + bcast of
+    /// the concatenation, with per-part lengths preserved).
+    pub fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
+        let p = self.size();
+        if p == 1 {
+            return vec![data.to_vec()];
+        }
+        let gathered = self.gather(0, data);
+        // Flatten with a length header so the broadcast is one message.
+        let flat = match gathered {
+            Some(parts) => {
+                let mut flat: Vec<f64> = Vec::new();
+                flat.push(parts.len() as f64);
+                for p in &parts {
+                    flat.push(p.len() as f64);
+                }
+                for p in &parts {
+                    flat.extend_from_slice(p);
+                }
+                self.broadcast(0, &flat)
+            }
+            None => self.broadcast(0, &[]),
+        };
+        let nparts = flat[0] as usize;
+        let mut lens = Vec::with_capacity(nparts);
+        for i in 0..nparts {
+            lens.push(flat[1 + i] as usize);
+        }
+        let mut out = Vec::with_capacity(nparts);
+        let mut off = 1 + nparts;
+        for len in lens {
+            out.push(flat[off..off + len].to_vec());
+            off += len;
+        }
+        out
+    }
+
+    /// Scatter `parts[r]` to rank `r` from `root`; returns this rank's
+    /// part. `parts` is only inspected on the root.
+    pub fn scatter(&mut self, root: usize, parts: &[Vec<f64>]) -> Vec<f64> {
+        let p = self.size();
+        assert!(root < p, "scatter root {root} out of range");
+        if self.rank() == root {
+            assert_eq!(parts.len(), p, "scatter needs one part per rank");
+            for r in 0..p {
+                if r != root {
+                    let payload = parts[r].clone();
+                    self.send(r, &payload);
+                }
+            }
+            parts[root].clone()
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Barrier: zero-byte allreduce.
+    pub fn barrier(&mut self) {
+        self.allreduce(&[], ReduceOp::Sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_spmd;
+    use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster};
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for p in [1, 2, 3, 4, 5, 8] {
+            for root in 0..p {
+                let res = run_spmd(&meiko_cs2(), p, |c| {
+                    let data = if c.rank() == root { vec![7.0, 8.0] } else { vec![] };
+                    c.broadcast(root, &data)
+                });
+                for r in &res {
+                    assert_eq!(r.value, vec![7.0, 8.0], "p={p} root={root} rank={}", r.rank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_across_ranks() {
+        for p in [1, 2, 3, 4, 7, 8, 16] {
+            let res = run_spmd(&meiko_cs2(), p, |c| {
+                c.reduce(0, &[c.rank() as f64, 1.0], ReduceOp::Sum)
+            });
+            let expect_sum = (p * (p - 1) / 2) as f64;
+            let got = res[0].value.as_ref().unwrap();
+            assert_eq!(got[0], expect_sum, "p={p}");
+            assert_eq!(got[1], p as f64);
+            for r in &res[1..] {
+                assert!(r.value.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_max_min_prod() {
+        let res = run_spmd(&meiko_cs2(), 5, |c| {
+            let x = c.rank() as f64 + 1.0;
+            (
+                c.allreduce_scalar(x, ReduceOp::Max),
+                c.allreduce_scalar(x, ReduceOp::Min),
+                c.allreduce_scalar(x, ReduceOp::Prod),
+            )
+        });
+        for r in &res {
+            assert_eq!(r.value.0, 5.0);
+            assert_eq!(r.value.1, 1.0);
+            assert_eq!(r.value.2, 120.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_agrees_on_all_ranks() {
+        for p in [2, 3, 6, 16] {
+            let res = run_spmd(&meiko_cs2(), p, |c| {
+                c.allreduce(&[c.rank() as f64 * 2.0], ReduceOp::Sum)
+            });
+            let expect = (p * (p - 1)) as f64;
+            for r in &res {
+                assert_eq!(r.value, vec![expect], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        let res = run_spmd(&meiko_cs2(), 4, |c| {
+            let mine = vec![c.rank() as f64; c.rank() + 1]; // variable lengths
+            c.gather(0, &mine)
+        });
+        let parts = res[0].value.as_ref().unwrap();
+        assert_eq!(parts.len(), 4);
+        for (r, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), r + 1);
+            assert!(part.iter().all(|&v| v == r as f64));
+        }
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        let res = run_spmd(&meiko_cs2(), 3, |c| c.allgather(&[c.rank() as f64 + 10.0]));
+        for r in &res {
+            assert_eq!(r.value, vec![vec![10.0], vec![11.0], vec![12.0]]);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_parts() {
+        let res = run_spmd(&meiko_cs2(), 4, |c| {
+            let parts: Vec<Vec<f64>> = if c.rank() == 1 {
+                (0..4).map(|r| vec![r as f64 * 100.0]).collect()
+            } else {
+                vec![]
+            };
+            c.scatter(1, &parts)
+        });
+        for (r, res) in res.iter().enumerate() {
+            assert_eq!(res.value, vec![r as f64 * 100.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let res = run_spmd(&meiko_cs2(), 4, |c| {
+            if c.rank() == 2 {
+                c.compute(1e7); // one slow rank
+            }
+            c.barrier();
+            c.clock()
+        });
+        let slowest = 1e7 / 25e6;
+        for r in &res {
+            assert!(r.value >= slowest, "rank {} clock {} < {slowest}", r.rank, r.value);
+        }
+    }
+
+    #[test]
+    fn broadcast_latency_scales_logarithmically() {
+        // Modeled broadcast time should grow ~log p, not ~p.
+        let time_at = |p: usize| {
+            let res = run_spmd(&meiko_cs2(), p, |c| {
+                let v = c.broadcast(0, &[1.0]);
+                let _ = v;
+                c.clock()
+            });
+            res.iter().map(|r| r.clock).fold(0.0, f64::max)
+        };
+        let t4 = time_at(4);
+        let t16 = time_at(16);
+        // log2(16)/log2(4) = 2; allow generous slack but reject linear (×4).
+        assert!(t16 / t4 < 3.0, "t4={t4} t16={t16}");
+    }
+
+    #[test]
+    fn cluster_broadcast_pays_ethernet_once_per_node_at_best() {
+        // On the SMP cluster, a 16-rank broadcast must cross the
+        // Ethernet; modeled time should far exceed the SMP's.
+        let cluster_t = {
+            let res = run_spmd(&sparc20_cluster(), 16, |c| {
+                c.broadcast(0, &vec![0.0; 1024]);
+                c.clock()
+            });
+            res.iter().map(|r| r.clock).fold(0.0, f64::max)
+        };
+        let smp_t = {
+            let res = run_spmd(&enterprise_smp(), 8, |c| {
+                c.broadcast(0, &vec![0.0; 1024]);
+                c.clock()
+            });
+            res.iter().map(|r| r.clock).fold(0.0, f64::max)
+        };
+        assert!(cluster_t > 10.0 * smp_t, "cluster={cluster_t} smp={smp_t}");
+    }
+
+    #[test]
+    fn empty_payload_collectives_work() {
+        let res = run_spmd(&meiko_cs2(), 3, |c| {
+            let b = c.broadcast(0, &[]);
+            let r = c.allreduce(&[], ReduceOp::Sum);
+            (b.len(), r.len())
+        });
+        for r in &res {
+            assert_eq!(r.value, (0, 0));
+        }
+    }
+
+    #[test]
+    fn fold_identity() {
+        for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Max, ReduceOp::Min] {
+            let mut acc = vec![op.identity(); 3];
+            op.fold(&mut acc, &[2.0, -1.0, 0.5]);
+            assert_eq!(acc, vec![2.0, -1.0, 0.5], "{op:?}");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Per-rank communication endpoints with virtual-time accounting.
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use otter_machine::Machine;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking receive waits before concluding the SPMD
+/// program has deadlocked (a bug in generated code or a mismatched
+/// collective). Generous enough for debug-mode tests.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One message: a vector of doubles stamped with the sender's virtual
+/// clock at completion of the send.
+#[derive(Debug, Clone)]
+pub(crate) struct Packet {
+    pub data: Vec<f64>,
+    pub send_clock: f64,
+}
+
+/// Communication/computation counters a rank accumulates; used by the
+/// benchmark harness to report message counts and volumes per
+/// experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    pub messages_sent: u64,
+    pub bytes_sent: u64,
+    /// Virtual seconds spent in modeled computation.
+    pub compute_time: f64,
+    /// Virtual seconds spent waiting on / driving communication.
+    pub comm_time: f64,
+}
+
+/// A rank's endpoint: its identity, its channels to every peer, and
+/// its virtual clock.
+///
+/// `Comm` is deliberately `!Sync`: exactly one thread owns each rank,
+/// mirroring MPI's process model.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    machine: Arc<Machine>,
+    /// `senders[d]` transmits on the (self → d) edge.
+    senders: Vec<Sender<Packet>>,
+    /// `receivers[s]` receives on the (s → self) edge.
+    receivers: Vec<Receiver<Packet>>,
+    clock: f64,
+    stats: CommStats,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        machine: Arc<Machine>,
+        senders: Vec<Sender<Packet>>,
+        receivers: Vec<Receiver<Packet>>,
+    ) -> Self {
+        debug_assert_eq!(senders.len(), size);
+        debug_assert_eq!(receivers.len(), size);
+        Comm { rank, size, machine, senders, receivers, clock: 0.0, stats: CommStats::default() }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The machine model virtual time is charged against.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Current virtual clock in seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Charge `flop_units` of modeled computation (in units of one
+    /// sustained flop; see `otter_machine::OpClass::weight`).
+    pub fn compute(&mut self, flop_units: f64) {
+        let dt = flop_units * self.machine.cpu.flop_time();
+        self.clock += dt;
+        self.stats.compute_time += dt;
+    }
+
+    /// Advance the clock by raw virtual seconds (used by the runtime
+    /// for memory-traffic charges).
+    pub fn advance(&mut self, seconds: f64) {
+        self.clock += seconds;
+        self.stats.compute_time += seconds;
+    }
+
+    /// Blocking send of `data` to `to`.
+    ///
+    /// The sender is occupied for the full modeled transfer
+    /// (`α + bytes·β`), matching a rendezvous-style blocking MPI send
+    /// on 1998 interconnects. `concurrent` is the number of transfers
+    /// the caller knows share the fabric in this phase (collectives
+    /// pass their stage width; point-to-point passes 1) — it feeds the
+    /// aggregate-bandwidth ceiling of bus/Ethernet fabrics.
+    pub fn send_concurrent(&mut self, to: usize, data: &[f64], concurrent: usize) {
+        assert!(to < self.size, "send to rank {to} out of range 0..{}", self.size);
+        assert_ne!(to, self.rank, "rank {} sending to itself", self.rank);
+        let bytes = data.len() * 8;
+        let dt = self.machine.message_time(self.rank, to, bytes, concurrent);
+        self.clock += dt;
+        self.stats.comm_time += dt;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        self.senders[to]
+            .send(Packet { data: data.to_vec(), send_clock: self.clock })
+            .expect("peer rank hung up mid-program");
+    }
+
+    /// Blocking send with no known fabric sharing.
+    pub fn send(&mut self, to: usize, data: &[f64]) {
+        self.send_concurrent(to, data, 1);
+    }
+
+    /// Blocking receive of the next message from `from`.
+    ///
+    /// Virtual time: the message is available at the sender's
+    /// post-transfer clock; the receiver waits if it got here early
+    /// and proceeds immediately if the message was already buffered.
+    pub fn recv(&mut self, from: usize) -> Vec<f64> {
+        assert!(from < self.size, "recv from rank {from} out of range 0..{}", self.size);
+        assert_ne!(from, self.rank, "rank {} receiving from itself", self.rank);
+        let pkt = match self.receivers[from].recv_timeout(DEADLOCK_TIMEOUT) {
+            Ok(p) => p,
+            Err(RecvTimeoutError::Timeout) => panic!(
+                "rank {} deadlocked waiting for a message from rank {from}",
+                self.rank
+            ),
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("rank {from} terminated while rank {} awaited its message", self.rank)
+            }
+        };
+        if pkt.send_clock > self.clock {
+            self.stats.comm_time += pkt.send_clock - self.clock;
+            self.clock = pkt.send_clock;
+        }
+        pkt.data
+    }
+
+    /// Send a single scalar.
+    pub fn send_scalar(&mut self, to: usize, v: f64) {
+        self.send(to, &[v]);
+    }
+
+    /// Receive a single scalar.
+    pub fn recv_scalar(&mut self, from: usize) -> f64 {
+        let d = self.recv(from);
+        assert_eq!(d.len(), 1, "expected scalar message, got {} elements", d.len());
+        d[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runner::run_spmd;
+    use otter_machine::{meiko_cs2, sparc20_cluster};
+
+    #[test]
+    fn ping_pong_delivers_data() {
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            if c.rank() == 0 {
+                c.send(1, &[1.0, 2.0, 3.0]);
+                c.recv(1)
+            } else {
+                let v = c.recv(0);
+                let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+                c.send(0, &doubled);
+                doubled
+            }
+        });
+        assert_eq!(res[0].value, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn virtual_clock_advances_on_messages() {
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            if c.rank() == 0 {
+                c.send(1, &vec![0.0; 1000]);
+            } else {
+                c.recv(0);
+            }
+            c.clock()
+        });
+        let m = meiko_cs2();
+        let expect = m.message_time(0, 1, 8000, 1);
+        assert!((res[0].value - expect).abs() < 1e-12);
+        // Receiver clock is at least the full transfer time too.
+        assert!(res[1].value >= expect);
+    }
+
+    #[test]
+    fn receiver_waits_for_late_sender() {
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            if c.rank() == 0 {
+                c.compute(1e6); // sender is busy first
+                c.send(1, &[42.0]);
+                c.clock()
+            } else {
+                c.recv(0);
+                c.clock()
+            }
+        });
+        // Receiver's clock must include the sender's compute phase.
+        assert!(res[1].value >= res[0].value * 0.99);
+    }
+
+    #[test]
+    fn early_receiver_does_not_double_charge() {
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            if c.rank() == 0 {
+                c.send(1, &[1.0]);
+                0.0
+            } else {
+                c.compute(1e7); // receiver is the late one
+                let before = c.clock();
+                c.recv(0);
+                c.clock() - before
+            }
+        });
+        // Message was already there: no extra virtual wait.
+        assert_eq!(res[1].value, 0.0);
+    }
+
+    #[test]
+    fn compute_charges_flop_time() {
+        let res = run_spmd(&meiko_cs2(), 1, |c| {
+            c.compute(25e6);
+            c.clock()
+        });
+        assert!((res[0].value - 1.0).abs() < 1e-9, "25 Mflop at 25 Mflop/s = 1 s");
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            if c.rank() == 0 {
+                c.send(1, &[1.0, 2.0]);
+                c.send(1, &[3.0]);
+            } else {
+                c.recv(0);
+                c.recv(0);
+            }
+            c.stats()
+        });
+        assert_eq!(res[0].value.messages_sent, 2);
+        assert_eq!(res[0].value.bytes_sent, 24);
+        assert_eq!(res[1].value.messages_sent, 0);
+    }
+
+    #[test]
+    fn messages_from_same_source_keep_order() {
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100 {
+                    c.send_scalar(1, i as f64);
+                }
+                vec![]
+            } else {
+                (0..100).map(|_| c.recv_scalar(0)).collect::<Vec<_>>()
+            }
+        });
+        let got = &res[1].value;
+        assert!(got.iter().enumerate().all(|(i, &v)| v == i as f64));
+    }
+
+    #[test]
+    fn cluster_inter_node_messages_cost_more() {
+        let m = sparc20_cluster();
+        let res = run_spmd(&m, 8, |c| {
+            match c.rank() {
+                0 => c.send(1, &vec![0.0; 4096]), // intra-node
+                1 => {
+                    c.recv(0);
+                }
+                2 => c.send(6, &vec![0.0; 4096]), // inter-node
+                6 => {
+                    c.recv(2);
+                }
+                _ => {}
+            }
+            c.clock()
+        });
+        assert!(res[2].value > 20.0 * res[0].value, "inter={} intra={}", res[2].value, res[0].value);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_out_of_range_panics() {
+        run_spmd(&meiko_cs2(), 1, |c| {
+            c.send(5, &[1.0]);
+        });
+    }
+}

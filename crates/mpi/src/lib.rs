@@ -1,0 +1,38 @@
+//! # otter-mpi
+//!
+//! Message-passing substrate for Otter-compiled SPMD programs: the
+//! stand-in for the MPI library of the paper's Figure 1 stack
+//! (`MATLAB script → compiler → SPMD C + run-time library → MPI`).
+//!
+//! Each *rank* is an OS thread holding a [`Comm`] endpoint wired to
+//! every other rank through lock-free channels, so compiled programs
+//! really move data between really-parallel threads. On top of the
+//! real execution, every endpoint maintains a **virtual clock**
+//! charged against an [`otter_machine::Machine`] model: compute
+//! advances the local clock, a message delivers at
+//! `max(receiver clock, sender clock + α + bytes·β)` — a conservative
+//! parallel-discrete-event simulation. This is how the repo reproduces
+//! the paper's speedup curves for hardware that no longer exists
+//! (Meiko CS-2, SPARC-20 Ethernet cluster, Enterprise SMP) while still
+//! computing real answers.
+//!
+//! ```
+//! use otter_mpi::{run_spmd, ReduceOp};
+//! use otter_machine::meiko_cs2;
+//!
+//! let results = run_spmd(&meiko_cs2(), 4, |comm| {
+//!     let mine = vec![comm.rank() as f64 + 1.0];
+//!     let total = comm.allreduce(&mine, ReduceOp::Sum);
+//!     total[0]
+//! });
+//! assert!(results.iter().all(|r| r.value == 10.0));
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod linear;
+pub mod runner;
+
+pub use collectives::ReduceOp;
+pub use comm::{Comm, CommStats};
+pub use runner::{run_spmd, RankResult};

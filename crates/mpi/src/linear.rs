@@ -1,0 +1,115 @@
+//! Linear (non-tree) collective implementations — the naive schedules
+//! a first-cut 1998 run-time library might have used, kept as the
+//! baseline for the collectives ablation: `O(p)` latency terms instead
+//! of the binomial trees' `O(log p)`.
+
+use crate::collectives::ReduceOp;
+use crate::comm::Comm;
+
+impl Comm {
+    /// Broadcast with a linear schedule: the root sends to every other
+    /// rank in turn. `O(p)` sends on the root's critical path.
+    pub fn broadcast_linear(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        assert!(root < p, "broadcast root {root} out of range");
+        if self.rank() == root {
+            for r in 0..p {
+                if r != root {
+                    self.send(r, data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Reduce with a linear schedule: every rank sends to the root,
+    /// which folds in rank order. Deterministic and `O(p)` on the
+    /// root.
+    pub fn reduce_linear(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        let p = self.size();
+        assert!(root < p, "reduce root {root} out of range");
+        if self.rank() == root {
+            let mut acc = data.to_vec();
+            for r in 0..p {
+                if r != root {
+                    let incoming = self.recv(r);
+                    op.fold(&mut acc, &incoming);
+                    self.compute(incoming.len() as f64);
+                }
+            }
+            Some(acc)
+        } else {
+            self.send(root, data);
+            None
+        }
+    }
+
+    /// Linear allreduce: linear reduce + linear broadcast.
+    pub fn allreduce_linear(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        match self.reduce_linear(0, data, op) {
+            Some(v) => self.broadcast_linear(0, &v),
+            None => self.broadcast_linear(0, &[]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_spmd;
+    use otter_machine::meiko_cs2;
+
+    #[test]
+    fn linear_broadcast_delivers() {
+        for p in [1usize, 2, 5, 8] {
+            let res = run_spmd(&meiko_cs2(), p, |c| {
+                let data = if c.rank() == 0 { vec![3.0, 4.0] } else { vec![] };
+                c.broadcast_linear(0, &data)
+            });
+            for r in &res {
+                assert_eq!(r.value, vec![3.0, 4.0], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_reduce_matches_tree_reduce() {
+        for p in [1usize, 3, 8, 16] {
+            let res = run_spmd(&meiko_cs2(), p, |c| {
+                let mine = vec![c.rank() as f64 + 1.0];
+                let lin = c.allreduce_linear(&mine, ReduceOp::Sum);
+                let tree = c.allreduce(&mine, ReduceOp::Sum);
+                (lin, tree)
+            });
+            for r in &res {
+                // Values agree to FP-reassociation tolerance.
+                assert!((r.value.0[0] - r.value.1[0]).abs() < 1e-12, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_beats_linear_in_modeled_latency_at_scale() {
+        let time = |linear: bool| {
+            let res = run_spmd(&meiko_cs2(), 16, move |c| {
+                for _ in 0..10 {
+                    if linear {
+                        c.broadcast_linear(0, &[1.0]);
+                    } else {
+                        c.broadcast(0, &[1.0]);
+                    }
+                }
+                c.clock()
+            });
+            res.iter().map(|r| r.clock).fold(0.0, f64::max)
+        };
+        let t_tree = time(false);
+        let t_linear = time(true);
+        assert!(
+            t_linear > 2.0 * t_tree,
+            "linear {t_linear} should be much slower than tree {t_tree} at p=16"
+        );
+    }
+}

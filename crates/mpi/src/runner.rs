@@ -1,0 +1,137 @@
+//! SPMD job launcher: builds the channel mesh and runs one closure per
+//! rank on its own OS thread.
+
+use crate::comm::{Comm, Packet};
+use crossbeam::channel::unbounded;
+use otter_machine::Machine;
+use std::sync::Arc;
+
+/// What one rank produced: its return value, final virtual clock, and
+/// communication counters.
+#[derive(Debug, Clone)]
+pub struct RankResult<R> {
+    pub rank: usize,
+    pub value: R,
+    pub clock: f64,
+    pub stats: crate::comm::CommStats,
+}
+
+/// Run `body` on `p` ranks over the given machine model and collect
+/// per-rank results, ordered by rank.
+///
+/// The modeled parallel execution time of the job is the maximum final
+/// clock over ranks — loosely synchronous SPMD programs end when their
+/// slowest rank does.
+///
+/// Panics in any rank propagate (the whole job aborts), matching
+/// `MPI_Abort` semantics closely enough for test purposes.
+pub fn run_spmd<R, F>(machine: &Machine, p: usize, body: F) -> Vec<RankResult<R>>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
+    assert!(p >= 1, "need at least one rank");
+    assert!(
+        p <= machine.max_cpus,
+        "{} has only {} CPUs, requested {p}",
+        machine.name,
+        machine.max_cpus
+    );
+    let machine = Arc::new(machine.clone());
+
+    // Build the p×p channel mesh: edges[s][d] connects rank s to rank d.
+    let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Packet>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Packet>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for s in 0..p {
+        for d in 0..p {
+            let (tx, rx) = unbounded();
+            senders[s][d] = Some(tx);
+            receivers[d][s] = Some(rx);
+        }
+    }
+
+    // Hand each rank its endpoints.
+    let mut comms: Vec<Comm> = Vec::with_capacity(p);
+    for (r, (srow, rrow)) in senders.into_iter().zip(receivers).enumerate() {
+        let tx: Vec<_> = srow.into_iter().map(Option::unwrap).collect();
+        let rx: Vec<_> = rrow.into_iter().map(Option::unwrap).collect();
+        comms.push(Comm::new(r, p, Arc::clone(&machine), tx, rx));
+    }
+
+    let body = &body;
+    let mut out: Vec<Option<RankResult<R>>> = (0..p).map(|_| None).collect();
+    if p == 1 {
+        // Single rank: run inline, no thread overhead.
+        let mut comm = comms.pop().unwrap();
+        let value = body(&mut comm);
+        out[0] = Some(RankResult { rank: 0, value, clock: comm.clock(), stats: comm.stats() });
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|mut comm| {
+                    scope.spawn(move |_| {
+                        let rank = comm.rank();
+                        let value = body(&mut comm);
+                        RankResult { rank, value, clock: comm.clock(), stats: comm.stats() }
+                    })
+                })
+                .collect();
+            for h in handles {
+                let r = h.join().expect("rank panicked");
+                let i = r.rank;
+                out[i] = Some(r);
+            }
+        })
+        .expect("SPMD scope failed");
+    }
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+/// The modeled parallel runtime of a finished job: max final clock.
+pub fn job_time<R>(results: &[RankResult<R>]) -> f64 {
+    results.iter().map(|r| r.clock).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otter_machine::meiko_cs2;
+
+    #[test]
+    fn ranks_are_ordered_and_complete() {
+        let res = run_spmd(&meiko_cs2(), 8, |c| c.rank() * 10);
+        assert_eq!(res.len(), 8);
+        for (i, r) in res.iter().enumerate() {
+            assert_eq!(r.rank, i);
+            assert_eq!(r.value, i * 10);
+        }
+    }
+
+    #[test]
+    fn single_rank_runs_inline() {
+        let res = run_spmd(&meiko_cs2(), 1, |c| {
+            assert_eq!(c.size(), 1);
+            "done"
+        });
+        assert_eq!(res[0].value, "done");
+    }
+
+    #[test]
+    #[should_panic(expected = "has only")]
+    fn too_many_ranks_rejected() {
+        run_spmd(&meiko_cs2(), 17, |_| ());
+    }
+
+    #[test]
+    fn job_time_is_max_clock() {
+        let res = run_spmd(&meiko_cs2(), 4, |c| {
+            c.compute((c.rank() as f64 + 1.0) * 1e6);
+        });
+        let t = job_time(&res);
+        assert!((t - res[3].clock).abs() < 1e-15);
+        assert!(t > res[0].clock);
+    }
+}

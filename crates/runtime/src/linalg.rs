@@ -1,0 +1,374 @@
+//! Communication-bearing linear algebra: the run-time library calls
+//! the compiler emits for operations that cannot be done as local
+//! element-wise loops (paper §3-4: `ML_matrix_multiply`,
+//! `ML_matrix_vector_multiply`, transpose, outer products).
+
+use crate::dense::Dense;
+use crate::dist::Block;
+use crate::matrix::DistMatrix;
+use otter_mpi::Comm;
+
+impl DistMatrix {
+    /// Distributed matrix multiply, `C = A · B` (`ML_matrix_multiply`).
+    ///
+    /// Both operands are row-block distributed; the rows of `B` rotate
+    /// around a ring while each rank accumulates the partial products
+    /// its rows of `A` need. Per step, rank `r` multiplies its
+    /// `A(:, k-range)` panel against the visiting `B` block:
+    /// `p` steps, each moving `(k/p)·n` elements — the standard 1-D
+    /// rotation algorithm a row-distributed 1998 run-time would use.
+    pub fn matmul(&self, comm: &mut Comm, other: &DistMatrix) -> DistMatrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul inner dimensions {}x{} * {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, kk, n) = (self.rows(), self.cols(), other.cols());
+        let p = comm.size();
+        let rank = comm.rank();
+        // Degenerate shapes the compiler normally folds away but the
+        // library still honours:
+        if m == 1 && kk == 1 {
+            // (1×1) · B — scalar scaling.
+            let s = self.get_bcast(comm, 0, 0);
+            return other.map_scalar(comm, s, otter_machine::OpClass::Mul, |x, v| x * v);
+        }
+        if kk == 1 && other.cols() == 1 {
+            // A(m×1) · B(1×1) — scalar scaling from the right.
+            let s = other.get_bcast(comm, 0, 0);
+            return self.map_scalar(comm, s, otter_machine::OpClass::Mul, |x, v| x * v);
+        }
+        if kk == 1 && m > 1 && n > 1 {
+            // (m×1) · (1×n) — outer product of a column by a row.
+            return DistMatrix::outer(comm, self, other);
+        }
+        // Treat operands uniformly as row-distributed 2-D objects.
+        // (A 1×k row-vector operand distributes over its elements, not
+        // rows; gather it and fall back to a local multiply broadcast
+        // across ranks — it is small by definition.)
+        if self.is_vector() && self.rows() == 1 {
+            // (1×k) · (k×n) — row vector times matrix.
+            let x = self.gather_all(comm).into_data();
+            let bb = Block::new(other.dist_extent(), p);
+            // partial_j = Σ_{k local} x[k] · B[k, j]
+            let mut partial = vec![0.0; n];
+            for (li, gk) in bb.range(rank).enumerate() {
+                let brow = &other.local()[li * n..(li + 1) * n];
+                let xv = x[gk];
+                for (acc, &b) in partial.iter_mut().zip(brow) {
+                    *acc += xv * b;
+                }
+            }
+            comm.compute(2.0 * bb.count(rank) as f64 * n as f64);
+            let full = comm.allreduce(&partial, otter_mpi::ReduceOp::Sum);
+            return DistMatrix::from_replicated(comm, &Dense::row_vector(&full));
+        }
+        if other.is_vector() && other.cols() == 1 {
+            // (m×k) · (k×1) is a matvec.
+            return self.matvec(comm, other);
+        }
+
+        let a_rows = Block::new(m, p);
+        let b_rows = Block::new(kk, p);
+        let my_rows = a_rows.count(rank);
+        let mut c_local = vec![0.0; my_rows * n];
+        let mut cur: Vec<f64> = other.local().to_vec();
+        let mut cur_owner = rank;
+        for step in 0..p {
+            // Multiply my A panel for the k-range owned by cur_owner.
+            let krange = b_rows.range(cur_owner);
+            for li in 0..my_rows {
+                let arow = &self.local()[li * kk..(li + 1) * kk];
+                for (bk, gk) in krange.clone().enumerate() {
+                    let a = arow[gk];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &cur[bk * n..(bk + 1) * n];
+                    let crow = &mut c_local[li * n..(li + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += a * bv;
+                    }
+                }
+            }
+            comm.compute(2.0 * my_rows as f64 * krange.len() as f64 * n as f64);
+            if step + 1 < p {
+                // Rotate: pass my current B block left, take from right.
+                let left = (rank + p - 1) % p;
+                let right = (rank + 1) % p;
+                comm.send_concurrent(left, &cur, p);
+                cur = comm.recv(right);
+                cur_owner = (cur_owner + 1) % p;
+            }
+        }
+        DistMatrix::from_local(comm, m, n, c_local)
+    }
+
+    /// Distributed matrix–vector product
+    /// (`ML_matrix_vector_multiply`): `y = A · x` with `x` block
+    /// distributed. `x` is allgathered (it is a factor `n` smaller than
+    /// `A`), then each rank multiplies its row panel; the result is
+    /// already correctly distributed because `A`'s row blocks coincide
+    /// with `y`'s element blocks.
+    pub fn matvec(&self, comm: &mut Comm, x: &DistMatrix) -> DistMatrix {
+        assert!(x.is_vector(), "matvec needs a vector");
+        assert_eq!(self.cols(), x.len(), "matvec dimensions {}x{} · {}", self.rows(), self.cols(), x.len());
+        let x_full = x.gather_all(comm).into_data();
+        let w = self.cols();
+        let local: Vec<f64> = self
+            .local()
+            .chunks_exact(w)
+            .map(|row| row.iter().zip(&x_full).map(|(&a, &b)| a * b).sum())
+            .collect();
+        comm.compute(2.0 * local.len() as f64 * w as f64);
+        DistMatrix::from_local(comm, self.rows(), 1, local)
+    }
+
+    /// Outer product of two distributed vectors: `u · vᵀ`, row-block
+    /// distributed like any `m×n` result. `v` is allgathered; `u` is
+    /// already aligned with the result's rows.
+    pub fn outer(comm: &mut Comm, u: &DistMatrix, v: &DistMatrix) -> DistMatrix {
+        assert!(u.is_vector() && v.is_vector(), "outer needs vectors");
+        let (m, n) = (u.len(), v.len());
+        let v_full = v.gather_all(comm).into_data();
+        let rows = Block::new(m, comm.size());
+        // u's element blocks coincide with the result's row blocks.
+        let mut local = vec![0.0; rows.count(comm.rank()) * n];
+        for (li, &uv) in u.local().iter().enumerate() {
+            for (j, &vv) in v_full.iter().enumerate() {
+                local[li * n + j] = uv * vv;
+            }
+        }
+        comm.compute(u.local_els() as f64 * n as f64);
+        DistMatrix::from_local(comm, m, n, local)
+    }
+
+    /// Distributed transpose: an all-to-all where rank `r` ships the
+    /// intersection of its row panel with every destination's column
+    /// panel.
+    pub fn transpose(&self, comm: &mut Comm) -> DistMatrix {
+        let (m, n) = (self.rows(), self.cols());
+        if self.is_vector() {
+            // A vector transpose only flips orientation; both
+            // orientations share the same element distribution.
+            return DistMatrix::from_local(comm, n, m, self.local().to_vec());
+        }
+        let p = comm.size();
+        let rank = comm.rank();
+        let src_rows = Block::new(m, p); // my rows of A
+        let dst_rows = Block::new(n, p); // my rows of Aᵀ = columns of A
+        // Ship phase: to each rank d, send A(my rows, d's columns),
+        // transposed so the receiver can splice rows directly.
+        for d in 0..p {
+            if d == rank {
+                continue;
+            }
+            let cols = dst_rows.range(d);
+            let mut payload = Vec::with_capacity(src_rows.count(rank) * cols.len());
+            for j in cols.clone() {
+                for li in 0..src_rows.count(rank) {
+                    payload.push(self.local()[li * n + j]);
+                }
+            }
+            comm.send_concurrent(d, &payload, p - 1);
+        }
+        // Assemble phase: my Aᵀ rows are A's columns dst_rows.range(rank);
+        // each source rank contributes the element block for its rows.
+        let my_cols = dst_rows.range(rank);
+        let mut local = vec![0.0; my_cols.len() * m];
+        for s in 0..p {
+            let their_rows = src_rows.range(s);
+            let chunk: Vec<f64> = if s == rank {
+                let mut v = Vec::with_capacity(their_rows.len() * my_cols.len());
+                for j in my_cols.clone() {
+                    for li in 0..their_rows.len() {
+                        v.push(self.local()[li * n + j]);
+                    }
+                }
+                v
+            } else {
+                comm.recv(s)
+            };
+            // chunk is (my_cols.len() × their_rows.len()) row-major in
+            // transposed orientation already.
+            for (cj, _) in my_cols.clone().enumerate() {
+                for (ri, gr) in their_rows.clone().enumerate() {
+                    local[cj * m + gr] = chunk[cj * their_rows.len() + ri];
+                }
+            }
+        }
+        comm.compute(local.len() as f64);
+        DistMatrix::from_local(comm, n, m, local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otter_machine::meiko_cs2;
+    use otter_mpi::run_spmd;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_dense(rows: usize, cols: usize, seed: u64) -> Dense {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dense::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    fn assert_close(a: &Dense, b: &Dense, tol: f64) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_dense_oracle() {
+        for p in [1usize, 2, 3, 4, 8] {
+            for (m, k, n) in [(6, 6, 6), (5, 7, 3), (9, 2, 4), (1, 1, 1), (16, 16, 16)] {
+                let a = rand_dense(m, k, 1);
+                let b = rand_dense(k, n, 2);
+                // Skip vector-shaped operands here; covered separately.
+                if m == 1 || n == 1 || k == 1 {
+                    continue;
+                }
+                let oracle = a.matmul(&b);
+                let (aa, bb) = (a.clone(), b.clone());
+                let res = run_spmd(&meiko_cs2(), p, move |c| {
+                    let da = DistMatrix::from_replicated(c, &aa);
+                    let db = DistMatrix::from_replicated(c, &bb);
+                    da.matmul(c, &db).gather_all(c)
+                });
+                for r in &res {
+                    assert_close(&r.value, &oracle, 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_row_vector_times_matrix() {
+        let a = rand_dense(1, 6, 3);
+        let b = rand_dense(6, 4, 4);
+        let oracle = a.matmul(&b);
+        let res = run_spmd(&meiko_cs2(), 3, move |c| {
+            let da = DistMatrix::from_replicated(c, &a);
+            let db = DistMatrix::from_replicated(c, &b);
+            da.matmul(c, &db).gather_all(c)
+        });
+        assert_close(&res[0].value, &oracle, 1e-12);
+    }
+
+    #[test]
+    fn matmul_matrix_times_column_vector() {
+        let a = rand_dense(5, 6, 5);
+        let x = rand_dense(6, 1, 6);
+        let oracle = a.matmul(&x);
+        let res = run_spmd(&meiko_cs2(), 4, move |c| {
+            let da = DistMatrix::from_replicated(c, &a);
+            let dx = DistMatrix::from_replicated(c, &x);
+            da.matmul(c, &dx).gather_all(c)
+        });
+        assert_close(&res[0].value, &oracle, 1e-12);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        for p in [1usize, 2, 5] {
+            let a = rand_dense(8, 8, 7);
+            let x = rand_dense(8, 1, 8);
+            let oracle = Dense::col_vector(&a.matvec(x.data()));
+            let (aa, xx) = (a, x);
+            let res = run_spmd(&meiko_cs2(), p, move |c| {
+                let da = DistMatrix::from_replicated(c, &aa);
+                let dx = DistMatrix::from_replicated(c, &xx);
+                da.matvec(c, &dx).gather_all(c)
+            });
+            assert_close(&res[0].value, &oracle, 1e-12);
+        }
+    }
+
+    #[test]
+    fn outer_matches_dense() {
+        let u = rand_dense(5, 1, 9);
+        let v = rand_dense(1, 7, 10);
+        let oracle = Dense::outer(u.data(), v.data());
+        let res = run_spmd(&meiko_cs2(), 3, move |c| {
+            let du = DistMatrix::from_replicated(c, &u);
+            let dv = DistMatrix::from_replicated(c, &v);
+            DistMatrix::outer(c, &du, &dv).gather_all(c)
+        });
+        assert_close(&res[0].value, &oracle, 1e-12);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        for p in [1usize, 2, 3, 4] {
+            for (m, n) in [(6, 6), (5, 3), (2, 9)] {
+                let a = rand_dense(m, n, 11);
+                let oracle = a.transpose();
+                let aa = a.clone();
+                let res = run_spmd(&meiko_cs2(), p, move |c| {
+                    let da = DistMatrix::from_replicated(c, &aa);
+                    da.transpose(c).gather_all(c)
+                });
+                for r in &res {
+                    assert_close(&r.value, &oracle, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_vector_flips_orientation() {
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            let v = DistMatrix::range(c, 1.0, 1.0, 5.0); // 1×5
+            let t = v.transpose(c);
+            (t.rows(), t.cols(), t.gather_all(c).into_data())
+        });
+        assert_eq!(res[0].value, (5, 1, vec![1.0, 2.0, 3.0, 4.0, 5.0]));
+    }
+
+    #[test]
+    fn transpose_involution_distributed() {
+        let a = rand_dense(7, 4, 12);
+        let aa = a.clone();
+        let res = run_spmd(&meiko_cs2(), 4, move |c| {
+            let da = DistMatrix::from_replicated(c, &aa);
+            da.transpose(c).transpose(c).gather_all(c)
+        });
+        assert_close(&res[0].value, &a, 0.0);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity() {
+        let a = rand_dense(6, 6, 13);
+        let aa = a.clone();
+        let res = run_spmd(&meiko_cs2(), 3, move |c| {
+            let da = DistMatrix::from_replicated(c, &aa);
+            let i = DistMatrix::eye(c, 6);
+            da.matmul(c, &i).gather_all(c)
+        });
+        assert_close(&res[0].value, &a, 1e-12);
+    }
+
+    #[test]
+    fn matmul_charges_compute_time() {
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            let a = DistMatrix::ones(c, 32, 32);
+            let b = DistMatrix::ones(c, 32, 32);
+            let before = c.stats().compute_time;
+            let _ = a.matmul(c, &b);
+            c.stats().compute_time - before
+        });
+        // 2·m·k·n/p flops per rank at 25 Mflop/s.
+        let expect = 2.0 * 32.0 * 32.0 * 32.0 / 2.0 / 25e6;
+        for r in &res {
+            assert!(r.value >= expect * 0.9, "charged {} expected ≥ {expect}", r.value);
+        }
+    }
+}

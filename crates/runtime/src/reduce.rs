@@ -1,0 +1,391 @@
+//! Distributed reductions: dot products, sums, means, extrema, norms,
+//! and trapezoidal integration — the `O(n)` building blocks of the
+//! paper's conjugate-gradient, ocean-engineering, and n-body scripts.
+//!
+//! Each is a local fold plus an `allreduce`, so every rank ends with
+//! the replicated scalar the compiler's "scalar variables are
+//! replicated" assumption requires.
+
+use crate::dense::Dense;
+use crate::matrix::DistMatrix;
+use otter_mpi::{Comm, ReduceOp};
+
+impl DistMatrix {
+    /// Dot product of two aligned distributed objects viewed as flat
+    /// vectors.
+    pub fn dot(&self, comm: &mut Comm, other: &DistMatrix) -> f64 {
+        assert!(
+            self.aligned_with(other)
+                || (self.is_vector() && other.is_vector() && self.len() == other.len()),
+            "dot on unaligned operands"
+        );
+        let local: f64 = self.local().iter().zip(other.local()).map(|(&a, &b)| a * b).sum();
+        comm.compute(2.0 * self.local_els() as f64);
+        comm.allreduce_scalar(local, ReduceOp::Sum)
+    }
+
+    /// Sum of all elements, replicated everywhere.
+    pub fn sum_all(&self, comm: &mut Comm) -> f64 {
+        let local: f64 = self.local().iter().sum();
+        comm.compute(self.local_els() as f64);
+        comm.allreduce_scalar(local, ReduceOp::Sum)
+    }
+
+    /// Mean of all elements of a vector (MATLAB `mean` on vectors; the
+    /// n-body script's usage).
+    pub fn mean_all(&self, comm: &mut Comm) -> f64 {
+        assert!(!self.is_empty(), "mean of empty");
+        self.sum_all(comm) / self.len() as f64
+    }
+
+    /// MATLAB `sum` convention: scalar total for vectors; column sums
+    /// (as a replicated-then-distributed row vector) for matrices.
+    pub fn sum(&self, comm: &mut Comm) -> DistMatrix {
+        self.col_reduce(comm, ReduceOp::Sum, |acc, x| acc + x, 0.0)
+    }
+
+    /// MATLAB `prod` with the `sum` conventions.
+    pub fn prod(&self, comm: &mut Comm) -> DistMatrix {
+        self.col_reduce(comm, ReduceOp::Prod, |acc, x| acc * x, 1.0)
+    }
+
+    /// MATLAB `max` convention: scalar for vectors, column maxima for
+    /// matrices.
+    pub fn max(&self, comm: &mut Comm) -> DistMatrix {
+        self.col_reduce(comm, ReduceOp::Max, f64::max, f64::NEG_INFINITY)
+    }
+
+    /// MATLAB `min` (see [`DistMatrix::max`]).
+    pub fn min(&self, comm: &mut Comm) -> DistMatrix {
+        self.col_reduce(comm, ReduceOp::Min, f64::min, f64::INFINITY)
+    }
+
+    /// MATLAB `any` with the `sum` conventions (0/1 results).
+    pub fn any(&self, comm: &mut Comm) -> DistMatrix {
+        self.col_reduce(
+            comm,
+            ReduceOp::Max,
+            |acc, x| f64::from(acc != 0.0 || x != 0.0),
+            0.0,
+        )
+    }
+
+    /// MATLAB `all` with the `sum` conventions (0/1 results).
+    pub fn all(&self, comm: &mut Comm) -> DistMatrix {
+        self.col_reduce(
+            comm,
+            ReduceOp::Min,
+            |acc, x| f64::from(acc != 0.0 && x != 0.0),
+            1.0,
+        )
+    }
+
+    /// Product of every element, replicated.
+    pub fn prod_all(&self, comm: &mut Comm) -> f64 {
+        let local: f64 = self.local().iter().product();
+        comm.compute(self.local_els() as f64);
+        comm.allreduce_scalar(local, ReduceOp::Prod)
+    }
+
+    /// 1.0 if any element is nonzero.
+    pub fn any_all(&self, comm: &mut Comm) -> f64 {
+        let local = f64::from(self.local().iter().any(|&x| x != 0.0));
+        comm.compute(self.local_els() as f64);
+        comm.allreduce_scalar(local, ReduceOp::Max)
+    }
+
+    /// 1.0 if every element is nonzero.
+    pub fn all_all(&self, comm: &mut Comm) -> f64 {
+        let local = f64::from(self.local().iter().all(|&x| x != 0.0));
+        comm.compute(self.local_els() as f64);
+        comm.allreduce_scalar(local, ReduceOp::Min)
+    }
+
+    /// Shared kernel for per-column reductions: fold local rows, then
+    /// combine across ranks with `comm_op`. Vectors reduce to a
+    /// replicated 1×1.
+    fn col_reduce(
+        &self,
+        comm: &mut Comm,
+        comm_op: ReduceOp,
+        fold: impl Fn(f64, f64) -> f64,
+        identity: f64,
+    ) -> DistMatrix {
+        if self.is_vector() {
+            let local = self.local().iter().copied().fold(identity, &fold);
+            comm.compute(self.local_els() as f64);
+            let s = comm.allreduce_scalar(local, comm_op);
+            return DistMatrix::from_replicated(comm, &Dense::from_vec(1, 1, vec![s]));
+        }
+        let w = self.cols();
+        let mut partial = vec![identity; w];
+        for row in self.local().chunks_exact(w) {
+            for (acc, &x) in partial.iter_mut().zip(row) {
+                *acc = fold(*acc, x);
+            }
+        }
+        comm.compute(self.local_els() as f64);
+        let full = comm.allreduce(&partial, comm_op);
+        DistMatrix::from_replicated(comm, &Dense::row_vector(&full))
+    }
+
+    /// MATLAB `mean` with the `sum` conventions.
+    pub fn mean(&self, comm: &mut Comm) -> DistMatrix {
+        let n = if self.is_vector() { self.len() } else { self.rows() };
+        assert!(n > 0, "mean of empty");
+        let s = self.sum(comm);
+        s.map_scalar(comm, n as f64, otter_machine::OpClass::Div, |x, d| x / d)
+    }
+
+    /// Largest element, replicated.
+    pub fn max_all(&self, comm: &mut Comm) -> f64 {
+        let local = self.local().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        comm.compute(self.local_els() as f64);
+        comm.allreduce_scalar(local, ReduceOp::Max)
+    }
+
+    /// Smallest element, replicated.
+    pub fn min_all(&self, comm: &mut Comm) -> f64 {
+        let local = self.local().iter().copied().fold(f64::INFINITY, f64::min);
+        comm.compute(self.local_els() as f64);
+        comm.allreduce_scalar(local, ReduceOp::Min)
+    }
+
+    /// Euclidean norm of the object viewed as a flat vector.
+    pub fn norm2(&self, comm: &mut Comm) -> f64 {
+        let local: f64 = self.local().iter().map(|&x| x * x).sum();
+        comm.compute(2.0 * self.local_els() as f64 + 8.0);
+        comm.allreduce_scalar(local, ReduceOp::Sum).sqrt()
+    }
+
+    /// Unit-spacing trapezoidal integration of a distributed vector
+    /// (MATLAB `trapz(y)`). Interior block boundaries need one
+    /// boundary element from the right neighbour.
+    pub fn trapz(&self, comm: &mut Comm) -> f64 {
+        assert!(self.is_vector(), "trapz expects a vector");
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let halo = self.halo_right(comm);
+        let local = self.local();
+        let mut s = 0.0;
+        for w in local.windows(2) {
+            s += 0.5 * (w[0] + w[1]);
+        }
+        if let (Some(next), Some(&last)) = (halo, local.last()) {
+            s += 0.5 * (last + next);
+        }
+        comm.compute(2.0 * self.local_els() as f64);
+        comm.allreduce_scalar(s, ReduceOp::Sum)
+    }
+
+    /// Trapezoidal integration of `y` against abscissae `x`
+    /// (MATLAB `trapz(x, y)`; the ocean script's `trapz2`).
+    pub fn trapz_xy(comm: &mut Comm, x: &DistMatrix, y: &DistMatrix) -> f64 {
+        assert!(x.is_vector() && y.is_vector(), "trapz2 expects vectors");
+        assert_eq!(x.len(), y.len(), "trapz2 length mismatch");
+        let n = x.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let hx = x.halo_right(comm);
+        let hy = y.halo_right(comm);
+        let (xl, yl) = (x.local(), y.local());
+        let mut s = 0.0;
+        for i in 1..xl.len() {
+            s += 0.5 * (xl[i] - xl[i - 1]) * (yl[i] + yl[i - 1]);
+        }
+        if let (Some(xn), Some(yn)) = (hx, hy) {
+            if let (Some(&xe), Some(&ye)) = (xl.last(), yl.last()) {
+                s += 0.5 * (xn - xe) * (yn + ye);
+            }
+        }
+        comm.compute(4.0 * xl.len() as f64);
+        comm.allreduce_scalar(s, ReduceOp::Sum)
+    }
+
+    /// Fetch the first element of the right neighbour's block (the
+    /// halo element stencils and integrals need). Returns `None` on
+    /// the rank owning the global last element and on empty blocks.
+    ///
+    /// Deterministic schedule: every non-empty rank except the first
+    /// sends its head element left; every non-empty rank except the
+    /// last receives from the right-ward non-empty rank.
+    fn halo_right(&self, comm: &mut Comm) -> Option<f64> {
+        let b = self.block();
+        let rank = comm.rank();
+        
+        // Ranks with empty blocks neither send nor receive.
+        let my = b.range(rank);
+        // Send my head to the owner of my.start - 1 (if any and not me).
+        if !my.is_empty() && my.start > 0 {
+            let left_owner = b.owner(my.start - 1);
+            if left_owner != rank {
+                let head = self.local()[0];
+                comm.send_scalar(left_owner, head);
+            }
+        }
+        // Receive from the owner of my.end (if any and not me).
+        if !my.is_empty() && my.end < b.n {
+            let right_owner = b.owner(my.end);
+            if right_owner != rank {
+                return Some(comm.recv_scalar(right_owner));
+            }
+            // Owner of my.end is me — cannot happen with contiguous
+            // blocks, but keep the arm total.
+            return Some(self.local()[my.end - my.start]);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otter_machine::meiko_cs2;
+    use otter_mpi::run_spmd;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    #[test]
+    fn dot_matches_dense() {
+        for p in [1usize, 2, 3, 7] {
+            let a = rand_vec(23, 1);
+            let b = rand_vec(23, 2);
+            let oracle: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let (da, db) = (a, b);
+            let res = run_spmd(&meiko_cs2(), p, move |c| {
+                let x = DistMatrix::from_replicated(c, &Dense::col_vector(&da));
+                let y = DistMatrix::from_replicated(c, &Dense::col_vector(&db));
+                x.dot(c, &y)
+            });
+            for r in &res {
+                assert!((r.value - oracle).abs() < 1e-12, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn sums_and_means_replicated_everywhere() {
+        let res = run_spmd(&meiko_cs2(), 4, |c| {
+            let v = DistMatrix::range(c, 1.0, 1.0, 100.0);
+            (v.sum_all(c), v.mean_all(c))
+        });
+        for r in &res {
+            assert_eq!(r.value.0, 5050.0);
+            assert_eq!(r.value.1, 50.5);
+        }
+    }
+
+    #[test]
+    fn matrix_sum_gives_column_sums() {
+        let res = run_spmd(&meiko_cs2(), 3, |c| {
+            let d = Dense::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+            let m = DistMatrix::from_replicated(c, &d);
+            m.sum(c).gather_all(c)
+        });
+        assert_eq!(res[0].value.data(), &[16.0, 20.0]);
+    }
+
+    #[test]
+    fn matrix_mean_divides_by_rows() {
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            let d = Dense::from_vec(2, 2, vec![1.0, 10.0, 3.0, 30.0]);
+            let m = DistMatrix::from_replicated(c, &d);
+            m.mean(c).gather_all(c)
+        });
+        assert_eq!(res[0].value.data(), &[2.0, 20.0]);
+    }
+
+    #[test]
+    fn extremes() {
+        let res = run_spmd(&meiko_cs2(), 5, |c| {
+            let v = DistMatrix::from_replicated(
+                c,
+                &Dense::row_vector(&[3.0, -7.0, 2.0, 9.0, 0.0, -1.0]),
+            );
+            (v.max_all(c), v.min_all(c))
+        });
+        for r in &res {
+            assert_eq!(r.value, (9.0, -7.0));
+        }
+    }
+
+    #[test]
+    fn norm_matches_dense() {
+        let v = rand_vec(50, 3);
+        let oracle = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let res = run_spmd(&meiko_cs2(), 4, move |c| {
+            let x = DistMatrix::from_replicated(c, &Dense::row_vector(&v));
+            x.norm2(c)
+        });
+        for r in &res {
+            assert!((r.value - oracle).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trapz_matches_dense_for_all_p() {
+        let y = rand_vec(31, 4);
+        let oracle = Dense::row_vector(&y).trapz();
+        for p in [1usize, 2, 3, 8, 16] {
+            let yy = y.clone();
+            let res = run_spmd(&meiko_cs2(), p, move |c| {
+                let v = DistMatrix::from_replicated(c, &Dense::row_vector(&yy));
+                v.trapz(c)
+            });
+            for r in &res {
+                assert!((r.value - oracle).abs() < 1e-12, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn trapz_xy_matches_dense() {
+        let x: Vec<f64> = (0..20).map(|i| (i as f64).powf(1.1)).collect();
+        let y = rand_vec(20, 5);
+        let oracle = Dense::trapz_xy(&Dense::row_vector(&x), &Dense::row_vector(&y));
+        for p in [1usize, 3, 6] {
+            let (xx, yy) = (x.clone(), y.clone());
+            let res = run_spmd(&meiko_cs2(), p, move |c| {
+                let dx = DistMatrix::from_replicated(c, &Dense::row_vector(&xx));
+                let dy = DistMatrix::from_replicated(c, &Dense::row_vector(&yy));
+                DistMatrix::trapz_xy(c, &dx, &dy)
+            });
+            for r in &res {
+                assert!((r.value - oracle).abs() < 1e-12, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn trapz_short_vectors() {
+        let res = run_spmd(&meiko_cs2(), 4, |c| {
+            let one = DistMatrix::from_replicated(c, &Dense::row_vector(&[5.0]));
+            let two = DistMatrix::from_replicated(c, &Dense::row_vector(&[1.0, 3.0]));
+            (one.trapz(c), two.trapz(c))
+        });
+        for r in &res {
+            assert_eq!(r.value, (0.0, 2.0));
+        }
+    }
+
+    #[test]
+    fn reductions_agree_across_ranks_bitwise() {
+        // Paper assumption 1: replicated scalars must be identical on
+        // every rank. Allreduce guarantees it structurally; verify.
+        let v = rand_vec(97, 6);
+        let res = run_spmd(&meiko_cs2(), 8, move |c| {
+            let x = DistMatrix::from_replicated(c, &Dense::row_vector(&v));
+            x.sum_all(c).to_bits()
+        });
+        let first = res[0].value;
+        assert!(res.iter().all(|r| r.value == first));
+    }
+}

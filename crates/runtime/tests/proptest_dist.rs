@@ -1,0 +1,247 @@
+//! Property tests for the distribution math and the distributed
+//! run-time library, with the dense kernel as oracle.
+
+use otter_machine::meiko_cs2;
+use otter_mpi::run_spmd;
+use otter_rt::{Block, Dense, DistMatrix};
+use proptest::prelude::*;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The block partition is exactly that: disjoint, contiguous,
+    /// covering, balanced.
+    #[test]
+    fn block_partition_invariants(n in 0usize..300, p in 1usize..17) {
+        let b = Block::new(n, p);
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        let mut max_c = 0usize;
+        let mut min_c = usize::MAX;
+        for r in 0..p {
+            prop_assert_eq!(b.start(r), prev_end, "contiguous");
+            covered += b.count(r);
+            prev_end = b.end(r);
+            max_c = max_c.max(b.count(r));
+            min_c = min_c.min(b.count(r));
+        }
+        prop_assert_eq!(covered, n, "covering");
+        prop_assert!(max_c - min_c <= 1, "balanced");
+        for i in 0..n {
+            let o = b.owner(i);
+            prop_assert!(b.range(o).contains(&i), "owner consistent");
+            prop_assert_eq!(b.start(o) + b.to_local(i), i, "local round-trip");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Distribute → gather is the identity for any shape and p.
+    #[test]
+    fn scatter_gather_identity(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        p in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|k| ((k as u64).wrapping_mul(seed | 1) % 1000) as f64 / 7.0)
+            .collect();
+        let d = Dense::from_vec(rows, cols, data);
+        let dd = d.clone();
+        let res = run_spmd(&meiko_cs2(), p, move |c| {
+            DistMatrix::from_replicated(c, &dd).gather_all(c)
+        });
+        for r in &res {
+            prop_assert_eq!(&r.value, &d);
+        }
+    }
+
+    /// Distributed matmul equals dense matmul for random shapes.
+    #[test]
+    fn matmul_matches_dense(
+        m in 1usize..10,
+        k in 2usize..10,
+        n in 2usize..10,
+        p in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let gen = |rows: usize, cols: usize, salt: u64| {
+            Dense::from_vec(
+                rows,
+                cols,
+                (0..rows * cols)
+                    .map(|i| (((i as u64 + salt).wrapping_mul(seed | 3)) % 17) as f64 - 8.0)
+                    .collect(),
+            )
+        };
+        let a = gen(m, k, 1);
+        let b = gen(k, n, 2);
+        let oracle = a.matmul(&b);
+        let (aa, bb) = (a, b);
+        let res = run_spmd(&meiko_cs2(), p, move |c| {
+            let da = DistMatrix::from_replicated(c, &aa);
+            let db = DistMatrix::from_replicated(c, &bb);
+            da.matmul(c, &db).gather_all(c)
+        });
+        for (x, y) in res[0].value.data().iter().zip(oracle.data()) {
+            prop_assert!(close(*x, *y), "{x} vs {y}");
+        }
+    }
+
+    /// Reductions on distributed data equal dense reductions.
+    #[test]
+    fn reductions_match_dense(
+        len in 1usize..60,
+        p in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let v: Vec<f64> = (0..len)
+            .map(|i| (((i as u64).wrapping_mul(seed | 5)) % 1001) as f64 / 13.0 - 30.0)
+            .collect();
+        let d = Dense::row_vector(&v);
+        let (sum0, max0, min0, norm0, trapz0) =
+            (d.sum_all(), d.max_all(), d.min_all(), d.norm2(), d.trapz());
+        let res = run_spmd(&meiko_cs2(), p, move |c| {
+            let x = DistMatrix::from_replicated(c, &d);
+            (x.sum_all(c), x.max_all(c), x.min_all(c), x.norm2(c), x.trapz(c))
+        });
+        for r in &res {
+            prop_assert!(close(r.value.0, sum0));
+            prop_assert_eq!(r.value.1, max0);
+            prop_assert_eq!(r.value.2, min0);
+            prop_assert!(close(r.value.3, norm0));
+            prop_assert!(close(r.value.4, trapz0));
+        }
+    }
+
+    /// circshift matches the dense oracle for any shift.
+    #[test]
+    fn circshift_matches_dense(
+        len in 1usize..40,
+        p in 1usize..8,
+        k in -100i64..100,
+        seed in any::<u64>(),
+    ) {
+        let v: Vec<f64> = (0..len).map(|i| ((i as u64 ^ seed) % 97) as f64).collect();
+        let d = Dense::row_vector(&v);
+        let oracle = d.circshift(k);
+        let res = run_spmd(&meiko_cs2(), p, move |c| {
+            DistMatrix::from_replicated(c, &d).circshift(c, k).gather_all(c)
+        });
+        for r in &res {
+            prop_assert_eq!(&r.value, &oracle, "len={} p={} k={}", len, p, k);
+        }
+    }
+
+    /// Transpose is an involution and matches dense.
+    #[test]
+    fn transpose_matches_dense(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        p in 1usize..6,
+    ) {
+        let d = Dense::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|k| k as f64 * 1.5).collect(),
+        );
+        let oracle = d.transpose();
+        let dd = d.clone();
+        let res = run_spmd(&meiko_cs2(), p, move |c| {
+            let m = DistMatrix::from_replicated(c, &dd);
+            let t = m.transpose(c);
+            let tt = t.transpose(c);
+            (t.gather_all(c), tt.gather_all(c))
+        });
+        prop_assert_eq!(&res[0].value.0, &oracle);
+        prop_assert_eq!(&res[0].value.1, &d);
+    }
+
+    /// Every element has exactly one owner, on every rank count.
+    #[test]
+    fn owner_is_a_partition(rows in 1usize..14, cols in 1usize..6, p in 1usize..9) {
+        let res = run_spmd(&meiko_cs2(), p, move |c| {
+            let m = DistMatrix::zeros(c, rows, cols);
+            let mut owned = 0usize;
+            for i in 0..rows {
+                for j in 0..cols {
+                    if m.is_owner(i, j) {
+                        owned += 1;
+                    }
+                }
+            }
+            owned
+        });
+        let total: usize = res.iter().map(|r| r.value).sum();
+        prop_assert_eq!(total, rows * cols);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Column reductions (sum/mean/prod/max/min/any/all) match the
+    /// dense kernel for every shape and rank count.
+    #[test]
+    fn column_reductions_match_dense(
+        rows in 1usize..10,
+        cols in 1usize..7,
+        p in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let d = Dense::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|k| (((k as u64).wrapping_mul(seed | 7)) % 7) as f64 - 3.0)
+                .collect(),
+        );
+        let oracle = (
+            d.sum(),
+            d.mean(),
+            d.prod(),
+            d.max(),
+            d.min(),
+            d.any(),
+            d.all(),
+        );
+        let dd = d.clone();
+        let res = run_spmd(&meiko_cs2(), p, move |c| {
+            let m = DistMatrix::from_replicated(c, &dd);
+            (
+                m.sum(c).gather_all(c),
+                m.mean(c).gather_all(c),
+                m.prod(c).gather_all(c),
+                m.max(c).gather_all(c),
+                m.min(c).gather_all(c),
+                m.any(c).gather_all(c),
+                m.all(c).gather_all(c),
+            )
+        });
+        let got = &res[0].value;
+        for (i, (g, o)) in [
+            (&got.0, &oracle.0),
+            (&got.1, &oracle.1),
+            (&got.2, &oracle.2),
+            (&got.3, &oracle.3),
+            (&got.4, &oracle.4),
+            (&got.5, &oracle.5),
+            (&got.6, &oracle.6),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            prop_assert_eq!((g.rows(), g.cols()), (o.rows(), o.cols()), "op {} shape", i);
+            for (x, y) in g.data().iter().zip(o.data()) {
+                prop_assert!(close(*x, *y), "op {}: {} vs {} (rows={rows} cols={cols} p={p})", i, x, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! A minimal MATLAB REPL over the baseline interpreter — useful for
+//! exploring the accepted language subset interactively.
+//!
+//! ```text
+//! cargo run --example matlab_repl
+//! >> x = [1, 2; 3, 4];
+//! >> sum(x(:, 1))
+//! ans =
+//!     4.000000
+//! >> quit
+//! ```
+
+use otter_frontend::{parse, Program};
+use otter_interp::Interp;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    println!("otter-rs MATLAB REPL (type `quit` to exit)");
+    let mut interp = Interp::new(Program::default());
+    let stdin = io::stdin();
+    let mut line = String::new();
+    loop {
+        print!(">> ");
+        io::stdout().flush().ok();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let src = line.trim();
+        if src.is_empty() {
+            continue;
+        }
+        if src == "quit" || src == "exit" {
+            break;
+        }
+        match parse(src) {
+            Ok(file) => {
+                let before = interp.output.len();
+                match interp.exec_block(&file.script) {
+                    Ok(_) => {
+                        print!("{}", &interp.output[before..]);
+                    }
+                    Err(e) => eprintln!("{e}"),
+                }
+            }
+            Err(e) => eprintln!("{e}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,42 @@
+//! # otter
+//!
+//! Facade crate for **otter-rs**, a from-scratch Rust reproduction of
+//! Quinn et al., *"Preliminary Results from a Parallel MATLAB
+//! Compiler"* (IPPS 1998): a compiler from pure MATLAB to SPMD
+//! message-passing programs, its distributed-matrix run-time library,
+//! the baseline systems it was evaluated against, and performance
+//! models of its three 1998 test beds.
+//!
+//! This crate re-exports the member crates under stable names and
+//! hosts the repository's runnable examples (`examples/`) and
+//! cross-crate integration tests (`tests/`). Most users want:
+//!
+//! ```
+//! use otter::core::{compile_str, run_compiled};
+//! use otter::machine::meiko_cs2;
+//!
+//! let compiled = compile_str("v = 1:100;\ns = sum(v);").unwrap();
+//! let run = run_compiled(&compiled, &meiko_cs2(), 8).unwrap();
+//! assert_eq!(run.scalar("s"), Some(5050.0));
+//! ```
+
+/// The compiler driver and execution engines.
+pub use otter_core as core;
+/// MATLAB front end: lexer, parser, AST.
+pub use otter_frontend as frontend;
+/// Resolution, SSA, type/rank/shape inference.
+pub use otter_analysis as analysis;
+/// The SPMD intermediate representation.
+pub use otter_ir as ir;
+/// Lowering, peephole optimization, C emission.
+pub use otter_codegen as codegen;
+/// The distributed-matrix run-time library.
+pub use otter_rt as rt;
+/// The message-passing substrate.
+pub use otter_mpi as mpi;
+/// Machine performance models.
+pub use otter_machine as machine;
+/// The baseline MATLAB interpreter.
+pub use otter_interp as interp;
+/// The paper's four benchmark applications.
+pub use otter_apps as apps;

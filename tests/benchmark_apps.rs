@@ -1,0 +1,101 @@
+//! The reproduction's gold test: every benchmark application from the
+//! paper's evaluation compiles through the full Otter pipeline and
+//! produces results identical (to FP-reduction tolerance) to the
+//! interpreter oracle, at every processor count on every modeled
+//! machine.
+
+use otter_core::{compile_str, run_compiled, run_interpreter, BaselineOptions, EngineRun};
+use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
+
+fn assert_app_matches(app: &otter_apps::App, machine: &Machine, ps: &[usize]) {
+    let base = run_interpreter(&app.script, &workstation(), &BaselineOptions::default())
+        .unwrap_or_else(|e| panic!("{}: interpreter: {e}", app.id));
+    let compiled =
+        compile_str(&app.script).unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
+    for &p in ps {
+        if p > machine.max_cpus {
+            continue;
+        }
+        let run: EngineRun = run_compiled(&compiled, machine, p)
+            .unwrap_or_else(|e| panic!("{}: p={p}: {e}", app.id));
+        for v in &app.result_vars {
+            let a = base
+                .scalar(v)
+                .unwrap_or_else(|| panic!("{}: interpreter has no scalar `{v}`", app.id));
+            let b = run
+                .scalar(v)
+                .unwrap_or_else(|| panic!("{}: compiled has no scalar `{v}`", app.id));
+            assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + a.abs()),
+                "{} on {} p={p}: `{v}` interpreter={a} otter={b}",
+                app.id,
+                machine.name
+            );
+        }
+    }
+}
+
+#[test]
+fn conjugate_gradient_matches_oracle_on_meiko() {
+    let app = otter_apps::cg::conjugate_gradient(otter_apps::cg::Params::test());
+    assert_app_matches(&app, &meiko_cs2(), &[1, 2, 3, 4, 8, 16]);
+}
+
+#[test]
+fn ocean_engineering_matches_oracle_on_meiko() {
+    let app = otter_apps::ocean::ocean_engineering(otter_apps::ocean::Params::test());
+    assert_app_matches(&app, &meiko_cs2(), &[1, 2, 3, 4, 8, 16]);
+}
+
+#[test]
+fn n_body_matches_oracle_on_meiko() {
+    let app = otter_apps::nbody::n_body(otter_apps::nbody::Params::test());
+    assert_app_matches(&app, &meiko_cs2(), &[1, 2, 3, 4, 8, 16]);
+}
+
+#[test]
+fn transitive_closure_matches_oracle_on_meiko() {
+    let app = otter_apps::transitive::transitive_closure(otter_apps::transitive::Params::test());
+    assert_app_matches(&app, &meiko_cs2(), &[1, 2, 3, 4, 8, 16]);
+}
+
+#[test]
+fn all_apps_match_oracle_on_cluster() {
+    // The cluster's hierarchical topology exercises different message
+    // paths; answers must not depend on the machine model.
+    for app in otter_apps::test_apps() {
+        assert_app_matches(&app, &sparc20_cluster(), &[4, 8]);
+    }
+}
+
+#[test]
+fn all_apps_match_oracle_on_smp() {
+    for app in otter_apps::test_apps() {
+        assert_app_matches(&app, &enterprise_smp(), &[2, 8]);
+    }
+}
+
+#[test]
+fn odd_processor_counts_work() {
+    // Block distribution with remainders: non-power-of-two ranks.
+    for app in otter_apps::test_apps() {
+        assert_app_matches(&app, &meiko_cs2(), &[5, 7, 11, 13]);
+    }
+}
+
+#[test]
+fn cg_actually_converges_in_compiled_form() {
+    let app = otter_apps::cg::conjugate_gradient(otter_apps::cg::Params::test());
+    let compiled = compile_str(&app.script).unwrap();
+    let run = run_compiled(&compiled, &meiko_cs2(), 8).unwrap();
+    assert!(run.scalar("err").unwrap() < 1e-6, "err={:?}", run.scalar("err"));
+}
+
+#[test]
+fn transitive_closure_is_total_in_compiled_form() {
+    let p = otter_apps::transitive::Params::test();
+    let app = otter_apps::transitive::transitive_closure(p);
+    let compiled = compile_str(&app.script).unwrap();
+    let run = run_compiled(&compiled, &meiko_cs2(), 6).unwrap();
+    assert_eq!(run.scalar("reach"), Some((p.n * p.n) as f64));
+}

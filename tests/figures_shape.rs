@@ -1,0 +1,100 @@
+//! Shape tests for the paper's evaluation claims, at test scale —
+//! the qualitative relationships every figure rests on must hold for
+//! any problem size large enough to have vector work.
+
+use otter_bench::figures::{fig2, speedup_figure, Scale};
+
+#[test]
+fn figure2_compiled_always_beats_interpreter() {
+    // Paper §5: "for these scripts our compiler always outperforms
+    // The MathWorks interpreter."
+    for row in fig2(Scale::Test) {
+        assert!(row.otter > 1.0, "{}: {}", row.app, row.otter);
+    }
+}
+
+#[test]
+fn figure2_matcom_competitive() {
+    // Paper §5: "Our compiler is competitive with the MATCOM
+    // compiler" — neither dominates by an order of magnitude.
+    for row in fig2(Scale::Test) {
+        let ratio = row.otter / row.matcom;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "{}: otter/matcom ratio {ratio} out of competitive range",
+            row.app
+        );
+    }
+}
+
+#[test]
+fn meiko_scales_best_on_transitive_closure() {
+    // Paper §6: TC shows the best speedup, and the Meiko "generally
+    // achieves greater speedup than the other two parallel systems".
+    let apps = Scale::Test.apps();
+    let tc = apps.iter().find(|a| a.id == "tc").unwrap();
+    let fig = speedup_figure("Figure 6", tc);
+    let at = |name: &str| {
+        fig.series
+            .iter()
+            .find(|s| s.machine.contains(name))
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .1
+    };
+    let meiko = at("Meiko");
+    let cluster = at("cluster");
+    assert!(meiko > cluster, "meiko={meiko} cluster={cluster}");
+}
+
+#[test]
+fn cluster_damped_beyond_one_node() {
+    // Paper §6: the Ethernet "puts a severe damper on speedup achieved
+    // beyond four CPUs (the number of CPUs in a single SMP)".
+    let apps = Scale::Test.apps();
+    let cg = apps.iter().find(|a| a.id == "cg").unwrap();
+    let fig = speedup_figure("Figure 3", cg);
+    let cluster = fig.series.iter().find(|s| s.machine.contains("cluster")).unwrap();
+    let p4 = cluster.points.iter().find(|(p, _)| *p == 4).unwrap().1;
+    let p8 = cluster.points.iter().find(|(p, _)| *p == 8).unwrap().1;
+    // Within one node: healthy scaling. Beyond: at best marginal.
+    assert!(p4 > 2.0, "single-node scaling should work: p4={p4}");
+    assert!(p8 < p4 * 1.25, "Ethernet must damp 8-CPU speedup: p4={p4} p8={p8}");
+}
+
+#[test]
+fn compute_bound_scales_better_than_communication_bound() {
+    // Paper §7: "When the script calls for operations with complexity
+    // O(n²) [or more] ... the performance improvement ... can be
+    // significant" — vs the O(n) apps of Figures 4-5.
+    let apps = Scale::Test.apps();
+    let tc = speedup_figure("f6", apps.iter().find(|a| a.id == "tc").unwrap());
+    let nb = speedup_figure("f5", apps.iter().find(|a| a.id == "nbody").unwrap());
+    let tc_gain = {
+        let pts = &tc.series[0].points;
+        pts.last().unwrap().1 / pts.first().unwrap().1
+    };
+    let nb_gain = {
+        let pts = &nb.series[0].points;
+        pts.last().unwrap().1 / pts.first().unwrap().1
+    };
+    assert!(
+        tc_gain > nb_gain,
+        "O(n³) app must scale better: tc={tc_gain} nbody={nb_gain}"
+    );
+}
+
+#[test]
+fn speedup_at_p1_reflects_compilation_gain_only() {
+    // At one CPU the "speedup over MATLAB" is purely the
+    // compile-vs-interpret gain, identical across machines.
+    let apps = Scale::Test.apps();
+    let cg = apps.iter().find(|a| a.id == "cg").unwrap();
+    let fig = speedup_figure("Figure 3", cg);
+    let p1: Vec<f64> = fig.series.iter().map(|s| s.points[0].1).collect();
+    for v in &p1 {
+        assert!((v - p1[0]).abs() / p1[0] < 0.05, "p=1 speedups should agree: {p1:?}");
+    }
+}
