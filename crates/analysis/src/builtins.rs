@@ -8,13 +8,42 @@
 
 /// Built-in functions the compiler can lower.
 pub const BUILTIN_FUNCTIONS: &[&str] = &[
-    "zeros", "ones", "eye", "rand", "linspace", // constructors
-    "size", "length", "numel", // shape queries
-    "abs", "sqrt", "sin", "cos", "tan", "exp", "log", "log2", "floor", "ceil", "round",
-    "sign", "mod", "rem", // element-wise math
-    "sum", "mean", "prod", "max", "min", "any", "all", "norm", "dot", "trapz", "trapz2", // reductions
+    "zeros",
+    "ones",
+    "eye",
+    "rand",
+    "linspace", // constructors
+    "size",
+    "length",
+    "numel", // shape queries
+    "abs",
+    "sqrt",
+    "sin",
+    "cos",
+    "tan",
+    "exp",
+    "log",
+    "log2",
+    "floor",
+    "ceil",
+    "round",
+    "sign",
+    "mod",
+    "rem", // element-wise math
+    "sum",
+    "mean",
+    "prod",
+    "max",
+    "min",
+    "any",
+    "all",
+    "norm",
+    "dot",
+    "trapz",
+    "trapz2",    // reductions
     "circshift", // structural
-    "disp", "load", // I/O
+    "disp",
+    "load", // I/O
 ];
 
 /// Built-in constants (zero-argument value names).

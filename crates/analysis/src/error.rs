@@ -12,7 +12,10 @@ pub struct AnalysisError {
 
 impl AnalysisError {
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        AnalysisError { message: message.into(), span }
+        AnalysisError {
+            message: message.into(),
+            span,
+        }
     }
 }
 

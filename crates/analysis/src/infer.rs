@@ -66,10 +66,18 @@ struct Ctx<'p> {
 
 /// Infer types for a resolved, SSA-renamed program.
 pub fn infer(program: &Program, opts: InferOptions) -> Result<Inference> {
-    let mut ctx = Ctx { program, opts, sigs: BTreeMap::new(), in_progress: Vec::new() };
+    let mut ctx = Ctx {
+        program,
+        opts,
+        sigs: BTreeMap::new(),
+        in_progress: Vec::new(),
+    };
     let mut env: ScopeTypes = BTreeMap::new();
     infer_block(&program.script, &mut env, &mut ctx)?;
-    Ok(Inference { script_vars: env, functions: ctx.sigs })
+    Ok(Inference {
+        script_vars: env,
+        functions: ctx.sigs,
+    })
 }
 
 const MAX_FIXPOINT_ITERS: usize = 64;
@@ -150,7 +158,11 @@ fn infer_stmt(stmt: &Stmt, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<()> {
             let outs = infer_call_multi(callee, args, lhs.len(), rhs.span, env, ctx)?;
             if outs.len() < lhs.len() {
                 return Err(AnalysisError::new(
-                    format!("`{callee}` returns {} values, {} requested", outs.len(), lhs.len()),
+                    format!(
+                        "`{callee}` returns {} values, {} requested",
+                        outs.len(),
+                        lhs.len()
+                    ),
                     rhs.span,
                 ));
             }
@@ -202,11 +214,18 @@ fn infer_stmt(stmt: &Stmt, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<()> {
                     return Ok(());
                 }
             }
-            Err(AnalysisError::new("type inference did not converge in while loop", stmt.span))
+            Err(AnalysisError::new(
+                "type inference did not converge in while loop",
+                stmt.span,
+            ))
         }
         StmtKind::For { var, iter, body } => {
             let ity = require_value(infer_expr(iter, env, ctx)?, iter.span)?;
-            let base = if ity.base == BaseTy::Bottom { BaseTy::Integer } else { ity.base };
+            let base = if ity.base == BaseTy::Bottom {
+                BaseTy::Integer
+            } else {
+                ity.base
+            };
             bind(env, var, VarTy::scalar(base), stmt.span)?;
             for _ in 0..MAX_FIXPOINT_ITERS {
                 let before = env.clone();
@@ -217,7 +236,10 @@ fn infer_stmt(stmt: &Stmt, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<()> {
                     return Ok(());
                 }
             }
-            Err(AnalysisError::new("type inference did not converge in for loop", stmt.span))
+            Err(AnalysisError::new(
+                "type inference did not converge in for loop",
+                stmt.span,
+            ))
         }
         StmtKind::Global(names) => {
             for n in names {
@@ -276,7 +298,11 @@ fn infer_index_arg(ix: &Expr, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<Ind
             // Strided or unit ranges both select a slice; the length
             // comes from the range's inferred shape when static.
             let ty = require_value(infer_expr(ix, env, ctx)?, ix.span)?;
-            let len = if ty.shape.rows == Dim::Known(1) { ty.shape.cols } else { ty.shape.rows };
+            let len = if ty.shape.rows == Dim::Known(1) {
+                ty.shape.cols
+            } else {
+                ty.shape.rows
+            };
             Ok(IndexSel::Slice(len))
         }
         _ => {
@@ -284,8 +310,11 @@ fn infer_index_arg(ix: &Expr, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<Ind
             match ty.rank {
                 RankTy::Scalar => Ok(IndexSel::One),
                 RankTy::Matrix => {
-                    let len =
-                        if ty.shape.rows == Dim::Known(1) { ty.shape.cols } else { ty.shape.rows };
+                    let len = if ty.shape.rows == Dim::Known(1) {
+                        ty.shape.cols
+                    } else {
+                        ty.shape.rows
+                    };
                     Ok(IndexSel::Slice(len))
                 }
                 RankTy::Bottom => Err(AnalysisError::new("index used before definition", ix.span)),
@@ -325,7 +354,10 @@ fn infer_expr(e: &Expr, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<Option<Va
             if *is_int {
                 VarTy::int_const(*value)
             } else {
-                VarTy { konst: Some(*value), ..VarTy::scalar(BaseTy::Real) }
+                VarTy {
+                    konst: Some(*value),
+                    ..VarTy::scalar(BaseTy::Real)
+                }
             }
         }
         ExprKind::Str(_) => VarTy::string(),
@@ -339,7 +371,10 @@ fn infer_expr(e: &Expr, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<Option<Va
                 }
                 *ty
             } else if let Some(v) = constant_value(name) {
-                VarTy { konst: Some(v), ..VarTy::scalar(BaseTy::Real) }
+                VarTy {
+                    konst: Some(v),
+                    ..VarTy::scalar(BaseTy::Real)
+                }
             } else {
                 return Err(AnalysisError::new(
                     format!("variable `{name}` used before it is assigned"),
@@ -375,11 +410,15 @@ fn infer_expr(e: &Expr, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<Option<Va
                 }
                 _ => Dim::Unknown,
             };
-            VarTy::matrix(base, Shape { rows: Dim::Known(1), cols: len })
+            VarTy::matrix(
+                base,
+                Shape {
+                    rows: Dim::Known(1),
+                    cols: len,
+                },
+            )
         }
-        ExprKind::Colon => {
-            return Err(AnalysisError::new("`:` outside an index", e.span))
-        }
+        ExprKind::Colon => return Err(AnalysisError::new("`:` outside an index", e.span)),
         // `end` only parses inside index parentheses; its value is the
         // dimension extent, an integer scalar (statically folded by
         // lowering when the shape is known).
@@ -408,7 +447,10 @@ fn infer_expr(e: &Expr, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<Option<Va
             let t = require_value(infer_expr(operand, env, ctx)?, operand.span)?;
             match t.rank {
                 RankTy::Scalar => t,
-                RankTy::Matrix => VarTy { shape: t.shape.transposed(), ..t },
+                RankTy::Matrix => VarTy {
+                    shape: t.shape.transposed(),
+                    ..t
+                },
                 RankTy::Bottom => unreachable!("checked at use"),
             }
         }
@@ -494,7 +536,10 @@ fn infer_binary(op: BinOp, a: VarTy, b: VarTy, span: Span) -> Result<VarTy> {
                         ));
                     }
                 }
-                let shape = Shape { rows: a.shape.rows, cols: b.shape.cols };
+                let shape = Shape {
+                    rows: a.shape.rows,
+                    cols: b.shape.cols,
+                };
                 // A 1×1 product is a scalar in practice; keep matrix
                 // rank only when some dimension may exceed one.
                 if shape == Shape::known(1, 1) {
@@ -528,7 +573,10 @@ fn infer_binary(op: BinOp, a: VarTy, b: VarTy, span: Span) -> Result<VarTy> {
             (RankTy::Matrix, RankTy::Scalar) => {
                 if let (Dim::Known(r), Dim::Known(c)) = (a.shape.rows, a.shape.cols) {
                     if r != c {
-                        return Err(AnalysisError::new("matrix power needs a square matrix", span));
+                        return Err(AnalysisError::new(
+                            "matrix power needs a square matrix",
+                            span,
+                        ));
                     }
                 }
                 Ok(VarTy::matrix(num_base(a, b), a.shape))
@@ -611,7 +659,9 @@ fn scalar_fold(op: BinOp, a: VarTy, b: VarTy) -> VarTy {
         // Integer-valued constant results stay integer (2^10 is a
         // size); otherwise division promotes to real.
         match konst {
-            Some(v) if v.fract() == 0.0 && a.base == BaseTy::Integer && b.base == BaseTy::Integer => {
+            Some(v)
+                if v.fract() == 0.0 && a.base == BaseTy::Integer && b.base == BaseTy::Integer =>
+            {
                 BaseTy::Integer
             }
             _ => BaseTy::Real,
@@ -619,7 +669,12 @@ fn scalar_fold(op: BinOp, a: VarTy, b: VarTy) -> VarTy {
     } else {
         a.base.join(b.base)
     };
-    VarTy { base, rank: RankTy::Scalar, shape: Shape::SCALAR, konst }
+    VarTy {
+        base,
+        rank: RankTy::Scalar,
+        shape: Shape::SCALAR,
+        konst,
+    }
 }
 
 fn infer_index_result(bty: &VarTy, sels: &[IndexSel], span: Span) -> Result<VarTy> {
@@ -632,30 +687,58 @@ fn infer_index_result(bty: &VarTy, sels: &[IndexSel], span: Span) -> Result<VarT
                 (Dim::Known(r), Dim::Known(c)) => Dim::Known(r * c),
                 _ => Dim::Unknown,
             };
-            Ok(VarTy::matrix(base, Shape { rows: n, cols: Dim::Known(1) }))
+            Ok(VarTy::matrix(
+                base,
+                Shape {
+                    rows: n,
+                    cols: Dim::Known(1),
+                },
+            ))
         }
         [IndexSel::Slice(n)] => {
             // Orientation follows the base for vectors; defaults to row.
             let shape = if bty.shape.cols == Dim::Known(1) {
-                Shape { rows: *n, cols: Dim::Known(1) }
+                Shape {
+                    rows: *n,
+                    cols: Dim::Known(1),
+                }
             } else {
-                Shape { rows: Dim::Known(1), cols: *n }
+                Shape {
+                    rows: Dim::Known(1),
+                    cols: *n,
+                }
             };
             Ok(VarTy::matrix(base, shape))
         }
         [IndexSel::One, IndexSel::One] => Ok(VarTy::scalar(base)),
-        [IndexSel::One, IndexSel::All] => {
-            Ok(VarTy::matrix(base, Shape { rows: Dim::Known(1), cols: bty.shape.cols }))
-        }
-        [IndexSel::All, IndexSel::One] => {
-            Ok(VarTy::matrix(base, Shape { rows: bty.shape.rows, cols: Dim::Known(1) }))
-        }
-        [IndexSel::One, IndexSel::Slice(n)] => {
-            Ok(VarTy::matrix(base, Shape { rows: Dim::Known(1), cols: *n }))
-        }
-        [IndexSel::Slice(n), IndexSel::One] => {
-            Ok(VarTy::matrix(base, Shape { rows: *n, cols: Dim::Known(1) }))
-        }
+        [IndexSel::One, IndexSel::All] => Ok(VarTy::matrix(
+            base,
+            Shape {
+                rows: Dim::Known(1),
+                cols: bty.shape.cols,
+            },
+        )),
+        [IndexSel::All, IndexSel::One] => Ok(VarTy::matrix(
+            base,
+            Shape {
+                rows: bty.shape.rows,
+                cols: Dim::Known(1),
+            },
+        )),
+        [IndexSel::One, IndexSel::Slice(n)] => Ok(VarTy::matrix(
+            base,
+            Shape {
+                rows: Dim::Known(1),
+                cols: *n,
+            },
+        )),
+        [IndexSel::Slice(n), IndexSel::One] => Ok(VarTy::matrix(
+            base,
+            Shape {
+                rows: *n,
+                cols: Dim::Known(1),
+            },
+        )),
         _ => Err(AnalysisError::new(
             "this indexing form is not supported by the compiler \
              (supported: scalar, range, `:` slices)",
@@ -682,7 +765,10 @@ fn infer_call_multi(
     }
     // User M-file function.
     let Some(func) = ctx.program.function(callee) else {
-        return Err(AnalysisError::new(format!("unknown function `{callee}`"), span));
+        return Err(AnalysisError::new(
+            format!("unknown function `{callee}`"),
+            span,
+        ));
     };
     if ctx.in_progress.iter().any(|n| n == callee) {
         return Err(AnalysisError::new(
@@ -692,12 +778,15 @@ fn infer_call_multi(
     }
     if arg_tys.len() != func.params.len() {
         return Err(AnalysisError::new(
-            format!("`{callee}` takes {} arguments, {} given", func.params.len(), arg_tys.len()),
+            format!(
+                "`{callee}` takes {} arguments, {} given",
+                func.params.len(),
+                arg_tys.len()
+            ),
             span,
         ));
     }
     // Monomorphic signature: first call wins; later calls must join.
-    let mut arg_tys = arg_tys;
     if let Some(sig) = ctx.sigs.get(callee) {
         let compatible = sig
             .params
@@ -748,7 +837,11 @@ fn infer_call_multi(
         })?;
         outs.push(ty);
     }
-    let sig = FuncSig { params: arg_tys, outs: outs.clone(), vars: fenv };
+    let sig = FuncSig {
+        params: arg_tys,
+        outs: outs.clone(),
+        vars: fenv,
+    };
     ctx.sigs.insert(callee.to_string(), sig);
     Ok(outs)
 }
@@ -781,11 +874,21 @@ fn infer_builtin(
     };
     match callee {
         "zeros" | "ones" | "rand" => {
-            let base = if callee == "rand" { BaseTy::Real } else { BaseTy::Integer };
+            let base = if callee == "rand" {
+                BaseTy::Real
+            } else {
+                BaseTy::Integer
+            };
             let shape = match arg_tys.len() {
                 0 => Shape::SCALAR,
-                1 => Shape { rows: dim_arg(0), cols: dim_arg(0) },
-                _ => Shape { rows: dim_arg(0), cols: dim_arg(1) },
+                1 => Shape {
+                    rows: dim_arg(0),
+                    cols: dim_arg(0),
+                },
+                _ => Shape {
+                    rows: dim_arg(0),
+                    cols: dim_arg(1),
+                },
             };
             if shape == Shape::SCALAR && arg_tys.is_empty() {
                 return one(VarTy::scalar(base));
@@ -794,12 +897,28 @@ fn infer_builtin(
         }
         "eye" => {
             need(1)?;
-            one(VarTy::matrix(BaseTy::Integer, Shape { rows: dim_arg(0), cols: dim_arg(0) }))
+            one(VarTy::matrix(
+                BaseTy::Integer,
+                Shape {
+                    rows: dim_arg(0),
+                    cols: dim_arg(0),
+                },
+            ))
         }
         "linspace" => {
             need(2)?;
-            let n = if arg_tys.len() > 2 { dim_arg(2) } else { Dim::Known(100) };
-            one(VarTy::matrix(BaseTy::Real, Shape { rows: Dim::Known(1), cols: n }))
+            let n = if arg_tys.len() > 2 {
+                dim_arg(2)
+            } else {
+                Dim::Known(100)
+            };
+            one(VarTy::matrix(
+                BaseTy::Real,
+                Shape {
+                    rows: Dim::Known(1),
+                    cols: n,
+                },
+            ))
         }
         "size" => {
             need(1)?;
@@ -832,7 +951,10 @@ fn infer_builtin(
                 (_, Some(r), Some(c)) => Some(r.max(c)),
                 _ => None,
             };
-            one(VarTy { konst: k.map(|n| n as f64), ..VarTy::scalar(BaseTy::Integer) })
+            one(VarTy {
+                konst: k.map(|n| n as f64),
+                ..VarTy::scalar(BaseTy::Integer)
+            })
         }
         "numel" => {
             need(1)?;
@@ -842,7 +964,10 @@ fn infer_builtin(
                 (_, Some(r), Some(c)) => Some(r * c),
                 _ => None,
             };
-            one(VarTy { konst: k.map(|n| n as f64), ..VarTy::scalar(BaseTy::Integer) })
+            one(VarTy {
+                konst: k.map(|n| n as f64),
+                ..VarTy::scalar(BaseTy::Integer)
+            })
         }
         "abs" | "floor" | "ceil" | "round" | "sign" => {
             need(1)?;
@@ -851,7 +976,11 @@ fn infer_builtin(
         "sqrt" | "sin" | "cos" | "tan" | "exp" | "log" | "log2" => {
             need(1)?;
             let t = arg_tys[0];
-            one(VarTy { base: BaseTy::Real, konst: None, ..t })
+            one(VarTy {
+                base: BaseTy::Real,
+                konst: None,
+                ..t
+            })
         }
         "mod" | "rem" => {
             need(2)?;
@@ -887,7 +1016,13 @@ fn infer_builtin(
                             span,
                         ))
                     } else {
-                        one(VarTy::matrix(base, Shape { rows: Dim::Known(1), cols: t.shape.cols }))
+                        one(VarTy::matrix(
+                            base,
+                            Shape {
+                                rows: Dim::Known(1),
+                                cols: t.shape.cols,
+                            },
+                        ))
                     }
                 }
                 RankTy::Bottom => Err(AnalysisError::new("operand used before definition", span)),
@@ -913,7 +1048,10 @@ fn infer_builtin(
                 RankTy::Matrix if t.shape.is_vector() => one(VarTy::scalar(t.base)),
                 RankTy::Matrix => one(VarTy::matrix(
                     t.base,
-                    Shape { rows: Dim::Known(1), cols: t.shape.cols },
+                    Shape {
+                        rows: Dim::Known(1),
+                        cols: t.shape.cols,
+                    },
                 )),
                 RankTy::Bottom => Err(AnalysisError::new("operand used before definition", span)),
             }
@@ -962,7 +1100,10 @@ fn infer_builtin(
             if sample.is_scalar() {
                 one(VarTy::scalar(base))
             } else {
-                one(VarTy::matrix(base, Shape::known(sample.rows(), sample.cols())))
+                one(VarTy::matrix(
+                    base,
+                    Shape::known(sample.rows(), sample.cols()),
+                ))
             }
         }
         _ => Ok(None),
@@ -977,7 +1118,7 @@ mod tests {
     use otter_frontend::{EmptyProvider, MapProvider, SourceProvider};
 
     fn infer_src_with(src: &str, provider: &dyn SourceProvider) -> Result<Inference> {
-        let resolved = resolve(src, provider).map_err(|e| e)?;
+        let resolved = resolve(src, provider)?;
         let mut program = resolved.program;
         let info = ssa_rename(&program.script, &[]);
         program.script = info.block;
@@ -989,7 +1130,8 @@ mod tests {
     }
 
     fn ty(inf: &Inference, name: &str) -> VarTy {
-        *inf.script_var(name).unwrap_or_else(|| panic!("no var {name}"))
+        *inf.script_var(name)
+            .unwrap_or_else(|| panic!("no var {name}"))
     }
 
     #[test]
@@ -1014,7 +1156,11 @@ mod tests {
     fn const_folding_through_arithmetic() {
         let i = infer_src("n = 2^10;\nhalf = n / 2;\nm = zeros(half, n);");
         assert_eq!(ty(&i, "n").konst, Some(1024.0));
-        assert_eq!(ty(&i, "n").base, BaseTy::Integer, "integral power stays integer");
+        assert_eq!(
+            ty(&i, "n").base,
+            BaseTy::Integer,
+            "integral power stays integer"
+        );
         assert_eq!(ty(&i, "m").shape, Shape::known(512, 1024));
     }
 
@@ -1027,8 +1173,11 @@ mod tests {
 
     #[test]
     fn matmul_dimension_mismatch_is_error() {
-        let err = infer_src_with("a = rand(3, 4);\nb = rand(5, 6);\nc = a * b;", &EmptyProvider)
-            .unwrap_err();
+        let err = infer_src_with(
+            "a = rand(3, 4);\nb = rand(5, 6);\nc = a * b;",
+            &EmptyProvider,
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("inner dimensions"), "{err}");
     }
 
@@ -1077,7 +1226,11 @@ mod tests {
     #[test]
     fn loop_fixpoint_converges() {
         let i = infer_src("s = 0;\nfor i = 1:10\ns = s + i * 0.5;\nend");
-        assert_eq!(ty(&i, "s").base, BaseTy::Real, "loop joins integer 0 with real updates");
+        assert_eq!(
+            ty(&i, "s").base,
+            BaseTy::Real,
+            "loop joins integer 0 with real updates"
+        );
         assert_eq!(ty(&i, "s").konst, None);
     }
 
@@ -1113,10 +1266,7 @@ mod tests {
 
     #[test]
     fn user_function_signature_inferred() {
-        let provider = MapProvider::new().with(
-            "scale",
-            "function y = scale(v, s)\ny = v .* s;\n",
-        );
+        let provider = MapProvider::new().with("scale", "function y = scale(v, s)\ny = v .* s;\n");
         let inf = infer_src_with("v = rand(8, 1);\nw = scale(v, 2);", &provider).unwrap();
         let sig = inf.functions.get("scale").unwrap();
         assert!(sig.params[0].is_matrix());
@@ -1127,10 +1277,12 @@ mod tests {
 
     #[test]
     fn conflicting_function_ranks_rejected() {
-        let provider =
-            MapProvider::new().with("idf", "function y = idf(x)\ny = x;\n");
+        let provider = MapProvider::new().with("idf", "function y = idf(x)\ny = x;\n");
         let err = infer_src_with("a = idf(2);\nb = idf(rand(3, 3));", &provider).unwrap_err();
-        assert!(err.to_string().contains("conflicting argument ranks"), "{err}");
+        assert!(
+            err.to_string().contains("conflicting argument ranks"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1180,7 +1332,9 @@ mod tests {
         let resolved = resolve("d = load('wave.dat');", &EmptyProvider).unwrap();
         let inf = infer(
             &resolved.program,
-            InferOptions { data_dir: Some(dir.clone()) },
+            InferOptions {
+                data_dir: Some(dir.clone()),
+            },
         )
         .unwrap();
         let t = inf.script_var("d").unwrap();
@@ -1197,16 +1351,17 @@ mod tests {
 
     #[test]
     fn elementwise_shape_mismatch_is_error() {
-        let err =
-            infer_src_with("a = rand(2, 2);\nb = rand(3, 3);\nc = a + b;", &EmptyProvider)
-                .unwrap_err();
+        let err = infer_src_with(
+            "a = rand(2, 2);\nb = rand(3, 3);\nc = a + b;",
+            &EmptyProvider,
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("shape mismatch"), "{err}");
     }
 
     #[test]
     fn matrix_condition_rejected() {
-        let err =
-            infer_src_with("a = rand(3, 3);\nif a\nx = 1;\nend", &EmptyProvider).unwrap_err();
+        let err = infer_src_with("a = rand(3, 3);\nif a\nx = 1;\nend", &EmptyProvider).unwrap_err();
         assert!(err.to_string().contains("scalar"), "{err}");
     }
 }
@@ -1256,12 +1411,8 @@ mod more_tests {
     fn widened_second_call_generalizes_shape() {
         // Two calls with different (compatible-rank) shapes: the
         // signature widens and both results degrade to the join.
-        let provider =
-            MapProvider::new().with("idm", "function y = idm(x)\ny = x;\n");
-        let inf = infer_with(
-            "a = idm(ones(3, 3));\nb = idm(ones(5, 5));",
-            &provider,
-        );
+        let provider = MapProvider::new().with("idm", "function y = idm(x)\ny = x;\n");
+        let inf = infer_with("a = idm(ones(3, 3));\nb = idm(ones(5, 5));", &provider);
         let sig = inf.functions.get("idm").unwrap();
         assert!(sig.params[0].is_matrix());
         // Shapes joined: both dims unknown.

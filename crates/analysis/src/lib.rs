@@ -27,7 +27,7 @@ pub mod ssa;
 pub mod types;
 
 pub use error::AnalysisError;
-pub use infer::{binary_result_type, infer, FuncSig, Inference, InferOptions, ScopeTypes};
-pub use resolve::{resolve, Resolved};
+pub use infer::{binary_result_type, infer, FuncSig, InferOptions, Inference, ScopeTypes};
+pub use resolve::{resolve, resolve_program, Resolved};
 pub use ssa::{ssa_rename, SsaInfo};
 pub use types::{BaseTy, Dim, RankTy, Shape, VarTy};

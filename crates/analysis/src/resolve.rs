@@ -26,11 +26,23 @@ pub struct Resolved {
     pub program: Program,
 }
 
-/// Resolve a script against an M-file provider.
+/// Resolve a script against an M-file provider (parse + resolve in
+/// one call — the historical entry point).
 pub fn resolve(src: &str, provider: &dyn SourceProvider) -> Result<Resolved> {
     let file = parse(src).map_err(|e| AnalysisError::new(e.to_string(), e.span))?;
-    let mut program = Program { script: file.script, functions: file.functions };
+    resolve_program(
+        Program {
+            script: file.script,
+            functions: file.functions,
+        },
+        provider,
+    )
+}
 
+/// Resolve an already-parsed program against an M-file provider.
+/// This is pass 2 proper; the pass manager runs it after a separate
+/// parse pass so the two stages are timed and dumped independently.
+pub fn resolve_program(mut program: Program, provider: &dyn SourceProvider) -> Result<Resolved> {
     // Work-list of function names still to load.
     let mut pending: Vec<String> = Vec::new();
 
@@ -58,8 +70,7 @@ pub fn resolve(src: &str, provider: &dyn SourceProvider) -> Result<Resolved> {
             // reported at the use site during the walk below.
             continue;
         };
-        let file = parse(&src)
-            .map_err(|e| AnalysisError::new(format!("{name}.m: {e}"), e.span))?;
+        let file = parse(&src).map_err(|e| AnalysisError::new(format!("{name}.m: {e}"), e.span))?;
         if file.functions.is_empty() {
             return Err(AnalysisError::new(
                 format!("{name}.m does not define a function"),
@@ -78,11 +89,7 @@ pub fn resolve(src: &str, provider: &dyn SourceProvider) -> Result<Resolved> {
     Ok(Resolved { program })
 }
 
-fn resolve_function(
-    f: &mut Function,
-    program: &Program,
-    pending: &mut Vec<String>,
-) -> Result<()> {
+fn resolve_function(f: &mut Function, program: &Program, pending: &mut Vec<String>) -> Result<()> {
     let assigned = assigned_names(&f.body, &f.params);
     let body = std::mem::take(&mut f.body);
     f.body = resolve_block(body, &assigned, program, pending)?;
@@ -187,7 +194,11 @@ fn resolve_stmt(
         },
         other => other,
     };
-    Ok(Stmt { kind, span: stmt.span, display: stmt.display })
+    Ok(Stmt {
+        kind,
+        span: stmt.span,
+        display: stmt.display,
+    })
 }
 
 fn resolve_lvalue(
@@ -204,7 +215,11 @@ fn resolve_lvalue(
                 .collect::<Result<Vec<_>>>()?,
         ),
     };
-    Ok(LValue { name: lv.name, indices, span: lv.span })
+    Ok(LValue {
+        name: lv.name,
+        indices,
+        span: lv.span,
+    })
 }
 
 fn resolve_expr(
@@ -220,11 +235,17 @@ fn resolve_expr(
                 ExprKind::Ident(name)
             } else if is_builtin_function(&name) {
                 // Bare builtin-function reference: zero-argument call.
-                ExprKind::Call { callee: name, args: vec![] }
+                ExprKind::Call {
+                    callee: name,
+                    args: vec![],
+                }
             } else {
                 // Possibly a zero-argument M-file function.
                 pending.push(name.clone());
-                ExprKind::Call { callee: name, args: vec![] }
+                ExprKind::Call {
+                    callee: name,
+                    args: vec![],
+                }
             }
         }
         ExprKind::Call { callee, args } => {
@@ -364,14 +385,18 @@ mod tests {
     #[test]
     fn assigned_variable_indexing_becomes_index() {
         let p = resolve_ok("a = zeros(3, 3);\nx = a(1, 2);");
-        let StmtKind::Assign { rhs, .. } = &p.script[1].kind else { panic!() };
+        let StmtKind::Assign { rhs, .. } = &p.script[1].kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Index { .. }), "{rhs:?}");
     }
 
     #[test]
     fn builtin_call_stays_call() {
         let p = resolve_ok("a = zeros(3, 3);");
-        let StmtKind::Assign { rhs, .. } = &p.script[0].kind else { panic!() };
+        let StmtKind::Assign { rhs, .. } = &p.script[0].kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Call { .. }));
     }
 
@@ -381,19 +406,29 @@ mod tests {
         // whole-scope rule classifies it as a variable. (Use-before-
         // def is then an inference-time error, not a resolution one.)
         let p = resolve_ok("for i = 1:3\ny = x(i);\nx = [1, 2, 3];\nend");
-        let StmtKind::For { body, .. } = &p.script[0].kind else { panic!() };
-        let StmtKind::Assign { rhs, .. } = &body[0].kind else { panic!() };
+        let StmtKind::For { body, .. } = &p.script[0].kind else {
+            panic!()
+        };
+        let StmtKind::Assign { rhs, .. } = &body[0].kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Index { .. }));
     }
 
     #[test]
     fn m_file_functions_are_loaded_transitively() {
         let provider = MapProvider::new()
-            .with("outer_fn", "function y = outer_fn(x)\ny = inner_fn(x) + 1;\n")
+            .with(
+                "outer_fn",
+                "function y = outer_fn(x)\ny = inner_fn(x) + 1;\n",
+            )
             .with("inner_fn", "function y = inner_fn(x)\ny = x * 2;\n");
         let p = resolve("z = outer_fn(3);", &provider).unwrap().program;
         assert!(p.function("outer_fn").is_some());
-        assert!(p.function("inner_fn").is_some(), "transitive M-file must load");
+        assert!(
+            p.function("inner_fn").is_some(),
+            "transitive M-file must load"
+        );
     }
 
     #[test]
@@ -405,15 +440,21 @@ mod tests {
     #[test]
     fn builtin_constants_stay_idents() {
         let p = resolve_ok("x = pi * 2;");
-        let StmtKind::Assign { rhs, .. } = &p.script[0].kind else { panic!() };
-        let ExprKind::Binary { lhs, .. } = &rhs.kind else { panic!() };
+        let StmtKind::Assign { rhs, .. } = &p.script[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary { lhs, .. } = &rhs.kind else {
+            panic!()
+        };
         assert!(matches!(lhs.kind, ExprKind::Ident(_)));
     }
 
     #[test]
     fn bare_builtin_function_becomes_zero_arg_call() {
         let p = resolve_ok("x = rand;");
-        let StmtKind::Assign { rhs, .. } = &p.script[0].kind else { panic!() };
+        let StmtKind::Assign { rhs, .. } = &p.script[0].kind else {
+            panic!()
+        };
         assert!(
             matches!(&rhs.kind, ExprKind::Call { callee, args } if callee == "rand" && args.is_empty())
         );
@@ -421,21 +462,33 @@ mod tests {
 
     #[test]
     fn function_scope_params_are_variables() {
-        let provider =
-            MapProvider::new().with("f", "function y = f(a)\ny = a(1) + 1;\n");
+        let provider = MapProvider::new().with("f", "function y = f(a)\ny = a(1) + 1;\n");
         let p = resolve("z = f([1, 2]);", &provider).unwrap().program;
         let f = p.function("f").unwrap();
-        let StmtKind::Assign { rhs, .. } = &f.body[0].kind else { panic!() };
-        let ExprKind::Binary { lhs, .. } = &rhs.kind else { panic!() };
-        assert!(matches!(lhs.kind, ExprKind::Index { .. }), "param indexing is Index");
+        let StmtKind::Assign { rhs, .. } = &f.body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary { lhs, .. } = &rhs.kind else {
+            panic!()
+        };
+        assert!(
+            matches!(lhs.kind, ExprKind::Index { .. }),
+            "param indexing is Index"
+        );
     }
 
     #[test]
     fn loop_variable_is_a_variable() {
         let p = resolve_ok("for i = 1:3\nx = i + 1;\nend");
-        let StmtKind::For { body, .. } = &p.script[0].kind else { panic!() };
-        let StmtKind::Assign { rhs, .. } = &body[0].kind else { panic!() };
-        let ExprKind::Binary { lhs, .. } = &rhs.kind else { panic!() };
+        let StmtKind::For { body, .. } = &p.script[0].kind else {
+            panic!()
+        };
+        let StmtKind::Assign { rhs, .. } = &body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary { lhs, .. } = &rhs.kind else {
+            panic!()
+        };
         assert!(matches!(lhs.kind, ExprKind::Ident(_)));
     }
 
@@ -445,9 +498,6 @@ mod tests {
         // Feed the resolved program's pretty-print back through.
         let printed = otter_frontend::pretty::program_to_string(&p1);
         let p2 = resolve_ok(&printed);
-        assert_eq!(
-            otter_frontend::pretty::program_to_string(&p2),
-            printed
-        );
+        assert_eq!(otter_frontend::pretty::program_to_string(&p2), printed);
     }
 }

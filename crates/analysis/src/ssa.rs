@@ -156,7 +156,10 @@ impl Builder {
 /// `params` seeds definitions (function parameters are defined on
 /// entry).
 pub fn ssa_rename(block: &Block, params: &[String]) -> SsaInfo {
-    let mut b = Builder { uf: UnionFind::new(), vers: Versions::default() };
+    let mut b = Builder {
+        uf: UnionFind::new(),
+        vers: Versions::default(),
+    };
     for p in params {
         b.use_of(p); // version 0 is the parameter's value
     }
@@ -197,7 +200,10 @@ pub fn ssa_rename(block: &Block, params: &[String]) -> SsaInfo {
                 } else {
                     format!("{name}__{web_idx}")
                 };
-                webs_per_var.entry(name.clone()).or_default().push(final_name.clone());
+                webs_per_var
+                    .entry(name.clone())
+                    .or_default()
+                    .push(final_name.clone());
                 base_of.insert(final_name.clone(), name.clone());
                 web_name.insert(root, final_name);
             }
@@ -207,9 +213,18 @@ pub fn ssa_rename(block: &Block, params: &[String]) -> SsaInfo {
     // Second walk: rename using the recorded version stream.
     let mut cursor = 0usize;
     let renamed = rename_block(block, &mut b, &events, &mut cursor, &web_name);
-    debug_assert_eq!(cursor, events.len(), "rename walk must mirror the version walk");
+    debug_assert_eq!(
+        cursor,
+        events.len(),
+        "rename walk must mirror the version walk"
+    );
 
-    SsaInfo { block: renamed, versions_per_var, webs_per_var, base_of }
+    SsaInfo {
+        block: renamed,
+        versions_per_var,
+        webs_per_var,
+        base_of,
+    }
 }
 
 // The two walks must visit identifiers in the same order. Keep them
@@ -361,7 +376,10 @@ fn rename_block(
     cursor: &mut usize,
     web: &HashMap<usize, String>,
 ) -> Block {
-    block.iter().map(|s| rename_stmt(s, b, ev, cursor, web)).collect()
+    block
+        .iter()
+        .map(|s| rename_stmt(s, b, ev, cursor, web))
+        .collect()
 }
 
 fn rename_stmt(
@@ -380,7 +398,10 @@ fn rename_stmt(
         }
         StmtKind::MultiAssign { lhs, rhs } => {
             let rhs = rename_expr(rhs, b, ev, cursor, web);
-            let lhs = lhs.iter().map(|lv| rename_lvalue(lv, b, ev, cursor, web)).collect();
+            let lhs = lhs
+                .iter()
+                .map(|lv| rename_lvalue(lv, b, ev, cursor, web))
+                .collect();
             StmtKind::MultiAssign { lhs, rhs }
         }
         StmtKind::If { arms, else_body } => StmtKind::If {
@@ -393,7 +414,9 @@ fn rename_stmt(
                     )
                 })
                 .collect(),
-            else_body: else_body.as_ref().map(|body| rename_block(body, b, ev, cursor, web)),
+            else_body: else_body
+                .as_ref()
+                .map(|body| rename_block(body, b, ev, cursor, web)),
         },
         StmtKind::While { cond, body } => StmtKind::While {
             cond: rename_expr(cond, b, ev, cursor, web),
@@ -402,11 +425,19 @@ fn rename_stmt(
         StmtKind::For { var: _, iter, body } => {
             let iter = rename_expr(iter, b, ev, cursor, web);
             let var = take_name(b, ev, cursor, web);
-            StmtKind::For { var, iter, body: rename_block(body, b, ev, cursor, web) }
+            StmtKind::For {
+                var,
+                iter,
+                body: rename_block(body, b, ev, cursor, web),
+            }
         }
         other => other.clone(),
     };
-    Stmt { kind, span: stmt.span, display: stmt.display }
+    Stmt {
+        kind,
+        span: stmt.span,
+        display: stmt.display,
+    }
 }
 
 fn rename_lvalue(
@@ -419,13 +450,23 @@ fn rename_lvalue(
     match &lv.indices {
         None => {
             let name = take_name(b, ev, cursor, web);
-            LValue { name, indices: None, span: lv.span }
+            LValue {
+                name,
+                indices: None,
+                span: lv.span,
+            }
         }
         Some(idx) => {
-            let indices: Vec<Expr> =
-                idx.iter().map(|e| rename_expr(e, b, ev, cursor, web)).collect();
+            let indices: Vec<Expr> = idx
+                .iter()
+                .map(|e| rename_expr(e, b, ev, cursor, web))
+                .collect();
             let name = take_name(b, ev, cursor, web);
-            LValue { name, indices: Some(indices), span: lv.span }
+            LValue {
+                name,
+                indices: Some(indices),
+                span: lv.span,
+            }
         }
     }
 }
@@ -441,12 +482,18 @@ fn rename_expr(
         ExprKind::Ident(_) => ExprKind::Ident(take_name(b, ev, cursor, web)),
         ExprKind::Index { base: _, args } => {
             let base = take_name(b, ev, cursor, web);
-            let args = args.iter().map(|a| rename_expr(a, b, ev, cursor, web)).collect();
+            let args = args
+                .iter()
+                .map(|a| rename_expr(a, b, ev, cursor, web))
+                .collect();
             ExprKind::Index { base, args }
         }
         ExprKind::Call { callee, args } => ExprKind::Call {
             callee: callee.clone(),
-            args: args.iter().map(|a| rename_expr(a, b, ev, cursor, web)).collect(),
+            args: args
+                .iter()
+                .map(|a| rename_expr(a, b, ev, cursor, web))
+                .collect(),
         },
         ExprKind::Unary { op, operand } => ExprKind::Unary {
             op: *op,
@@ -463,12 +510,18 @@ fn rename_expr(
         },
         ExprKind::Range { start, step, stop } => ExprKind::Range {
             start: Box::new(rename_expr(start, b, ev, cursor, web)),
-            step: step.as_ref().map(|s| Box::new(rename_expr(s, b, ev, cursor, web))),
+            step: step
+                .as_ref()
+                .map(|s| Box::new(rename_expr(s, b, ev, cursor, web))),
             stop: Box::new(rename_expr(stop, b, ev, cursor, web)),
         },
         ExprKind::Matrix(rows) => ExprKind::Matrix(
             rows.iter()
-                .map(|r| r.iter().map(|c| rename_expr(c, b, ev, cursor, web)).collect())
+                .map(|r| {
+                    r.iter()
+                        .map(|c| rename_expr(c, b, ev, cursor, web))
+                        .collect()
+                })
                 .collect(),
         ),
         k => k.clone(),
@@ -492,7 +545,10 @@ mod tests {
                 // the control-flow tests) still parse; fall back to
                 // the raw AST for those.
                 let f = parse(src).unwrap();
-                Program { script: f.script, functions: f.functions }
+                Program {
+                    script: f.script,
+                    functions: f.functions,
+                }
             });
         let info = ssa_rename(&resolved.script, &[]);
         let printed = program_to_string(&Program {
@@ -509,7 +565,10 @@ mod tests {
         assert_eq!(info.webs_per_var["x"].len(), 2, "{printed}");
         assert!(printed.contains("x__1 = [1, 2, 3]"), "{printed}");
         assert!(printed.contains("z = x__1(2)"), "{printed}");
-        assert!(printed.contains("y = x + 1"), "first web keeps the base name: {printed}");
+        assert!(
+            printed.contains("y = x + 1"),
+            "first web keeps the base name: {printed}"
+        );
     }
 
     #[test]
@@ -528,8 +587,7 @@ mod tests {
 
     #[test]
     fn if_join_unifies_branches() {
-        let (info, printed) =
-            rename_src("c = 1;\nif c > 0\nx = 1;\nelse\nx = 2;\nend\ny = x;");
+        let (info, printed) = rename_src("c = 1;\nif c > 0\nx = 1;\nelse\nx = 2;\nend\ny = x;");
         assert_eq!(info.webs_per_var["x"].len(), 1, "{printed}");
         assert!(printed.contains("y = x"), "{printed}");
     }
@@ -549,9 +607,8 @@ mod tests {
 
     #[test]
     fn redefinition_after_loop_splits() {
-        let (info, printed) = rename_src(
-            "x = 0;\nfor i = 1:3\nx = x + i;\nend\nx = [1, 2];\ny = x(1);",
-        );
+        let (info, printed) =
+            rename_src("x = 0;\nfor i = 1:3\nx = x + i;\nend\nx = [1, 2];\ny = x(1);");
         assert_eq!(info.webs_per_var["x"].len(), 2, "{printed}");
         assert!(printed.contains("y = x__1(1)"), "{printed}");
     }
@@ -607,7 +664,10 @@ mod tests {
         let file = parse("y = x + 1;").unwrap();
         let info = ssa_rename(&file.script, &["x".to_string()]);
         assert_eq!(info.webs_per_var["x"].len(), 1);
-        let printed = program_to_string(&Program { script: info.block, functions: vec![] });
+        let printed = program_to_string(&Program {
+            script: info.block,
+            functions: vec![],
+        });
         assert!(printed.contains("y = x + 1"));
     }
 }

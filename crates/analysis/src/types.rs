@@ -118,19 +118,34 @@ pub struct Shape {
 }
 
 impl Shape {
-    pub const SCALAR: Shape = Shape { rows: Dim::Known(1), cols: Dim::Known(1) };
-    pub const UNKNOWN: Shape = Shape { rows: Dim::Unknown, cols: Dim::Unknown };
+    pub const SCALAR: Shape = Shape {
+        rows: Dim::Known(1),
+        cols: Dim::Known(1),
+    };
+    pub const UNKNOWN: Shape = Shape {
+        rows: Dim::Unknown,
+        cols: Dim::Unknown,
+    };
 
     pub fn known(rows: usize, cols: usize) -> Shape {
-        Shape { rows: Dim::Known(rows), cols: Dim::Known(cols) }
+        Shape {
+            rows: Dim::Known(rows),
+            cols: Dim::Known(cols),
+        }
     }
 
     pub fn join(self, other: Shape) -> Shape {
-        Shape { rows: self.rows.join(other.rows), cols: self.cols.join(other.cols) }
+        Shape {
+            rows: self.rows.join(other.rows),
+            cols: self.cols.join(other.cols),
+        }
     }
 
     pub fn transposed(self) -> Shape {
-        Shape { rows: self.cols, cols: self.rows }
+        Shape {
+            rows: self.cols,
+            cols: self.rows,
+        }
     }
 
     /// Definitely a vector (one known-unit dimension)?
@@ -157,13 +172,21 @@ pub struct VarTy {
 }
 
 impl VarTy {
-    pub const BOTTOM: VarTy =
-        VarTy { base: BaseTy::Bottom, rank: RankTy::Bottom, shape: Shape::UNKNOWN, konst: None };
+    pub const BOTTOM: VarTy = VarTy {
+        base: BaseTy::Bottom,
+        rank: RankTy::Bottom,
+        shape: Shape::UNKNOWN,
+        konst: None,
+    };
 
     /// An integer-valued scalar constant.
     pub fn int_const(v: f64) -> VarTy {
         VarTy {
-            base: if v.fract() == 0.0 { BaseTy::Integer } else { BaseTy::Real },
+            base: if v.fract() == 0.0 {
+                BaseTy::Integer
+            } else {
+                BaseTy::Real
+            },
             rank: RankTy::Scalar,
             shape: Shape::SCALAR,
             konst: Some(v),
@@ -172,17 +195,32 @@ impl VarTy {
 
     /// A scalar of the given base type, value unknown.
     pub fn scalar(base: BaseTy) -> VarTy {
-        VarTy { base, rank: RankTy::Scalar, shape: Shape::SCALAR, konst: None }
+        VarTy {
+            base,
+            rank: RankTy::Scalar,
+            shape: Shape::SCALAR,
+            konst: None,
+        }
     }
 
     /// A matrix of the given base type and shape.
     pub fn matrix(base: BaseTy, shape: Shape) -> VarTy {
-        VarTy { base, rank: RankTy::Matrix, shape, konst: None }
+        VarTy {
+            base,
+            rank: RankTy::Matrix,
+            shape,
+            konst: None,
+        }
     }
 
     /// A string literal.
     pub fn string() -> VarTy {
-        VarTy { base: BaseTy::Literal, rank: RankTy::Scalar, shape: Shape::SCALAR, konst: None }
+        VarTy {
+            base: BaseTy::Literal,
+            rank: RankTy::Scalar,
+            shape: Shape::SCALAR,
+            konst: None,
+        }
     }
 
     /// Least upper bound; rank conflicts bubble up.

@@ -1,10 +1,10 @@
-//! Property tests for the SSA/web-renaming pass and inference:
-//! invariants over randomly generated straight-line-with-control-flow
-//! programs.
+//! Randomised (deterministic, seeded) tests for the SSA/web-renaming
+//! pass and inference: invariants over generated
+//! straight-line-with-control-flow programs.
 
 use otter_analysis::{infer, resolve, ssa_rename, InferOptions};
+use otter_det::DetRng;
 use otter_frontend::{parse, EmptyProvider, Program};
-use proptest::prelude::*;
 
 const VARS: [&str; 4] = ["w", "x", "y", "z"];
 
@@ -17,16 +17,24 @@ struct GenStmt {
     b: u8,
 }
 
-fn stmt() -> impl Strategy<Value = GenStmt> {
-    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(kind, a, b)| GenStmt { kind, a, b })
+fn gen_stmts(rng: &mut DetRng, max_len: usize) -> Vec<GenStmt> {
+    let len = rng.gen_index(max_len + 1);
+    (0..len)
+        .map(|_| GenStmt {
+            kind: rng.gen_index(256) as u8,
+            a: rng.gen_index(256) as u8,
+            b: rng.gen_index(256) as u8,
+        })
+        .collect()
 }
 
 fn var(x: u8) -> &'static str {
     VARS[x as usize % VARS.len()]
 }
 
-/// Render a statement. `defined` tracks which variables have been
-/// assigned so far so uses are always defined (keeps inference happy).
+/// Render a statement list as a script. Every use is preceded by a
+/// definition (the prologue assigns all four variables) so inference
+/// stays happy.
 fn render(stmts: &[GenStmt]) -> String {
     let mut out = String::from("w = 1;\nx = 2;\ny = 3.5;\nz = 4;\n");
     let mut depth: usize = 0;
@@ -40,8 +48,13 @@ fn render(stmts: &[GenStmt]) -> String {
                 out.push_str(&format!("{} = {} * 2 - 1;\n", var(s.a), var(s.a)));
             }
             4 if depth < 2 => {
-                out.push_str(&format!("if {} > 0\n{} = {} + 1;\nelse\n{} = 0;\nend\n",
-                    var(s.b), var(s.a), var(s.a), var(s.a)));
+                out.push_str(&format!(
+                    "if {} > 0\n{} = {} + 1;\nelse\n{} = 0;\nend\n",
+                    var(s.b),
+                    var(s.a),
+                    var(s.a),
+                    var(s.a)
+                ));
             }
             5 if depth < 2 => {
                 out.push_str(&format!(
@@ -53,7 +66,12 @@ fn render(stmts: &[GenStmt]) -> String {
             }
             6 => {
                 // Rank change in straight line: scalar → vector.
-                out.push_str(&format!("{} = [1, 2, {}];\n{} = 0;\n", var(s.a), s.b % 7, var(s.a)));
+                out.push_str(&format!(
+                    "{} = [1, 2, {}];\n{} = 0;\n",
+                    var(s.a),
+                    s.b % 7,
+                    var(s.a)
+                ));
             }
             _ => {
                 out.push_str(&format!("{} = abs({});\n", var(s.a), var(s.b)));
@@ -64,55 +82,65 @@ fn render(stmts: &[GenStmt]) -> String {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    /// SSA renaming always yields a parseable program whose webs map
-    /// back to their base variables, and web count never exceeds
-    /// version count.
-    #[test]
-    fn ssa_invariants(stmts in proptest::collection::vec(stmt(), 0..20)) {
+/// SSA renaming always yields a parseable program whose webs map back
+/// to their base variables, and web count never exceeds version count.
+#[test]
+fn ssa_invariants() {
+    let mut rng = DetRng::seed_from_u64(0x55A0_0001);
+    for case in 0..96 {
+        let stmts = gen_stmts(&mut rng, 20);
         let src = render(&stmts);
-        let resolved = resolve(&src, &EmptyProvider)
-            .unwrap_or_else(|e| panic!("resolve: {e}\n{src}"));
+        let resolved =
+            resolve(&src, &EmptyProvider).unwrap_or_else(|e| panic!("resolve: {e}\n{src}"));
         let info = ssa_rename(&resolved.program.script, &[]);
         // Webs ≤ versions for every variable.
         for (name, webs) in &info.webs_per_var {
             let versions = info.versions_per_var[name];
-            prop_assert!(webs.len() <= versions, "{name}: {} webs > {versions} versions", webs.len());
+            assert!(
+                webs.len() <= versions,
+                "case {case} {name}: {} webs > {versions} versions",
+                webs.len()
+            );
             // First web keeps the base name; later webs are suffixed.
-            prop_assert_eq!(&webs[0], name);
+            assert_eq!(&webs[0], name);
             for (i, w) in webs.iter().enumerate().skip(1) {
-                prop_assert_eq!(w, &format!("{name}__{i}"));
+                assert_eq!(w, &format!("{name}__{i}"));
             }
         }
         // base_of is consistent.
         for (web, base) in &info.base_of {
-            prop_assert!(info.webs_per_var[base].contains(web));
+            assert!(info.webs_per_var[base].contains(web));
         }
         // The renamed program re-parses (names are valid identifiers).
         let printed = otter_frontend::pretty::program_to_string(&Program {
             script: info.block.clone(),
             functions: vec![],
         });
-        prop_assert!(parse(&printed).is_ok(), "unparseable rename output:\n{printed}");
+        assert!(
+            parse(&printed).is_ok(),
+            "unparseable rename output:\n{printed}"
+        );
     }
+}
 
-    /// Inference on generated programs either succeeds or fails with a
-    /// diagnostic — never panics — and on success every used variable
-    /// has a non-bottom rank.
-    #[test]
-    fn inference_total_and_grounded(stmts in proptest::collection::vec(stmt(), 0..20)) {
+/// Inference on generated programs either succeeds or fails with a
+/// diagnostic — never panics — and on success every used variable has
+/// a non-bottom rank.
+#[test]
+fn inference_total_and_grounded() {
+    let mut rng = DetRng::seed_from_u64(0x55A0_0002);
+    for _ in 0..96 {
+        let stmts = gen_stmts(&mut rng, 20);
         let src = render(&stmts);
-        let resolved = resolve(&src, &EmptyProvider)
-            .unwrap_or_else(|e| panic!("resolve: {e}\n{src}"));
+        let resolved =
+            resolve(&src, &EmptyProvider).unwrap_or_else(|e| panic!("resolve: {e}\n{src}"));
         let mut program = resolved.program;
         let info = ssa_rename(&program.script, &[]);
         program.script = info.block;
         match infer(&program, InferOptions::default()) {
             Ok(inf) => {
                 for (name, ty) in &inf.script_vars {
-                    prop_assert!(
+                    assert!(
                         ty.rank != otter_analysis::RankTy::Bottom,
                         "{name} stayed bottom\n{src}"
                     );
@@ -124,23 +152,21 @@ proptest! {
             }
         }
     }
+}
 
-    /// SSA renaming is idempotent: renaming an already-renamed program
-    /// creates no new webs.
-    #[test]
-    fn ssa_idempotent(stmts in proptest::collection::vec(stmt(), 0..16)) {
+/// SSA renaming is idempotent: renaming an already-renamed program
+/// creates no new webs.
+#[test]
+fn ssa_idempotent() {
+    let mut rng = DetRng::seed_from_u64(0x55A0_0003);
+    for _ in 0..96 {
+        let stmts = gen_stmts(&mut rng, 16);
         let src = render(&stmts);
         let resolved = resolve(&src, &EmptyProvider).unwrap();
         let once = ssa_rename(&resolved.program.script, &[]);
         let twice = ssa_rename(&once.block, &[]);
         for (name, webs) in &twice.webs_per_var {
-            prop_assert_eq!(
-                webs.len(),
-                1,
-                "renaming twice split `{}` again:\n{}",
-                name,
-                render(&stmts)
-            );
+            assert_eq!(webs.len(), 1, "renaming twice split `{name}` again:\n{src}");
         }
     }
 }

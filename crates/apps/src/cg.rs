@@ -27,12 +27,20 @@ pub struct Params {
 impl Params {
     /// Paper scale: 2048 equations.
     pub fn paper() -> Params {
-        Params { n: 2048, iters: 50, tol: 1e-10 }
+        Params {
+            n: 2048,
+            iters: 50,
+            tol: 1e-10,
+        }
     }
 
     /// Test scale.
     pub fn test() -> Params {
-        Params { n: 96, iters: 25, tol: 1e-10 }
+        Params {
+            n: 96,
+            iters: 25,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -99,7 +107,11 @@ mod tests {
     fn fixed_iteration_budget_respected() {
         // With an impossible tolerance the loop runs to maxit and
         // still produces a finite answer.
-        let app = conjugate_gradient(Params { n: 32, iters: 4, tol: 0.0 });
+        let app = conjugate_gradient(Params {
+            n: 32,
+            iters: 4,
+            tol: 0.0,
+        });
         let out = otter_interp::run_script(&app.script, None).unwrap();
         assert!(out.scalar("resid").unwrap().is_finite());
     }

@@ -102,8 +102,14 @@ mod tests {
     fn paper_scale_parameters() {
         let apps = paper_apps();
         let cg = apps.iter().find(|a| a.id == "cg").unwrap();
-        assert!(cg.script.contains("n = 2048;"), "paper solves 2048 equations");
+        assert!(
+            cg.script.contains("n = 2048;"),
+            "paper solves 2048 equations"
+        );
         let nb = apps.iter().find(|a| a.id == "nbody").unwrap();
-        assert!(nb.script.contains("n = 5000;"), "paper simulates 5000 particles");
+        assert!(
+            nb.script.contains("n = 5000;"),
+            "paper simulates 5000 particles"
+        );
     }
 }

@@ -26,7 +26,10 @@ pub struct Params {
 impl Params {
     /// Paper scale: 5 000 particles.
     pub fn paper() -> Params {
-        Params { n: 5000, steps: 100 }
+        Params {
+            n: 5000,
+            steps: 100,
+        }
     }
 
     /// Test scale.
@@ -86,7 +89,10 @@ mod tests {
         let cmend = out.scalar("cmend").unwrap();
         let n = Params::test().n as f64;
         let cm0_expect = (n + 1.0) / (2.0 * n); // mean of xs (sin-mean ~ 0)
-        assert!((cmend - cm0_expect).abs() < 1e-2, "cmend={cmend} vs {cm0_expect}");
+        assert!(
+            (cmend - cm0_expect).abs() < 1e-2,
+            "cmend={cmend} vs {cm0_expect}"
+        );
     }
 
     #[test]

@@ -112,8 +112,10 @@ mod tests {
             .unwrap()
             .scalar("energy")
             .unwrap();
-        let e_big =
-            otter_interp::run_script(&big.script, None).unwrap().scalar("energy").unwrap();
+        let e_big = otter_interp::run_script(&big.script, None)
+            .unwrap()
+            .scalar("energy")
+            .unwrap();
         assert!(e_big > e_small, "more depth samples add energy rows");
     }
 }

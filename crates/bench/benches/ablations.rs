@@ -1,41 +1,58 @@
-//! Criterion benches for the ablation studies: peephole on/off and
-//! compiler-pipeline cost itself.
+//! Wall-clock benches for the ablation studies: peephole on/off and
+//! compiler-pipeline cost itself (plain timing harness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use otter_core::{compile, run_compiled, CompileOptions};
+use otter_core::{compile, CompileOptions, Compiled, Engine, OtterEngine};
 use otter_machine::meiko_cs2;
+use std::time::Instant;
 
-fn bench_peephole(c: &mut Criterion) {
-    let machine = meiko_cs2();
-    let app = otter_apps::cg::conjugate_gradient(otter_apps::cg::Params::test());
-    let with = compile(&app.script, &otter_frontend::EmptyProvider, &CompileOptions::default())
+const SAMPLES: usize = 10;
+
+fn bench(label: &str, mut f: impl FnMut()) {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!("{label:<40} {:>12.3} ms (best of {SAMPLES})", best * 1e3);
+}
+
+fn run_compiled(compiled: &Compiled, p: usize) {
+    OtterEngine::from_compiled(compiled.clone())
+        .run(&meiko_cs2(), p)
         .unwrap();
+}
+
+fn bench_peephole() {
+    let app = otter_apps::cg::conjugate_gradient(otter_apps::cg::Params::test());
+    let with = compile(
+        &app.script,
+        &otter_frontend::EmptyProvider,
+        &CompileOptions::default(),
+    )
+    .unwrap();
     let without = compile(
         &app.script,
         &otter_frontend::EmptyProvider,
-        &CompileOptions { no_peephole: true, ..Default::default() },
+        &CompileOptions::default().without_pass("peephole"),
     )
     .unwrap();
-    let mut g = c.benchmark_group("ablation_peephole");
-    g.sample_size(10);
-    g.bench_function("cg_with_peephole", |b| {
-        b.iter(|| run_compiled(&with, &machine, 4).unwrap())
-    });
-    g.bench_function("cg_without_peephole", |b| {
-        b.iter(|| run_compiled(&without, &machine, 4).unwrap())
-    });
-    g.finish();
+    println!("== ablation_peephole ==");
+    bench("cg_with_peephole", || run_compiled(&with, 4));
+    bench("cg_without_peephole", || run_compiled(&without, 4));
 }
 
-fn bench_compile_time(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compiler_pipeline");
+fn bench_compile_time() {
+    println!("== compiler_pipeline ==");
     for app in otter_apps::test_apps() {
-        g.bench_with_input(BenchmarkId::new("compile", app.id), &app, |b, app| {
-            b.iter(|| otter_core::compile_str(&app.script).unwrap())
+        bench(&format!("compile/{}", app.id), || {
+            otter_core::compile_str(&app.script).unwrap();
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_peephole, bench_compile_time);
-criterion_main!(benches);
+fn main() {
+    bench_peephole();
+    bench_compile_time();
+}

@@ -1,5 +1,5 @@
-//! Criterion benches: real wall-clock time of the workloads behind
-//! every figure, on the host CPU.
+//! Wall-clock benches: real host time of the workloads behind every
+//! figure (plain timing harness; no external bench framework).
 //!
 //! * `fig2/*` — the three engines on each benchmark app (single CPU).
 //! * `fig3..fig6/*` — the compiled app at increasing rank counts
@@ -14,64 +14,88 @@
 //! problem (n = 128, ~29 Mflop) where real compute dominates and
 //! wall-clock scaling with ranks is visible on multi-core hosts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use otter_core::{compile_str, run_compiled, run_interpreter, run_matcom, BaselineOptions};
-use otter_machine::{meiko_cs2, workstation};
+use otter_core::{
+    compile_str, run_engine, Compiled, Engine, EngineOptions, InterpreterEngine, MatcomEngine,
+    OtterEngine,
+};
+use otter_machine::{meiko_cs2, workstation, Machine};
+use std::time::Instant;
 
-fn bench_fig2(c: &mut Criterion) {
-    let ws = workstation();
-    let opts = BaselineOptions::default();
-    let mut g = c.benchmark_group("fig2_single_cpu");
-    g.sample_size(10);
-    for app in otter_apps::test_apps() {
-        let compiled = compile_str(&app.script).expect("app compiles");
-        g.bench_with_input(BenchmarkId::new("interpreter", app.id), &app, |b, app| {
-            b.iter(|| run_interpreter(&app.script, &ws, &opts).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("matcom", app.id), &app, |b, app| {
-            b.iter(|| run_matcom(&app.script, &ws, &opts).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("otter", app.id), &app, |b, _| {
-            b.iter(|| run_compiled(&compiled, &ws, 1).unwrap())
-        });
+const SAMPLES: usize = 10;
+
+/// Run `f` SAMPLES times; report the best wall time (least-noise
+/// estimator for short deterministic workloads).
+fn bench(label: &str, mut f: impl FnMut()) {
+    // One warm-up iteration.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
     }
-    g.finish();
+    println!("{label:<40} {:>12.3} ms (best of {SAMPLES})", best * 1e3);
 }
 
-fn bench_speedup(c: &mut Criterion, figure: &str, app_id: &str) {
+fn run_compiled(compiled: &Compiled, machine: &Machine, p: usize) {
+    OtterEngine::from_compiled(compiled.clone())
+        .run(machine, p)
+        .unwrap();
+}
+
+fn bench_fig2() {
+    let ws = workstation();
+    println!("== fig2_single_cpu ==");
+    for app in otter_apps::test_apps() {
+        let compiled = compile_str(&app.script).expect("app compiles");
+        bench(&format!("interpreter/{}", app.id), || {
+            run_engine(
+                &mut InterpreterEngine::new(EngineOptions::default()),
+                &app.script,
+                &ws,
+                1,
+            )
+            .unwrap();
+        });
+        bench(&format!("matcom/{}", app.id), || {
+            run_engine(
+                &mut MatcomEngine::new(EngineOptions::default()),
+                &app.script,
+                &ws,
+                1,
+            )
+            .unwrap();
+        });
+        bench(&format!("otter/{}", app.id), || {
+            run_compiled(&compiled, &ws, 1)
+        });
+    }
+}
+
+fn bench_speedup(figure: &str, app_id: &str) {
     let machine = meiko_cs2();
     let app = if app_id == "tc" {
         // Big enough for real compute to dominate thread overhead.
         otter_apps::transitive::transitive_closure(otter_apps::transitive::Params { n: 128 })
     } else {
-        otter_apps::test_apps().into_iter().find(|a| a.id == app_id).unwrap()
+        otter_apps::test_apps()
+            .into_iter()
+            .find(|a| a.id == app_id)
+            .unwrap()
     };
     let compiled = compile_str(&app.script).expect("app compiles");
-    let mut g = c.benchmark_group(figure);
-    g.sample_size(10);
+    println!("== {figure} ==");
     for p in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::new(app_id, p), &p, |b, &p| {
-            b.iter(|| run_compiled(&compiled, &machine, p).unwrap())
+        bench(&format!("{app_id}/p={p}"), || {
+            run_compiled(&compiled, &machine, p)
         });
     }
-    g.finish();
 }
 
-fn bench_fig3(c: &mut Criterion) {
-    bench_speedup(c, "fig3_cg", "cg");
+fn main() {
+    bench_fig2();
+    bench_speedup("fig3_cg", "cg");
+    bench_speedup("fig4_ocean", "ocean");
+    bench_speedup("fig5_nbody", "nbody");
+    bench_speedup("fig6_tc", "tc");
 }
-
-fn bench_fig4(c: &mut Criterion) {
-    bench_speedup(c, "fig4_ocean", "ocean");
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    bench_speedup(c, "fig5_nbody", "nbody");
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    bench_speedup(c, "fig6_tc", "tc");
-}
-
-criterion_group!(benches, bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_fig6);
-criterion_main!(benches);

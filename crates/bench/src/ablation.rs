@@ -1,7 +1,8 @@
 //! Ablation studies for the design decisions DESIGN.md calls out.
 
+use crate::figures::run_compiled;
 use otter_apps::App;
-use otter_core::{compile, run_compiled, CompileOptions};
+use otter_core::{compile, run_engine, CompileOptions, EngineOptions, InterpreterEngine};
 use otter_machine::{meiko_cs2, Machine};
 
 /// Pass-6 ablation result for one application.
@@ -20,7 +21,8 @@ pub struct PeepholeAblation {
     pub messages_without: u64,
 }
 
-/// Run one app with and without the peephole pass.
+/// Run one app with and without the peephole pass (pass 6 is a
+/// toggleable optional pass in the pass manager).
 pub fn peephole_ablation(app: &App, p: usize) -> PeepholeAblation {
     let machine = meiko_cs2();
     let with = compile(
@@ -32,7 +34,7 @@ pub fn peephole_ablation(app: &App, p: usize) -> PeepholeAblation {
     let without = compile(
         &app.script,
         &otter_frontend::EmptyProvider,
-        &CompileOptions { no_peephole: true, ..Default::default() },
+        &CompileOptions::default().without_pass("peephole"),
     )
     .unwrap();
     let run_with = run_compiled(&with, &machine, p).unwrap();
@@ -152,7 +154,6 @@ pub struct GrainPoint {
 /// the complexity of the operations performed on them". Sweeps the
 /// conjugate-gradient problem size at a fixed CPU count.
 pub fn grain_sweep(machine: &Machine, p: usize, sizes: &[usize]) -> Vec<GrainPoint> {
-    let opts = otter_core::BaselineOptions::default();
     sizes
         .iter()
         .map(|&n| {
@@ -161,7 +162,13 @@ pub fn grain_sweep(machine: &Machine, p: usize, sizes: &[usize]) -> Vec<GrainPoi
                 iters: 20,
                 tol: 0.0,
             });
-            let interp = otter_core::run_interpreter(&app.script, machine, &opts).unwrap();
+            let interp = run_engine(
+                &mut InterpreterEngine::new(EngineOptions::default()),
+                &app.script,
+                machine,
+                1,
+            )
+            .unwrap();
             let compiled = compile(
                 &app.script,
                 &otter_frontend::EmptyProvider,
@@ -169,7 +176,10 @@ pub fn grain_sweep(machine: &Machine, p: usize, sizes: &[usize]) -> Vec<GrainPoi
             )
             .unwrap();
             let run = run_compiled(&compiled, machine, p).unwrap();
-            GrainPoint { n, speedup: interp.modeled_seconds / run.modeled_seconds }
+            GrainPoint {
+                n,
+                speedup: interp.modeled_seconds / run.modeled_seconds,
+            }
         })
         .collect()
 }

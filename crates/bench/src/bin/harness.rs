@@ -11,6 +11,7 @@
 //! harness excerpts              # the §3 generated-C excerpts
 //! harness ablation               # peephole + typing + grain studies
 //! harness memory [--paper]      # §7's larger-problems memory claim
+//! harness passes [--paper]      # per-pass compile instrumentation
 //! harness all    [--paper]      # everything above
 //! ```
 //!
@@ -21,13 +22,19 @@
 
 use otter_bench::figures::{all_speedup_figures, fig2, Scale};
 use otter_bench::render::*;
-use otter_bench::{collectives_ablation, grain_sweep, peephole_ablation, typeinfer_ablation, TABLE1};
+use otter_bench::{
+    collectives_ablation, grain_sweep, peephole_ablation, typeinfer_ablation, TABLE1,
+};
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let scale = if args.iter().any(|a| a == "--paper") { Scale::Paper } else { Scale::Test };
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Test
+    };
     let csv = args.iter().any(|a| a == "--csv");
     let scale_note = match scale {
         Scale::Paper => "paper-scale problems",
@@ -58,6 +65,7 @@ fn main() {
         "excerpts" => print_excerpts(),
         "ablation" => run_ablations(scale),
         "memory" => run_memory(scale),
+        "passes" => run_passes(scale),
         "all" => {
             print!("{}", render_table1(TABLE1));
             println!();
@@ -73,10 +81,12 @@ fn main() {
             run_ablations(scale);
             println!();
             run_memory(scale);
+            println!();
+            run_passes(scale);
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|ablation|all"
+                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|ablation|memory|passes|all"
             );
             std::process::exit(2);
         }
@@ -101,7 +111,8 @@ fn print_excerpts() {
         }
     }
     println!();
-    let src2 = "n = 8;\na = ones(n, n);\nb = ones(n, n);\ni = 2;\nj = 3;\na(i, j) = a(i, j) / b(j, i);";
+    let src2 =
+        "n = 8;\na = ones(n, n);\nb = ones(n, n);\ni = 2;\nj = 3;\na(i, j) = a(i, j) / b(j, i);";
     let compiled = otter_core::compile_str(src2).expect("excerpt 2 compiles");
     println!("--- a(i,j) = a(i,j) / b(j,i); ---");
     for line in compiled.c_source.lines() {
@@ -117,7 +128,9 @@ fn print_excerpts() {
 /// Show the per-CPU memory high-water mark of the conjugate-gradient
 /// problem across machine sizes.
 fn run_memory(scale: Scale) {
-    use otter_core::{compile_str, run_compiled, run_interpreter, BaselineOptions};
+    use otter_core::{
+        compile_str, run_engine, Engine, EngineOptions, InterpreterEngine, OtterEngine,
+    };
     use otter_machine::workstation;
     let n = match scale {
         Scale::Paper => 2048,
@@ -128,12 +141,15 @@ fn run_memory(scale: Scale) {
         iters: 2,
         tol: 0.0,
     });
-    let interp =
-        run_interpreter(&app.script, &workstation(), &BaselineOptions::default()).unwrap();
+    let interp = run_engine(
+        &mut InterpreterEngine::new(EngineOptions::default()),
+        &app.script,
+        &workstation(),
+        1,
+    )
+    .unwrap();
     let compiled = compile_str(&app.script).unwrap();
-    println!(
-        "Paper §7 memory claim: per-CPU peak memory, conjugate gradient n = {n}."
-    );
+    println!("Paper §7 memory claim: per-CPU peak memory, conjugate gradient n = {n}.");
     println!("{:<34} {:>16}", "configuration", "peak MB per CPU");
     println!("{}", "-".repeat(52));
     println!(
@@ -144,7 +160,9 @@ fn run_memory(scale: Scale) {
     let m = meiko_cs2();
     let mut p = 1;
     while p <= m.max_cpus {
-        let run = run_compiled(&compiled, &m, p).unwrap();
+        let run = OtterEngine::from_compiled(compiled.clone())
+            .run(&m, p)
+            .unwrap();
         println!(
             "{:<34} {:>16.2}",
             format!("Otter on {} CPU(s)", p),
@@ -161,6 +179,39 @@ fn run_memory(scale: Scale) {
     println!("the whole matrix on a workstation needs ~1/p of it per node —");
     println!("\"a parallel computer may have far more primary memory than an");
     println!("individual workstation\" (paper §7).");
+}
+
+/// Per-pass compile-time instrumentation for the four benchmark apps:
+/// what each of the paper's passes costs and what it does to the
+/// program (statement / IR-instruction / runtime-call counts).
+fn run_passes(scale: Scale) {
+    use otter_core::{CompileOptions, PassManager};
+    println!("Per-pass instrumentation (PassManager), four benchmark applications.");
+    for app in scale.apps() {
+        let report = PassManager::standard()
+            .compile(
+                &app.script,
+                &otter_frontend::EmptyProvider,
+                &CompileOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", app.id));
+        println!();
+        println!("{}:", app.name);
+        println!(
+            "  {:<10} {:>12} {:>8} {:>9} {:>8}",
+            "pass", "wall (µs)", "stmts", "IR", "rtcalls"
+        );
+        for s in &report.passes {
+            println!(
+                "  {:<10} {:>12.1} {:>8} {:>9} {:>8}",
+                s.name,
+                s.wall.as_secs_f64() * 1e6,
+                s.stmts_after,
+                s.ir_instrs_after,
+                s.runtime_calls_after
+            );
+        }
+    }
 }
 
 fn run_ablations(scale: Scale) {

@@ -5,8 +5,21 @@
 //! "speedup over MATLAB" axes.
 
 use otter_apps::App;
-use otter_core::{compile, run_compiled, run_interpreter, BaselineOptions, CompileOptions};
+use otter_core::{
+    compile, run_engine, standard_engines, CompileOptions, Compiled, Engine, EngineOptions,
+    EngineReport, OtterEngine,
+};
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
+use std::collections::BTreeMap;
+
+/// Run an already-compiled program on `p` CPUs of `machine`.
+pub(crate) fn run_compiled(
+    compiled: &Compiled,
+    machine: &Machine,
+    p: usize,
+) -> otter_core::error::Result<EngineReport> {
+    OtterEngine::from_compiled(compiled.clone()).run(machine, p)
+}
 
 /// Which problem sizes to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,43 +39,82 @@ impl Scale {
     }
 }
 
+/// One engine's measurements in a Figure 2 row: relative performance
+/// plus the uniform [`EngineReport`] counters.
+#[derive(Debug, Clone)]
+pub struct Fig2Cell {
+    /// Speedup over the interpreter (interpreter ≡ 1.0).
+    pub relative: f64,
+    /// Modeled seconds on one CPU.
+    pub seconds: f64,
+    /// Per-opcode executed-operation counts.
+    pub op_counts: BTreeMap<String, u64>,
+    /// Messages sent (0 for sequential engines).
+    pub messages: u64,
+    /// Bytes sent (0 for sequential engines).
+    pub bytes: u64,
+}
+
+impl Fig2Cell {
+    fn from_report(r: &EngineReport, t0: f64) -> Self {
+        Fig2Cell {
+            relative: t0 / r.modeled_seconds,
+            seconds: r.modeled_seconds,
+            op_counts: r.op_counts.clone(),
+            messages: r.messages,
+            bytes: r.bytes,
+        }
+    }
+
+    /// Total executed operations over all opcodes.
+    pub fn total_ops(&self) -> u64 {
+        self.op_counts.values().sum()
+    }
+}
+
 /// One row of Figure 2: relative single-CPU performance
 /// (interpreter ≡ 1.0; higher is faster).
 #[derive(Debug, Clone)]
 pub struct Fig2Row {
     pub app: String,
-    pub interpreter: f64,
-    pub matcom: f64,
-    pub otter: f64,
+    pub interpreter: Fig2Cell,
+    pub matcom: Fig2Cell,
+    pub otter: Fig2Cell,
+}
+
+impl Fig2Row {
+    /// The row's cells with their engine names, in figure order.
+    pub fn cells(&self) -> [(&'static str, &Fig2Cell); 3] {
+        [
+            ("interpreter", &self.interpreter),
+            ("matcom", &self.matcom),
+            ("otter", &self.otter),
+        ]
+    }
 }
 
 /// Figure 2 — relative performance of the three systems on one
-/// UltraSPARC CPU.
+/// UltraSPARC CPU. Every engine runs behind the [`Engine`] trait and
+/// reports through the same [`EngineReport`] schema.
 pub fn fig2(scale: Scale) -> Vec<Fig2Row> {
     let ws = workstation();
-    let opts = BaselineOptions::default();
     scale
         .apps()
         .iter()
         .map(|app| {
-            let interp = run_interpreter(&app.script, &ws, &opts)
-                .unwrap_or_else(|e| panic!("{}: interp: {e}", app.id));
-            let matcom = otter_core::run_matcom(&app.script, &ws, &opts)
-                .unwrap_or_else(|e| panic!("{}: matcom: {e}", app.id));
-            let compiled = compile(
-                &app.script,
-                &otter_frontend::EmptyProvider,
-                &CompileOptions::default(),
-            )
-            .unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
-            let otter = run_compiled(&compiled, &ws, 1)
-                .unwrap_or_else(|e| panic!("{}: otter: {e}", app.id));
-            let t0 = interp.modeled_seconds;
+            let mut reports: BTreeMap<&'static str, EngineReport> = BTreeMap::new();
+            for mut engine in standard_engines(&EngineOptions::default()) {
+                let name = engine.name();
+                let r = run_engine(engine.as_mut(), &app.script, &ws, 1)
+                    .unwrap_or_else(|e| panic!("{}: {name}: {e}", app.id));
+                reports.insert(name, r);
+            }
+            let t0 = reports["interpreter"].modeled_seconds;
             Fig2Row {
                 app: app.name.to_string(),
-                interpreter: 1.0,
-                matcom: t0 / matcom.modeled_seconds,
-                otter: t0 / otter.modeled_seconds,
+                interpreter: Fig2Cell::from_report(&reports["interpreter"], t0),
+                matcom: Fig2Cell::from_report(&reports["matcom"], t0),
+                otter: Fig2Cell::from_report(&reports["otter"], t0),
             }
         })
         .collect()
@@ -109,25 +161,37 @@ pub fn speedup_figure(figure: &'static str, app: &App) -> FigureData {
         &CompileOptions::default(),
     )
     .unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
-    let opts = BaselineOptions::default();
     let mut series = Vec::new();
     let mut messages_at_max = 0;
     for m in &machines {
-        let interp = run_interpreter(&app.script, m, &opts)
-            .unwrap_or_else(|e| panic!("{}: interp: {e}", app.id));
+        let interp = run_engine(
+            &mut otter_core::InterpreterEngine::new(EngineOptions::default()),
+            &app.script,
+            m,
+            1,
+        )
+        .unwrap_or_else(|e| panic!("{}: interp: {e}", app.id));
         let t0 = interp.modeled_seconds;
         let mut points = Vec::new();
         for p in cpu_sweep(m) {
-            let run = run_compiled(&compiled, m, p)
-                .unwrap_or_else(|e| panic!("{}: p={p}: {e}", app.id));
+            let run =
+                run_compiled(&compiled, m, p).unwrap_or_else(|e| panic!("{}: p={p}: {e}", app.id));
             points.push((p, t0 / run.modeled_seconds));
             if m.name.contains("Meiko") && p == m.max_cpus {
                 messages_at_max = run.messages;
             }
         }
-        series.push(SpeedupSeries { machine: m.name.clone(), points });
+        series.push(SpeedupSeries {
+            machine: m.name.clone(),
+            points,
+        });
     }
-    FigureData { figure, app: app.name.to_string(), series, messages_at_max }
+    FigureData {
+        figure,
+        app: app.name.to_string(),
+        series,
+        messages_at_max,
+    }
 }
 
 /// The four speedup figures in paper order.
@@ -150,13 +214,31 @@ mod tests {
     fn fig2_otter_beats_interpreter_everywhere() {
         for row in fig2(Scale::Test) {
             assert!(
-                row.otter > 1.0,
+                row.otter.relative > 1.0,
                 "{}: Otter must outperform the interpreter (got {})",
                 row.app,
-                row.otter
+                row.otter.relative
             );
-            assert!(row.matcom > 1.0, "{}: MATCOM must too ({})", row.app, row.matcom);
-            assert_eq!(row.interpreter, 1.0);
+            assert!(
+                row.matcom.relative > 1.0,
+                "{}: MATCOM must too ({})",
+                row.app,
+                row.matcom.relative
+            );
+            assert_eq!(row.interpreter.relative, 1.0);
+        }
+    }
+
+    #[test]
+    fn fig2_rows_carry_engine_counters() {
+        for row in fig2(Scale::Test) {
+            for (name, cell) in row.cells() {
+                assert!(cell.total_ops() > 0, "{}: {name} op_counts empty", row.app);
+                assert!(cell.seconds > 0.0, "{}: {name}", row.app);
+            }
+            // Sequential engines never touch the network.
+            assert_eq!(row.interpreter.messages, 0, "{}", row.app);
+            assert_eq!(row.matcom.bytes, 0, "{}", row.app);
         }
     }
 

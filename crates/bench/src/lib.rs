@@ -12,9 +12,11 @@
 //!
 //! Plus ablations for the design decisions DESIGN.md calls out
 //! (peephole pass, problem-size/grain-size sweeps) and the §3 C-code
-//! excerpts. The `harness` binary renders everything as text tables;
-//! the Criterion benches measure real wall-clock time of the same
-//! workloads on the host.
+//! excerpts. The `harness` binary renders everything as text tables
+//! (`harness fig2 --csv` emits the machine-readable rows with the
+//! uniform `EngineReport` counters); the plain-timing benches in
+//! `benches/` measure real wall-clock time of the same workloads on
+//! the host.
 
 pub mod ablation;
 pub mod figures;
@@ -22,8 +24,8 @@ pub mod render;
 pub mod table1;
 
 pub use ablation::{
-    collectives_ablation, grain_sweep, peephole_ablation, typeinfer_ablation,
-    CollectiveAblation, GrainPoint, PeepholeAblation, TypeInferAblation,
+    collectives_ablation, grain_sweep, peephole_ablation, typeinfer_ablation, CollectiveAblation,
+    GrainPoint, PeepholeAblation, TypeInferAblation,
 };
-pub use figures::{fig2, speedup_figure, Fig2Row, FigureData, Scale, SpeedupSeries};
+pub use figures::{fig2, speedup_figure, Fig2Cell, Fig2Row, FigureData, Scale, SpeedupSeries};
 pub use table1::TABLE1;

@@ -15,8 +15,8 @@ pub fn render_table1(systems: &[System]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<18} {:<34} {:<24} {}",
-        "Name", "Site", "Implementation", "Pure-MATLAB parallel"
+        "{:<18} {:<34} {:<24} Pure-MATLAB parallel",
+        "Name", "Site", "Implementation"
     );
     let _ = writeln!(out, "{}", "-".repeat(98));
     for s in systems {
@@ -41,15 +41,19 @@ pub fn render_fig2(rows: &[Fig2Row]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<22} {:>12} {:>12} {:>12}",
-        "Application", "Interpreter", "MATCOM", "Otter"
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "Application", "Interpreter", "MATCOM", "Otter", "Otter ops"
     );
-    let _ = writeln!(out, "{}", "-".repeat(62));
+    let _ = writeln!(out, "{}", "-".repeat(75));
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<22} {:>12.2} {:>12.2} {:>12.2}",
-            r.app, r.interpreter, r.matcom, r.otter
+            "{:<22} {:>12.2} {:>12.2} {:>12.2} {:>12}",
+            r.app,
+            r.interpreter.relative,
+            r.matcom.relative,
+            r.otter.relative,
+            r.otter.total_ops()
         );
     }
     out
@@ -88,7 +92,13 @@ pub fn render_figure(fig: &FigureData) -> String {
     for s in &fig.series {
         let best = s.points.last().map(|(_, v)| *v).unwrap_or(0.0);
         let bars = ((best / max) * 40.0).round() as usize;
-        let _ = writeln!(out, "{:<22} {} {:.1}x", s.machine, "#".repeat(bars.max(1)), best);
+        let _ = writeln!(
+            out,
+            "{:<22} {} {:.1}x",
+            s.machine,
+            "#".repeat(bars.max(1)),
+            best
+        );
     }
     out
 }
@@ -106,12 +116,37 @@ pub fn render_figure_csv(fig: &FigureData) -> String {
     out
 }
 
-/// Render Figure 2 as CSV.
+/// Render Figure 2 as CSV: one row per application × engine, carrying
+/// the uniform [`EngineReport`](otter_core::EngineReport) counters
+/// (per-opcode operation totals, messages, bytes) alongside the
+/// relative-performance number.
 pub fn render_fig2_csv(rows: &[Fig2Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "application,interpreter,matcom,otter");
+    let _ = writeln!(
+        out,
+        "application,engine,relative,seconds,total_ops,messages,bytes,op_counts"
+    );
     for r in rows {
-        let _ = writeln!(out, "{},{:.4},{:.4},{:.4}", r.app, r.interpreter, r.matcom, r.otter);
+        for (engine, cell) in r.cells() {
+            let breakdown = cell
+                .op_counts
+                .iter()
+                .map(|(k, v)| format!("{k}:{v}"))
+                .collect::<Vec<_>>()
+                .join(";");
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{:.6e},{},{},{},{}",
+                r.app,
+                engine,
+                cell.relative,
+                cell.seconds,
+                cell.total_ops(),
+                cell.messages,
+                cell.bytes,
+                breakdown
+            );
+        }
     }
     out
 }
@@ -135,7 +170,12 @@ pub fn render_peephole(rows: &[PeepholeAblation]) -> String {
         let _ = writeln!(
             out,
             "{:<22} {:>8} {:>10} {:>10} {:>12.4} {:>12.4} {:>8.1}%",
-            a.app, a.p, a.instrs_with, a.instrs_without, a.seconds_with, a.seconds_without,
+            a.app,
+            a.p,
+            a.instrs_with,
+            a.instrs_without,
+            a.seconds_with,
+            a.seconds_without,
             msg_drop
         );
     }

@@ -12,7 +12,10 @@ pub struct CodegenError {
 
 impl CodegenError {
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        CodegenError { message: message.into(), span }
+        CodegenError {
+            message: message.into(),
+            span,
+        }
     }
 }
 

@@ -33,7 +33,11 @@ fn process_block(block: &mut Vec<Instr>, live_out: &[String], count: &mut usize)
     // the peephole pass.
     for instr in block.iter_mut() {
         match instr {
-            Instr::If { then_body, else_body, .. } => {
+            Instr::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 process_block(then_body, live_out, count);
                 process_block(else_body, live_out, count);
             }
@@ -106,15 +110,31 @@ mod tests {
     fn frees_after_last_use() {
         let mut p = IrProgram {
             main: vec![
-                Instr::MatMul { dst: "ML_tmp1".into(), a: "b".into(), b: "c".into() },
-                Instr::Reduce { dst: "s".into(), op: RedOp::SumAll, m: "ML_tmp1".into() },
-                Instr::AssignScalar { dst: "t".into(), src: SExpr::var("s") },
+                Instr::MatMul {
+                    dst: "ML_tmp1".into(),
+                    a: "b".into(),
+                    b: "c".into(),
+                },
+                Instr::Reduce {
+                    dst: "s".into(),
+                    op: RedOp::SumAll,
+                    m: "ML_tmp1".into(),
+                },
+                Instr::AssignScalar {
+                    dst: "t".into(),
+                    src: SExpr::var("s"),
+                },
             ],
             ..Default::default()
         };
         let n = insert_frees(&mut p);
         assert_eq!(n, 1);
-        assert_eq!(p.main[2], Instr::Free { name: "ML_tmp1".into() });
+        assert_eq!(
+            p.main[2],
+            Instr::Free {
+                name: "ML_tmp1".into()
+            }
+        );
         assert_eq!(p.main.len(), 4);
     }
 
@@ -124,7 +144,10 @@ mod tests {
             main: vec![
                 Instr::InitMatrix {
                     dst: "ML_tmp1".into(),
-                    init: MatInit::Ones { rows: SExpr::c(4.0), cols: SExpr::c(1.0) },
+                    init: MatInit::Ones {
+                        rows: SExpr::c(4.0),
+                        cols: SExpr::c(1.0),
+                    },
                 },
                 Instr::For {
                     var: "i".into(),
@@ -160,7 +183,9 @@ mod tests {
             ..Default::default()
         };
         insert_frees(&mut p);
-        let Instr::While { pre, .. } = &p.main[0] else { panic!() };
+        let Instr::While { pre, .. } = &p.main[0] else {
+            panic!()
+        };
         assert!(
             !pre.iter().any(|i| matches!(i, Instr::Free { .. })),
             "condition input must stay live: {pre:?}"
@@ -170,7 +195,11 @@ mod tests {
     #[test]
     fn user_variables_never_freed() {
         let mut p = IrProgram {
-            main: vec![Instr::MatMul { dst: "c".into(), a: "a".into(), b: "b".into() }],
+            main: vec![Instr::MatMul {
+                dst: "c".into(),
+                a: "a".into(),
+                b: "b".into(),
+            }],
             ..Default::default()
         };
         let n = insert_frees(&mut p);

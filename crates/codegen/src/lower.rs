@@ -48,7 +48,12 @@ pub fn lower(program: &Program, inference: &Inference) -> Result<IrProgram> {
             // compiler only emits reachable code).
             continue;
         };
-        let mut fcx = Cx { inference, types: &sig.vars, tmp: 0, self_elem: None };
+        let mut fcx = Cx {
+            inference,
+            types: &sig.vars,
+            tmp: 0,
+            self_elem: None,
+        };
         let body = fcx.lower_block(&f.body)?;
         let mut var_ranks: std::collections::BTreeMap<String, VarRank> = sig
             .vars
@@ -124,7 +129,10 @@ impl<'a> Cx<'a> {
 
     fn var_ty(&self, name: &str, span: Span) -> Result<VarTy> {
         self.types.get(name).copied().ok_or_else(|| {
-            CodegenError::new(format!("no inferred type for `{name}` (compiler bug)"), span)
+            CodegenError::new(
+                format!("no inferred type for `{name}` (compiler bug)"),
+                span,
+            )
         })
     }
 
@@ -137,7 +145,10 @@ impl<'a> Cx<'a> {
                 let ty = if *is_int {
                     VarTy::int_const(*value)
                 } else {
-                    VarTy { konst: Some(*value), ..VarTy::scalar(otter_analysis::BaseTy::Real) }
+                    VarTy {
+                        konst: Some(*value),
+                        ..VarTy::scalar(otter_analysis::BaseTy::Real)
+                    }
                 };
                 Ok((Frag::S(SExpr::Const(*value)), ty))
             }
@@ -155,10 +166,16 @@ impl<'a> Cx<'a> {
                 } else if let Some(v) = otter_analysis::builtins::constant_value(name) {
                     Ok((
                         Frag::S(SExpr::Const(v)),
-                        VarTy { konst: Some(v), ..VarTy::scalar(otter_analysis::BaseTy::Real) },
+                        VarTy {
+                            konst: Some(v),
+                            ..VarTy::scalar(otter_analysis::BaseTy::Real)
+                        },
                     ))
                 } else {
-                    Err(CodegenError::new(format!("unknown identifier `{name}`"), e.span))
+                    Err(CodegenError::new(
+                        format!("unknown identifier `{name}`"),
+                        e.span,
+                    ))
                 }
             }
             ExprKind::Range { start, step, stop } => {
@@ -171,7 +188,11 @@ impl<'a> Cx<'a> {
                 let dst = self.fresh_tmp(VarRank::Matrix);
                 out.push(Instr::InitMatrix {
                     dst: dst.clone(),
-                    init: MatInit::Range { start: s, step: st, stop: p },
+                    init: MatInit::Range {
+                        start: s,
+                        step: st,
+                        stop: p,
+                    },
                 });
                 let ty = range_type(e, self.types);
                 Ok((Frag::E(EwExpr::mat(dst)), ty))
@@ -198,8 +219,14 @@ impl<'a> Cx<'a> {
                     Frag::E(_) => {
                         let src = self.materialize(f, out);
                         let dst = self.fresh_tmp(VarRank::Matrix);
-                        out.push(Instr::Transpose { dst: dst.clone(), a: src });
-                        let t = VarTy { shape: ty.shape.transposed(), ..ty };
+                        out.push(Instr::Transpose {
+                            dst: dst.clone(),
+                            a: src,
+                        });
+                        let t = VarTy {
+                            shape: ty.shape.transposed(),
+                            ..ty
+                        };
                         Ok((Frag::E(EwExpr::mat(dst)), t))
                     }
                 }
@@ -223,7 +250,10 @@ impl<'a> Cx<'a> {
                 }
                 let (nr, nc) = (rows.len(), rows.first().map_or(0, |r| r.len()));
                 let dst = self.fresh_tmp(VarRank::Matrix);
-                out.push(Instr::InitMatrix { dst: dst.clone(), init: MatInit::Literal { rows: cells } });
+                out.push(Instr::InitMatrix {
+                    dst: dst.clone(),
+                    init: MatInit::Literal { rows: cells },
+                });
                 Ok((
                     Frag::E(EwExpr::mat(dst)),
                     VarTy::matrix(
@@ -253,7 +283,10 @@ impl<'a> Cx<'a> {
             Frag::E(EwExpr::Mat(name)) => name,
             Frag::E(expr) => {
                 let dst = self.fresh_tmp(VarRank::Matrix);
-                out.push(Instr::ElemWise { dst: dst.clone(), expr });
+                out.push(Instr::ElemWise {
+                    dst: dst.clone(),
+                    expr,
+                });
                 dst
             }
             Frag::S(s) => {
@@ -261,7 +294,9 @@ impl<'a> Cx<'a> {
                 let dst = self.fresh_tmp(VarRank::Matrix);
                 out.push(Instr::InitMatrix {
                     dst: dst.clone(),
-                    init: MatInit::Literal { rows: vec![vec![s]] },
+                    init: MatInit::Literal {
+                        rows: vec![vec![s]],
+                    },
                 });
                 dst
             }
@@ -310,7 +345,11 @@ impl<'a> Cx<'a> {
                     let a = self.strip_transpose_or_materialize(lhs, fa, out)?;
                     let b = self.strip_transpose_or_materialize(rhs, fb, out)?;
                     let dst = self.fresh_tmp(VarRank::Scalar);
-                    out.push(Instr::Dot { dst: dst.clone(), a, b });
+                    out.push(Instr::Dot {
+                        dst: dst.clone(),
+                        a,
+                        b,
+                    });
                     return Ok((Frag::S(SExpr::var(dst)), rty));
                 }
                 let a = self.materialize(fa, out);
@@ -318,12 +357,24 @@ impl<'a> Cx<'a> {
                 let dst = self.fresh_tmp(VarRank::Matrix);
                 // Column-vector right operand → ML_matrix_vector_multiply.
                 if tb.shape.cols == Dim::Known(1) && tb.shape.rows != Dim::Known(1) {
-                    out.push(Instr::MatVec { dst: dst.clone(), a, x: b });
+                    out.push(Instr::MatVec {
+                        dst: dst.clone(),
+                        a,
+                        x: b,
+                    });
                 } else if ta.shape.cols == Dim::Known(1) && tb.shape.rows == Dim::Known(1) {
                     // column · row = outer product.
-                    out.push(Instr::Outer { dst: dst.clone(), u: a, v: b });
+                    out.push(Instr::Outer {
+                        dst: dst.clone(),
+                        u: a,
+                        v: b,
+                    });
                 } else {
-                    out.push(Instr::MatMul { dst: dst.clone(), a, b });
+                    out.push(Instr::MatMul {
+                        dst: dst.clone(),
+                        a,
+                        b,
+                    });
                 }
                 Ok((Frag::E(EwExpr::mat(dst)), rty))
             }
@@ -398,7 +449,10 @@ impl<'a> Cx<'a> {
     ) -> Result<(Frag, VarTy)> {
         let bty = self.var_ty(base, span)?;
         if bty.rank != RankTy::Matrix {
-            return Err(CodegenError::new(format!("cannot index scalar `{base}`"), span));
+            return Err(CodegenError::new(
+                format!("cannot index scalar `{base}`"),
+                span,
+            ));
         }
         let elem_base = bty.base;
         match args {
@@ -413,7 +467,12 @@ impl<'a> Cx<'a> {
                     }
                 }
                 let dst = self.fresh_tmp(VarRank::Scalar);
-                out.push(Instr::BroadcastElem { dst: dst.clone(), m: base.to_string(), i, j: None });
+                out.push(Instr::BroadcastElem {
+                    dst: dst.clone(),
+                    m: base.to_string(),
+                    i,
+                    j: None,
+                });
                 Ok((Frag::S(SExpr::var(dst)), VarTy::scalar(elem_base)))
             }
             [ix] => match &ix.kind {
@@ -468,20 +527,34 @@ impl<'a> Cx<'a> {
             [i, j] if is_scalar_index(i) && matches!(j.kind, ExprKind::Colon) => {
                 let si = self.lower_index_scalar(i, base, DimSel::Rows, out)?;
                 let dst = self.fresh_tmp(VarRank::Matrix);
-                out.push(Instr::ExtractRow { dst: dst.clone(), m: base.to_string(), i: si });
+                out.push(Instr::ExtractRow {
+                    dst: dst.clone(),
+                    m: base.to_string(),
+                    i: si,
+                });
                 let ty = VarTy::matrix(
                     elem_base,
-                    otter_analysis::Shape { rows: Dim::Known(1), cols: bty.shape.cols },
+                    otter_analysis::Shape {
+                        rows: Dim::Known(1),
+                        cols: bty.shape.cols,
+                    },
                 );
                 Ok((Frag::E(EwExpr::mat(dst)), ty))
             }
             [i, j] if matches!(i.kind, ExprKind::Colon) && is_scalar_index(j) => {
                 let sj = self.lower_index_scalar(j, base, DimSel::Cols, out)?;
                 let dst = self.fresh_tmp(VarRank::Matrix);
-                out.push(Instr::ExtractCol { dst: dst.clone(), m: base.to_string(), j: sj });
+                out.push(Instr::ExtractCol {
+                    dst: dst.clone(),
+                    m: base.to_string(),
+                    j: sj,
+                });
                 let ty = VarTy::matrix(
                     elem_base,
-                    otter_analysis::Shape { rows: bty.shape.rows, cols: Dim::Known(1) },
+                    otter_analysis::Shape {
+                        rows: bty.shape.rows,
+                        cols: Dim::Known(1),
+                    },
                 );
                 Ok((Frag::E(EwExpr::mat(dst)), ty))
             }
@@ -550,9 +623,19 @@ impl<'a> Cx<'a> {
                     _ => MatInit::Eye { n: r },
                 };
                 let dst = self.fresh_tmp(VarRank::Matrix);
-                out.push(Instr::InitMatrix { dst: dst.clone(), init });
-                let base = if callee == "rand" { BaseTy::Real } else { BaseTy::Integer };
-                one(Frag::E(EwExpr::mat(dst)), VarTy::matrix(base, otter_analysis::Shape::UNKNOWN))
+                out.push(Instr::InitMatrix {
+                    dst: dst.clone(),
+                    init,
+                });
+                let base = if callee == "rand" {
+                    BaseTy::Real
+                } else {
+                    BaseTy::Integer
+                };
+                one(
+                    Frag::E(EwExpr::mat(dst)),
+                    VarTy::matrix(base, otter_analysis::Shape::UNKNOWN),
+                )
             }
             "linspace" => {
                 let a = self.lower_scalar(&args[0], out)?.0;
@@ -590,16 +673,13 @@ impl<'a> Cx<'a> {
                     }
                     return one(Frag::S(v), VarTy::int_const(1.0));
                 }
-                let dim = |sel| SExpr::DimOf { var: mname.clone(), sel };
+                let dim = |sel| SExpr::DimOf {
+                    var: mname.clone(),
+                    sel,
+                };
                 match callee {
-                    "length" => one(
-                        Frag::S(dim(DimSel::Length)),
-                        VarTy::scalar(BaseTy::Integer),
-                    ),
-                    "numel" => one(
-                        Frag::S(dim(DimSel::Numel)),
-                        VarTy::scalar(BaseTy::Integer),
-                    ),
+                    "length" => one(Frag::S(dim(DimSel::Length)), VarTy::scalar(BaseTy::Integer)),
+                    "numel" => one(Frag::S(dim(DimSel::Numel)), VarTy::scalar(BaseTy::Integer)),
                     _ => {
                         if nout >= 2 {
                             return Ok(vec![
@@ -610,8 +690,8 @@ impl<'a> Cx<'a> {
                         if args.len() == 2 {
                             let (d, _) = self.lower_scalar(&args[1], out)?;
                             let sel = match d {
-                                SExpr::Const(v) if v == 1.0 => DimSel::Rows,
-                                SExpr::Const(v) if v == 2.0 => DimSel::Cols,
+                                SExpr::Const(1.0) => DimSel::Rows,
+                                SExpr::Const(2.0) => DimSel::Cols,
                                 _ => {
                                     return Err(CodegenError::new(
                                         "size(m, d) needs a literal dimension",
@@ -636,13 +716,17 @@ impl<'a> Cx<'a> {
                     }
                 }
             }
-            "abs" | "sqrt" | "sin" | "cos" | "tan" | "exp" | "log" | "log2" | "floor"
-            | "ceil" | "round" | "sign" => {
+            "abs" | "sqrt" | "sin" | "cos" | "tan" | "exp" | "log" | "log2" | "floor" | "ceil"
+            | "round" | "sign" => {
                 let (f, ty) = self.lower_expr(&args[0], out)?;
                 let fun = sfun_of(callee);
                 let rty = match callee {
                     "abs" | "floor" | "ceil" | "round" | "sign" => ty,
-                    _ => VarTy { base: BaseTy::Real, konst: None, ..ty },
+                    _ => VarTy {
+                        base: BaseTy::Real,
+                        konst: None,
+                        ..ty
+                    },
                 };
                 match f {
                     Frag::S(s) => one(Frag::S(SExpr::Call(fun, vec![s])), rty),
@@ -660,10 +744,7 @@ impl<'a> Cx<'a> {
                     }
                     (a, b) => {
                         let t = if ta.rank == RankTy::Matrix { ta } else { tb };
-                        one(
-                            Frag::E(EwExpr::Call(fun, vec![as_ew(a), as_ew(b)])),
-                            t,
-                        )
+                        one(Frag::E(EwExpr::Call(fun, vec![as_ew(a), as_ew(b)])), t)
                     }
                 }
             }
@@ -705,7 +786,11 @@ impl<'a> Cx<'a> {
                         "any" => RedOp::AnyAll,
                         _ => RedOp::AllAll,
                     };
-                    out.push(Instr::Reduce { dst: dst.clone(), op, m });
+                    out.push(Instr::Reduce {
+                        dst: dst.clone(),
+                        op,
+                        m,
+                    });
                     one(Frag::S(SExpr::var(dst)), VarTy::scalar(result_base))
                 } else {
                     let dst = self.fresh_tmp(VarRank::Matrix);
@@ -718,10 +803,17 @@ impl<'a> Cx<'a> {
                         "any" => ColRedOp::Any,
                         _ => ColRedOp::All,
                     };
-                    out.push(Instr::ColReduce { dst: dst.clone(), op, m });
+                    out.push(Instr::ColReduce {
+                        dst: dst.clone(),
+                        op,
+                        m,
+                    });
                     let t = VarTy::matrix(
                         result_base,
-                        otter_analysis::Shape { rows: Dim::Known(1), cols: ty.shape.cols },
+                        otter_analysis::Shape {
+                            rows: Dim::Known(1),
+                            cols: ty.shape.cols,
+                        },
                     );
                     one(Frag::E(EwExpr::mat(dst)), t)
                 }
@@ -730,7 +822,11 @@ impl<'a> Cx<'a> {
                 let (f, _) = self.lower_expr(&args[0], out)?;
                 let m = self.materialize(f, out);
                 let dst = self.fresh_tmp(VarRank::Scalar);
-                out.push(Instr::Reduce { dst: dst.clone(), op: RedOp::Norm2, m });
+                out.push(Instr::Reduce {
+                    dst: dst.clone(),
+                    op: RedOp::Norm2,
+                    m,
+                });
                 one(Frag::S(SExpr::var(dst)), VarTy::scalar(BaseTy::Real))
             }
             "dot" => {
@@ -739,7 +835,11 @@ impl<'a> Cx<'a> {
                 let a = self.materialize(fa, out);
                 let b = self.materialize(fb, out);
                 let dst = self.fresh_tmp(VarRank::Scalar);
-                out.push(Instr::Dot { dst: dst.clone(), a, b });
+                out.push(Instr::Dot {
+                    dst: dst.clone(),
+                    a,
+                    b,
+                });
                 one(Frag::S(SExpr::var(dst)), VarTy::scalar(BaseTy::Real))
             }
             "trapz" | "trapz2" => {
@@ -749,13 +849,21 @@ impl<'a> Cx<'a> {
                     let x = self.materialize(fx, out);
                     let y = self.materialize(fy, out);
                     let dst = self.fresh_tmp(VarRank::Scalar);
-                    out.push(Instr::TrapzXY { dst: dst.clone(), x, y });
+                    out.push(Instr::TrapzXY {
+                        dst: dst.clone(),
+                        x,
+                        y,
+                    });
                     one(Frag::S(SExpr::var(dst)), VarTy::scalar(BaseTy::Real))
                 } else {
                     let (f, _) = self.lower_expr(&args[0], out)?;
                     let m = self.materialize(f, out);
                     let dst = self.fresh_tmp(VarRank::Scalar);
-                    out.push(Instr::Reduce { dst: dst.clone(), op: RedOp::Trapz, m });
+                    out.push(Instr::Reduce {
+                        dst: dst.clone(),
+                        op: RedOp::Trapz,
+                        m,
+                    });
                     one(Frag::S(SExpr::var(dst)), VarTy::scalar(BaseTy::Real))
                 }
             }
@@ -764,7 +872,11 @@ impl<'a> Cx<'a> {
                 let (k, _) = self.lower_scalar(&args[1], out)?;
                 let v = self.materialize(f, out);
                 let dst = self.fresh_tmp(VarRank::Matrix);
-                out.push(Instr::Shift { dst: dst.clone(), v, k });
+                out.push(Instr::Shift {
+                    dst: dst.clone(),
+                    v,
+                    k,
+                });
                 one(Frag::E(EwExpr::mat(dst)), ty)
             }
             "disp" => {
@@ -799,7 +911,10 @@ impl<'a> Cx<'a> {
                     return Err(CodegenError::new("load requires a literal file name", span));
                 };
                 let dst = self.fresh_tmp(VarRank::Matrix);
-                out.push(Instr::LoadFile { dst: dst.clone(), path: path.clone() });
+                out.push(Instr::LoadFile {
+                    dst: dst.clone(),
+                    path: path.clone(),
+                });
                 one(
                     Frag::E(EwExpr::mat(dst)),
                     VarTy::matrix(BaseTy::Real, otter_analysis::Shape::UNKNOWN),
@@ -808,7 +923,10 @@ impl<'a> Cx<'a> {
             _ => {
                 // User function.
                 let Some(sig) = self.inference.functions.get(callee) else {
-                    return Err(CodegenError::new(format!("unknown function `{callee}`"), span));
+                    return Err(CodegenError::new(
+                        format!("unknown function `{callee}`"),
+                        span,
+                    ));
                 };
                 let sig = sig.clone();
                 let mut actuals = Vec::with_capacity(args.len());
@@ -837,7 +955,11 @@ impl<'a> Cx<'a> {
                     };
                     results.push((frag, *oty));
                 }
-                out.push(Instr::Call { fun: callee.to_string(), args: actuals, outs });
+                out.push(Instr::Call {
+                    fun: callee.to_string(),
+                    args: actuals,
+                    outs,
+                });
                 Ok(results)
             }
         }
@@ -984,18 +1106,29 @@ impl<'a> Cx<'a> {
         let then_body = self.lower_block(body)?;
         let mut else_instrs = Vec::new();
         self.lower_if_chain(arms, else_body, k + 1, &mut else_instrs)?;
-        out.push(Instr::If { cond: c, then_body, else_body: else_instrs });
+        out.push(Instr::If {
+            cond: c,
+            then_body,
+            else_body: else_instrs,
+        });
         Ok(())
     }
 
     fn emit_assign(&mut self, dst: &str, frag: Frag, ty: &VarTy, out: &mut Vec<Instr>) {
         match frag {
-            Frag::S(s) => out.push(Instr::AssignScalar { dst: dst.to_string(), src: s }),
+            Frag::S(s) => out.push(Instr::AssignScalar {
+                dst: dst.to_string(),
+                src: s,
+            }),
             Frag::E(EwExpr::Mat(src)) if src == dst => { /* self-assign: no-op */ }
-            Frag::E(EwExpr::Mat(src)) => {
-                out.push(Instr::CopyMatrix { dst: dst.to_string(), src })
-            }
-            Frag::E(expr) => out.push(Instr::ElemWise { dst: dst.to_string(), expr }),
+            Frag::E(EwExpr::Mat(src)) => out.push(Instr::CopyMatrix {
+                dst: dst.to_string(),
+                src,
+            }),
+            Frag::E(expr) => out.push(Instr::ElemWise {
+                dst: dst.to_string(),
+                expr,
+            }),
         }
         let _ = ty;
     }
@@ -1005,7 +1138,10 @@ impl<'a> Cx<'a> {
             RankTy::Matrix => PrintTarget::Matrix(name.to_string()),
             _ => PrintTarget::Scalar(SExpr::var(name)),
         };
-        out.push(Instr::Print { name: name.to_string(), target });
+        out.push(Instr::Print {
+            name: name.to_string(),
+            target,
+        });
     }
 
     fn lower_indexed_assign(
@@ -1023,7 +1159,12 @@ impl<'a> Cx<'a> {
                 let lowered = self.lower_scalar(rhs, out);
                 self.self_elem = None;
                 let (val, _) = lowered?;
-                out.push(Instr::StoreElem { m, i: si, j: None, val });
+                out.push(Instr::StoreElem {
+                    m,
+                    i: si,
+                    j: None,
+                    val,
+                });
                 Ok(())
             }
             [i, j] if is_scalar_index(i) && is_scalar_index(j) => {
@@ -1033,7 +1174,12 @@ impl<'a> Cx<'a> {
                 let lowered = self.lower_scalar(rhs, out);
                 self.self_elem = None;
                 let (val, _) = lowered?;
-                out.push(Instr::StoreElem { m, i: si, j: Some(sj), val });
+                out.push(Instr::StoreElem {
+                    m,
+                    i: si,
+                    j: Some(sj),
+                    val,
+                });
                 Ok(())
             }
             [i, j] if is_scalar_index(i) && matches!(j.kind, ExprKind::Colon) => {
@@ -1223,12 +1369,18 @@ impl<'a> Cx<'a> {
     /// Hook for the `__end__` pseudo-builtin created by
     /// [`substitute_end_sexpr`].
     fn try_lower_end_marker(&mut self, e: &Expr) -> Option<SExpr> {
-        let ExprKind::Call { callee, args } = &e.kind else { return None };
+        let ExprKind::Call { callee, args } = &e.kind else {
+            return None;
+        };
         if callee != "__end__" {
             return None;
         }
-        let ExprKind::Str(var) = &args[0].kind else { return None };
-        let ExprKind::Number { value, .. } = &args[1].kind else { return None };
+        let ExprKind::Str(var) = &args[0].kind else {
+            return None;
+        };
+        let ExprKind::Number { value, .. } = &args[1].kind else {
+            return None;
+        };
         let sel = match *value as i64 {
             1 => DimSel::Rows,
             2 => DimSel::Cols,
@@ -1253,7 +1405,10 @@ impl<'a> Cx<'a> {
                 return Some(SExpr::Const(k as f64));
             }
         }
-        Some(SExpr::DimOf { var: var.clone(), sel })
+        Some(SExpr::DimOf {
+            var: var.clone(),
+            sel,
+        })
     }
 }
 
@@ -1278,8 +1433,8 @@ mod tests {
             let fi = ssa_rename(&f.body, &f.params);
             f.body = fi.block;
         }
-        let inference = infer(&program, InferOptions::default())
-            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let inference =
+            infer(&program, InferOptions::default()).unwrap_or_else(|e| panic!("{e}\n{src}"));
         lower(&program, &inference).unwrap_or_else(|e| panic!("{e}\n{src}"))
     }
 
@@ -1293,7 +1448,10 @@ mod tests {
             "n = 4;\nb = ones(n, n);\nc = ones(n, n);\nd = eye(n);\ni = 1;\nj = 2;\na = b * c + d(i, j);",
         );
         let s = dump(&ir);
-        assert!(s.contains("matmul(b, c)") || s.contains("= matmul(b, c);"), "{s}");
+        assert!(
+            s.contains("matmul(b, c)") || s.contains("= matmul(b, c);"),
+            "{s}"
+        );
         assert!(s.contains("bcast(d[i, j])"), "{s}");
         assert!(s.contains("forall k: a[k]"), "{s}");
     }
@@ -1314,7 +1472,10 @@ mod tests {
         // emitted before the dot pattern matched.
         crate::peephole::peephole(&mut ir);
         let s = dump(&ir);
-        assert!(s.contains("= dot(v, w);"), "transpose stripped for dot: {s}");
+        assert!(
+            s.contains("= dot(v, w);"),
+            "transpose stripped for dot: {s}"
+        );
         assert!(!s.contains("transpose"), "no materialized transpose: {s}");
     }
 
@@ -1339,7 +1500,10 @@ mod tests {
         );
         let s = dump(&ir);
         assert!(s.contains("if owner: a[i, j]"), "{s}");
-        assert!(s.contains("ownelem"), "self-read uses OwnElem, not a broadcast: {s}");
+        assert!(
+            s.contains("ownelem"),
+            "self-read uses OwnElem, not a broadcast: {s}"
+        );
         assert_eq!(s.matches("bcast").count(), 1, "only b(j,i) broadcasts: {s}");
     }
 
@@ -1352,14 +1516,15 @@ mod tests {
         );
         crate::peephole::peephole(&mut ir);
         let s = dump(&ir);
-        assert!(s.contains("ML_norm2(r)"), "pre-block reduction must survive DCE: {s}");
+        assert!(
+            s.contains("ML_norm2(r)"),
+            "pre-block reduction must survive DCE: {s}"
+        );
     }
 
     #[test]
     fn while_condition_with_reduction_goes_to_pre_block() {
-        let ir = lower_src(
-            "n = 8;\nr = ones(n, 1);\nwhile norm(r) > 0.5\nr = r / 2;\nend",
-        );
+        let ir = lower_src("n = 8;\nr = ones(n, 1);\nwhile norm(r) > 0.5\nr = r / 2;\nend");
         let s = dump(&ir);
         assert!(s.contains("while {"), "{s}");
         assert!(s.contains("ML_norm2(r)"), "{s}");
@@ -1390,7 +1555,10 @@ mod tests {
     #[test]
     fn unsupported_constructs_error_cleanly() {
         for (src, needle) in [
-            ("a = ones(3, 3);\nb = ones(3, 3);\nc = a / b;", "right-division"),
+            (
+                "a = ones(3, 3);\nb = ones(3, 3);\nc = a / b;",
+                "right-division",
+            ),
             ("a = ones(3, 3);\nb = a ^ 2;", "power"),
             ("global g\ng = 1;", "global"),
         ] {

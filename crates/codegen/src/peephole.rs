@@ -45,7 +45,11 @@ fn optimize_block(block: &mut Vec<Instr>, live_out: &[String], stats: &mut Peeph
     // Recurse into nested blocks first.
     for instr in block.iter_mut() {
         match instr {
-            Instr::If { then_body, else_body, .. } => {
+            Instr::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 optimize_block(then_body, live_out, stats);
                 optimize_block(else_body, live_out, stats);
             }
@@ -118,9 +122,7 @@ fn eliminate_dead(block: &mut Vec<Instr>, live_out: &[String], stats: &mut Peeph
         let removable = is_pure(&block[i])
             && match dst_of(&block[i]) {
                 Some(d) => {
-                    is_temp(&d)
-                        && !used_later(&d, &block[i + 1..])
-                        && !live_out.contains(&d)
+                    is_temp(&d) && !used_later(&d, &block[i + 1..]) && !live_out.contains(&d)
                 }
                 None => false,
             };
@@ -248,7 +250,9 @@ fn reads_of(instr: &Instr, out: &mut Vec<String>) {
             sexpr(lo, out);
             sexpr(hi, out);
         }
-        Instr::ExtractStrided { v, lo, step, hi, .. } => {
+        Instr::ExtractStrided {
+            v, lo, step, hi, ..
+        } => {
             out.push(v.clone());
             sexpr(lo, out);
             sexpr(step, out);
@@ -276,7 +280,11 @@ fn reads_of(instr: &Instr, out: &mut Vec<String>) {
             sexpr(hi, out);
             out.push(v.clone());
         }
-        Instr::If { cond, then_body, else_body } => {
+        Instr::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             sexpr(cond, out);
             for i in then_body.iter().chain(else_body) {
                 reads_of(i, out);
@@ -288,7 +296,13 @@ fn reads_of(instr: &Instr, out: &mut Vec<String>) {
                 reads_of(i, out);
             }
         }
-        Instr::For { start, step, stop, body, .. } => {
+        Instr::For {
+            start,
+            step,
+            stop,
+            body,
+            ..
+        } => {
             sexpr(start, out);
             sexpr(step, out);
             sexpr(stop, out);
@@ -404,21 +418,31 @@ fn collapse_pairs(block: &mut Vec<Instr>, live_out: &[String], stats: &mut Peeph
             {
                 Some((dst.clone(), false))
             }
-            (first, Instr::ElemWise { dst, expr: EwExpr::Mat(src) })
-                if is_temp(src)
-                    && dst_of(first).as_deref() == Some(src.as_str())
-                    && !used_later(src, &block[i + 2..])
-                    && !live_out.contains(src)
-                    && dst != src =>
+            (
+                first,
+                Instr::ElemWise {
+                    dst,
+                    expr: EwExpr::Mat(src),
+                },
+            ) if is_temp(src)
+                && dst_of(first).as_deref() == Some(src.as_str())
+                && !used_later(src, &block[i + 2..])
+                && !live_out.contains(src)
+                && dst != src =>
             {
                 Some((dst.clone(), false))
             }
-            (first, Instr::AssignScalar { dst, src: SExpr::Var(src) })
-                if is_temp(src)
-                    && dst_of(first).as_deref() == Some(src.as_str())
-                    && !used_later(src, &block[i + 2..])
-                    && !live_out.contains(src)
-                    && dst != src =>
+            (
+                first,
+                Instr::AssignScalar {
+                    dst,
+                    src: SExpr::Var(src),
+                },
+            ) if is_temp(src)
+                && dst_of(first).as_deref() == Some(src.as_str())
+                && !used_later(src, &block[i + 2..])
+                && !live_out.contains(src)
+                && dst != src =>
             {
                 Some((dst.clone(), true))
             }
@@ -446,15 +470,25 @@ fn fuse_dots(block: &mut Vec<Instr>, live_out: &[String], stats: &mut PeepholeSt
     let mut i = 0;
     while i + 1 < block.len() {
         let fused = match (&block[i], &block[i + 1]) {
-            (Instr::ElemWise { dst: t, expr }, Instr::Reduce { dst, op: RedOp::SumAll, m })
-                if t == m
-                    && is_temp(t)
-                    && !used_later(t, &block[i + 2..])
-                    && !live_out.contains(t) =>
+            (
+                Instr::ElemWise { dst: t, expr },
+                Instr::Reduce {
+                    dst,
+                    op: RedOp::SumAll,
+                    m,
+                },
+            ) if t == m
+                && is_temp(t)
+                && !used_later(t, &block[i + 2..])
+                && !live_out.contains(t) =>
             {
                 if let EwExpr::Bin(EwOp::Mul, a, b) = expr {
                     if let (EwExpr::Mat(a), EwExpr::Mat(b)) = (a.as_ref(), b.as_ref()) {
-                        Some(Instr::Dot { dst: dst.clone(), a: a.clone(), b: b.clone() })
+                        Some(Instr::Dot {
+                            dst: dst.clone(),
+                            a: a.clone(),
+                            b: b.clone(),
+                        })
                     } else {
                         None
                     }
@@ -479,26 +513,54 @@ mod tests {
     use super::*;
 
     fn prog(main: Vec<Instr>) -> IrProgram {
-        IrProgram { main, ..Default::default() }
+        IrProgram {
+            main,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn collapses_matmul_copy() {
         let mut p = prog(vec![
-            Instr::MatMul { dst: "ML_tmp1".into(), a: "b".into(), b: "c".into() },
-            Instr::CopyMatrix { dst: "a".into(), src: "ML_tmp1".into() },
+            Instr::MatMul {
+                dst: "ML_tmp1".into(),
+                a: "b".into(),
+                b: "c".into(),
+            },
+            Instr::CopyMatrix {
+                dst: "a".into(),
+                src: "ML_tmp1".into(),
+            },
         ]);
         let stats = peephole(&mut p);
         assert_eq!(stats.copies_collapsed, 1);
-        assert_eq!(p.main, vec![Instr::MatMul { dst: "a".into(), a: "b".into(), b: "c".into() }]);
+        assert_eq!(
+            p.main,
+            vec![Instr::MatMul {
+                dst: "a".into(),
+                a: "b".into(),
+                b: "c".into()
+            }]
+        );
     }
 
     #[test]
     fn keeps_copy_when_temp_reused() {
         let mut p = prog(vec![
-            Instr::MatMul { dst: "ML_tmp1".into(), a: "b".into(), b: "c".into() },
-            Instr::CopyMatrix { dst: "a".into(), src: "ML_tmp1".into() },
-            Instr::Reduce { dst: "s".into(), op: RedOp::SumAll, m: "ML_tmp1".into() },
+            Instr::MatMul {
+                dst: "ML_tmp1".into(),
+                a: "b".into(),
+                b: "c".into(),
+            },
+            Instr::CopyMatrix {
+                dst: "a".into(),
+                src: "ML_tmp1".into(),
+            },
+            Instr::Reduce {
+                dst: "s".into(),
+                op: RedOp::SumAll,
+                m: "ML_tmp1".into(),
+            },
         ]);
         let stats = peephole(&mut p);
         assert_eq!(stats.copies_collapsed, 0);
@@ -508,14 +570,25 @@ mod tests {
     #[test]
     fn collapses_scalar_temp() {
         let mut p = prog(vec![
-            Instr::Dot { dst: "ML_tmp2".into(), a: "r".into(), b: "r".into() },
-            Instr::AssignScalar { dst: "rho".into(), src: SExpr::var("ML_tmp2") },
+            Instr::Dot {
+                dst: "ML_tmp2".into(),
+                a: "r".into(),
+                b: "r".into(),
+            },
+            Instr::AssignScalar {
+                dst: "rho".into(),
+                src: SExpr::var("ML_tmp2"),
+            },
         ]);
         let stats = peephole(&mut p);
         assert_eq!(stats.scalars_collapsed, 1);
         assert_eq!(
             p.main,
-            vec![Instr::Dot { dst: "rho".into(), a: "r".into(), b: "r".into() }]
+            vec![Instr::Dot {
+                dst: "rho".into(),
+                a: "r".into(),
+                b: "r".into()
+            }]
         );
     }
 
@@ -526,13 +599,27 @@ mod tests {
                 dst: "ML_tmp1".into(),
                 expr: EwExpr::bin(EwOp::Mul, EwExpr::mat("x"), EwExpr::mat("y")),
             },
-            Instr::Reduce { dst: "ML_tmp2".into(), op: RedOp::SumAll, m: "ML_tmp1".into() },
-            Instr::AssignScalar { dst: "d".into(), src: SExpr::var("ML_tmp2") },
+            Instr::Reduce {
+                dst: "ML_tmp2".into(),
+                op: RedOp::SumAll,
+                m: "ML_tmp1".into(),
+            },
+            Instr::AssignScalar {
+                dst: "d".into(),
+                src: SExpr::var("ML_tmp2"),
+            },
         ]);
         let stats = peephole(&mut p);
         assert_eq!(stats.dots_fused, 1);
         assert_eq!(stats.scalars_collapsed, 1);
-        assert_eq!(p.main, vec![Instr::Dot { dst: "d".into(), a: "x".into(), b: "y".into() }]);
+        assert_eq!(
+            p.main,
+            vec![Instr::Dot {
+                dst: "d".into(),
+                a: "x".into(),
+                b: "y".into()
+            }]
+        );
     }
 
     #[test]
@@ -542,8 +629,16 @@ mod tests {
                 dst: "ML_tmp1".into(),
                 expr: EwExpr::bin(EwOp::Mul, EwExpr::mat("x"), EwExpr::mat("y")),
             },
-            Instr::Reduce { dst: "s".into(), op: RedOp::SumAll, m: "ML_tmp1".into() },
-            Instr::Reduce { dst: "t".into(), op: RedOp::MaxAll, m: "ML_tmp1".into() },
+            Instr::Reduce {
+                dst: "s".into(),
+                op: RedOp::SumAll,
+                m: "ML_tmp1".into(),
+            },
+            Instr::Reduce {
+                dst: "t".into(),
+                op: RedOp::MaxAll,
+                m: "ML_tmp1".into(),
+            },
         ]);
         let stats = peephole(&mut p);
         assert_eq!(stats.dots_fused, 0);
@@ -558,25 +653,48 @@ mod tests {
             step: SExpr::c(1.0),
             stop: SExpr::c(10.0),
             body: vec![
-                Instr::MatVec { dst: "ML_tmp1".into(), a: "A".into(), x: "p".into() },
-                Instr::CopyMatrix { dst: "q".into(), src: "ML_tmp1".into() },
+                Instr::MatVec {
+                    dst: "ML_tmp1".into(),
+                    a: "A".into(),
+                    x: "p".into(),
+                },
+                Instr::CopyMatrix {
+                    dst: "q".into(),
+                    src: "ML_tmp1".into(),
+                },
             ],
         }]);
         let stats = peephole(&mut p);
         assert_eq!(stats.copies_collapsed, 1);
-        let Instr::For { body, .. } = &p.main[0] else { panic!() };
+        let Instr::For { body, .. } = &p.main[0] else {
+            panic!()
+        };
         assert_eq!(body.len(), 1);
     }
 
     #[test]
     fn dead_temps_are_removed() {
         let mut p = prog(vec![
-            Instr::Transpose { dst: "ML_tmp3".into(), a: "v".into() },
-            Instr::Dot { dst: "d".into(), a: "v".into(), b: "w".into() },
+            Instr::Transpose {
+                dst: "ML_tmp3".into(),
+                a: "v".into(),
+            },
+            Instr::Dot {
+                dst: "d".into(),
+                a: "v".into(),
+                b: "w".into(),
+            },
         ]);
         let stats = peephole(&mut p);
         assert_eq!(stats.dead_removed, 1);
-        assert_eq!(p.main, vec![Instr::Dot { dst: "d".into(), a: "v".into(), b: "w".into() }]);
+        assert_eq!(
+            p.main,
+            vec![Instr::Dot {
+                dst: "d".into(),
+                a: "v".into(),
+                b: "w".into()
+            }]
+        );
     }
 
     #[test]
@@ -584,23 +702,39 @@ mod tests {
         let mut p = prog(vec![
             Instr::InitMatrix {
                 dst: "ML_tmp1".into(),
-                init: MatInit::Rand { rows: SExpr::c(4.0), cols: SExpr::c(4.0) },
+                init: MatInit::Rand {
+                    rows: SExpr::c(4.0),
+                    cols: SExpr::c(4.0),
+                },
             },
             Instr::InitMatrix {
                 dst: "a".into(),
-                init: MatInit::Rand { rows: SExpr::c(4.0), cols: SExpr::c(4.0) },
+                init: MatInit::Rand {
+                    rows: SExpr::c(4.0),
+                    cols: SExpr::c(4.0),
+                },
             },
         ]);
         let stats = peephole(&mut p);
-        assert_eq!(stats.dead_removed, 0, "removing rand would shift later streams");
+        assert_eq!(
+            stats.dead_removed, 0,
+            "removing rand would shift later streams"
+        );
         assert_eq!(p.main.len(), 2);
     }
 
     #[test]
     fn live_temps_are_kept() {
         let mut p = prog(vec![
-            Instr::Transpose { dst: "ML_tmp3".into(), a: "v".into() },
-            Instr::Dot { dst: "d".into(), a: "ML_tmp3".into(), b: "w".into() },
+            Instr::Transpose {
+                dst: "ML_tmp3".into(),
+                a: "v".into(),
+            },
+            Instr::Dot {
+                dst: "d".into(),
+                a: "ML_tmp3".into(),
+                b: "w".into(),
+            },
         ]);
         let stats = peephole(&mut p);
         assert_eq!(stats.dead_removed, 0);
@@ -610,8 +744,15 @@ mod tests {
     #[test]
     fn non_temp_sources_untouched() {
         let mut p = prog(vec![
-            Instr::MatMul { dst: "x".into(), a: "b".into(), b: "c".into() },
-            Instr::CopyMatrix { dst: "a".into(), src: "x".into() },
+            Instr::MatMul {
+                dst: "x".into(),
+                a: "b".into(),
+                b: "c".into(),
+            },
+            Instr::CopyMatrix {
+                dst: "a".into(),
+                src: "x".into(),
+            },
         ]);
         let stats = peephole(&mut p);
         assert_eq!(stats.copies_collapsed, 0);

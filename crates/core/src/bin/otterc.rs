@@ -9,12 +9,14 @@
 //! otterc script.m --run               # compile AND execute (1 CPU)
 //! otterc script.m --run -p 16 --machine meiko
 //! otterc script.m --no-peephole ...   # disable pass 6
+//! otterc script.m --timing            # per-pass wall time + sizes
+//! otterc script.m --dump-after=rewrite  # print the IR after pass 4
 //! ```
 //!
 //! M-file functions are resolved from the script's directory, like the
 //! MATLAB path; `load` reads sample data files from the same place.
 
-use otter_core::{compile, run_compiled, CompileOptions};
+use otter_core::{CompileOptions, CompileReport, DumpRequest, Engine, OtterEngine, PassManager};
 use otter_frontend::DirProvider;
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
 use std::path::{Path, PathBuf};
@@ -28,6 +30,8 @@ struct Args {
     p: usize,
     machine: Machine,
     no_peephole: bool,
+    timing: bool,
+    dump_after: Option<String>,
 }
 
 #[derive(PartialEq)]
@@ -40,7 +44,8 @@ enum Emit {
 fn usage() -> ! {
     eprintln!(
         "usage: otterc <script.m> [-o out.c] [--emit c|ir|ast] [--run] \
-         [-p N] [--machine meiko|cluster|smp|workstation] [--no-peephole]"
+         [-p N] [--machine meiko|cluster|smp|workstation] [--no-peephole] \
+         [--timing] [--dump-after=<pass>|all]"
     );
     exit(2)
 }
@@ -53,6 +58,8 @@ fn parse_args() -> Args {
     let mut p = 1usize;
     let mut machine = meiko_cs2();
     let mut no_peephole = false;
+    let mut timing = false;
+    let mut dump_after = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -67,7 +74,10 @@ fn parse_args() -> Args {
             }
             "--run" => run = true,
             "-p" => {
-                p = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                p = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--machine" => {
                 machine = match it.next().as_deref() {
@@ -79,6 +89,11 @@ fn parse_args() -> Args {
                 }
             }
             "--no-peephole" => no_peephole = true,
+            "--timing" => timing = true,
+            "--dump-after" => dump_after = Some(it.next().unwrap_or_else(|| usage())),
+            other if other.starts_with("--dump-after=") => {
+                dump_after = Some(other["--dump-after=".len()..].to_string());
+            }
             "-h" | "--help" => usage(),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(PathBuf::from(other));
@@ -94,6 +109,28 @@ fn parse_args() -> Args {
         p,
         machine,
         no_peephole,
+        timing,
+        dump_after,
+    }
+}
+
+fn print_timing(report: &CompileReport) {
+    eprintln!(
+        "{:<10} {:>12} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7}",
+        "pass", "wall (µs)", "stmts", "Δstmts", "IR", "ΔIR", "rtcall", "Δrt"
+    );
+    for s in &report.passes {
+        eprintln!(
+            "{:<10} {:>12.1} {:>8} {:>+8} {:>9} {:>+9} {:>7} {:>+7}",
+            s.name,
+            s.wall.as_secs_f64() * 1e6,
+            s.stmts_after,
+            s.stmts_after as i64 - s.stmts_before as i64,
+            s.ir_instrs_after,
+            s.ir_instrs_after as i64 - s.ir_instrs_before as i64,
+            s.runtime_calls_after,
+            s.runtime_calls_after as i64 - s.runtime_calls_before as i64,
+        );
     }
 }
 
@@ -113,14 +150,43 @@ fn main() {
         .unwrap_or(Path::new("."))
         .to_path_buf();
     let provider = DirProvider::new(&dir);
-    let opts = CompileOptions { data_dir: Some(dir), no_peephole: args.no_peephole };
-    let compiled = match compile(&src, &provider, &opts) {
-        Ok(c) => c,
+    let mut opts = CompileOptions {
+        data_dir: Some(dir),
+        disabled_passes: Vec::new(),
+    };
+    let mut pm = PassManager::standard();
+    if args.no_peephole {
+        opts = opts.without_pass("peephole");
+    }
+    if let Some(name) = &args.dump_after {
+        let req = if name == "all" {
+            DumpRequest::All
+        } else {
+            DumpRequest::After(name.clone())
+        };
+        if let Err(e) = pm.dump_after(req) {
+            eprintln!("otterc: {e}");
+            exit(2);
+        }
+    }
+    let report = match pm.compile(&src, &provider, &opts) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("otterc: {}: {e}", args.input.display());
             exit(1);
         }
     };
+    if args.timing {
+        print_timing(&report);
+    }
+    for dump in &report.dumps {
+        println!("=== after pass `{}` ===", dump.pass);
+        print!("{}", dump.text);
+        if !dump.text.ends_with('\n') {
+            println!();
+        }
+    }
+    let compiled = report.compiled;
 
     match args.emit {
         Emit::Ir => print!("{}", compiled.ir_text()),
@@ -159,12 +225,20 @@ fn main() {
     }
 
     if args.run {
-        match run_compiled(&compiled, &args.machine, args.p) {
+        let mut engine = OtterEngine::from_compiled(compiled);
+        match engine.run(&args.machine, args.p) {
             Ok(r) => {
                 print!("{}", r.output);
                 eprintln!(
-                    "otterc: ran on {} x{}: modeled {:.6} s, {} messages, {} bytes",
-                    args.machine.name, args.p, r.modeled_seconds, r.messages, r.bytes
+                    "otterc: ran on {} x{}: modeled {:.6} s, {} messages, {} bytes, \
+                     {} ops, peak {} B/rank",
+                    args.machine.name,
+                    args.p,
+                    r.modeled_seconds,
+                    r.messages,
+                    r.bytes,
+                    r.total_ops(),
+                    r.peak_temp_bytes,
                 );
             }
             Err(e) => {

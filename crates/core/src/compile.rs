@@ -1,17 +1,18 @@
-//! The compiler driver: the paper's seven passes in order.
+//! The compiler driver: the paper's passes, run by the
+//! [`crate::pass::PassManager`].
 //!
-//! 1. scan + parse (otter-frontend)
-//! 2. identifier resolution, M-file loading (otter-analysis::resolve)
-//! 3. SSA + type/rank/shape inference (otter-analysis::{ssa, infer})
-//! 4. expression rewriting → IR (otter-codegen::lower)
-//! 5. owner-computes guards (inside lowering)
-//! 6. peephole optimization (otter-codegen::peephole)
-//! 7. C emission (otter-codegen::c_emit)
+//! 1. scan + parse (otter-frontend)                      — `parse`
+//! 2. identifier resolution, M-file loading              — `resolve`
+//! 3. SSA + type/rank/shape inference                    — `ssa-infer`
+//! 4. expression rewriting → IR (otter-codegen::lower)   — `rewrite`
+//! 5. owner-computes guards (audited post-lowering)      — `guards`
+//! 6. peephole optimization (optional)                   — `peephole`
+//! 7. temporaries de-allocation + C emission             — `frees`, `emit-c`
 
-use crate::error::{OtterError, Result};
-use otter_analysis::{infer, resolve, ssa_rename, Inference, InferOptions};
+use crate::error::Result;
+use crate::pass::{GuardStats, PassManager};
+use otter_analysis::Inference;
 use otter_codegen::peephole::PeepholeStats;
-use otter_codegen::{emit_c, insert_frees, lower, peephole};
 use otter_frontend::SourceProvider;
 use otter_ir::IrProgram;
 use std::path::PathBuf;
@@ -22,9 +23,18 @@ pub struct CompileOptions {
     /// Directory for sample data files (`load`) — used at compile time
     /// for inference and at run time for the actual read.
     pub data_dir: Option<PathBuf>,
-    /// Run the pass-6 peephole optimizer (on by default; the ablation
-    /// bench turns it off).
-    pub no_peephole: bool,
+    /// Names of optional passes to skip (e.g. `"peephole"` for the
+    /// pass-6 ablation). Unknown names are ignored here; use
+    /// [`PassManager::disable`] for validated toggling.
+    pub disabled_passes: Vec<String>,
+}
+
+impl CompileOptions {
+    /// Builder: skip an optional pass by name.
+    pub fn without_pass(mut self, name: &str) -> Self {
+        self.disabled_passes.push(name.to_string());
+        self
+    }
 }
 
 /// A fully compiled program.
@@ -38,52 +48,32 @@ pub struct Compiled {
     pub c_source: String,
     /// What pass 6 rewrote.
     pub peephole_stats: PeepholeStats,
+    /// What pass 5 audited.
+    pub guard_stats: GuardStats,
     /// Data directory carried to execution.
     pub data_dir: Option<PathBuf>,
 }
 
-/// Compile a MATLAB script with the full pipeline.
+/// Compile a MATLAB script with the full pipeline (standard pass
+/// order, no instrumentation collected — use
+/// [`PassManager::compile`] directly for timing and dumps).
 pub fn compile(
     src: &str,
     provider: &dyn SourceProvider,
     opts: &CompileOptions,
 ) -> Result<Compiled> {
-    // Passes 1–2.
-    let resolved = resolve(src, provider)?;
-    let mut program = resolved.program;
-
-    // Pass 3a: SSA web renaming, script and every function body.
-    let info = ssa_rename(&program.script, &[]);
-    program.script = info.block;
-    for f in &mut program.functions {
-        let finfo = ssa_rename(&f.body, &f.params);
-        f.body = finfo.block;
-    }
-
-    // Pass 3b: inference.
-    let inference = infer(&program, InferOptions { data_dir: opts.data_dir.clone() })?;
-
-    // Passes 4–5: lowering.
-    let mut ir = lower(&program, &inference)?;
-
-    // Pass 6: peephole.
-    let peephole_stats =
-        if opts.no_peephole { PeepholeStats::default() } else { peephole(&mut ir) };
-
-    // De-allocation of dead temporaries (paper §4: the run-time
-    // library allocates *and de-allocates*). Always runs — it is
-    // memory hygiene, not an optimization.
-    let _frees = insert_frees(&mut ir);
-
-    // Pass 7: C emission.
-    let c_source = emit_c(&ir);
-
-    Ok(Compiled { ir, inference, c_source, peephole_stats, data_dir: opts.data_dir.clone() })
+    Ok(PassManager::standard()
+        .compile(src, provider, opts)?
+        .compiled)
 }
 
 /// Convenience: compile with no M-files and defaults.
 pub fn compile_str(src: &str) -> Result<Compiled> {
-    compile(src, &otter_frontend::EmptyProvider, &CompileOptions::default())
+    compile(
+        src,
+        &otter_frontend::EmptyProvider,
+        &CompileOptions::default(),
+    )
 }
 
 impl Compiled {
@@ -95,6 +85,3 @@ impl Compiled {
 
 // Re-exported for bench/ablation callers.
 pub use otter_codegen::peephole::PeepholeStats as Pass6Stats;
-
-#[allow(unused_imports)]
-use OtterError as _;

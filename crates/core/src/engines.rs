@@ -1,14 +1,16 @@
-//! The three execution engines the paper's evaluation compares, behind
-//! one API: run a MATLAB script, get a workspace, the display output,
-//! and a **modeled execution time** on a chosen machine.
+//! The three execution engines the paper's evaluation compares,
+//! unified behind the [`Engine`] trait: prepare a MATLAB script, run
+//! it on a modeled machine, and get back an [`EngineReport`] — the
+//! one schema every figure, ablation, and future backend reports
+//! through.
 //!
-//! * [`run_interpreter`] — The MathWorks-interpreter stand-in (the
+//! * [`InterpreterEngine`] — the MathWorks-interpreter stand-in (the
 //!   baseline of every figure).
-//! * [`run_matcom`] — MATCOM-style sequential compiled code: same
+//! * [`MatcomEngine`] — MATCOM-style sequential compiled code: same
 //!   evaluator, compiled-code cost coefficients.
-//! * [`run_otter`] — the real pipeline: compile to SPMD IR, execute on
-//!   `p` ranks over the machine model, modeled time = slowest rank's
-//!   virtual clock.
+//! * [`OtterEngine`] — the real pipeline: compile to SPMD IR, execute
+//!   on `p` ranks over the machine model; modeled time = slowest
+//!   rank's virtual clock.
 
 use crate::compile::{compile, CompileOptions, Compiled};
 use crate::error::{OtterError, Result};
@@ -17,29 +19,57 @@ use otter_interp::{assemble_program, Interp, Value};
 use otter_machine::{ExecutionStyle, Machine};
 use otter_mpi::run_spmd;
 use otter_rt::Dense;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 
-/// A machine-independent run result: final workspace (fully gathered),
-/// display output, and the modeled wall-clock seconds on the machine
-/// the run was configured with.
+/// Uniform per-rank communication counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankCounters {
+    pub rank: usize,
+    /// Messages this rank sent.
+    pub messages: u64,
+    /// Bytes this rank sent.
+    pub bytes: u64,
+    /// The rank's final virtual clock (seconds).
+    pub clock: f64,
+    /// High-water mark of the rank's live matrix bytes (allocator
+    /// view, temporaries included).
+    pub peak_bytes: usize,
+}
+
+/// What every engine reports: results plus uniform counters, so
+/// Figure 2–6 comparisons and future backends share one schema.
 #[derive(Debug, Clone)]
-pub struct EngineRun {
+pub struct EngineReport {
+    /// Which engine produced this (`interpreter`, `matcom`, `otter`).
+    pub engine: &'static str,
+    /// Final workspace (fully gathered — machine-independent).
     pub workspace: HashMap<String, Value>,
+    /// Captured display output.
     pub output: String,
     /// Modeled execution time in seconds.
     pub modeled_seconds: f64,
-    /// Total messages sent (0 for sequential engines).
+    /// Executed-operation counts. The Otter engine counts per IR
+    /// opcode; the sequential engines count per scalar op class plus
+    /// `statement`/`matmul`/`matvec`. Keys are stable lowercase names.
+    pub op_counts: BTreeMap<String, u64>,
+    /// Total messages sent across ranks (0 for sequential engines).
     pub messages: u64,
-    /// Total bytes sent (0 for sequential engines).
+    /// Total bytes sent across ranks (0 for sequential engines).
     pub bytes: u64,
-    /// Largest per-rank high-water mark of live matrix memory
+    /// Largest per-rank high-water mark of live *named* matrix memory
     /// (the paper's §7 claim: distributed blocks shrink per-CPU
     /// memory, so bigger problems fit).
     pub peak_rank_bytes: usize,
+    /// Largest per-rank high-water mark counting *all* matrix
+    /// allocations, compiler temporaries included (run-time allocator
+    /// view; equals the workspace peak for sequential engines).
+    pub peak_temp_bytes: usize,
+    /// Per-rank breakdown (one entry, rank 0, for sequential engines).
+    pub per_rank: Vec<RankCounters>,
 }
 
-impl EngineRun {
+impl EngineReport {
     pub fn scalar(&self, name: &str) -> Option<f64> {
         self.workspace.get(name).and_then(|v| v.as_scalar())
     }
@@ -47,132 +77,341 @@ impl EngineRun {
     pub fn matrix(&self, name: &str) -> Option<Dense> {
         self.workspace.get(name).and_then(|v| v.to_matrix())
     }
-}
 
-/// Common configuration for baseline (sequential) runs.
-#[derive(Debug, Clone, Default)]
-pub struct BaselineOptions {
-    pub data_dir: Option<PathBuf>,
-    pub m_files: Option<otter_frontend::MapProvider>,
-}
-
-fn run_sequential(
-    src: &str,
-    style: ExecutionStyle,
-    machine: &Machine,
-    opts: &BaselineOptions,
-) -> Result<EngineRun> {
-    let empty = otter_frontend::MapProvider::new();
-    let provider = opts.m_files.as_ref().unwrap_or(&empty);
-    let program = assemble_program(src, provider)?;
-    let mut interp = Interp::with_style(program, style);
-    interp.data_dir = opts.data_dir.clone();
-    interp.run()?;
-    let modeled = interp.meter.seconds_on(&machine.cpu);
-    // The interpreter's peak: high-water mark of the named workspace
-    // on one CPU (expression temporaries excluded on both sides'
-    // "named values" views; the SPMD executor's compiler temporaries
-    // ARE named, so its figure is the more conservative one).
-    let peak: usize = interp.peak_workspace_bytes;
-    Ok(EngineRun {
-        workspace: interp.workspace(),
-        output: interp.output.clone(),
-        modeled_seconds: modeled,
-        messages: 0,
-        bytes: 0,
-        peak_rank_bytes: peak,
-    })
-}
-
-/// Run the MathWorks-interpreter baseline on one CPU of `machine`.
-pub fn run_interpreter(src: &str, machine: &Machine, opts: &BaselineOptions) -> Result<EngineRun> {
-    run_sequential(src, ExecutionStyle::Interpreter, machine, opts)
-}
-
-/// Run the MATCOM-compiler baseline on one CPU of `machine`.
-pub fn run_matcom(src: &str, machine: &Machine, opts: &BaselineOptions) -> Result<EngineRun> {
-    run_sequential(src, ExecutionStyle::Matcom, machine, opts)
-}
-
-/// Run a compiled program on `p` CPUs of `machine`. The workspace is
-/// gathered from the distributed final state (all ranks agree; rank 0
-/// reports).
-pub fn run_compiled(compiled: &Compiled, machine: &Machine, p: usize) -> Result<EngineRun> {
-    let ir = compiled.ir.clone();
-    let exec_opts = ExecOptions { data_dir: compiled.data_dir.clone(), ..Default::default() };
-    let results = run_spmd(machine, p, move |comm| {
-        let opts = exec_opts.clone();
-        let executor = Executor::new(&ir, comm, opts);
-        let outcome = executor.run();
-        match outcome {
-            Ok(o) => {
-                // The program is done: snapshot the modeled time and
-                // traffic counters now, before the reporting gathers
-                // below (which are not part of the benchmarked
-                // computation).
-                let finished_at = comm.clock();
-                let finished_stats = comm.stats();
-                // Gather every matrix so rank 0 can report a
-                // machine-independent workspace. Iterate in sorted
-                // order: gathers are collectives, so every rank must
-                // visit variables in the same sequence.
-                let mut names: Vec<&String> = o.workspace.keys().collect();
-                names.sort();
-                let mut ws: HashMap<String, Value> = HashMap::new();
-                for name in names {
-                    let val = &o.workspace[name];
-                    match val {
-                        XVal::S(v) => {
-                            ws.insert(name.clone(), Value::Scalar(*v));
-                        }
-                        XVal::M(m) => {
-                            let full = m.gather_all(comm);
-                            ws.insert(name.clone(), Value::Matrix(full).normalized());
-                        }
-                    }
-                }
-                Ok((ws, o.output, finished_at, o.peak_local_bytes, finished_stats))
-            }
-            Err(e) => Err(e.to_string()),
-        }
-    });
-    // All ranks computed the same workspace; use rank 0's.
-    let mut iter = results.into_iter();
-    let first = iter.next().expect("at least one rank");
-    let (workspace, output, mut max_clock, mut peak_rank_bytes, fstats) =
-        first.value.map_err(OtterError::Execution)?;
-    let mut messages = fstats.messages_sent;
-    let mut bytes = fstats.bytes_sent;
-    for r in iter {
-        let (_, _, clock, peak, stats) = r.value.map_err(OtterError::Execution)?;
-        max_clock = max_clock.max(clock);
-        peak_rank_bytes = peak_rank_bytes.max(peak);
-        messages += stats.messages_sent;
-        bytes += stats.bytes_sent;
+    /// Total executed operations over all opcodes.
+    pub fn total_ops(&self) -> u64 {
+        self.op_counts.values().sum()
     }
-    Ok(EngineRun {
-        workspace,
-        output,
-        modeled_seconds: max_clock,
-        messages,
-        bytes,
-        peak_rank_bytes,
-    })
 }
 
-/// Compile and run in one step (the Otter engine).
-pub fn run_otter(
+/// Common engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Directory `load` resolves data files against.
+    pub data_dir: Option<PathBuf>,
+    /// M-file provider for user function files.
+    pub m_files: Option<otter_frontend::MapProvider>,
+    /// Optional passes the Otter engine skips (ablations).
+    pub disabled_passes: Vec<String>,
+}
+
+/// One execution backend. `prepare` does the engine's compile-time
+/// work (parse/assemble or the full Otter pipeline); `run` executes
+/// on a machine model and reports through the uniform schema.
+pub trait Engine {
+    /// Stable engine name used in report rows (`interpreter`,
+    /// `matcom`, `otter`).
+    fn name(&self) -> &'static str;
+
+    /// Ingest and prepare a script. Must be called before `run`.
+    fn prepare(&mut self, src: &str) -> Result<()>;
+
+    /// Execute the prepared script on `p` CPUs of `machine`.
+    /// Sequential engines model a single CPU and ignore `p`.
+    fn run(&mut self, machine: &Machine, p: usize) -> Result<EngineReport>;
+}
+
+/// Prepare and run in one call.
+pub fn run_engine(
+    engine: &mut dyn Engine,
     src: &str,
     machine: &Machine,
     p: usize,
-    opts: &BaselineOptions,
-) -> Result<EngineRun> {
+) -> Result<EngineReport> {
+    engine.prepare(src)?;
+    engine.run(machine, p)
+}
+
+/// All three paper engines, ready to prepare.
+pub fn standard_engines(opts: &EngineOptions) -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(InterpreterEngine::new(opts.clone())),
+        Box::new(MatcomEngine::new(opts.clone())),
+        Box::new(OtterEngine::new(opts.clone())),
+    ]
+}
+
+// ---- sequential engines ---------------------------------------------------
+
+fn run_sequential(
+    name: &'static str,
+    style: ExecutionStyle,
+    program: Option<&otter_frontend::Program>,
+    machine: &Machine,
+    opts: &EngineOptions,
+) -> Result<EngineReport> {
+    let program =
+        program.ok_or_else(|| OtterError::Execution(format!("{name}: prepare() not called")))?;
+    let mut interp = Interp::with_style(program.clone(), style);
+    interp.data_dir = opts.data_dir.clone();
+    interp.run()?;
+    let modeled = interp.meter.seconds_on(&machine.cpu);
+    // The sequential peak: high-water mark of the named workspace on
+    // one CPU (expression temporaries excluded on both sides' "named
+    // values" views; the SPMD executor's compiler temporaries ARE
+    // named, so its figure is the more conservative one).
+    let peak: usize = interp.peak_workspace_bytes;
+    let op_counts: BTreeMap<String, u64> = interp
+        .meter
+        .op_counts()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+    Ok(EngineReport {
+        engine: name,
+        workspace: interp.workspace(),
+        output: interp.output.clone(),
+        modeled_seconds: modeled,
+        op_counts,
+        messages: 0,
+        bytes: 0,
+        peak_rank_bytes: peak,
+        peak_temp_bytes: peak,
+        per_rank: vec![RankCounters {
+            rank: 0,
+            messages: 0,
+            bytes: 0,
+            clock: modeled,
+            peak_bytes: peak,
+        }],
+    })
+}
+
+fn assemble(src: &str, opts: &EngineOptions) -> Result<otter_frontend::Program> {
     let empty = otter_frontend::MapProvider::new();
     let provider = opts.m_files.as_ref().unwrap_or(&empty);
-    let compiled = compile(
-        src,
-        provider,
-        &CompileOptions { data_dir: opts.data_dir.clone(), no_peephole: false },
-    )?;
-    run_compiled(&compiled, machine, p)
+    Ok(assemble_program(src, provider)?)
+}
+
+/// The MathWorks-interpreter baseline (one CPU).
+pub struct InterpreterEngine {
+    opts: EngineOptions,
+    program: Option<otter_frontend::Program>,
+}
+
+impl InterpreterEngine {
+    pub fn new(opts: EngineOptions) -> Self {
+        InterpreterEngine {
+            opts,
+            program: None,
+        }
+    }
+}
+
+impl Engine for InterpreterEngine {
+    fn name(&self) -> &'static str {
+        "interpreter"
+    }
+
+    fn prepare(&mut self, src: &str) -> Result<()> {
+        self.program = Some(assemble(src, &self.opts)?);
+        Ok(())
+    }
+
+    fn run(&mut self, machine: &Machine, _p: usize) -> Result<EngineReport> {
+        run_sequential(
+            self.name(),
+            ExecutionStyle::Interpreter,
+            self.program.as_ref(),
+            machine,
+            &self.opts,
+        )
+    }
+}
+
+/// The MATCOM sequential-compiler baseline (one CPU).
+pub struct MatcomEngine {
+    opts: EngineOptions,
+    program: Option<otter_frontend::Program>,
+}
+
+impl MatcomEngine {
+    pub fn new(opts: EngineOptions) -> Self {
+        MatcomEngine {
+            opts,
+            program: None,
+        }
+    }
+}
+
+impl Engine for MatcomEngine {
+    fn name(&self) -> &'static str {
+        "matcom"
+    }
+
+    fn prepare(&mut self, src: &str) -> Result<()> {
+        self.program = Some(assemble(src, &self.opts)?);
+        Ok(())
+    }
+
+    fn run(&mut self, machine: &Machine, _p: usize) -> Result<EngineReport> {
+        run_sequential(
+            self.name(),
+            ExecutionStyle::Matcom,
+            self.program.as_ref(),
+            machine,
+            &self.opts,
+        )
+    }
+}
+
+// ---- the Otter SPMD engine ------------------------------------------------
+
+/// The real pipeline: compile to SPMD IR, execute on `p` modeled
+/// ranks.
+pub struct OtterEngine {
+    opts: EngineOptions,
+    compiled: Option<Compiled>,
+}
+
+impl OtterEngine {
+    pub fn new(opts: EngineOptions) -> Self {
+        OtterEngine {
+            opts,
+            compiled: None,
+        }
+    }
+
+    /// Wrap an already-compiled program (skips `prepare`).
+    pub fn from_compiled(compiled: Compiled) -> Self {
+        let opts = EngineOptions {
+            data_dir: compiled.data_dir.clone(),
+            ..EngineOptions::default()
+        };
+        OtterEngine {
+            opts,
+            compiled: Some(compiled),
+        }
+    }
+
+    /// The compiled artifact, if `prepare` ran.
+    pub fn compiled(&self) -> Option<&Compiled> {
+        self.compiled.as_ref()
+    }
+}
+
+impl Engine for OtterEngine {
+    fn name(&self) -> &'static str {
+        "otter"
+    }
+
+    fn prepare(&mut self, src: &str) -> Result<()> {
+        let empty = otter_frontend::MapProvider::new();
+        let provider = self.opts.m_files.as_ref().unwrap_or(&empty);
+        let copts = CompileOptions {
+            data_dir: self.opts.data_dir.clone(),
+            disabled_passes: self.opts.disabled_passes.clone(),
+        };
+        self.compiled = Some(compile(src, provider, &copts)?);
+        Ok(())
+    }
+
+    fn run(&mut self, machine: &Machine, p: usize) -> Result<EngineReport> {
+        let compiled = self
+            .compiled
+            .as_ref()
+            .ok_or_else(|| OtterError::Execution("otter: prepare() not called".into()))?;
+        let ir = compiled.ir.clone();
+        let exec_opts = ExecOptions {
+            data_dir: compiled.data_dir.clone(),
+            ..Default::default()
+        };
+        let results = run_spmd(machine, p, move |comm| {
+            let opts = exec_opts.clone();
+            let executor = Executor::new(&ir, comm, opts);
+            let outcome = executor.run();
+            match outcome {
+                Ok(o) => {
+                    // The program is done: snapshot the modeled time
+                    // and traffic counters now, before the reporting
+                    // gathers below (which are not part of the
+                    // benchmarked computation).
+                    let finished_at = comm.clock();
+                    let finished_stats = comm.stats();
+                    // Gather every matrix so rank 0 can report a
+                    // machine-independent workspace. Iterate in sorted
+                    // order: gathers are collectives, so every rank
+                    // must visit variables in the same sequence.
+                    let mut names: Vec<&String> = o.workspace.keys().collect();
+                    names.sort();
+                    let mut ws: HashMap<String, Value> = HashMap::new();
+                    for name in names {
+                        let val = &o.workspace[name];
+                        match val {
+                            XVal::S(v) => {
+                                ws.insert(name.clone(), Value::Scalar(*v));
+                            }
+                            XVal::M(m) => {
+                                let full = m.gather_all(comm);
+                                ws.insert(name.clone(), Value::Matrix(full).normalized());
+                            }
+                        }
+                    }
+                    Ok((
+                        ws,
+                        o.output,
+                        finished_at,
+                        o.peak_local_bytes,
+                        o.peak_temp_bytes,
+                        o.op_counts,
+                        finished_stats,
+                    ))
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        });
+        // All ranks computed the same workspace (and executed the same
+        // instruction sequence — SPMD); use rank 0's.
+        let mut iter = results.into_iter();
+        let first = iter.next().expect("at least one rank");
+        let rank0 = first.value.map_err(OtterError::Execution)?;
+        let (
+            workspace,
+            output,
+            mut max_clock,
+            mut peak_rank_bytes,
+            mut peak_temp_bytes,
+            ops,
+            fstats,
+        ) = rank0;
+        let op_counts: BTreeMap<String, u64> =
+            ops.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let mut messages = fstats.messages_sent;
+        let mut bytes = fstats.bytes_sent;
+        let mut per_rank = vec![RankCounters {
+            rank: 0,
+            messages: fstats.messages_sent,
+            bytes: fstats.bytes_sent,
+            clock: max_clock,
+            peak_bytes: peak_temp_bytes,
+        }];
+        for r in iter {
+            let (_, _, clock, peak, peak_temp, _, stats) =
+                r.value.map_err(OtterError::Execution)?;
+            max_clock = max_clock.max(clock);
+            peak_rank_bytes = peak_rank_bytes.max(peak);
+            peak_temp_bytes = peak_temp_bytes.max(peak_temp);
+            messages += stats.messages_sent;
+            bytes += stats.bytes_sent;
+            per_rank.push(RankCounters {
+                rank: r.rank,
+                messages: stats.messages_sent,
+                bytes: stats.bytes_sent,
+                clock,
+                peak_bytes: peak_temp,
+            });
+        }
+        Ok(EngineReport {
+            engine: "otter",
+            workspace,
+            output,
+            modeled_seconds: max_clock,
+            op_counts,
+            messages,
+            bytes,
+            peak_rank_bytes,
+            peak_temp_bytes,
+            per_rank,
+        })
+    }
 }

@@ -12,13 +12,12 @@
 //! inside the run-time library itself.
 
 use crate::error::{OtterError, Result};
+use otter_det::DetRng;
 use otter_ir::*;
 use otter_machine::{ExecutionStyle, StyleCosts};
 use otter_mpi::Comm;
 use otter_rt::{io as rtio, Dense, DistMatrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 
 /// A run-time value: replicated scalar or distributed matrix.
@@ -63,7 +62,10 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { data_dir: None, rand_seed: 0x07732 }
+        ExecOptions {
+            data_dir: None,
+            rand_seed: 0x07732,
+        }
     }
 }
 
@@ -85,6 +87,9 @@ pub struct Executor<'a> {
     /// blocks, so the aggregate machine admits problems a single
     /// workstation cannot hold).
     peak_local_bytes: usize,
+    /// Executed-instruction counts by opcode (`EngineReport`'s
+    /// per-opcode counters).
+    op_counts: BTreeMap<&'static str, u64>,
 }
 
 impl<'a> Executor<'a> {
@@ -98,11 +103,13 @@ impl<'a> Executor<'a> {
             output: String::new(),
             rand_calls: 0,
             peak_local_bytes: 0,
+            op_counts: BTreeMap::new(),
         }
     }
 
     /// Run the whole program; returns the final script workspace.
     pub fn run(mut self) -> Result<ExecOutcome> {
+        otter_rt::alloc::reset();
         let main = &self.program.main;
         self.exec_block(main)?;
         self.note_memory();
@@ -111,6 +118,8 @@ impl<'a> Executor<'a> {
             workspace,
             output: self.output,
             peak_local_bytes: self.peak_local_bytes,
+            peak_temp_bytes: otter_rt::alloc::peak_bytes(),
+            op_counts: self.op_counts,
         })
     }
 
@@ -141,15 +150,15 @@ impl<'a> Executor<'a> {
     }
 
     fn get_mat(&self, name: &str) -> Result<&DistMatrix> {
-        self.get(name)?.as_matrix().ok_or_else(|| {
-            OtterError::Execution(format!("IR variable `{name}` is not a matrix"))
-        })
+        self.get(name)?
+            .as_matrix()
+            .ok_or_else(|| OtterError::Execution(format!("IR variable `{name}` is not a matrix")))
     }
 
     fn get_scalar(&self, name: &str) -> Result<f64> {
-        self.get(name)?.as_scalar().ok_or_else(|| {
-            OtterError::Execution(format!("IR variable `{name}` is not a scalar"))
-        })
+        self.get(name)?
+            .as_scalar()
+            .ok_or_else(|| OtterError::Execution(format!("IR variable `{name}` is not a scalar")))
     }
 
     // ---- scalar expressions ---------------------------------------------
@@ -171,9 +180,9 @@ impl<'a> Executor<'a> {
                     DimSel::Numel => m.len() as f64,
                 }
             }
-            SExpr::OwnElem => own.ok_or_else(|| {
-                OtterError::Execution("OwnElem outside an owner guard".into())
-            })?,
+            SExpr::OwnElem => {
+                own.ok_or_else(|| OtterError::Execution("OwnElem outside an owner guard".into()))?
+            }
             SExpr::Neg(x) => -self.eval_s_own(x, own)?,
             SExpr::Not(x) => f64::from(self.eval_s_own(x, own)? == 0.0),
             SExpr::Bin(op, a, b) => op.eval(self.eval_s_own(a, own)?, self.eval_s_own(b, own)?),
@@ -191,7 +200,9 @@ impl<'a> Executor<'a> {
     fn eval_index(&self, e: &SExpr) -> Result<usize> {
         let v = self.eval_s(e)?;
         if v < 1.0 || v.fract() != 0.0 {
-            return Err(OtterError::Execution(format!("index {v} is not a positive integer")));
+            return Err(OtterError::Execution(format!(
+                "index {v} is not a positive integer"
+            )));
         }
         Ok(v as usize - 1)
     }
@@ -263,6 +274,7 @@ impl<'a> Executor<'a> {
         // Compiled-code dispatch charge.
         self.comm.compute(self.costs.statement_dispatch);
         self.note_memory();
+        *self.op_counts.entry(i.opcode()).or_insert(0) += 1;
         match i {
             Instr::AssignScalar { dst, src } => {
                 let v = self.eval_s(src)?;
@@ -284,8 +296,7 @@ impl<'a> Executor<'a> {
                     Some(d) => d.join(path),
                     None => PathBuf::from(path),
                 };
-                let m = rtio::load_distributed(self.comm, &full)
-                    .map_err(OtterError::Execution)?;
+                let m = rtio::load_distributed(self.comm, &full).map_err(OtterError::Execution)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::ElemWise { dst, expr } => {
@@ -436,7 +447,13 @@ impl<'a> Executor<'a> {
                 let m = vm.extract_range(self.comm, l, h);
                 self.env().insert(dst.clone(), XVal::M(m));
             }
-            Instr::ExtractStrided { dst, v, lo, step, hi } => {
+            Instr::ExtractStrided {
+                dst,
+                v,
+                lo,
+                step,
+                hi,
+            } => {
                 self.comm.compute(self.costs.op_overhead);
                 let l = self.eval_index(lo)?;
                 let st = self.eval_s(step)? as i64;
@@ -491,7 +508,11 @@ impl<'a> Executor<'a> {
                 mat.assign_range(self.comm, l, h, &w);
                 self.env().insert(name, XVal::M(mat));
             }
-            Instr::If { cond, then_body, else_body } => {
+            Instr::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.eval_s(cond)?;
                 let body = if c != 0.0 { then_body } else { else_body };
                 return self.exec_block(body);
@@ -510,9 +531,14 @@ impl<'a> Executor<'a> {
                     Flow::Normal | Flow::Continue => {}
                 }
             },
-            Instr::For { var, start, step, stop, body } => {
-                let (s, st, p) =
-                    (self.eval_s(start)?, self.eval_s(step)?, self.eval_s(stop)?);
+            Instr::For {
+                var,
+                start,
+                step,
+                stop,
+                body,
+            } => {
+                let (s, st, p) = (self.eval_s(start)?, self.eval_s(step)?, self.eval_s(stop)?);
                 if st == 0.0 {
                     return Err(OtterError::Execution("for-loop step is zero".into()));
                 }
@@ -533,9 +559,10 @@ impl<'a> Executor<'a> {
             Instr::Continue => return Ok(Flow::Continue),
             Instr::Call { fun, args, outs } => {
                 self.comm.compute(self.costs.op_overhead);
-                let f = self.program.functions.get(fun).ok_or_else(|| {
-                    OtterError::Execution(format!("unknown IR function `{fun}`"))
-                })?;
+                let f =
+                    self.program.functions.get(fun).ok_or_else(|| {
+                        OtterError::Execution(format!("unknown IR function `{fun}`"))
+                    })?;
                 let mut frame: HashMap<String, XVal> = HashMap::new();
                 for ((pname, prank), arg) in f.params.iter().zip(args) {
                     let v = match (prank, arg) {
@@ -555,9 +582,7 @@ impl<'a> Executor<'a> {
                 body_result?;
                 for ((oname, _), dst) in f.outs.iter().zip(outs) {
                     let v = frame.get(oname).cloned().ok_or_else(|| {
-                        OtterError::Execution(format!(
-                            "output `{oname}` of `{fun}` never assigned"
-                        ))
+                        OtterError::Execution(format!("output `{oname}` of `{fun}` never assigned"))
                     })?;
                     self.env().insert(dst.clone(), v);
                 }
@@ -604,15 +629,14 @@ impl<'a> Executor<'a> {
                 // the data is identical no matter how many CPUs run.
                 self.rand_calls += 1;
                 let mut rng =
-                    StdRng::seed_from_u64(self.opts.rand_seed.wrapping_add(self.rand_calls));
+                    DetRng::seed_from_u64(self.opts.rand_seed.wrapping_add(self.rand_calls));
                 let data: Vec<f64> = (0..r * c).map(|_| rng.gen_range(0.0..1.0)).collect();
                 let dense = Dense::from_vec(r, c, data);
                 self.comm.compute((r * c) as f64 * 4.0);
                 DistMatrix::from_replicated(self.comm, &dense)
             }
             MatInit::Range { start, step, stop } => {
-                let (s, st, p) =
-                    (self.eval_s(start)?, self.eval_s(step)?, self.eval_s(stop)?);
+                let (s, st, p) = (self.eval_s(start)?, self.eval_s(step)?, self.eval_s(stop)?);
                 DistMatrix::range(self.comm, s, st, p)
             }
             MatInit::Literal { rows } => {
@@ -633,9 +657,7 @@ impl<'a> Executor<'a> {
                     Dense::row_vector(&[b])
                 } else {
                     let step = (b - a) / (n - 1) as f64;
-                    Dense::row_vector(
-                        &(0..n).map(|i| a + step * i as f64).collect::<Vec<_>>(),
-                    )
+                    Dense::row_vector(&(0..n).map(|i| a + step * i as f64).collect::<Vec<_>>())
                 };
                 DistMatrix::from_replicated(self.comm, &dense)
             }
@@ -669,6 +691,12 @@ fn linear_to_rc(m: &DistMatrix, k: usize) -> Result<(usize, usize)> {
 pub struct ExecOutcome {
     pub workspace: HashMap<String, XVal>,
     pub output: String,
-    /// High-water mark of this rank's live distributed-matrix bytes.
+    /// High-water mark of this rank's live *named* distributed-matrix
+    /// bytes (workspace view).
     pub peak_local_bytes: usize,
+    /// High-water mark of *all* distributed-matrix allocations on this
+    /// rank, temporaries included (run-time allocator view).
+    pub peak_temp_bytes: usize,
+    /// Executed-instruction counts by opcode.
+    pub op_counts: BTreeMap<&'static str, u64>,
 }

@@ -10,32 +10,42 @@
 //!                ──► otter-core::exec (SPMD execution over otter-rt / otter-mpi)
 //! ```
 //!
-//! Three engines mirror the paper's evaluation:
-//! [`run_interpreter`] (the MathWorks baseline),
-//! [`run_matcom`] (the commercial sequential compiler baseline), and
-//! [`run_otter`] (compile + SPMD execution on a modeled machine).
+//! The driver is an instrumented [`pass::PassManager`] (per-pass wall
+//! time, size statistics, artifact dumps, optional-pass toggles), and
+//! the paper's three evaluation systems run behind the
+//! [`engines::Engine`] trait: [`InterpreterEngine`] (the MathWorks
+//! baseline), [`MatcomEngine`] (the commercial sequential compiler
+//! baseline), and [`OtterEngine`] (compile + SPMD execution on a
+//! modeled machine). Every engine reports through one
+//! [`EngineReport`] schema.
 //!
 //! ```
-//! use otter_core::{compile_str, run_compiled};
+//! use otter_core::{compile_str, Engine, OtterEngine};
 //! use otter_machine::meiko_cs2;
 //!
 //! let compiled = compile_str("a = [1, 2; 3, 4];\nb = a * a;\ns = sum(b(:, 1));").unwrap();
 //! assert!(compiled.c_source.contains("ML_matrix_multiply"));
-//! let run = run_compiled(&compiled, &meiko_cs2(), 4).unwrap();
-//! assert_eq!(run.scalar("s"), Some(22.0));
+//! let mut engine = OtterEngine::from_compiled(compiled);
+//! let report = engine.run(&meiko_cs2(), 4).unwrap();
+//! assert_eq!(report.scalar("s"), Some(22.0));
 //! ```
 
 pub mod compile;
 pub mod engines;
 pub mod error;
 pub mod exec;
+pub mod pass;
 
 pub use compile::{compile, compile_str, CompileOptions, Compiled};
 pub use engines::{
-    run_compiled, run_interpreter, run_matcom, run_otter, BaselineOptions, EngineRun,
+    run_engine, standard_engines, Engine, EngineOptions, EngineReport, InterpreterEngine,
+    MatcomEngine, OtterEngine, RankCounters,
 };
 pub use error::OtterError;
 pub use exec::{ExecOptions, Executor, XVal};
+pub use pass::{
+    CompileReport, DumpRequest, GuardStats, Pass, PassDump, PassManager, PassStats, PipelineState,
+};
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,593 @@
+//! The pass-manager spine of the compiler driver.
+//!
+//! The paper describes Otter as an explicit multi-pass pipeline
+//! (§3: scan/parse, identifier resolution, SSA + type inference,
+//! expression rewriting, owner-computes guards, peephole
+//! optimization, then C emission). Each of those stages is a named
+//! [`Pass`] here, registered in paper order on a [`PassManager`],
+//! which times every pass, records before/after program statistics,
+//! can disable optional passes (the peephole ablation), and can dump
+//! the intermediate artifact after any pass (`otterc
+//! --dump-after=<pass>`).
+
+use crate::compile::{CompileOptions, Compiled};
+use crate::error::{OtterError, Result};
+use otter_analysis::{infer, resolve_program, ssa_rename, InferOptions, Inference};
+use otter_codegen::peephole::PeepholeStats;
+use otter_codegen::{emit_c, insert_frees, lower, peephole};
+use otter_frontend::{parse, Program, SourceProvider};
+use otter_ir::{Instr, IrProgram};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Everything a pass may read or write. Artifacts appear as the
+/// pipeline advances: the AST after `parse`, inference results after
+/// `ssa-infer`, IR after `rewrite`, C source after `emit-c`.
+pub struct PipelineState<'a> {
+    pub src: &'a str,
+    pub provider: &'a dyn SourceProvider,
+    pub opts: &'a CompileOptions,
+    pub program: Option<Program>,
+    pub inference: Option<Inference>,
+    pub ir: Option<IrProgram>,
+    pub c_source: Option<String>,
+    pub peephole_stats: PeepholeStats,
+    pub guard_stats: GuardStats,
+}
+
+/// What the owner-computes guard pass found (pass 5). Lowering emits
+/// the guards inline with each element store/fetch; this pass audits
+/// and counts them so the construct is visible in compiler output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// `if (ML_owner(...))`-style guarded element stores.
+    pub store_guards: usize,
+    /// Owner-broadcast element fetches.
+    pub broadcast_guards: usize,
+}
+
+/// One named unit of the compilation pipeline.
+pub trait Pass {
+    /// Stable name used by `--dump-after`, toggles, and reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the pass may be disabled (optional optimisations only).
+    fn optional(&self) -> bool {
+        false
+    }
+
+    /// Transform the pipeline state.
+    fn run(&self, state: &mut PipelineState) -> Result<()>;
+
+    /// Render the most relevant artifact after this pass ran.
+    fn dump(&self, state: &PipelineState) -> String {
+        if let Some(c) = &state.c_source {
+            return c.clone();
+        }
+        if let Some(ir) = &state.ir {
+            return otter_ir::display::program_to_string(ir);
+        }
+        if let Some(p) = &state.program {
+            return otter_frontend::pretty::program_to_string(p);
+        }
+        state.src.to_string()
+    }
+}
+
+/// Timing and size statistics for one executed pass.
+#[derive(Debug, Clone, Copy)]
+pub struct PassStats {
+    pub name: &'static str,
+    /// Host wall-clock time spent inside the pass.
+    pub wall: Duration,
+    /// AST statement count before/after.
+    pub stmts_before: usize,
+    pub stmts_after: usize,
+    /// IR instruction count before/after (0 while no IR exists).
+    pub ir_instrs_before: usize,
+    pub ir_instrs_after: usize,
+    /// Run-time library call count before/after.
+    pub runtime_calls_before: usize,
+    pub runtime_calls_after: usize,
+}
+
+/// An artifact snapshot taken after a pass (for `--dump-after`).
+#[derive(Debug, Clone)]
+pub struct PassDump {
+    pub pass: &'static str,
+    pub text: String,
+}
+
+/// The result of a managed compilation: the compiled program plus the
+/// per-pass record.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    pub compiled: Compiled,
+    pub passes: Vec<PassStats>,
+    pub dumps: Vec<PassDump>,
+}
+
+/// Which passes to snapshot for dumping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum DumpRequest {
+    #[default]
+    None,
+    /// One named pass.
+    After(String),
+    /// Every registered pass.
+    All,
+}
+
+/// Runs registered passes in order with instrumentation.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    disabled: BTreeSet<String>,
+    dump: DumpRequest,
+}
+
+impl PassManager {
+    /// An empty manager (register passes yourself).
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            disabled: BTreeSet::new(),
+            dump: DumpRequest::None,
+        }
+    }
+
+    /// The standard pipeline, paper order: parse → resolve →
+    /// ssa-infer → rewrite → guards → peephole (optional) → frees →
+    /// emit-c.
+    pub fn standard() -> Self {
+        let mut pm = PassManager::new();
+        pm.register(Box::new(ParsePass));
+        pm.register(Box::new(ResolvePass));
+        pm.register(Box::new(SsaInferPass));
+        pm.register(Box::new(RewritePass));
+        pm.register(Box::new(GuardsPass));
+        pm.register(Box::new(PeepholePass));
+        pm.register(Box::new(FreesPass));
+        pm.register(Box::new(EmitCPass));
+        pm
+    }
+
+    /// Append a pass.
+    pub fn register(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// Registered pass names, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Disable an optional pass by name. Errors for unknown passes and
+    /// for mandatory ones (you cannot ablate the parser).
+    pub fn disable(&mut self, name: &str) -> Result<()> {
+        let Some(pass) = self.passes.iter().find(|p| p.name() == name) else {
+            return Err(OtterError::Analysis(format!(
+                "unknown pass `{name}` (registered: {})",
+                self.pass_names().join(", ")
+            )));
+        };
+        if !pass.optional() {
+            return Err(OtterError::Analysis(format!("pass `{name}` is mandatory")));
+        }
+        self.disabled.insert(name.to_string());
+        Ok(())
+    }
+
+    /// Request an artifact dump after the named pass (or all passes).
+    pub fn dump_after(&mut self, req: DumpRequest) -> Result<()> {
+        if let DumpRequest::After(name) = &req {
+            if !self.passes.iter().any(|p| p.name() == name) {
+                return Err(OtterError::Analysis(format!(
+                    "unknown pass `{name}` (registered: {})",
+                    self.pass_names().join(", ")
+                )));
+            }
+        }
+        self.dump = req;
+        Ok(())
+    }
+
+    /// Run the full pipeline over a source script.
+    pub fn compile(
+        &self,
+        src: &str,
+        provider: &dyn SourceProvider,
+        opts: &CompileOptions,
+    ) -> Result<CompileReport> {
+        let mut state = PipelineState {
+            src,
+            provider,
+            opts,
+            program: None,
+            inference: None,
+            ir: None,
+            c_source: None,
+            peephole_stats: PeepholeStats::default(),
+            guard_stats: GuardStats::default(),
+        };
+        let mut stats = Vec::with_capacity(self.passes.len());
+        let mut dumps = Vec::new();
+        for pass in &self.passes {
+            let name = pass.name();
+            if self.disabled.contains(name) || opts.disabled_passes.iter().any(|d| d == name) {
+                continue;
+            }
+            let (stmts_before, ir_instrs_before, runtime_calls_before) = measure(&state);
+            let start = Instant::now();
+            pass.run(&mut state)?;
+            let wall = start.elapsed();
+            let (stmts_after, ir_instrs_after, runtime_calls_after) = measure(&state);
+            stats.push(PassStats {
+                name,
+                wall,
+                stmts_before,
+                stmts_after,
+                ir_instrs_before,
+                ir_instrs_after,
+                runtime_calls_before,
+                runtime_calls_after,
+            });
+            let wanted = match &self.dump {
+                DumpRequest::None => false,
+                DumpRequest::All => true,
+                DumpRequest::After(n) => n == name,
+            };
+            if wanted {
+                dumps.push(PassDump {
+                    pass: name,
+                    text: pass.dump(&state),
+                });
+            }
+        }
+        let compiled = Compiled {
+            ir: state.ir.take().ok_or_else(|| {
+                OtterError::Codegen("pipeline produced no IR (rewrite pass disabled?)".into())
+            })?,
+            inference: state.inference.take().ok_or_else(|| {
+                OtterError::Analysis("pipeline ran no inference (ssa-infer disabled?)".into())
+            })?,
+            c_source: state.c_source.take().unwrap_or_default(),
+            peephole_stats: state.peephole_stats,
+            guard_stats: state.guard_stats,
+            data_dir: opts.data_dir.clone(),
+        };
+        Ok(CompileReport {
+            compiled,
+            passes: stats,
+            dumps,
+        })
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::standard()
+    }
+}
+
+fn measure(state: &PipelineState) -> (usize, usize, usize) {
+    (
+        state.program.as_ref().map_or(0, |p| p.stmt_count()),
+        state.ir.as_ref().map_or(0, |ir| ir.instr_count()),
+        state.ir.as_ref().map_or(0, |ir| ir.runtime_call_count()),
+    )
+}
+
+// ---- the standard passes --------------------------------------------------
+
+/// Pass 1: scan + parse.
+struct ParsePass;
+
+impl Pass for ParsePass {
+    fn name(&self) -> &'static str {
+        "parse"
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let file = parse(state.src)?;
+        state.program = Some(Program {
+            script: file.script,
+            functions: file.functions,
+        });
+        Ok(())
+    }
+}
+
+/// Pass 2: identifier resolution + M-file loading.
+struct ResolvePass;
+
+impl Pass for ResolvePass {
+    fn name(&self) -> &'static str {
+        "resolve"
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let program = state.program.take().expect("parse ran");
+        let resolved = resolve_program(program, state.provider)?;
+        state.program = Some(resolved.program);
+        Ok(())
+    }
+}
+
+/// Pass 3: SSA web renaming + type/rank/shape inference.
+struct SsaInferPass;
+
+impl Pass for SsaInferPass {
+    fn name(&self) -> &'static str {
+        "ssa-infer"
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let mut program = state.program.take().expect("resolve ran");
+        let info = ssa_rename(&program.script, &[]);
+        program.script = info.block;
+        for f in &mut program.functions {
+            let finfo = ssa_rename(&f.body, &f.params);
+            f.body = finfo.block;
+        }
+        let inference = infer(
+            &program,
+            InferOptions {
+                data_dir: state.opts.data_dir.clone(),
+            },
+        )?;
+        state.inference = Some(inference);
+        state.program = Some(program);
+        Ok(())
+    }
+}
+
+/// Pass 4: expression rewriting — lower the typed AST to SPMD IR.
+struct RewritePass;
+
+impl Pass for RewritePass {
+    fn name(&self) -> &'static str {
+        "rewrite"
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let program = state.program.as_ref().expect("ssa-infer ran");
+        let inference = state.inference.as_ref().expect("ssa-infer ran");
+        state.ir = Some(lower(program, inference)?);
+        Ok(())
+    }
+}
+
+/// Pass 5: owner-computes guards. Lowering emits the guards inline
+/// (`StoreElem` executes only on the owning rank; `BroadcastElem`
+/// broadcasts from the owner), so this pass audits and counts those
+/// constructs rather than inserting them: every guarded instruction
+/// must target a variable the IR knows to be a distributed matrix.
+struct GuardsPass;
+
+impl Pass for GuardsPass {
+    fn name(&self) -> &'static str {
+        "guards"
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let ir = state.ir.as_ref().expect("rewrite ran");
+        fn audit(
+            body: &[Instr],
+            stats: &mut GuardStats,
+            known: &dyn Fn(&str) -> bool,
+        ) -> Result<()> {
+            for i in body {
+                match i {
+                    Instr::StoreElem { m, .. } => {
+                        if !known(m) {
+                            return Err(OtterError::Codegen(format!(
+                                "owner-computes guard targets unknown matrix `{m}`"
+                            )));
+                        }
+                        stats.store_guards += 1;
+                    }
+                    Instr::BroadcastElem { m, .. } => {
+                        if !known(m) {
+                            return Err(OtterError::Codegen(format!(
+                                "owner broadcast reads unknown matrix `{m}`"
+                            )));
+                        }
+                        stats.broadcast_guards += 1;
+                    }
+                    Instr::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        audit(then_body, stats, known)?;
+                        audit(else_body, stats, known)?;
+                    }
+                    Instr::While { pre, body, .. } => {
+                        audit(pre, stats, known)?;
+                        audit(body, stats, known)?;
+                    }
+                    Instr::For { body, .. } => audit(body, stats, known)?,
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        let mut stats = GuardStats::default();
+        audit(&ir.main, &mut stats, &|name| {
+            ir.var_ranks.contains_key(name)
+        })?;
+        for f in ir.functions.values() {
+            let known = |name: &str| {
+                f.var_ranks.contains_key(name)
+                    || f.params.iter().any(|(p, _)| p == name)
+                    || f.outs.iter().any(|(o, _)| o == name)
+            };
+            audit(&f.body, &mut stats, &known)?;
+        }
+        state.guard_stats = stats;
+        Ok(())
+    }
+}
+
+/// Pass 6: peephole optimization (optional — the ablation toggles it).
+struct PeepholePass;
+
+impl Pass for PeepholePass {
+    fn name(&self) -> &'static str {
+        "peephole"
+    }
+
+    fn optional(&self) -> bool {
+        true
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let ir = state.ir.as_mut().expect("rewrite ran");
+        state.peephole_stats = peephole(ir);
+        Ok(())
+    }
+}
+
+/// De-allocation of dead temporaries (paper §4: the run-time library
+/// allocates *and de-allocates*). Memory hygiene, not an optimization
+/// — always runs.
+struct FreesPass;
+
+impl Pass for FreesPass {
+    fn name(&self) -> &'static str {
+        "frees"
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let ir = state.ir.as_mut().expect("rewrite ran");
+        let _ = insert_frees(ir);
+        Ok(())
+    }
+}
+
+/// Pass 7: C emission.
+struct EmitCPass;
+
+impl Pass for EmitCPass {
+    fn name(&self) -> &'static str {
+        "emit-c"
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let ir = state.ir.as_ref().expect("rewrite ran");
+        state.c_source = Some(emit_c(ir));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otter_frontend::EmptyProvider;
+
+    const SRC: &str = "a = [1, 2; 3, 4];\nb = a * a;\ns = sum(b(:, 1));";
+
+    /// The default pass order is the paper's: passes 1–6 in §3 order,
+    /// then the two emission-side stages.
+    #[test]
+    fn default_order_matches_paper() {
+        let pm = PassManager::standard();
+        assert_eq!(
+            pm.pass_names(),
+            [
+                "parse",
+                "resolve",
+                "ssa-infer",
+                "rewrite",
+                "guards",
+                "peephole",
+                "frees",
+                "emit-c"
+            ],
+        );
+        // The paper's numbered passes 1–6 are the first six, in order.
+        assert_eq!(
+            &pm.pass_names()[..6],
+            [
+                "parse",
+                "resolve",
+                "ssa-infer",
+                "rewrite",
+                "guards",
+                "peephole"
+            ],
+        );
+    }
+
+    #[test]
+    fn every_pass_reports_stats() {
+        let pm = PassManager::standard();
+        let report = pm
+            .compile(SRC, &EmptyProvider, &CompileOptions::default())
+            .unwrap();
+        assert_eq!(report.passes.len(), pm.pass_names().len());
+        for s in &report.passes {
+            // Wall time is measured (zero is possible but the field is
+            // real); sizes are coherent.
+            assert!(s.stmts_after > 0 || s.ir_instrs_after > 0, "{s:?}");
+        }
+        // Rewrite creates the IR.
+        let rewrite = report.passes.iter().find(|s| s.name == "rewrite").unwrap();
+        assert_eq!(rewrite.ir_instrs_before, 0);
+        assert!(rewrite.ir_instrs_after > 0);
+        assert!(rewrite.runtime_calls_after > 0);
+    }
+
+    /// `--dump-after` produces an artifact for every registered pass
+    /// name.
+    #[test]
+    fn dump_after_emits_at_every_pass() {
+        let names = PassManager::standard().pass_names();
+        for name in names {
+            let mut pm = PassManager::standard();
+            pm.dump_after(DumpRequest::After(name.to_string())).unwrap();
+            let report = pm
+                .compile(SRC, &EmptyProvider, &CompileOptions::default())
+                .unwrap();
+            assert_eq!(report.dumps.len(), 1, "pass {name}");
+            assert_eq!(report.dumps[0].pass, name);
+            assert!(
+                !report.dumps[0].text.is_empty(),
+                "pass {name} dumped nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn dump_all_emits_everything() {
+        let mut pm = PassManager::standard();
+        pm.dump_after(DumpRequest::All).unwrap();
+        let report = pm
+            .compile(SRC, &EmptyProvider, &CompileOptions::default())
+            .unwrap();
+        assert_eq!(report.dumps.len(), pm.pass_names().len());
+    }
+
+    #[test]
+    fn only_optional_passes_can_be_disabled() {
+        let mut pm = PassManager::standard();
+        pm.disable("peephole").unwrap();
+        assert!(pm.disable("parse").is_err());
+        assert!(pm.disable("no-such-pass").is_err());
+        let report = pm
+            .compile(SRC, &EmptyProvider, &CompileOptions::default())
+            .unwrap();
+        assert!(report.passes.iter().all(|s| s.name != "peephole"));
+    }
+
+    #[test]
+    fn guards_are_counted() {
+        // Element store into a matrix → owner-computes guard.
+        let src = "a = zeros(4, 4);\na(2, 3) = 7;\ns = a(2, 3);";
+        let report = PassManager::standard()
+            .compile(src, &EmptyProvider, &CompileOptions::default())
+            .unwrap();
+        let g = report.compiled.guard_stats;
+        assert!(g.store_guards > 0, "{g:?}");
+    }
+}

@@ -3,26 +3,59 @@
 
 use crate::*;
 use otter_frontend::MapProvider;
-use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation};
+use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
 use otter_rt::Dense;
 
+/// Run an already-compiled program on `p` CPUs of `machine`.
+fn run_compiled(
+    compiled: &Compiled,
+    machine: &Machine,
+    p: usize,
+) -> Result<EngineReport, OtterError> {
+    OtterEngine::from_compiled(compiled.clone()).run(machine, p)
+}
+
 /// Compile a script and execute on `p` CPUs; panic on any failure.
-fn otter(src: &str, p: usize) -> EngineRun {
+fn otter(src: &str, p: usize) -> EngineReport {
     let compiled = compile_str(src).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
-    run_compiled(&compiled, &meiko_cs2(), p)
-        .unwrap_or_else(|e| panic!("exec(p={p}): {e}\n{src}"))
+    run_compiled(&compiled, &meiko_cs2(), p).unwrap_or_else(|e| panic!("exec(p={p}): {e}\n{src}"))
+}
+
+/// The interpreter baseline with options.
+fn run_interpreter(
+    src: &str,
+    machine: &Machine,
+    opts: &EngineOptions,
+) -> Result<EngineReport, OtterError> {
+    run_engine(&mut InterpreterEngine::new(opts.clone()), src, machine, 1)
+}
+
+/// The Otter engine end-to-end (compile + run) with options.
+fn run_otter(
+    src: &str,
+    machine: &Machine,
+    p: usize,
+    opts: &EngineOptions,
+) -> Result<EngineReport, OtterError> {
+    run_engine(&mut OtterEngine::new(opts.clone()), src, machine, p)
 }
 
 /// Oracle comparison: compiled result equals interpreter result for
 /// every listed variable, at several processor counts.
 fn check_matches_interpreter(src: &str, vars: &[&str]) {
-    let base = run_interpreter(src, &workstation(), &BaselineOptions::default())
+    let base = run_interpreter(src, &workstation(), &EngineOptions::default())
         .unwrap_or_else(|e| panic!("interp: {e}\n{src}"));
     for p in [1usize, 2, 3, 4, 8] {
         let run = otter(src, p);
         for v in vars {
-            let a = base.workspace.get(*v).unwrap_or_else(|| panic!("interp lacks {v}"));
-            let b = run.workspace.get(*v).unwrap_or_else(|| panic!("otter lacks {v}"));
+            let a = base
+                .workspace
+                .get(*v)
+                .unwrap_or_else(|| panic!("interp lacks {v}"));
+            let b = run
+                .workspace
+                .get(*v)
+                .unwrap_or_else(|| panic!("otter lacks {v}"));
             match (a.to_matrix(), b.to_matrix()) {
                 (Some(ma), Some(mb)) => {
                     assert_eq!(
@@ -121,9 +154,15 @@ fn trapz_compiled() {
 fn user_functions_compiled() {
     let m = MapProvider::new()
         .with("scale2", "function y = scale2(v, s)\ny = v .* s;\n")
-        .with("norm_diff", "function d = norm_diff(a, b)\nd = norm(a - b);\n");
+        .with(
+            "norm_diff",
+            "function d = norm_diff(a, b)\nd = norm(a - b);\n",
+        );
     let src = "v = ones(6, 1);\nw = scale2(v, 3);\nd = norm_diff(w, v);";
-    let opts = BaselineOptions { m_files: Some(m.clone()), data_dir: None };
+    let opts = EngineOptions {
+        m_files: Some(m.clone()),
+        ..Default::default()
+    };
     let base = run_interpreter(src, &workstation(), &opts).unwrap();
     let run = run_otter(src, &meiko_cs2(), 3, &opts).unwrap();
     assert_eq!(base.scalar("d"), run.scalar("d"));
@@ -182,10 +221,14 @@ fn peephole_reduces_instruction_count() {
     let without = compile(
         src,
         &otter_frontend::EmptyProvider,
-        &CompileOptions { no_peephole: true, ..Default::default() },
+        &CompileOptions::default().without_pass("peephole"),
     )
     .unwrap();
-    assert!(with.peephole_stats.dots_fused >= 1, "{:?}", with.peephole_stats);
+    assert!(
+        with.peephole_stats.dots_fused >= 1,
+        "{:?}",
+        with.peephole_stats
+    );
     assert!(with.ir.instr_count() < without.ir.instr_count());
     // Same answer either way.
     let a = run_compiled(&with, &meiko_cs2(), 4).unwrap();
@@ -199,17 +242,21 @@ fn modeled_speedup_on_compute_bound_code() {
     // A big matmul should speed up with more CPUs on the Meiko.
     let src = "n = 64;\na = ones(n, n);\nb = ones(n, n);\nc = a * b;\ns = sum(sum(c));";
     let compiled = compile_str(src).unwrap();
-    let t1 = run_compiled(&compiled, &meiko_cs2(), 1).unwrap().modeled_seconds;
-    let t8 = run_compiled(&compiled, &meiko_cs2(), 8).unwrap().modeled_seconds;
+    let t1 = run_compiled(&compiled, &meiko_cs2(), 1)
+        .unwrap()
+        .modeled_seconds;
+    let t8 = run_compiled(&compiled, &meiko_cs2(), 8)
+        .unwrap()
+        .modeled_seconds;
     assert!(t8 < t1 / 3.0, "t1={t1} t8={t8}");
 }
 
 #[test]
 fn interpreter_slower_than_compiled_modeled() {
     let src = "n = 50;\ns = 0;\nfor i = 1:n\ns = s + i * i;\nend";
-    let b = BaselineOptions::default();
-    let interp = run_interpreter(src, &workstation(), &b).unwrap();
-    let matcom = run_matcom(src, &workstation(), &b).unwrap();
+    let opts = EngineOptions::default();
+    let interp = run_interpreter(src, &workstation(), &opts).unwrap();
+    let matcom = run_engine(&mut MatcomEngine::new(opts.clone()), src, &workstation(), 1).unwrap();
     let compiled = compile_str(src).unwrap();
     let otter = run_compiled(&compiled, &workstation(), 1).unwrap();
     assert!(interp.modeled_seconds > matcom.modeled_seconds);
@@ -223,10 +270,18 @@ fn cluster_flattens_on_fine_grain_code() {
     // should benefit far less than the Meiko.
     let src = "n = 2000;\nv = ones(n, 1);\ns = 0;\nfor it = 1:5\ns = s + sum(v);\nend";
     let compiled = compile_str(src).unwrap();
-    let meiko_1 = run_compiled(&compiled, &meiko_cs2(), 1).unwrap().modeled_seconds;
-    let meiko_8 = run_compiled(&compiled, &meiko_cs2(), 8).unwrap().modeled_seconds;
-    let cl_1 = run_compiled(&compiled, &sparc20_cluster(), 1).unwrap().modeled_seconds;
-    let cl_8 = run_compiled(&compiled, &sparc20_cluster(), 8).unwrap().modeled_seconds;
+    let meiko_1 = run_compiled(&compiled, &meiko_cs2(), 1)
+        .unwrap()
+        .modeled_seconds;
+    let meiko_8 = run_compiled(&compiled, &meiko_cs2(), 8)
+        .unwrap()
+        .modeled_seconds;
+    let cl_1 = run_compiled(&compiled, &sparc20_cluster(), 1)
+        .unwrap()
+        .modeled_seconds;
+    let cl_8 = run_compiled(&compiled, &sparc20_cluster(), 8)
+        .unwrap()
+        .modeled_seconds;
     let meiko_speedup = meiko_1 / meiko_8;
     let cluster_speedup = cl_1 / cl_8;
     assert!(
@@ -244,8 +299,7 @@ fn smp_limits_enforced() {
 #[test]
 fn if_elseif_chain_compiled() {
     for (x, expect) in [(-3.0, -1.0), (0.0, 0.0), (9.0, 1.0)] {
-        let src =
-            format!("x = {x};\nif x < 0\ny = -1;\nelseif x == 0\ny = 0;\nelse\ny = 1;\nend");
+        let src = format!("x = {x};\nif x < 0\ny = -1;\nelseif x == 0\ny = 0;\nelse\ny = 1;\nend");
         let run = otter(&src, 2);
         assert_eq!(run.scalar("y"), Some(expect), "x={x}");
     }
@@ -258,7 +312,10 @@ fn load_through_pipeline() {
     let m = Dense::from_vec(4, 3, (0..12).map(f64::from).collect());
     otter_rt::io::write_matrix_file(&dir.join("input.dat"), &m).unwrap();
     let src = "d = load('input.dat');\ns = sum(sum(d));";
-    let opts = BaselineOptions { data_dir: Some(dir.clone()), m_files: None };
+    let opts = EngineOptions {
+        data_dir: Some(dir.clone()),
+        ..Default::default()
+    };
     let run = run_otter(src, &meiko_cs2(), 3, &opts).unwrap();
     assert_eq!(run.scalar("s"), Some(66.0));
     std::fs::remove_dir_all(&dir).ok();
@@ -360,7 +417,10 @@ fn nested_function_calls_compiled() {
             "function y = quadruple(x)\ny = double_it(double_it(x));\n",
         );
     let src = "v = ones(5, 1);\nw = quadruple(v);\ns = sum(w);";
-    let opts = BaselineOptions { m_files: Some(m), data_dir: None };
+    let opts = EngineOptions {
+        m_files: Some(m),
+        ..Default::default()
+    };
     let run = run_otter(src, &meiko_cs2(), 3, &opts).unwrap();
     assert_eq!(run.scalar("s"), Some(20.0));
 }
@@ -372,11 +432,14 @@ fn function_with_control_flow_compiled() {
         "function y = clampv(v, lo, hi)\ny = min(max(v, lo), hi);\n",
     );
     let src = "v = -3:3;\nw = clampv(v, -1, 2);\ns = sum(w);";
-    let opts = BaselineOptions { m_files: Some(m.clone()), data_dir: None };
+    let opts = EngineOptions {
+        m_files: Some(m.clone()),
+        ..Default::default()
+    };
     let base = run_interpreter(src, &workstation(), &opts).unwrap();
     let run = run_otter(src, &meiko_cs2(), 4, &opts).unwrap();
     assert_eq!(base.scalar("s"), run.scalar("s"));
-    assert_eq!(run.scalar("s"), Some((-1 + -1 + -1 + 0 + 1 + 2 + 2) as f64));
+    assert_eq!(run.scalar("s"), Some(2.0)); // -1 + -1 + -1 + 0 + 1 + 2 + 2
 }
 
 #[test]
@@ -410,7 +473,10 @@ fn function_called_with_two_shapes() {
     // second call's shapes).
     let m = MapProvider::new().with("total", "function s = total(v)\ns = sum(v);\n");
     let src = "a = total(ones(6, 1));\nb = total(ones(9, 1));\nc = a + b;";
-    let opts = BaselineOptions { m_files: Some(m), data_dir: None };
+    let opts = EngineOptions {
+        m_files: Some(m),
+        ..Default::default()
+    };
     let run = run_otter(src, &meiko_cs2(), 3, &opts).unwrap();
     assert_eq!(run.scalar("c"), Some(15.0));
 }
@@ -439,10 +505,15 @@ fn per_rank_memory_shrinks_with_p() {
     // Paper §7: "a parallel computer may have far more primary memory
     // than an individual workstation" — each rank holds ~1/p of every
     // matrix.
-    let src = "n = 128;\nu = (1:n) / n;\nA = u' * u + n * eye(n);\nb = A * ones(n, 1);\ns = norm(b);";
+    let src =
+        "n = 128;\nu = (1:n) / n;\nA = u' * u + n * eye(n);\nb = A * ones(n, 1);\ns = norm(b);";
     let compiled = compile_str(src).unwrap();
-    let p1 = run_compiled(&compiled, &meiko_cs2(), 1).unwrap().peak_rank_bytes;
-    let p8 = run_compiled(&compiled, &meiko_cs2(), 8).unwrap().peak_rank_bytes;
+    let p1 = run_compiled(&compiled, &meiko_cs2(), 1)
+        .unwrap()
+        .peak_rank_bytes;
+    let p8 = run_compiled(&compiled, &meiko_cs2(), 8)
+        .unwrap()
+        .peak_rank_bytes;
     let ratio = p1 as f64 / p8 as f64;
     assert!(
         (6.0..10.0).contains(&ratio),
@@ -472,4 +543,63 @@ fn temporaries_are_freed() {
         run.peak_rank_bytes,
         11 * one_matrix
     );
+}
+
+#[test]
+fn engine_reports_are_consistent() {
+    // All three engines agree numerically and report sane counters on
+    // the same script.
+    let src = "n = 16;\na = ones(n, n);\nb = a * a;\ns = sum(sum(b));";
+    let mut reports = Vec::new();
+    for mut e in standard_engines(&EngineOptions::default()) {
+        let r = run_engine(e.as_mut(), src, &meiko_cs2(), 4).unwrap();
+        assert_eq!(r.scalar("s"), Some((16 * 16 * 16) as f64), "{}", r.engine);
+        assert!(r.total_ops() > 0, "{}: op_counts empty", r.engine);
+        assert!(r.modeled_seconds > 0.0, "{}", r.engine);
+        assert!(!r.per_rank.is_empty(), "{}", r.engine);
+        reports.push(r);
+    }
+    let otter = reports.iter().find(|r| r.engine == "otter").unwrap();
+    assert!(otter.messages > 0, "matmul on 4 ranks must communicate");
+    assert!(otter.bytes > 0);
+    assert_eq!(otter.per_rank.len(), 4);
+    let per_rank_total: u64 = otter.per_rank.iter().map(|r| r.messages).sum();
+    assert_eq!(per_rank_total, otter.messages, "per-rank sums to total");
+    for r in &reports {
+        if r.engine != "otter" {
+            assert_eq!(r.messages, 0, "{} is sequential", r.engine);
+            assert_eq!(r.per_rank.len(), 1);
+        }
+    }
+}
+
+#[test]
+fn otter_counts_per_ir_opcode() {
+    let src = "n = 8;\na = ones(n, n);\nb = a * a;\ns = sum(sum(b));";
+    let compiled = compile_str(src).unwrap();
+    let run = run_compiled(&compiled, &meiko_cs2(), 2).unwrap();
+    assert!(
+        run.op_counts.get("matmul").copied().unwrap_or(0) >= 1,
+        "{:?}",
+        run.op_counts
+    );
+    assert!(
+        run.op_counts.get("init-matrix").copied().unwrap_or(0) >= 1,
+        "{:?}",
+        run.op_counts
+    );
+}
+
+#[test]
+fn peak_temp_bytes_reported() {
+    let src = "n = 32;\na = ones(n, n);\nb = a + a;\ns = sum(sum(b));";
+    let compiled = compile_str(src).unwrap();
+    let run = run_compiled(&compiled, &meiko_cs2(), 1).unwrap();
+    // At least one full n×n matrix was live at peak.
+    assert!(
+        run.peak_temp_bytes >= 32 * 32 * 8,
+        "peak_temp={}",
+        run.peak_temp_bytes
+    );
+    assert!(run.peak_temp_bytes >= run.peak_rank_bytes / 2);
 }

@@ -16,10 +16,17 @@ fn workdir(name: &str) -> std::path::PathBuf {
 fn compiles_a_script_to_c() {
     let dir = workdir("c");
     let m = dir.join("demo.m");
-    std::fs::write(&m, "n = 8;\na = eye(n);\nv = ones(n, 1);\nw = a * v;\ns = sum(w);\n")
-        .unwrap();
+    std::fs::write(
+        &m,
+        "n = 8;\na = eye(n);\nv = ones(n, 1);\nw = a * v;\ns = sum(w);\n",
+    )
+    .unwrap();
     let out = otterc().arg(&m).output().expect("otterc runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let c = std::fs::read_to_string(dir.join("demo.c")).expect("demo.c written");
     assert!(c.contains("ML_matrix_vector_multiply"), "{c}");
     assert!(c.contains("int main(int argc, char **argv)"));
@@ -36,7 +43,11 @@ fn runs_a_script_and_prints_output() {
         .args(["--run", "-p", "4", "--machine", "meiko"])
         .output()
         .expect("otterc runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("x ="), "{stdout}");
     assert!(stdout.contains("42"), "{stdout}");
@@ -52,7 +63,11 @@ fn resolves_m_files_from_script_directory() {
     let m = dir.join("main.m");
     std::fs::write(&m, "z = triple(14)\n").unwrap();
     let out = otterc().arg(&m).args(["--run"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("42"));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -84,4 +99,98 @@ fn compile_errors_exit_nonzero_with_message() {
 fn bad_usage_exits_2() {
     let out = otterc().arg("--bogus-flag").output().unwrap();
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn timing_prints_one_line_per_pass() {
+    let dir = workdir("timing");
+    let m = dir.join("t.m");
+    std::fs::write(
+        &m,
+        "n = 8;\na = ones(n, n);\nb = a * a;\ns = sum(sum(b));\n",
+    )
+    .unwrap();
+    let out = otterc().arg(&m).arg("--timing").output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for pass in [
+        "parse",
+        "resolve",
+        "ssa-infer",
+        "rewrite",
+        "guards",
+        "peephole",
+        "frees",
+        "emit-c",
+    ] {
+        assert!(
+            stderr.lines().any(|l| l.starts_with(pass)),
+            "missing `{pass}` timing line:\n{stderr}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn timing_skips_disabled_passes() {
+    let dir = workdir("timing_nopeep");
+    let m = dir.join("t.m");
+    std::fs::write(&m, "v = 1:16;\ns = sum(v);\n").unwrap();
+    let out = otterc()
+        .arg(&m)
+        .args(["--timing", "--no-peephole"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.lines().any(|l| l.starts_with("peephole")),
+        "{stderr}"
+    );
+    assert!(stderr.lines().any(|l| l.starts_with("emit-c")), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dump_after_prints_artifact() {
+    let dir = workdir("dump");
+    let m = dir.join("d.m");
+    std::fs::write(&m, "a = ones(4, 4);\nb = a * a;\n").unwrap();
+    let out = otterc()
+        .arg(&m)
+        .arg("--dump-after=rewrite")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("=== after pass `rewrite` ==="), "{stdout}");
+    assert!(stdout.contains("matmul"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dump_after_unknown_pass_is_an_error() {
+    let dir = workdir("dump_bad");
+    let m = dir.join("d.m");
+    std::fs::write(&m, "x = 1;\n").unwrap();
+    let out = otterc()
+        .arg(&m)
+        .arg("--dump-after=frobnicate")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("frobnicate"));
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,123 @@
+//! Deterministic pseudo-random numbers for the Otter workspace.
+//!
+//! Everything in this reproduction must be bitwise reproducible: the
+//! interpreter's `rand` builtin, the SPMD executor's replicated
+//! matrix initialisation, and the randomised test-input generators
+//! all need streams that are identical across runs, platforms, and
+//! process counts. A tiny local generator gives us that without an
+//! external dependency, and keeps the seed → stream mapping frozen
+//! forever (a crate upgrade can never silently change test oracles).
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) —
+//! a 64-bit state, output-mixed counter generator. It is not
+//! cryptographic; it is statistically solid, fast, and trivially
+//! seedable from any `u64`, which is exactly what a compiler test
+//! bed needs.
+
+/// A seeded deterministic random-number generator (SplitMix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Construct from a 64-bit seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`. Mirrors `rand`'s `gen_range(lo..hi)`
+    /// call shape so call sites read the same.
+    pub fn gen_range(&mut self, range: std::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + self.next_f64() * (range.end - range.start)
+    }
+
+    /// Uniform integer in `[0, n)` (for index/shape generation in
+    /// tests). Uses rejection-free modulo; bias is negligible for the
+    /// small `n` used in test generators.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index: empty domain");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn range_respected_and_covers() {
+        let mut r = DetRng::seed_from_u64(9);
+        let mut lo_half = 0usize;
+        for _ in 0..10_000 {
+            let x = r.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&x), "{x}");
+            if x < 0.0 {
+                lo_half += 1;
+            }
+        }
+        // Roughly balanced halves — catches sign/scale bugs.
+        assert!((4000..6000).contains(&lo_half), "{lo_half}");
+    }
+
+    #[test]
+    fn stream_is_frozen() {
+        // Golden values: the seed → stream mapping is part of the
+        // workspace contract (test oracles depend on it). If this
+        // test fails, reproducibility across PRs has been broken.
+        let mut r = DetRng::seed_from_u64(0x07732);
+        assert_eq!(r.next_u64(), 0xA50E_ADBC_4AFC_F731);
+        assert_eq!(r.next_u64(), 0x561A_6B5D_2A1B_700E);
+    }
+
+    #[test]
+    fn gen_index_in_bounds() {
+        let mut r = DetRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

@@ -63,7 +63,14 @@ impl BinOp {
     pub fn is_predicate(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 
@@ -142,12 +149,18 @@ impl Expr {
 
     /// Synthesized expression with no real source location.
     pub fn synth(kind: ExprKind) -> Self {
-        Expr { kind, span: Span::DUMMY }
+        Expr {
+            kind,
+            span: Span::DUMMY,
+        }
     }
 
     /// Integer-literal convenience constructor.
     pub fn int(v: i64) -> Self {
-        Expr::synth(ExprKind::Number { value: v as f64, is_int: true })
+        Expr::synth(ExprKind::Number {
+            value: v as f64,
+            is_int: true,
+        })
     }
 
     /// Variable-reference convenience constructor.
@@ -218,7 +231,11 @@ pub enum ExprKind {
     /// A name, not yet classified as variable or function.
     Ident(String),
     /// `start:stop` or `start:step:stop`.
-    Range { start: Box<Expr>, step: Option<Box<Expr>>, stop: Box<Expr> },
+    Range {
+        start: Box<Expr>,
+        step: Option<Box<Expr>>,
+        stop: Box<Expr>,
+    },
     /// Bare `:` inside an index (whole dimension).
     Colon,
     /// `end` inside an index (last element of the dimension).
@@ -226,7 +243,11 @@ pub enum ExprKind {
     /// Unary operator application.
     Unary { op: UnOp, operand: Box<Expr> },
     /// Binary operator application.
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Postfix transpose.
     Transpose { op: TransposeOp, operand: Box<Expr> },
     /// `name(args)` when resolution has classified `name` as a
@@ -251,7 +272,11 @@ pub struct LValue {
 
 impl LValue {
     pub fn whole(name: impl Into<String>) -> Self {
-        LValue { name: name.into(), indices: None, span: Span::DUMMY }
+        LValue {
+            name: name.into(),
+            indices: None,
+            span: Span::DUMMY,
+        }
     }
 }
 
@@ -271,15 +296,31 @@ pub enum StmtKind {
     /// Bare expression (result would be echoed unless suppressed).
     Expr(Expr),
     /// `lhs = rhs`.
-    Assign { lhs: LValue, rhs: Expr },
+    Assign {
+        lhs: LValue,
+        rhs: Expr,
+    },
     /// `[a, b] = f(...)` — multiple return values.
-    MultiAssign { lhs: Vec<LValue>, rhs: Expr },
+    MultiAssign {
+        lhs: Vec<LValue>,
+        rhs: Expr,
+    },
     /// `if`/`elseif` chain with optional `else`.
-    If { arms: Vec<(Expr, Block)>, else_body: Option<Block> },
+    If {
+        arms: Vec<(Expr, Block)>,
+        else_body: Option<Block>,
+    },
     /// `while cond ... end`.
-    While { cond: Expr, body: Block },
+    While {
+        cond: Expr,
+        body: Block,
+    },
     /// `for var = range ... end`.
-    For { var: String, iter: Expr, body: Block },
+    For {
+        var: String,
+        iter: Expr,
+        body: Block,
+    },
     Break,
     Continue,
     Return,
@@ -333,6 +374,33 @@ impl Program {
     pub fn function(&self, name: &str) -> Option<&Function> {
         self.functions.iter().find(|f| f.name == name)
     }
+
+    /// Total statement count, script plus every function body,
+    /// recursing into control-flow bodies — the AST-side size metric
+    /// reported by per-pass compiler statistics.
+    pub fn stmt_count(&self) -> usize {
+        block_stmt_count(&self.script)
+            + self
+                .functions
+                .iter()
+                .map(|f| block_stmt_count(&f.body))
+                .sum::<usize>()
+    }
+}
+
+/// Count the statements in a block, recursing into nested bodies.
+pub fn block_stmt_count(block: &Block) -> usize {
+    block
+        .iter()
+        .map(|s| match &s.kind {
+            StmtKind::If { arms, else_body } => {
+                1 + arms.iter().map(|(_, b)| block_stmt_count(b)).sum::<usize>()
+                    + else_body.as_ref().map_or(0, block_stmt_count)
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => 1 + block_stmt_count(body),
+            _ => 1,
+        })
+        .sum()
 }
 
 #[cfg(test)]

@@ -29,7 +29,11 @@ pub enum FrontendErrorKind {
 
 impl FrontendError {
     pub fn new(kind: FrontendErrorKind, span: Span) -> Self {
-        FrontendError { kind, span, file: None }
+        FrontendError {
+            kind,
+            span,
+            file: None,
+        }
     }
 
     /// Attach the originating file name (used when loading M-files
@@ -70,7 +74,10 @@ mod tests {
     #[test]
     fn display_includes_location_and_file() {
         let e = FrontendError::new(
-            FrontendErrorKind::Expected { expected: "`)`".into(), found: "`;`".into() },
+            FrontendErrorKind::Expected {
+                expected: "`)`".into(),
+                found: "`;`".into(),
+            },
             Span::new(5, 6, 2, 7),
         )
         .in_file("cg.m");
@@ -79,7 +86,10 @@ mod tests {
 
     #[test]
     fn display_without_file() {
-        let e = FrontendError::new(FrontendErrorKind::UnexpectedChar('@'), Span::new(0, 1, 1, 1));
+        let e = FrontendError::new(
+            FrontendErrorKind::UnexpectedChar('@'),
+            Span::new(0, 1, 1, 1),
+        );
         assert_eq!(e.to_string(), "1:1: unexpected character `@`");
     }
 }

@@ -27,7 +27,14 @@ pub struct Lexer<'src> {
 
 impl<'src> Lexer<'src> {
     pub fn new(src: &'src str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, prev: None }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            prev: None,
+        }
     }
 
     /// Scan the entire buffer into a token vector ending in `Eof`.
@@ -39,7 +46,10 @@ impl<'src> Lexer<'src> {
             // Collapse runs of newlines into one; a leading newline
             // carries no information either.
             let redundant_newline = tok.kind == TokenKind::Newline
-                && matches!(out.last().map(|t: &Token| &t.kind), None | Some(TokenKind::Newline));
+                && matches!(
+                    out.last().map(|t: &Token| &t.kind),
+                    None | Some(TokenKind::Newline)
+                );
             if !redundant_newline {
                 out.push(tok);
             }
@@ -268,12 +278,18 @@ impl<'src> Lexer<'src> {
 
     fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) -> Token {
         self.prev = Some(kind.clone());
-        Token { kind, span: self.span_from(start, line, col) }
+        Token {
+            kind,
+            span: self.span_from(start, line, col),
+        }
     }
 
     fn ident(&mut self) -> TokenKind {
         let start = self.pos;
-        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
             self.bump();
         }
         let text = &self.src[start..self.pos];
@@ -290,7 +306,10 @@ impl<'src> Lexer<'src> {
             // A `.` directly followed by an operator char is an
             // element-wise operator, not a decimal point: `2.*x`.
             let next = self.peek2();
-            if !matches!(next, Some(b'*') | Some(b'/') | Some(b'\\') | Some(b'^') | Some(b'\'')) {
+            if !matches!(
+                next,
+                Some(b'*') | Some(b'/') | Some(b'\\') | Some(b'^') | Some(b'\'')
+            ) {
                 saw_dot = true;
                 self.bump();
                 while self.peek().is_some_and(|b| b.is_ascii_digit()) {
@@ -322,7 +341,10 @@ impl<'src> Lexer<'src> {
                 self.span_from(start, line, col),
             )
         })?;
-        Ok(TokenKind::Number { value, is_int: !saw_dot && !saw_exp })
+        Ok(TokenKind::Number {
+            value,
+            is_int: !saw_dot && !saw_exp,
+        })
     }
 
     fn string(&mut self, start: usize, line: u32, col: u32) -> Result<TokenKind> {
@@ -376,7 +398,10 @@ mod tests {
             vec![
                 TokenKind::Ident("x".into()),
                 TokenKind::Eq,
-                TokenKind::Number { value: 3.0, is_int: true },
+                TokenKind::Number {
+                    value: 3.0,
+                    is_int: true
+                },
                 TokenKind::Semi,
                 TokenKind::Eof
             ]
@@ -404,22 +429,55 @@ mod tests {
 
     #[test]
     fn number_forms() {
-        assert_eq!(kinds("2"), vec![TokenKind::Number { value: 2.0, is_int: true }, TokenKind::Eof]);
+        assert_eq!(
+            kinds("2"),
+            vec![
+                TokenKind::Number {
+                    value: 2.0,
+                    is_int: true
+                },
+                TokenKind::Eof
+            ]
+        );
         assert_eq!(
             kinds("2.5"),
-            vec![TokenKind::Number { value: 2.5, is_int: false }, TokenKind::Eof]
+            vec![
+                TokenKind::Number {
+                    value: 2.5,
+                    is_int: false
+                },
+                TokenKind::Eof
+            ]
         );
         assert_eq!(
             kinds(".5"),
-            vec![TokenKind::Number { value: 0.5, is_int: false }, TokenKind::Eof]
+            vec![
+                TokenKind::Number {
+                    value: 0.5,
+                    is_int: false
+                },
+                TokenKind::Eof
+            ]
         );
         assert_eq!(
             kinds("1e3"),
-            vec![TokenKind::Number { value: 1000.0, is_int: false }, TokenKind::Eof]
+            vec![
+                TokenKind::Number {
+                    value: 1000.0,
+                    is_int: false
+                },
+                TokenKind::Eof
+            ]
         );
         assert_eq!(
             kinds("1.5e-2"),
-            vec![TokenKind::Number { value: 0.015, is_int: false }, TokenKind::Eof]
+            vec![
+                TokenKind::Number {
+                    value: 0.015,
+                    is_int: false
+                },
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -429,7 +487,10 @@ mod tests {
         assert_eq!(
             kinds("2.*x"),
             vec![
-                TokenKind::Number { value: 2.0, is_int: true },
+                TokenKind::Number {
+                    value: 2.0,
+                    is_int: true
+                },
                 TokenKind::DotStar,
                 TokenKind::Ident("x".into()),
                 TokenKind::Eof
@@ -442,9 +503,15 @@ mod tests {
         assert_eq!(
             kinds("2. + 1"),
             vec![
-                TokenKind::Number { value: 2.0, is_int: false },
+                TokenKind::Number {
+                    value: 2.0,
+                    is_int: false
+                },
                 TokenKind::Plus,
-                TokenKind::Number { value: 1.0, is_int: true },
+                TokenKind::Number {
+                    value: 1.0,
+                    is_int: true
+                },
                 TokenKind::Eof
             ]
         );
@@ -455,7 +522,10 @@ mod tests {
         assert_eq!(
             kinds("2e"),
             vec![
-                TokenKind::Number { value: 2.0, is_int: true },
+                TokenKind::Number {
+                    value: 2.0,
+                    is_int: true
+                },
                 TokenKind::Ident("e".into()),
                 TokenKind::Eof
             ]
@@ -467,7 +537,11 @@ mod tests {
         // After an identifier, `'` is transpose.
         assert_eq!(
             kinds("a'"),
-            vec![TokenKind::Ident("a".into()), TokenKind::Transpose, TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Transpose,
+                TokenKind::Eof
+            ]
         );
         // After `=`, `'` starts a string.
         assert_eq!(
@@ -510,7 +584,11 @@ mod tests {
     fn dot_transpose() {
         assert_eq!(
             kinds("a.'"),
-            vec![TokenKind::Ident("a".into()), TokenKind::DotTranspose, TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::DotTranspose,
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -542,11 +620,17 @@ mod tests {
             vec![
                 TokenKind::Ident("x".into()),
                 TokenKind::Eq,
-                TokenKind::Number { value: 1.0, is_int: true },
+                TokenKind::Number {
+                    value: 1.0,
+                    is_int: true
+                },
                 TokenKind::Newline,
                 TokenKind::Ident("y".into()),
                 TokenKind::Eq,
-                TokenKind::Number { value: 2.0, is_int: true },
+                TokenKind::Number {
+                    value: 2.0,
+                    is_int: true
+                },
                 TokenKind::Eof
             ]
         );
@@ -559,9 +643,15 @@ mod tests {
             vec![
                 TokenKind::Ident("x".into()),
                 TokenKind::Eq,
-                TokenKind::Number { value: 1.0, is_int: true },
+                TokenKind::Number {
+                    value: 1.0,
+                    is_int: true
+                },
                 TokenKind::Plus,
-                TokenKind::Number { value: 2.0, is_int: true },
+                TokenKind::Number {
+                    value: 2.0,
+                    is_int: true
+                },
                 TokenKind::Eof
             ]
         );
@@ -615,7 +705,10 @@ mod tests {
     #[test]
     fn spans_track_lines() {
         let toks = tokenize("a\nbb\n ccc").unwrap();
-        let cc = toks.iter().find(|t| t.kind == TokenKind::Ident("ccc".into())).unwrap();
+        let cc = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("ccc".into()))
+            .unwrap();
         assert_eq!(cc.span.line, 3);
         assert_eq!(cc.span.col, 2);
     }
@@ -628,7 +721,10 @@ mod tests {
                 TokenKind::For,
                 TokenKind::Ident("i".into()),
                 TokenKind::Eq,
-                TokenKind::Number { value: 1.0, is_int: true },
+                TokenKind::Number {
+                    value: 1.0,
+                    is_int: true
+                },
                 TokenKind::Eof
             ]
         );

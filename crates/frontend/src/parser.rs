@@ -42,7 +42,12 @@ pub struct Parser {
 
 impl Parser {
     pub fn new(toks: Vec<Token>) -> Self {
-        Parser { toks, pos: 0, paren_depth: 0, bracket_depth: 0 }
+        Parser {
+            toks,
+            pos: 0,
+            paren_depth: 0,
+            bracket_depth: 0,
+        }
     }
 
     /// Parse a complete M-file.
@@ -117,7 +122,10 @@ impl Parser {
 
     /// Skip newlines/semis/commas between statements.
     fn skip_separators(&mut self) {
-        while matches!(self.peek(), TokenKind::Newline | TokenKind::Semi | TokenKind::Comma) {
+        while matches!(
+            self.peek(),
+            TokenKind::Newline | TokenKind::Semi | TokenKind::Comma
+        ) {
             self.bump();
         }
     }
@@ -160,8 +168,8 @@ impl Parser {
                 loop {
                     // A name only belongs to the `global` list if it is
                     // not the start of a new assignment (`, x = ...`).
-                    let next_is_eq = self.toks.get(self.pos + 1).map(|t| &t.kind)
-                        == Some(&TokenKind::Eq);
+                    let next_is_eq =
+                        self.toks.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Eq);
                     match self.peek().clone() {
                         TokenKind::Ident(n) if !next_is_eq => {
                             self.bump();
@@ -213,7 +221,11 @@ impl Parser {
             _ => return Err(self.err_expected("`;`, `,`, or end of line")),
         };
         let span = start.to(self.toks[self.pos.saturating_sub(1)].span);
-        Ok(Stmt { kind, span, display })
+        Ok(Stmt {
+            kind,
+            span,
+            display,
+        })
     }
 
     fn finish_simple(&mut self, kind: StmtKind, start: Span) -> Result<Stmt> {
@@ -252,9 +264,17 @@ impl Parser {
 
     fn expr_to_lvalue(&self, e: Expr) -> Result<LValue> {
         match e.kind {
-            ExprKind::Ident(name) => Ok(LValue { name, indices: None, span: e.span }),
+            ExprKind::Ident(name) => Ok(LValue {
+                name,
+                indices: None,
+                span: e.span,
+            }),
             ExprKind::Call { callee, args } | ExprKind::Index { base: callee, args } => {
-                Ok(LValue { name: callee, indices: Some(args), span: e.span })
+                Ok(LValue {
+                    name: callee,
+                    indices: Some(args),
+                    span: e.span,
+                })
             }
             _ => Err(FrontendError::new(
                 FrontendErrorKind::Expected {
@@ -419,7 +439,13 @@ impl Parser {
             self.bump();
         }
         let span = start.to(self.toks[self.pos.saturating_sub(1)].span);
-        Ok(Function { name, params, outs, body, span })
+        Ok(Function {
+            name,
+            params,
+            outs,
+            body,
+            span,
+        })
     }
 
     // ---- expressions ----------------------------------------------------
@@ -437,7 +463,11 @@ impl Parser {
             let rhs = self.and_expr()?;
             let span = lhs.span.to(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -452,7 +482,11 @@ impl Parser {
             let rhs = self.cmp_expr()?;
             let span = lhs.span.to(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -475,7 +509,14 @@ impl Parser {
             self.skip_newlines_in_parens();
             let rhs = self.range_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -504,7 +545,11 @@ impl Parser {
         } else {
             let span = first.span.to(second.span);
             Ok(Expr::new(
-                ExprKind::Range { start: Box::new(first), step: None, stop: Box::new(second) },
+                ExprKind::Range {
+                    start: Box::new(first),
+                    step: None,
+                    stop: Box::new(second),
+                },
                 span,
             ))
         }
@@ -522,7 +567,14 @@ impl Parser {
             self.skip_newlines_in_parens();
             let rhs = self.mul_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -543,7 +595,14 @@ impl Parser {
             self.skip_newlines_in_parens();
             let rhs = self.unary_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -560,7 +619,13 @@ impl Parser {
             self.bump();
             let operand = self.unary_expr()?;
             let span = start.to(operand.span);
-            Ok(Expr::new(ExprKind::Unary { op, operand: Box::new(operand) }, span))
+            Ok(Expr::new(
+                ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
+                span,
+            ))
         } else {
             self.pow_expr()
         }
@@ -577,14 +642,23 @@ impl Parser {
             self.bump();
             self.skip_newlines_in_parens();
             // MATLAB allows a unary sign directly after `^`: 2^-3.
-            let rhs = if matches!(self.peek(), TokenKind::Minus | TokenKind::Plus | TokenKind::Not)
-            {
+            let rhs = if matches!(
+                self.peek(),
+                TokenKind::Minus | TokenKind::Plus | TokenKind::Not
+            ) {
                 self.unary_expr()?
             } else {
                 self.postfix_expr()?
             };
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -597,7 +671,10 @@ impl Parser {
                     let t = self.bump();
                     let span = e.span.to(t.span);
                     e = Expr::new(
-                        ExprKind::Transpose { op: TransposeOp::Conjugate, operand: Box::new(e) },
+                        ExprKind::Transpose {
+                            op: TransposeOp::Conjugate,
+                            operand: Box::new(e),
+                        },
                         span,
                     );
                 }
@@ -605,7 +682,10 @@ impl Parser {
                     let t = self.bump();
                     let span = e.span.to(t.span);
                     e = Expr::new(
-                        ExprKind::Transpose { op: TransposeOp::Plain, operand: Box::new(e) },
+                        ExprKind::Transpose {
+                            op: TransposeOp::Plain,
+                            operand: Box::new(e),
+                        },
                         span,
                     );
                 }
@@ -635,7 +715,10 @@ impl Parser {
                 if self.at(&TokenKind::LParen) {
                     let args = self.call_args()?;
                     let end = self.toks[self.pos.saturating_sub(1)].span;
-                    Ok(Expr::new(ExprKind::Call { callee: name, args }, span.to(end)))
+                    Ok(Expr::new(
+                        ExprKind::Call { callee: name, args },
+                        span.to(end),
+                    ))
                 } else {
                     Ok(Expr::new(ExprKind::Ident(name), span))
                 }
@@ -723,7 +806,10 @@ impl Parser {
                         // the white-space-delimiter form we reject.
                         let prev_comma = matches!(
                             self.toks[self.pos.saturating_sub(1)].kind,
-                            TokenKind::Comma | TokenKind::Semi | TokenKind::Newline | TokenKind::LBracket
+                            TokenKind::Comma
+                                | TokenKind::Semi
+                                | TokenKind::Newline
+                                | TokenKind::LBracket
                         );
                         if !prev_comma {
                             self.bracket_depth -= 1;
@@ -759,7 +845,10 @@ pub fn parse(src: &str) -> Result<SourceFile> {
 pub fn parse_expr(src: &str) -> Result<Expr> {
     let mut p = Parser::new(tokenize(src)?);
     let e = p.expression()?;
-    if !matches!(p.peek(), TokenKind::Eof | TokenKind::Newline | TokenKind::Semi) {
+    if !matches!(
+        p.peek(),
+        TokenKind::Eof | TokenKind::Newline | TokenKind::Semi
+    ) {
         return Err(p.err_expected("end of expression"));
     }
     Ok(e)
@@ -780,7 +869,14 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let e = expr("a + b * c");
-        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e.kind
+        else {
+            panic!("{e:?}")
+        };
         assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
     }
 
@@ -788,14 +884,30 @@ mod tests {
     fn precedence_pow_over_unary() {
         // MATLAB: -2^2 == -4.
         let e = expr("-2^2");
-        let ExprKind::Unary { op: UnOp::Neg, operand } = e.kind else { panic!("{e:?}") };
-        assert!(matches!(operand.kind, ExprKind::Binary { op: BinOp::Pow, .. }));
+        let ExprKind::Unary {
+            op: UnOp::Neg,
+            operand,
+        } = e.kind
+        else {
+            panic!("{e:?}")
+        };
+        assert!(matches!(
+            operand.kind,
+            ExprKind::Binary { op: BinOp::Pow, .. }
+        ));
     }
 
     #[test]
     fn pow_allows_signed_exponent() {
         let e = expr("2^-3");
-        let ExprKind::Binary { op: BinOp::Pow, rhs, .. } = e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary {
+            op: BinOp::Pow,
+            rhs,
+            ..
+        } = e.kind
+        else {
+            panic!("{e:?}")
+        };
         assert!(matches!(rhs.kind, ExprKind::Unary { op: UnOp::Neg, .. }));
     }
 
@@ -803,7 +915,9 @@ mod tests {
     fn range_binds_looser_than_arithmetic() {
         // 1:n-1 is 1:(n-1).
         let e = expr("1:n-1");
-        let ExprKind::Range { stop, step, .. } = e.kind else { panic!("{e:?}") };
+        let ExprKind::Range { stop, step, .. } = e.kind else {
+            panic!("{e:?}")
+        };
         assert!(step.is_none());
         assert!(matches!(stop.kind, ExprKind::Binary { op: BinOp::Sub, .. }));
     }
@@ -811,7 +925,9 @@ mod tests {
     #[test]
     fn three_part_range() {
         let e = expr("0:0.1:2*pi");
-        let ExprKind::Range { step, stop, .. } = e.kind else { panic!("{e:?}") };
+        let ExprKind::Range { step, stop, .. } = e.kind else {
+            panic!("{e:?}")
+        };
         assert!(step.is_some());
         assert!(matches!(stop.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
     }
@@ -820,14 +936,21 @@ mod tests {
     fn comparison_binds_looser_than_range() {
         // a < 1:5 parses as a < (1:5).
         let e = expr("a < 1:5");
-        let ExprKind::Binary { op: BinOp::Lt, rhs, .. } = e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary {
+            op: BinOp::Lt, rhs, ..
+        } = e.kind
+        else {
+            panic!("{e:?}")
+        };
         assert!(matches!(rhs.kind, ExprKind::Range { .. }));
     }
 
     #[test]
     fn call_and_index_are_uniform() {
         let e = expr("d(i, j)");
-        let ExprKind::Call { callee, args } = e.kind else { panic!("{e:?}") };
+        let ExprKind::Call { callee, args } = e.kind else {
+            panic!("{e:?}")
+        };
         assert_eq!(callee, "d");
         assert_eq!(args.len(), 2);
     }
@@ -835,7 +958,9 @@ mod tests {
     #[test]
     fn colon_slice_argument() {
         let e = expr("a(:, j)");
-        let ExprKind::Call { args, .. } = e.kind else { panic!("{e:?}") };
+        let ExprKind::Call { args, .. } = e.kind else {
+            panic!("{e:?}")
+        };
         assert!(matches!(args[0].kind, ExprKind::Colon));
         assert!(matches!(args[1].kind, ExprKind::Ident(_)));
     }
@@ -843,32 +968,53 @@ mod tests {
     #[test]
     fn end_in_index() {
         let e = expr("v(2:end)");
-        let ExprKind::Call { args, .. } = e.kind else { panic!("{e:?}") };
-        let ExprKind::Range { stop, .. } = &args[0].kind else { panic!() };
+        let ExprKind::Call { args, .. } = e.kind else {
+            panic!("{e:?}")
+        };
+        let ExprKind::Range { stop, .. } = &args[0].kind else {
+            panic!()
+        };
         assert!(matches!(stop.kind, ExprKind::EndKeyword));
     }
 
     #[test]
     fn end_arithmetic_in_index() {
         let e = expr("v(end-1)");
-        let ExprKind::Call { args, .. } = e.kind else { panic!("{e:?}") };
-        assert!(matches!(args[0].kind, ExprKind::Binary { op: BinOp::Sub, .. }));
+        let ExprKind::Call { args, .. } = e.kind else {
+            panic!("{e:?}")
+        };
+        assert!(matches!(
+            args[0].kind,
+            ExprKind::Binary { op: BinOp::Sub, .. }
+        ));
     }
 
     #[test]
     fn transpose_postfix() {
         let e = expr("a' * b");
-        let ExprKind::Binary { op: BinOp::Mul, lhs, .. } = e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary {
+            op: BinOp::Mul,
+            lhs,
+            ..
+        } = e.kind
+        else {
+            panic!("{e:?}")
+        };
         assert!(matches!(
             lhs.kind,
-            ExprKind::Transpose { op: TransposeOp::Conjugate, .. }
+            ExprKind::Transpose {
+                op: TransposeOp::Conjugate,
+                ..
+            }
         ));
     }
 
     #[test]
     fn matrix_literal_rows() {
         let e = expr("[1, 2; 3, 4]");
-        let ExprKind::Matrix(rows) = e.kind else { panic!("{e:?}") };
+        let ExprKind::Matrix(rows) = e.kind else {
+            panic!("{e:?}")
+        };
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].len(), 2);
         assert_eq!(rows[1].len(), 2);
@@ -877,14 +1023,18 @@ mod tests {
     #[test]
     fn matrix_literal_newline_rows() {
         let e = expr("[1, 2\n3, 4]");
-        let ExprKind::Matrix(rows) = e.kind else { panic!("{e:?}") };
+        let ExprKind::Matrix(rows) = e.kind else {
+            panic!("{e:?}")
+        };
         assert_eq!(rows.len(), 2);
     }
 
     #[test]
     fn empty_matrix() {
         let e = expr("[]");
-        let ExprKind::Matrix(rows) = e.kind else { panic!("{e:?}") };
+        let ExprKind::Matrix(rows) = e.kind else {
+            panic!("{e:?}")
+        };
         assert!(rows.is_empty());
     }
 
@@ -892,14 +1042,19 @@ mod tests {
     fn whitespace_delimited_elements_rejected() {
         // The paper's documented restriction.
         let err = parse_expr("[1 2]").unwrap_err();
-        assert!(matches!(err.kind, FrontendErrorKind::Unsupported(_)), "{err}");
+        assert!(
+            matches!(err.kind, FrontendErrorKind::Unsupported(_)),
+            "{err}"
+        );
     }
 
     #[test]
     fn assignment_statement() {
         let s = script("x = a + 1;\n");
         assert_eq!(s.len(), 1);
-        let StmtKind::Assign { lhs, .. } = &s[0].kind else { panic!("{s:?}") };
+        let StmtKind::Assign { lhs, .. } = &s[0].kind else {
+            panic!("{s:?}")
+        };
         assert_eq!(lhs.name, "x");
         assert!(!s[0].display);
     }
@@ -914,7 +1069,9 @@ mod tests {
     #[test]
     fn indexed_assignment() {
         let s = script("a(i, j) = a(i, j) / b(j, i);");
-        let StmtKind::Assign { lhs, .. } = &s[0].kind else { panic!("{s:?}") };
+        let StmtKind::Assign { lhs, .. } = &s[0].kind else {
+            panic!("{s:?}")
+        };
         assert_eq!(lhs.name, "a");
         assert_eq!(lhs.indices.as_ref().unwrap().len(), 2);
     }
@@ -922,7 +1079,9 @@ mod tests {
     #[test]
     fn multi_assignment() {
         let s = script("[q, r] = qr(a);");
-        let StmtKind::MultiAssign { lhs, rhs } = &s[0].kind else { panic!("{s:?}") };
+        let StmtKind::MultiAssign { lhs, rhs } = &s[0].kind else {
+            panic!("{s:?}")
+        };
         assert_eq!(lhs.len(), 2);
         assert_eq!(lhs[0].name, "q");
         assert!(matches!(rhs.kind, ExprKind::Call { .. }));
@@ -931,7 +1090,9 @@ mod tests {
     #[test]
     fn if_elseif_else() {
         let s = script("if a < 1\nx = 1;\nelseif a < 2\nx = 2;\nelse\nx = 3;\nend");
-        let StmtKind::If { arms, else_body } = &s[0].kind else { panic!("{s:?}") };
+        let StmtKind::If { arms, else_body } = &s[0].kind else {
+            panic!("{s:?}")
+        };
         assert_eq!(arms.len(), 2);
         assert!(else_body.is_some());
     }
@@ -939,14 +1100,18 @@ mod tests {
     #[test]
     fn while_loop() {
         let s = script("while err > tol\nerr = err / 2;\nend");
-        let StmtKind::While { body, .. } = &s[0].kind else { panic!("{s:?}") };
+        let StmtKind::While { body, .. } = &s[0].kind else {
+            panic!("{s:?}")
+        };
         assert_eq!(body.len(), 1);
     }
 
     #[test]
     fn for_loop_over_range() {
         let s = script("for i = 1:n\ns = s + i;\nend");
-        let StmtKind::For { var, iter, body } = &s[0].kind else { panic!("{s:?}") };
+        let StmtKind::For { var, iter, body } = &s[0].kind else {
+            panic!("{s:?}")
+        };
         assert_eq!(var, "i");
         assert!(matches!(iter.kind, ExprKind::Range { .. }));
         assert_eq!(body.len(), 1);
@@ -955,7 +1120,9 @@ mod tests {
     #[test]
     fn nested_loops() {
         let s = script("for i = 1:n\nfor j = 1:n\na(i, j) = i + j;\nend\nend");
-        let StmtKind::For { body, .. } = &s[0].kind else { panic!("{s:?}") };
+        let StmtKind::For { body, .. } = &s[0].kind else {
+            panic!("{s:?}")
+        };
         assert!(matches!(body[0].kind, StmtKind::For { .. }));
     }
 
@@ -986,10 +1153,8 @@ mod tests {
 
     #[test]
     fn multiple_functions_per_file() {
-        let f = parse(
-            "function y = f(x)\ny = g(x) + 1;\n\nfunction y = g(x)\ny = x * 2;\n",
-        )
-        .unwrap();
+        let f =
+            parse("function y = f(x)\ny = g(x) + 1;\n\nfunction y = g(x)\ny = x * 2;\n").unwrap();
         assert_eq!(f.functions.len(), 2);
         assert_eq!(f.functions[1].name, "g");
     }
@@ -1010,7 +1175,9 @@ mod tests {
     #[test]
     fn global_declaration() {
         let s = script("global tol, x = tol;");
-        let StmtKind::Global(names) = &s[0].kind else { panic!("{s:?}") };
+        let StmtKind::Global(names) = &s[0].kind else {
+            panic!("{s:?}")
+        };
         assert_eq!(names, &vec!["tol".to_string()]);
     }
 
@@ -1018,8 +1185,17 @@ mod tests {
     fn paper_example_statement_parses() {
         // From §3: a = b * c + d(i,j);
         let s = script("a = b * c + d(i,j);");
-        let StmtKind::Assign { rhs, .. } = &s[0].kind else { panic!("{s:?}") };
-        let ExprKind::Binary { op: BinOp::Add, lhs, rhs: d } = &rhs.kind else { panic!() };
+        let StmtKind::Assign { rhs, .. } = &s[0].kind else {
+            panic!("{s:?}")
+        };
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            lhs,
+            rhs: d,
+        } = &rhs.kind
+        else {
+            panic!()
+        };
         assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
         assert!(matches!(d.kind, ExprKind::Call { .. }));
     }

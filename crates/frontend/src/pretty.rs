@@ -53,41 +53,51 @@ pub fn write_stmt(out: &mut String, s: &Stmt, indent: usize) {
             let _ = write!(out, "{pad}{}{term}", expr_to_string(e));
         }
         StmtKind::Assign { lhs, rhs } => {
-            let _ = write!(out, "{pad}{} = {}{term}", lvalue_to_string(lhs), expr_to_string(rhs));
+            let _ = write!(
+                out,
+                "{pad}{} = {}{term}",
+                lvalue_to_string(lhs),
+                expr_to_string(rhs)
+            );
         }
         StmtKind::MultiAssign { lhs, rhs } => {
             let targets: Vec<String> = lhs.iter().map(lvalue_to_string).collect();
-            let _ = write!(out, "{pad}[{}] = {}{term}", targets.join(", "), expr_to_string(rhs));
+            let _ = write!(
+                out,
+                "{pad}[{}] = {}{term}",
+                targets.join(", "),
+                expr_to_string(rhs)
+            );
         }
         StmtKind::If { arms, else_body } => {
             for (i, (cond, body)) in arms.iter().enumerate() {
                 let kw = if i == 0 { "if" } else { "elseif" };
-                let _ = write!(out, "{pad}{kw} {}\n", expr_to_string(cond));
+                let _ = writeln!(out, "{pad}{kw} {}", expr_to_string(cond));
                 for st in body {
                     write_stmt(out, st, indent + 1);
                 }
             }
             if let Some(body) = else_body {
-                let _ = write!(out, "{pad}else\n");
+                let _ = writeln!(out, "{pad}else");
                 for st in body {
                     write_stmt(out, st, indent + 1);
                 }
             }
-            let _ = write!(out, "{pad}end\n");
+            let _ = writeln!(out, "{pad}end");
         }
         StmtKind::While { cond, body } => {
-            let _ = write!(out, "{pad}while {}\n", expr_to_string(cond));
+            let _ = writeln!(out, "{pad}while {}", expr_to_string(cond));
             for st in body {
                 write_stmt(out, st, indent + 1);
             }
-            let _ = write!(out, "{pad}end\n");
+            let _ = writeln!(out, "{pad}end");
         }
         StmtKind::For { var, iter, body } => {
-            let _ = write!(out, "{pad}for {var} = {}\n", expr_to_string(iter));
+            let _ = writeln!(out, "{pad}for {var} = {}", expr_to_string(iter));
             for st in body {
                 write_stmt(out, st, indent + 1);
             }
-            let _ = write!(out, "{pad}end\n");
+            let _ = writeln!(out, "{pad}end");
         }
         StmtKind::Break => {
             let _ = write!(out, "{pad}break{term}");
@@ -179,7 +189,12 @@ fn render(e: &Expr, parent_prec: u8) -> String {
         ExprKind::Binary { op, lhs, rhs } => {
             // Left-associative: the right child needs parens at equal
             // precedence.
-            format!("{} {} {}", render(lhs, my), op.symbol(), render(rhs, my + 1))
+            format!(
+                "{} {} {}",
+                render(lhs, my),
+                op.symbol(),
+                render(rhs, my + 1)
+            )
         }
         ExprKind::Transpose { op, operand } => {
             let sym = match op {
@@ -273,7 +288,9 @@ mod tests {
         let e = parse_expr("2.0").unwrap();
         let s = expr_to_string(&e);
         let e2 = parse_expr(&s).unwrap();
-        let ExprKind::Number { is_int, .. } = e2.kind else { panic!() };
+        let ExprKind::Number { is_int, .. } = e2.kind else {
+            panic!()
+        };
         assert!(!is_int, "printed as {s}");
     }
 
@@ -281,10 +298,16 @@ mod tests {
     fn program_roundtrip_structure() {
         let src = "x = 1;\nfor i = 1:3\nx = x * 2;\nend\n";
         let f1 = parse(src).unwrap();
-        let p1 = Program { script: f1.script, functions: f1.functions };
+        let p1 = Program {
+            script: f1.script,
+            functions: f1.functions,
+        };
         let printed = program_to_string(&p1);
         let f2 = parse(&printed).unwrap();
-        let p2 = Program { script: f2.script, functions: f2.functions };
+        let p2 = Program {
+            script: f2.script,
+            functions: f2.functions,
+        };
         assert_eq!(printed, program_to_string(&p2));
     }
 }

@@ -21,7 +21,10 @@ pub enum TokenKind {
     /// Numeric literal. MATLAB has only doubles at the surface level;
     /// whether a literal is *integer-valued* matters to type inference,
     /// so we preserve that flag.
-    Number { value: f64, is_int: bool },
+    Number {
+        value: f64,
+        is_int: bool,
+    },
     /// Single-quoted string literal (quotes stripped, `''` unescaped).
     Str(String),
     /// Identifier or (contextually) a keyword candidate.
@@ -191,7 +194,11 @@ mod tests {
     fn postfix_quote_context() {
         assert!(TokenKind::Ident("a".into()).allows_postfix_quote());
         assert!(TokenKind::RParen.allows_postfix_quote());
-        assert!(TokenKind::Number { value: 1.0, is_int: true }.allows_postfix_quote());
+        assert!(TokenKind::Number {
+            value: 1.0,
+            is_int: true
+        }
+        .allows_postfix_quote());
         assert!(!TokenKind::Eq.allows_postfix_quote());
         assert!(!TokenKind::LParen.allows_postfix_quote());
         assert!(!TokenKind::Comma.allows_postfix_quote());
@@ -200,6 +207,9 @@ mod tests {
     #[test]
     fn describe_is_stable() {
         assert_eq!(TokenKind::DotStar.describe(), "`.*`");
-        assert_eq!(TokenKind::Ident("foo".into()).describe(), "identifier `foo`");
+        assert_eq!(
+            TokenKind::Ident("foo".into()).describe(),
+            "identifier `foo`"
+        );
     }
 }

@@ -1,109 +1,133 @@
-//! Property tests for the front end: random expression generation,
-//! print→parse round-trips, and robustness of the scanner on
-//! arbitrary input.
+//! Randomised (but fully deterministic) tests for the front end:
+//! expression generation, print→parse round-trips, and robustness of
+//! the scanner on arbitrary input. Inputs come from a seeded
+//! [`DetRng`], so every run explores the same cases and failures
+//! reproduce by seed.
 
+use otter_det::DetRng;
 use otter_frontend::ast::*;
 use otter_frontend::pretty::expr_to_string;
 use otter_frontend::{lexer, parse_expr};
-use proptest::prelude::*;
 
-/// Generate random well-formed expressions over a small vocabulary.
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (1u32..1000).prop_map(|v| Expr::int(v as i64)),
-        prop_oneof![Just("a"), Just("b"), Just("c"), Just("xs")]
-            .prop_map(|n| Expr::var(n)),
-        (1u32..100, 1u32..100)
-            .prop_map(|(a, b)| Expr::synth(ExprKind::Number {
-                value: a as f64 / b as f64,
-                is_int: false
-            })),
-    ];
-    leaf.prop_recursive(5, 64, 4, |inner| {
-        prop_oneof![
-            // Binary operators.
-            (
-                inner.clone(),
-                inner.clone(),
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div),
-                    Just(BinOp::ElemMul),
-                    Just(BinOp::ElemDiv),
-                    Just(BinOp::Pow),
-                    Just(BinOp::Lt),
-                    Just(BinOp::And),
-                ]
-            )
-                .prop_map(|(l, r, op)| Expr::synth(ExprKind::Binary {
-                    op,
-                    lhs: Box::new(l),
-                    rhs: Box::new(r)
-                })),
-            // Unary.
-            inner.clone().prop_map(|e| Expr::synth(ExprKind::Unary {
-                op: UnOp::Neg,
-                operand: Box::new(e)
-            })),
-            // Transpose.
-            inner.clone().prop_map(|e| Expr::synth(ExprKind::Transpose {
-                op: TransposeOp::Conjugate,
-                operand: Box::new(e)
-            })),
-            // Call with up to 2 args.
-            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(first, mut rest)| {
-                    let mut args = vec![first];
-                    args.append(&mut rest);
-                    Expr::synth(ExprKind::Call { callee: "f".into(), args })
-                }
-            ),
-            // Range.
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::synth(ExprKind::Range {
-                start: Box::new(a),
-                step: None,
-                stop: Box::new(b)
-            })),
-        ]
-    })
+/// Generate a random well-formed expression over a small vocabulary.
+fn gen_expr(rng: &mut DetRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_index(4) == 0 {
+        // Leaf.
+        return match rng.gen_index(3) {
+            0 => Expr::int(1 + rng.gen_index(999) as i64),
+            1 => Expr::var(["a", "b", "c", "xs"][rng.gen_index(4)]),
+            _ => {
+                let a = 1 + rng.gen_index(99) as u32;
+                let b = 1 + rng.gen_index(99) as u32;
+                Expr::synth(ExprKind::Number {
+                    value: a as f64 / b as f64,
+                    is_int: false,
+                })
+            }
+        };
+    }
+    match rng.gen_index(5) {
+        0 => {
+            let op = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::ElemMul,
+                BinOp::ElemDiv,
+                BinOp::Pow,
+                BinOp::Lt,
+                BinOp::And,
+            ][rng.gen_index(9)];
+            let lhs = Box::new(gen_expr(rng, depth - 1));
+            let rhs = Box::new(gen_expr(rng, depth - 1));
+            Expr::synth(ExprKind::Binary { op, lhs, rhs })
+        }
+        1 => Expr::synth(ExprKind::Unary {
+            op: UnOp::Neg,
+            operand: Box::new(gen_expr(rng, depth - 1)),
+        }),
+        2 => Expr::synth(ExprKind::Transpose {
+            op: TransposeOp::Conjugate,
+            operand: Box::new(gen_expr(rng, depth - 1)),
+        }),
+        3 => {
+            let n = 1 + rng.gen_index(3);
+            let args = (0..n).map(|_| gen_expr(rng, depth - 1)).collect();
+            Expr::synth(ExprKind::Call {
+                callee: "f".into(),
+                args,
+            })
+        }
+        _ => Expr::synth(ExprKind::Range {
+            start: Box::new(gen_expr(rng, depth - 1)),
+            step: None,
+            stop: Box::new(gen_expr(rng, depth - 1)),
+        }),
+    }
 }
 
-proptest! {
-    /// print → parse → print is a fixed point: whatever the printer
-    /// produces, re-parsing yields the same surface form.
-    #[test]
-    fn print_parse_print_is_stable(e in expr_strategy()) {
-        let printed = expr_to_string(&e);
-        let reparsed = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("printer produced unparseable `{printed}`: {err}"));
-        let printed2 = expr_to_string(&reparsed);
-        prop_assert_eq!(printed, printed2);
-    }
+/// Random string over a charset, up to `max_len`.
+fn gen_string(rng: &mut DetRng, charset: &[u8], max_len: usize) -> String {
+    let len = rng.gen_index(max_len + 1);
+    (0..len)
+        .map(|_| charset[rng.gen_index(charset.len())] as char)
+        .collect()
+}
 
-    /// The scanner never panics, whatever bytes arrive.
-    #[test]
-    fn lexer_total_on_arbitrary_ascii(s in "[ -~\n\t]{0,200}") {
+const PRINTABLE: &[u8] =
+    b" !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~\n\t";
+
+/// print → parse → print is a fixed point: whatever the printer
+/// produces, re-parsing yields the same surface form.
+#[test]
+fn print_parse_print_is_stable() {
+    let mut rng = DetRng::seed_from_u64(0xF0F0_0001);
+    for case in 0..256 {
+        let e = gen_expr(&mut rng, 5);
+        let printed = expr_to_string(&e);
+        let reparsed = parse_expr(&printed).unwrap_or_else(|err| {
+            panic!("case {case}: printer produced unparseable `{printed}`: {err}")
+        });
+        let printed2 = expr_to_string(&reparsed);
+        assert_eq!(printed, printed2, "case {case}");
+    }
+}
+
+/// The scanner never panics, whatever bytes arrive.
+#[test]
+fn lexer_total_on_arbitrary_ascii() {
+    let mut rng = DetRng::seed_from_u64(0xF0F0_0002);
+    for _ in 0..512 {
+        let s = gen_string(&mut rng, PRINTABLE, 200);
         let _ = lexer::tokenize(&s); // Ok or Err, never panic
     }
+}
 
-    /// Token spans are monotonically non-decreasing and in-bounds.
-    #[test]
-    fn token_spans_are_ordered(s in "[a-z0-9+*();,=\\[\\] .':\n-]{0,120}") {
+/// Token spans are monotonically non-decreasing and in-bounds.
+#[test]
+fn token_spans_are_ordered() {
+    let charset = b"abcdefghijklmnopqrstuvwxyz0123456789+*();,=[] .':\n-";
+    let mut rng = DetRng::seed_from_u64(0xF0F0_0003);
+    for _ in 0..512 {
+        let s = gen_string(&mut rng, charset, 120);
         if let Ok(tokens) = lexer::tokenize(&s) {
             let mut last_start = 0u32;
             for t in &tokens {
-                prop_assert!(t.span.start >= last_start, "span order in {s:?}");
-                prop_assert!(t.span.end as usize <= s.len() || t.span.len() == 0);
+                assert!(t.span.start >= last_start, "span order in {s:?}");
+                assert!(t.span.end as usize <= s.len() || t.span.is_empty());
                 last_start = t.span.start;
             }
         }
     }
+}
 
-    /// Parsing arbitrary input never panics either.
-    #[test]
-    fn parser_total_on_arbitrary_ascii(s in "[ -~\n]{0,200}") {
+/// Parsing arbitrary input never panics either.
+#[test]
+fn parser_total_on_arbitrary_ascii() {
+    let mut rng = DetRng::seed_from_u64(0xF0F0_0004);
+    for _ in 0..512 {
+        let s = gen_string(&mut rng, PRINTABLE, 200);
         let _ = otter_frontend::parse(&s);
     }
 }

@@ -11,7 +11,6 @@ use crate::value::Value;
 use otter_frontend::Span;
 use otter_machine::OpClass;
 use otter_rt::Dense;
-use rand::Rng;
 
 impl Interp {
     /// Try to dispatch `name` as a builtin. `Ok(None)` means "not a
@@ -242,14 +241,20 @@ impl Interp {
 
     fn arg<'a>(&self, argv: &'a [Value], i: usize, name: &str, span: Span) -> Result<&'a Value> {
         argv.get(i).ok_or_else(|| {
-            InterpError::new(format!("`{name}` needs at least {} argument(s)", i + 1), span)
+            InterpError::new(
+                format!("`{name}` needs at least {} argument(s)", i + 1),
+                span,
+            )
         })
     }
 
     fn arg_scalar(&self, argv: &[Value], i: usize, name: &str, span: Span) -> Result<f64> {
         let v = self.arg(argv, i, name, span)?;
         v.as_scalar().ok_or_else(|| {
-            InterpError::new(format!("`{name}` argument {} must be a scalar", i + 1), span)
+            InterpError::new(
+                format!("`{name}` argument {} must be a scalar", i + 1),
+                span,
+            )
         })
     }
 
@@ -293,9 +298,7 @@ impl Interp {
                 self.meter.op(class, m.len());
                 Value::Matrix(m.map(f))
             }
-            Value::Str(_) => {
-                return Err(InterpError::new(format!("`{name}` of a string"), span))
-            }
+            Value::Str(_) => return Err(InterpError::new(format!("`{name}` of a string"), span)),
         };
         Ok(Some(vec![out]))
     }

@@ -12,12 +12,18 @@ pub struct InterpError {
 
 impl InterpError {
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        InterpError { message: message.into(), span }
+        InterpError {
+            message: message.into(),
+            span,
+        }
     }
 
     /// Error with no useful location.
     pub fn nowhere(message: impl Into<String>) -> Self {
-        InterpError { message: message.into(), span: Span::DUMMY }
+        InterpError {
+            message: message.into(),
+            span: Span::DUMMY,
+        }
     }
 }
 
@@ -42,7 +48,10 @@ mod tests {
     #[test]
     fn display_with_and_without_span() {
         let e = InterpError::new("undefined variable `x`", Span::new(0, 1, 3, 2));
-        assert_eq!(e.to_string(), "run-time error at 3:2: undefined variable `x`");
+        assert_eq!(
+            e.to_string(),
+            "run-time error at 3:2: undefined variable `x`"
+        );
         let e = InterpError::nowhere("boom");
         assert_eq!(e.to_string(), "run-time error: boom");
     }

@@ -13,12 +13,11 @@
 use crate::error::{InterpError, Result};
 use crate::meter::CostMeter;
 use crate::value::Value;
+use otter_det::DetRng;
 use otter_frontend::ast::*;
 use otter_frontend::Span;
 use otter_machine::{ExecutionStyle, OpClass};
 use otter_rt::Dense;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -49,7 +48,7 @@ pub struct Interp {
     /// Captured display output (what MATLAB would echo).
     pub output: String,
     /// RNG for the `rand` builtin; seeded for reproducibility.
-    pub(crate) rng: StdRng,
+    pub(crate) rng: DetRng,
     /// Directory `load` resolves data files against.
     pub data_dir: Option<PathBuf>,
     /// Guard against runaway recursion.
@@ -77,7 +76,7 @@ impl Interp {
             globals: Env::new(),
             meter: CostMeter::new(style),
             output: String::new(),
-            rng: StdRng::seed_from_u64(0x07732),
+            rng: DetRng::seed_from_u64(0x07732),
             data_dir: None,
             depth: 0,
             peak_workspace_bytes: 0,
@@ -336,7 +335,11 @@ impl Interp {
                 }
                 for (oi, &i) in rsel.iter().enumerate() {
                     for (oj, &j) in csel.iter().enumerate() {
-                        let val = if scalar_fill { vm.get(0, 0) } else { vm.get(oi, oj) };
+                        let val = if scalar_fill {
+                            vm.get(0, 0)
+                        } else {
+                            vm.get(oi, oj)
+                        };
                         target.set(i, j, val);
                     }
                 }
@@ -394,16 +397,13 @@ impl Interp {
                         self.meter.op(OpClass::Add, m.len());
                         Ok(Value::Matrix(m.transpose()))
                     }
-                    Value::Str(_) => {
-                        Err(InterpError::new("cannot transpose a string", e.span))
-                    }
+                    Value::Str(_) => Err(InterpError::new("cannot transpose a string", e.span)),
                 }
             }
             ExprKind::Index { base, args } => {
-                let v = self
-                    .get_var(base)
-                    .cloned()
-                    .ok_or_else(|| InterpError::new(format!("undefined variable `{base}`"), e.span))?;
+                let v = self.get_var(base).cloned().ok_or_else(|| {
+                    InterpError::new(format!("undefined variable `{base}`"), e.span)
+                })?;
                 self.index_value(&v, args, e.span)
             }
             ExprKind::Call { callee, args } => {
@@ -413,7 +413,10 @@ impl Interp {
                 }
                 let mut vals = self.call_multi(callee, args, 1, e.span)?;
                 if vals.is_empty() {
-                    return Err(InterpError::new(format!("`{callee}` returned nothing"), e.span));
+                    return Err(InterpError::new(
+                        format!("`{callee}` returned nothing"),
+                        e.span,
+                    ));
                 }
                 Ok(vals.remove(0))
             }
@@ -442,8 +445,9 @@ impl Interp {
 
     fn scalar_of(&mut self, e: &Expr) -> Result<f64> {
         let v = self.eval(e)?;
-        v.as_scalar()
-            .ok_or_else(|| InterpError::new(format!("expected a scalar, got {}", v.type_name()), e.span))
+        v.as_scalar().ok_or_else(|| {
+            InterpError::new(format!("expected a scalar, got {}", v.type_name()), e.span)
+        })
     }
 
     fn apply_unary(&mut self, op: UnOp, v: Value, span: Span) -> Result<Value> {
@@ -510,7 +514,12 @@ impl Interp {
                 Ok(Value::Matrix(ma.zip(&mb, f)))
             }
             (a, b) => Err(InterpError::new(
-                format!("cannot apply `{}` to {} and {}", op.symbol(), a.type_name(), b.type_name()),
+                format!(
+                    "cannot apply `{}` to {} and {}",
+                    op.symbol(),
+                    a.type_name(),
+                    b.type_name()
+                ),
                 span,
             )),
         }
@@ -600,7 +609,8 @@ impl Interp {
                     return Err(InterpError::new("`\\` dimension mismatch", span));
                 }
                 let n = a.rows() as f64;
-                self.meter.raw(2.0 / 3.0 * n * n * n + 2.0 * n * n * b.cols() as f64);
+                self.meter
+                    .raw(2.0 / 3.0 * n * n * n + 2.0 * n * n * b.cols() as f64);
                 solve_dense(&a, &b)
                     .map(|x| Value::Matrix(x).normalized())
                     .map_err(|m| InterpError::new(m, span))
@@ -703,7 +713,8 @@ impl Interp {
             .to_matrix()
             .ok_or_else(|| InterpError::new("cannot index into a string", span))?;
         let idx = self.eval_indices(args, m.rows(), m.cols(), m.len(), span)?;
-        self.meter.op(OpClass::Add, idx.iter().map(|s| s.len().max(1)).product());
+        self.meter
+            .op(OpClass::Add, idx.iter().map(|s| s.len().max(1)).product());
         match (&idx[..], args.len()) {
             ([sel], 1) => {
                 for &k in sel {
@@ -735,7 +746,11 @@ impl Interp {
                 for &j in csel {
                     if j >= m.cols() {
                         return Err(InterpError::new(
-                            format!("column index {} out of bounds ({} columns)", j + 1, m.cols()),
+                            format!(
+                                "column index {} out of bounds ({} columns)",
+                                j + 1,
+                                m.cols()
+                            ),
                             span,
                         ));
                     }
@@ -769,7 +784,10 @@ impl Interp {
             return Ok(result);
         }
         let Some(func) = self.program.function(name).cloned() else {
-            return Err(InterpError::new(format!("undefined function `{name}`"), span));
+            return Err(InterpError::new(
+                format!("undefined function `{name}`"),
+                span,
+            ));
         };
         if argv.len() > func.params.len() {
             return Err(InterpError::new(
@@ -799,10 +817,7 @@ impl Interp {
         let mut out = Vec::new();
         for o in func.outs.iter().take(nout.max(1)) {
             let v = env.get(o).cloned().ok_or_else(|| {
-                InterpError::new(
-                    format!("output `{o}` of `{name}` was never assigned"),
-                    span,
-                )
+                InterpError::new(format!("output `{o}` of `{name}` was never assigned"), span)
             })?;
             out.push(v);
         }
@@ -865,7 +880,10 @@ fn value_elements(v: &Value) -> Vec<f64> {
 /// Replace `end` nodes with a literal extent.
 fn substitute_end(e: &Expr, extent: f64) -> Expr {
     let kind = match &e.kind {
-        ExprKind::EndKeyword => ExprKind::Number { value: extent, is_int: true },
+        ExprKind::EndKeyword => ExprKind::Number {
+            value: extent,
+            is_int: true,
+        },
         ExprKind::Unary { op, operand } => ExprKind::Unary {
             op: *op,
             operand: Box::new(substitute_end(operand, extent)),
@@ -932,9 +950,13 @@ fn solve_dense(a: &Dense, b: &Dense) -> std::result::Result<Dense, String> {
     let mut x = b.clone();
     for col in 0..n {
         // Pivot.
-        let (piv, maxv) = (col..n)
-            .map(|i| (i, aug.get(i, col).abs()))
-            .fold((col, -1.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+        let (piv, maxv) =
+            (col..n)
+                .map(|i| (i, aug.get(i, col).abs()))
+                .fold(
+                    (col, -1.0),
+                    |best, cur| if cur.1 > best.1 { cur } else { best },
+                );
         if maxv < 1e-300 {
             return Err("matrix is singular to working precision".into());
         }

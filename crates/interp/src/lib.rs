@@ -72,7 +72,10 @@ pub fn assemble_program(
     provider: &dyn SourceProvider,
 ) -> Result<Program, otter_frontend::FrontendError> {
     let file = parse(src)?;
-    let mut program = Program { script: file.script, functions: file.functions };
+    let mut program = Program {
+        script: file.script,
+        functions: file.functions,
+    };
     // Chase referenced names breadth-first.
     let mut queued: Vec<String> = Vec::new();
     let collect = |block: &otter_frontend::Block, queued: &mut Vec<String>| {
@@ -214,9 +217,8 @@ mod tests {
 
     #[test]
     fn indexing_forms() {
-        let o = run(
-            "a = [1, 2, 3; 4, 5, 6];\nr = a(2, :);\nc = a(:, 3);\ne = a(end, end);\nl = a(3);",
-        );
+        let o =
+            run("a = [1, 2, 3; 4, 5, 6];\nr = a(2, :);\nc = a(:, 3);\ne = a(end, end);\nl = a(3);");
         assert_eq!(o.matrix("r").unwrap().data(), &[4.0, 5.0, 6.0]);
         assert_eq!(o.matrix("c").unwrap().data(), &[3.0, 6.0]);
         assert_eq!(o.scalar("e"), Some(6.0));
@@ -227,7 +229,10 @@ mod tests {
     #[test]
     fn range_indexing_with_end() {
         let o = run("v = 10:10:100;\nw = v(2:end-1);\ns = sum(w);");
-        assert_eq!(o.scalar("s"), Some(20.0 + 30.0 + 40.0 + 50.0 + 60.0 + 70.0 + 80.0 + 90.0));
+        assert_eq!(
+            o.scalar("s"),
+            Some(20.0 + 30.0 + 40.0 + 50.0 + 60.0 + 70.0 + 80.0 + 90.0)
+        );
     }
 
     #[test]
@@ -275,10 +280,7 @@ mod tests {
 
     #[test]
     fn user_functions_via_provider() {
-        let m = MapProvider::new().with(
-            "sq",
-            "function y = sq(x)\ny = x .* x;\n",
-        );
+        let m = MapProvider::new().with("sq", "function y = sq(x)\ny = x .* x;\n");
         let o = run_script("z = sq(4) + sq(3);", Some(&m)).unwrap();
         assert_eq!(o.scalar("z"), Some(25.0));
     }
@@ -396,7 +398,11 @@ mod tests {
     #[test]
     fn interpreter_costs_exceed_matcom_costs() {
         use otter_machine::ExecutionStyle;
-        let program = assemble_program("v = 1:100;\ns = 0;\nfor i = 1:100\ns = s + v(i);\nend", &MapProvider::new()).unwrap();
+        let program = assemble_program(
+            "v = 1:100;\ns = 0;\nfor i = 1:100\ns = s + v(i);\nend",
+            &MapProvider::new(),
+        )
+        .unwrap();
         let mut i1 = Interp::new(program.clone());
         i1.run().unwrap();
         let mut i2 = Interp::with_style(program, ExecutionStyle::Matcom);

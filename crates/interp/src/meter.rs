@@ -6,6 +6,7 @@
 //! by the resulting modeled seconds on the target machine's CPU.
 
 use otter_machine::{CpuModel, ExecutionStyle, OpClass, StyleCosts};
+use std::collections::BTreeMap;
 
 /// Accumulates modeled flop-units for one interpreted run.
 #[derive(Debug, Clone)]
@@ -14,24 +15,49 @@ pub struct CostMeter {
     units: f64,
     statements: u64,
     ops: u64,
+    /// Executed-operation counts by kind (op-class name, `statement`,
+    /// `matmul`, `matvec`) — the sequential engines' contribution to
+    /// the uniform `EngineReport::op_counts` schema.
+    op_counts: BTreeMap<&'static str, u64>,
+}
+
+fn class_name(class: OpClass) -> &'static str {
+    match class {
+        OpClass::Add => "add",
+        OpClass::Mul => "mul",
+        OpClass::Div => "div",
+        OpClass::Transcendental => "transcendental",
+    }
 }
 
 impl CostMeter {
     /// Meter with the given style's coefficients.
     pub fn new(style: ExecutionStyle) -> Self {
-        CostMeter { costs: style.costs(), units: 0.0, statements: 0, ops: 0 }
+        CostMeter {
+            costs: style.costs(),
+            units: 0.0,
+            statements: 0,
+            ops: 0,
+            op_counts: BTreeMap::new(),
+        }
+    }
+
+    fn bump(&mut self, kind: &'static str) {
+        *self.op_counts.entry(kind).or_insert(0) += 1;
     }
 
     /// Charge one statement dispatch.
     pub fn statement(&mut self) {
         self.units += self.costs.statement_dispatch;
         self.statements += 1;
+        self.bump("statement");
     }
 
     /// Charge one vector/matrix operation over `elements` elements.
     pub fn op(&mut self, class: OpClass, elements: usize) {
         self.units += self.costs.op_units(class, elements);
         self.ops += 1;
+        self.bump(class_name(class));
     }
 
     /// Charge raw flop-units of O(n³) dense linear algebra (matrix
@@ -39,6 +65,7 @@ impl CostMeter {
     pub fn raw(&mut self, units: f64) {
         self.units += units * self.costs.matmul_factor;
         self.ops += 1;
+        self.bump("matmul");
     }
 
     /// Charge raw flop-units of O(n²) dense linear algebra
@@ -46,6 +73,12 @@ impl CostMeter {
     pub fn raw_matvec(&mut self, units: f64) {
         self.units += units * self.costs.matvec_factor;
         self.ops += 1;
+        self.bump("matvec");
+    }
+
+    /// Executed-operation counts by kind.
+    pub fn op_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.op_counts
     }
 
     /// Total accumulated flop-units.

@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn scalar_coercion() {
         assert_eq!(Value::Scalar(3.0).as_scalar(), Some(3.0));
-        assert_eq!(Value::Matrix(Dense::from_vec(1, 1, vec![4.0])).as_scalar(), Some(4.0));
+        assert_eq!(
+            Value::Matrix(Dense::from_vec(1, 1, vec![4.0])).as_scalar(),
+            Some(4.0)
+        );
         assert_eq!(Value::Matrix(Dense::zeros(2, 2)).as_scalar(), None);
         assert_eq!(Value::Str("x".into()).as_scalar(), None);
     }

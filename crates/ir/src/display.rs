@@ -13,11 +13,23 @@ pub fn program_to_string(p: &IrProgram) -> String {
     }
     let _ = writeln!(out, "}}");
     for f in p.functions.values() {
-        let params: Vec<String> =
-            f.params.iter().map(|(n, r)| format!("{n}: {}", rank_str(*r))).collect();
-        let outs: Vec<String> =
-            f.outs.iter().map(|(n, r)| format!("{n}: {}", rank_str(*r))).collect();
-        let _ = writeln!(out, "fn {}({}) -> ({}) {{", f.name, params.join(", "), outs.join(", "));
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|(n, r)| format!("{n}: {}", rank_str(*r)))
+            .collect();
+        let outs: Vec<String> = f
+            .outs
+            .iter()
+            .map(|(n, r)| format!("{n}: {}", rank_str(*r)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "fn {}({}) -> ({}) {{",
+            f.name,
+            params.join(", "),
+            outs.join(", ")
+        );
         for i in &f.body {
             write_instr(&mut out, i, 1);
         }
@@ -51,7 +63,12 @@ pub fn sexpr_to_string(e: &SExpr) -> String {
         SExpr::Neg(x) => format!("(-{})", sexpr_to_string(x)),
         SExpr::Not(x) => format!("(!{})", sexpr_to_string(x)),
         SExpr::Bin(op, a, b) => {
-            format!("({} {} {})", sexpr_to_string(a), op.c_symbol(), sexpr_to_string(b))
+            format!(
+                "({} {} {})",
+                sexpr_to_string(a),
+                op.c_symbol(),
+                sexpr_to_string(b)
+            )
         }
         SExpr::Call(f, args) => {
             let parts: Vec<String> = args.iter().map(sexpr_to_string).collect();
@@ -69,7 +86,12 @@ pub fn ewexpr_to_string(e: &EwExpr) -> String {
         EwExpr::Not(x) => format!("(!{})", ewexpr_to_string(x)),
         EwExpr::Bin(op, a, b) => match op {
             EwOp::Pow => format!("pow({}, {})", ewexpr_to_string(a), ewexpr_to_string(b)),
-            _ => format!("({} {} {})", ewexpr_to_string(a), op.c_symbol(), ewexpr_to_string(b)),
+            _ => format!(
+                "({} {} {})",
+                ewexpr_to_string(a),
+                op.c_symbol(),
+                ewexpr_to_string(b)
+            ),
         },
         EwExpr::Call(f, args) => {
             let parts: Vec<String> = args.iter().map(ewexpr_to_string).collect();
@@ -88,7 +110,11 @@ pub fn write_instr(out: &mut String, i: &Instr, indent: usize) {
         Instr::InitMatrix { dst, init } => {
             let desc = match init {
                 MatInit::Zeros { rows, cols } => {
-                    format!("zeros({}, {})", sexpr_to_string(rows), sexpr_to_string(cols))
+                    format!(
+                        "zeros({}, {})",
+                        sexpr_to_string(rows),
+                        sexpr_to_string(cols)
+                    )
                 }
                 MatInit::Ones { rows, cols } => {
                     format!("ones({}, {})", sexpr_to_string(rows), sexpr_to_string(cols))
@@ -219,7 +245,13 @@ pub fn write_instr(out: &mut String, i: &Instr, indent: usize) {
                 sexpr_to_string(hi)
             );
         }
-        Instr::ExtractStrided { dst, v, lo, step, hi } => {
+        Instr::ExtractStrided {
+            dst,
+            v,
+            lo,
+            step,
+            hi,
+        } => {
             let _ = writeln!(
                 out,
                 "{pad}{dst} = {v}[{}..{}..{}];",
@@ -264,7 +296,11 @@ pub fn write_instr(out: &mut String, i: &Instr, indent: usize) {
         Instr::Free { name } => {
             let _ = writeln!(out, "{pad}free {name};");
         }
-        Instr::If { cond, then_body, else_body } => {
+        Instr::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let _ = writeln!(out, "{pad}if {} {{", sexpr_to_string(cond));
             for s in then_body {
                 write_instr(out, s, indent + 1);
@@ -288,7 +324,13 @@ pub fn write_instr(out: &mut String, i: &Instr, indent: usize) {
             }
             let _ = writeln!(out, "{pad}}}");
         }
-        Instr::For { var, start, step, stop, body } => {
+        Instr::For {
+            var,
+            start,
+            step,
+            stop,
+            body,
+        } => {
             let _ = writeln!(
                 out,
                 "{pad}for {var} = {} : {} : {} {{",
@@ -337,7 +379,11 @@ mod tests {
         // a = b * c + d(i, j) after rewriting: three statements.
         let prog = IrProgram {
             main: vec![
-                Instr::MatMul { dst: "ML_tmp1".into(), a: "b".into(), b: "c".into() },
+                Instr::MatMul {
+                    dst: "ML_tmp1".into(),
+                    a: "b".into(),
+                    b: "c".into(),
+                },
                 Instr::BroadcastElem {
                     dst: "ML_tmp2".into(),
                     m: "d".into(),
@@ -358,7 +404,10 @@ mod tests {
         let s = program_to_string(&prog);
         assert!(s.contains("ML_tmp1 = matmul(b, c);"), "{s}");
         assert!(s.contains("ML_tmp2 = bcast(d[i, j]);"), "{s}");
-        assert!(s.contains("forall k: a[k] = (ML_tmp1[k] + ML_tmp2);"), "{s}");
+        assert!(
+            s.contains("forall k: a[k] = (ML_tmp1[k] + ML_tmp2);"),
+            "{s}"
+        );
     }
 
     #[test]
@@ -396,7 +445,10 @@ mod tests {
                 var_ranks: Default::default(),
             },
         );
-        let prog = IrProgram { functions: funcs, ..Default::default() };
+        let prog = IrProgram {
+            functions: funcs,
+            ..Default::default()
+        };
         let s = program_to_string(&prog);
         assert!(s.contains("fn sq(x: matrix) -> (y: matrix)"), "{s}");
     }

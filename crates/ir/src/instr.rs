@@ -146,7 +146,10 @@ pub enum SExpr {
     /// Run-time dimension of a matrix variable (`m->rows` /
     /// `m->cols` / local-free `numel` in the emitted C). Lowered from
     /// `size`/`length`/`numel`/`end` when the shape is not static.
-    DimOf { var: String, sel: DimSel },
+    DimOf {
+        var: String,
+        sel: DimSel,
+    },
     /// The element being stored by the enclosing
     /// [`Instr::StoreElem`] — the paper's
     /// `*ML_realaddr2(a, i-1, j-1)` read inside the owner guard.
@@ -320,8 +323,14 @@ impl EwExpr {
             }
             EwExpr::Call(f, args) => {
                 let w = match f {
-                    SFun::Sqrt | SFun::Abs | SFun::Floor | SFun::Ceil | SFun::Round
-                    | SFun::Sign | SFun::Max | SFun::Min => 4.0,
+                    SFun::Sqrt
+                    | SFun::Abs
+                    | SFun::Floor
+                    | SFun::Ceil
+                    | SFun::Round
+                    | SFun::Sign
+                    | SFun::Max
+                    | SFun::Min => 4.0,
                     _ => 16.0,
                 };
                 w + args.iter().map(|a| a.flop_weight()).sum::<f64>()
@@ -363,17 +372,38 @@ impl RedOp {
 /// Matrix constructors computed without communication.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MatInit {
-    Zeros { rows: SExpr, cols: SExpr },
-    Ones { rows: SExpr, cols: SExpr },
-    Eye { n: SExpr },
+    Zeros {
+        rows: SExpr,
+        cols: SExpr,
+    },
+    Ones {
+        rows: SExpr,
+        cols: SExpr,
+    },
+    Eye {
+        n: SExpr,
+    },
     /// Seeded uniform random matrix; the seed keeps interpreter and
     /// compiled runs comparable.
-    Rand { rows: SExpr, cols: SExpr },
-    Range { start: SExpr, step: SExpr, stop: SExpr },
+    Rand {
+        rows: SExpr,
+        cols: SExpr,
+    },
+    Range {
+        start: SExpr,
+        step: SExpr,
+        stop: SExpr,
+    },
     /// Literal `[a, b; c, d]` of replicated scalar expressions.
-    Literal { rows: Vec<Vec<SExpr>> },
+    Literal {
+        rows: Vec<Vec<SExpr>>,
+    },
     /// Row vector of `n` points from `a` to `b` inclusive.
-    Linspace { a: SExpr, b: SExpr, n: SExpr },
+    Linspace {
+        a: SExpr,
+        b: SExpr,
+        n: SExpr,
+    },
 }
 
 /// One SPMD instruction. Matrix operands are variable names; scalar
@@ -382,91 +412,281 @@ pub enum MatInit {
 pub enum Instr {
     // ---- replicated scalar computation ----
     /// `dst = expr;` on every rank.
-    AssignScalar { dst: String, src: SExpr },
+    AssignScalar {
+        dst: String,
+        src: SExpr,
+    },
 
     // ---- constructors ----
     /// `dst = <constructor>` (no communication).
-    InitMatrix { dst: String, init: MatInit },
+    InitMatrix {
+        dst: String,
+        init: MatInit,
+    },
     /// Copy a whole matrix variable: `dst = src`.
-    CopyMatrix { dst: String, src: String },
+    CopyMatrix {
+        dst: String,
+        src: String,
+    },
     /// Load from a data file via rank-0 + scatter.
-    LoadFile { dst: String, path: String },
+    LoadFile {
+        dst: String,
+        path: String,
+    },
 
     // ---- element-wise loop (no communication) ----
     /// `dst(k) = expr(k)` for every locally owned element.
-    ElemWise { dst: String, expr: EwExpr },
+    ElemWise {
+        dst: String,
+        expr: EwExpr,
+    },
 
     // ---- run-time library calls (communication-bearing) ----
     /// `ML_matrix_multiply(a, b, dst)`.
-    MatMul { dst: String, a: String, b: String },
+    MatMul {
+        dst: String,
+        a: String,
+        b: String,
+    },
     /// `ML_matrix_vector_multiply(a, x, dst)`.
-    MatVec { dst: String, a: String, x: String },
+    MatVec {
+        dst: String,
+        a: String,
+        x: String,
+    },
     /// Outer product `dst = u * v'` of two vectors.
-    Outer { dst: String, u: String, v: String },
+    Outer {
+        dst: String,
+        u: String,
+        v: String,
+    },
     /// `dst = aᵀ` (all-to-all redistribution).
-    Transpose { dst: String, a: String },
+    Transpose {
+        dst: String,
+        a: String,
+    },
     /// `ML_broadcast(&dst, m, i, j)` — fetch one element to a
     /// replicated scalar. Indices are 1-based MATLAB expressions; the
     /// `- 1` adjustment happens at execution/emission, exactly like
     /// the generated C in the paper.
-    BroadcastElem { dst: String, m: String, i: SExpr, j: Option<SExpr> },
+    BroadcastElem {
+        dst: String,
+        m: String,
+        i: SExpr,
+        j: Option<SExpr>,
+    },
     /// Owner-computes guarded element store:
     /// `if (ML_owner(m, i-1, j-1)) *ML_realaddr2(m, i-1, j-1) = val;`
-    StoreElem { m: String, i: SExpr, j: Option<SExpr>, val: SExpr },
+    StoreElem {
+        m: String,
+        i: SExpr,
+        j: Option<SExpr>,
+        val: SExpr,
+    },
     /// Whole-object reduction to a replicated scalar.
-    Reduce { dst: String, op: RedOp, m: String },
+    Reduce {
+        dst: String,
+        op: RedOp,
+        m: String,
+    },
     /// `dst = dot(a, b)` (fused multiply + sum; pass-6 peephole
     /// output).
-    Dot { dst: String, a: String, b: String },
+    Dot {
+        dst: String,
+        a: String,
+        b: String,
+    },
     /// `dst = trapz(x, y)`.
-    TrapzXY { dst: String, x: String, y: String },
+    TrapzXY {
+        dst: String,
+        x: String,
+        y: String,
+    },
     /// MATLAB `sum`/`mean` of a true matrix → row vector of column
     /// aggregates.
-    ColReduce { dst: String, op: ColRedOp, m: String },
+    ColReduce {
+        dst: String,
+        op: ColRedOp,
+        m: String,
+    },
     /// Circular shift of a vector.
-    Shift { dst: String, v: String, k: SExpr },
+    Shift {
+        dst: String,
+        v: String,
+        k: SExpr,
+    },
     /// `dst = m(i, :)` (owner broadcast).
-    ExtractRow { dst: String, m: String, i: SExpr },
+    ExtractRow {
+        dst: String,
+        m: String,
+        i: SExpr,
+    },
     /// `dst = m(:, j)` (no communication).
-    ExtractCol { dst: String, m: String, j: SExpr },
+    ExtractCol {
+        dst: String,
+        m: String,
+        j: SExpr,
+    },
     /// `m(i, :) = v` (gather to owner).
-    AssignRow { m: String, i: SExpr, v: String },
+    AssignRow {
+        m: String,
+        i: SExpr,
+        v: String,
+    },
     /// `m(:, j) = v` (no communication).
-    AssignCol { m: String, j: SExpr, v: String },
+    AssignCol {
+        m: String,
+        j: SExpr,
+        v: String,
+    },
     /// `dst = v(lo:hi)` (1-based inclusive bounds, redistribution).
-    ExtractRange { dst: String, v: String, lo: SExpr, hi: SExpr },
+    ExtractRange {
+        dst: String,
+        v: String,
+        lo: SExpr,
+        hi: SExpr,
+    },
     /// `dst = v(lo:step:hi)` — strided gather (1-based inclusive).
-    ExtractStrided { dst: String, v: String, lo: SExpr, step: SExpr, hi: SExpr },
+    ExtractStrided {
+        dst: String,
+        v: String,
+        lo: SExpr,
+        step: SExpr,
+        hi: SExpr,
+    },
     /// `m(i, :) = val` — scalar fill of a row (no communication).
-    FillRow { m: String, i: SExpr, val: SExpr },
+    FillRow {
+        m: String,
+        i: SExpr,
+        val: SExpr,
+    },
     /// `m(:, j) = val` — scalar fill of a column (no communication).
-    FillCol { m: String, j: SExpr, val: SExpr },
+    FillCol {
+        m: String,
+        j: SExpr,
+        val: SExpr,
+    },
     /// `v(lo:hi) = val` — scalar fill of an element range.
-    FillRange { m: String, lo: SExpr, hi: SExpr, val: SExpr },
+    FillRange {
+        m: String,
+        lo: SExpr,
+        hi: SExpr,
+        val: SExpr,
+    },
     /// `v(lo:hi) = w` — store a vector into an element range.
-    AssignRange { m: String, lo: SExpr, hi: SExpr, v: String },
+    AssignRange {
+        m: String,
+        lo: SExpr,
+        hi: SExpr,
+        v: String,
+    },
     /// De-allocate a temporary's distributed storage (paper §4: "the
     /// run-time library is responsible for the allocation and
     /// de-allocation of vectors and matrices"). Inserted after the
     /// last use of each compiler temporary.
-    Free { name: String },
+    Free {
+        name: String,
+    },
 
     // ---- control flow (replicated conditions) ----
-    If { cond: SExpr, then_body: Vec<Instr>, else_body: Vec<Instr> },
+    If {
+        cond: SExpr,
+        then_body: Vec<Instr>,
+        else_body: Vec<Instr>,
+    },
     /// `while`: re-evaluate `pre` (instructions computing the
     /// condition's inputs, e.g. a norm reduction) then test `cond`.
-    While { pre: Vec<Instr>, cond: SExpr, body: Vec<Instr> },
+    While {
+        pre: Vec<Instr>,
+        cond: SExpr,
+        body: Vec<Instr>,
+    },
     /// Counted loop over a replicated scalar induction variable.
-    For { var: String, start: SExpr, step: SExpr, stop: SExpr, body: Vec<Instr> },
+    For {
+        var: String,
+        start: SExpr,
+        step: SExpr,
+        stop: SExpr,
+        body: Vec<Instr>,
+    },
     Break,
     Continue,
 
     // ---- calls and I/O ----
     /// Call an IR function. `args`/`outs` pair positionally with the
     /// callee's parameters/returns.
-    Call { fun: String, args: Vec<Arg>, outs: Vec<String> },
+    Call {
+        fun: String,
+        args: Vec<Arg>,
+        outs: Vec<String>,
+    },
     /// Display a value (rank 0 prints).
-    Print { name: String, target: PrintTarget },
+    Print {
+        name: String,
+        target: PrintTarget,
+    },
+}
+
+impl Instr {
+    /// Stable lowercase mnemonic for this instruction — the key used
+    /// by per-opcode execution counters and `EngineReport` schemas.
+    pub fn opcode(&self) -> &'static str {
+        match self {
+            Instr::AssignScalar { .. } => "assign-scalar",
+            Instr::InitMatrix { .. } => "init-matrix",
+            Instr::CopyMatrix { .. } => "copy-matrix",
+            Instr::LoadFile { .. } => "load-file",
+            Instr::ElemWise { .. } => "elemwise",
+            Instr::MatMul { .. } => "matmul",
+            Instr::MatVec { .. } => "matvec",
+            Instr::Outer { .. } => "outer",
+            Instr::Transpose { .. } => "transpose",
+            Instr::BroadcastElem { .. } => "broadcast-elem",
+            Instr::StoreElem { .. } => "store-elem",
+            Instr::Reduce { .. } => "reduce",
+            Instr::Dot { .. } => "dot",
+            Instr::TrapzXY { .. } => "trapz",
+            Instr::ColReduce { .. } => "col-reduce",
+            Instr::Shift { .. } => "shift",
+            Instr::ExtractRow { .. } => "extract-row",
+            Instr::ExtractCol { .. } => "extract-col",
+            Instr::AssignRow { .. } => "assign-row",
+            Instr::AssignCol { .. } => "assign-col",
+            Instr::ExtractRange { .. } => "extract-range",
+            Instr::ExtractStrided { .. } => "extract-strided",
+            Instr::FillRow { .. } => "fill-row",
+            Instr::FillCol { .. } => "fill-col",
+            Instr::FillRange { .. } => "fill-range",
+            Instr::AssignRange { .. } => "assign-range",
+            Instr::Free { .. } => "free",
+            Instr::If { .. } => "if",
+            Instr::While { .. } => "while",
+            Instr::For { .. } => "for",
+            Instr::Break => "break",
+            Instr::Continue => "continue",
+            Instr::Call { .. } => "call",
+            Instr::Print { .. } => "print",
+        }
+    }
+
+    /// Whether this instruction lowers to a call into the `ML_*`
+    /// run-time library (versus inline scalar code / control flow).
+    /// Matches the C emitter: every matrix-bearing operation goes
+    /// through the library; scalar assignments, control flow, function
+    /// calls, and printing do not.
+    pub fn is_runtime_call(&self) -> bool {
+        !matches!(
+            self,
+            Instr::AssignScalar { .. }
+                | Instr::If { .. }
+                | Instr::While { .. }
+                | Instr::For { .. }
+                | Instr::Break
+                | Instr::Continue
+                | Instr::Call { .. }
+                | Instr::Print { .. }
+        )
+    }
 }
 
 /// Column-aggregate reductions (`sum(A)`, `mean(A)` on matrices).
@@ -534,9 +754,11 @@ impl IrProgram {
         fn count(body: &[Instr]) -> usize {
             body.iter()
                 .map(|i| match i {
-                    Instr::If { then_body, else_body, .. } => {
-                        1 + count(then_body) + count(else_body)
-                    }
+                    Instr::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => 1 + count(then_body) + count(else_body),
                     Instr::While { pre, body, .. } => 1 + count(pre) + count(body),
                     Instr::For { body, .. } => 1 + count(body),
                     _ => 1,
@@ -544,7 +766,39 @@ impl IrProgram {
                 .sum()
         }
         count(&self.main)
-            + self.functions.values().map(|f| count(&f.body)).sum::<usize>()
+            + self
+                .functions
+                .values()
+                .map(|f| count(&f.body))
+                .sum::<usize>()
+    }
+
+    /// Count instructions (recursively) that call into the `ML_*`
+    /// run-time library — the "runtime-call count" pass statistic.
+    pub fn runtime_call_count(&self) -> usize {
+        fn count(body: &[Instr]) -> usize {
+            body.iter()
+                .map(|i| {
+                    let own = usize::from(i.is_runtime_call());
+                    match i {
+                        Instr::If {
+                            then_body,
+                            else_body,
+                            ..
+                        } => own + count(then_body) + count(else_body),
+                        Instr::While { pre, body, .. } => own + count(pre) + count(body),
+                        Instr::For { body, .. } => own + count(body),
+                        _ => own,
+                    }
+                })
+                .sum()
+        }
+        count(&self.main)
+            + self
+                .functions
+                .values()
+                .map(|f| count(&f.body))
+                .sum::<usize>()
     }
 }
 
@@ -578,7 +832,11 @@ mod tests {
         assert_eq!(SFun::Sqrt.arity(), 1);
         assert_eq!(SFun::Pow.arity(), 2);
         assert_eq!(SFun::Pow.eval(&[2.0, 10.0]), 1024.0);
-        assert_eq!(SFun::Mod.eval(&[-1.0, 3.0]), 2.0, "MATLAB mod follows divisor sign");
+        assert_eq!(
+            SFun::Mod.eval(&[-1.0, 3.0]),
+            2.0,
+            "MATLAB mod follows divisor sign"
+        );
         assert_eq!(SFun::Rem.eval(&[-1.0, 3.0]), -1.0);
     }
 
@@ -615,7 +873,10 @@ mod tests {
     fn instr_count_recurses() {
         let p = IrProgram {
             main: vec![
-                Instr::AssignScalar { dst: "x".into(), src: SExpr::c(1.0) },
+                Instr::AssignScalar {
+                    dst: "x".into(),
+                    src: SExpr::c(1.0),
+                },
                 Instr::For {
                     var: "i".into(),
                     start: SExpr::c(1.0),

@@ -171,7 +171,10 @@ mod tests {
         let i = ExecutionStyle::Interpreter.costs();
         assert!(i.matmul_factor > i.matvec_factor, "matmul gap is widest");
         let m = ExecutionStyle::Matcom.costs();
-        assert!(m.matvec_factor < 1.0, "MATCOM's tuned kernels beat naive compiled code");
+        assert!(
+            m.matvec_factor < 1.0,
+            "MATCOM's tuned kernels beat naive compiled code"
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@ pub struct CpuModel {
 impl CpuModel {
     pub fn new(name: impl Into<String>, flops: f64) -> Self {
         assert!(flops > 0.0, "flops must be positive");
-        CpuModel { name: name.into(), flops }
+        CpuModel {
+            name: name.into(),
+            flops,
+        }
     }
 
     /// Seconds per sustained floating-point operation.
@@ -40,7 +43,11 @@ pub struct LinkModel {
 impl LinkModel {
     pub fn new(latency: f64, bandwidth: f64) -> Self {
         assert!(latency >= 0.0 && bandwidth > 0.0);
-        LinkModel { latency, byte_time: 1.0 / bandwidth, aggregate_bandwidth: None }
+        LinkModel {
+            latency,
+            byte_time: 1.0 / bandwidth,
+            aggregate_bandwidth: None,
+        }
     }
 
     /// Builder: set the shared aggregate-bandwidth ceiling.
@@ -80,7 +87,11 @@ pub enum Topology {
     /// Cluster of SMP nodes: fast intra-node links, slow inter-node
     /// network (SPARC-20s on Ethernet). Ranks are assigned to nodes in
     /// contiguous blocks of `node_size`.
-    ClusterOfSmps { node_size: usize, intra: LinkModel, inter: LinkModel },
+    ClusterOfSmps {
+        node_size: usize,
+        intra: LinkModel,
+        inter: LinkModel,
+    },
 }
 
 /// A modeled parallel computer.
@@ -107,7 +118,11 @@ impl Machine {
     pub fn link(&self, from: usize, to: usize) -> &LinkModel {
         match &self.topology {
             Topology::SharedMemory(l) | Topology::Distributed(l) => l,
-            Topology::ClusterOfSmps { node_size, intra, inter } => {
+            Topology::ClusterOfSmps {
+                node_size,
+                intra,
+                inter,
+            } => {
                 if from / node_size == to / node_size {
                     intra
                 } else {
@@ -151,7 +166,11 @@ impl Machine {
         let topology = match &self.topology {
             Topology::SharedMemory(l) => Topology::SharedMemory(degrade(l)),
             Topology::Distributed(l) => Topology::Distributed(degrade(l)),
-            Topology::ClusterOfSmps { node_size, intra, inter } => Topology::ClusterOfSmps {
+            Topology::ClusterOfSmps {
+                node_size,
+                intra,
+                inter,
+            } => Topology::ClusterOfSmps {
                 node_size: *node_size,
                 intra: degrade(intra),
                 inter: degrade(inter),
@@ -195,7 +214,10 @@ mod tests {
         let l = LinkModel::new(0.0, 10e6).with_aggregate(10e6);
         let alone = l.transfer_time(1_000_000, 1);
         let shared = l.transfer_time(1_000_000, 4);
-        assert!((shared / alone - 4.0).abs() < 1e-9, "shared={shared} alone={alone}");
+        assert!(
+            (shared / alone - 4.0).abs() < 1e-9,
+            "shared={shared} alone={alone}"
+        );
     }
 
     #[test]

@@ -58,9 +58,7 @@ pub fn enterprise_smp() -> Machine {
     Machine {
         name: "Enterprise SMP".into(),
         cpu: CpuModel::new("UltraSPARC 167 MHz", 60e6),
-        topology: Topology::SharedMemory(
-            LinkModel::new(40e-6, 120e6).with_aggregate(300e6),
-        ),
+        topology: Topology::SharedMemory(LinkModel::new(40e-6, 120e6).with_aggregate(300e6)),
         max_cpus: 8,
     }
 }

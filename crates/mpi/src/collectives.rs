@@ -50,7 +50,11 @@ impl Comm {
         }
         // Work in a root-relative rank space so any root works.
         let vrank = (self.rank() + p - root) % p;
-        let mut have: Option<Vec<f64>> = if vrank == 0 { Some(data.to_vec()) } else { None };
+        let mut have: Option<Vec<f64>> = if vrank == 0 {
+            Some(data.to_vec())
+        } else {
+            None
+        };
         let rounds = p.next_power_of_two().trailing_zeros();
         for k in 0..rounds {
             let stride = 1usize << k;
@@ -199,9 +203,9 @@ impl Comm {
         assert!(root < p, "scatter root {root} out of range");
         if self.rank() == root {
             assert_eq!(parts.len(), p, "scatter needs one part per rank");
-            for r in 0..p {
+            for (r, part) in parts.iter().enumerate() {
                 if r != root {
-                    let payload = parts[r].clone();
+                    let payload = part.clone();
                     self.send(r, &payload);
                 }
             }
@@ -228,7 +232,11 @@ mod tests {
         for p in [1, 2, 3, 4, 5, 8] {
             for root in 0..p {
                 let res = run_spmd(&meiko_cs2(), p, |c| {
-                    let data = if c.rank() == root { vec![7.0, 8.0] } else { vec![] };
+                    let data = if c.rank() == root {
+                        vec![7.0, 8.0]
+                    } else {
+                        vec![]
+                    };
                     c.broadcast(root, &data)
                 });
                 for r in &res {
@@ -332,7 +340,12 @@ mod tests {
         });
         let slowest = 1e7 / 25e6;
         for r in &res {
-            assert!(r.value >= slowest, "rank {} clock {} < {slowest}", r.rank, r.value);
+            assert!(
+                r.value >= slowest,
+                "rank {} clock {} < {slowest}",
+                r.rank,
+                r.value
+            );
         }
     }
 

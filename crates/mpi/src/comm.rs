@@ -1,7 +1,7 @@
 //! Per-rank communication endpoints with virtual-time accounting.
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use otter_machine::Machine;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -58,7 +58,15 @@ impl Comm {
     ) -> Self {
         debug_assert_eq!(senders.len(), size);
         debug_assert_eq!(receivers.len(), size);
-        Comm { rank, size, machine, senders, receivers, clock: 0.0, stats: CommStats::default() }
+        Comm {
+            rank,
+            size,
+            machine,
+            senders,
+            receivers,
+            clock: 0.0,
+            stats: CommStats::default(),
+        }
     }
 
     /// This rank's id in `0..size`.
@@ -110,7 +118,11 @@ impl Comm {
     /// pass their stage width; point-to-point passes 1) — it feeds the
     /// aggregate-bandwidth ceiling of bus/Ethernet fabrics.
     pub fn send_concurrent(&mut self, to: usize, data: &[f64], concurrent: usize) {
-        assert!(to < self.size, "send to rank {to} out of range 0..{}", self.size);
+        assert!(
+            to < self.size,
+            "send to rank {to} out of range 0..{}",
+            self.size
+        );
         assert_ne!(to, self.rank, "rank {} sending to itself", self.rank);
         let bytes = data.len() * 8;
         let dt = self.machine.message_time(self.rank, to, bytes, concurrent);
@@ -119,7 +131,10 @@ impl Comm {
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes as u64;
         self.senders[to]
-            .send(Packet { data: data.to_vec(), send_clock: self.clock })
+            .send(Packet {
+                data: data.to_vec(),
+                send_clock: self.clock,
+            })
             .expect("peer rank hung up mid-program");
     }
 
@@ -134,7 +149,11 @@ impl Comm {
     /// post-transfer clock; the receiver waits if it got here early
     /// and proceeds immediately if the message was already buffered.
     pub fn recv(&mut self, from: usize) -> Vec<f64> {
-        assert!(from < self.size, "recv from rank {from} out of range 0..{}", self.size);
+        assert!(
+            from < self.size,
+            "recv from rank {from} out of range 0..{}",
+            self.size
+        );
         assert_ne!(from, self.rank, "rank {} receiving from itself", self.rank);
         let pkt = match self.receivers[from].recv_timeout(DEADLOCK_TIMEOUT) {
             Ok(p) => p,
@@ -143,7 +162,10 @@ impl Comm {
                 self.rank
             ),
             Err(RecvTimeoutError::Disconnected) => {
-                panic!("rank {from} terminated while rank {} awaited its message", self.rank)
+                panic!(
+                    "rank {from} terminated while rank {} awaited its message",
+                    self.rank
+                )
             }
         };
         if pkt.send_clock > self.clock {
@@ -161,7 +183,12 @@ impl Comm {
     /// Receive a single scalar.
     pub fn recv_scalar(&mut self, from: usize) -> f64 {
         let d = self.recv(from);
-        assert_eq!(d.len(), 1, "expected scalar message, got {} elements", d.len());
+        assert_eq!(
+            d.len(),
+            1,
+            "expected scalar message, got {} elements",
+            d.len()
+        );
         d[0]
     }
 }
@@ -243,7 +270,10 @@ mod tests {
             c.compute(25e6);
             c.clock()
         });
-        assert!((res[0].value - 1.0).abs() < 1e-9, "25 Mflop at 25 Mflop/s = 1 s");
+        assert!(
+            (res[0].value - 1.0).abs() < 1e-9,
+            "25 Mflop at 25 Mflop/s = 1 s"
+        );
     }
 
     #[test]
@@ -296,7 +326,12 @@ mod tests {
             }
             c.clock()
         });
-        assert!(res[2].value > 20.0 * res[0].value, "inter={} intra={}", res[2].value, res[0].value);
+        assert!(
+            res[2].value > 20.0 * res[0].value,
+            "inter={} intra={}",
+            res[2].value,
+            res[0].value
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ mod tests {
     fn linear_broadcast_delivers() {
         for p in [1usize, 2, 5, 8] {
             let res = run_spmd(&meiko_cs2(), p, |c| {
-                let data = if c.rank() == 0 { vec![3.0, 4.0] } else { vec![] };
+                let data = if c.rank() == 0 {
+                    vec![3.0, 4.0]
+                } else {
+                    vec![]
+                };
                 c.broadcast_linear(0, &data)
             });
             for r in &res {

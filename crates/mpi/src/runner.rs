@@ -2,8 +2,8 @@
 //! rank on its own OS thread.
 
 use crate::comm::{Comm, Packet};
-use crossbeam::channel::unbounded;
 use otter_machine::Machine;
+use std::sync::mpsc;
 use std::sync::Arc;
 
 /// What one rank produced: its return value, final virtual clock, and
@@ -40,13 +40,13 @@ where
     let machine = Arc::new(machine.clone());
 
     // Build the p×p channel mesh: edges[s][d] connects rank s to rank d.
-    let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Packet>>>> =
+    let mut senders: Vec<Vec<Option<mpsc::Sender<Packet>>>> =
         (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-    let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Packet>>>> =
+    let mut receivers: Vec<Vec<Option<mpsc::Receiver<Packet>>>> =
         (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
     for s in 0..p {
         for d in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = mpsc::channel();
             senders[s][d] = Some(tx);
             receivers[d][s] = Some(rx);
         }
@@ -66,16 +66,26 @@ where
         // Single rank: run inline, no thread overhead.
         let mut comm = comms.pop().unwrap();
         let value = body(&mut comm);
-        out[0] = Some(RankResult { rank: 0, value, clock: comm.clock(), stats: comm.stats() });
+        out[0] = Some(RankResult {
+            rank: 0,
+            value,
+            clock: comm.clock(),
+            stats: comm.stats(),
+        });
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
                 .map(|mut comm| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let rank = comm.rank();
                         let value = body(&mut comm);
-                        RankResult { rank, value, clock: comm.clock(), stats: comm.stats() }
+                        RankResult {
+                            rank,
+                            value,
+                            clock: comm.clock(),
+                            stats: comm.stats(),
+                        }
                     })
                 })
                 .collect();
@@ -84,8 +94,7 @@ where
                 let i = r.rank;
                 out[i] = Some(r);
             }
-        })
-        .expect("SPMD scope failed");
+        });
     }
     out.into_iter().map(Option::unwrap).collect()
 }

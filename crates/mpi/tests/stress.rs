@@ -62,7 +62,9 @@ fn message_storm_is_deterministic() {
             }
             (acc, c.clock())
         });
-        res.iter().map(|r| (r.value.0, r.value.1.to_bits())).collect::<Vec<_>>()
+        res.iter()
+            .map(|r| (r.value.0, r.value.1.to_bits()))
+            .collect::<Vec<_>>()
     };
     let a = run_once();
     let b = run_once();

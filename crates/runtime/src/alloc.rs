@@ -1,0 +1,83 @@
+//! Per-thread accounting of live distributed-matrix memory.
+//!
+//! Every [`crate::DistMatrix`] registers its local block here on
+//! construction and deregisters on drop, giving each rank (one OS
+//! thread in this reproduction) a live-byte counter and a high-water
+//! mark. The executor resets the counters at program start and reads
+//! the peak at program end; unlike the named-workspace peak it counts
+//! *every* allocation, including compiler temporaries — the paper's
+//! §4 point that the run-time library both allocates and de-allocates
+//! is what keeps this curve flat.
+//!
+//! Counters are thread-local because ranks are threads: no locks on
+//! the allocation path, and a sequential caller sees exactly its own
+//! traffic.
+
+use std::cell::Cell;
+
+thread_local! {
+    static LIVE_BYTES: Cell<usize> = const { Cell::new(0) };
+    static PEAK_BYTES: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Reset this thread's counters (call at the start of a measured run).
+pub fn reset() {
+    LIVE_BYTES.with(|c| c.set(0));
+    PEAK_BYTES.with(|c| c.set(0));
+}
+
+/// Bytes of distributed-matrix storage currently live on this thread.
+pub fn live_bytes() -> usize {
+    LIVE_BYTES.with(Cell::get)
+}
+
+/// High-water mark since the last [`reset`].
+pub fn peak_bytes() -> usize {
+    PEAK_BYTES.with(Cell::get)
+}
+
+pub(crate) fn note_alloc(bytes: usize) {
+    LIVE_BYTES.with(|live| {
+        let now = live.get() + bytes;
+        live.set(now);
+        PEAK_BYTES.with(|peak| {
+            if now > peak.get() {
+                peak.set(now);
+            }
+        });
+    });
+}
+
+pub(crate) fn note_free(bytes: usize) {
+    // Saturating: a matrix allocated before the last reset() may be
+    // dropped after it.
+    LIVE_BYTES.with(|live| live.set(live.get().saturating_sub(bytes)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water() {
+        reset();
+        note_alloc(100);
+        note_alloc(200);
+        note_free(100);
+        note_alloc(50);
+        assert_eq!(live_bytes(), 250);
+        assert_eq!(peak_bytes(), 300);
+        reset();
+        assert_eq!(live_bytes(), 0);
+        assert_eq!(peak_bytes(), 0);
+    }
+
+    #[test]
+    fn free_saturates_across_reset() {
+        reset();
+        note_alloc(10);
+        reset();
+        note_free(10); // allocated before the reset — must not underflow
+        assert_eq!(live_bytes(), 0);
+    }
+}

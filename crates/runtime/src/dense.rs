@@ -20,18 +20,31 @@ pub struct Dense {
 impl Dense {
     /// Construct from parts. Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "shape {rows}x{cols} vs {} elements", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "shape {rows}x{cols} vs {} elements",
+            data.len()
+        );
         Dense { rows, cols, data }
     }
 
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Dense { rows, cols, data: vec![0.0; rows * cols] }
+        Dense {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// All-ones matrix.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Dense { rows, cols, data: vec![1.0; rows * cols] }
+        Dense {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -63,7 +76,11 @@ impl Dense {
             ((stop - start) / step).floor() as usize + 1
         };
         let data: Vec<f64> = (0..n).map(|i| start + step * i as f64).collect();
-        Dense { rows: 1, cols: n, data }
+        Dense {
+            rows: 1,
+            cols: n,
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -110,13 +127,23 @@ impl Dense {
 
     /// 0-based element access.
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "({i},{j}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[i * self.cols + j]
     }
 
     /// 0-based element store.
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.rows && j < self.cols, "({i},{j}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[i * self.cols + j] = v;
     }
 
@@ -168,7 +195,12 @@ impl Dense {
         Dense {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -234,7 +266,11 @@ impl Dense {
     /// Dot product of the matrices viewed as flat vectors.
     pub fn dot(&self, other: &Dense) -> f64 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     // ---- reductions -------------------------------------------------------
@@ -315,7 +351,11 @@ impl Dense {
 
     /// MATLAB `mean` with the same vector/matrix convention as `sum`.
     pub fn mean(&self) -> Dense {
-        let n = if self.is_vector() { self.len() } else { self.rows };
+        let n = if self.is_vector() {
+            self.len()
+        } else {
+            self.rows
+        };
         assert!(n > 0, "mean of empty");
         self.sum().map(|s| s / n as f64)
     }
@@ -380,7 +420,11 @@ impl Dense {
         for i in 0..n {
             data.push(self.data[((i - k + n) % n) as usize]);
         }
-        Dense { rows: self.rows, cols: self.cols, data }
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Horizontal concatenation `[a, b]`.
@@ -399,7 +443,11 @@ impl Dense {
         assert_eq!(self.cols, other.cols, "vcat column mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Dense { rows: self.rows + other.rows, cols: self.cols, data }
+        Dense {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Submatrix by 0-based row and column index lists.
@@ -455,8 +503,14 @@ mod tests {
 
     #[test]
     fn ranges() {
-        assert_eq!(Dense::range(1.0, 1.0, 5.0).data(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
-        assert_eq!(Dense::range(0.0, 0.5, 2.0).data(), &[0.0, 0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(
+            Dense::range(1.0, 1.0, 5.0).data(),
+            &[1.0, 2.0, 3.0, 4.0, 5.0]
+        );
+        assert_eq!(
+            Dense::range(0.0, 0.5, 2.0).data(),
+            &[0.0, 0.5, 1.0, 1.5, 2.0]
+        );
         assert_eq!(Dense::range(5.0, -2.0, 0.0).data(), &[5.0, 3.0, 1.0]);
         assert!(Dense::range(1.0, 1.0, 0.0).is_empty());
     }
@@ -465,7 +519,10 @@ mod tests {
     fn linear_index_is_column_major() {
         // [1 3; 2 4] has column-major order 1,2,3,4.
         let m = Dense::from_vec(2, 2, vec![1.0, 3.0, 2.0, 4.0]);
-        assert_eq!((0..4).map(|k| m.get_linear(k)).collect::<Vec<_>>(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            (0..4).map(|k| m.get_linear(k)).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
         let mut m2 = Dense::zeros(2, 2);
         for k in 0..4 {
             m2.set_linear(k, (k + 1) as f64);

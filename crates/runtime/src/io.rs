@@ -18,15 +18,17 @@ use std::path::Path;
 /// Parse a matrix from the ASCII on-disk format.
 pub fn parse_matrix(text: &str) -> Result<Dense, String> {
     let mut nums = text.split_whitespace().map(|t| {
-        t.parse::<f64>().map_err(|e| format!("bad number `{t}`: {e}"))
+        t.parse::<f64>()
+            .map_err(|e| format!("bad number `{t}`: {e}"))
     });
     let rows = nums.next().ok_or("missing row count")?? as usize;
     let cols = nums.next().ok_or("missing column count")?? as usize;
     let mut data = Vec::with_capacity(rows * cols);
     for _ in 0..rows * cols {
-        data.push(nums.next().ok_or_else(|| {
-            format!("expected {} elements, file ends early", rows * cols)
-        })??);
+        data.push(
+            nums.next()
+                .ok_or_else(|| format!("expected {} elements, file ends early", rows * cols))??,
+        );
     }
     Ok(Dense::from_vec(rows, cols, data))
 }

@@ -24,6 +24,7 @@
 //! The [`Dense`] type is the purely local matrix kernel, shared by the
 //! interpreter baseline and used as the oracle in this crate's tests.
 
+pub mod alloc;
 pub mod dense;
 pub mod dist;
 pub mod io;

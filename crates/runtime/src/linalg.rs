@@ -116,7 +116,14 @@ impl DistMatrix {
     /// with `y`'s element blocks.
     pub fn matvec(&self, comm: &mut Comm, x: &DistMatrix) -> DistMatrix {
         assert!(x.is_vector(), "matvec needs a vector");
-        assert_eq!(self.cols(), x.len(), "matvec dimensions {}x{} · {}", self.rows(), self.cols(), x.len());
+        assert_eq!(
+            self.cols(),
+            x.len(),
+            "matvec dimensions {}x{} · {}",
+            self.rows(),
+            self.cols(),
+            x.len()
+        );
         let x_full = x.gather_all(comm).into_data();
         let w = self.cols();
         let local: Vec<f64> = self
@@ -161,8 +168,8 @@ impl DistMatrix {
         let rank = comm.rank();
         let src_rows = Block::new(m, p); // my rows of A
         let dst_rows = Block::new(n, p); // my rows of Aᵀ = columns of A
-        // Ship phase: to each rank d, send A(my rows, d's columns),
-        // transposed so the receiver can splice rows directly.
+                                         // Ship phase: to each rank d, send A(my rows, d's columns),
+                                         // transposed so the receiver can splice rows directly.
         for d in 0..p {
             if d == rank {
                 continue;
@@ -209,14 +216,17 @@ impl DistMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use otter_det::DetRng;
     use otter_machine::meiko_cs2;
     use otter_mpi::run_spmd;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn rand_dense(rows: usize, cols: usize, seed: u64) -> Dense {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Dense::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        let mut rng = DetRng::seed_from_u64(seed);
+        Dense::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
     }
 
     fn assert_close(a: &Dense, b: &Dense, tol: f64) {
@@ -368,7 +378,11 @@ mod tests {
         // 2·m·k·n/p flops per rank at 25 Mflop/s.
         let expect = 2.0 * 32.0 * 32.0 * 32.0 / 2.0 / 25e6;
         for r in &res {
-            assert!(r.value >= expect * 0.9, "charged {} expected ≥ {expect}", r.value);
+            assert!(
+                r.value >= expect * 0.9,
+                "charged {} expected ≥ {expect}",
+                r.value
+            );
         }
     }
 }

@@ -21,7 +21,7 @@ use crate::dist::Block;
 use otter_mpi::Comm;
 
 /// A matrix or vector distributed across the ranks of a job.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct DistMatrix {
     rows: usize,
     cols: usize,
@@ -31,6 +31,28 @@ pub struct DistMatrix {
     rank: usize,
     /// Locally owned elements, row-major over the owned slice.
     local: Vec<f64>,
+}
+
+// Clone and Drop are written out (not derived) so every local block
+// passes through the thread-local allocation accountant; the peak it
+// records is the `peak_temp_bytes` engine counter.
+impl Clone for DistMatrix {
+    fn clone(&self) -> Self {
+        crate::alloc::note_alloc(self.local.len() * 8);
+        DistMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            p: self.p,
+            rank: self.rank,
+            local: self.local.clone(),
+        }
+    }
+}
+
+impl Drop for DistMatrix {
+    fn drop(&mut self) {
+        crate::alloc::note_free(self.local.len() * 8);
+    }
 }
 
 impl DistMatrix {
@@ -118,6 +140,7 @@ impl DistMatrix {
         };
         let n_local = m.block().count(comm.rank()) * m.item_width();
         m.local = vec![0.0; n_local];
+        crate::alloc::note_alloc(n_local * 8);
         m
     }
 
@@ -265,14 +288,23 @@ impl DistMatrix {
 
     /// Which rank owns element (i, j).
     pub fn owner_rank(&self, i: usize, j: usize) -> usize {
-        assert!(i < self.rows && j < self.cols, "({i},{j}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.block().owner(self.item_of(i, j))
     }
 
     /// Local offset of an owned element (`ML_realaddr2`). Panics if
     /// not owned.
     pub fn local_offset(&self, i: usize, j: usize) -> usize {
-        assert!(self.is_owner(i, j), "rank {} does not own ({i},{j})", self.rank);
+        assert!(
+            self.is_owner(i, j),
+            "rank {} does not own ({i},{j})",
+            self.rank
+        );
         let item = self.item_of(i, j);
         let li = item - self.block().start(self.rank);
         if self.is_vector() {
@@ -304,20 +336,26 @@ impl DistMatrix {
     /// broadcasts; everyone must call.
     pub fn get_bcast(&self, comm: &mut Comm, i: usize, j: usize) -> f64 {
         let owner = self.owner_rank(i, j);
-        let v = if owner == comm.rank() { self.get_local(i, j) } else { 0.0 };
+        let v = if owner == comm.rank() {
+            self.get_local(i, j)
+        } else {
+            0.0
+        };
         comm.broadcast_scalar(owner, v)
     }
 
     /// Build from explicitly provided local data (used by the linear
     /// algebra kernels). `local` must have exactly the right length.
-    pub(crate) fn from_local(
-        comm: &Comm,
-        rows: usize,
-        cols: usize,
-        local: Vec<f64>,
-    ) -> DistMatrix {
-        let m = DistMatrix { rows, cols, p: comm.size(), rank: comm.rank(), local };
+    pub(crate) fn from_local(comm: &Comm, rows: usize, cols: usize, local: Vec<f64>) -> DistMatrix {
+        let m = DistMatrix {
+            rows,
+            cols,
+            p: comm.size(),
+            rank: comm.rank(),
+            local,
+        };
         debug_assert_eq!(m.local.len(), m.block().count(comm.rank()) * m.item_width());
+        crate::alloc::note_alloc(m.local.len() * 8);
         m
     }
 
@@ -331,7 +369,14 @@ impl DistMatrix {
     /// local data (the result buffer of a fused element-wise loop).
     pub fn with_local(&self, local: Vec<f64>) -> DistMatrix {
         assert_eq!(local.len(), self.local_els(), "with_local length mismatch");
-        DistMatrix { rows: self.rows, cols: self.cols, p: self.p, rank: self.rank, local }
+        crate::alloc::note_alloc(local.len() * 8);
+        DistMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            p: self.p,
+            rank: self.rank,
+            local,
+        }
     }
 }
 

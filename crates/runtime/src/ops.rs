@@ -40,8 +40,12 @@ impl DistMatrix {
             other.rows(),
             other.cols()
         );
-        let local: Vec<f64> =
-            self.local().iter().zip(other.local()).map(|(&a, &b)| f(a, b)).collect();
+        let local: Vec<f64> = self
+            .local()
+            .iter()
+            .zip(other.local())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
         comm.compute(local.len() as f64 * class.weight());
         DistMatrix::from_local(comm, self.rows(), self.cols(), local)
     }
@@ -66,7 +70,10 @@ impl DistMatrix {
         class: OpClass,
         f: impl Fn(f64, f64) -> f64,
     ) {
-        assert!(self.aligned_with(other), "element-wise update on unaligned shapes");
+        assert!(
+            self.aligned_with(other),
+            "element-wise update on unaligned shapes"
+        );
         for (a, &b) in self.local_mut().iter_mut().zip(other.local()) {
             *a = f(*a, b);
         }
@@ -88,7 +95,6 @@ impl DistMatrix {
         let k = ((k % n) + n) % n; // normalized right-shift
         let b = self.block();
         let rank = comm.rank();
-        
 
         // Destination of my local element with global index g is
         // (g + k) mod n. My contiguous block maps to one or two
@@ -177,8 +183,7 @@ impl DistMatrix {
         assert!(!self.is_vector(), "extract_col on a vector");
         assert!(j < self.cols(), "col {j} out of {}", self.cols());
         let w = self.cols();
-        let local: Vec<f64> =
-            self.local().chunks_exact(w).map(|row| row[j]).collect();
+        let local: Vec<f64> = self.local().chunks_exact(w).map(|row| row[j]).collect();
         comm.compute(local.len() as f64);
         DistMatrix::from_local(comm, self.rows(), 1, local)
     }
@@ -187,7 +192,10 @@ impl DistMatrix {
     /// The row's owner gathers the vector.
     pub fn assign_row(&mut self, comm: &mut Comm, i: usize, v: &DistMatrix) {
         assert!(!self.is_vector());
-        assert!(v.is_vector() && v.len() == self.cols(), "row assignment shape mismatch");
+        assert!(
+            v.is_vector() && v.len() == self.cols(),
+            "row assignment shape mismatch"
+        );
         let owner = self.owner_rank(i, 0);
         let full = v.gather_to(comm, owner);
         if let Some(full) = full {
@@ -202,7 +210,10 @@ impl DistMatrix {
     /// (`a(:, j) = v`). Communication-free by alignment.
     pub fn assign_col(&mut self, comm: &mut Comm, j: usize, v: &DistMatrix) {
         assert!(!self.is_vector());
-        assert!(v.is_vector() && v.len() == self.rows(), "column assignment shape mismatch");
+        assert!(
+            v.is_vector() && v.len() == self.rows(),
+            "column assignment shape mismatch"
+        );
         let w = self.cols();
         let vlocal = v.local().to_vec();
         for (row, &x) in self.local_mut().chunks_exact_mut(w).zip(&vlocal) {
@@ -215,7 +226,11 @@ impl DistMatrix {
     /// (`v(lo..hi)`, 0-based half-open) as a new distributed vector.
     pub fn extract_range(&self, comm: &mut Comm, lo: usize, hi: usize) -> DistMatrix {
         assert!(self.is_vector(), "extract_range expects a vector");
-        assert!(lo <= hi && hi <= self.len(), "range {lo}..{hi} out of {}", self.len());
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "range {lo}..{hi} out of {}",
+            self.len()
+        );
         let n_new = hi - lo;
         let src_b = self.block();
         let dst_b = Block::new(n_new, comm.size());
@@ -259,7 +274,11 @@ impl DistMatrix {
             g += run;
         }
         comm.compute(out.len() as f64);
-        let (rows, cols) = if self.rows() == 1 { (1, n_new) } else { (n_new, 1) };
+        let (rows, cols) = if self.rows() == 1 {
+            (1, n_new)
+        } else {
+            (n_new, 1)
+        };
         DistMatrix::from_local(comm, rows, cols, out)
     }
 }
@@ -291,7 +310,8 @@ mod tests {
     fn map_scalar_multiplies() {
         let res = run_spmd(&meiko_cs2(), 3, |c| {
             let a = dist_counting(c, 1, 7);
-            a.map_scalar(c, 2.0, OpClass::Mul, |x, s| x * s).gather_all(c)
+            a.map_scalar(c, 2.0, OpClass::Mul, |x, s| x * s)
+                .gather_all(c)
         });
         assert_eq!(res[0].value.data()[3], 6.0);
     }
@@ -314,9 +334,7 @@ mod tests {
         for p in [1usize, 2, 4, 5] {
             for k in [-17i64, -5, -1, 0, 1, 3, 12, 13, 14, 27] {
                 let res = run_spmd(&meiko_cs2(), p, move |c| {
-                    let d = Dense::row_vector(
-                        &(0..n).map(|x| x as f64).collect::<Vec<_>>(),
-                    );
+                    let d = Dense::row_vector(&(0..n).map(|x| x as f64).collect::<Vec<_>>());
                     let v = DistMatrix::from_replicated(c, &d);
                     let shifted = v.circshift(c, k);
                     (shifted.gather_all(c), d.circshift(k))
@@ -387,10 +405,8 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 4, |c| {
             let mut a = DistMatrix::zeros(c, 5, 4);
             let r = DistMatrix::from_replicated(c, &Dense::row_vector(&[1.0, 2.0, 3.0, 4.0]));
-            let v = DistMatrix::from_replicated(
-                c,
-                &Dense::col_vector(&[10.0, 20.0, 30.0, 40.0, 50.0]),
-            );
+            let v =
+                DistMatrix::from_replicated(c, &Dense::col_vector(&[10.0, 20.0, 30.0, 40.0, 50.0]));
             a.assign_row(c, 2, &r);
             a.assign_col(c, 0, &v);
             a.gather_all(c)
@@ -508,7 +524,11 @@ impl DistMatrix {
     /// half-open): each rank fills its local overlap.
     pub fn fill_range(&mut self, comm: &mut Comm, lo: usize, hi: usize, val: f64) {
         assert!(self.is_vector(), "fill_range expects a vector");
-        assert!(lo <= hi && hi <= self.len(), "range {lo}..{hi} out of {}", self.len());
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "range {lo}..{hi} out of {}",
+            self.len()
+        );
         let my = self.local_range();
         let a = my.start.max(lo);
         let b = my.end.min(hi);
@@ -523,8 +543,15 @@ impl DistMatrix {
     /// `w` is gathered (it is at most the range's size); each rank
     /// writes its local overlap.
     pub fn assign_range(&mut self, comm: &mut Comm, lo: usize, hi: usize, w: &DistMatrix) {
-        assert!(self.is_vector() && w.is_vector(), "assign_range expects vectors");
-        assert!(lo <= hi && hi <= self.len(), "range {lo}..{hi} out of {}", self.len());
+        assert!(
+            self.is_vector() && w.is_vector(),
+            "assign_range expects vectors"
+        );
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "range {lo}..{hi} out of {}",
+            self.len()
+        );
         assert_eq!(w.len(), hi - lo, "assign_range length mismatch");
         let full = w.gather_all(comm);
         let my = self.local_range();
@@ -581,7 +608,10 @@ mod slice_tests {
         assert_eq!(a.get(1, 2), 9.0, "column fill wins (applied second)");
         assert_eq!(a.get(4, 2), 9.0);
         assert_eq!(a.get(0, 0), 0.0);
-        assert_eq!(v.data(), &[0.0, 1.0, 2.0, -1.0, -1.0, -1.0, -1.0, 7.0, 8.0, 9.0]);
+        assert_eq!(
+            v.data(),
+            &[0.0, 1.0, 2.0, -1.0, -1.0, -1.0, -1.0, 7.0, 8.0, 9.0]
+        );
     }
 
     #[test]

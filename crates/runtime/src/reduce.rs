@@ -19,7 +19,12 @@ impl DistMatrix {
                 || (self.is_vector() && other.is_vector() && self.len() == other.len()),
             "dot on unaligned operands"
         );
-        let local: f64 = self.local().iter().zip(other.local()).map(|(&a, &b)| a * b).sum();
+        let local: f64 = self
+            .local()
+            .iter()
+            .zip(other.local())
+            .map(|(&a, &b)| a * b)
+            .sum();
         comm.compute(2.0 * self.local_els() as f64);
         comm.allreduce_scalar(local, ReduceOp::Sum)
     }
@@ -131,7 +136,11 @@ impl DistMatrix {
 
     /// MATLAB `mean` with the `sum` conventions.
     pub fn mean(&self, comm: &mut Comm) -> DistMatrix {
-        let n = if self.is_vector() { self.len() } else { self.rows() };
+        let n = if self.is_vector() {
+            self.len()
+        } else {
+            self.rows()
+        };
         assert!(n > 0, "mean of empty");
         let s = self.sum(comm);
         s.map_scalar(comm, n as f64, otter_machine::OpClass::Div, |x, d| x / d)
@@ -139,7 +148,11 @@ impl DistMatrix {
 
     /// Largest element, replicated.
     pub fn max_all(&self, comm: &mut Comm) -> f64 {
-        let local = self.local().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let local = self
+            .local()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         comm.compute(self.local_els() as f64);
         comm.allreduce_scalar(local, ReduceOp::Max)
     }
@@ -215,7 +228,7 @@ impl DistMatrix {
     fn halo_right(&self, comm: &mut Comm) -> Option<f64> {
         let b = self.block();
         let rank = comm.rank();
-        
+
         // Ranks with empty blocks neither send nor receive.
         let my = b.range(rank);
         // Send my head to the owner of my.start - 1 (if any and not me).
@@ -243,13 +256,12 @@ impl DistMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use otter_det::DetRng;
     use otter_machine::meiko_cs2;
     use otter_mpi::run_spmd;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
     }
 

@@ -1,55 +1,55 @@
-//! Property tests for the distribution math and the distributed
-//! run-time library, with the dense kernel as oracle.
+//! Randomised (deterministic, seeded) tests for the distribution math
+//! and the distributed run-time library, with the dense kernel as
+//! oracle.
 
+use otter_det::DetRng;
 use otter_machine::meiko_cs2;
 use otter_mpi::run_spmd;
 use otter_rt::{Block, Dense, DistMatrix};
-use proptest::prelude::*;
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// The block partition is exactly that: disjoint, contiguous,
-    /// covering, balanced.
-    #[test]
-    fn block_partition_invariants(n in 0usize..300, p in 1usize..17) {
+/// The block partition is exactly that: disjoint, contiguous,
+/// covering, balanced.
+#[test]
+fn block_partition_invariants() {
+    let mut rng = DetRng::seed_from_u64(0xD157_0001);
+    for _ in 0..64 {
+        let n = rng.gen_index(300);
+        let p = 1 + rng.gen_index(16);
         let b = Block::new(n, p);
         let mut covered = 0usize;
         let mut prev_end = 0usize;
         let mut max_c = 0usize;
         let mut min_c = usize::MAX;
         for r in 0..p {
-            prop_assert_eq!(b.start(r), prev_end, "contiguous");
+            assert_eq!(b.start(r), prev_end, "contiguous");
             covered += b.count(r);
             prev_end = b.end(r);
             max_c = max_c.max(b.count(r));
             min_c = min_c.min(b.count(r));
         }
-        prop_assert_eq!(covered, n, "covering");
-        prop_assert!(max_c - min_c <= 1, "balanced");
+        assert_eq!(covered, n, "covering");
+        assert!(max_c - min_c <= 1, "balanced");
         for i in 0..n {
             let o = b.owner(i);
-            prop_assert!(b.range(o).contains(&i), "owner consistent");
-            prop_assert_eq!(b.start(o) + b.to_local(i), i, "local round-trip");
+            assert!(b.range(o).contains(&i), "owner consistent");
+            assert_eq!(b.start(o) + b.to_local(i), i, "local round-trip");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// Distribute → gather is the identity for any shape and p.
-    #[test]
-    fn scatter_gather_identity(
-        rows in 1usize..12,
-        cols in 1usize..12,
-        p in 1usize..9,
-        seed in any::<u64>(),
-    ) {
+/// Distribute → gather is the identity for any shape and p.
+#[test]
+fn scatter_gather_identity() {
+    let mut rng = DetRng::seed_from_u64(0xD157_0002);
+    for _ in 0..12 {
+        let rows = 1 + rng.gen_index(11);
+        let cols = 1 + rng.gen_index(11);
+        let p = 1 + rng.gen_index(8);
+        let seed = rng.next_u64();
         let data: Vec<f64> = (0..rows * cols)
             .map(|k| ((k as u64).wrapping_mul(seed | 1) % 1000) as f64 / 7.0)
             .collect();
@@ -59,19 +59,21 @@ proptest! {
             DistMatrix::from_replicated(c, &dd).gather_all(c)
         });
         for r in &res {
-            prop_assert_eq!(&r.value, &d);
+            assert_eq!(&r.value, &d);
         }
     }
+}
 
-    /// Distributed matmul equals dense matmul for random shapes.
-    #[test]
-    fn matmul_matches_dense(
-        m in 1usize..10,
-        k in 2usize..10,
-        n in 2usize..10,
-        p in 1usize..7,
-        seed in any::<u64>(),
-    ) {
+/// Distributed matmul equals dense matmul for random shapes.
+#[test]
+fn matmul_matches_dense() {
+    let mut rng = DetRng::seed_from_u64(0xD157_0003);
+    for _ in 0..12 {
+        let m = 1 + rng.gen_index(9);
+        let k = 2 + rng.gen_index(8);
+        let n = 2 + rng.gen_index(8);
+        let p = 1 + rng.gen_index(6);
+        let seed = rng.next_u64();
         let gen = |rows: usize, cols: usize, salt: u64| {
             Dense::from_vec(
                 rows,
@@ -91,17 +93,19 @@ proptest! {
             da.matmul(c, &db).gather_all(c)
         });
         for (x, y) in res[0].value.data().iter().zip(oracle.data()) {
-            prop_assert!(close(*x, *y), "{x} vs {y}");
+            assert!(close(*x, *y), "{x} vs {y}");
         }
     }
+}
 
-    /// Reductions on distributed data equal dense reductions.
-    #[test]
-    fn reductions_match_dense(
-        len in 1usize..60,
-        p in 1usize..9,
-        seed in any::<u64>(),
-    ) {
+/// Reductions on distributed data equal dense reductions.
+#[test]
+fn reductions_match_dense() {
+    let mut rng = DetRng::seed_from_u64(0xD157_0004);
+    for _ in 0..12 {
+        let len = 1 + rng.gen_index(59);
+        let p = 1 + rng.gen_index(8);
+        let seed = rng.next_u64();
         let v: Vec<f64> = (0..len)
             .map(|i| (((i as u64).wrapping_mul(seed | 5)) % 1001) as f64 / 13.0 - 30.0)
             .collect();
@@ -110,43 +114,55 @@ proptest! {
             (d.sum_all(), d.max_all(), d.min_all(), d.norm2(), d.trapz());
         let res = run_spmd(&meiko_cs2(), p, move |c| {
             let x = DistMatrix::from_replicated(c, &d);
-            (x.sum_all(c), x.max_all(c), x.min_all(c), x.norm2(c), x.trapz(c))
+            (
+                x.sum_all(c),
+                x.max_all(c),
+                x.min_all(c),
+                x.norm2(c),
+                x.trapz(c),
+            )
         });
         for r in &res {
-            prop_assert!(close(r.value.0, sum0));
-            prop_assert_eq!(r.value.1, max0);
-            prop_assert_eq!(r.value.2, min0);
-            prop_assert!(close(r.value.3, norm0));
-            prop_assert!(close(r.value.4, trapz0));
+            assert!(close(r.value.0, sum0));
+            assert_eq!(r.value.1, max0);
+            assert_eq!(r.value.2, min0);
+            assert!(close(r.value.3, norm0));
+            assert!(close(r.value.4, trapz0));
         }
     }
+}
 
-    /// circshift matches the dense oracle for any shift.
-    #[test]
-    fn circshift_matches_dense(
-        len in 1usize..40,
-        p in 1usize..8,
-        k in -100i64..100,
-        seed in any::<u64>(),
-    ) {
+/// circshift matches the dense oracle for any shift.
+#[test]
+fn circshift_matches_dense() {
+    let mut rng = DetRng::seed_from_u64(0xD157_0005);
+    for _ in 0..12 {
+        let len = 1 + rng.gen_index(39);
+        let p = 1 + rng.gen_index(7);
+        let k = rng.gen_index(200) as i64 - 100;
+        let seed = rng.next_u64();
         let v: Vec<f64> = (0..len).map(|i| ((i as u64 ^ seed) % 97) as f64).collect();
         let d = Dense::row_vector(&v);
         let oracle = d.circshift(k);
         let res = run_spmd(&meiko_cs2(), p, move |c| {
-            DistMatrix::from_replicated(c, &d).circshift(c, k).gather_all(c)
+            DistMatrix::from_replicated(c, &d)
+                .circshift(c, k)
+                .gather_all(c)
         });
         for r in &res {
-            prop_assert_eq!(&r.value, &oracle, "len={} p={} k={}", len, p, k);
+            assert_eq!(&r.value, &oracle, "len={} p={} k={}", len, p, k);
         }
     }
+}
 
-    /// Transpose is an involution and matches dense.
-    #[test]
-    fn transpose_matches_dense(
-        rows in 1usize..10,
-        cols in 1usize..10,
-        p in 1usize..6,
-    ) {
+/// Transpose is an involution and matches dense.
+#[test]
+fn transpose_matches_dense() {
+    let mut rng = DetRng::seed_from_u64(0xD157_0006);
+    for _ in 0..12 {
+        let rows = 1 + rng.gen_index(9);
+        let cols = 1 + rng.gen_index(9);
+        let p = 1 + rng.gen_index(5);
         let d = Dense::from_vec(
             rows,
             cols,
@@ -160,13 +176,19 @@ proptest! {
             let tt = t.transpose(c);
             (t.gather_all(c), tt.gather_all(c))
         });
-        prop_assert_eq!(&res[0].value.0, &oracle);
-        prop_assert_eq!(&res[0].value.1, &d);
+        assert_eq!(&res[0].value.0, &oracle);
+        assert_eq!(&res[0].value.1, &d);
     }
+}
 
-    /// Every element has exactly one owner, on every rank count.
-    #[test]
-    fn owner_is_a_partition(rows in 1usize..14, cols in 1usize..6, p in 1usize..9) {
+/// Every element has exactly one owner, on every rank count.
+#[test]
+fn owner_is_a_partition() {
+    let mut rng = DetRng::seed_from_u64(0xD157_0007);
+    for _ in 0..12 {
+        let rows = 1 + rng.gen_index(13);
+        let cols = 1 + rng.gen_index(5);
+        let p = 1 + rng.gen_index(8);
         let res = run_spmd(&meiko_cs2(), p, move |c| {
             let m = DistMatrix::zeros(c, rows, cols);
             let mut owned = 0usize;
@@ -180,22 +202,20 @@ proptest! {
             owned
         });
         let total: usize = res.iter().map(|r| r.value).sum();
-        prop_assert_eq!(total, rows * cols);
+        assert_eq!(total, rows * cols);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
-
-    /// Column reductions (sum/mean/prod/max/min/any/all) match the
-    /// dense kernel for every shape and rank count.
-    #[test]
-    fn column_reductions_match_dense(
-        rows in 1usize..10,
-        cols in 1usize..7,
-        p in 1usize..6,
-        seed in any::<u64>(),
-    ) {
+/// Column reductions (sum/mean/prod/max/min/any/all) match the dense
+/// kernel for every shape and rank count.
+#[test]
+fn column_reductions_match_dense() {
+    let mut rng = DetRng::seed_from_u64(0xD157_0008);
+    for _ in 0..10 {
+        let rows = 1 + rng.gen_index(9);
+        let cols = 1 + rng.gen_index(6);
+        let p = 1 + rng.gen_index(5);
+        let seed = rng.next_u64();
         let d = Dense::from_vec(
             rows,
             cols,
@@ -238,9 +258,12 @@ proptest! {
         .into_iter()
         .enumerate()
         {
-            prop_assert_eq!((g.rows(), g.cols()), (o.rows(), o.cols()), "op {} shape", i);
+            assert_eq!((g.rows(), g.cols()), (o.rows(), o.cols()), "op {} shape", i);
             for (x, y) in g.data().iter().zip(o.data()) {
-                prop_assert!(close(*x, *y), "op {}: {} vs {} (rows={rows} cols={cols} p={p})", i, x, y);
+                assert!(
+                    close(*x, *y),
+                    "op {i}: {x} vs {y} (rows={rows} cols={cols} p={p})"
+                );
             }
         }
     }

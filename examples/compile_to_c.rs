@@ -35,8 +35,8 @@ s = sum(sum(a));
             (app.name.to_string(), app.script)
         }
         Some(path) => {
-            let src = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let src =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             (path.to_string(), src)
         }
     };

@@ -13,7 +13,7 @@
 //! cargo run --release --example heat_diffusion
 //! ```
 
-use otter_core::{compile_str, run_compiled, run_interpreter, BaselineOptions};
+use otter_core::{compile_str, run_engine, Engine, EngineOptions, InterpreterEngine, OtterEngine};
 use otter_machine::{meiko_cs2, workstation};
 
 fn main() {
@@ -45,18 +45,31 @@ center = u(floor(n / 2));
     );
 
     // Scientists' workflow: interpreter first...
-    let interp = run_interpreter(&script, &workstation(), &BaselineOptions::default())
-        .expect("interpreter run");
+    let interp = run_engine(
+        &mut InterpreterEngine::new(EngineOptions::default()),
+        &script,
+        &workstation(),
+        1,
+    )
+    .expect("interpreter run");
     // ...then the unchanged script, compiled for the parallel machine.
     let compiled = compile_str(&script).expect("compiles");
     let machine = meiko_cs2();
-    let run16 = run_compiled(&compiled, &machine, 16).expect("p=16");
+    let run16 = OtterEngine::from_compiled(compiled)
+        .run(&machine, 16)
+        .expect("p=16");
 
     println!("1-D heat diffusion, n = {n} points, {steps} explicit steps\n");
-    println!("{:<24} {:>14} {:>14}", "quantity", "interpreter", "Otter x16");
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "quantity", "interpreter", "Otter x16"
+    );
     println!("{}", "-".repeat(54));
-    for (label, var) in [("peak temperature", "peak"), ("total heat", "heat"), ("center", "center")]
-    {
+    for (label, var) in [
+        ("peak temperature", "peak"),
+        ("total heat", "heat"),
+        ("center", "center"),
+    ] {
         println!(
             "{label:<24} {:>14.6} {:>14.6}",
             interp.scalar(var).unwrap(),

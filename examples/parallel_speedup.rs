@@ -9,23 +9,39 @@
 //! ```
 
 use otter_apps::cg;
-use otter_core::{compile_str, run_compiled, run_interpreter, BaselineOptions};
+use otter_core::{compile_str, run_engine, Engine, EngineOptions, InterpreterEngine, OtterEngine};
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
-    let app = cg::conjugate_gradient(cg::Params { n, iters: 30, tol: 1e-12 });
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let app = cg::conjugate_gradient(cg::Params {
+        n,
+        iters: 30,
+        tol: 1e-12,
+    });
     println!("Conjugate gradient, n = {n}: speedup over the MATLAB interpreter\n");
 
     let compiled = compile_str(&app.script).expect("CG compiles");
+    let mut engine = OtterEngine::from_compiled(compiled);
     for machine in [meiko_cs2(), sparc20_cluster(), enterprise_smp()] {
-        let interp = run_interpreter(&app.script, &machine, &BaselineOptions::default())
-            .expect("interpreter baseline");
+        let interp = run_engine(
+            &mut InterpreterEngine::new(EngineOptions::default()),
+            &app.script,
+            &machine,
+            1,
+        )
+        .expect("interpreter baseline");
         print!("{:<22}", machine.name);
         let mut p = 1;
         while p <= machine.max_cpus {
-            let run = run_compiled(&compiled, &machine, p).expect("compiled run");
-            print!("  p={p}: {:>6.1}x", interp.modeled_seconds / run.modeled_seconds);
+            let run = engine.run(&machine, p).expect("compiled run");
+            print!(
+                "  p={p}: {:>6.1}x",
+                interp.modeled_seconds / run.modeled_seconds
+            );
             p *= 2;
         }
         println!();

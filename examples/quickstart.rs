@@ -6,7 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use otter_core::{compile_str, run_compiled, run_interpreter, BaselineOptions};
+use otter_core::{compile_str, run_engine, Engine, EngineOptions, InterpreterEngine, OtterEngine};
 use otter_machine::{meiko_cs2, workstation};
 
 fn main() {
@@ -45,18 +45,33 @@ resid = norm(b - A * x);
 
     // Run on 1 and 16 CPUs of a modeled Meiko CS-2.
     let machine = meiko_cs2();
-    let t1 = run_compiled(&compiled, &machine, 1).expect("p=1 runs");
-    let t16 = run_compiled(&compiled, &machine, 16).expect("p=16 runs");
-    let interp =
-        run_interpreter(script, &workstation(), &BaselineOptions::default()).expect("interp");
+    let mut engine = OtterEngine::from_compiled(compiled);
+    let t1 = engine.run(&machine, 1).expect("p=1 runs");
+    let t16 = engine.run(&machine, 16).expect("p=16 runs");
+    let interp = run_engine(
+        &mut InterpreterEngine::new(EngineOptions::default()),
+        script,
+        &workstation(),
+        1,
+    )
+    .expect("interp");
 
     println!("== Results ==");
-    println!("  residual (p=16)      : {:.3e}", t16.scalar("resid").unwrap());
-    println!("  interpreter result    : {:.3e}", interp.scalar("resid").unwrap());
+    println!(
+        "  residual (p=16)      : {:.3e}",
+        t16.scalar("resid").unwrap()
+    );
+    println!(
+        "  interpreter result    : {:.3e}",
+        interp.scalar("resid").unwrap()
+    );
     println!();
     println!("== Modeled times on the Meiko CS-2 ==");
     println!("  1 CPU  : {:.4} s", t1.modeled_seconds);
-    println!("  16 CPUs: {:.4} s  (speedup {:.1}x)", t16.modeled_seconds,
-        t1.modeled_seconds / t16.modeled_seconds);
+    println!(
+        "  16 CPUs: {:.4} s  (speedup {:.1}x)",
+        t16.modeled_seconds,
+        t1.modeled_seconds / t16.modeled_seconds
+    );
     println!("  messages at p=16: {}, bytes: {}", t16.messages, t16.bytes);
 }

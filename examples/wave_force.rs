@@ -9,7 +9,7 @@
 //! ```
 
 use otter_apps::ocean;
-use otter_core::{compile_str, run_compiled, run_interpreter, BaselineOptions};
+use otter_core::{compile_str, run_engine, Engine, EngineOptions, InterpreterEngine, OtterEngine};
 use otter_machine::{meiko_cs2, workstation};
 
 fn main() {
@@ -17,18 +17,28 @@ fn main() {
 
     // Engineers debug in the interpreter first (the workflow the
     // paper's introduction describes)...
-    let interp = run_interpreter(&app.script, &workstation(), &BaselineOptions::default())
-        .expect("interpreter run");
+    let interp = run_engine(
+        &mut InterpreterEngine::new(EngineOptions::default()),
+        &app.script,
+        &workstation(),
+        1,
+    )
+    .expect("interpreter run");
 
     // ...then compile the same script, unchanged, for the parallel
     // machine.
     let compiled = compile_str(&app.script).expect("ocean script compiles");
     let machine = meiko_cs2();
-    let parallel = run_compiled(&compiled, &machine, 16).expect("p=16 run");
+    let parallel = OtterEngine::from_compiled(compiled)
+        .run(&machine, 16)
+        .expect("p=16 run");
 
     println!("Morrison-equation wave force on a submerged sphere");
     println!("(4096 time samples, 32 depth samples)\n");
-    println!("{:<28} {:>16} {:>16}", "quantity", "interpreter", "Otter, 16 CPUs");
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "quantity", "interpreter", "Otter, 16 CPUs"
+    );
     println!("{}", "-".repeat(62));
     for (label, var) in [
         ("net impulse [N·s]", "impulse"),

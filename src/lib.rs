@@ -12,31 +12,31 @@
 //! cross-crate integration tests (`tests/`). Most users want:
 //!
 //! ```
-//! use otter::core::{compile_str, run_compiled};
+//! use otter::core::{compile_str, Engine, OtterEngine};
 //! use otter::machine::meiko_cs2;
 //!
 //! let compiled = compile_str("v = 1:100;\ns = sum(v);").unwrap();
-//! let run = run_compiled(&compiled, &meiko_cs2(), 8).unwrap();
-//! assert_eq!(run.scalar("s"), Some(5050.0));
+//! let report = OtterEngine::from_compiled(compiled).run(&meiko_cs2(), 8).unwrap();
+//! assert_eq!(report.scalar("s"), Some(5050.0));
 //! ```
 
+/// Resolution, SSA, type/rank/shape inference.
+pub use otter_analysis as analysis;
+/// The paper's four benchmark applications.
+pub use otter_apps as apps;
+/// Lowering, peephole optimization, C emission.
+pub use otter_codegen as codegen;
 /// The compiler driver and execution engines.
 pub use otter_core as core;
 /// MATLAB front end: lexer, parser, AST.
 pub use otter_frontend as frontend;
-/// Resolution, SSA, type/rank/shape inference.
-pub use otter_analysis as analysis;
-/// The SPMD intermediate representation.
-pub use otter_ir as ir;
-/// Lowering, peephole optimization, C emission.
-pub use otter_codegen as codegen;
-/// The distributed-matrix run-time library.
-pub use otter_rt as rt;
-/// The message-passing substrate.
-pub use otter_mpi as mpi;
-/// Machine performance models.
-pub use otter_machine as machine;
 /// The baseline MATLAB interpreter.
 pub use otter_interp as interp;
-/// The paper's four benchmark applications.
-pub use otter_apps as apps;
+/// The SPMD intermediate representation.
+pub use otter_ir as ir;
+/// Machine performance models.
+pub use otter_machine as machine;
+/// The message-passing substrate.
+pub use otter_mpi as mpi;
+/// The distributed-matrix run-time library.
+pub use otter_rt as rt;

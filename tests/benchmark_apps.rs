@@ -4,19 +4,21 @@
 //! interpreter oracle, at every processor count on every modeled
 //! machine.
 
-use otter_core::{compile_str, run_compiled, run_interpreter, BaselineOptions, EngineRun};
+mod common;
+
+use common::{run_compiled, run_interpreter};
+use otter_core::{compile_str, EngineReport};
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
 
 fn assert_app_matches(app: &otter_apps::App, machine: &Machine, ps: &[usize]) {
-    let base = run_interpreter(&app.script, &workstation(), &BaselineOptions::default())
+    let base = run_interpreter(&app.script, &workstation())
         .unwrap_or_else(|e| panic!("{}: interpreter: {e}", app.id));
-    let compiled =
-        compile_str(&app.script).unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
+    let compiled = compile_str(&app.script).unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
     for &p in ps {
         if p > machine.max_cpus {
             continue;
         }
-        let run: EngineRun = run_compiled(&compiled, machine, p)
+        let run: EngineReport = run_compiled(&compiled, machine, p)
             .unwrap_or_else(|e| panic!("{}: p={p}: {e}", app.id));
         for v in &app.result_vars {
             let a = base
@@ -84,11 +86,64 @@ fn odd_processor_counts_work() {
 }
 
 #[test]
+fn all_three_engines_agree_on_every_benchmark_app() {
+    // Acceptance check for the unified `Engine` trait: the
+    // interpreter, MATCOM, and Otter engines produce numerically equal
+    // results on the four benchmark apps, and every report carries the
+    // uniform counters.
+    use otter_core::{run_engine, standard_engines, EngineOptions};
+    for app in otter_apps::test_apps() {
+        let mut reports = Vec::new();
+        for mut engine in standard_engines(&EngineOptions::default()) {
+            let name = engine.name();
+            let r = run_engine(engine.as_mut(), &app.script, &meiko_cs2(), 8)
+                .unwrap_or_else(|e| panic!("{}: {name}: {e}", app.id));
+            assert!(r.total_ops() > 0, "{}: {}: no op counts", app.id, r.engine);
+            assert!(r.modeled_seconds > 0.0, "{}: {}", app.id, r.engine);
+            reports.push(r);
+        }
+        let base = &reports[0];
+        for r in &reports[1..] {
+            for v in &app.result_vars {
+                let a = base
+                    .scalar(v)
+                    .unwrap_or_else(|| panic!("{}: {} lacks `{v}`", app.id, base.engine));
+                let b = r
+                    .scalar(v)
+                    .unwrap_or_else(|| panic!("{}: {} lacks `{v}`", app.id, r.engine));
+                assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + a.abs()),
+                    "{}: `{v}` {}={a} vs {}={b}",
+                    app.id,
+                    base.engine,
+                    r.engine
+                );
+            }
+        }
+        // Only the SPMD engine communicates; its per-rank counters must
+        // sum to the totals.
+        let otter = reports.iter().find(|r| r.engine == "otter").unwrap();
+        assert_eq!(otter.per_rank.len(), 8, "{}", app.id);
+        let msg_sum: u64 = otter.per_rank.iter().map(|c| c.messages).sum();
+        assert_eq!(msg_sum, otter.messages, "{}", app.id);
+        for r in &reports {
+            if r.engine != "otter" {
+                assert_eq!(r.messages, 0, "{}: {} is sequential", app.id, r.engine);
+            }
+        }
+    }
+}
+
+#[test]
 fn cg_actually_converges_in_compiled_form() {
     let app = otter_apps::cg::conjugate_gradient(otter_apps::cg::Params::test());
     let compiled = compile_str(&app.script).unwrap();
     let run = run_compiled(&compiled, &meiko_cs2(), 8).unwrap();
-    assert!(run.scalar("err").unwrap() < 1e-6, "err={:?}", run.scalar("err"));
+    assert!(
+        run.scalar("err").unwrap() < 1e-6,
+        "err={:?}",
+        run.scalar("err")
+    );
 }
 
 #[test]

@@ -1,0 +1,39 @@
+//! Shared helpers for the integration tests: thin wrappers over the
+//! [`otter_core::Engine`] trait.
+
+#![allow(dead_code)]
+
+use otter_core::{
+    run_engine, Compiled, Engine, EngineOptions, EngineReport, InterpreterEngine, OtterEngine,
+    OtterError,
+};
+use otter_machine::Machine;
+
+/// Run an already-compiled program on `p` CPUs of `machine`.
+pub fn run_compiled(
+    compiled: &Compiled,
+    machine: &Machine,
+    p: usize,
+) -> Result<EngineReport, OtterError> {
+    OtterEngine::from_compiled(compiled.clone()).run(machine, p)
+}
+
+/// The interpreter baseline on one CPU of `machine`.
+pub fn run_interpreter(src: &str, machine: &Machine) -> Result<EngineReport, OtterError> {
+    run_engine(
+        &mut InterpreterEngine::new(EngineOptions::default()),
+        src,
+        machine,
+        1,
+    )
+}
+
+/// The Otter engine end-to-end: compile then run on `p` CPUs.
+pub fn run_otter(src: &str, machine: &Machine, p: usize) -> Result<EngineReport, OtterError> {
+    run_engine(
+        &mut OtterEngine::new(EngineOptions::default()),
+        src,
+        machine,
+        p,
+    )
+}

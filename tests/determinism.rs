@@ -4,7 +4,10 @@
 //! regardless of host scheduling. These properties are what make the
 //! benchmark harness's figures reproducible.
 
-use otter_core::{compile_str, run_compiled};
+mod common;
+
+use common::run_compiled;
+use otter_core::compile_str;
 use otter_machine::{meiko_cs2, sparc20_cluster};
 
 const SRC: &str = "\
@@ -44,8 +47,12 @@ fn modeled_time_is_a_pure_function_of_machine_and_p() {
     let compiled = compile_str(SRC).unwrap();
     for machine in [meiko_cs2(), sparc20_cluster()] {
         for p in [1usize, 2, 5, 8] {
-            let a = run_compiled(&compiled, &machine, p).unwrap().modeled_seconds;
-            let b = run_compiled(&compiled, &machine, p).unwrap().modeled_seconds;
+            let a = run_compiled(&compiled, &machine, p)
+                .unwrap()
+                .modeled_seconds;
+            let b = run_compiled(&compiled, &machine, p)
+                .unwrap()
+                .modeled_seconds;
             assert_eq!(a, b, "{} p={p}", machine.name);
         }
     }
@@ -108,6 +115,9 @@ fn seeded_rand_is_p_invariant() {
             "rand element must be bitwise identical at p={p}"
         );
         let (a, b) = (r1.scalar("s").unwrap(), rp.scalar("s").unwrap());
-        assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()), "sum at p={p}: {a} vs {b}");
+        assert!(
+            (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+            "sum at p={p}: {a} vs {b}"
+        );
     }
 }

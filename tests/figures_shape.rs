@@ -9,7 +9,12 @@ fn figure2_compiled_always_beats_interpreter() {
     // Paper §5: "for these scripts our compiler always outperforms
     // The MathWorks interpreter."
     for row in fig2(Scale::Test) {
-        assert!(row.otter > 1.0, "{}: {}", row.app, row.otter);
+        assert!(
+            row.otter.relative > 1.0,
+            "{}: {}",
+            row.app,
+            row.otter.relative
+        );
     }
 }
 
@@ -18,7 +23,7 @@ fn figure2_matcom_competitive() {
     // Paper §5: "Our compiler is competitive with the MATCOM
     // compiler" — neither dominates by an order of magnitude.
     for row in fig2(Scale::Test) {
-        let ratio = row.otter / row.matcom;
+        let ratio = row.otter.relative / row.matcom.relative;
         assert!(
             (0.2..5.0).contains(&ratio),
             "{}: otter/matcom ratio {ratio} out of competitive range",
@@ -56,12 +61,19 @@ fn cluster_damped_beyond_one_node() {
     let apps = Scale::Test.apps();
     let cg = apps.iter().find(|a| a.id == "cg").unwrap();
     let fig = speedup_figure("Figure 3", cg);
-    let cluster = fig.series.iter().find(|s| s.machine.contains("cluster")).unwrap();
+    let cluster = fig
+        .series
+        .iter()
+        .find(|s| s.machine.contains("cluster"))
+        .unwrap();
     let p4 = cluster.points.iter().find(|(p, _)| *p == 4).unwrap().1;
     let p8 = cluster.points.iter().find(|(p, _)| *p == 8).unwrap().1;
     // Within one node: healthy scaling. Beyond: at best marginal.
     assert!(p4 > 2.0, "single-node scaling should work: p4={p4}");
-    assert!(p8 < p4 * 1.25, "Ethernet must damp 8-CPU speedup: p4={p4} p8={p8}");
+    assert!(
+        p8 < p4 * 1.25,
+        "Ethernet must damp 8-CPU speedup: p4={p4} p8={p8}"
+    );
 }
 
 #[test]
@@ -95,6 +107,9 @@ fn speedup_at_p1_reflects_compilation_gain_only() {
     let fig = speedup_figure("Figure 3", cg);
     let p1: Vec<f64> = fig.series.iter().map(|s| s.points[0].1).collect();
     for v in &p1 {
-        assert!((v - p1[0]).abs() / p1[0] < 0.05, "p=1 speedups should agree: {p1:?}");
+        assert!(
+            (v - p1[0]).abs() / p1[0] < 0.05,
+            "p=1 speedups should agree: {p1:?}"
+        );
     }
 }

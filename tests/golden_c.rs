@@ -64,13 +64,20 @@ a(i, j) = a(i, j) / b(j, i);
     // Exactly one broadcast: the read of a(i,j) itself must become
     // the in-guard ML_realaddr2 read, not a second broadcast.
     let bcasts: Vec<&str> = c.lines().filter(|l| l.contains("ML_broadcast(")).collect();
-    assert_eq!(bcasts.len(), 1, "one broadcast only (b's element): {bcasts:?}");
+    assert_eq!(
+        bcasts.len(),
+        1,
+        "one broadcast only (b's element): {bcasts:?}"
+    );
     assert!(bcasts[0].contains(", b, j - 1, i - 1);"), "{}", bcasts[0]);
 
     let guard = c.lines().find(|l| l.contains("ML_owner(")).unwrap();
     assert!(guard.contains("ML_owner(a, i - 1, j - 1)"), "{guard}");
 
-    let store = c.lines().find(|l| l.trim().starts_with("*ML_realaddr2")).unwrap();
+    let store = c
+        .lines()
+        .find(|l| l.trim().starts_with("*ML_realaddr2"))
+        .unwrap();
     assert!(
         store.contains("*ML_realaddr2(a, i - 1, j - 1) = *ML_realaddr2(a, i - 1, j - 1) /"),
         "{store}"
@@ -131,11 +138,17 @@ fn benchmark_scripts_pretty_print_roundtrip() {
     use otter_frontend::{parse, Program};
     for app in otter_apps::test_apps() {
         let f1 = parse(&app.script).unwrap_or_else(|e| panic!("{}: {e}", app.id));
-        let p1 = Program { script: f1.script, functions: f1.functions };
+        let p1 = Program {
+            script: f1.script,
+            functions: f1.functions,
+        };
         let printed = program_to_string(&p1);
         let f2 = parse(&printed)
             .unwrap_or_else(|e| panic!("{}: reprint unparseable: {e}\n{printed}", app.id));
-        let p2 = Program { script: f2.script, functions: f2.functions };
+        let p2 = Program {
+            script: f2.script,
+            functions: f2.functions,
+        };
         assert_eq!(printed, program_to_string(&p2), "{}", app.id);
     }
 }
