@@ -31,4 +31,10 @@ impl fmt::Display for AnalysisError {
 
 impl std::error::Error for AnalysisError {}
 
+impl From<AnalysisError> for otter_frontend::Diagnostic {
+    fn from(e: AnalysisError) -> Self {
+        otter_frontend::Diagnostic::new("analysis", e.message).with_span(e.span)
+    }
+}
+
 pub type Result<T> = std::result::Result<T, AnalysisError>;

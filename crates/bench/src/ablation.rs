@@ -114,17 +114,16 @@ pub struct CollectiveAblation {
 /// 1-element broadcast + a 64-element allreduce — the per-iteration
 /// pattern of the conjugate-gradient inner loop.
 pub fn collectives_ablation(machine: &Machine, ps: &[usize]) -> Vec<CollectiveAblation> {
-    use otter_mpi::{run_spmd, ReduceOp};
-    let time = |p: usize, linear: bool| -> f64 {
-        let res = run_spmd(machine, p, move |c| {
+    use otter_mpi::{run_spmd_with, CollectiveAlgo, ReduceOp, SpmdOptions};
+    let time = |p: usize, algo: CollectiveAlgo| -> f64 {
+        let opts = SpmdOptions {
+            algo,
+            ..SpmdOptions::default()
+        };
+        let res = run_spmd_with(machine, p, opts, move |c| {
             for _ in 0..64 {
-                if linear {
-                    c.broadcast_linear(0, &[1.0]);
-                    c.allreduce_linear(&vec![1.0; 64], ReduceOp::Sum);
-                } else {
-                    c.broadcast(0, &[1.0]);
-                    c.allreduce(&vec![1.0; 64], ReduceOp::Sum);
-                }
+                c.broadcast(0, &[1.0]);
+                c.allreduce(&vec![1.0; 64], ReduceOp::Sum);
             }
             c.clock()
         });
@@ -135,8 +134,8 @@ pub fn collectives_ablation(machine: &Machine, ps: &[usize]) -> Vec<CollectiveAb
         .map(|&p| CollectiveAblation {
             machine: machine.name.clone(),
             p,
-            seconds_tree: time(p, false),
-            seconds_linear: time(p, true),
+            seconds_tree: time(p, CollectiveAlgo::Tree),
+            seconds_linear: time(p, CollectiveAlgo::Linear),
         })
         .collect()
 }

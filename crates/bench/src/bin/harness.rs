@@ -12,6 +12,8 @@
 //! harness ablation               # peephole + typing + grain studies
 //! harness memory [--paper]      # §7's larger-problems memory claim
 //! harness passes [--paper]      # per-pass compile instrumentation
+//! harness trace <app> [--ranks N] [--machine M] [--chrome out.json]
+//!                                # per-rank timeline + critical path
 //! harness all    [--paper]      # everything above
 //! ```
 //!
@@ -63,6 +65,7 @@ fn main() {
             }
         }
         "excerpts" => print_excerpts(),
+        "trace" => run_trace(&args[1..], scale),
         "ablation" => run_ablations(scale),
         "memory" => run_memory(scale),
         "passes" => run_passes(scale),
@@ -86,11 +89,117 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|ablation|memory|passes|all"
+                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|ablation|memory|passes|all"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// `harness trace <app> [--ranks N] [--machine M] [--chrome out.json]`:
+/// run one benchmark app with a retaining trace sink and report the
+/// per-rank timeline plus the critical path; optionally dump the raw
+/// events as Chrome `trace_event` JSON for chrome://tracing / Perfetto.
+fn run_trace(args: &[String], scale: Scale) {
+    use otter_core::{run_engine, EngineOptions, OtterEngine};
+    use otter_trace::{chrome_trace, MemorySink, TraceSink};
+    use std::sync::Arc;
+
+    let mut app_id = None;
+    let mut ranks = 4usize;
+    let mut machine = meiko_cs2();
+    let mut chrome = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ranks" | "-p" => {
+                ranks = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| trace_usage());
+            }
+            "--machine" => {
+                machine = match it.next().map(String::as_str) {
+                    Some("meiko") => meiko_cs2(),
+                    Some("cluster") => sparc20_cluster(),
+                    Some("smp") => enterprise_smp(),
+                    _ => trace_usage(),
+                }
+            }
+            "--chrome" => chrome = Some(it.next().unwrap_or_else(|| trace_usage()).clone()),
+            "--paper" | "--csv" => {}
+            other if app_id.is_none() && !other.starts_with('-') => {
+                app_id = Some(other.to_string())
+            }
+            _ => trace_usage(),
+        }
+    }
+    let app_id = app_id.unwrap_or_else(|| trace_usage());
+    let app = scale
+        .apps()
+        .into_iter()
+        .find(|a| a.id == app_id)
+        .unwrap_or_else(|| {
+            eprintln!("unknown app `{app_id}`; expected cg|ocean|nbody|tc");
+            std::process::exit(2);
+        });
+
+    let sink = Arc::new(MemorySink::new());
+    let opts = EngineOptions::builder().trace(Arc::clone(&sink)).build();
+    let report = run_engine(&mut OtterEngine::new(opts), &app.script, &machine, ranks)
+        .unwrap_or_else(|e| {
+            eprintln!("trace run failed: {e}");
+            std::process::exit(1);
+        });
+
+    println!(
+        "{} on {} x{}: modeled {:.6} s, {} messages, {} bytes",
+        app.name, machine.name, ranks, report.modeled_seconds, report.messages, report.bytes
+    );
+    println!();
+    println!(
+        "{:>4} {:>14} {:>14} {:>14} {:>14}",
+        "rank", "compute (s)", "comm (s)", "idle (s)", "clock (s)"
+    );
+    for c in &report.per_rank {
+        println!(
+            "{:>4} {:>14.6} {:>14.6} {:>14.6} {:>14.6}",
+            c.rank, c.compute_seconds, c.comm_seconds, c.idle_seconds, c.clock
+        );
+    }
+    if let Some(cp) = &report.critical_path {
+        println!();
+        println!(
+            "critical path: {:.6} s = {:.6} s compute + {:.6} s comm \
+             ({} cross-rank hops, {:.1}% comm)",
+            cp.total,
+            cp.compute,
+            cp.comm,
+            cp.hops,
+            cp.comm_share() * 100.0,
+        );
+    }
+    if let Some(path) = chrome {
+        let events = sink.snapshot().unwrap_or_default();
+        let json = chrome_trace(&events);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!();
+        println!(
+            "wrote {} trace events to {path} (load in chrome://tracing or Perfetto)",
+            events.len()
+        );
+    }
+}
+
+fn trace_usage() -> ! {
+    eprintln!(
+        "usage: harness trace <cg|ocean|nbody|tc> [--ranks N] \
+         [--machine meiko|cluster|smp] [--chrome out.json] [--paper]"
+    );
+    std::process::exit(2);
 }
 
 /// Compile the paper's two §3 example statements and show the C.

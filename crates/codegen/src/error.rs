@@ -31,4 +31,10 @@ impl fmt::Display for CodegenError {
 
 impl std::error::Error for CodegenError {}
 
+impl From<CodegenError> for otter_frontend::Diagnostic {
+    fn from(e: CodegenError) -> Self {
+        otter_frontend::Diagnostic::new("codegen", e.message).with_span(e.span)
+    }
+}
+
 pub type Result<T> = std::result::Result<T, CodegenError>;

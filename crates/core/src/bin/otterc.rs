@@ -8,6 +8,7 @@
 //! otterc script.m --emit ast          # dump the resolved/SSA'd AST
 //! otterc script.m --run               # compile AND execute (1 CPU)
 //! otterc script.m --run -p 16 --machine meiko
+//! otterc script.m --run --trace       # per-rank timeline + critical path
 //! otterc script.m --no-peephole ...   # disable pass 6
 //! otterc script.m --timing            # per-pass wall time + sizes
 //! otterc script.m --dump-after=rewrite  # print the IR after pass 4
@@ -16,11 +17,16 @@
 //! M-file functions are resolved from the script's directory, like the
 //! MATLAB path; `load` reads sample data files from the same place.
 
-use otter_core::{CompileOptions, CompileReport, DumpRequest, Engine, OtterEngine, PassManager};
+use otter_core::{
+    CompileOptions, CompileReport, DumpRequest, Engine, EngineOptions, EngineReport, OtterEngine,
+    PassManager,
+};
 use otter_frontend::DirProvider;
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
+use otter_trace::MemorySink;
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::Arc;
 
 struct Args {
     input: PathBuf,
@@ -31,6 +37,7 @@ struct Args {
     machine: Machine,
     no_peephole: bool,
     timing: bool,
+    trace: bool,
     dump_after: Option<String>,
 }
 
@@ -45,7 +52,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: otterc <script.m> [-o out.c] [--emit c|ir|ast] [--run] \
          [-p N] [--machine meiko|cluster|smp|workstation] [--no-peephole] \
-         [--timing] [--dump-after=<pass>|all]"
+         [--timing] [--trace] [--dump-after=<pass>|all]"
     );
     exit(2)
 }
@@ -59,6 +66,7 @@ fn parse_args() -> Args {
     let mut machine = meiko_cs2();
     let mut no_peephole = false;
     let mut timing = false;
+    let mut trace = false;
     let mut dump_after = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -90,6 +98,7 @@ fn parse_args() -> Args {
             }
             "--no-peephole" => no_peephole = true,
             "--timing" => timing = true,
+            "--trace" => trace = true,
             "--dump-after" => dump_after = Some(it.next().unwrap_or_else(|| usage())),
             other if other.starts_with("--dump-after=") => {
                 dump_after = Some(other["--dump-after=".len()..].to_string());
@@ -110,7 +119,33 @@ fn parse_args() -> Args {
         machine,
         no_peephole,
         timing,
+        trace,
         dump_after,
+    }
+}
+
+/// Per-rank timeline + critical-path summary behind `--trace`.
+fn print_trace_summary(r: &EngineReport) {
+    eprintln!(
+        "{:>4} {:>12} {:>12} {:>12} {:>12}",
+        "rank", "compute (s)", "comm (s)", "idle (s)", "clock (s)"
+    );
+    for c in &r.per_rank {
+        eprintln!(
+            "{:>4} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            c.rank, c.compute_seconds, c.comm_seconds, c.idle_seconds, c.clock
+        );
+    }
+    if let Some(cp) = &r.critical_path {
+        eprintln!(
+            "critical path: {:.6} s ({:.6} s compute + {:.6} s comm, \
+             {} cross-rank hops, {:.1}% comm)",
+            cp.total,
+            cp.compute,
+            cp.comm,
+            cp.hops,
+            cp.comm_share() * 100.0,
+        );
     }
 }
 
@@ -225,7 +260,14 @@ fn main() {
     }
 
     if args.run {
-        let mut engine = OtterEngine::from_compiled(compiled);
+        let opts = if args.trace {
+            EngineOptions::builder()
+                .trace(Arc::new(MemorySink::new()))
+                .build()
+        } else {
+            EngineOptions::default()
+        };
+        let mut engine = OtterEngine::from_compiled_with(compiled, opts);
         match engine.run(&args.machine, args.p) {
             Ok(r) => {
                 print!("{}", r.output);
@@ -240,6 +282,9 @@ fn main() {
                     r.total_ops(),
                     r.peak_temp_bytes,
                 );
+                if args.trace {
+                    print_trace_summary(&r);
+                }
             }
             Err(e) => {
                 eprintln!("otterc: execution failed: {e}");

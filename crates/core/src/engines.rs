@@ -17,10 +17,13 @@ use crate::error::{OtterError, Result};
 use crate::exec::{ExecOptions, Executor, XVal};
 use otter_interp::{assemble_program, Interp, Value};
 use otter_machine::{ExecutionStyle, Machine};
-use otter_mpi::run_spmd;
+use otter_mpi::{run_spmd_with, CollectiveAlgo, SpmdOptions};
 use otter_rt::Dense;
+use otter_trace::{CriticalPath, TraceSink};
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Uniform per-rank communication counters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +38,12 @@ pub struct RankCounters {
     /// High-water mark of the rank's live matrix bytes (allocator
     /// view, temporaries included).
     pub peak_bytes: usize,
+    /// Seconds of the clock spent in modeled computation.
+    pub compute_seconds: f64,
+    /// Seconds spent driving sends (sender-side transfer charges).
+    pub comm_seconds: f64,
+    /// Seconds spent blocked in `recv` waiting on a message.
+    pub idle_seconds: f64,
 }
 
 /// What every engine reports: results plus uniform counters, so
@@ -67,6 +76,10 @@ pub struct EngineReport {
     pub peak_temp_bytes: usize,
     /// Per-rank breakdown (one entry, rank 0, for sequential engines).
     pub per_rank: Vec<RankCounters>,
+    /// Longest send/recv dependency chain through the traced run.
+    /// `Some` only when the engine ran with a retaining trace sink
+    /// (see [`EngineOptions::builder`]).
+    pub critical_path: Option<CriticalPath>,
 }
 
 impl EngineReport {
@@ -85,7 +98,13 @@ impl EngineReport {
 }
 
 /// Common engine configuration.
-#[derive(Debug, Clone, Default)]
+///
+/// Construct with [`EngineOptions::builder`] (or `Default`): the
+/// struct is `#[non_exhaustive]` so future knobs — like the trace sink
+/// added in this revision — stop being breaking struct-literal
+/// changes.
+#[derive(Clone, Default)]
+#[non_exhaustive]
 pub struct EngineOptions {
     /// Directory `load` resolves data files against.
     pub data_dir: Option<PathBuf>,
@@ -93,6 +112,93 @@ pub struct EngineOptions {
     pub m_files: Option<otter_frontend::MapProvider>,
     /// Optional passes the Otter engine skips (ablations).
     pub disabled_passes: Vec<String>,
+    /// Schedule the SPMD collectives use (tree by default).
+    pub collective_algo: CollectiveAlgo,
+    /// Event sink every engine layer records into; `None` disables
+    /// tracing (the zero-cost default).
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for EngineOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineOptions")
+            .field("data_dir", &self.data_dir)
+            .field("m_files", &self.m_files)
+            .field("disabled_passes", &self.disabled_passes)
+            .field("collective_algo", &self.collective_algo)
+            .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
+}
+
+impl EngineOptions {
+    pub fn builder() -> EngineOptionsBuilder {
+        EngineOptionsBuilder::default()
+    }
+
+    /// The SPMD launch options these engine options imply.
+    fn spmd_options(&self) -> SpmdOptions {
+        SpmdOptions {
+            algo: self.collective_algo,
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+/// Builder for [`EngineOptions`].
+///
+/// ```
+/// use otter_core::engines::EngineOptions;
+/// use otter_trace::MemorySink;
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(MemorySink::new());
+/// let opts = EngineOptions::builder()
+///     .data_dir("data")
+///     .trace(sink)
+///     .build();
+/// assert!(opts.trace.is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineOptionsBuilder {
+    opts: EngineOptions,
+}
+
+impl EngineOptionsBuilder {
+    /// Directory `load` resolves data files against.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.opts.data_dir = Some(dir.into());
+        self
+    }
+
+    /// M-file provider for user function files.
+    pub fn m_files(mut self, provider: otter_frontend::MapProvider) -> Self {
+        self.opts.m_files = Some(provider);
+        self
+    }
+
+    /// Skip an optional compiler pass (may be called repeatedly).
+    pub fn disable_pass(mut self, name: impl Into<String>) -> Self {
+        self.opts.disabled_passes.push(name.into());
+        self
+    }
+
+    /// Collective schedule for the SPMD engine.
+    pub fn collective_algo(mut self, algo: CollectiveAlgo) -> Self {
+        self.opts.collective_algo = algo;
+        self
+    }
+
+    /// Record trace events into `sink`. Pass an
+    /// `Arc<otter_trace::MemorySink>` to retain events for analysis.
+    pub fn trace(mut self, sink: Arc<impl TraceSink + 'static>) -> Self {
+        self.opts.trace = Some(sink);
+        self
+    }
+
+    pub fn build(self) -> EngineOptions {
+        self.opts
+    }
 }
 
 /// One execution backend. `prepare` does the engine's compile-time
@@ -141,9 +247,14 @@ fn run_sequential(
     opts: &EngineOptions,
 ) -> Result<EngineReport> {
     let program =
-        program.ok_or_else(|| OtterError::Execution(format!("{name}: prepare() not called")))?;
+        program.ok_or_else(|| OtterError::execution(format!("{name}: prepare() not called")))?;
     let mut interp = Interp::with_style(program.clone(), style);
     interp.data_dir = opts.data_dir.clone();
+    if let Some(sink) = &opts.trace {
+        // Sequential engines emit per-statement spans (rank 0), scaled
+        // from meter units to the machine's modeled seconds.
+        interp.set_trace(Arc::clone(sink), machine.cpu.flop_time());
+    }
     interp.run()?;
     let modeled = interp.meter.seconds_on(&machine.cpu);
     // The sequential peak: high-water mark of the named workspace on
@@ -173,7 +284,11 @@ fn run_sequential(
             bytes: 0,
             clock: modeled,
             peak_bytes: peak,
+            compute_seconds: modeled,
+            comm_seconds: 0.0,
+            idle_seconds: 0.0,
         }],
+        critical_path: None,
     })
 }
 
@@ -274,10 +389,20 @@ impl OtterEngine {
 
     /// Wrap an already-compiled program (skips `prepare`).
     pub fn from_compiled(compiled: Compiled) -> Self {
-        let opts = EngineOptions {
-            data_dir: compiled.data_dir.clone(),
-            ..EngineOptions::default()
+        let opts = match &compiled.data_dir {
+            Some(d) => EngineOptions::builder().data_dir(d).build(),
+            None => EngineOptions::default(),
         };
+        Self::from_compiled_with(compiled, opts)
+    }
+
+    /// Wrap an already-compiled program with explicit run options
+    /// (trace sink, collective schedule). The compiled artifact's data
+    /// directory wins over `opts.data_dir` when set.
+    pub fn from_compiled_with(compiled: Compiled, mut opts: EngineOptions) -> Self {
+        if let Some(d) = &compiled.data_dir {
+            opts.data_dir = Some(d.clone());
+        }
         OtterEngine {
             opts,
             compiled: Some(compiled),
@@ -310,13 +435,13 @@ impl Engine for OtterEngine {
         let compiled = self
             .compiled
             .as_ref()
-            .ok_or_else(|| OtterError::Execution("otter: prepare() not called".into()))?;
+            .ok_or_else(|| OtterError::execution("otter: prepare() not called"))?;
         let ir = compiled.ir.clone();
         let exec_opts = ExecOptions {
             data_dir: compiled.data_dir.clone(),
             ..Default::default()
         };
-        let results = run_spmd(machine, p, move |comm| {
+        let results = run_spmd_with(machine, p, self.opts.spmd_options(), move |comm| {
             let opts = exec_opts.clone();
             let executor = Executor::new(&ir, comm, opts);
             let outcome = executor.run();
@@ -325,9 +450,12 @@ impl Engine for OtterEngine {
                     // The program is done: snapshot the modeled time
                     // and traffic counters now, before the reporting
                     // gathers below (which are not part of the
-                    // benchmarked computation).
+                    // benchmarked computation). Tracing stops at the
+                    // same point so event totals keep matching the
+                    // stats snapshot.
                     let finished_at = comm.clock();
                     let finished_stats = comm.stats();
+                    comm.suspend_tracing();
                     // Gather every matrix so rank 0 can report a
                     // machine-independent workspace. Iterate in sorted
                     // order: gathers are collectives, so every rank
@@ -364,7 +492,7 @@ impl Engine for OtterEngine {
         // instruction sequence — SPMD); use rank 0's.
         let mut iter = results.into_iter();
         let first = iter.next().expect("at least one rank");
-        let rank0 = first.value.map_err(OtterError::Execution)?;
+        let rank0 = first.value.map_err(OtterError::execution)?;
         let (
             workspace,
             output,
@@ -384,10 +512,13 @@ impl Engine for OtterEngine {
             bytes: fstats.bytes_sent,
             clock: max_clock,
             peak_bytes: peak_temp_bytes,
+            compute_seconds: fstats.compute_time,
+            comm_seconds: fstats.send_time,
+            idle_seconds: fstats.wait_time,
         }];
         for r in iter {
             let (_, _, clock, peak, peak_temp, _, stats) =
-                r.value.map_err(OtterError::Execution)?;
+                r.value.map_err(OtterError::execution)?;
             max_clock = max_clock.max(clock);
             peak_rank_bytes = peak_rank_bytes.max(peak);
             peak_temp_bytes = peak_temp_bytes.max(peak_temp);
@@ -399,8 +530,18 @@ impl Engine for OtterEngine {
                 bytes: stats.bytes_sent,
                 clock,
                 peak_bytes: peak_temp,
+                compute_seconds: stats.compute_time,
+                comm_seconds: stats.send_time,
+                idle_seconds: stats.wait_time,
             });
         }
+        // With a retaining sink the critical path comes along for free.
+        let critical_path = self
+            .opts
+            .trace
+            .as_ref()
+            .and_then(|sink| sink.snapshot())
+            .map(|events| otter_trace::critical_path(&events));
         Ok(EngineReport {
             engine: "otter",
             workspace,
@@ -412,6 +553,7 @@ impl Engine for OtterEngine {
             peak_rank_bytes,
             peak_temp_bytes,
             per_rank,
+            critical_path,
         })
     }
 }

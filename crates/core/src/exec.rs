@@ -17,6 +17,7 @@ use otter_ir::*;
 use otter_machine::{ExecutionStyle, StyleCosts};
 use otter_mpi::Comm;
 use otter_rt::{io as rtio, Dense, DistMatrix};
+use otter_trace::EventKind;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 
@@ -146,19 +147,19 @@ impl<'a> Executor<'a> {
             .last()
             .unwrap()
             .get(name)
-            .ok_or_else(|| OtterError::Execution(format!("undefined IR variable `{name}`")))
+            .ok_or_else(|| OtterError::execution(format!("undefined IR variable `{name}`")))
     }
 
     fn get_mat(&self, name: &str) -> Result<&DistMatrix> {
         self.get(name)?
             .as_matrix()
-            .ok_or_else(|| OtterError::Execution(format!("IR variable `{name}` is not a matrix")))
+            .ok_or_else(|| OtterError::execution(format!("IR variable `{name}` is not a matrix")))
     }
 
     fn get_scalar(&self, name: &str) -> Result<f64> {
         self.get(name)?
             .as_scalar()
-            .ok_or_else(|| OtterError::Execution(format!("IR variable `{name}` is not a scalar")))
+            .ok_or_else(|| OtterError::execution(format!("IR variable `{name}` is not a scalar")))
     }
 
     // ---- scalar expressions ---------------------------------------------
@@ -181,7 +182,7 @@ impl<'a> Executor<'a> {
                 }
             }
             SExpr::OwnElem => {
-                own.ok_or_else(|| OtterError::Execution("OwnElem outside an owner guard".into()))?
+                own.ok_or_else(|| OtterError::execution("OwnElem outside an owner guard"))?
             }
             SExpr::Neg(x) => -self.eval_s_own(x, own)?,
             SExpr::Not(x) => f64::from(self.eval_s_own(x, own)? == 0.0),
@@ -200,7 +201,7 @@ impl<'a> Executor<'a> {
     fn eval_index(&self, e: &SExpr) -> Result<usize> {
         let v = self.eval_s(e)?;
         if v < 1.0 || v.fract() != 0.0 {
-            return Err(OtterError::Execution(format!(
+            return Err(OtterError::execution(format!(
                 "index {v} is not a positive integer"
             )));
         }
@@ -213,14 +214,15 @@ impl<'a> Executor<'a> {
         // Gather operand names, check alignment, snapshot local slices.
         let mut names = Vec::new();
         expr.mat_operands(&mut names);
-        let first = names.first().cloned().ok_or_else(|| {
-            OtterError::Execution("element-wise loop without matrix operands".into())
-        })?;
+        let first = names
+            .first()
+            .cloned()
+            .ok_or_else(|| OtterError::execution("element-wise loop without matrix operands"))?;
         let model = self.get_mat(&first)?.clone();
         for n in &names {
             let m = self.get_mat(n)?;
             if !m.aligned_with(&model) {
-                return Err(OtterError::Execution(format!(
+                return Err(OtterError::execution(format!(
                     "element-wise operands `{first}` and `{n}` are not aligned \
                      ({}x{} vs {}x{})",
                     model.rows(),
@@ -262,7 +264,19 @@ impl<'a> Executor<'a> {
 
     fn exec_block(&mut self, block: &[Instr]) -> Result<Flow> {
         for i in block {
-            match self.exec_instr(i)? {
+            let flow = if self.comm.trace_enabled() {
+                // One Statement span per IR instruction; control-flow
+                // instructions span their whole body, nesting the
+                // inner instructions' spans.
+                let t0 = self.comm.clock();
+                let flow = self.exec_instr(i)?;
+                self.comm
+                    .emit_span(EventKind::Statement { name: i.opcode() }, t0);
+                flow
+            } else {
+                self.exec_instr(i)?
+            };
+            match flow {
                 Flow::Normal => {}
                 other => return Ok(other),
             }
@@ -296,7 +310,7 @@ impl<'a> Executor<'a> {
                     Some(d) => d.join(path),
                     None => PathBuf::from(path),
                 };
-                let m = rtio::load_distributed(self.comm, &full).map_err(OtterError::Execution)?;
+                let m = rtio::load_distributed(self.comm, &full).map_err(OtterError::execution)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::ElemWise { dst, expr } => {
@@ -459,7 +473,7 @@ impl<'a> Executor<'a> {
                 let st = self.eval_s(step)? as i64;
                 let h = self.eval_index(hi)?;
                 if st == 0 {
-                    return Err(OtterError::Execution("stride must be nonzero".into()));
+                    return Err(OtterError::execution("stride must be nonzero"));
                 }
                 let count = if (st > 0 && h >= l) || (st < 0 && h <= l) {
                     ((h as i64 - l as i64) / st) as usize + 1
@@ -519,7 +533,7 @@ impl<'a> Executor<'a> {
             }
             Instr::While { pre, cond, body } => loop {
                 if let f @ (Flow::Break | Flow::Continue) = self.exec_block(pre)? {
-                    return Err(OtterError::Execution(format!(
+                    return Err(OtterError::execution(format!(
                         "control flow {f:?} escaping a while condition"
                     )));
                 }
@@ -540,7 +554,7 @@ impl<'a> Executor<'a> {
             } => {
                 let (s, st, p) = (self.eval_s(start)?, self.eval_s(step)?, self.eval_s(stop)?);
                 if st == 0.0 {
-                    return Err(OtterError::Execution("for-loop step is zero".into()));
+                    return Err(OtterError::execution("for-loop step is zero"));
                 }
                 let mut x = s;
                 while (st > 0.0 && x <= p) || (st < 0.0 && x >= p) {
@@ -561,7 +575,7 @@ impl<'a> Executor<'a> {
                 self.comm.compute(self.costs.op_overhead);
                 let f =
                     self.program.functions.get(fun).ok_or_else(|| {
-                        OtterError::Execution(format!("unknown IR function `{fun}`"))
+                        OtterError::execution(format!("unknown IR function `{fun}`"))
                     })?;
                 let mut frame: HashMap<String, XVal> = HashMap::new();
                 for ((pname, prank), arg) in f.params.iter().zip(args) {
@@ -569,7 +583,7 @@ impl<'a> Executor<'a> {
                         (VarRank::Scalar, Arg::Scalar(s)) => XVal::S(self.eval_s(s)?),
                         (VarRank::Matrix, Arg::Matrix(m)) => XVal::M(self.get_mat(m)?.clone()),
                         _ => {
-                            return Err(OtterError::Execution(format!(
+                            return Err(OtterError::execution(format!(
                                 "argument rank mismatch calling `{fun}`"
                             )))
                         }
@@ -582,7 +596,7 @@ impl<'a> Executor<'a> {
                 body_result?;
                 for ((oname, _), dst) in f.outs.iter().zip(outs) {
                     let v = frame.get(oname).cloned().ok_or_else(|| {
-                        OtterError::Execution(format!("output `{oname}` of `{fun}` never assigned"))
+                        OtterError::execution(format!("output `{oname}` of `{fun}` never assigned"))
                     })?;
                     self.env().insert(dst.clone(), v);
                 }
@@ -668,7 +682,7 @@ impl<'a> Executor<'a> {
 /// Convert a linear (column-major) 0-based index into (row, col).
 fn linear_to_rc(m: &DistMatrix, k: usize) -> Result<(usize, usize)> {
     if k >= m.len() {
-        return Err(OtterError::Execution(format!(
+        return Err(OtterError::execution(format!(
             "linear index {} out of bounds ({} elements)",
             k + 1,
             m.len()

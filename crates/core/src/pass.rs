@@ -165,13 +165,13 @@ impl PassManager {
     /// for mandatory ones (you cannot ablate the parser).
     pub fn disable(&mut self, name: &str) -> Result<()> {
         let Some(pass) = self.passes.iter().find(|p| p.name() == name) else {
-            return Err(OtterError::Analysis(format!(
+            return Err(OtterError::analysis(format!(
                 "unknown pass `{name}` (registered: {})",
                 self.pass_names().join(", ")
             )));
         };
         if !pass.optional() {
-            return Err(OtterError::Analysis(format!("pass `{name}` is mandatory")));
+            return Err(OtterError::analysis(format!("pass `{name}` is mandatory")));
         }
         self.disabled.insert(name.to_string());
         Ok(())
@@ -181,7 +181,7 @@ impl PassManager {
     pub fn dump_after(&mut self, req: DumpRequest) -> Result<()> {
         if let DumpRequest::After(name) = &req {
             if !self.passes.iter().any(|p| p.name() == name) {
-                return Err(OtterError::Analysis(format!(
+                return Err(OtterError::analysis(format!(
                     "unknown pass `{name}` (registered: {})",
                     self.pass_names().join(", ")
                 )));
@@ -218,7 +218,10 @@ impl PassManager {
             }
             let (stmts_before, ir_instrs_before, runtime_calls_before) = measure(&state);
             let start = Instant::now();
-            pass.run(&mut state)?;
+            // Label errors with the concrete stage that failed: a rank
+            // conflict raised inside `ssa-infer` reads `error[ssa-infer]`,
+            // not the generic `error[analysis]`.
+            pass.run(&mut state).map_err(|e| e.with_pass(name))?;
             let wall = start.elapsed();
             let (stmts_after, ir_instrs_after, runtime_calls_after) = measure(&state);
             stats.push(PassStats {
@@ -245,10 +248,10 @@ impl PassManager {
         }
         let compiled = Compiled {
             ir: state.ir.take().ok_or_else(|| {
-                OtterError::Codegen("pipeline produced no IR (rewrite pass disabled?)".into())
+                OtterError::codegen("pipeline produced no IR (rewrite pass disabled?)")
             })?,
             inference: state.inference.take().ok_or_else(|| {
-                OtterError::Analysis("pipeline ran no inference (ssa-infer disabled?)".into())
+                OtterError::analysis("pipeline ran no inference (ssa-infer disabled?)")
             })?,
             c_source: state.c_source.take().unwrap_or_default(),
             peephole_stats: state.peephole_stats,
@@ -380,7 +383,7 @@ impl Pass for GuardsPass {
                 match i {
                     Instr::StoreElem { m, .. } => {
                         if !known(m) {
-                            return Err(OtterError::Codegen(format!(
+                            return Err(OtterError::codegen(format!(
                                 "owner-computes guard targets unknown matrix `{m}`"
                             )));
                         }
@@ -388,7 +391,7 @@ impl Pass for GuardsPass {
                     }
                     Instr::BroadcastElem { m, .. } => {
                         if !known(m) {
-                            return Err(OtterError::Codegen(format!(
+                            return Err(OtterError::codegen(format!(
                                 "owner broadcast reads unknown matrix `{m}`"
                             )));
                         }

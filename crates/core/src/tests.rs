@@ -603,3 +603,72 @@ fn peak_temp_bytes_reported() {
     );
     assert!(run.peak_temp_bytes >= run.peak_rank_bytes / 2);
 }
+
+#[test]
+fn traced_engines_emit_statement_and_phase_events() {
+    use otter_trace::{EventKind, MemorySink, TraceSink};
+    use std::sync::Arc;
+    let src = "n = 16;\na = ones(n, n);\nb = a * a;\ns = sum(sum(b));";
+
+    // Sequential engines (interpreter + matcom) span every MATLAB
+    // statement on rank 0.
+    for style in ["interpreter", "matcom"] {
+        let sink = Arc::new(MemorySink::new());
+        let opts = EngineOptions::builder().trace(Arc::clone(&sink)).build();
+        let mut engine: Box<dyn Engine> = if style == "interpreter" {
+            Box::new(InterpreterEngine::new(opts))
+        } else {
+            Box::new(MatcomEngine::new(opts))
+        };
+        run_engine(engine.as_mut(), src, &meiko_cs2(), 1).unwrap();
+        let events = sink.snapshot().unwrap();
+        assert!(!events.is_empty(), "{style}: no events");
+        assert!(
+            events
+                .iter()
+                .all(|e| e.rank == 0 && matches!(e.kind, EventKind::Statement { .. })),
+            "{style}: sequential traces are rank-0 statement spans"
+        );
+        // Four top-level statements, executed once each.
+        assert_eq!(events.len(), 4, "{style}");
+    }
+
+    // The SPMD engine layers IR-statement spans, runtime phases, and
+    // collective/primitive events.
+    let sink = Arc::new(MemorySink::new());
+    let opts = EngineOptions::builder().trace(Arc::clone(&sink)).build();
+    run_engine(&mut OtterEngine::new(opts), src, &meiko_cs2(), 4).unwrap();
+    let events = sink.snapshot().unwrap();
+    let has = |pred: &dyn Fn(&otter_trace::TraceEvent) -> bool| events.iter().any(pred);
+    assert!(has(&|e| matches!(e.kind, EventKind::Statement { .. })));
+    assert!(has(
+        &|e| matches!(e.kind, EventKind::Phase { name } if name == "ML_matrix_multiply")
+    ));
+    assert!(has(&|e| matches!(e.kind, EventKind::Collective { .. })));
+    assert!(has(&|e| matches!(e.kind, EventKind::Send { .. })));
+}
+
+#[test]
+fn disabled_tracing_changes_nothing() {
+    use otter_trace::{MemorySink, TraceSink};
+    use std::sync::Arc;
+    // A traced run and an untraced run of the same program model the
+    // exact same time and counters: tracing is observation only.
+    let src = "n = 16;\na = ones(n, n);\nb = a * a;\ns = sum(sum(b));";
+    let plain = run_engine(
+        &mut OtterEngine::new(EngineOptions::default()),
+        src,
+        &meiko_cs2(),
+        4,
+    )
+    .unwrap();
+    let sink = Arc::new(MemorySink::new());
+    let opts = EngineOptions::builder().trace(Arc::clone(&sink)).build();
+    let traced = run_engine(&mut OtterEngine::new(opts), src, &meiko_cs2(), 4).unwrap();
+    assert_eq!(plain.modeled_seconds, traced.modeled_seconds);
+    assert_eq!(plain.messages, traced.messages);
+    assert_eq!(plain.bytes, traced.bytes);
+    assert!(plain.critical_path.is_none());
+    assert!(traced.critical_path.is_some());
+    assert!(sink.snapshot().unwrap().len() > 100);
+}

@@ -1,0 +1,104 @@
+//! The shared compiler diagnostic.
+//!
+//! Every per-crate error type (front-end, analysis, codegen,
+//! interpreter run-time) converts into this one shape, so drivers like
+//! `otterc` and the benchmark harness print a single consistent
+//! format: `error[<pass>] <file>:<line>:<col>: <message>`. The crate
+//! errors themselves stay as they are — `From` impls do the lifting —
+//! and the pass manager re-labels `pass` with the name of the pipeline
+//! stage that actually failed.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A uniformly printable compiler/run-time diagnostic: what went
+/// wrong, where in the source, and which pipeline stage said so.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The pipeline stage or subsystem that raised the error
+    /// (`parse`, `resolve`, `ssa-infer`, `codegen`, `execution`, ...).
+    pub pass: String,
+    /// Human-readable description, without location decoration.
+    pub message: String,
+    /// Source location; [`Span::DUMMY`] when there is no useful one.
+    pub span: Span,
+    /// Originating M-file, when known.
+    pub file: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no source location.
+    pub fn new(pass: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            pass: pass.into(),
+            message: message.into(),
+            span: Span::DUMMY,
+            file: None,
+        }
+    }
+
+    /// Attach a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Attach the originating file name.
+    pub fn in_file(mut self, file: impl Into<String>) -> Self {
+        self.file = Some(file.into());
+        self
+    }
+
+    /// Re-label the originating pass (the pass manager applies the
+    /// concrete pipeline-stage name to errors raised inside a pass).
+    pub fn with_pass(mut self, pass: impl Into<String>) -> Self {
+        self.pass = pass.into();
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[{}]", self.pass)?;
+        match (&self.file, self.span.is_dummy()) {
+            (Some(file), false) => write!(f, " {file}:{}:", self.span)?,
+            (Some(file), true) => write!(f, " {file}:")?,
+            (None, false) => write!(f, " {}:", self.span)?,
+            (None, true) => write!(f, ":")?,
+        }
+        write!(f, " {}", self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_location_shapes() {
+        let d = Diagnostic::new("resolve", "use of `x` before assignment");
+        assert_eq!(
+            d.to_string(),
+            "error[resolve]: use of `x` before assignment"
+        );
+        let d = d.with_span(Span::new(4, 5, 1, 5));
+        assert_eq!(
+            d.to_string(),
+            "error[resolve] 1:5: use of `x` before assignment"
+        );
+        let d = d.in_file("cg.m");
+        assert_eq!(
+            d.to_string(),
+            "error[resolve] cg.m:1:5: use of `x` before assignment"
+        );
+    }
+
+    #[test]
+    fn with_pass_relabels() {
+        let d = Diagnostic::new("analysis", "rank conflict").with_pass("ssa-infer");
+        assert_eq!(d.pass, "ssa-infer");
+        assert!(d.to_string().starts_with("error[ssa-infer]"));
+    }
+}

@@ -42,6 +42,30 @@ impl FrontendError {
         self.file = Some(file.into());
         self
     }
+
+    /// The description alone, without the location prefix `Display`
+    /// adds (what a [`crate::Diagnostic`] carries as its message).
+    pub fn message(&self) -> String {
+        match &self.kind {
+            FrontendErrorKind::UnexpectedChar(c) => format!("unexpected character `{c}`"),
+            FrontendErrorKind::UnterminatedString => "unterminated string literal".into(),
+            FrontendErrorKind::BadNumber(s) => format!("malformed number `{s}`"),
+            FrontendErrorKind::Expected { expected, found } => {
+                format!("expected {expected}, found {found}")
+            }
+            FrontendErrorKind::Unsupported(what) => format!("unsupported construct: {what}"),
+        }
+    }
+}
+
+impl From<FrontendError> for crate::Diagnostic {
+    fn from(e: FrontendError) -> Self {
+        let mut d = crate::Diagnostic::new("parse", e.message()).with_span(e.span);
+        if let Some(file) = e.file {
+            d = d.in_file(file);
+        }
+        d
+    }
 }
 
 impl fmt::Display for FrontendError {
@@ -49,16 +73,7 @@ impl fmt::Display for FrontendError {
         if let Some(file) = &self.file {
             write!(f, "{file}:")?;
         }
-        write!(f, "{}: ", self.span)?;
-        match &self.kind {
-            FrontendErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
-            FrontendErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
-            FrontendErrorKind::BadNumber(s) => write!(f, "malformed number `{s}`"),
-            FrontendErrorKind::Expected { expected, found } => {
-                write!(f, "expected {expected}, found {found}")
-            }
-            FrontendErrorKind::Unsupported(what) => write!(f, "unsupported construct: {what}"),
-        }
+        write!(f, "{}: {}", self.span, self.message())
     }
 }
 

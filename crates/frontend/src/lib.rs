@@ -18,6 +18,7 @@
 //! ```
 
 pub mod ast;
+pub mod diag;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -30,6 +31,7 @@ pub use ast::{
     BinOp, Block, Expr, ExprKind, Function, LValue, Program, SourceFile, Stmt, StmtKind,
     TransposeOp, UnOp,
 };
+pub use diag::Diagnostic;
 pub use error::{FrontendError, FrontendErrorKind};
 pub use parser::{parse, parse_expr};
 pub use source::{DirProvider, EmptyProvider, MapProvider, SourceProvider};

@@ -39,6 +39,12 @@ impl fmt::Display for InterpError {
 
 impl std::error::Error for InterpError {}
 
+impl From<InterpError> for otter_frontend::Diagnostic {
+    fn from(e: InterpError) -> Self {
+        otter_frontend::Diagnostic::new("execution", e.message).with_span(e.span)
+    }
+}
+
 pub type Result<T> = std::result::Result<T, InterpError>;
 
 #[cfg(test)]

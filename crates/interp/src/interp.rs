@@ -56,9 +56,28 @@ pub struct Interp {
     /// High-water mark of named workspace bytes (excludes transient
     /// expression temporaries, like MATLAB's own workspace view).
     pub peak_workspace_bytes: usize,
+    /// Optional per-statement trace sink and the scale from meter
+    /// units to modeled seconds (the machine's per-flop time).
+    trace: Option<(std::sync::Arc<dyn otter_trace::TraceSink>, f64)>,
 }
 
 const MAX_DEPTH: usize = 256;
+
+/// Stable lowercase statement label for trace events.
+fn stmt_kind_name(kind: &StmtKind) -> &'static str {
+    match kind {
+        StmtKind::Expr(_) => "expr",
+        StmtKind::Assign { .. } => "assign",
+        StmtKind::MultiAssign { .. } => "multi-assign",
+        StmtKind::If { .. } => "if",
+        StmtKind::While { .. } => "while",
+        StmtKind::For { .. } => "for",
+        StmtKind::Break => "break",
+        StmtKind::Continue => "continue",
+        StmtKind::Return => "return",
+        StmtKind::Global(_) => "global",
+    }
+}
 
 impl Interp {
     /// Interpreter for `program`, metered with interpreter-style costs.
@@ -80,6 +99,21 @@ impl Interp {
             data_dir: None,
             depth: 0,
             peak_workspace_bytes: 0,
+            trace: None,
+        }
+    }
+
+    /// Record one `Statement` trace event per executed statement into
+    /// `sink`, timed in modeled seconds: meter units scaled by
+    /// `seconds_per_unit` (the target machine's per-flop time). The
+    /// interpreter is sequential, so events carry rank 0.
+    pub fn set_trace(
+        &mut self,
+        sink: std::sync::Arc<dyn otter_trace::TraceSink>,
+        seconds_per_unit: f64,
+    ) {
+        if sink.enabled() {
+            self.trace = Some((sink, seconds_per_unit));
         }
     }
 
@@ -128,6 +162,23 @@ impl Interp {
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow> {
+        let Some((sink, scale)) = self.trace.clone() else {
+            return self.exec_stmt_inner(stmt);
+        };
+        let before = self.meter.units();
+        let flow = self.exec_stmt_inner(stmt)?;
+        sink.record(otter_trace::TraceEvent {
+            rank: 0,
+            t_start: before * scale,
+            t_end: self.meter.units() * scale,
+            kind: otter_trace::EventKind::Statement {
+                name: stmt_kind_name(&stmt.kind),
+            },
+        });
+        Ok(flow)
+    }
+
+    fn exec_stmt_inner(&mut self, stmt: &Stmt) -> Result<Flow> {
         self.meter.statement();
         let live: usize = self
             .scopes

@@ -1,10 +1,33 @@
 //! MPI-style collective operations over [`Comm`], built from
-//! point-to-point messages with binomial-tree schedules — the same
-//! structure a 1998 MPICH would use, which matters because the figures'
-//! speedup shapes depend on collectives costing `O(log p)` latency
-//! terms.
+//! point-to-point messages. Every rooted collective is parameterized
+//! by a [`CollectiveAlgo`]: the binomial-tree schedules a 1998 MPICH
+//! would use (`O(log p)` latency terms — the figures' speedup shapes
+//! depend on this), or the naive linear schedules a first-cut run-time
+//! library might have shipped (`O(p)`), kept for the collectives
+//! ablation.
 
 use crate::comm::Comm;
+use otter_trace::EventKind;
+
+/// Message schedule for the rooted collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CollectiveAlgo {
+    /// Binomial tree: `⌈log₂ p⌉` rounds.
+    #[default]
+    Tree,
+    /// Root talks to every rank in turn: `O(p)` on the root's path.
+    Linear,
+}
+
+impl CollectiveAlgo {
+    /// Stable lowercase name, used in trace events and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectiveAlgo::Tree => "tree",
+            CollectiveAlgo::Linear => "linear",
+        }
+    }
+}
 
 /// Reduction operators supported by `reduce`/`allreduce`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,13 +59,52 @@ impl ReduceOp {
             ReduceOp::Min => f64::INFINITY,
         }
     }
+
+    /// Stable lowercase name, used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Prod => "prod",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+        }
+    }
 }
 
 impl Comm {
-    /// Broadcast `data` from `root` to every rank; returns the data on
-    /// all ranks. Binomial tree: `⌈log₂ p⌉` rounds, round `k` has up to
-    /// `2^k` transfers in flight (passed as the fabric-sharing hint).
+    /// Broadcast `data` from `root` to every rank with an explicit
+    /// schedule; returns the data on all ranks.
+    pub fn broadcast_with(&mut self, root: usize, data: &[f64], algo: CollectiveAlgo) -> Vec<f64> {
+        let t0 = self.clock();
+        let out = match algo {
+            CollectiveAlgo::Tree => self.broadcast_tree(root, data),
+            CollectiveAlgo::Linear => self.broadcast_lin(root, data),
+        };
+        self.emit_span(
+            EventKind::Collective {
+                name: "broadcast",
+                algo: algo.label(),
+                op: None,
+            },
+            t0,
+        );
+        out
+    }
+
+    /// Broadcast `data` from `root` using this endpoint's configured
+    /// schedule ([`Comm::collective_algo`], tree by default).
     pub fn broadcast(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
+        self.broadcast_with(root, data, self.collective_algo())
+    }
+
+    /// Broadcast a single scalar from `root`.
+    pub fn broadcast_scalar(&mut self, root: usize, v: f64) -> f64 {
+        self.broadcast(root, &[v])[0]
+    }
+
+    /// Binomial tree: round `k` has up to `2^k` transfers in flight
+    /// (passed as the fabric-sharing hint).
+    fn broadcast_tree(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
         let p = self.size();
         assert!(root < p, "broadcast root {root} out of range");
         if p == 1 {
@@ -77,14 +139,55 @@ impl Comm {
         have.expect("broadcast delivered to every rank")
     }
 
-    /// Broadcast a single scalar from `root`.
-    pub fn broadcast_scalar(&mut self, root: usize, v: f64) -> f64 {
-        self.broadcast(root, &[v])[0]
+    /// Linear schedule: the root sends to every other rank in turn.
+    fn broadcast_lin(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        assert!(root < p, "broadcast root {root} out of range");
+        if self.rank() == root {
+            for r in 0..p {
+                if r != root {
+                    self.send(r, data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv(root)
+        }
     }
 
-    /// Reduce `data` element-wise with `op` onto `root`. Non-root
-    /// ranks get `None`. Mirror image of the broadcast tree.
+    /// Reduce `data` element-wise with `op` onto `root` with an
+    /// explicit schedule. Non-root ranks get `None`.
+    pub fn reduce_with(
+        &mut self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+        algo: CollectiveAlgo,
+    ) -> Option<Vec<f64>> {
+        let t0 = self.clock();
+        let out = match algo {
+            CollectiveAlgo::Tree => self.reduce_tree(root, data, op),
+            CollectiveAlgo::Linear => self.reduce_lin(root, data, op),
+        };
+        self.emit_span(
+            EventKind::Collective {
+                name: "reduce",
+                algo: algo.label(),
+                op: Some(op.label()),
+            },
+            t0,
+        );
+        out
+    }
+
+    /// Reduce onto `root` using this endpoint's configured schedule.
     pub fn reduce(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        self.reduce_with(root, data, op, self.collective_algo())
+    }
+
+    /// Mirror image of the broadcast tree: fold up, largest stride
+    /// first.
+    fn reduce_tree(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
         let p = self.size();
         assert!(root < p, "reduce root {root} out of range");
         if p == 1 {
@@ -93,7 +196,6 @@ impl Comm {
         let vrank = (self.rank() + p - root) % p;
         let mut acc = data.to_vec();
         let rounds = p.next_power_of_two().trailing_zeros();
-        // Fold up the tree: largest stride first.
         for k in (0..rounds).rev() {
             let stride = 1usize << k;
             let stage_width = stride.min(p.saturating_sub(stride));
@@ -120,14 +222,51 @@ impl Comm {
         }
     }
 
-    /// Reduce-to-all: reduce onto rank 0, then broadcast the result.
-    /// (MPICH's small-message allreduce did exactly this.)
-    pub fn allreduce(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
-        let partial = self.reduce(0, data, op);
-        match partial {
-            Some(v) => self.broadcast(0, &v),
-            None => self.broadcast(0, &[]),
+    /// Linear schedule: every rank sends to the root, which folds in
+    /// rank order. Deterministic and `O(p)` on the root.
+    fn reduce_lin(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        let p = self.size();
+        assert!(root < p, "reduce root {root} out of range");
+        if self.rank() == root {
+            let mut acc = data.to_vec();
+            for r in 0..p {
+                if r != root {
+                    let incoming = self.recv(r);
+                    op.fold(&mut acc, &incoming);
+                    self.compute(incoming.len() as f64);
+                }
+            }
+            Some(acc)
+        } else {
+            self.send(root, data);
+            None
         }
+    }
+
+    /// Reduce-to-all with an explicit schedule: reduce onto rank 0,
+    /// then broadcast the result. (MPICH's small-message allreduce did
+    /// exactly this.)
+    pub fn allreduce_with(&mut self, data: &[f64], op: ReduceOp, algo: CollectiveAlgo) -> Vec<f64> {
+        let t0 = self.clock();
+        let partial = self.reduce_with(0, data, op, algo);
+        let out = match partial {
+            Some(v) => self.broadcast_with(0, &v, algo),
+            None => self.broadcast_with(0, &[], algo),
+        };
+        self.emit_span(
+            EventKind::Collective {
+                name: "allreduce",
+                algo: algo.label(),
+                op: Some(op.label()),
+            },
+            t0,
+        );
+        out
+    }
+
+    /// Reduce-to-all using this endpoint's configured schedule.
+    pub fn allreduce(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        self.allreduce_with(data, op, self.collective_algo())
     }
 
     /// Scalar all-reduce convenience.
@@ -136,14 +275,15 @@ impl Comm {
     }
 
     /// Gather variable-length contributions onto `root`, concatenated
-    /// in rank order. Non-root ranks get `None`. Linear schedule — the
+    /// in rank order. Non-root ranks get `None`. Always linear — the
     /// payloads differ per rank so a tree saves little, and gather in
     /// the generated code is I/O-bound anyway (paper §3 assumption 5:
     /// "one processor coordinates all I/O").
     pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
         let p = self.size();
         assert!(root < p, "gather root {root} out of range");
-        if self.rank() == root {
+        let t0 = self.clock();
+        let out = if self.rank() == root {
             let mut parts: Vec<Vec<f64>> = Vec::with_capacity(p);
             for r in 0..p {
                 if r == root {
@@ -156,7 +296,16 @@ impl Comm {
         } else {
             self.send(root, data);
             None
-        }
+        };
+        self.emit_span(
+            EventKind::Collective {
+                name: "gather",
+                algo: CollectiveAlgo::Linear.label(),
+                op: None,
+            },
+            t0,
+        );
+        out
     }
 
     /// Gather everyone's contribution to every rank (gather + bcast of
@@ -166,6 +315,7 @@ impl Comm {
         if p == 1 {
             return vec![data.to_vec()];
         }
+        let t0 = self.clock();
         let gathered = self.gather(0, data);
         // Flatten with a length header so the broadcast is one message.
         let flat = match gathered {
@@ -193,6 +343,14 @@ impl Comm {
             out.push(flat[off..off + len].to_vec());
             off += len;
         }
+        self.emit_span(
+            EventKind::Collective {
+                name: "allgather",
+                algo: self.collective_algo().label(),
+                op: None,
+            },
+            t0,
+        );
         out
     }
 
@@ -201,7 +359,8 @@ impl Comm {
     pub fn scatter(&mut self, root: usize, parts: &[Vec<f64>]) -> Vec<f64> {
         let p = self.size();
         assert!(root < p, "scatter root {root} out of range");
-        if self.rank() == root {
+        let t0 = self.clock();
+        let out = if self.rank() == root {
             assert_eq!(parts.len(), p, "scatter needs one part per rank");
             for (r, part) in parts.iter().enumerate() {
                 if r != root {
@@ -212,35 +371,53 @@ impl Comm {
             parts[root].clone()
         } else {
             self.recv(root)
-        }
+        };
+        self.emit_span(
+            EventKind::Collective {
+                name: "scatter",
+                algo: CollectiveAlgo::Linear.label(),
+                op: None,
+            },
+            t0,
+        );
+        out
     }
 
     /// Barrier: zero-byte allreduce.
     pub fn barrier(&mut self) {
+        let t0 = self.clock();
         self.allreduce(&[], ReduceOp::Sum);
+        self.emit_span(EventKind::Barrier, t0);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::run_spmd;
+    use crate::runner::{run_spmd, run_spmd_with, SpmdOptions};
     use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster};
 
     #[test]
     fn broadcast_from_every_root() {
-        for p in [1, 2, 3, 4, 5, 8] {
-            for root in 0..p {
-                let res = run_spmd(&meiko_cs2(), p, |c| {
-                    let data = if c.rank() == root {
-                        vec![7.0, 8.0]
-                    } else {
-                        vec![]
-                    };
-                    c.broadcast(root, &data)
-                });
-                for r in &res {
-                    assert_eq!(r.value, vec![7.0, 8.0], "p={p} root={root} rank={}", r.rank);
+        for algo in [CollectiveAlgo::Tree, CollectiveAlgo::Linear] {
+            for p in [1, 2, 3, 4, 5, 8] {
+                for root in 0..p {
+                    let res = run_spmd(&meiko_cs2(), p, |c| {
+                        let data = if c.rank() == root {
+                            vec![7.0, 8.0]
+                        } else {
+                            vec![]
+                        };
+                        c.broadcast_with(root, &data, algo)
+                    });
+                    for r in &res {
+                        assert_eq!(
+                            r.value,
+                            vec![7.0, 8.0],
+                            "algo={algo:?} p={p} root={root} rank={}",
+                            r.rank
+                        );
+                    }
                 }
             }
         }
@@ -289,6 +466,38 @@ mod tests {
             for r in &res {
                 assert_eq!(r.value, vec![expect], "p={p}");
             }
+        }
+    }
+
+    #[test]
+    fn linear_allreduce_matches_tree_allreduce() {
+        for p in [1usize, 3, 8, 16] {
+            let res = run_spmd(&meiko_cs2(), p, |c| {
+                let mine = vec![c.rank() as f64 + 1.0];
+                let lin = c.allreduce_with(&mine, ReduceOp::Sum, CollectiveAlgo::Linear);
+                let tree = c.allreduce_with(&mine, ReduceOp::Sum, CollectiveAlgo::Tree);
+                (lin, tree)
+            });
+            for r in &res {
+                // Values agree to FP-reassociation tolerance.
+                assert!((r.value.0[0] - r.value.1[0]).abs() < 1e-12, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn comm_level_algo_switches_every_collective() {
+        // Configure Linear once at launch; un-suffixed calls follow it.
+        let opts = SpmdOptions {
+            algo: CollectiveAlgo::Linear,
+            ..SpmdOptions::default()
+        };
+        let res = run_spmd_with(&meiko_cs2(), 4, opts, |c| {
+            assert_eq!(c.collective_algo(), CollectiveAlgo::Linear);
+            c.allreduce_scalar(c.rank() as f64, ReduceOp::Sum)
+        });
+        for r in &res {
+            assert_eq!(r.value, 6.0);
         }
     }
 
@@ -364,6 +573,25 @@ mod tests {
         let t16 = time_at(16);
         // log2(16)/log2(4) = 2; allow generous slack but reject linear (×4).
         assert!(t16 / t4 < 3.0, "t4={t4} t16={t16}");
+    }
+
+    #[test]
+    fn tree_beats_linear_in_modeled_latency_at_scale() {
+        let time = |algo: CollectiveAlgo| {
+            let res = run_spmd(&meiko_cs2(), 16, move |c| {
+                for _ in 0..10 {
+                    c.broadcast_with(0, &[1.0], algo);
+                }
+                c.clock()
+            });
+            res.iter().map(|r| r.clock).fold(0.0, f64::max)
+        };
+        let t_tree = time(CollectiveAlgo::Tree);
+        let t_linear = time(CollectiveAlgo::Linear);
+        assert!(
+            t_linear > 2.0 * t_tree,
+            "linear {t_linear} should be much slower than tree {t_tree} at p=16"
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Per-rank communication endpoints with virtual-time accounting.
 
+use crate::collectives::CollectiveAlgo;
 use otter_machine::Machine;
+use otter_trace::{EventKind, TraceEvent, TraceSink};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,8 +29,19 @@ pub struct CommStats {
     pub bytes_sent: u64,
     /// Virtual seconds spent in modeled computation.
     pub compute_time: f64,
-    /// Virtual seconds spent waiting on / driving communication.
-    pub comm_time: f64,
+    /// Virtual seconds spent driving sends (the sender-side transfer
+    /// charge).
+    pub send_time: f64,
+    /// Virtual seconds spent blocked in `recv` waiting for a message
+    /// that had not yet arrived in virtual time.
+    pub wait_time: f64,
+}
+
+impl CommStats {
+    /// Total virtual seconds attributed to communication.
+    pub fn comm_time(&self) -> f64 {
+        self.send_time + self.wait_time
+    }
 }
 
 /// A rank's endpoint: its identity, its channels to every peer, and
@@ -46,6 +59,15 @@ pub struct Comm {
     receivers: Vec<Receiver<Packet>>,
     clock: f64,
     stats: CommStats,
+    /// Schedule used by the un-suffixed collective methods.
+    algo: CollectiveAlgo,
+    sink: Arc<dyn TraceSink>,
+    /// Cached `sink.enabled()` so the disabled path is one branch.
+    tracing: bool,
+    /// Per-edge FIFO sequence numbers (only maintained while tracing):
+    /// the k-th send on edge (self → d) pairs with the k-th recv on it.
+    send_seq: Vec<u64>,
+    recv_seq: Vec<u64>,
 }
 
 impl Comm {
@@ -55,9 +77,12 @@ impl Comm {
         machine: Arc<Machine>,
         senders: Vec<Sender<Packet>>,
         receivers: Vec<Receiver<Packet>>,
+        algo: CollectiveAlgo,
+        sink: Arc<dyn TraceSink>,
     ) -> Self {
         debug_assert_eq!(senders.len(), size);
         debug_assert_eq!(receivers.len(), size);
+        let tracing = sink.enabled();
         Comm {
             rank,
             size,
@@ -66,6 +91,11 @@ impl Comm {
             receivers,
             clock: 0.0,
             stats: CommStats::default(),
+            algo,
+            sink,
+            tracing,
+            send_seq: vec![0; if tracing { size } else { 0 }],
+            recv_seq: vec![0; if tracing { size } else { 0 }],
         }
     }
 
@@ -94,12 +124,56 @@ impl Comm {
         self.stats
     }
 
+    /// Schedule the un-suffixed collectives (`broadcast`, `reduce`,
+    /// `allreduce`) use on this endpoint.
+    pub fn collective_algo(&self) -> CollectiveAlgo {
+        self.algo
+    }
+
+    /// Change the collective schedule mid-program (ablations flip this
+    /// to compare tree vs linear on one endpoint).
+    pub fn set_collective_algo(&mut self, algo: CollectiveAlgo) {
+        self.algo = algo;
+    }
+
+    /// Whether trace events are being recorded. Layers above `Comm`
+    /// gate their own span emission on this.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracing
+    }
+
+    /// Stop recording trace events on this endpoint for the rest of
+    /// the program. Engines call this before their out-of-band
+    /// reporting collectives so trace totals keep matching the stats
+    /// snapshot taken at the same point.
+    pub fn suspend_tracing(&mut self) {
+        self.tracing = false;
+    }
+
+    /// Record a span from `t_start` to the current clock. No-op (and
+    /// no event construction — callers should pre-check
+    /// [`Comm::trace_enabled`] for spans with computed names) when
+    /// tracing is off.
+    pub fn emit_span(&self, kind: EventKind, t_start: f64) {
+        if self.tracing {
+            self.sink.record(TraceEvent {
+                rank: self.rank,
+                t_start,
+                t_end: self.clock,
+                kind,
+            });
+        }
+    }
+
     /// Charge `flop_units` of modeled computation (in units of one
     /// sustained flop; see `otter_machine::OpClass::weight`).
     pub fn compute(&mut self, flop_units: f64) {
         let dt = flop_units * self.machine.cpu.flop_time();
         self.clock += dt;
         self.stats.compute_time += dt;
+        if self.tracing && dt > 0.0 {
+            self.emit_span(EventKind::Compute, self.clock - dt);
+        }
     }
 
     /// Advance the clock by raw virtual seconds (used by the runtime
@@ -107,6 +181,9 @@ impl Comm {
     pub fn advance(&mut self, seconds: f64) {
         self.clock += seconds;
         self.stats.compute_time += seconds;
+        if self.tracing && seconds > 0.0 {
+            self.emit_span(EventKind::Compute, self.clock - seconds);
+        }
     }
 
     /// Blocking send of `data` to `to`.
@@ -127,9 +204,21 @@ impl Comm {
         let bytes = data.len() * 8;
         let dt = self.machine.message_time(self.rank, to, bytes, concurrent);
         self.clock += dt;
-        self.stats.comm_time += dt;
+        self.stats.send_time += dt;
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += bytes as u64;
+        if self.tracing {
+            let seq = self.send_seq[to];
+            self.send_seq[to] += 1;
+            self.emit_span(
+                EventKind::Send {
+                    to,
+                    bytes: bytes as u64,
+                    seq,
+                },
+                self.clock - dt,
+            );
+        }
         self.senders[to]
             .send(Packet {
                 data: data.to_vec(),
@@ -168,9 +257,22 @@ impl Comm {
                 )
             }
         };
+        let entered_at = self.clock;
         if pkt.send_clock > self.clock {
-            self.stats.comm_time += pkt.send_clock - self.clock;
+            self.stats.wait_time += pkt.send_clock - self.clock;
             self.clock = pkt.send_clock;
+        }
+        if self.tracing {
+            let seq = self.recv_seq[from];
+            self.recv_seq[from] += 1;
+            self.emit_span(
+                EventKind::Recv {
+                    from,
+                    bytes: (pkt.data.len() * 8) as u64,
+                    seq,
+                },
+                entered_at,
+            );
         }
         pkt.data
     }
@@ -195,8 +297,10 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    use crate::runner::run_spmd;
+    use crate::runner::{run_spmd, run_spmd_with, SpmdOptions};
     use otter_machine::{meiko_cs2, sparc20_cluster};
+    use otter_trace::{timelines, EventKind, MemorySink, TraceSink};
+    use std::sync::Arc;
 
     #[test]
     fn ping_pong_delivers_data() {
@@ -294,6 +398,30 @@ mod tests {
     }
 
     #[test]
+    fn stats_split_send_and_wait_time() {
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            if c.rank() == 0 {
+                c.compute(1e6);
+                c.send(1, &vec![0.0; 1000]);
+            } else {
+                c.recv(0); // arrives early, waits for the busy sender
+            }
+            c.stats()
+        });
+        let s0 = res[0].value;
+        let s1 = res[1].value;
+        assert!(s0.send_time > 0.0);
+        assert_eq!(s0.wait_time, 0.0);
+        assert_eq!(s1.send_time, 0.0);
+        assert!(s1.wait_time > 0.0);
+        // Every second of each rank's clock is accounted for.
+        for (s, r) in [(s0, &res[0]), (s1, &res[1])] {
+            let total = s.compute_time + s.comm_time();
+            assert!((total - r.clock).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn messages_from_same_source_keep_order() {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             if c.rank() == 0 {
@@ -332,6 +460,67 @@ mod tests {
             res[2].value,
             res[0].value
         );
+    }
+
+    #[test]
+    fn traced_run_records_matching_events() {
+        let sink = Arc::new(MemorySink::new());
+        let opts = SpmdOptions {
+            trace: Some(sink.clone() as Arc<dyn otter_trace::TraceSink>),
+            ..SpmdOptions::default()
+        };
+        let res = run_spmd_with(&meiko_cs2(), 2, opts, |c| {
+            if c.rank() == 0 {
+                c.compute(1e6);
+                c.send(1, &[1.0, 2.0]);
+            } else {
+                c.recv(0);
+            }
+            c.stats()
+        });
+        let events = sink.snapshot().unwrap();
+        let sends: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Send { .. }))
+            .collect();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].rank, 0);
+        assert!(matches!(
+            sends[0].kind,
+            EventKind::Send {
+                to: 1,
+                bytes: 16,
+                seq: 0
+            }
+        ));
+        // Timeline totals equal the always-on stats, per rank.
+        for t in timelines(&events) {
+            let s = res[t.rank].value;
+            assert!(
+                (t.compute - s.compute_time).abs() < 1e-12,
+                "rank {}",
+                t.rank
+            );
+            assert!((t.comm - s.send_time).abs() < 1e-12);
+            assert!((t.idle - s.wait_time).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn untraced_run_is_untouched() {
+        let sink = Arc::new(MemorySink::new());
+        // No trace in the options: Comm must not see the sink at all.
+        let res = run_spmd(&meiko_cs2(), 2, |c| {
+            assert!(!c.trace_enabled());
+            if c.rank() == 0 {
+                c.send(1, &[1.0]);
+            } else {
+                c.recv(0);
+            }
+            c.clock()
+        });
+        assert!(res[0].value > 0.0);
+        assert!(sink.is_empty());
     }
 
     #[test]

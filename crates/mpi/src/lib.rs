@@ -30,9 +30,8 @@
 
 pub mod collectives;
 pub mod comm;
-pub mod linear;
 pub mod runner;
 
-pub use collectives::ReduceOp;
+pub use collectives::{CollectiveAlgo, ReduceOp};
 pub use comm::{Comm, CommStats};
-pub use runner::{run_spmd, RankResult};
+pub use runner::{job_time, run_spmd, run_spmd_with, RankResult, SpmdOptions};

@@ -1,8 +1,10 @@
 //! SPMD job launcher: builds the channel mesh and runs one closure per
 //! rank on its own OS thread.
 
+use crate::collectives::CollectiveAlgo;
 use crate::comm::{Comm, Packet};
 use otter_machine::Machine;
+use otter_trace::{NoopSink, TraceSink};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -16,8 +18,18 @@ pub struct RankResult<R> {
     pub stats: crate::comm::CommStats,
 }
 
-/// Run `body` on `p` ranks over the given machine model and collect
-/// per-rank results, ordered by rank.
+/// Launch-time configuration for an SPMD job.
+#[derive(Clone, Default)]
+pub struct SpmdOptions {
+    /// Schedule the un-suffixed collective methods use on every rank.
+    pub algo: CollectiveAlgo,
+    /// Event sink shared by every rank; `None` means tracing is off
+    /// (ranks get a no-op sink and skip event construction entirely).
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+/// Run `body` on `p` ranks over the given machine model with default
+/// options (tree collectives, no tracing); results ordered by rank.
 ///
 /// The modeled parallel execution time of the job is the maximum final
 /// clock over ranks — loosely synchronous SPMD programs end when their
@@ -30,6 +42,20 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Sync,
 {
+    run_spmd_with(machine, p, SpmdOptions::default(), body)
+}
+
+/// [`run_spmd`] with explicit [`SpmdOptions`].
+pub fn run_spmd_with<R, F>(
+    machine: &Machine,
+    p: usize,
+    opts: SpmdOptions,
+    body: F,
+) -> Vec<RankResult<R>>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Sync,
+{
     assert!(p >= 1, "need at least one rank");
     assert!(
         p <= machine.max_cpus,
@@ -38,6 +64,7 @@ where
         machine.max_cpus
     );
     let machine = Arc::new(machine.clone());
+    let sink: Arc<dyn TraceSink> = opts.trace.unwrap_or_else(|| Arc::new(NoopSink));
 
     // Build the p×p channel mesh: edges[s][d] connects rank s to rank d.
     let mut senders: Vec<Vec<Option<mpsc::Sender<Packet>>>> =
@@ -57,7 +84,15 @@ where
     for (r, (srow, rrow)) in senders.into_iter().zip(receivers).enumerate() {
         let tx: Vec<_> = srow.into_iter().map(Option::unwrap).collect();
         let rx: Vec<_> = rrow.into_iter().map(Option::unwrap).collect();
-        comms.push(Comm::new(r, p, Arc::clone(&machine), tx, rx));
+        comms.push(Comm::new(
+            r,
+            p,
+            Arc::clone(&machine),
+            tx,
+            rx,
+            opts.algo,
+            Arc::clone(&sink),
+        ));
     }
 
     let body = &body;
@@ -108,6 +143,7 @@ pub fn job_time<R>(results: &[RankResult<R>]) -> f64 {
 mod tests {
     use super::*;
     use otter_machine::meiko_cs2;
+    use otter_trace::{critical_path, timelines, MemorySink};
 
     #[test]
     fn ranks_are_ordered_and_complete() {
@@ -142,5 +178,33 @@ mod tests {
         let t = job_time(&res);
         assert!((t - res[3].clock).abs() < 1e-15);
         assert!(t > res[0].clock);
+    }
+
+    #[test]
+    fn traced_job_critical_path_matches_job_time() {
+        let sink = Arc::new(MemorySink::new());
+        let opts = SpmdOptions {
+            trace: Some(sink.clone() as Arc<dyn TraceSink>),
+            ..SpmdOptions::default()
+        };
+        let res = run_spmd_with(&meiko_cs2(), 4, opts, |c| {
+            c.compute((c.rank() as f64 + 1.0) * 1e6);
+            c.allreduce_scalar(1.0, crate::ReduceOp::Sum);
+        });
+        let events = sink.snapshot().unwrap();
+        let cp = critical_path(&events);
+        let t = job_time(&res);
+        assert!((cp.total - t).abs() < 1e-12, "cp={} job={t}", cp.total);
+        // The chain decomposes into compute + transfer time exactly.
+        assert!((cp.compute + cp.comm - cp.total).abs() < 1e-9);
+        // Every rank's timeline tiles its clock.
+        for tl in timelines(&events) {
+            let r = &res[tl.rank];
+            assert!(
+                (tl.compute + tl.comm + tl.idle - r.clock).abs() < 1e-9,
+                "rank {}",
+                tl.rank
+            );
+        }
     }
 }

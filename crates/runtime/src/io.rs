@@ -59,12 +59,15 @@ pub fn write_matrix_file(path: &Path, m: &Dense) -> Result<(), String> {
 /// Distributed load: rank 0 reads the file and scatters
 /// (`ML_load`). Every rank must call.
 pub fn load_distributed(comm: &mut Comm, path: &Path) -> Result<DistMatrix, String> {
+    let t0 = comm.clock();
     let dense = if comm.rank() == 0 {
         Some(read_matrix_file(path)?)
     } else {
         None
     };
-    Ok(DistMatrix::scatter_from(comm, 0, dense.as_ref()))
+    let m = DistMatrix::scatter_from(comm, 0, dense.as_ref());
+    comm.emit_span(otter_trace::EventKind::Phase { name: "ML_load" }, t0);
+    Ok(m)
 }
 
 /// Distributed print (`ML_print_matrix`): gather onto rank 0, which

@@ -7,6 +7,7 @@ use crate::dense::Dense;
 use crate::dist::Block;
 use crate::matrix::DistMatrix;
 use otter_mpi::Comm;
+use otter_trace::EventKind;
 
 impl DistMatrix {
     /// Distributed matrix multiply, `C = A · B` (`ML_matrix_multiply`).
@@ -18,6 +19,18 @@ impl DistMatrix {
     /// `p` steps, each moving `(k/p)·n` elements — the standard 1-D
     /// rotation algorithm a row-distributed 1998 run-time would use.
     pub fn matmul(&self, comm: &mut Comm, other: &DistMatrix) -> DistMatrix {
+        let t0 = comm.clock();
+        let out = self.matmul_impl(comm, other);
+        comm.emit_span(
+            EventKind::Phase {
+                name: "ML_matrix_multiply",
+            },
+            t0,
+        );
+        out
+    }
+
+    fn matmul_impl(&self, comm: &mut Comm, other: &DistMatrix) -> DistMatrix {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -115,6 +128,7 @@ impl DistMatrix {
     /// already correctly distributed because `A`'s row blocks coincide
     /// with `y`'s element blocks.
     pub fn matvec(&self, comm: &mut Comm, x: &DistMatrix) -> DistMatrix {
+        let t0 = comm.clock();
         assert!(x.is_vector(), "matvec needs a vector");
         assert_eq!(
             self.cols(),
@@ -132,6 +146,12 @@ impl DistMatrix {
             .map(|row| row.iter().zip(&x_full).map(|(&a, &b)| a * b).sum())
             .collect();
         comm.compute(2.0 * local.len() as f64 * w as f64);
+        comm.emit_span(
+            EventKind::Phase {
+                name: "ML_matrix_vector_multiply",
+            },
+            t0,
+        );
         DistMatrix::from_local(comm, self.rows(), 1, local)
     }
 
@@ -139,6 +159,7 @@ impl DistMatrix {
     /// distributed like any `m×n` result. `v` is allgathered; `u` is
     /// already aligned with the result's rows.
     pub fn outer(comm: &mut Comm, u: &DistMatrix, v: &DistMatrix) -> DistMatrix {
+        let t0 = comm.clock();
         assert!(u.is_vector() && v.is_vector(), "outer needs vectors");
         let (m, n) = (u.len(), v.len());
         let v_full = v.gather_all(comm).into_data();
@@ -151,6 +172,7 @@ impl DistMatrix {
             }
         }
         comm.compute(u.local_els() as f64 * n as f64);
+        comm.emit_span(EventKind::Phase { name: "ML_outer" }, t0);
         DistMatrix::from_local(comm, m, n, local)
     }
 
@@ -158,6 +180,18 @@ impl DistMatrix {
     /// intersection of its row panel with every destination's column
     /// panel.
     pub fn transpose(&self, comm: &mut Comm) -> DistMatrix {
+        let t0 = comm.clock();
+        let out = self.transpose_impl(comm);
+        comm.emit_span(
+            EventKind::Phase {
+                name: "ML_transpose",
+            },
+            t0,
+        );
+        out
+    }
+
+    fn transpose_impl(&self, comm: &mut Comm) -> DistMatrix {
         let (m, n) = (self.rows(), self.cols());
         if self.is_vector() {
             // A vector transpose only flips orientation; both

@@ -19,6 +19,7 @@
 use crate::dense::Dense;
 use crate::dist::Block;
 use otter_mpi::Comm;
+use otter_trace::EventKind;
 
 /// A matrix or vector distributed across the ranks of a job.
 #[derive(Debug, PartialEq)]
@@ -170,6 +171,7 @@ impl DistMatrix {
     /// literals and results of replicated scalar computation): each
     /// rank slices out its block, no communication.
     pub fn from_replicated(comm: &Comm, full: &Dense) -> DistMatrix {
+        let t0 = comm.clock();
         let mut m = Self::alloc(comm, full.rows(), full.cols());
         let b = m.block();
         let r = comm.rank();
@@ -188,6 +190,12 @@ impl DistMatrix {
                 m.local[li * w..(li + 1) * w].copy_from_slice(full.row(gi));
             }
         }
+        comm.emit_span(
+            EventKind::Phase {
+                name: "ML_distribute",
+            },
+            t0,
+        );
         m
     }
 
@@ -202,6 +210,7 @@ impl DistMatrix {
     /// Scatter a dense matrix held only by `root` (paper assumption 5:
     /// one processor coordinates I/O). Non-root ranks pass `None`.
     pub fn scatter_from(comm: &mut Comm, root: usize, full: Option<&Dense>) -> DistMatrix {
+        let t0 = comm.clock();
         // Broadcast the shape first.
         let shape = match full {
             Some(d) => vec![d.rows() as f64, d.cols() as f64],
@@ -228,17 +237,25 @@ impl DistMatrix {
             Vec::new()
         };
         m.local = comm.scatter(root, &parts);
+        comm.emit_span(EventKind::Phase { name: "ML_scatter" }, t0);
         m
     }
 
     /// Gather the full matrix onto every rank (used by `disp`, small
     /// intermediates, and test oracles).
     pub fn gather_all(&self, comm: &mut Comm) -> Dense {
+        let t0 = comm.clock();
         let parts = comm.allgather(&self.local);
         let mut data = Vec::with_capacity(self.len());
         for p in parts {
             data.extend_from_slice(&p);
         }
+        comm.emit_span(
+            EventKind::Phase {
+                name: "ML_gather_all",
+            },
+            t0,
+        );
         if self.is_vector() && self.rows > 1 {
             Dense::from_vec(self.rows, 1, data)
         } else if self.is_vector() {
@@ -250,7 +267,10 @@ impl DistMatrix {
 
     /// Gather onto `root` only; others get `None`.
     pub fn gather_to(&self, comm: &mut Comm, root: usize) -> Option<Dense> {
-        let parts = comm.gather(root, &self.local)?;
+        let t0 = comm.clock();
+        let parts = comm.gather(root, &self.local);
+        comm.emit_span(EventKind::Phase { name: "ML_gather" }, t0);
+        let parts = parts?;
         let mut data = Vec::with_capacity(self.len());
         for p in parts {
             data.extend_from_slice(&p);

@@ -1,0 +1,263 @@
+//! Timeline accounting and critical-path analysis over an event stream.
+
+use crate::{EventKind, TraceEvent};
+use std::collections::HashMap;
+
+/// Where one rank's simulated time went.
+///
+/// The primitives tile the rank's clock, so `compute + comm + idle == clock`
+/// (up to floating-point summation order).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankTimeline {
+    pub rank: usize,
+    /// Seconds spent in local floating-point work.
+    pub compute: f64,
+    /// Seconds spent launching messages (the sender-side transfer charge).
+    pub comm: f64,
+    /// Seconds spent blocked in `recv` waiting for a message to arrive.
+    pub idle: f64,
+    /// The rank's final virtual clock.
+    pub clock: f64,
+}
+
+/// Per-rank compute/comm/idle totals from the primitive events.
+///
+/// Ranks are inferred from the events; a rank that emitted nothing still
+/// appears (zeroed) if a higher rank did.
+pub fn timelines(events: &[TraceEvent]) -> Vec<RankTimeline> {
+    let ranks = events.iter().map(|e| e.rank + 1).max().unwrap_or(0);
+    let mut out: Vec<RankTimeline> = (0..ranks)
+        .map(|rank| RankTimeline {
+            rank,
+            ..RankTimeline::default()
+        })
+        .collect();
+    for ev in events {
+        let t = &mut out[ev.rank];
+        match ev.kind {
+            EventKind::Compute => t.compute += ev.duration(),
+            EventKind::Send { .. } => t.comm += ev.duration(),
+            EventKind::Recv { .. } => t.idle += ev.duration(),
+            _ => continue,
+        }
+        t.clock = t.clock.max(ev.t_end);
+    }
+    out
+}
+
+/// The longest dependency chain through the send/recv graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalPath {
+    /// End of the chain: the maximum virtual clock over all ranks.
+    pub total: f64,
+    /// Seconds of local compute on the chain.
+    pub compute: f64,
+    /// Seconds of message-transfer time on the chain.
+    pub comm: f64,
+    /// Cross-rank hops: how many times the chain jumps from a waited-on
+    /// `recv` back to the matching `send` on another rank.
+    pub hops: usize,
+    /// Number of primitive events on the chain.
+    pub events: usize,
+}
+
+impl CriticalPath {
+    /// Fraction of the chain spent in communication.
+    pub fn comm_share(&self) -> f64 {
+        if self.total > 0.0 {
+            self.comm / self.total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Walk the send/recv dependency graph backwards from the rank that finished
+/// last and report the longest dependency chain.
+///
+/// Within a rank, an event depends on the event before it (program order).
+/// A `recv` that actually *waited* (its interval is non-empty) was instead
+/// bound by the sender: its end clock was set to the matching send's end
+/// clock, so the walk hops to that send — matched by the per-edge FIFO
+/// sequence number — and continues on the sender's rank. Because primitives
+/// tile each rank's clock and a hop lands on an event ending at the same
+/// instant, the chain covers `[0, total]` with compute and transfer time:
+/// `compute + comm == total` up to rounding.
+pub fn critical_path(events: &[TraceEvent]) -> CriticalPath {
+    // Per-rank primitive events, in recorded (chronological) order, as
+    // indices into `events`.
+    let ranks = events.iter().map(|e| e.rank + 1).max().unwrap_or(0);
+    let mut per_rank: Vec<Vec<usize>> = vec![Vec::new(); ranks];
+    // (from, to, seq) -> (rank position index) of the Send event.
+    let mut sends: HashMap<(usize, usize, u64), (usize, usize)> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if !ev.kind.is_primitive() {
+            continue;
+        }
+        if let EventKind::Send { to, seq, .. } = ev.kind {
+            sends.insert((ev.rank, to, seq), (ev.rank, per_rank[ev.rank].len()));
+        }
+        per_rank[ev.rank].push(i);
+    }
+
+    let mut cp = CriticalPath {
+        total: 0.0,
+        compute: 0.0,
+        comm: 0.0,
+        hops: 0,
+        events: 0,
+    };
+
+    // Start from the last event on the rank with the largest final clock.
+    let mut cur: Option<(usize, usize)> = None;
+    for (rank, idxs) in per_rank.iter().enumerate() {
+        if let Some(&last) = idxs.last() {
+            let end = events[last].t_end;
+            if end > cp.total || cur.is_none() {
+                cp.total = cp.total.max(end);
+                cur = Some((rank, idxs.len() - 1));
+            }
+        }
+    }
+
+    while let Some((rank, pos)) = cur {
+        let ev = &events[per_rank[rank][pos]];
+        cp.events += 1;
+        match ev.kind {
+            EventKind::Compute => {
+                cp.compute += ev.duration();
+            }
+            EventKind::Send { .. } => {
+                cp.comm += ev.duration();
+            }
+            EventKind::Recv { from, seq, .. } => {
+                if ev.duration() > 0.0 {
+                    // The wait was bound by the sender; hop to the matching
+                    // send. Its transfer time (counted when we visit it)
+                    // covers this interval — do not also count the wait.
+                    if let Some(&(srank, spos)) = sends.get(&(from, ev.rank, seq)) {
+                        cp.hops += 1;
+                        cur = Some((srank, spos));
+                        continue;
+                    }
+                }
+            }
+            _ => unreachable!("non-primitive events are filtered out"),
+        }
+        cur = if pos > 0 { Some((rank, pos - 1)) } else { None };
+    }
+    cp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute(rank: usize, a: f64, b: f64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            t_start: a,
+            t_end: b,
+            kind: EventKind::Compute,
+        }
+    }
+
+    fn send(rank: usize, to: usize, a: f64, b: f64, seq: u64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            t_start: a,
+            t_end: b,
+            kind: EventKind::Send { to, bytes: 8, seq },
+        }
+    }
+
+    fn recv(rank: usize, from: usize, a: f64, b: f64, seq: u64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            t_start: a,
+            t_end: b,
+            kind: EventKind::Recv {
+                from,
+                bytes: 8,
+                seq,
+            },
+        }
+    }
+
+    /// Rank 0 computes 3s then sends (1s transfer); rank 1 computes 1s and
+    /// waits from t=1 to t=4 for the message, then computes 2s more.
+    fn two_rank_stream() -> Vec<TraceEvent> {
+        vec![
+            compute(0, 0.0, 3.0),
+            send(0, 1, 3.0, 4.0, 0),
+            compute(1, 0.0, 1.0),
+            recv(1, 0, 1.0, 4.0, 0),
+            compute(1, 4.0, 6.0),
+        ]
+    }
+
+    #[test]
+    fn timelines_account_every_second() {
+        let t = timelines(&two_rank_stream());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].compute, 3.0);
+        assert_eq!(t[0].comm, 1.0);
+        assert_eq!(t[0].idle, 0.0);
+        assert_eq!(t[0].clock, 4.0);
+        assert_eq!(t[1].compute, 3.0);
+        assert_eq!(t[1].idle, 3.0);
+        assert!((t[1].compute + t[1].comm + t[1].idle - t[1].clock).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_hops_through_the_waited_recv() {
+        let cp = critical_path(&two_rank_stream());
+        assert_eq!(cp.total, 6.0);
+        // Chain: rank1 compute [4,6] <- recv (waited) <- hop to rank0 send
+        // [3,4] <- rank0 compute [0,3]. Rank 1's early compute is off-path.
+        assert_eq!(cp.hops, 1);
+        assert_eq!(cp.compute, 5.0);
+        assert_eq!(cp.comm, 1.0);
+        assert!((cp.compute + cp.comm - cp.total).abs() < 1e-12);
+        assert!((cp.comm_share() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unwaited_recv_stays_on_rank() {
+        // Message already there: recv interval is empty, no hop.
+        let events = vec![
+            send(0, 1, 0.0, 1.0, 0),
+            compute(1, 0.0, 5.0),
+            recv(1, 0, 5.0, 5.0, 0),
+            compute(1, 5.0, 6.0),
+        ];
+        let cp = critical_path(&events);
+        assert_eq!(cp.hops, 0);
+        assert_eq!(cp.total, 6.0);
+        assert_eq!(cp.compute, 6.0);
+        assert_eq!(cp.comm, 0.0);
+    }
+
+    #[test]
+    fn empty_stream_is_benign() {
+        assert!(timelines(&[]).is_empty());
+        let cp = critical_path(&[]);
+        assert_eq!(cp.total, 0.0);
+        assert_eq!(cp.events, 0);
+    }
+
+    #[test]
+    fn span_events_do_not_affect_accounting() {
+        let mut events = two_rank_stream();
+        events.push(TraceEvent {
+            rank: 0,
+            t_start: 0.0,
+            t_end: 4.0,
+            kind: EventKind::Phase { name: "ML_matmul" },
+        });
+        let t = timelines(&events);
+        assert_eq!(t[0].compute, 3.0);
+        let cp = critical_path(&events);
+        assert_eq!(cp.total, 6.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Chrome `trace_event` JSON export (viewable in `chrome://tracing` or
+//! Perfetto). Hand-rolled — the workspace has no JSON dependency.
+
+use crate::{EventKind, TraceEvent};
+use std::fmt::Write as _;
+
+const US_PER_S: f64 = 1e6;
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    out.push('"');
+    escape(key, out);
+    out.push_str("\":\"");
+    escape(val, out);
+    out.push('"');
+}
+
+/// Render the event stream as a Chrome `trace_event` JSON document.
+///
+/// Each event becomes a complete (`"ph":"X"`) event with `ts`/`dur` in
+/// microseconds of *simulated* time, `pid` 0, and `tid` = rank. Kind details
+/// (peer, bytes, sequence number, algorithm, operator) land in `args`.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_str_field(&mut out, "name", ev.kind.label());
+        let cat = match ev.kind {
+            EventKind::Compute => "compute",
+            EventKind::Send { .. } | EventKind::Recv { .. } => "comm",
+            EventKind::Collective { .. } | EventKind::Barrier => "collective",
+            EventKind::Phase { .. } => "phase",
+            EventKind::Statement { .. } => "statement",
+        };
+        out.push(',');
+        push_str_field(&mut out, "cat", cat);
+        let _ = write!(
+            out,
+            ",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}",
+            ev.t_start * US_PER_S,
+            ev.duration() * US_PER_S,
+            ev.rank
+        );
+        out.push_str(",\"args\":{");
+        match &ev.kind {
+            EventKind::Send { to, bytes, seq } => {
+                let _ = write!(out, "\"to\":{to},\"bytes\":{bytes},\"seq\":{seq}");
+            }
+            EventKind::Recv { from, bytes, seq } => {
+                let _ = write!(out, "\"from\":{from},\"bytes\":{bytes},\"seq\":{seq}");
+            }
+            EventKind::Collective { algo, op, .. } => {
+                push_str_field(&mut out, "algo", algo);
+                if let Some(op) = op {
+                    out.push(',');
+                    push_str_field(&mut out, "op", op);
+                }
+            }
+            _ => {}
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_wellformed_json() {
+        let events = vec![
+            TraceEvent {
+                rank: 0,
+                t_start: 0.0,
+                t_end: 1e-3,
+                kind: EventKind::Compute,
+            },
+            TraceEvent {
+                rank: 0,
+                t_start: 1e-3,
+                t_end: 2e-3,
+                kind: EventKind::Send {
+                    to: 1,
+                    bytes: 800,
+                    seq: 0,
+                },
+            },
+            TraceEvent {
+                rank: 1,
+                t_start: 0.0,
+                t_end: 2e-3,
+                kind: EventKind::Collective {
+                    name: "allreduce",
+                    algo: "tree",
+                    op: Some("sum"),
+                },
+            },
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("}"));
+        assert!(json.contains("\"name\":\"send\""));
+        assert!(json.contains("\"to\":1,\"bytes\":800,\"seq\":0"));
+        assert!(json.contains("\"algo\":\"tree\""));
+        assert!(json.contains("\"op\":\"sum\""));
+        assert!(json.contains("\"ts\":1000.000"));
+        // Balanced braces/brackets — cheap well-formedness check.
+        let braces = json.matches('{').count() as i64 - json.matches('}').count() as i64;
+        let brackets = json.matches('[').count() as i64 - json.matches(']').count() as i64;
+        assert_eq!(braces, 0);
+        assert_eq!(brackets, 0);
+    }
+
+    #[test]
+    fn empty_stream_still_valid() {
+        let json = chrome_trace(&[]);
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+}

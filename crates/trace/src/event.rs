@@ -1,0 +1,79 @@
+//! The trace event schema shared by every layer of the stack.
+
+/// What happened during a traced interval.
+///
+/// `Compute`, `Send` and `Recv` are *primitive* events: together they tile
+/// each rank's virtual clock (every clock advance in the simulator is exactly
+/// one of them), so analyses that account for time — [`crate::timelines`],
+/// [`crate::critical_path`] — consider only these. The remaining kinds are
+/// *span* events layered on top for human consumption: they wrap primitives
+/// and carry no time of their own.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Local floating-point work charged to the virtual clock.
+    Compute,
+    /// A point-to-point message leaving this rank. `seq` numbers messages
+    /// on the directed edge `(self.rank -> to)` from zero, matching the
+    /// receiver's FIFO order.
+    Send { to: usize, bytes: u64, seq: u64 },
+    /// A point-to-point message arriving on this rank. The interval covers
+    /// only the *wait*: `t_end - t_start` is zero when the message had
+    /// already arrived in virtual time.
+    Recv { from: usize, bytes: u64, seq: u64 },
+    /// A collective call (`broadcast`, `reduce`, ...) wrapping its
+    /// constituent sends/recvs. `algo` names the schedule (`tree`/`linear`),
+    /// `op` the reduction operator when there is one.
+    Collective {
+        name: &'static str,
+        algo: &'static str,
+        op: Option<&'static str>,
+    },
+    /// A barrier call (implemented as a zero-byte collective).
+    Barrier,
+    /// A named runtime phase: distribution, redistribution, an `ML_*`
+    /// library call, ...
+    Phase { name: &'static str },
+    /// One source-level statement (interpreter/matcom) or one IR
+    /// instruction (otter executor).
+    Statement { name: &'static str },
+}
+
+impl EventKind {
+    /// True for the kinds that tile the virtual clock.
+    pub fn is_primitive(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Compute | EventKind::Send { .. } | EventKind::Recv { .. }
+        )
+    }
+
+    /// A short stable label, used as the Chrome-trace event name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Compute => "compute",
+            EventKind::Send { .. } => "send",
+            EventKind::Recv { .. } => "recv",
+            EventKind::Collective { name, .. } => name,
+            EventKind::Barrier => "barrier",
+            EventKind::Phase { name } => name,
+            EventKind::Statement { name } => name,
+        }
+    }
+}
+
+/// One traced interval on one rank, stamped in simulated seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub rank: usize,
+    /// Virtual clock when the interval began.
+    pub t_start: f64,
+    /// Virtual clock when the interval ended (`>= t_start`).
+    pub t_end: f64,
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}

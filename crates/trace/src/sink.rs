@@ -1,0 +1,111 @@
+//! Sinks that receive the event stream.
+
+use crate::TraceEvent;
+use std::sync::Mutex;
+
+/// Destination for trace events. Shared by every rank thread, so
+/// implementations must be `Send + Sync`.
+///
+/// The no-op-sink guarantee: emitters cache `enabled()` once and skip event
+/// construction entirely when it is false, so a disabled sink costs one
+/// branch per would-be event and perturbs no modeled numbers.
+pub trait TraceSink: Send + Sync {
+    /// Whether emitters should bother constructing events.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event. May be called concurrently from rank threads.
+    fn record(&self, ev: TraceEvent);
+
+    /// A copy of everything recorded so far, if this sink retains events.
+    /// Sinks that stream events elsewhere return `None` (the default).
+    fn snapshot(&self) -> Option<Vec<TraceEvent>> {
+        None
+    }
+}
+
+/// The disabled sink: reports `enabled() == false` and drops everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _ev: TraceEvent) {}
+}
+
+/// Retains every event in memory; the sink used by `harness trace`,
+/// `otterc --trace` and the test suite.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain and return all recorded events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap())
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, ev: TraceEvent) {
+        self.events.lock().unwrap().push(ev);
+    }
+
+    fn snapshot(&self) -> Option<Vec<TraceEvent>> {
+        Some(self.events.lock().unwrap().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    fn ev(rank: usize, a: f64, b: f64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            t_start: a,
+            t_end: b,
+            kind: EventKind::Compute,
+        }
+    }
+
+    #[test]
+    fn noop_sink_reports_disabled() {
+        let s = NoopSink;
+        assert!(!s.enabled());
+        s.record(ev(0, 0.0, 1.0));
+        assert!(s.snapshot().is_none());
+    }
+
+    #[test]
+    fn memory_sink_retains_in_order() {
+        let s = MemorySink::new();
+        assert!(s.enabled());
+        s.record(ev(0, 0.0, 1.0));
+        s.record(ev(1, 0.5, 2.0));
+        let evs = s.snapshot().unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].rank, 0);
+        assert_eq!(evs[1].rank, 1);
+        assert_eq!(s.take().len(), 2);
+        assert!(s.is_empty());
+    }
+}
