@@ -14,6 +14,8 @@
 //! harness passes [--paper]      # per-pass compile instrumentation
 //! harness trace <app> [--ranks N] [--machine M] [--chrome out.json]
 //!                                # per-rank timeline + critical path
+//! harness lint <app|all> [--deny]
+//!                                # SPMD lint report (deny: exit 1 on warnings)
 //! harness all    [--paper]      # everything above
 //! ```
 //!
@@ -66,6 +68,7 @@ fn main() {
         }
         "excerpts" => print_excerpts(),
         "trace" => run_trace(&args[1..], scale),
+        "lint" => run_lint(&args[1..], scale),
         "ablation" => run_ablations(scale),
         "memory" => run_memory(scale),
         "passes" => run_passes(scale),
@@ -89,7 +92,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|ablation|memory|passes|all"
+                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|ablation|memory|passes|all"
             );
             std::process::exit(2);
         }
@@ -192,6 +195,71 @@ fn run_trace(args: &[String], scale: Scale) {
             events.len()
         );
     }
+}
+
+/// `harness lint <app|all> [--deny]`: compile one (or every)
+/// benchmark app and print the SPMD lint report — warnings, the
+/// communication-site census, and the divergence verdict. With
+/// `--deny` any warning exits non-zero, which is the CI smoke mode.
+fn run_lint(args: &[String], scale: Scale) {
+    use otter_core::compile_str;
+
+    let mut app_id = None;
+    let mut deny = false;
+    for a in args {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--paper" | "--csv" => {}
+            other if app_id.is_none() && !other.starts_with('-') => {
+                app_id = Some(other.to_string())
+            }
+            _ => lint_usage(),
+        }
+    }
+    let app_id = app_id.unwrap_or_else(|| "all".to_string());
+    let apps: Vec<_> = scale
+        .apps()
+        .into_iter()
+        .filter(|a| app_id == "all" || a.id == app_id)
+        .collect();
+    if apps.is_empty() {
+        eprintln!("unknown app `{app_id}`; expected cg|ocean|nbody|tc|all");
+        std::process::exit(2);
+    }
+
+    let mut total_warnings = 0usize;
+    for app in apps {
+        let compiled = compile_str(&app.script).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", app.id);
+            std::process::exit(1);
+        });
+        let r = &compiled.lint;
+        println!(
+            "{}: {} warning(s), {} collective site(s), {} point-to-point site(s), {}",
+            app.id,
+            r.warnings.len(),
+            r.collective_sites,
+            r.p2p_sites,
+            if r.divergence_free && r.sendrecv_matched {
+                "divergence-free, send/recv matched"
+            } else {
+                "NOT divergence-free"
+            },
+        );
+        for w in &r.warnings {
+            println!("  {w}");
+        }
+        total_warnings += r.warnings.len();
+    }
+    if deny && total_warnings > 0 {
+        eprintln!("harness lint: {total_warnings} warning(s) with --deny");
+        std::process::exit(1);
+    }
+}
+
+fn lint_usage() -> ! {
+    eprintln!("usage: harness lint <cg|ocean|nbody|tc|all> [--deny] [--paper]");
+    std::process::exit(2);
 }
 
 fn trace_usage() -> ! {

@@ -43,7 +43,7 @@ fn process_block(block: &mut Vec<Instr>, live_out: &[String], count: &mut usize)
             }
             Instr::While { pre, cond, body } => {
                 let mut live = live_out.to_vec();
-                cond.vars(&mut live);
+                sexpr_reads(cond, &mut live);
                 let mut pre_reads = Vec::new();
                 for i in pre.iter() {
                     crate::peephole::instr_reads(i, &mut pre_reads);

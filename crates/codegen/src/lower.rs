@@ -33,8 +33,10 @@ pub fn lower(program: &Program, inference: &Inference) -> Result<IrProgram> {
         types: &inference.script_vars,
         tmp: 0,
         self_elem: None,
+        def_spans: Default::default(),
     };
     ir.main = cx.lower_block(&program.script)?;
+    ir.def_spans = std::mem::take(&mut cx.def_spans);
     for (name, ty) in &inference.script_vars {
         ir.var_ranks.insert(name.clone(), rank_of(ty));
     }
@@ -53,6 +55,7 @@ pub fn lower(program: &Program, inference: &Inference) -> Result<IrProgram> {
             types: &sig.vars,
             tmp: 0,
             self_elem: None,
+            def_spans: Default::default(),
         };
         let body = fcx.lower_block(&f.body)?;
         let mut var_ranks: std::collections::BTreeMap<String, VarRank> = sig
@@ -81,6 +84,7 @@ pub fn lower(program: &Program, inference: &Inference) -> Result<IrProgram> {
                     .collect(),
                 body,
                 var_ranks,
+                def_spans: std::mem::take(&mut fcx.def_spans),
             },
         );
     }
@@ -112,6 +116,9 @@ struct Cx<'a> {
     /// the same element become [`SExpr::OwnElem`] (paper's in-guard
     /// read) instead of a broadcast.
     self_elem: Option<(String, Vec<SExpr>)>,
+    /// Source span of each variable's first definition, recorded as
+    /// statements lower (diagnostics metadata on the produced IR).
+    def_spans: std::collections::BTreeMap<String, Span>,
 }
 
 impl<'a> Cx<'a> {
@@ -970,7 +977,20 @@ impl<'a> Cx<'a> {
     fn lower_block(&mut self, block: &Block) -> Result<Vec<Instr>> {
         let mut out = Vec::new();
         for stmt in block {
+            let before = out.len();
             self.lower_stmt(stmt, &mut out)?;
+            // Tag every variable first defined by this statement's
+            // instructions with the statement's source span. Nested
+            // bodies were already tagged by the inner `lower_block`
+            // with their more precise inner-statement spans
+            // (first-write-wins keeps those).
+            for instr in &out[before..] {
+                let mut defs = Vec::new();
+                instr.defs(&mut defs);
+                for d in defs {
+                    self.def_spans.entry(d).or_insert(stmt.span);
+                }
+            }
         }
         Ok(out)
     }

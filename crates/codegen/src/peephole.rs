@@ -58,8 +58,7 @@ fn optimize_block(block: &mut Vec<Instr>, live_out: &[String], stats: &mut Peeph
                 // pre-block re-executes after the body), so its inputs
                 // are live-out of both.
                 let mut live = live_out.to_vec();
-                cond.vars(&mut live);
-                collect_dimof(cond, &mut live);
+                sexpr_reads(cond, &mut live);
                 // The pre-block also re-reads whatever it reads.
                 let mut pre_reads = Vec::new();
                 for i in pre.iter() {
@@ -140,258 +139,29 @@ fn is_temp(name: &str) -> bool {
 }
 
 /// All variable names an instruction *reads* (conservatively includes
-/// nested blocks). Exposed crate-wide: the de-allocation pass reuses
-/// the same liveness facts.
+/// nested blocks). Thin crate-wide alias over [`Instr::reads`], which
+/// moved into `otter-ir` so the lint analyses share the exact same
+/// liveness facts as the rewrites here.
 pub(crate) fn instr_reads(instr: &Instr, out: &mut Vec<String>) {
-    reads_of(instr, out)
+    instr.reads(out)
 }
 
-/// The destination an instruction writes, if any (crate-wide alias).
+/// The destination an instruction writes, if any (crate-wide alias
+/// over [`Instr::dst`]).
 pub(crate) fn instr_dst(instr: &Instr) -> Option<String> {
     dst_of(instr)
 }
 
 fn reads_of(instr: &Instr, out: &mut Vec<String>) {
-    let sexpr = |e: &SExpr, out: &mut Vec<String>| {
-        e.vars(out);
-        collect_dimof(e, out);
-    };
-    match instr {
-        Instr::AssignScalar { src, .. } => sexpr(src, out),
-        Instr::InitMatrix { init, .. } => match init {
-            MatInit::Zeros { rows, cols }
-            | MatInit::Ones { rows, cols }
-            | MatInit::Rand { rows, cols } => {
-                sexpr(rows, out);
-                sexpr(cols, out);
-            }
-            MatInit::Eye { n } => sexpr(n, out),
-            MatInit::Range { start, step, stop } => {
-                sexpr(start, out);
-                sexpr(step, out);
-                sexpr(stop, out);
-            }
-            MatInit::Literal { rows } => {
-                for r in rows {
-                    for c in r {
-                        sexpr(c, out);
-                    }
-                }
-            }
-            MatInit::Linspace { a, b, n } => {
-                sexpr(a, out);
-                sexpr(b, out);
-                sexpr(n, out);
-            }
-        },
-        Instr::CopyMatrix { src, .. } => out.push(src.clone()),
-        Instr::LoadFile { .. } => {}
-        Instr::ElemWise { expr, .. } => {
-            expr.mat_operands(out);
-            collect_ew_scalars(expr, out);
-        }
-        Instr::MatMul { a, b, .. } | Instr::Dot { a, b, .. } => {
-            out.push(a.clone());
-            out.push(b.clone());
-        }
-        Instr::MatVec { a, x, .. } => {
-            out.push(a.clone());
-            out.push(x.clone());
-        }
-        Instr::Outer { u, v, .. } => {
-            out.push(u.clone());
-            out.push(v.clone());
-        }
-        Instr::Transpose { a, .. } => out.push(a.clone()),
-        Instr::BroadcastElem { m, i, j, .. } => {
-            out.push(m.clone());
-            sexpr(i, out);
-            if let Some(j) = j {
-                sexpr(j, out);
-            }
-        }
-        Instr::StoreElem { m, i, j, val } => {
-            out.push(m.clone());
-            sexpr(i, out);
-            if let Some(j) = j {
-                sexpr(j, out);
-            }
-            sexpr(val, out);
-        }
-        Instr::Reduce { m, .. } | Instr::ColReduce { m, .. } => out.push(m.clone()),
-        Instr::TrapzXY { x, y, .. } => {
-            out.push(x.clone());
-            out.push(y.clone());
-        }
-        Instr::Shift { v, k, .. } => {
-            out.push(v.clone());
-            sexpr(k, out);
-        }
-        Instr::ExtractRow { m, i, .. } => {
-            out.push(m.clone());
-            sexpr(i, out);
-        }
-        Instr::ExtractCol { m, j, .. } => {
-            out.push(m.clone());
-            sexpr(j, out);
-        }
-        Instr::AssignRow { m, i, v } => {
-            out.push(m.clone());
-            sexpr(i, out);
-            out.push(v.clone());
-        }
-        Instr::AssignCol { m, j, v } => {
-            out.push(m.clone());
-            sexpr(j, out);
-            out.push(v.clone());
-        }
-        Instr::ExtractRange { v, lo, hi, .. } => {
-            out.push(v.clone());
-            sexpr(lo, out);
-            sexpr(hi, out);
-        }
-        Instr::ExtractStrided {
-            v, lo, step, hi, ..
-        } => {
-            out.push(v.clone());
-            sexpr(lo, out);
-            sexpr(step, out);
-            sexpr(hi, out);
-        }
-        Instr::FillRow { m, i, val } => {
-            out.push(m.clone());
-            sexpr(i, out);
-            sexpr(val, out);
-        }
-        Instr::FillCol { m, j, val } => {
-            out.push(m.clone());
-            sexpr(j, out);
-            sexpr(val, out);
-        }
-        Instr::FillRange { m, lo, hi, val } => {
-            out.push(m.clone());
-            sexpr(lo, out);
-            sexpr(hi, out);
-            sexpr(val, out);
-        }
-        Instr::AssignRange { m, lo, hi, v } => {
-            out.push(m.clone());
-            sexpr(lo, out);
-            sexpr(hi, out);
-            out.push(v.clone());
-        }
-        Instr::If {
-            cond,
-            then_body,
-            else_body,
-        } => {
-            sexpr(cond, out);
-            for i in then_body.iter().chain(else_body) {
-                reads_of(i, out);
-            }
-        }
-        Instr::While { pre, cond, body } => {
-            sexpr(cond, out);
-            for i in pre.iter().chain(body) {
-                reads_of(i, out);
-            }
-        }
-        Instr::For {
-            start,
-            step,
-            stop,
-            body,
-            ..
-        } => {
-            sexpr(start, out);
-            sexpr(step, out);
-            sexpr(stop, out);
-            for i in body {
-                reads_of(i, out);
-            }
-        }
-        Instr::Free { .. } | Instr::Break | Instr::Continue => {}
-        Instr::Call { args, .. } => {
-            for a in args {
-                match a {
-                    Arg::Scalar(s) => sexpr(s, out),
-                    Arg::Matrix(m) => out.push(m.clone()),
-                }
-            }
-        }
-        Instr::Print { target, .. } => match target {
-            PrintTarget::Scalar(s) => sexpr(s, out),
-            PrintTarget::Matrix(m) => out.push(m.clone()),
-        },
-    }
-}
-
-fn collect_dimof(e: &SExpr, out: &mut Vec<String>) {
-    match e {
-        SExpr::DimOf { var, .. } => out.push(var.clone()),
-        SExpr::Neg(x) | SExpr::Not(x) => collect_dimof(x, out),
-        SExpr::Bin(_, a, b) => {
-            collect_dimof(a, out);
-            collect_dimof(b, out);
-        }
-        SExpr::Call(_, args) => {
-            for a in args {
-                collect_dimof(a, out);
-            }
-        }
-        SExpr::Const(_) | SExpr::Var(_) | SExpr::OwnElem => {}
-    }
-}
-
-fn collect_ew_scalars(e: &EwExpr, out: &mut Vec<String>) {
-    match e {
-        EwExpr::Scalar(s) => {
-            s.vars(out);
-            collect_dimof(s, out);
-        }
-        EwExpr::Neg(x) | EwExpr::Not(x) => collect_ew_scalars(x, out),
-        EwExpr::Bin(_, a, b) => {
-            collect_ew_scalars(a, out);
-            collect_ew_scalars(b, out);
-        }
-        EwExpr::Call(_, args) => {
-            for a in args {
-                collect_ew_scalars(a, out);
-            }
-        }
-        EwExpr::Mat(_) => {}
-    }
-}
-
-/// The destination a simple instruction writes, if retargetable.
-fn dst_of_mut(instr: &mut Instr) -> Option<&mut String> {
-    match instr {
-        Instr::InitMatrix { dst, .. }
-        | Instr::CopyMatrix { dst, .. }
-        | Instr::LoadFile { dst, .. }
-        | Instr::ElemWise { dst, .. }
-        | Instr::MatMul { dst, .. }
-        | Instr::MatVec { dst, .. }
-        | Instr::Outer { dst, .. }
-        | Instr::Transpose { dst, .. }
-        | Instr::BroadcastElem { dst, .. }
-        | Instr::Reduce { dst, .. }
-        | Instr::Dot { dst, .. }
-        | Instr::TrapzXY { dst, .. }
-        | Instr::ColReduce { dst, .. }
-        | Instr::Shift { dst, .. }
-        | Instr::ExtractRow { dst, .. }
-        | Instr::ExtractCol { dst, .. }
-        | Instr::ExtractRange { dst, .. }
-        | Instr::ExtractStrided { dst, .. }
-        | Instr::AssignScalar { dst, .. } => Some(dst),
-        _ => None,
-    }
+    instr.reads(out)
 }
 
 fn dst_of(instr: &Instr) -> Option<String> {
-    let mut c = instr.clone();
-    dst_of_mut(&mut c).map(|d| d.clone())
+    instr.dst().map(str::to_string)
+}
+
+fn dst_of_mut(instr: &mut Instr) -> Option<&mut String> {
+    instr.dst_mut()
 }
 
 /// Is a temp read anywhere in `rest`? (Temps are single-assignment by

@@ -12,14 +12,16 @@
 //! otterc script.m --no-peephole ...   # disable pass 6
 //! otterc script.m --timing            # per-pass wall time + sizes
 //! otterc script.m --dump-after=rewrite  # print the IR after pass 4
+//! otterc script.m --lint              # print SPMD lint warnings
+//! otterc script.m --lint=deny         # ...and fail the build on any
 //! ```
 //!
 //! M-file functions are resolved from the script's directory, like the
 //! MATLAB path; `load` reads sample data files from the same place.
 
 use otter_core::{
-    CompileOptions, CompileReport, DumpRequest, Engine, EngineOptions, EngineReport, OtterEngine,
-    PassManager,
+    CompileOptions, CompileReport, DumpRequest, Engine, EngineOptions, EngineReport, LintMode,
+    OtterEngine, PassManager,
 };
 use otter_frontend::DirProvider;
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
@@ -39,6 +41,8 @@ struct Args {
     timing: bool,
     trace: bool,
     dump_after: Option<String>,
+    lint: bool,
+    lint_deny: bool,
 }
 
 #[derive(PartialEq)]
@@ -52,7 +56,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: otterc <script.m> [-o out.c] [--emit c|ir|ast] [--run] \
          [-p N] [--machine meiko|cluster|smp|workstation] [--no-peephole] \
-         [--timing] [--trace] [--dump-after=<pass>|all]"
+         [--timing] [--trace] [--dump-after=<pass>|all] [--lint[=deny]]"
     );
     exit(2)
 }
@@ -68,6 +72,8 @@ fn parse_args() -> Args {
     let mut timing = false;
     let mut trace = false;
     let mut dump_after = None;
+    let mut lint = false;
+    let mut lint_deny = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -99,6 +105,11 @@ fn parse_args() -> Args {
             "--no-peephole" => no_peephole = true,
             "--timing" => timing = true,
             "--trace" => trace = true,
+            "--lint" => lint = true,
+            "--lint=deny" => {
+                lint = true;
+                lint_deny = true;
+            }
             "--dump-after" => dump_after = Some(it.next().unwrap_or_else(|| usage())),
             other if other.starts_with("--dump-after=") => {
                 dump_after = Some(other["--dump-after=".len()..].to_string());
@@ -121,6 +132,8 @@ fn parse_args() -> Args {
         timing,
         trace,
         dump_after,
+        lint,
+        lint_deny,
     }
 }
 
@@ -188,6 +201,11 @@ fn main() {
     let mut opts = CompileOptions {
         data_dir: Some(dir),
         disabled_passes: Vec::new(),
+        lint: if args.lint_deny {
+            LintMode::Deny
+        } else {
+            LintMode::Warn
+        },
     };
     let mut pm = PassManager::standard();
     if args.no_peephole {
@@ -222,6 +240,22 @@ fn main() {
         }
     }
     let compiled = report.compiled;
+    if args.lint {
+        for w in &compiled.lint.warnings {
+            eprintln!("{}", w.clone().in_file(args.input.display().to_string()));
+        }
+        eprintln!(
+            "otterc: lint: {} warning(s), {} collective site(s), {} point-to-point site(s){}",
+            compiled.lint.warnings.len(),
+            compiled.lint.collective_sites,
+            compiled.lint.p2p_sites,
+            if compiled.lint.divergence_free {
+                ", divergence-free"
+            } else {
+                ""
+            },
+        );
+    }
 
     match args.emit {
         Emit::Ir => print!("{}", compiled.ir_text()),

@@ -15,6 +15,7 @@ use otter_analysis::Inference;
 use otter_codegen::peephole::PeepholeStats;
 use otter_frontend::SourceProvider;
 use otter_ir::IrProgram;
+use otter_lint::{LintMode, LintReport};
 use std::path::PathBuf;
 
 /// Compilation options.
@@ -27,12 +28,22 @@ pub struct CompileOptions {
     /// pass-6 ablation). Unknown names are ignored here; use
     /// [`PassManager::disable`] for validated toggling.
     pub disabled_passes: Vec<String>,
+    /// How the lint pass treats its findings: [`LintMode::Warn`]
+    /// collects them on [`Compiled::lint`], [`LintMode::Deny`] fails
+    /// the pipeline on the first warning.
+    pub lint: LintMode,
 }
 
 impl CompileOptions {
     /// Builder: skip an optional pass by name.
     pub fn without_pass(mut self, name: &str) -> Self {
         self.disabled_passes.push(name.to_string());
+        self
+    }
+
+    /// Builder: treat lint warnings as pipeline errors.
+    pub fn deny_lints(mut self) -> Self {
+        self.lint = LintMode::Deny;
         self
     }
 }
@@ -50,6 +61,8 @@ pub struct Compiled {
     pub peephole_stats: PeepholeStats,
     /// What pass 5 audited.
     pub guard_stats: GuardStats,
+    /// What the lint pass found (empty when linting was disabled).
+    pub lint: LintReport,
     /// Data directory carried to execution.
     pub data_dir: Option<PathBuf>,
 }

@@ -426,6 +426,7 @@ impl Engine for OtterEngine {
         let copts = CompileOptions {
             data_dir: self.opts.data_dir.clone(),
             disabled_passes: self.opts.disabled_passes.clone(),
+            ..Default::default()
         };
         self.compiled = Some(compile(src, provider, &copts)?);
         Ok(())

@@ -43,6 +43,7 @@ pub use engines::{
 };
 pub use error::OtterError;
 pub use exec::{ExecOptions, Executor, XVal};
+pub use otter_lint::{lint_program, LintMode, LintReport};
 pub use pass::{
     CompileReport, DumpRequest, GuardStats, Pass, PassDump, PassManager, PassStats, PipelineState,
 };

@@ -15,8 +15,9 @@ use crate::error::{OtterError, Result};
 use otter_analysis::{infer, resolve_program, ssa_rename, InferOptions, Inference};
 use otter_codegen::peephole::PeepholeStats;
 use otter_codegen::{emit_c, insert_frees, lower, peephole};
-use otter_frontend::{parse, Program, SourceProvider};
+use otter_frontend::{parse, Program, Severity, SourceProvider};
 use otter_ir::{Instr, IrProgram};
+use otter_lint::{lint_program, LintMode, LintReport};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -33,6 +34,7 @@ pub struct PipelineState<'a> {
     pub c_source: Option<String>,
     pub peephole_stats: PeepholeStats,
     pub guard_stats: GuardStats,
+    pub lint: LintReport,
 }
 
 /// What the owner-computes guard pass found (pass 5). Lowering emits
@@ -136,8 +138,8 @@ impl PassManager {
     }
 
     /// The standard pipeline, paper order: parse → resolve →
-    /// ssa-infer → rewrite → guards → peephole (optional) → frees →
-    /// emit-c.
+    /// ssa-infer → rewrite → guards → peephole (optional) → lint →
+    /// frees → emit-c.
     pub fn standard() -> Self {
         let mut pm = PassManager::new();
         pm.register(Box::new(ParsePass));
@@ -146,6 +148,7 @@ impl PassManager {
         pm.register(Box::new(RewritePass));
         pm.register(Box::new(GuardsPass));
         pm.register(Box::new(PeepholePass));
+        pm.register(Box::new(LintPass));
         pm.register(Box::new(FreesPass));
         pm.register(Box::new(EmitCPass));
         pm
@@ -208,6 +211,7 @@ impl PassManager {
             c_source: None,
             peephole_stats: PeepholeStats::default(),
             guard_stats: GuardStats::default(),
+            lint: LintReport::default(),
         };
         let mut stats = Vec::with_capacity(self.passes.len());
         let mut dumps = Vec::new();
@@ -256,6 +260,7 @@ impl PassManager {
             c_source: state.c_source.take().unwrap_or_default(),
             peephole_stats: state.peephole_stats,
             guard_stats: state.guard_stats,
+            lint: std::mem::take(&mut state.lint),
             data_dir: opts.data_dir.clone(),
         };
         Ok(CompileReport {
@@ -432,6 +437,56 @@ impl Pass for GuardsPass {
     }
 }
 
+/// SPMD lint: distribution-state dataflow, collective-divergence
+/// detection, and the communication-site census. Runs on the IR as it
+/// will actually execute — after the peephole pass has fused and
+/// pruned (else every transpose temp the fuser is about to absorb
+/// reads as dead code), but before `frees` inserts `Free`
+/// instructions that would count as uses. Read-only: it never changes
+/// what later passes see. Under [`LintMode::Deny`] any warning aborts
+/// the pipeline.
+struct LintPass;
+
+impl Pass for LintPass {
+    fn name(&self) -> &'static str {
+        "lint"
+    }
+
+    fn optional(&self) -> bool {
+        true
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let ir = state.ir.as_ref().expect("rewrite ran");
+        let report = lint_program(ir);
+        if state.opts.lint == LintMode::Deny {
+            if let Some(first) = report.warnings.first() {
+                let mut d = first.clone().with_severity(Severity::Error);
+                let rest = report.warnings.len() - 1;
+                if rest > 0 {
+                    d.message = format!("{} ({rest} more lint warning(s) follow)", d.message);
+                }
+                return Err(OtterError(d));
+            }
+        }
+        state.lint = report;
+        Ok(())
+    }
+
+    fn dump(&self, state: &PipelineState) -> String {
+        if state.lint.warnings.is_empty() {
+            "(lint: no warnings)\n".to_string()
+        } else {
+            state
+                .lint
+                .warnings
+                .iter()
+                .map(|w| format!("{w}\n"))
+                .collect()
+        }
+    }
+}
+
 /// Pass 6: peephole optimization (optional — the ablation toggles it).
 struct PeepholePass;
 
@@ -490,7 +545,8 @@ mod tests {
 
     const SRC: &str = "a = [1, 2; 3, 4];\nb = a * a;\ns = sum(b(:, 1));";
 
-    /// The default pass order is the paper's: passes 1–6 in §3 order,
+    /// The default pass order is the paper's: passes 1–6 in §3 order
+    /// (with the read-only lint stage slotted between passes 5 and 6),
     /// then the two emission-side stages.
     #[test]
     fn default_order_matches_paper() {
@@ -504,13 +560,21 @@ mod tests {
                 "rewrite",
                 "guards",
                 "peephole",
+                "lint",
                 "frees",
                 "emit-c"
             ],
         );
-        // The paper's numbered passes 1–6 are the first six, in order.
+        // The paper's numbered passes 1–6 appear in order once the
+        // lint addition is filtered out.
+        let paper: Vec<_> = pm
+            .pass_names()
+            .into_iter()
+            .filter(|n| *n != "lint")
+            .take(6)
+            .collect();
         assert_eq!(
-            &pm.pass_names()[..6],
+            paper,
             [
                 "parse",
                 "resolve",

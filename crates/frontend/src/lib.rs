@@ -31,7 +31,7 @@ pub use ast::{
     BinOp, Block, Expr, ExprKind, Function, LValue, Program, SourceFile, Stmt, StmtKind,
     TransposeOp, UnOp,
 };
-pub use diag::Diagnostic;
+pub use diag::{Diagnostic, Severity};
 pub use error::{FrontendError, FrontendErrorKind};
 pub use parser::{parse, parse_expr};
 pub use source::{DirProvider, EmptyProvider, MapProvider, SourceProvider};

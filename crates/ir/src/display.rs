@@ -443,6 +443,7 @@ mod tests {
                     expr: EwExpr::bin(EwOp::Mul, EwExpr::mat("x"), EwExpr::mat("x")),
                 }],
                 var_ranks: Default::default(),
+                def_spans: Default::default(),
             },
         );
         let prog = IrProgram {

@@ -1,0 +1,452 @@
+//! Dataflow facts about IR instructions: what each instruction reads,
+//! what it writes, and what communication it performs.
+//!
+//! These used to live inside the peephole pass; they are shared here
+//! because three consumers need identical answers — the peephole
+//! rewrites (pass 6), the temporary de-allocation pass, and the lint
+//! analyses — and a disagreement between them would be a miscompile
+//! or a false diagnostic.
+
+use crate::instr::*;
+
+/// Collect every variable a scalar expression reads, including the
+/// matrices whose dimensions it queries via [`SExpr::DimOf`].
+pub fn sexpr_reads(e: &SExpr, out: &mut Vec<String>) {
+    e.vars(out);
+    collect_dimof(e, out);
+}
+
+fn collect_dimof(e: &SExpr, out: &mut Vec<String>) {
+    match e {
+        SExpr::DimOf { var, .. } => out.push(var.clone()),
+        SExpr::Neg(x) | SExpr::Not(x) => collect_dimof(x, out),
+        SExpr::Bin(_, a, b) => {
+            collect_dimof(a, out);
+            collect_dimof(b, out);
+        }
+        SExpr::Call(_, args) => {
+            for a in args {
+                collect_dimof(a, out);
+            }
+        }
+        SExpr::Const(_) | SExpr::Var(_) | SExpr::OwnElem => {}
+    }
+}
+
+fn collect_ew_scalars(e: &EwExpr, out: &mut Vec<String>) {
+    match e {
+        EwExpr::Scalar(s) => sexpr_reads(s, out),
+        EwExpr::Neg(x) | EwExpr::Not(x) => collect_ew_scalars(x, out),
+        EwExpr::Bin(_, a, b) => {
+            collect_ew_scalars(a, out);
+            collect_ew_scalars(b, out);
+        }
+        EwExpr::Call(_, args) => {
+            for a in args {
+                collect_ew_scalars(a, out);
+            }
+        }
+        EwExpr::Mat(_) => {}
+    }
+}
+
+/// What communication an instruction performs when executed, matching
+/// the run-time library's implementation of each `ML_*` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommProfile {
+    /// All ranks enter a collective (broadcast, gather, allreduce,
+    /// scatter). Every rank must reach the call or the rest hang.
+    pub collective: bool,
+    /// The op emits matched point-to-point sends/receives between
+    /// rank pairs (transpose, circular shift, range redistribution,
+    /// the matmul ring).
+    pub point_to_point: bool,
+}
+
+impl CommProfile {
+    pub const LOCAL: CommProfile = CommProfile {
+        collective: false,
+        point_to_point: false,
+    };
+    pub const COLLECTIVE: CommProfile = CommProfile {
+        collective: true,
+        point_to_point: false,
+    };
+    pub const POINT_TO_POINT: CommProfile = CommProfile {
+        collective: false,
+        point_to_point: true,
+    };
+
+    /// Does the op communicate at all?
+    pub fn communicates(&self) -> bool {
+        self.collective || self.point_to_point
+    }
+}
+
+impl Instr {
+    /// The variable a simple instruction writes (its sole
+    /// destination), if any. In-place mutations (`StoreElem`,
+    /// `AssignRow`, fills) are *not* destinations — see
+    /// [`Instr::defs`].
+    pub fn dst(&self) -> Option<&str> {
+        match self {
+            Instr::InitMatrix { dst, .. }
+            | Instr::CopyMatrix { dst, .. }
+            | Instr::LoadFile { dst, .. }
+            | Instr::ElemWise { dst, .. }
+            | Instr::MatMul { dst, .. }
+            | Instr::MatVec { dst, .. }
+            | Instr::Outer { dst, .. }
+            | Instr::Transpose { dst, .. }
+            | Instr::BroadcastElem { dst, .. }
+            | Instr::Reduce { dst, .. }
+            | Instr::Dot { dst, .. }
+            | Instr::TrapzXY { dst, .. }
+            | Instr::ColReduce { dst, .. }
+            | Instr::Shift { dst, .. }
+            | Instr::ExtractRow { dst, .. }
+            | Instr::ExtractCol { dst, .. }
+            | Instr::ExtractRange { dst, .. }
+            | Instr::ExtractStrided { dst, .. }
+            | Instr::AssignScalar { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the destination, for retargeting rewrites.
+    pub fn dst_mut(&mut self) -> Option<&mut String> {
+        match self {
+            Instr::InitMatrix { dst, .. }
+            | Instr::CopyMatrix { dst, .. }
+            | Instr::LoadFile { dst, .. }
+            | Instr::ElemWise { dst, .. }
+            | Instr::MatMul { dst, .. }
+            | Instr::MatVec { dst, .. }
+            | Instr::Outer { dst, .. }
+            | Instr::Transpose { dst, .. }
+            | Instr::BroadcastElem { dst, .. }
+            | Instr::Reduce { dst, .. }
+            | Instr::Dot { dst, .. }
+            | Instr::TrapzXY { dst, .. }
+            | Instr::ColReduce { dst, .. }
+            | Instr::Shift { dst, .. }
+            | Instr::ExtractRow { dst, .. }
+            | Instr::ExtractCol { dst, .. }
+            | Instr::ExtractRange { dst, .. }
+            | Instr::ExtractStrided { dst, .. }
+            | Instr::AssignScalar { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Every variable this instruction (re)defines or mutates at this
+    /// level: the plain destination, in-place targets (`m(i,j) = v`
+    /// writes into `m`), loop induction variables, and call outputs.
+    /// Does *not* recurse into nested bodies.
+    pub fn defs(&self, out: &mut Vec<String>) {
+        if let Some(d) = self.dst() {
+            out.push(d.to_string());
+        }
+        match self {
+            Instr::StoreElem { m, .. }
+            | Instr::AssignRow { m, .. }
+            | Instr::AssignCol { m, .. }
+            | Instr::FillRow { m, .. }
+            | Instr::FillCol { m, .. }
+            | Instr::FillRange { m, .. }
+            | Instr::AssignRange { m, .. } => out.push(m.clone()),
+            Instr::For { var, .. } => out.push(var.clone()),
+            Instr::Call { outs, .. } => out.extend(outs.iter().cloned()),
+            _ => {}
+        }
+    }
+
+    /// All variable names this instruction *reads* (conservatively
+    /// includes nested blocks).
+    pub fn reads(&self, out: &mut Vec<String>) {
+        let sexpr = sexpr_reads;
+        match self {
+            Instr::AssignScalar { src, .. } => sexpr(src, out),
+            Instr::InitMatrix { init, .. } => match init {
+                MatInit::Zeros { rows, cols }
+                | MatInit::Ones { rows, cols }
+                | MatInit::Rand { rows, cols } => {
+                    sexpr(rows, out);
+                    sexpr(cols, out);
+                }
+                MatInit::Eye { n } => sexpr(n, out),
+                MatInit::Range { start, step, stop } => {
+                    sexpr(start, out);
+                    sexpr(step, out);
+                    sexpr(stop, out);
+                }
+                MatInit::Literal { rows } => {
+                    for r in rows {
+                        for c in r {
+                            sexpr(c, out);
+                        }
+                    }
+                }
+                MatInit::Linspace { a, b, n } => {
+                    sexpr(a, out);
+                    sexpr(b, out);
+                    sexpr(n, out);
+                }
+            },
+            Instr::CopyMatrix { src, .. } => out.push(src.clone()),
+            Instr::LoadFile { .. } => {}
+            Instr::ElemWise { expr, .. } => {
+                expr.mat_operands(out);
+                collect_ew_scalars(expr, out);
+            }
+            Instr::MatMul { a, b, .. } | Instr::Dot { a, b, .. } => {
+                out.push(a.clone());
+                out.push(b.clone());
+            }
+            Instr::MatVec { a, x, .. } => {
+                out.push(a.clone());
+                out.push(x.clone());
+            }
+            Instr::Outer { u, v, .. } => {
+                out.push(u.clone());
+                out.push(v.clone());
+            }
+            Instr::Transpose { a, .. } => out.push(a.clone()),
+            Instr::BroadcastElem { m, i, j, .. } => {
+                out.push(m.clone());
+                sexpr(i, out);
+                if let Some(j) = j {
+                    sexpr(j, out);
+                }
+            }
+            Instr::StoreElem { m, i, j, val } => {
+                out.push(m.clone());
+                sexpr(i, out);
+                if let Some(j) = j {
+                    sexpr(j, out);
+                }
+                sexpr(val, out);
+            }
+            Instr::Reduce { m, .. } | Instr::ColReduce { m, .. } => out.push(m.clone()),
+            Instr::TrapzXY { x, y, .. } => {
+                out.push(x.clone());
+                out.push(y.clone());
+            }
+            Instr::Shift { v, k, .. } => {
+                out.push(v.clone());
+                sexpr(k, out);
+            }
+            Instr::ExtractRow { m, i, .. } => {
+                out.push(m.clone());
+                sexpr(i, out);
+            }
+            Instr::ExtractCol { m, j, .. } => {
+                out.push(m.clone());
+                sexpr(j, out);
+            }
+            Instr::AssignRow { m, i, v } => {
+                out.push(m.clone());
+                sexpr(i, out);
+                out.push(v.clone());
+            }
+            Instr::AssignCol { m, j, v } => {
+                out.push(m.clone());
+                sexpr(j, out);
+                out.push(v.clone());
+            }
+            Instr::ExtractRange { v, lo, hi, .. } => {
+                out.push(v.clone());
+                sexpr(lo, out);
+                sexpr(hi, out);
+            }
+            Instr::ExtractStrided {
+                v, lo, step, hi, ..
+            } => {
+                out.push(v.clone());
+                sexpr(lo, out);
+                sexpr(step, out);
+                sexpr(hi, out);
+            }
+            Instr::FillRow { m, i, val } => {
+                out.push(m.clone());
+                sexpr(i, out);
+                sexpr(val, out);
+            }
+            Instr::FillCol { m, j, val } => {
+                out.push(m.clone());
+                sexpr(j, out);
+                sexpr(val, out);
+            }
+            Instr::FillRange { m, lo, hi, val } => {
+                out.push(m.clone());
+                sexpr(lo, out);
+                sexpr(hi, out);
+                sexpr(val, out);
+            }
+            Instr::AssignRange { m, lo, hi, v } => {
+                out.push(m.clone());
+                sexpr(lo, out);
+                sexpr(hi, out);
+                out.push(v.clone());
+            }
+            Instr::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                sexpr(cond, out);
+                for i in then_body.iter().chain(else_body) {
+                    i.reads(out);
+                }
+            }
+            Instr::While { pre, cond, body } => {
+                sexpr(cond, out);
+                for i in pre.iter().chain(body) {
+                    i.reads(out);
+                }
+            }
+            Instr::For {
+                start,
+                step,
+                stop,
+                body,
+                ..
+            } => {
+                sexpr(start, out);
+                sexpr(step, out);
+                sexpr(stop, out);
+                for i in body {
+                    i.reads(out);
+                }
+            }
+            Instr::Free { .. } | Instr::Break | Instr::Continue => {}
+            Instr::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        Arg::Scalar(s) => sexpr(s, out),
+                        Arg::Matrix(m) => out.push(m.clone()),
+                    }
+                }
+            }
+            Instr::Print { target, .. } => match target {
+                PrintTarget::Scalar(s) => sexpr(s, out),
+                PrintTarget::Matrix(m) => out.push(m.clone()),
+            },
+        }
+    }
+
+    /// Communication class of this single instruction (ignores nested
+    /// bodies — control flow itself is replicated and communication
+    /// free). The table mirrors `otter-rt`: which `ML_*` entry points
+    /// call `broadcast`/`gather`/`allreduce`/`scatter` (collective)
+    /// versus raw rank-pair `send`/`recv` (point-to-point).
+    pub fn comm_profile(&self) -> CommProfile {
+        match self {
+            // Collectives: owner broadcast of an element or row,
+            // allreduce-backed reductions, gather-backed vector ops,
+            // scatter-backed file loads, gather-to-rank-0 printing.
+            Instr::BroadcastElem { .. }
+            | Instr::Reduce { .. }
+            | Instr::Dot { .. }
+            | Instr::TrapzXY { .. }
+            | Instr::ColReduce { .. }
+            | Instr::MatVec { .. }
+            | Instr::Outer { .. }
+            | Instr::ExtractRow { .. }
+            | Instr::ExtractStrided { .. }
+            | Instr::AssignRow { .. }
+            | Instr::LoadFile { .. } => CommProfile::COLLECTIVE,
+            Instr::Print {
+                target: PrintTarget::Matrix(_),
+                ..
+            } => CommProfile::COLLECTIVE,
+            // Point-to-point redistribution between rank pairs.
+            Instr::Transpose { .. } | Instr::Shift { .. } | Instr::ExtractRange { .. } => {
+                CommProfile::POINT_TO_POINT
+            }
+            // Matmul allreduces partial tiles on one path and runs a
+            // send/recv ring on the other.
+            Instr::MatMul { .. } => CommProfile {
+                collective: true,
+                point_to_point: true,
+            },
+            _ => CommProfile::LOCAL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dst_and_defs_cover_inplace_targets() {
+        let store = Instr::StoreElem {
+            m: "a".into(),
+            i: SExpr::c(1.0),
+            j: Some(SExpr::c(2.0)),
+            val: SExpr::c(7.0),
+        };
+        assert_eq!(store.dst(), None);
+        let mut defs = Vec::new();
+        store.defs(&mut defs);
+        assert_eq!(defs, vec!["a"]);
+
+        let mm = Instr::MatMul {
+            dst: "c".into(),
+            a: "a".into(),
+            b: "b".into(),
+        };
+        assert_eq!(mm.dst(), Some("c"));
+    }
+
+    #[test]
+    fn reads_include_dimof_and_ew_scalars() {
+        let i = Instr::ElemWise {
+            dst: "d".into(),
+            expr: EwExpr::bin(
+                EwOp::Mul,
+                EwExpr::mat("x"),
+                EwExpr::Scalar(SExpr::bin(
+                    SBinOp::Add,
+                    SExpr::var("s"),
+                    SExpr::DimOf {
+                        var: "m".into(),
+                        sel: DimSel::Rows,
+                    },
+                )),
+            ),
+        };
+        let mut reads = Vec::new();
+        i.reads(&mut reads);
+        assert_eq!(reads, vec!["x", "s", "m"]);
+    }
+
+    #[test]
+    fn comm_profile_classification() {
+        let reduce = Instr::Reduce {
+            dst: "s".into(),
+            op: RedOp::SumAll,
+            m: "a".into(),
+        };
+        assert!(reduce.comm_profile().collective);
+        let shift = Instr::Shift {
+            dst: "d".into(),
+            v: "v".into(),
+            k: SExpr::c(1.0),
+        };
+        assert!(shift.comm_profile().point_to_point);
+        assert!(!shift.comm_profile().collective);
+        let ew = Instr::ElemWise {
+            dst: "d".into(),
+            expr: EwExpr::mat("a"),
+        };
+        assert!(!ew.comm_profile().communicates());
+        let mm = Instr::MatMul {
+            dst: "c".into(),
+            a: "a".into(),
+            b: "b".into(),
+        };
+        assert!(mm.comm_profile().collective && mm.comm_profile().point_to_point);
+    }
+}

@@ -1,5 +1,6 @@
 //! IR node definitions.
 
+use otter_frontend::Span;
 use std::collections::BTreeMap;
 
 /// Scalar builtin functions usable inside replicated scalar
@@ -733,6 +734,10 @@ pub struct IrFunction {
     pub body: Vec<Instr>,
     /// Rank of every local variable (for emitter declarations).
     pub var_ranks: BTreeMap<String, VarRank>,
+    /// Source span of each local's first definition — carried for
+    /// diagnostics (the lint pass anchors its warnings here). Absent
+    /// entries mean "no usable location".
+    pub def_spans: BTreeMap<String, Span>,
 }
 
 /// A whole compiled program.
@@ -745,6 +750,10 @@ pub struct IrProgram {
     /// Rank of every script-level variable (for the emitter's
     /// declarations and the executor's environment).
     pub var_ranks: BTreeMap<String, VarRank>,
+    /// Source span of each script variable's first definition, for
+    /// diagnostics. Purely metadata: execution and C emission never
+    /// read it.
+    pub def_spans: BTreeMap<String, Span>,
 }
 
 impl IrProgram {

@@ -17,6 +17,8 @@
 //! ([`SExpr`]) are replicated computations, identical on every rank.
 
 pub mod display;
+pub mod flow;
 pub mod instr;
 
+pub use flow::{sexpr_reads, CommProfile};
 pub use instr::*;

@@ -1,0 +1,323 @@
+//! `otter-lint` — static SPMD analyses over the post-rewrite IR.
+//!
+//! The compiler's rewrite pass decides, silently, where every value
+//! lives and which run-time communication calls move it. This crate
+//! makes those decisions auditable: a small forward-dataflow framework
+//! ([`dataflow`]) drives three analyses and reports their findings as
+//! warnings the driver can print (`otterc --lint`) or turn into hard
+//! errors (`--lint=deny`):
+//!
+//! * [`dist`] — distribution-state inference over the lattice
+//!   `⊥ < {replicated, row-dist, block-vec} < ⊤`, with lints for
+//!   redundant owner-broadcasts, loop-invariant redistribution churn,
+//!   and dead distributed values.
+//! * [`divergence`] — rank-dependence taint analysis flagging
+//!   communication reachable only under rank-divergent control flow
+//!   (collective deadlock / unpaired point-to-point traffic), plus a
+//!   static census of communication sites.
+//!
+//! Everything here is read-only over the IR: linting never changes
+//! what the pipeline emits.
+
+pub mod dataflow;
+pub mod dist;
+pub mod divergence;
+
+use otter_frontend::{Diagnostic, Span};
+use otter_ir::{IrFunction, IrProgram, VarRank};
+use std::collections::BTreeMap;
+
+/// A raw lint finding: a message anchored to the variable whose
+/// definition it is about (resolved to a source span via the IR's
+/// `def_spans` metadata).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Variable (or opcode, for def-less instructions) the finding
+    /// points at.
+    pub anchor: String,
+    pub message: String,
+}
+
+/// How the driver treats lint warnings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// Report warnings and keep compiling.
+    #[default]
+    Warn,
+    /// Any warning fails the pipeline.
+    Deny,
+}
+
+/// The result of linting one program.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings as printable warnings, deduplicated and ordered by
+    /// source position.
+    pub warnings: Vec<Diagnostic>,
+    /// No communication site is reachable under rank-divergent control
+    /// flow — the static guarantee that every rank runs every
+    /// collective (no SPMD deadlock).
+    pub divergence_free: bool,
+    /// Every point-to-point site executes under uniform control flow,
+    /// so each rank's sends pair with the partner's receives.
+    pub sendrecv_matched: bool,
+    /// Static count of point-to-point communication sites.
+    pub p2p_sites: usize,
+    /// Static count of collective communication sites.
+    pub collective_sites: usize,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.warnings.is_empty()
+    }
+}
+
+/// Lint every scope of a lowered program.
+pub fn lint_program(p: &IrProgram) -> LintReport {
+    let mut report = LintReport {
+        divergence_free: true,
+        sendrecv_matched: true,
+        ..Default::default()
+    };
+    let mut raw: Vec<(Finding, Span)> = Vec::new();
+
+    lint_scope(
+        &p.main,
+        &p.var_ranks,
+        &p.def_spans,
+        &[],
+        &[],
+        None,
+        &mut raw,
+        &mut report,
+    );
+    for f in p.functions.values() {
+        let params: Vec<String> = f.params.iter().map(|(n, _)| n.clone()).collect();
+        let outs: Vec<String> = f.outs.iter().map(|(n, _)| n.clone()).collect();
+        lint_scope(
+            &f.body,
+            &f.var_ranks,
+            &f.def_spans,
+            &params,
+            &outs,
+            Some(f),
+            &mut raw,
+            &mut report,
+        );
+    }
+
+    // Transfer functions re-run under loop fixpoints, so identical
+    // findings repeat; deduplicate, then order by source position for
+    // stable golden output.
+    raw.sort_by(|(a, sa), (b, sb)| {
+        (sa.line, sa.col, &a.message).cmp(&(sb.line, sb.col, &b.message))
+    });
+    raw.dedup_by(|(a, sa), (b, sb)| a.message == b.message && sa == sb);
+    report.warnings = raw
+        .into_iter()
+        .map(|(f, span)| Diagnostic::warning("lint", f.message).with_span(span))
+        .collect();
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lint_scope(
+    body: &[otter_ir::Instr],
+    ranks: &BTreeMap<String, VarRank>,
+    def_spans: &BTreeMap<String, Span>,
+    params: &[String],
+    live_out: &[String],
+    func: Option<&IrFunction>,
+    raw: &mut Vec<(Finding, Span)>,
+    report: &mut LintReport,
+) {
+    let mut findings = dist::lint_scope(body, ranks, live_out);
+    let (div_findings, free) = divergence::lint_scope(body, params);
+    findings.extend(div_findings);
+    report.divergence_free &= free;
+
+    let sites = divergence::count_sites(body);
+    report.p2p_sites += sites.point_to_point;
+    report.collective_sites += sites.collective;
+
+    for mut f in findings {
+        if f.message.starts_with("send/recv mismatch") {
+            report.sendrecv_matched = false;
+        }
+        let span = def_spans.get(&f.anchor).copied().unwrap_or(Span::DUMMY);
+        if let Some(func) = func {
+            f.message = format!("{} (in function `{}`)", f.message, func.name);
+        }
+        raw.push((f, span));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otter_ir::*;
+
+    fn rand_mat(dst: &str) -> Instr {
+        Instr::InitMatrix {
+            dst: dst.into(),
+            init: MatInit::Rand {
+                rows: SExpr::c(4.0),
+                cols: SExpr::c(4.0),
+            },
+        }
+    }
+
+    #[test]
+    fn clean_program_reports_clean() {
+        let mut p = IrProgram {
+            main: vec![
+                rand_mat("a"),
+                Instr::Reduce {
+                    dst: "s".into(),
+                    op: RedOp::SumAll,
+                    m: "a".into(),
+                },
+                Instr::Print {
+                    name: "s".into(),
+                    target: PrintTarget::Scalar(SExpr::var("s")),
+                },
+            ],
+            ..Default::default()
+        };
+        p.var_ranks.insert("a".into(), VarRank::Matrix);
+        p.var_ranks.insert("s".into(), VarRank::Scalar);
+        let r = lint_program(&p);
+        assert!(r.is_clean(), "{:?}", r.warnings);
+        assert!(r.divergence_free);
+        assert!(r.sendrecv_matched);
+        assert_eq!(r.collective_sites, 1);
+        assert_eq!(r.p2p_sites, 0);
+    }
+
+    #[test]
+    fn warnings_carry_def_spans_and_sorted_order() {
+        let mut p = IrProgram {
+            main: vec![
+                rand_mat("a"),
+                Instr::BroadcastElem {
+                    dst: "x".into(),
+                    m: "a".into(),
+                    i: SExpr::c(1.0),
+                    j: Some(SExpr::c(2.0)),
+                },
+                Instr::BroadcastElem {
+                    dst: "y".into(),
+                    m: "a".into(),
+                    i: SExpr::c(1.0),
+                    j: Some(SExpr::c(2.0)),
+                },
+                Instr::Print {
+                    name: "a".into(),
+                    target: PrintTarget::Matrix("a".into()),
+                },
+            ],
+            ..Default::default()
+        };
+        for (n, r) in [
+            ("a", VarRank::Matrix),
+            ("x", VarRank::Scalar),
+            ("y", VarRank::Scalar),
+        ] {
+            p.var_ranks.insert(n.into(), r);
+        }
+        p.def_spans.insert("y".into(), Span::new(0, 0, 3, 1));
+        let r = lint_program(&p);
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        let w = r.warnings[0].to_string();
+        assert!(
+            w.starts_with("warning[lint] 3:1: redundant broadcast"),
+            "{w}"
+        );
+    }
+
+    #[test]
+    fn function_findings_name_their_scope() {
+        let mut f = IrFunction {
+            name: "helper".into(),
+            params: vec![("m".into(), VarRank::Matrix)],
+            outs: vec![("s".into(), VarRank::Scalar)],
+            body: vec![
+                Instr::BroadcastElem {
+                    dst: "t".into(),
+                    m: "m".into(),
+                    i: SExpr::c(1.0),
+                    j: Some(SExpr::c(1.0)),
+                },
+                Instr::BroadcastElem {
+                    dst: "u".into(),
+                    m: "m".into(),
+                    i: SExpr::c(1.0),
+                    j: Some(SExpr::c(1.0)),
+                },
+                Instr::AssignScalar {
+                    dst: "s".into(),
+                    src: SExpr::bin(SBinOp::Add, SExpr::var("t"), SExpr::var("u")),
+                },
+            ],
+            var_ranks: Default::default(),
+            def_spans: Default::default(),
+        };
+        f.var_ranks.insert("m".into(), VarRank::Matrix);
+        let mut p = IrProgram::default();
+        p.functions.insert("helper".into(), f);
+        let r = lint_program(&p);
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert!(r.warnings[0].message.contains("(in function `helper`)"));
+    }
+
+    #[test]
+    fn duplicate_findings_from_fixpoint_deduplicated() {
+        // A loop-invariant redundant broadcast inside a `for` is
+        // visited on every fixpoint iteration; the report must carry
+        // it once.
+        let mut p = IrProgram {
+            main: vec![
+                rand_mat("a"),
+                Instr::BroadcastElem {
+                    dst: "x0".into(),
+                    m: "a".into(),
+                    i: SExpr::c(1.0),
+                    j: Some(SExpr::c(1.0)),
+                },
+                Instr::For {
+                    var: "k".into(),
+                    start: SExpr::c(1.0),
+                    step: SExpr::c(1.0),
+                    stop: SExpr::c(9.0),
+                    body: vec![Instr::BroadcastElem {
+                        dst: "x".into(),
+                        m: "a".into(),
+                        i: SExpr::c(1.0),
+                        j: Some(SExpr::c(1.0)),
+                    }],
+                },
+                Instr::Print {
+                    name: "a".into(),
+                    target: PrintTarget::Matrix("a".into()),
+                },
+            ],
+            ..Default::default()
+        };
+        for (n, r) in [
+            ("a", VarRank::Matrix),
+            ("x0", VarRank::Scalar),
+            ("x", VarRank::Scalar),
+            ("k", VarRank::Scalar),
+        ] {
+            p.var_ranks.insert(n.into(), r);
+        }
+        let r = lint_program(&p);
+        let redundant: Vec<_> = r
+            .warnings
+            .iter()
+            .filter(|w| w.message.starts_with("redundant broadcast"))
+            .collect();
+        assert_eq!(redundant.len(), 1, "{redundant:?}");
+    }
+}

@@ -1,0 +1,7 @@
+% Lint fixture: loop-invariant redistribution churn.
+v = linspace(0, 1, 8);
+z = 0;
+for k = 1:10
+  t = v(1:4);
+  z = z + sum(t);
+end

@@ -1,0 +1,6 @@
+% Lint fixture: redundant broadcast + dead distributed value.
+a = rand(4, 4);
+a = ones(4, 4);
+x = a(1, 2);
+y = a(1, 2);
+s = sum(a(:, 1));
