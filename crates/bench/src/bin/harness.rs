@@ -16,6 +16,9 @@
 //!                                # per-rank timeline + critical path
 //! harness lint <app|all> [--deny]
 //!                                # SPMD lint report (deny: exit 1 on warnings)
+//! harness bench <app|all> [--ranks N] [--repeat K] [--warmup W]
+//!               [--json out.json] [--check baseline.json] [--tolerance PCT]
+//!                                # statistical bench + regression gate
 //! harness all    [--paper]      # everything above
 //! ```
 //!
@@ -69,6 +72,7 @@ fn main() {
         "excerpts" => print_excerpts(),
         "trace" => run_trace(&args[1..], scale),
         "lint" => run_lint(&args[1..], scale),
+        "bench" => run_bench_cmd(&args[1..], scale),
         "ablation" => run_ablations(scale),
         "memory" => run_memory(scale),
         "passes" => run_passes(scale),
@@ -92,7 +96,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|ablation|memory|passes|all"
+                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|bench|ablation|memory|passes|all"
             );
             std::process::exit(2);
         }
@@ -130,7 +134,10 @@ fn run_trace(args: &[String], scale: Scale) {
                 }
             }
             "--chrome" => chrome = Some(it.next().unwrap_or_else(|| trace_usage()).clone()),
-            "--paper" | "--csv" => {}
+            // `--paper` selects the problem scale globally, so it is
+            // accepted silently; `--csv` means nothing here.
+            "--paper" => {}
+            "--csv" => eprintln!("harness trace: `--csv` is not supported here, ignoring"),
             other if app_id.is_none() && !other.starts_with('-') => {
                 app_id = Some(other.to_string())
             }
@@ -209,7 +216,8 @@ fn run_lint(args: &[String], scale: Scale) {
     for a in args {
         match a.as_str() {
             "--deny" => deny = true,
-            "--paper" | "--csv" => {}
+            "--paper" => {}
+            "--csv" => eprintln!("harness lint: `--csv` is not supported here, ignoring"),
             other if app_id.is_none() && !other.starts_with('-') => {
                 app_id = Some(other.to_string())
             }
@@ -255,6 +263,122 @@ fn run_lint(args: &[String], scale: Scale) {
         eprintln!("harness lint: {total_warnings} warning(s) with --deny");
         std::process::exit(1);
     }
+}
+
+/// `harness bench <app|all> [--ranks N] [--repeat K] [--warmup W]
+/// [--json out.json] [--check baseline.json] [--tolerance PCT]`:
+/// run the statistical bench (all three engines per app, K measured
+/// repetitions after W warmups), print the summary table, optionally
+/// export `otter-bench/v1` JSON, and optionally gate the deterministic
+/// outputs against a baseline report — exiting 1 on any regression.
+fn run_bench_cmd(args: &[String], scale: Scale) {
+    use otter_bench::bench::{check, run_bench, BenchReport, BenchSpec};
+    use otter_metrics::Json;
+
+    let mut spec = BenchSpec {
+        scale,
+        ..BenchSpec::default()
+    };
+    let mut app_id = None;
+    let mut json_path = None;
+    let mut check_path = None;
+    let mut tolerance = 10.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> usize {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| bench_usage(name))
+        };
+        match a.as_str() {
+            "--ranks" | "-p" => spec.ranks = num("--ranks"),
+            "--repeat" => spec.repeat = num("--repeat"),
+            "--warmup" => spec.warmup = num("--warmup"),
+            "--json" => {
+                json_path = Some(it.next().unwrap_or_else(|| bench_usage("--json")).clone())
+            }
+            "--check" => {
+                check_path = Some(it.next().unwrap_or_else(|| bench_usage("--check")).clone())
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bench_usage("--tolerance"))
+            }
+            "--paper" => {}
+            "--csv" => eprintln!("harness bench: `--csv` is not supported here, ignoring"),
+            other if app_id.is_none() && !other.starts_with('-') => {
+                app_id = Some(other.to_string())
+            }
+            other => bench_usage(other),
+        }
+    }
+    if let Some(id) = app_id {
+        spec.app_id = id;
+    }
+
+    let report = run_bench(&spec).unwrap_or_else(|e| {
+        eprintln!("harness bench: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", report.render());
+
+    if let Some(path) = &json_path {
+        let mut text = report.to_json().to_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!();
+        println!("wrote bench report ({BENCH_SCHEMA_NOTE}) to {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = Json::parse(&text)
+            .and_then(|j| BenchReport::from_json(&j))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot parse baseline {path}: {e}");
+                std::process::exit(1);
+            });
+        if baseline.scale != report.scale {
+            eprintln!(
+                "harness bench: baseline is {} scale but this run is {} scale",
+                baseline.scale, report.scale
+            );
+            std::process::exit(1);
+        }
+        let regressions = check(&baseline, &report, tolerance);
+        println!();
+        if regressions.is_empty() {
+            println!(
+                "regression check against {path}: OK ({} combination(s), tolerance {tolerance}%)",
+                baseline.results.len()
+            );
+        } else {
+            eprintln!("regression check against {path} FAILED (tolerance {tolerance}%):");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+const BENCH_SCHEMA_NOTE: &str = otter_bench::BENCH_SCHEMA;
+
+fn bench_usage(flag: &str) -> ! {
+    eprintln!("harness bench: bad or incomplete argument near `{flag}`");
+    eprintln!(
+        "usage: harness bench <cg|ocean|nbody|tc|all> [--ranks N] [--repeat K] \
+         [--warmup W] [--json out.json] [--check baseline.json] [--tolerance PCT] [--paper]"
+    );
+    std::process::exit(2);
 }
 
 fn lint_usage() -> ! {

@@ -97,13 +97,19 @@ impl Fig2Row {
 /// UltraSPARC CPU. Every engine runs behind the [`Engine`] trait and
 /// reports through the same [`EngineReport`] schema.
 pub fn fig2(scale: Scale) -> Vec<Fig2Row> {
+    fig2_with(scale, &EngineOptions::default())
+}
+
+/// [`fig2`] with explicit engine options — lets tests assert that
+/// turning observability knobs on leaves the figure byte-identical.
+pub fn fig2_with(scale: Scale, opts: &EngineOptions) -> Vec<Fig2Row> {
     let ws = workstation();
     scale
         .apps()
         .iter()
         .map(|app| {
             let mut reports: BTreeMap<&'static str, EngineReport> = BTreeMap::new();
-            for mut engine in standard_engines(&EngineOptions::default()) {
+            for mut engine in standard_engines(opts) {
                 let name = engine.name();
                 let r = run_engine(engine.as_mut(), &app.script, &ws, 1)
                     .unwrap_or_else(|e| panic!("{}: {name}: {e}", app.id));

@@ -19,6 +19,7 @@
 //! the host.
 
 pub mod ablation;
+pub mod bench;
 pub mod figures;
 pub mod render;
 pub mod table1;
@@ -27,5 +28,10 @@ pub use ablation::{
     collectives_ablation, grain_sweep, peephole_ablation, typeinfer_ablation, CollectiveAblation,
     GrainPoint, PeepholeAblation, TypeInferAblation,
 };
-pub use figures::{fig2, speedup_figure, Fig2Cell, Fig2Row, FigureData, Scale, SpeedupSeries};
+pub use bench::{
+    check, run_bench, BenchReport, BenchResult, BenchSpec, Regression, WallStats, BENCH_SCHEMA,
+};
+pub use figures::{
+    fig2, fig2_with, speedup_figure, Fig2Cell, Fig2Row, FigureData, Scale, SpeedupSeries,
+};
 pub use table1::TABLE1;

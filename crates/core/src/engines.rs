@@ -12,11 +12,12 @@
 //!   on `p` ranks over the machine model; modeled time = slowest
 //!   rank's virtual clock.
 
-use crate::compile::{compile, CompileOptions, Compiled};
+use crate::compile::{CompileOptions, Compiled};
 use crate::error::{OtterError, Result};
 use crate::exec::{ExecOptions, Executor, XVal};
 use otter_interp::{assemble_program, Interp, Value};
 use otter_machine::{ExecutionStyle, Machine};
+use otter_metrics::{MetricsRegistry, MetricsSnapshot};
 use otter_mpi::{run_spmd_with, CollectiveAlgo, SpmdOptions};
 use otter_rt::Dense;
 use otter_trace::{CriticalPath, TraceSink};
@@ -80,9 +81,50 @@ pub struct EngineReport {
     /// `Some` only when the engine ran with a retaining trace sink
     /// (see [`EngineOptions::builder`]).
     pub critical_path: Option<CriticalPath>,
+    /// Job-level metric snapshot: every rank's registry merged
+    /// (counters added, gauges maxed, histograms merged bucket-wise)
+    /// plus job-wide series like `rank_clock_seconds`. `Some` only
+    /// when the engine ran with [`EngineOptions::metrics`] on.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl EngineReport {
+    /// The report shape shared by single-CPU engines: one rank, no
+    /// traffic, every second of the clock is compute, and the
+    /// workspace peak doubles as the allocator peak.
+    pub fn sequential(
+        engine: &'static str,
+        workspace: HashMap<String, Value>,
+        output: String,
+        modeled_seconds: f64,
+        op_counts: BTreeMap<String, u64>,
+        peak_bytes: usize,
+    ) -> EngineReport {
+        EngineReport {
+            engine,
+            workspace,
+            output,
+            modeled_seconds,
+            op_counts,
+            messages: 0,
+            bytes: 0,
+            peak_rank_bytes: peak_bytes,
+            peak_temp_bytes: peak_bytes,
+            per_rank: vec![RankCounters {
+                rank: 0,
+                messages: 0,
+                bytes: 0,
+                clock: modeled_seconds,
+                peak_bytes,
+                compute_seconds: modeled_seconds,
+                comm_seconds: 0.0,
+                idle_seconds: 0.0,
+            }],
+            critical_path: None,
+            metrics: None,
+        }
+    }
+
     pub fn scalar(&self, name: &str) -> Option<f64> {
         self.workspace.get(name).and_then(|v| v.as_scalar())
     }
@@ -117,6 +159,10 @@ pub struct EngineOptions {
     /// Event sink every engine layer records into; `None` disables
     /// tracing (the zero-cost default).
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Collect per-rank metric registries and merge them into
+    /// [`EngineReport::metrics`]. Off by default: disabled runs never
+    /// construct a registry, a key, or an observation.
+    pub metrics: bool,
 }
 
 impl fmt::Debug for EngineOptions {
@@ -127,6 +173,7 @@ impl fmt::Debug for EngineOptions {
             .field("disabled_passes", &self.disabled_passes)
             .field("collective_algo", &self.collective_algo)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -141,6 +188,7 @@ impl EngineOptions {
         SpmdOptions {
             algo: self.collective_algo,
             trace: self.trace.clone(),
+            metrics: self.metrics,
         }
     }
 }
@@ -193,6 +241,12 @@ impl EngineOptionsBuilder {
     /// `Arc<otter_trace::MemorySink>` to retain events for analysis.
     pub fn trace(mut self, sink: Arc<impl TraceSink + 'static>) -> Self {
         self.opts.trace = Some(sink);
+        self
+    }
+
+    /// Collect and merge per-rank metrics into the report.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.opts.metrics = on;
         self
     }
 
@@ -268,28 +322,24 @@ fn run_sequential(
         .iter()
         .map(|(k, v)| (k.to_string(), *v))
         .collect();
-    Ok(EngineReport {
-        engine: name,
-        workspace: interp.workspace(),
-        output: interp.output.clone(),
-        modeled_seconds: modeled,
+    let mut report = EngineReport::sequential(
+        name,
+        interp.workspace(),
+        interp.output.clone(),
+        modeled,
         op_counts,
-        messages: 0,
-        bytes: 0,
-        peak_rank_bytes: peak,
-        peak_temp_bytes: peak,
-        per_rank: vec![RankCounters {
-            rank: 0,
-            messages: 0,
-            bytes: 0,
-            clock: modeled,
-            peak_bytes: peak,
-            compute_seconds: modeled,
-            comm_seconds: 0.0,
-            idle_seconds: 0.0,
-        }],
-        critical_path: None,
-    })
+        peak,
+    );
+    if opts.metrics {
+        let mut reg = MetricsRegistry::new();
+        for (op, n) in &report.op_counts {
+            reg.inc("ops_total", &[("op", op)], *n);
+        }
+        reg.gauge_max("workspace_peak_bytes", &[], peak as f64);
+        reg.observe("rank_clock_seconds", &[], modeled);
+        report.metrics = Some(reg.snapshot());
+    }
+    Ok(report)
 }
 
 fn assemble(src: &str, opts: &EngineOptions) -> Result<otter_frontend::Program> {
@@ -377,6 +427,9 @@ impl Engine for MatcomEngine {
 pub struct OtterEngine {
     opts: EngineOptions,
     compiled: Option<Compiled>,
+    /// Per-pass compile timings as metrics, captured by `prepare` when
+    /// metrics are on and merged into the run's job snapshot.
+    compile_metrics: Option<MetricsSnapshot>,
 }
 
 impl OtterEngine {
@@ -384,6 +437,7 @@ impl OtterEngine {
         OtterEngine {
             opts,
             compiled: None,
+            compile_metrics: None,
         }
     }
 
@@ -406,6 +460,7 @@ impl OtterEngine {
         OtterEngine {
             opts,
             compiled: Some(compiled),
+            compile_metrics: None,
         }
     }
 
@@ -428,7 +483,13 @@ impl Engine for OtterEngine {
             disabled_passes: self.opts.disabled_passes.clone(),
             ..Default::default()
         };
-        self.compiled = Some(compile(src, provider, &copts)?);
+        let report = crate::pass::PassManager::standard().compile(src, provider, &copts)?;
+        self.compile_metrics = if self.opts.metrics {
+            Some(crate::pass::pass_metrics(&report.passes))
+        } else {
+            None
+        };
+        self.compiled = Some(report.compiled);
         Ok(())
     }
 
@@ -456,6 +517,7 @@ impl Engine for OtterEngine {
                     // stats snapshot.
                     let finished_at = comm.clock();
                     let finished_stats = comm.stats();
+                    let finished_metrics = comm.take_metrics().map(|r| r.snapshot());
                     comm.suspend_tracing();
                     // Gather every matrix so rank 0 can report a
                     // machine-independent workspace. Iterate in sorted
@@ -484,6 +546,7 @@ impl Engine for OtterEngine {
                         o.peak_temp_bytes,
                         o.op_counts,
                         finished_stats,
+                        finished_metrics,
                     ))
                 }
                 Err(e) => Err(e.to_string()),
@@ -502,6 +565,7 @@ impl Engine for OtterEngine {
             mut peak_temp_bytes,
             ops,
             fstats,
+            mut job_metrics,
         ) = rank0;
         let op_counts: BTreeMap<String, u64> =
             ops.iter().map(|(k, v)| (k.to_string(), *v)).collect();
@@ -518,13 +582,16 @@ impl Engine for OtterEngine {
             idle_seconds: fstats.wait_time,
         }];
         for r in iter {
-            let (_, _, clock, peak, peak_temp, _, stats) =
+            let (_, _, clock, peak, peak_temp, _, stats, rank_metrics) =
                 r.value.map_err(OtterError::execution)?;
             max_clock = max_clock.max(clock);
             peak_rank_bytes = peak_rank_bytes.max(peak);
             peak_temp_bytes = peak_temp_bytes.max(peak_temp);
             messages += stats.messages_sent;
             bytes += stats.bytes_sent;
+            if let (Some(job), Some(m)) = (job_metrics.as_mut(), rank_metrics.as_ref()) {
+                job.merge_from(m);
+            }
             per_rank.push(RankCounters {
                 rank: r.rank,
                 messages: stats.messages_sent,
@@ -535,6 +602,25 @@ impl Engine for OtterEngine {
                 comm_seconds: stats.send_time,
                 idle_seconds: stats.wait_time,
             });
+        }
+        // Job-wide series the per-rank registries cannot see, plus the
+        // compile-side pass timings captured by `prepare`.
+        if let Some(job) = job_metrics.as_mut() {
+            let mut reg = MetricsRegistry::new();
+            for rc in &per_rank {
+                reg.observe("rank_clock_seconds", &[], rc.clock);
+            }
+            let min_clock = per_rank
+                .iter()
+                .map(|r| r.clock)
+                .fold(f64::INFINITY, f64::min);
+            if min_clock > 0.0 {
+                reg.gauge_max("load_imbalance_ratio", &[], max_clock / min_clock);
+            }
+            job.merge_from(&reg.snapshot());
+            if let Some(cm) = &self.compile_metrics {
+                job.merge_from(cm);
+            }
         }
         // With a retaining sink the critical path comes along for free.
         let critical_path = self
@@ -555,6 +641,7 @@ impl Engine for OtterEngine {
             peak_temp_bytes,
             per_rank,
             critical_path,
+            metrics: job_metrics,
         })
     }
 }

@@ -91,6 +91,9 @@ pub struct Executor<'a> {
     /// Executed-instruction counts by opcode (`EngineReport`'s
     /// per-opcode counters).
     op_counts: BTreeMap<&'static str, u64>,
+    /// Opcode → pre-registered `op_seconds` histogram handle, so the
+    /// metric record path does no key construction per instruction.
+    op_ids: HashMap<&'static str, otter_metrics::MetricId>,
 }
 
 impl<'a> Executor<'a> {
@@ -105,6 +108,7 @@ impl<'a> Executor<'a> {
             rand_calls: 0,
             peak_local_bytes: 0,
             op_counts: BTreeMap::new(),
+            op_ids: HashMap::new(),
         }
     }
 
@@ -114,6 +118,21 @@ impl<'a> Executor<'a> {
         let main = &self.program.main;
         self.exec_block(main)?;
         self.note_memory();
+        let peak_local = self.peak_local_bytes;
+        // Fold the always-on opcode tallies and allocator high-water
+        // marks into this rank's registry (one pass at end of run, not
+        // one increment per instruction).
+        if let Some(m) = self.comm.metrics() {
+            for (op, n) in &self.op_counts {
+                m.inc("ops_total", &[("op", op)], *n);
+            }
+            m.gauge_max(
+                "alloc_peak_bytes",
+                &[],
+                otter_rt::alloc::peak_bytes() as f64,
+            );
+            m.gauge_max("workspace_peak_bytes", &[], peak_local as f64);
+        }
         let workspace = self.scopes.pop().expect("script scope");
         Ok(ExecOutcome {
             workspace,
@@ -264,14 +283,26 @@ impl<'a> Executor<'a> {
 
     fn exec_block(&mut self, block: &[Instr]) -> Result<Flow> {
         for i in block {
-            let flow = if self.comm.trace_enabled() {
+            let flow = if self.comm.trace_enabled() || self.comm.metrics_enabled() {
                 // One Statement span per IR instruction; control-flow
                 // instructions span their whole body, nesting the
-                // inner instructions' spans.
+                // inner instructions' spans. Metrics see the same
+                // interval as an `op_seconds{op=...}` observation.
                 let t0 = self.comm.clock();
                 let flow = self.exec_instr(i)?;
-                self.comm
-                    .emit_span(EventKind::Statement { name: i.opcode() }, t0);
+                if self.comm.trace_enabled() {
+                    self.comm
+                        .emit_span(EventKind::Statement { name: i.opcode() }, t0);
+                }
+                let dt = self.comm.clock() - t0;
+                if let Some(m) = self.comm.metrics() {
+                    let op = i.opcode();
+                    let id = *self
+                        .op_ids
+                        .entry(op)
+                        .or_insert_with(|| m.histogram("op_seconds", &[("op", op)]));
+                    m.observe_id(id, dt);
+                }
                 flow
             } else {
                 self.exec_instr(i)?

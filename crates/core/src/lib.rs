@@ -45,7 +45,8 @@ pub use error::OtterError;
 pub use exec::{ExecOptions, Executor, XVal};
 pub use otter_lint::{lint_program, LintMode, LintReport};
 pub use pass::{
-    CompileReport, DumpRequest, GuardStats, Pass, PassDump, PassManager, PassStats, PipelineState,
+    pass_metrics, CompileReport, DumpRequest, GuardStats, Pass, PassDump, PassManager, PassStats,
+    PipelineState,
 };
 
 #[cfg(test)]

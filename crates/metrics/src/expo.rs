@@ -1,0 +1,131 @@
+//! Prometheus-style text exposition of a [`MetricsSnapshot`].
+//!
+//! The classic pull-scrape format: one `# TYPE` header per metric
+//! family, `name{label="value"} value` sample lines, and histograms
+//! expanded into cumulative `_bucket{le="..."}` series plus `_sum` and
+//! `_count`. Every metric is prefixed `otter_` so a scrape of several
+//! jobs namespaces cleanly.
+
+use crate::registry::{MetricValue, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Render a snapshot in Prometheus text-exposition style.
+pub fn expo(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for (key, value) in &snapshot.entries {
+        let family = format!("otter_{}", key.name);
+        if family != last_family {
+            let _ = writeln!(out, "# TYPE {family} {}", value.kind());
+            last_family = family.clone();
+        }
+        let labels = |extra: Option<(&str, String)>| -> String {
+            let mut pairs: Vec<String> = key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            if let Some((k, v)) = extra {
+                pairs.push(format!("{k}=\"{v}\""));
+            }
+            if pairs.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", pairs.join(","))
+            }
+        };
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "{family}{} {c}", labels(None));
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "{family}{} {g}", labels(None));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (_, le, count) in h.nonzero_buckets() {
+                    cumulative += count;
+                    let _ = writeln!(
+                        out,
+                        "{family}_bucket{} {cumulative}",
+                        labels(Some(("le", format!("{le}"))))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{family}_bucket{} {}",
+                    labels(Some(("le", "+Inf".to_string()))),
+                    h.count()
+                );
+                let _ = writeln!(out, "{family}_sum{} {}", labels(None), h.sum());
+                let _ = writeln!(out, "{family}_count{} {}", labels(None), h.count());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn families_and_samples_render() {
+        let mut r = MetricsRegistry::new();
+        r.inc("messages_total", &[("kind", "p2p")], 7);
+        r.gauge_max("peak_bytes", &[], 4096.0);
+        r.observe("op_seconds", &[("op", "matmul")], 0.5);
+        r.observe("op_seconds", &[("op", "matmul")], 2.0);
+        let text = expo(&r.snapshot());
+        assert!(
+            text.contains("# TYPE otter_messages_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("otter_messages_total{kind=\"p2p\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE otter_peak_bytes gauge"), "{text}");
+        assert!(text.contains("otter_peak_bytes 4096"), "{text}");
+        assert!(text.contains("# TYPE otter_op_seconds histogram"), "{text}");
+        assert!(
+            text.contains("otter_op_seconds_bucket{op=\"matmul\",le=\"0.5\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("otter_op_seconds_bucket{op=\"matmul\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("otter_op_seconds_sum{op=\"matmul\"} 2.5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("otter_op_seconds_count{op=\"matmul\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let mut r = MetricsRegistry::new();
+        for v in [1.0, 2.0, 4.0] {
+            r.observe("h", &[], v);
+        }
+        let text = expo(&r.snapshot());
+        assert!(text.contains("otter_h_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("otter_h_bucket{le=\"2\"} 2"), "{text}");
+        assert!(text.contains("otter_h_bucket{le=\"4\"} 3"), "{text}");
+        assert!(text.contains("otter_h_bucket{le=\"+Inf\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn one_type_header_per_family() {
+        let mut r = MetricsRegistry::new();
+        r.inc("ops_total", &[("op", "a")], 1);
+        r.inc("ops_total", &[("op", "b")], 2);
+        let text = expo(&r.snapshot());
+        assert_eq!(text.matches("# TYPE otter_ops_total").count(), 1, "{text}");
+    }
+}

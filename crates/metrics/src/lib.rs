@@ -1,0 +1,43 @@
+//! # otter-metrics
+//!
+//! Always-available, dependency-free performance metrics for the Otter
+//! execution stack: labeled counters, high-water-mark gauges, and
+//! log₂-bucketed histograms in a per-rank [`MetricsRegistry`] that
+//! freezes into a [`MetricsSnapshot`] and merges deterministically
+//! (counters add, gauges max, histograms add bucket-wise) into a
+//! job-level view. Where `otter-trace` answers *what happened, when,
+//! on one run*, this crate answers *how much, how often, how bad at
+//! the tail* across ranks and repetitions.
+//!
+//! The workspace has no registry access, so the exposition layers are
+//! hand-rolled too: [`Json`] is a minimal JSON tree + parser + writer
+//! (snapshot serialization, bench baselines), and [`expo`] renders the
+//! classic Prometheus text format.
+//!
+//! ```
+//! use otter_metrics::{MetricsRegistry, MetricsSnapshot};
+//!
+//! // One registry per rank; no locks on the record path.
+//! let mut rank0 = MetricsRegistry::new();
+//! let mut rank1 = MetricsRegistry::new();
+//! rank0.inc("messages_total", &[], 3);
+//! rank1.inc("messages_total", &[], 4);
+//! rank0.gauge_max("peak_bytes", &[], 1024.0);
+//! rank1.gauge_max("peak_bytes", &[], 4096.0);
+//! rank0.observe("send_seconds", &[("peer", "1")], 1.5e-4);
+//!
+//! // Merge is order-independent: counters add, gauges take the max.
+//! let job = MetricsSnapshot::merged([&rank0.snapshot(), &rank1.snapshot()]);
+//! assert_eq!(job.counter("messages_total", &[]), Some(7));
+//! assert_eq!(job.gauge("peak_bytes", &[]), Some(4096.0));
+//! ```
+
+mod expo;
+mod hist;
+mod json;
+mod registry;
+
+pub use expo::expo;
+pub use hist::{Histogram, BUCKETS};
+pub use json::Json;
+pub use registry::{MetricId, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot};

@@ -88,6 +88,7 @@ impl Comm {
             },
             t0,
         );
+        self.note_collective("broadcast", algo.label(), t0);
         out
     }
 
@@ -177,6 +178,7 @@ impl Comm {
             },
             t0,
         );
+        self.note_collective("reduce", algo.label(), t0);
         out
     }
 
@@ -261,6 +263,7 @@ impl Comm {
             },
             t0,
         );
+        self.note_collective("allreduce", algo.label(), t0);
         out
     }
 
@@ -305,6 +308,7 @@ impl Comm {
             },
             t0,
         );
+        self.note_collective("gather", CollectiveAlgo::Linear.label(), t0);
         out
     }
 
@@ -351,6 +355,7 @@ impl Comm {
             },
             t0,
         );
+        self.note_collective("allgather", self.collective_algo().label(), t0);
         out
     }
 
@@ -380,6 +385,7 @@ impl Comm {
             },
             t0,
         );
+        self.note_collective("scatter", CollectiveAlgo::Linear.label(), t0);
         out
     }
 
@@ -388,6 +394,7 @@ impl Comm {
         let t0 = self.clock();
         self.allreduce(&[], ReduceOp::Sum);
         self.emit_span(EventKind::Barrier, t0);
+        self.note_collective("barrier", self.collective_algo().label(), t0);
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::collectives::CollectiveAlgo;
 use otter_machine::Machine;
+use otter_metrics::MetricsRegistry;
 use otter_trace::{EventKind, TraceEvent, TraceSink};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -68,6 +69,9 @@ pub struct Comm {
     /// the k-th send on edge (self → d) pairs with the k-th recv on it.
     send_seq: Vec<u64>,
     recv_seq: Vec<u64>,
+    /// Per-rank metric registry; `None` when metrics are off (the
+    /// zero-cost default — every record site is behind this branch).
+    metrics: Option<Box<MetricsRegistry>>,
 }
 
 impl Comm {
@@ -77,7 +81,7 @@ impl Comm {
         machine: Arc<Machine>,
         senders: Vec<Sender<Packet>>,
         receivers: Vec<Receiver<Packet>>,
-        algo: CollectiveAlgo,
+        opts: &crate::runner::SpmdOptions,
         sink: Arc<dyn TraceSink>,
     ) -> Self {
         debug_assert_eq!(senders.len(), size);
@@ -91,11 +95,12 @@ impl Comm {
             receivers,
             clock: 0.0,
             stats: CommStats::default(),
-            algo,
+            algo: opts.algo,
             sink,
             tracing,
             send_seq: vec![0; if tracing { size } else { 0 }],
             recv_seq: vec![0; if tracing { size } else { 0 }],
+            metrics: opts.metrics.then(|| Box::new(MetricsRegistry::new())),
         }
     }
 
@@ -140,6 +145,40 @@ impl Comm {
     /// gate their own span emission on this.
     pub fn trace_enabled(&self) -> bool {
         self.tracing
+    }
+
+    /// Whether this endpoint carries a metric registry. Layers above
+    /// `Comm` gate their own recording on this so the disabled path
+    /// never constructs a metric key.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// This rank's metric registry, when metrics are on. The runtime
+    /// library and the executor record op latencies, message-size
+    /// distributions, and allocator high-water marks through this one
+    /// access point.
+    pub fn metrics(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_deref_mut()
+    }
+
+    /// Detach the registry. The runner does this when a rank finishes
+    /// (snapshotting into the rank's result); engines that do
+    /// out-of-band reporting collectives after the benchmarked program
+    /// take it earlier, at the same point they suspend tracing, so the
+    /// metric totals keep matching the stats snapshot.
+    pub fn take_metrics(&mut self) -> Option<Box<MetricsRegistry>> {
+        self.metrics.take()
+    }
+
+    /// Record one finished collective: an invocation counter labeled
+    /// by collective and schedule, plus a duration histogram.
+    pub(crate) fn note_collective(&mut self, name: &'static str, algo: &'static str, t0: f64) {
+        let dt = self.clock - t0;
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.inc("collectives_total", &[("coll", name), ("algo", algo)], 1);
+            m.observe("collective_seconds", &[("coll", name)], dt);
+        }
     }
 
     /// Stop recording trace events on this endpoint for the rest of
@@ -219,6 +258,12 @@ impl Comm {
                 self.clock - dt,
             );
         }
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.inc("comm_messages_total", &[], 1);
+            m.inc("comm_bytes_total", &[], bytes as u64);
+            m.observe("message_bytes", &[], bytes as f64);
+            m.observe("send_seconds", &[], dt);
+        }
         self.senders[to]
             .send(Packet {
                 data: data.to_vec(),
@@ -261,6 +306,9 @@ impl Comm {
         if pkt.send_clock > self.clock {
             self.stats.wait_time += pkt.send_clock - self.clock;
             self.clock = pkt.send_clock;
+            if let Some(m) = self.metrics.as_deref_mut() {
+                m.observe("recv_wait_seconds", &[], self.clock - entered_at);
+            }
         }
         if self.tracing {
             let seq = self.recv_seq[from];

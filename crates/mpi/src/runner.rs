@@ -4,6 +4,7 @@
 use crate::collectives::CollectiveAlgo;
 use crate::comm::{Comm, Packet};
 use otter_machine::Machine;
+use otter_metrics::MetricsSnapshot;
 use otter_trace::{NoopSink, TraceSink};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -16,6 +17,9 @@ pub struct RankResult<R> {
     pub value: R,
     pub clock: f64,
     pub stats: crate::comm::CommStats,
+    /// Frozen per-rank metric registry; `None` unless the job ran with
+    /// [`SpmdOptions::metrics`] on.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Launch-time configuration for an SPMD job.
@@ -26,6 +30,10 @@ pub struct SpmdOptions {
     /// Event sink shared by every rank; `None` means tracing is off
     /// (ranks get a no-op sink and skip event construction entirely).
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Give every rank its own metric registry, snapshotted into
+    /// [`RankResult::metrics`] when the rank finishes. Off by default:
+    /// the disabled path never constructs a registry or a key.
+    pub metrics: bool,
 }
 
 /// Run `body` on `p` ranks over the given machine model with default
@@ -64,7 +72,7 @@ where
         machine.max_cpus
     );
     let machine = Arc::new(machine.clone());
-    let sink: Arc<dyn TraceSink> = opts.trace.unwrap_or_else(|| Arc::new(NoopSink));
+    let sink: Arc<dyn TraceSink> = opts.trace.clone().unwrap_or_else(|| Arc::new(NoopSink));
 
     // Build the p×p channel mesh: edges[s][d] connects rank s to rank d.
     let mut senders: Vec<Vec<Option<mpsc::Sender<Packet>>>> =
@@ -90,7 +98,7 @@ where
             Arc::clone(&machine),
             tx,
             rx,
-            opts.algo,
+            &opts,
             Arc::clone(&sink),
         ));
     }
@@ -106,6 +114,7 @@ where
             value,
             clock: comm.clock(),
             stats: comm.stats(),
+            metrics: comm.take_metrics().map(|r| r.snapshot()),
         });
     } else {
         std::thread::scope(|scope| {
@@ -120,6 +129,7 @@ where
                             value,
                             clock: comm.clock(),
                             stats: comm.stats(),
+                            metrics: comm.take_metrics().map(|r| r.snapshot()),
                         }
                     })
                 })

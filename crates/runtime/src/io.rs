@@ -67,6 +67,7 @@ pub fn load_distributed(comm: &mut Comm, path: &Path) -> Result<DistMatrix, Stri
     };
     let m = DistMatrix::scatter_from(comm, 0, dense.as_ref());
     comm.emit_span(otter_trace::EventKind::Phase { name: "ML_load" }, t0);
+    crate::note_rt_op(comm, "ML_load", t0);
     Ok(m)
 }
 

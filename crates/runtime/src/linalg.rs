@@ -27,6 +27,7 @@ impl DistMatrix {
             },
             t0,
         );
+        crate::note_rt_op(comm, "ML_matrix_multiply", t0);
         out
     }
 
@@ -152,6 +153,7 @@ impl DistMatrix {
             },
             t0,
         );
+        crate::note_rt_op(comm, "ML_matrix_vector_multiply", t0);
         DistMatrix::from_local(comm, self.rows(), 1, local)
     }
 
@@ -173,6 +175,7 @@ impl DistMatrix {
         }
         comm.compute(u.local_els() as f64 * n as f64);
         comm.emit_span(EventKind::Phase { name: "ML_outer" }, t0);
+        crate::note_rt_op(comm, "ML_outer", t0);
         DistMatrix::from_local(comm, m, n, local)
     }
 
@@ -188,6 +191,7 @@ impl DistMatrix {
             },
             t0,
         );
+        crate::note_rt_op(comm, "ML_transpose", t0);
         out
     }
 

@@ -238,6 +238,7 @@ impl DistMatrix {
         };
         m.local = comm.scatter(root, &parts);
         comm.emit_span(EventKind::Phase { name: "ML_scatter" }, t0);
+        crate::note_rt_op(comm, "ML_scatter", t0);
         m
     }
 
@@ -256,6 +257,7 @@ impl DistMatrix {
             },
             t0,
         );
+        crate::note_rt_op(comm, "ML_gather_all", t0);
         if self.is_vector() && self.rows > 1 {
             Dense::from_vec(self.rows, 1, data)
         } else if self.is_vector() {
@@ -270,6 +272,7 @@ impl DistMatrix {
         let t0 = comm.clock();
         let parts = comm.gather(root, &self.local);
         comm.emit_span(EventKind::Phase { name: "ML_gather" }, t0);
+        crate::note_rt_op(comm, "ML_gather", t0);
         let parts = parts?;
         let mut data = Vec::with_capacity(self.len());
         for p in parts {

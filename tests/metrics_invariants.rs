@@ -1,0 +1,227 @@
+//! Invariants of the metrics subsystem.
+//!
+//! Three layers: the histogram/snapshot merge algebra must be
+//! associative and commutative (that is what makes the job-level
+//! snapshot independent of rank arrival order); the job snapshot an
+//! engine run reports must agree exactly with the `EngineReport`
+//! counters it rides along with (the metrics are a second witness of
+//! the same events, not an estimate); and turning metrics on must not
+//! perturb the simulation — Figure 2 renders byte-identical either
+//! way.
+
+use otter_bench::render::render_fig2_csv;
+use otter_bench::{fig2_with, Scale};
+use otter_core::{run_engine, EngineOptions, OtterEngine};
+use otter_det::DetRng;
+use otter_metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+
+// ---- merge algebra --------------------------------------------------------
+
+/// Integer-valued samples spanning many buckets: addition of integers
+/// up to a few thousand is exact in f64, so `sum` comparisons below
+/// are exact equality, not tolerance checks.
+fn sample_values(rng: &mut DetRng, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|_| match rng.gen_index(8) {
+            0 => 0.0,                                // underflow bucket
+            k => (rng.gen_index(1 << k) + 1) as f64, // 1 ..= 2^k
+        })
+        .collect()
+}
+
+fn hist_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    let mut rng = DetRng::seed_from_u64(0x0717);
+    for trial in 0..50 {
+        let (na, nb, nc) = (1 + rng.gen_index(40), rng.gen_index(40), rng.gen_index(40));
+        let a = hist_of(&sample_values(&mut rng, na));
+        let b = hist_of(&sample_values(&mut rng, nb));
+        let c = hist_of(&sample_values(&mut rng, nc));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "associativity, trial {trial}");
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "commutativity, trial {trial}");
+    }
+}
+
+#[test]
+fn histogram_merge_equals_pooled_observations() {
+    let mut rng = DetRng::seed_from_u64(0x5EED);
+    for _ in 0..20 {
+        let xs = sample_values(&mut rng, 30);
+        let ys = sample_values(&mut rng, 30);
+        let mut merged = hist_of(&xs);
+        merged.merge(&hist_of(&ys));
+        let pooled = hist_of(&xs.iter().chain(&ys).copied().collect::<Vec<_>>());
+        assert_eq!(merged, pooled);
+    }
+}
+
+#[test]
+fn snapshot_merge_is_rank_order_independent() {
+    // Simulate 4 ranks with overlapping and disjoint keys, then merge
+    // the snapshots in several different orders.
+    let mut rng = DetRng::seed_from_u64(0xC0FFEE);
+    let mut snaps = Vec::new();
+    for rank in 0..4u64 {
+        let mut r = MetricsRegistry::new();
+        r.inc("msgs", &[], 10 + rank);
+        r.gauge_max("peak", &[], (rank * 7 % 5) as f64);
+        for v in sample_values(&mut rng, 25) {
+            r.observe(
+                "lat",
+                &[("op", if rank % 2 == 0 { "send" } else { "recv" })],
+                v,
+            );
+        }
+        if rank == 2 {
+            r.inc("only_rank2", &[], 1);
+        }
+        snaps.push(r.snapshot());
+    }
+    let forward = MetricsSnapshot::merged(snaps.iter());
+    let reverse = MetricsSnapshot::merged(snaps.iter().rev());
+    let shuffled = MetricsSnapshot::merged([&snaps[2], &snaps[0], &snaps[3], &snaps[1]]);
+    assert_eq!(forward, reverse);
+    assert_eq!(forward, shuffled);
+    assert_eq!(forward.counter("msgs", &[]), Some(10 + 11 + 12 + 13));
+    assert_eq!(forward.counter("only_rank2", &[]), Some(1));
+}
+
+// ---- metrics agree with the EngineReport counters -------------------------
+
+#[test]
+fn merged_totals_equal_report_counters() {
+    let opts = EngineOptions::builder().metrics(true).build();
+    let machine = otter_machine::meiko_cs2();
+    for app in otter_apps::test_apps() {
+        for p in [1usize, 2, 4, 8] {
+            let report = run_engine(
+                &mut OtterEngine::new(opts.clone()),
+                &app.script,
+                &machine,
+                p,
+            )
+            .unwrap_or_else(|e| panic!("{} x{p}: {e}", app.id));
+            let ctx = format!("{} x{p}", app.id);
+            let m = report
+                .metrics
+                .as_ref()
+                .unwrap_or_else(|| panic!("{ctx}: metrics enabled but report.metrics is None"));
+
+            // Traffic: the comm-layer counters are a second tally of
+            // exactly the packets the runner's stats counted.
+            assert_eq!(
+                m.counter("comm_messages_total", &[]).unwrap_or(0),
+                report.messages,
+                "{ctx}: messages"
+            );
+            assert_eq!(
+                m.counter("comm_bytes_total", &[]).unwrap_or(0),
+                report.bytes,
+                "{ctx}: bytes"
+            );
+            let msg_hist_count = m
+                .histogram("message_bytes", &[])
+                .map(|h| h.count())
+                .unwrap_or(0);
+            assert_eq!(msg_hist_count, report.messages, "{ctx}: message size hist");
+
+            // Ops: every rank executes the same instruction sequence
+            // (SPMD), so the merged per-opcode counters are exactly p
+            // times rank 0's counts.
+            for (op, n) in &report.op_counts {
+                assert_eq!(
+                    m.counter("ops_total", &[("op", op)]),
+                    Some(p as u64 * n),
+                    "{ctx}: ops_total{{op={op}}}"
+                );
+            }
+            assert_eq!(m.counter_sum("ops_total"), {
+                p as u64 * report.op_counts.values().sum::<u64>()
+            });
+
+            // Memory: max-gauges across ranks must equal the report's
+            // high-water marks.
+            assert_eq!(
+                m.gauge("alloc_peak_bytes", &[]),
+                Some(report.peak_temp_bytes as f64),
+                "{ctx}: allocator peak"
+            );
+            assert_eq!(
+                m.gauge("workspace_peak_bytes", &[]),
+                Some(report.peak_rank_bytes as f64),
+                "{ctx}: workspace peak"
+            );
+
+            // Clocks: one observation per rank, the slowest being the
+            // modeled time; the imbalance gauge is consistent with it.
+            let clocks = m.histogram("rank_clock_seconds", &[]).unwrap();
+            assert_eq!(clocks.count(), p as u64, "{ctx}: one clock per rank");
+            assert_eq!(clocks.max(), Some(report.modeled_seconds), "{ctx}: slowest");
+            let ratio = m.gauge("load_imbalance_ratio", &[]).unwrap();
+            assert!(ratio >= 1.0, "{ctx}: imbalance {ratio}");
+
+            // Compile-side pass timings ride along in the job snapshot.
+            let passes = m.histogram("compile_pass_seconds", &[("pass", "parse")]);
+            assert!(passes.is_some(), "{ctx}: missing compile_pass_seconds");
+
+            if p > 1 {
+                assert!(report.messages > 0, "{ctx}: apps must communicate");
+                assert!(
+                    m.counter_sum("collectives_total") > 0,
+                    "{ctx}: no collectives recorded"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_off_means_no_snapshot() {
+    let app = &otter_apps::test_apps()[0];
+    let machine = otter_machine::meiko_cs2();
+    let report = run_engine(
+        &mut OtterEngine::new(EngineOptions::default()),
+        &app.script,
+        &machine,
+        4,
+    )
+    .unwrap();
+    assert!(report.metrics.is_none());
+}
+
+// ---- observability is free ------------------------------------------------
+
+#[test]
+fn metrics_is_zero_cost() {
+    // Enabling metrics must not change a single modeled number:
+    // Figure 2's CSV renders byte-identical with the knob on and off.
+    let off = render_fig2_csv(&fig2_with(Scale::Test, &EngineOptions::default()));
+    let on = render_fig2_csv(&fig2_with(
+        Scale::Test,
+        &EngineOptions::builder().metrics(true).build(),
+    ));
+    assert_eq!(off, on);
+}
