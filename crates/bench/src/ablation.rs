@@ -122,11 +122,12 @@ pub fn collectives_ablation(machine: &Machine, ps: &[usize]) -> Vec<CollectiveAb
         };
         let res = run_spmd_with(machine, p, opts, move |c| {
             for _ in 0..64 {
-                c.broadcast(0, &[1.0]);
-                c.allreduce(&vec![1.0; 64], ReduceOp::Sum);
+                c.broadcast(0, &[1.0])?;
+                c.allreduce(&vec![1.0; 64], ReduceOp::Sum)?;
             }
-            c.clock()
-        });
+            Ok(c.clock())
+        })
+        .expect("ablation job runs without faults");
         res.iter().map(|r| r.clock).fold(0.0, f64::max)
     };
     ps.iter()

@@ -16,6 +16,12 @@
 //!                                # per-rank timeline + critical path
 //! harness lint <app|all> [--deny]
 //!                                # SPMD lint report (deny: exit 1 on warnings)
+//! harness faults [--scenario crash|drop|delay|seeded|none] [--seed S]
+//!                [--ranks N] [--app A]
+//!                                # fault-injection smoke: run one app under a
+//!                                # deterministic fault plan, print the typed
+//!                                # per-rank failure report (key=value lines),
+//!                                # exit 1 when the job failed
 //! harness bench <app|all> [--ranks N] [--repeat K] [--warmup W]
 //!               [--json out.json] [--check baseline.json] [--tolerance PCT]
 //!                                # statistical bench + regression gate
@@ -72,6 +78,7 @@ fn main() {
         "excerpts" => print_excerpts(),
         "trace" => run_trace(&args[1..], scale),
         "lint" => run_lint(&args[1..], scale),
+        "faults" => run_faults(&args[1..], scale),
         "bench" => run_bench_cmd(&args[1..], scale),
         "ablation" => run_ablations(scale),
         "memory" => run_memory(scale),
@@ -96,7 +103,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|bench|ablation|memory|passes|all"
+                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|faults|bench|ablation|memory|passes|all"
             );
             std::process::exit(2);
         }
@@ -263,6 +270,140 @@ fn run_lint(args: &[String], scale: Scale) {
         eprintln!("harness lint: {total_warnings} warning(s) with --deny");
         std::process::exit(1);
     }
+}
+
+/// `harness faults [--scenario crash|drop|delay|seeded|none] [--seed S]
+/// [--ranks N] [--app A]`: the fault-injection smoke mode. Compile one
+/// benchmark app, run it under a deterministic fault plan, and print
+/// the typed failure report as stable `key=value` lines a CI step can
+/// parse. Exits 1 when the job failed (the expected outcome for
+/// `crash`/`drop`), 0 when it completed (`delay` perturbs timing but
+/// not delivery; `none` runs the clean path).
+fn run_faults(args: &[String], scale: Scale) {
+    use otter_core::{compile_str, EngineOptions, OtterEngine};
+    use otter_mpi::FaultPlan;
+
+    let mut scenario = "crash".to_string();
+    let mut seed = 1u64;
+    let mut ranks = 8usize;
+    let mut app_id = "cg".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" => {
+                scenario = it.next().unwrap_or_else(|| faults_usage()).clone();
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| faults_usage());
+            }
+            "--ranks" | "-p" => {
+                ranks = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| faults_usage());
+            }
+            "--app" => app_id = it.next().unwrap_or_else(|| faults_usage()).clone(),
+            "--paper" => {}
+            "--csv" => eprintln!("harness faults: `--csv` is not supported here, ignoring"),
+            _ => faults_usage(),
+        }
+    }
+    let app = scale
+        .apps()
+        .into_iter()
+        .find(|a| a.id == app_id)
+        .unwrap_or_else(|| {
+            eprintln!("unknown app `{app_id}`; expected cg|ocean|nbody|tc");
+            std::process::exit(2);
+        });
+
+    // Deterministic plans: the named scenarios pin the fault site so
+    // the printed report is reproducible verbatim; `seeded` derives
+    // the site from --seed exactly like a randomized CI run would.
+    // `crash` picks its victim from the seed; `drop`/`delay` hit the
+    // first message on the 1 → 0 edge, which every tree reduction
+    // crosses (child to parent), so the fault always lands.
+    let victim = (seed as usize) % ranks;
+    let plan = match scenario.as_str() {
+        "crash" => Some(FaultPlan::new().crash(victim, 1 + seed % 4)),
+        "drop" => Some(FaultPlan::new().drop_message(1 % ranks, 0, 0)),
+        "delay" => Some(FaultPlan::new().delay_message(1 % ranks, 0, 0, 0.5)),
+        "seeded" => Some(FaultPlan::seeded(seed, ranks)),
+        "none" => None,
+        _ => faults_usage(),
+    };
+
+    let compiled = compile_str(&app.script).unwrap_or_else(|e| {
+        eprintln!("harness faults: {e}");
+        std::process::exit(1);
+    });
+    let mut opts = EngineOptions::builder().build();
+    opts.faults = plan.clone();
+    let mut engine = OtterEngine::from_compiled_with(compiled, opts);
+    let outcome = engine.try_run(&meiko_cs2(), ranks).unwrap_or_else(|e| {
+        eprintln!("harness faults: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "fault-smoke app={} ranks={} scenario={} seed={} actions={}",
+        app.id,
+        ranks,
+        scenario,
+        seed,
+        plan.as_ref().map_or(0, |pl| pl.actions.len()),
+    );
+    match outcome {
+        Ok(report) => {
+            println!(
+                "result=ok modeled_seconds={:.6} messages={} bytes={}",
+                report.modeled_seconds, report.messages, report.bytes
+            );
+        }
+        Err(failure) => {
+            let root = failure.report.root_cause();
+            println!(
+                "result=failed failed_ranks={} survivors={} root_cause_rank={} root_cause_code={}",
+                failure.report.failures.len(),
+                failure.survivors.len(),
+                root.rank,
+                root.error.code(),
+            );
+            for f in &failure.report.failures {
+                let blocked: Vec<String> = f.blocked_peers.iter().map(usize::to_string).collect();
+                println!(
+                    "failure rank={} code={} clock={:.6} blocked_peers={} error=\"{}\"",
+                    f.rank,
+                    f.error.code(),
+                    f.clock,
+                    if blocked.is_empty() {
+                        "-".to_string()
+                    } else {
+                        blocked.join(",")
+                    },
+                    f.error,
+                );
+            }
+            for s in &failure.survivors {
+                println!(
+                    "survivor rank={} clock={:.6} messages={} bytes={}",
+                    s.rank, s.clock, s.messages, s.bytes
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn faults_usage() -> ! {
+    eprintln!(
+        "usage: harness faults [--scenario crash|drop|delay|seeded|none] \
+         [--seed S] [--ranks N] [--app cg|ocean|nbody|tc]"
+    );
+    std::process::exit(2);
 }
 
 /// `harness bench <app|all> [--ranks N] [--repeat K] [--warmup W]

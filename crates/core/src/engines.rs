@@ -14,11 +14,11 @@
 
 use crate::compile::{CompileOptions, Compiled};
 use crate::error::{OtterError, Result};
-use crate::exec::{ExecOptions, Executor, XVal};
+use crate::exec::{ExecError, ExecOptions, Executor, XVal};
 use otter_interp::{assemble_program, Interp, Value};
 use otter_machine::{ExecutionStyle, Machine};
 use otter_metrics::{MetricsRegistry, MetricsSnapshot};
-use otter_mpi::{run_spmd_with, CollectiveAlgo, SpmdOptions};
+use otter_mpi::{run_spmd_with, CollectiveAlgo, FailureReport, FaultPlan, SpmdOptions};
 use otter_rt::Dense;
 use otter_trace::{CriticalPath, TraceSink};
 use std::collections::{BTreeMap, HashMap};
@@ -163,6 +163,10 @@ pub struct EngineOptions {
     /// [`EngineReport::metrics`]. Off by default: disabled runs never
     /// construct a registry, a key, or an observation.
     pub metrics: bool,
+    /// Deterministic fault-injection schedule for the SPMD run; `None`
+    /// (the default) perturbs nothing and the virtual-time results are
+    /// byte-identical to a build without the fault subsystem.
+    pub faults: Option<FaultPlan>,
 }
 
 impl fmt::Debug for EngineOptions {
@@ -174,6 +178,7 @@ impl fmt::Debug for EngineOptions {
             .field("collective_algo", &self.collective_algo)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
             .field("metrics", &self.metrics)
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -189,6 +194,7 @@ impl EngineOptions {
             algo: self.collective_algo,
             trace: self.trace.clone(),
             metrics: self.metrics,
+            faults: self.faults.clone(),
         }
     }
 }
@@ -247,6 +253,14 @@ impl EngineOptionsBuilder {
     /// Collect and merge per-rank metrics into the report.
     pub fn metrics(mut self, on: bool) -> Self {
         self.opts.metrics = on;
+        self
+    }
+
+    /// Inject a deterministic fault schedule into the SPMD run (see
+    /// [`otter_mpi::FaultPlan`]). Use [`OtterEngine::try_run`] to get
+    /// the resulting failure report as data.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.opts.faults = Some(plan);
         self
     }
 
@@ -468,32 +482,17 @@ impl OtterEngine {
     pub fn compiled(&self) -> Option<&Compiled> {
         self.compiled.as_ref()
     }
-}
 
-impl Engine for OtterEngine {
-    fn name(&self) -> &'static str {
-        "otter"
-    }
-
-    fn prepare(&mut self, src: &str) -> Result<()> {
-        let empty = otter_frontend::MapProvider::new();
-        let provider = self.opts.m_files.as_ref().unwrap_or(&empty);
-        let copts = CompileOptions {
-            data_dir: self.opts.data_dir.clone(),
-            disabled_passes: self.opts.disabled_passes.clone(),
-            ..Default::default()
-        };
-        let report = crate::pass::PassManager::standard().compile(src, provider, &copts)?;
-        self.compile_metrics = if self.opts.metrics {
-            Some(crate::pass::pass_metrics(&report.passes))
-        } else {
-            None
-        };
-        self.compiled = Some(report.compiled);
-        Ok(())
-    }
-
-    fn run(&mut self, machine: &Machine, p: usize) -> Result<EngineReport> {
+    /// Like [`Engine::run`], but a communication failure (deadlock,
+    /// dead rank, injected fault) comes back as structured data — the
+    /// typed [`FailureReport`] plus the surviving ranks' counters —
+    /// instead of a formatted [`OtterError`]. Compile-side and
+    /// program-level errors still use the `Err` channel.
+    pub fn try_run(
+        &mut self,
+        machine: &Machine,
+        p: usize,
+    ) -> Result<std::result::Result<EngineReport, SpmdJobFailure>> {
         let compiled = self
             .compiled
             .as_ref()
@@ -503,7 +502,7 @@ impl Engine for OtterEngine {
             data_dir: compiled.data_dir.clone(),
             ..Default::default()
         };
-        let results = run_spmd_with(machine, p, self.opts.spmd_options(), move |comm| {
+        let job = run_spmd_with(machine, p, self.opts.spmd_options(), move |comm| {
             let opts = exec_opts.clone();
             let executor = Executor::new(&ir, comm, opts);
             let outcome = executor.run();
@@ -533,12 +532,12 @@ impl Engine for OtterEngine {
                                 ws.insert(name.clone(), Value::Scalar(*v));
                             }
                             XVal::M(m) => {
-                                let full = m.gather_all(comm);
+                                let full = m.gather_all(comm)?;
                                 ws.insert(name.clone(), Value::Matrix(full).normalized());
                             }
                         }
                     }
-                    Ok((
+                    Ok(Ok((
                         ws,
                         o.output,
                         finished_at,
@@ -547,11 +546,43 @@ impl Engine for OtterEngine {
                         o.op_counts,
                         finished_stats,
                         finished_metrics,
-                    ))
+                    )))
                 }
-                Err(e) => Err(e.to_string()),
+                // Application errors are SPMD-replicated: every rank
+                // raises the identical one, so they travel inside the
+                // rank's value and the job itself still succeeds.
+                Err(ExecError::App(e)) => Ok(Err(e.to_string())),
+                // Communication failures abort the job; the runner
+                // assembles the failure report.
+                Err(ExecError::Comm(e)) => Err(e),
             }
         });
+        let results = match job {
+            Ok(results) => results,
+            Err(failure) => {
+                let survivors = failure
+                    .survivors
+                    .iter()
+                    .map(|r| RankCounters {
+                        rank: r.rank,
+                        messages: r.stats.messages_sent,
+                        bytes: r.stats.bytes_sent,
+                        clock: r.clock,
+                        peak_bytes: match &r.value {
+                            Ok(t) => t.4,
+                            Err(_) => 0,
+                        },
+                        compute_seconds: r.stats.compute_time,
+                        comm_seconds: r.stats.send_time,
+                        idle_seconds: r.stats.wait_time,
+                    })
+                    .collect();
+                return Ok(Err(SpmdJobFailure {
+                    report: failure.report,
+                    survivors,
+                }));
+            }
+        };
         // All ranks computed the same workspace (and executed the same
         // instruction sequence — SPMD); use rank 0's.
         let mut iter = results.into_iter();
@@ -629,7 +660,7 @@ impl Engine for OtterEngine {
             .as_ref()
             .and_then(|sink| sink.snapshot())
             .map(|events| otter_trace::critical_path(&events));
-        Ok(EngineReport {
+        Ok(Ok(EngineReport {
             engine: "otter",
             workspace,
             output,
@@ -642,6 +673,56 @@ impl Engine for OtterEngine {
             per_rank,
             critical_path,
             metrics: job_metrics,
-        })
+        }))
+    }
+}
+
+/// A failed SPMD run as data: which ranks failed and why (with the
+/// wait-for information behind each), plus the counters of the ranks
+/// that completed the program.
+#[derive(Debug, Clone)]
+pub struct SpmdJobFailure {
+    /// The typed per-rank failure report.
+    pub report: FailureReport,
+    /// Counters of the surviving ranks, ordered by rank id.
+    pub survivors: Vec<RankCounters>,
+}
+
+impl fmt::Display for SpmdJobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report.fmt(f)
+    }
+}
+
+impl std::error::Error for SpmdJobFailure {}
+
+impl Engine for OtterEngine {
+    fn name(&self) -> &'static str {
+        "otter"
+    }
+
+    fn prepare(&mut self, src: &str) -> Result<()> {
+        let empty = otter_frontend::MapProvider::new();
+        let provider = self.opts.m_files.as_ref().unwrap_or(&empty);
+        let copts = CompileOptions {
+            data_dir: self.opts.data_dir.clone(),
+            disabled_passes: self.opts.disabled_passes.clone(),
+            ..Default::default()
+        };
+        let report = crate::pass::PassManager::standard().compile(src, provider, &copts)?;
+        self.compile_metrics = if self.opts.metrics {
+            Some(crate::pass::pass_metrics(&report.passes))
+        } else {
+            None
+        };
+        self.compiled = Some(report.compiled);
+        Ok(())
+    }
+
+    fn run(&mut self, machine: &Machine, p: usize) -> Result<EngineReport> {
+        match self.try_run(machine, p)? {
+            Ok(report) => Ok(report),
+            Err(failure) => Err(failure.report.into()),
+        }
     }
 }

@@ -87,6 +87,18 @@ impl From<otter_interp::InterpError> for OtterError {
     }
 }
 
+impl From<otter_mpi::CommError> for OtterError {
+    fn from(e: otter_mpi::CommError) -> Self {
+        OtterError(Diagnostic::new("comm", e.to_string()))
+    }
+}
+
+impl From<otter_mpi::FailureReport> for OtterError {
+    fn from(r: otter_mpi::FailureReport) -> Self {
+        OtterError(Diagnostic::new("comm", r.to_string()))
+    }
+}
+
 pub type Result<T> = std::result::Result<T, OtterError>;
 
 #[cfg(test)]

@@ -15,11 +15,68 @@ use crate::error::{OtterError, Result};
 use otter_det::DetRng;
 use otter_ir::*;
 use otter_machine::{ExecutionStyle, StyleCosts};
-use otter_mpi::Comm;
-use otter_rt::{io as rtio, Dense, DistMatrix};
+use otter_mpi::{Comm, CommError};
+use otter_rt::{io as rtio, Dense, DistMatrix, LoadError};
 use otter_trace::EventKind;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
+
+/// Why one rank's execution stopped early: an application-level error
+/// (undefined variable, bad index — the same on every rank, SPMD) or a
+/// communication failure that must abort the whole job and reach the
+/// launcher as typed data, not a formatted string.
+#[derive(Debug, Clone)]
+pub enum ExecError {
+    /// Program-level failure; every rank raises the identical one.
+    App(OtterError),
+    /// Communication failure (deadlock, dead peer, injected fault).
+    Comm(CommError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::App(e) => e.fmt(f),
+            ExecError::Comm(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<OtterError> for ExecError {
+    fn from(e: OtterError) -> Self {
+        ExecError::App(e)
+    }
+}
+
+impl From<CommError> for ExecError {
+    fn from(e: CommError) -> Self {
+        ExecError::Comm(e)
+    }
+}
+
+impl From<LoadError> for ExecError {
+    fn from(e: LoadError) -> Self {
+        match e {
+            LoadError::App(msg) => ExecError::App(OtterError::execution(msg)),
+            LoadError::Comm(c) => ExecError::Comm(c),
+        }
+    }
+}
+
+impl From<ExecError> for OtterError {
+    fn from(e: ExecError) -> Self {
+        match e {
+            ExecError::App(e) => e,
+            ExecError::Comm(c) => c.into(),
+        }
+    }
+}
+
+/// Result of the fallible executor paths (instructions that may hit a
+/// communication failure in addition to application errors).
+pub type ExecResult<T> = std::result::Result<T, ExecError>;
 
 /// A run-time value: replicated scalar or distributed matrix.
 #[derive(Debug, Clone)]
@@ -113,7 +170,7 @@ impl<'a> Executor<'a> {
     }
 
     /// Run the whole program; returns the final script workspace.
-    pub fn run(mut self) -> Result<ExecOutcome> {
+    pub fn run(mut self) -> ExecResult<ExecOutcome> {
         otter_rt::alloc::reset();
         let main = &self.program.main;
         self.exec_block(main)?;
@@ -281,7 +338,7 @@ impl<'a> Executor<'a> {
 
     // ---- instructions ---------------------------------------------------------
 
-    fn exec_block(&mut self, block: &[Instr]) -> Result<Flow> {
+    fn exec_block(&mut self, block: &[Instr]) -> ExecResult<Flow> {
         for i in block {
             let flow = if self.comm.trace_enabled() || self.comm.metrics_enabled() {
                 // One Statement span per IR instruction; control-flow
@@ -315,7 +372,7 @@ impl<'a> Executor<'a> {
         Ok(Flow::Normal)
     }
 
-    fn exec_instr(&mut self, i: &Instr) -> Result<Flow> {
+    fn exec_instr(&mut self, i: &Instr) -> ExecResult<Flow> {
         // Compiled-code dispatch charge.
         self.comm.compute(self.costs.statement_dispatch);
         self.note_memory();
@@ -341,7 +398,7 @@ impl<'a> Executor<'a> {
                     Some(d) => d.join(path),
                     None => PathBuf::from(path),
                 };
-                let m = rtio::load_distributed(self.comm, &full).map_err(OtterError::execution)?;
+                let m = rtio::load_distributed(self.comm, &full)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::ElemWise { dst, expr } => {
@@ -351,25 +408,25 @@ impl<'a> Executor<'a> {
             Instr::MatMul { dst, a, b } => {
                 self.comm.compute(self.costs.op_overhead);
                 let (a, b) = (self.get_mat(a)?.clone(), self.get_mat(b)?.clone());
-                let m = a.matmul(self.comm, &b);
+                let m = a.matmul(self.comm, &b)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::MatVec { dst, a, x } => {
                 self.comm.compute(self.costs.op_overhead);
                 let (a, x) = (self.get_mat(a)?.clone(), self.get_mat(x)?.clone());
-                let m = a.matvec(self.comm, &x);
+                let m = a.matvec(self.comm, &x)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::Outer { dst, u, v } => {
                 self.comm.compute(self.costs.op_overhead);
                 let (u, v) = (self.get_mat(u)?.clone(), self.get_mat(v)?.clone());
-                let m = DistMatrix::outer(self.comm, &u, &v);
+                let m = DistMatrix::outer(self.comm, &u, &v)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::Transpose { dst, a } => {
                 self.comm.compute(self.costs.op_overhead);
                 let a = self.get_mat(a)?.clone();
-                let m = a.transpose(self.comm);
+                let m = a.transpose(self.comm)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::BroadcastElem { dst, m, i, j } => {
@@ -380,7 +437,7 @@ impl<'a> Executor<'a> {
                     Some(j) => (mi, self.eval_index(j)?),
                     None => linear_to_rc(&mat, mi)?,
                 };
-                let v = mat.get_bcast(self.comm, r, c);
+                let v = mat.get_bcast(self.comm, r, c)?;
                 self.env().insert(dst.clone(), XVal::S(v));
             }
             Instr::StoreElem { m, i, j, val } => {
@@ -407,41 +464,41 @@ impl<'a> Executor<'a> {
                 self.comm.compute(self.costs.op_overhead);
                 let mat = self.get_mat(m)?.clone();
                 let v = match op {
-                    RedOp::SumAll => mat.sum_all(self.comm),
-                    RedOp::MeanAll => mat.mean_all(self.comm),
-                    RedOp::MaxAll => mat.max_all(self.comm),
-                    RedOp::MinAll => mat.min_all(self.comm),
-                    RedOp::ProdAll => mat.prod_all(self.comm),
-                    RedOp::AnyAll => mat.any_all(self.comm),
-                    RedOp::AllAll => mat.all_all(self.comm),
-                    RedOp::Norm2 => mat.norm2(self.comm),
-                    RedOp::Trapz => mat.trapz(self.comm),
+                    RedOp::SumAll => mat.sum_all(self.comm)?,
+                    RedOp::MeanAll => mat.mean_all(self.comm)?,
+                    RedOp::MaxAll => mat.max_all(self.comm)?,
+                    RedOp::MinAll => mat.min_all(self.comm)?,
+                    RedOp::ProdAll => mat.prod_all(self.comm)?,
+                    RedOp::AnyAll => mat.any_all(self.comm)?,
+                    RedOp::AllAll => mat.all_all(self.comm)?,
+                    RedOp::Norm2 => mat.norm2(self.comm)?,
+                    RedOp::Trapz => mat.trapz(self.comm)?,
                 };
                 self.env().insert(dst.clone(), XVal::S(v));
             }
             Instr::Dot { dst, a, b } => {
                 self.comm.compute(self.costs.op_overhead);
                 let (a, b) = (self.get_mat(a)?.clone(), self.get_mat(b)?.clone());
-                let v = a.dot(self.comm, &b);
+                let v = a.dot(self.comm, &b)?;
                 self.env().insert(dst.clone(), XVal::S(v));
             }
             Instr::TrapzXY { dst, x, y } => {
                 self.comm.compute(self.costs.op_overhead);
                 let (x, y) = (self.get_mat(x)?.clone(), self.get_mat(y)?.clone());
-                let v = DistMatrix::trapz_xy(self.comm, &x, &y);
+                let v = DistMatrix::trapz_xy(self.comm, &x, &y)?;
                 self.env().insert(dst.clone(), XVal::S(v));
             }
             Instr::ColReduce { dst, op, m } => {
                 self.comm.compute(self.costs.op_overhead);
                 let mat = self.get_mat(m)?.clone();
                 let r = match op {
-                    ColRedOp::Sum => mat.sum(self.comm),
-                    ColRedOp::Mean => mat.mean(self.comm),
-                    ColRedOp::Prod => mat.prod(self.comm),
-                    ColRedOp::Max => mat.max(self.comm),
-                    ColRedOp::Min => mat.min(self.comm),
-                    ColRedOp::Any => mat.any(self.comm),
-                    ColRedOp::All => mat.all(self.comm),
+                    ColRedOp::Sum => mat.sum(self.comm)?,
+                    ColRedOp::Mean => mat.mean(self.comm)?,
+                    ColRedOp::Prod => mat.prod(self.comm)?,
+                    ColRedOp::Max => mat.max(self.comm)?,
+                    ColRedOp::Min => mat.min(self.comm)?,
+                    ColRedOp::Any => mat.any(self.comm)?,
+                    ColRedOp::All => mat.all(self.comm)?,
                 };
                 self.env().insert(dst.clone(), XVal::M(r));
             }
@@ -449,14 +506,14 @@ impl<'a> Executor<'a> {
                 self.comm.compute(self.costs.op_overhead);
                 let kk = self.eval_s(k)? as i64;
                 let vm = self.get_mat(v)?.clone();
-                let m = vm.circshift(self.comm, kk);
+                let m = vm.circshift(self.comm, kk)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::ExtractRow { dst, m, i } => {
                 self.comm.compute(self.costs.op_overhead);
                 let mi = self.eval_index(i)?;
                 let mat = self.get_mat(m)?.clone();
-                let r = mat.extract_row(self.comm, mi);
+                let r = mat.extract_row(self.comm, mi)?;
                 self.env().insert(dst.clone(), XVal::M(r));
             }
             Instr::ExtractCol { dst, m, j } => {
@@ -472,7 +529,7 @@ impl<'a> Executor<'a> {
                 let vv = self.get_mat(v)?.clone();
                 let name = m.clone();
                 let mut mat = self.get_mat(&name)?.clone();
-                mat.assign_row(self.comm, mi, &vv);
+                mat.assign_row(self.comm, mi, &vv)?;
                 self.env().insert(name, XVal::M(mat));
             }
             Instr::AssignCol { m, j, v } => {
@@ -489,7 +546,7 @@ impl<'a> Executor<'a> {
                 let l = self.eval_index(lo)?;
                 let h = self.eval_s(hi)? as usize; // inclusive 1-based == exclusive 0-based
                 let vm = self.get_mat(v)?.clone();
-                let m = vm.extract_range(self.comm, l, h);
+                let m = vm.extract_range(self.comm, l, h)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::ExtractStrided {
@@ -504,7 +561,7 @@ impl<'a> Executor<'a> {
                 let st = self.eval_s(step)? as i64;
                 let h = self.eval_index(hi)?;
                 if st == 0 {
-                    return Err(OtterError::execution("stride must be nonzero"));
+                    return Err(OtterError::execution("stride must be nonzero").into());
                 }
                 let count = if (st > 0 && h >= l) || (st < 0 && h <= l) {
                     ((h as i64 - l as i64) / st) as usize + 1
@@ -512,7 +569,7 @@ impl<'a> Executor<'a> {
                     0
                 };
                 let vm = self.get_mat(v)?.clone();
-                let m = vm.extract_strided(self.comm, l, st, count);
+                let m = vm.extract_strided(self.comm, l, st, count)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::FillRow { m, i, val } => {
@@ -550,7 +607,7 @@ impl<'a> Executor<'a> {
                 let w = self.get_mat(v)?.clone();
                 let name = m.clone();
                 let mut mat = self.get_mat(&name)?.clone();
-                mat.assign_range(self.comm, l, h, &w);
+                mat.assign_range(self.comm, l, h, &w)?;
                 self.env().insert(name, XVal::M(mat));
             }
             Instr::If {
@@ -566,7 +623,8 @@ impl<'a> Executor<'a> {
                 if let f @ (Flow::Break | Flow::Continue) = self.exec_block(pre)? {
                     return Err(OtterError::execution(format!(
                         "control flow {f:?} escaping a while condition"
-                    )));
+                    ))
+                    .into());
                 }
                 if self.eval_s(cond)? == 0.0 {
                     return Ok(Flow::Normal);
@@ -585,7 +643,7 @@ impl<'a> Executor<'a> {
             } => {
                 let (s, st, p) = (self.eval_s(start)?, self.eval_s(step)?, self.eval_s(stop)?);
                 if st == 0.0 {
-                    return Err(OtterError::execution("for-loop step is zero"));
+                    return Err(OtterError::execution("for-loop step is zero").into());
                 }
                 let mut x = s;
                 while (st > 0.0 && x <= p) || (st < 0.0 && x >= p) {
@@ -616,7 +674,8 @@ impl<'a> Executor<'a> {
                         _ => {
                             return Err(OtterError::execution(format!(
                                 "argument rank mismatch calling `{fun}`"
-                            )))
+                            ))
+                            .into())
                         }
                     };
                     frame.insert(pname.clone(), v);
@@ -643,7 +702,7 @@ impl<'a> Executor<'a> {
                     }
                     PrintTarget::Matrix(m) => {
                         let mat = self.get_mat(m)?.clone();
-                        if let Some(text) = rtio::print_distributed(self.comm, name, &mat) {
+                        if let Some(text) = rtio::print_distributed(self.comm, name, &mat)? {
                             self.output.push_str(&text);
                         }
                     }

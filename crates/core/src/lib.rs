@@ -39,10 +39,10 @@ pub mod pass;
 pub use compile::{compile, compile_str, CompileOptions, Compiled};
 pub use engines::{
     run_engine, standard_engines, Engine, EngineOptions, EngineReport, InterpreterEngine,
-    MatcomEngine, OtterEngine, RankCounters,
+    MatcomEngine, OtterEngine, RankCounters, SpmdJobFailure,
 };
 pub use error::OtterError;
-pub use exec::{ExecOptions, Executor, XVal};
+pub use exec::{ExecError, ExecOptions, Executor, XVal};
 pub use otter_lint::{lint_program, LintMode, LintReport};
 pub use pass::{
     pass_metrics, CompileReport, DumpRequest, GuardStats, Pass, PassDump, PassManager, PassStats,

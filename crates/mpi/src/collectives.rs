@@ -5,8 +5,13 @@
 //! depend on this), or the naive linear schedules a first-cut run-time
 //! library might have shipped (`O(p)`), kept for the collectives
 //! ablation.
+//!
+//! Every collective is fallible: a dead or misbehaving peer surfaces
+//! as a [`CommError`] on the ranks that notice, not as a panic inside
+//! the rank thread.
 
 use crate::comm::Comm;
+use crate::error::CommError;
 use otter_trace::EventKind;
 
 /// Message schedule for the rooted collectives.
@@ -74,11 +79,16 @@ impl ReduceOp {
 impl Comm {
     /// Broadcast `data` from `root` to every rank with an explicit
     /// schedule; returns the data on all ranks.
-    pub fn broadcast_with(&mut self, root: usize, data: &[f64], algo: CollectiveAlgo) -> Vec<f64> {
+    pub fn broadcast_with(
+        &mut self,
+        root: usize,
+        data: &[f64],
+        algo: CollectiveAlgo,
+    ) -> Result<Vec<f64>, CommError> {
         let t0 = self.clock();
         let out = match algo {
-            CollectiveAlgo::Tree => self.broadcast_tree(root, data),
-            CollectiveAlgo::Linear => self.broadcast_lin(root, data),
+            CollectiveAlgo::Tree => self.broadcast_tree(root, data)?,
+            CollectiveAlgo::Linear => self.broadcast_lin(root, data)?,
         };
         self.emit_span(
             EventKind::Collective {
@@ -89,27 +99,27 @@ impl Comm {
             t0,
         );
         self.note_collective("broadcast", algo.label(), t0);
-        out
+        Ok(out)
     }
 
     /// Broadcast `data` from `root` using this endpoint's configured
     /// schedule ([`Comm::collective_algo`], tree by default).
-    pub fn broadcast(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
+    pub fn broadcast(&mut self, root: usize, data: &[f64]) -> Result<Vec<f64>, CommError> {
         self.broadcast_with(root, data, self.collective_algo())
     }
 
     /// Broadcast a single scalar from `root`.
-    pub fn broadcast_scalar(&mut self, root: usize, v: f64) -> f64 {
-        self.broadcast(root, &[v])[0]
+    pub fn broadcast_scalar(&mut self, root: usize, v: f64) -> Result<f64, CommError> {
+        Ok(self.broadcast(root, &[v])?[0])
     }
 
     /// Binomial tree: round `k` has up to `2^k` transfers in flight
     /// (passed as the fabric-sharing hint).
-    fn broadcast_tree(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
+    fn broadcast_tree(&mut self, root: usize, data: &[f64]) -> Result<Vec<f64>, CommError> {
         let p = self.size();
-        assert!(root < p, "broadcast root {root} out of range");
+        self.check_root(root, "broadcast root")?;
         if p == 1 {
-            return data.to_vec();
+            return Ok(data.to_vec());
         }
         // Work in a root-relative rank space so any root works.
         let vrank = (self.rank() + p - root) % p;
@@ -129,28 +139,28 @@ impl Comm {
                     let abs = (peer + root) % p;
                     let payload = have.as_ref().expect("tree invariant: holder has data");
                     let payload = payload.clone();
-                    self.send_concurrent(abs, &payload, stage_width);
+                    self.send_concurrent(abs, &payload, stage_width)?;
                 }
             } else if vrank < stride * 2 {
                 let peer = vrank - stride;
                 let abs = (peer + root) % p;
-                have = Some(self.recv(abs));
+                have = Some(self.recv(abs)?);
             }
         }
-        have.expect("broadcast delivered to every rank")
+        Ok(have.expect("broadcast delivered to every rank"))
     }
 
     /// Linear schedule: the root sends to every other rank in turn.
-    fn broadcast_lin(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
+    fn broadcast_lin(&mut self, root: usize, data: &[f64]) -> Result<Vec<f64>, CommError> {
         let p = self.size();
-        assert!(root < p, "broadcast root {root} out of range");
+        self.check_root(root, "broadcast root")?;
         if self.rank() == root {
             for r in 0..p {
                 if r != root {
-                    self.send(r, data);
+                    self.send(r, data)?;
                 }
             }
-            data.to_vec()
+            Ok(data.to_vec())
         } else {
             self.recv(root)
         }
@@ -164,11 +174,11 @@ impl Comm {
         data: &[f64],
         op: ReduceOp,
         algo: CollectiveAlgo,
-    ) -> Option<Vec<f64>> {
+    ) -> Result<Option<Vec<f64>>, CommError> {
         let t0 = self.clock();
         let out = match algo {
-            CollectiveAlgo::Tree => self.reduce_tree(root, data, op),
-            CollectiveAlgo::Linear => self.reduce_lin(root, data, op),
+            CollectiveAlgo::Tree => self.reduce_tree(root, data, op)?,
+            CollectiveAlgo::Linear => self.reduce_lin(root, data, op)?,
         };
         self.emit_span(
             EventKind::Collective {
@@ -179,21 +189,31 @@ impl Comm {
             t0,
         );
         self.note_collective("reduce", algo.label(), t0);
-        out
+        Ok(out)
     }
 
     /// Reduce onto `root` using this endpoint's configured schedule.
-    pub fn reduce(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+    pub fn reduce(
+        &mut self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>, CommError> {
         self.reduce_with(root, data, op, self.collective_algo())
     }
 
     /// Mirror image of the broadcast tree: fold up, largest stride
     /// first.
-    fn reduce_tree(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+    fn reduce_tree(
+        &mut self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>, CommError> {
         let p = self.size();
-        assert!(root < p, "reduce root {root} out of range");
+        self.check_root(root, "reduce root")?;
         if p == 1 {
-            return Some(data.to_vec());
+            return Ok(Some(data.to_vec()));
         }
         let vrank = (self.rank() + p - root) % p;
         let mut acc = data.to_vec();
@@ -205,7 +225,7 @@ impl Comm {
                 let peer = vrank + stride;
                 if peer < p {
                     let abs = (peer + root) % p;
-                    let incoming = self.recv(abs);
+                    let incoming = self.recv(abs)?;
                     op.fold(&mut acc, &incoming);
                     // Charge the fold as compute: one op per element.
                     self.compute(incoming.len() as f64);
@@ -214,46 +234,52 @@ impl Comm {
                 let peer = vrank - stride;
                 let abs = (peer + root) % p;
                 let payload = acc.clone();
-                self.send_concurrent(abs, &payload, stage_width);
+                self.send_concurrent(abs, &payload, stage_width)?;
             }
         }
-        if vrank == 0 {
-            Some(acc)
-        } else {
-            None
-        }
+        Ok(if vrank == 0 { Some(acc) } else { None })
     }
 
     /// Linear schedule: every rank sends to the root, which folds in
     /// rank order. Deterministic and `O(p)` on the root.
-    fn reduce_lin(&mut self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+    fn reduce_lin(
+        &mut self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>, CommError> {
         let p = self.size();
-        assert!(root < p, "reduce root {root} out of range");
+        self.check_root(root, "reduce root")?;
         if self.rank() == root {
             let mut acc = data.to_vec();
             for r in 0..p {
                 if r != root {
-                    let incoming = self.recv(r);
+                    let incoming = self.recv(r)?;
                     op.fold(&mut acc, &incoming);
                     self.compute(incoming.len() as f64);
                 }
             }
-            Some(acc)
+            Ok(Some(acc))
         } else {
-            self.send(root, data);
-            None
+            self.send(root, data)?;
+            Ok(None)
         }
     }
 
     /// Reduce-to-all with an explicit schedule: reduce onto rank 0,
     /// then broadcast the result. (MPICH's small-message allreduce did
     /// exactly this.)
-    pub fn allreduce_with(&mut self, data: &[f64], op: ReduceOp, algo: CollectiveAlgo) -> Vec<f64> {
+    pub fn allreduce_with(
+        &mut self,
+        data: &[f64],
+        op: ReduceOp,
+        algo: CollectiveAlgo,
+    ) -> Result<Vec<f64>, CommError> {
         let t0 = self.clock();
-        let partial = self.reduce_with(0, data, op, algo);
+        let partial = self.reduce_with(0, data, op, algo)?;
         let out = match partial {
-            Some(v) => self.broadcast_with(0, &v, algo),
-            None => self.broadcast_with(0, &[], algo),
+            Some(v) => self.broadcast_with(0, &v, algo)?,
+            None => self.broadcast_with(0, &[], algo)?,
         };
         self.emit_span(
             EventKind::Collective {
@@ -264,17 +290,17 @@ impl Comm {
             t0,
         );
         self.note_collective("allreduce", algo.label(), t0);
-        out
+        Ok(out)
     }
 
     /// Reduce-to-all using this endpoint's configured schedule.
-    pub fn allreduce(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+    pub fn allreduce(&mut self, data: &[f64], op: ReduceOp) -> Result<Vec<f64>, CommError> {
         self.allreduce_with(data, op, self.collective_algo())
     }
 
     /// Scalar all-reduce convenience.
-    pub fn allreduce_scalar(&mut self, v: f64, op: ReduceOp) -> f64 {
-        self.allreduce(&[v], op)[0]
+    pub fn allreduce_scalar(&mut self, v: f64, op: ReduceOp) -> Result<f64, CommError> {
+        Ok(self.allreduce(&[v], op)?[0])
     }
 
     /// Gather variable-length contributions onto `root`, concatenated
@@ -282,9 +308,13 @@ impl Comm {
     /// payloads differ per rank so a tree saves little, and gather in
     /// the generated code is I/O-bound anyway (paper §3 assumption 5:
     /// "one processor coordinates all I/O").
-    pub fn gather(&mut self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+    pub fn gather(
+        &mut self,
+        root: usize,
+        data: &[f64],
+    ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
         let p = self.size();
-        assert!(root < p, "gather root {root} out of range");
+        self.check_root(root, "gather root")?;
         let t0 = self.clock();
         let out = if self.rank() == root {
             let mut parts: Vec<Vec<f64>> = Vec::with_capacity(p);
@@ -292,12 +322,12 @@ impl Comm {
                 if r == root {
                     parts.push(data.to_vec());
                 } else {
-                    parts.push(self.recv(r));
+                    parts.push(self.recv(r)?);
                 }
             }
             Some(parts)
         } else {
-            self.send(root, data);
+            self.send(root, data)?;
             None
         };
         self.emit_span(
@@ -309,18 +339,18 @@ impl Comm {
             t0,
         );
         self.note_collective("gather", CollectiveAlgo::Linear.label(), t0);
-        out
+        Ok(out)
     }
 
     /// Gather everyone's contribution to every rank (gather + bcast of
     /// the concatenation, with per-part lengths preserved).
-    pub fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
+    pub fn allgather(&mut self, data: &[f64]) -> Result<Vec<Vec<f64>>, CommError> {
         let p = self.size();
         if p == 1 {
-            return vec![data.to_vec()];
+            return Ok(vec![data.to_vec()]);
         }
         let t0 = self.clock();
-        let gathered = self.gather(0, data);
+        let gathered = self.gather(0, data)?;
         // Flatten with a length header so the broadcast is one message.
         let flat = match gathered {
             Some(parts) => {
@@ -332,9 +362,9 @@ impl Comm {
                 for p in &parts {
                     flat.extend_from_slice(p);
                 }
-                self.broadcast(0, &flat)
+                self.broadcast(0, &flat)?
             }
-            None => self.broadcast(0, &[]),
+            None => self.broadcast(0, &[])?,
         };
         let nparts = flat[0] as usize;
         let mut lens = Vec::with_capacity(nparts);
@@ -356,26 +386,26 @@ impl Comm {
             t0,
         );
         self.note_collective("allgather", self.collective_algo().label(), t0);
-        out
+        Ok(out)
     }
 
     /// Scatter `parts[r]` to rank `r` from `root`; returns this rank's
     /// part. `parts` is only inspected on the root.
-    pub fn scatter(&mut self, root: usize, parts: &[Vec<f64>]) -> Vec<f64> {
+    pub fn scatter(&mut self, root: usize, parts: &[Vec<f64>]) -> Result<Vec<f64>, CommError> {
         let p = self.size();
-        assert!(root < p, "scatter root {root} out of range");
+        self.check_root(root, "scatter root")?;
         let t0 = self.clock();
         let out = if self.rank() == root {
             assert_eq!(parts.len(), p, "scatter needs one part per rank");
             for (r, part) in parts.iter().enumerate() {
                 if r != root {
                     let payload = part.clone();
-                    self.send(r, &payload);
+                    self.send(r, &payload)?;
                 }
             }
             parts[root].clone()
         } else {
-            self.recv(root)
+            self.recv(root)?
         };
         self.emit_span(
             EventKind::Collective {
@@ -386,15 +416,16 @@ impl Comm {
             t0,
         );
         self.note_collective("scatter", CollectiveAlgo::Linear.label(), t0);
-        out
+        Ok(out)
     }
 
     /// Barrier: zero-byte allreduce.
-    pub fn barrier(&mut self) {
+    pub fn barrier(&mut self) -> Result<(), CommError> {
         let t0 = self.clock();
-        self.allreduce(&[], ReduceOp::Sum);
+        self.allreduce(&[], ReduceOp::Sum)?;
         self.emit_span(EventKind::Barrier, t0);
         self.note_collective("barrier", self.collective_algo().label(), t0);
+        Ok(())
     }
 }
 
@@ -450,11 +481,11 @@ mod tests {
     fn reduce_max_min_prod() {
         let res = run_spmd(&meiko_cs2(), 5, |c| {
             let x = c.rank() as f64 + 1.0;
-            (
-                c.allreduce_scalar(x, ReduceOp::Max),
-                c.allreduce_scalar(x, ReduceOp::Min),
-                c.allreduce_scalar(x, ReduceOp::Prod),
-            )
+            Ok((
+                c.allreduce_scalar(x, ReduceOp::Max)?,
+                c.allreduce_scalar(x, ReduceOp::Min)?,
+                c.allreduce_scalar(x, ReduceOp::Prod)?,
+            ))
         });
         for r in &res {
             assert_eq!(r.value.0, 5.0);
@@ -481,9 +512,9 @@ mod tests {
         for p in [1usize, 3, 8, 16] {
             let res = run_spmd(&meiko_cs2(), p, |c| {
                 let mine = vec![c.rank() as f64 + 1.0];
-                let lin = c.allreduce_with(&mine, ReduceOp::Sum, CollectiveAlgo::Linear);
-                let tree = c.allreduce_with(&mine, ReduceOp::Sum, CollectiveAlgo::Tree);
-                (lin, tree)
+                let lin = c.allreduce_with(&mine, ReduceOp::Sum, CollectiveAlgo::Linear)?;
+                let tree = c.allreduce_with(&mine, ReduceOp::Sum, CollectiveAlgo::Tree)?;
+                Ok((lin, tree))
             });
             for r in &res {
                 // Values agree to FP-reassociation tolerance.
@@ -502,7 +533,8 @@ mod tests {
         let res = run_spmd_with(&meiko_cs2(), 4, opts, |c| {
             assert_eq!(c.collective_algo(), CollectiveAlgo::Linear);
             c.allreduce_scalar(c.rank() as f64, ReduceOp::Sum)
-        });
+        })
+        .unwrap();
         for r in &res {
             assert_eq!(r.value, 6.0);
         }
@@ -551,8 +583,8 @@ mod tests {
             if c.rank() == 2 {
                 c.compute(1e7); // one slow rank
             }
-            c.barrier();
-            c.clock()
+            c.barrier()?;
+            Ok(c.clock())
         });
         let slowest = 1e7 / 25e6;
         for r in &res {
@@ -570,9 +602,9 @@ mod tests {
         // Modeled broadcast time should grow ~log p, not ~p.
         let time_at = |p: usize| {
             let res = run_spmd(&meiko_cs2(), p, |c| {
-                let v = c.broadcast(0, &[1.0]);
+                let v = c.broadcast(0, &[1.0])?;
                 let _ = v;
-                c.clock()
+                Ok(c.clock())
             });
             res.iter().map(|r| r.clock).fold(0.0, f64::max)
         };
@@ -587,9 +619,9 @@ mod tests {
         let time = |algo: CollectiveAlgo| {
             let res = run_spmd(&meiko_cs2(), 16, move |c| {
                 for _ in 0..10 {
-                    c.broadcast_with(0, &[1.0], algo);
+                    c.broadcast_with(0, &[1.0], algo)?;
                 }
-                c.clock()
+                Ok(c.clock())
             });
             res.iter().map(|r| r.clock).fold(0.0, f64::max)
         };
@@ -607,15 +639,15 @@ mod tests {
         // Ethernet; modeled time should far exceed the SMP's.
         let cluster_t = {
             let res = run_spmd(&sparc20_cluster(), 16, |c| {
-                c.broadcast(0, &vec![0.0; 1024]);
-                c.clock()
+                c.broadcast(0, &vec![0.0; 1024])?;
+                Ok(c.clock())
             });
             res.iter().map(|r| r.clock).fold(0.0, f64::max)
         };
         let smp_t = {
             let res = run_spmd(&enterprise_smp(), 8, |c| {
-                c.broadcast(0, &vec![0.0; 1024]);
-                c.clock()
+                c.broadcast(0, &vec![0.0; 1024])?;
+                Ok(c.clock())
             });
             res.iter().map(|r| r.clock).fold(0.0, f64::max)
         };
@@ -625,13 +657,35 @@ mod tests {
     #[test]
     fn empty_payload_collectives_work() {
         let res = run_spmd(&meiko_cs2(), 3, |c| {
-            let b = c.broadcast(0, &[]);
-            let r = c.allreduce(&[], ReduceOp::Sum);
-            (b.len(), r.len())
+            let b = c.broadcast(0, &[])?;
+            let r = c.allreduce(&[], ReduceOp::Sum)?;
+            Ok((b.len(), r.len()))
         });
         for r in &res {
             assert_eq!(r.value, (0, 0));
         }
+    }
+
+    #[test]
+    fn out_of_range_root_is_one_message_format() {
+        let res = run_spmd_with(&meiko_cs2(), 2, SpmdOptions::default(), |c| {
+            if c.rank() == 0 {
+                c.broadcast(9, &[1.0])?;
+            }
+            Ok(())
+        });
+        let failure = res.unwrap_err();
+        let f0 = failure
+            .report
+            .failures
+            .iter()
+            .find(|f| f.rank == 0)
+            .unwrap();
+        assert_eq!(f0.error.code(), "rank_out_of_range");
+        assert_eq!(
+            f0.error.to_string(),
+            "rank 0: broadcast root rank 9 out of range 0..2"
+        );
     }
 
     #[test]

@@ -1,17 +1,33 @@
 //! Per-rank communication endpoints with virtual-time accounting.
 
 use crate::collectives::CollectiveAlgo;
+use crate::error::CommError;
+use crate::fault::{FaultState, SendDisposition};
+use crate::state::{JobState, RankState};
 use otter_machine::Machine;
 use otter_metrics::MetricsRegistry;
 use otter_trace::{EventKind, TraceEvent, TraceSink};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How long a blocking receive waits before concluding the SPMD
-/// program has deadlocked (a bug in generated code or a mismatched
-/// collective). Generous enough for debug-mode tests.
-const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+/// How often a blocked receive wakes up to consult the wait-for
+/// registry. Short enough that a deadlock diagnosis lands in tens of
+/// milliseconds; a receive whose message is already buffered never
+/// waits at all.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// How long a wait-for snapshot must hold before a cycle counts as a
+/// confirmed deadlock. Longer than one poll interval, so a peer that
+/// really did send to us (and whose packet is racing in) invalidates
+/// the snapshot by consuming-side epoch bumps before we conclude.
+const CONFIRM_WINDOW: Duration = Duration::from_millis(60);
+
+/// Hard fallback for a receive whose peer is still running but never
+/// sends (e.g. spinning in modeled compute). No cycle to diagnose, so
+/// this is the only case that still needs a timeout — far rarer and
+/// still half the old blanket 60s.
+const HARD_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// One message: a vector of doubles stamped with the sender's virtual
 /// clock at completion of the send.
@@ -72,9 +88,18 @@ pub struct Comm {
     /// Per-rank metric registry; `None` when metrics are off (the
     /// zero-cost default — every record site is behind this branch).
     metrics: Option<Box<MetricsRegistry>>,
+    /// Wait-for registry shared by every rank of the job; blocked
+    /// receives publish their state here so peers can diagnose
+    /// deadlocks from a snapshot instead of a blanket timeout.
+    job: Arc<JobState>,
+    /// Fault-injection bookkeeping; `None` unless the job's
+    /// `FaultPlan` targets this rank, so the healthy path is one
+    /// branch per op.
+    faults: Option<Box<FaultState>>,
 }
 
 impl Comm {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         size: usize,
@@ -83,6 +108,7 @@ impl Comm {
         receivers: Vec<Receiver<Packet>>,
         opts: &crate::runner::SpmdOptions,
         sink: Arc<dyn TraceSink>,
+        job: Arc<JobState>,
     ) -> Self {
         debug_assert_eq!(senders.len(), size);
         debug_assert_eq!(receivers.len(), size);
@@ -101,6 +127,11 @@ impl Comm {
             send_seq: vec![0; if tracing { size } else { 0 }],
             recv_seq: vec![0; if tracing { size } else { 0 }],
             metrics: opts.metrics.then(|| Box::new(MetricsRegistry::new())),
+            job,
+            faults: opts
+                .faults
+                .as_ref()
+                .and_then(|plan| FaultState::for_rank(plan, rank, size)),
         }
     }
 
@@ -171,6 +202,11 @@ impl Comm {
         self.metrics.take()
     }
 
+    /// The shared job state (runner-internal).
+    pub(crate) fn job(&self) -> &Arc<JobState> {
+        &self.job
+    }
+
     /// Record one finished collective: an invocation counter labeled
     /// by collective and schedule, plus a duration histogram.
     pub(crate) fn note_collective(&mut self, name: &'static str, algo: &'static str, t0: f64) {
@@ -225,6 +261,55 @@ impl Comm {
         }
     }
 
+    /// One message-target validity check, shared by send and recv so
+    /// the two report identically-formatted errors.
+    fn check_peer(&self, target: usize, op: &'static str) -> Result<(), CommError> {
+        if target >= self.size {
+            return Err(CommError::RankOutOfRange {
+                rank: self.rank,
+                op,
+                target,
+                size: self.size,
+            });
+        }
+        if target == self.rank {
+            return Err(CommError::SelfMessage {
+                rank: self.rank,
+                op,
+                target,
+            });
+        }
+        Ok(())
+    }
+
+    /// Root validity check for the collectives (a root may be this
+    /// rank, so only the range applies).
+    pub(crate) fn check_root(&self, root: usize, op: &'static str) -> Result<(), CommError> {
+        if root >= self.size {
+            return Err(CommError::RankOutOfRange {
+                rank: self.rank,
+                op,
+                target: root,
+                size: self.size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Count one comm op against the fault plan; `Err` kills the rank
+    /// here, before the op touches the wire.
+    fn fault_op(&mut self) -> Result<(), CommError> {
+        if let Some(f) = self.faults.as_deref_mut() {
+            if f.note_op() {
+                return Err(CommError::InjectedCrash {
+                    rank: self.rank,
+                    op_index: f.ops,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Blocking send of `data` to `to`.
     ///
     /// The sender is occupied for the full modeled transfer
@@ -233,13 +318,14 @@ impl Comm {
     /// the caller knows share the fabric in this phase (collectives
     /// pass their stage width; point-to-point passes 1) — it feeds the
     /// aggregate-bandwidth ceiling of bus/Ethernet fabrics.
-    pub fn send_concurrent(&mut self, to: usize, data: &[f64], concurrent: usize) {
-        assert!(
-            to < self.size,
-            "send to rank {to} out of range 0..{}",
-            self.size
-        );
-        assert_ne!(to, self.rank, "rank {} sending to itself", self.rank);
+    pub fn send_concurrent(
+        &mut self,
+        to: usize,
+        data: &[f64],
+        concurrent: usize,
+    ) -> Result<(), CommError> {
+        self.check_peer(to, "send to")?;
+        self.fault_op()?;
         let bytes = data.len() * 8;
         let dt = self.machine.message_time(self.rank, to, bytes, concurrent);
         self.clock += dt;
@@ -264,17 +350,102 @@ impl Comm {
             m.observe("message_bytes", &[], bytes as f64);
             m.observe("send_seconds", &[], dt);
         }
+        let mut send_clock = self.clock;
+        if let Some(f) = self.faults.as_deref_mut() {
+            match f.outgoing(to) {
+                SendDisposition::Deliver => {}
+                // The sender believes the send succeeded: time and
+                // stats are charged, the packet just never arrives.
+                SendDisposition::Drop => return Ok(()),
+                SendDisposition::Delay(s) => send_clock += s,
+            }
+        }
         self.senders[to]
             .send(Packet {
                 data: data.to_vec(),
-                send_clock: self.clock,
+                send_clock,
             })
-            .expect("peer rank hung up mid-program");
+            .map_err(|_| CommError::PeerTerminated {
+                rank: self.rank,
+                peer: to,
+            })
     }
 
     /// Blocking send with no known fabric sharing.
-    pub fn send(&mut self, to: usize, data: &[f64]) {
-        self.send_concurrent(to, data, 1);
+    pub fn send(&mut self, to: usize, data: &[f64]) -> Result<(), CommError> {
+        self.send_concurrent(to, data, 1)
+    }
+
+    /// Block until the next packet from `from` is available,
+    /// publishing the blocked state to the wait-for registry and
+    /// consulting it on every poll so deadlocks and dead peers are
+    /// diagnosed in tens of milliseconds.
+    fn recv_packet(&mut self, from: usize) -> Result<Packet, CommError> {
+        // Fast path: already buffered — never touches the registry.
+        if let Ok(p) = self.receivers[from].try_recv() {
+            return Ok(p);
+        }
+        self.job.set_waiting(self.rank, from);
+        let blocked_at = Instant::now();
+        let result = loop {
+            match self.receivers[from].recv_timeout(POLL_INTERVAL) {
+                Ok(p) => break Ok(p),
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The peer's endpoint is gone: it finished, failed,
+                    // or panicked without serving us. A deadlock
+                    // verdict posted while we slept takes precedence.
+                    break Err(self.job.take_verdict(self.rank).unwrap_or(
+                        CommError::PeerTerminated {
+                            rank: self.rank,
+                            peer: from,
+                        },
+                    ));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(v) = self.job.take_verdict(self.rank) {
+                        match self.receivers[from].try_recv() {
+                            Ok(p) => break Ok(p), // verdict lost the race
+                            Err(_) => break Err(v),
+                        }
+                    }
+                    match self.job.state_of(from) {
+                        RankState::Finished | RankState::Failed => {
+                            // Final drain: the peer may have sent just
+                            // before ending.
+                            match self.receivers[from].try_recv() {
+                                Ok(p) => break Ok(p),
+                                Err(_) => {
+                                    break Err(CommError::PeerTerminated {
+                                        rank: self.rank,
+                                        peer: from,
+                                    })
+                                }
+                            }
+                        }
+                        RankState::WaitingOn(_) => {
+                            if let Some(err) =
+                                self.job.diagnose_deadlock(self.rank, from, CONFIRM_WINDOW)
+                            {
+                                match self.receivers[from].try_recv() {
+                                    Ok(p) => break Ok(p),
+                                    Err(_) => break Err(err),
+                                }
+                            }
+                        }
+                        RankState::Running => {}
+                    }
+                    if blocked_at.elapsed() >= HARD_STALL_TIMEOUT {
+                        break Err(CommError::Stalled {
+                            rank: self.rank,
+                            waiting_on: from,
+                            seconds: HARD_STALL_TIMEOUT.as_secs(),
+                        });
+                    }
+                }
+            }
+        };
+        self.job.set_running(self.rank);
+        result
     }
 
     /// Blocking receive of the next message from `from`.
@@ -282,26 +453,10 @@ impl Comm {
     /// Virtual time: the message is available at the sender's
     /// post-transfer clock; the receiver waits if it got here early
     /// and proceeds immediately if the message was already buffered.
-    pub fn recv(&mut self, from: usize) -> Vec<f64> {
-        assert!(
-            from < self.size,
-            "recv from rank {from} out of range 0..{}",
-            self.size
-        );
-        assert_ne!(from, self.rank, "rank {} receiving from itself", self.rank);
-        let pkt = match self.receivers[from].recv_timeout(DEADLOCK_TIMEOUT) {
-            Ok(p) => p,
-            Err(RecvTimeoutError::Timeout) => panic!(
-                "rank {} deadlocked waiting for a message from rank {from}",
-                self.rank
-            ),
-            Err(RecvTimeoutError::Disconnected) => {
-                panic!(
-                    "rank {from} terminated while rank {} awaited its message",
-                    self.rank
-                )
-            }
-        };
+    pub fn recv(&mut self, from: usize) -> Result<Vec<f64>, CommError> {
+        self.check_peer(from, "recv from")?;
+        self.fault_op()?;
+        let pkt = self.recv_packet(from)?;
         let entered_at = self.clock;
         if pkt.send_clock > self.clock {
             self.stats.wait_time += pkt.send_clock - self.clock;
@@ -322,24 +477,26 @@ impl Comm {
                 entered_at,
             );
         }
-        pkt.data
+        Ok(pkt.data)
     }
 
     /// Send a single scalar.
-    pub fn send_scalar(&mut self, to: usize, v: f64) {
-        self.send(to, &[v]);
+    pub fn send_scalar(&mut self, to: usize, v: f64) -> Result<(), CommError> {
+        self.send(to, &[v])
     }
 
     /// Receive a single scalar.
-    pub fn recv_scalar(&mut self, from: usize) -> f64 {
-        let d = self.recv(from);
-        assert_eq!(
-            d.len(),
-            1,
-            "expected scalar message, got {} elements",
-            d.len()
-        );
-        d[0]
+    pub fn recv_scalar(&mut self, from: usize) -> Result<f64, CommError> {
+        let d = self.recv(from)?;
+        if d.len() != 1 {
+            return Err(CommError::PayloadMismatch {
+                rank: self.rank,
+                from,
+                expected: 1,
+                got: d.len(),
+            });
+        }
+        Ok(d[0])
     }
 }
 
@@ -354,13 +511,13 @@ mod tests {
     fn ping_pong_delivers_data() {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             if c.rank() == 0 {
-                c.send(1, &[1.0, 2.0, 3.0]);
+                c.send(1, &[1.0, 2.0, 3.0])?;
                 c.recv(1)
             } else {
-                let v = c.recv(0);
+                let v = c.recv(0)?;
                 let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
-                c.send(0, &doubled);
-                doubled
+                c.send(0, &doubled)?;
+                Ok(doubled)
             }
         });
         assert_eq!(res[0].value, vec![2.0, 4.0, 6.0]);
@@ -370,11 +527,11 @@ mod tests {
     fn virtual_clock_advances_on_messages() {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             if c.rank() == 0 {
-                c.send(1, &vec![0.0; 1000]);
+                c.send(1, &vec![0.0; 1000])?;
             } else {
-                c.recv(0);
+                c.recv(0)?;
             }
-            c.clock()
+            Ok(c.clock())
         });
         let m = meiko_cs2();
         let expect = m.message_time(0, 1, 8000, 1);
@@ -388,12 +545,11 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             if c.rank() == 0 {
                 c.compute(1e6); // sender is busy first
-                c.send(1, &[42.0]);
-                c.clock()
+                c.send(1, &[42.0])?;
             } else {
-                c.recv(0);
-                c.clock()
+                c.recv(0)?;
             }
+            Ok(c.clock())
         });
         // Receiver's clock must include the sender's compute phase.
         assert!(res[1].value >= res[0].value * 0.99);
@@ -403,13 +559,13 @@ mod tests {
     fn early_receiver_does_not_double_charge() {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             if c.rank() == 0 {
-                c.send(1, &[1.0]);
-                0.0
+                c.send(1, &[1.0])?;
+                Ok(0.0)
             } else {
                 c.compute(1e7); // receiver is the late one
                 let before = c.clock();
-                c.recv(0);
-                c.clock() - before
+                c.recv(0)?;
+                Ok(c.clock() - before)
             }
         });
         // Message was already there: no extra virtual wait.
@@ -420,7 +576,7 @@ mod tests {
     fn compute_charges_flop_time() {
         let res = run_spmd(&meiko_cs2(), 1, |c| {
             c.compute(25e6);
-            c.clock()
+            Ok(c.clock())
         });
         assert!(
             (res[0].value - 1.0).abs() < 1e-9,
@@ -432,13 +588,13 @@ mod tests {
     fn stats_count_messages_and_bytes() {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             if c.rank() == 0 {
-                c.send(1, &[1.0, 2.0]);
-                c.send(1, &[3.0]);
+                c.send(1, &[1.0, 2.0])?;
+                c.send(1, &[3.0])?;
             } else {
-                c.recv(0);
-                c.recv(0);
+                c.recv(0)?;
+                c.recv(0)?;
             }
-            c.stats()
+            Ok(c.stats())
         });
         assert_eq!(res[0].value.messages_sent, 2);
         assert_eq!(res[0].value.bytes_sent, 24);
@@ -450,11 +606,11 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             if c.rank() == 0 {
                 c.compute(1e6);
-                c.send(1, &vec![0.0; 1000]);
+                c.send(1, &vec![0.0; 1000])?;
             } else {
-                c.recv(0); // arrives early, waits for the busy sender
+                c.recv(0)?; // arrives early, waits for the busy sender
             }
-            c.stats()
+            Ok(c.stats())
         });
         let s0 = res[0].value;
         let s1 = res[1].value;
@@ -474,11 +630,11 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             if c.rank() == 0 {
                 for i in 0..100 {
-                    c.send_scalar(1, i as f64);
+                    c.send_scalar(1, i as f64)?;
                 }
-                vec![]
+                Ok(vec![])
             } else {
-                (0..100).map(|_| c.recv_scalar(0)).collect::<Vec<_>>()
+                (0..100).map(|_| c.recv_scalar(0)).collect()
             }
         });
         let got = &res[1].value;
@@ -490,17 +646,17 @@ mod tests {
         let m = sparc20_cluster();
         let res = run_spmd(&m, 8, |c| {
             match c.rank() {
-                0 => c.send(1, &vec![0.0; 4096]), // intra-node
+                0 => c.send(1, &vec![0.0; 4096])?, // intra-node
                 1 => {
-                    c.recv(0);
+                    c.recv(0)?;
                 }
-                2 => c.send(6, &vec![0.0; 4096]), // inter-node
+                2 => c.send(6, &vec![0.0; 4096])?, // inter-node
                 6 => {
-                    c.recv(2);
+                    c.recv(2)?;
                 }
                 _ => {}
             }
-            c.clock()
+            Ok(c.clock())
         });
         assert!(
             res[2].value > 20.0 * res[0].value,
@@ -520,12 +676,13 @@ mod tests {
         let res = run_spmd_with(&meiko_cs2(), 2, opts, |c| {
             if c.rank() == 0 {
                 c.compute(1e6);
-                c.send(1, &[1.0, 2.0]);
+                c.send(1, &[1.0, 2.0])?;
             } else {
-                c.recv(0);
+                c.recv(0)?;
             }
-            c.stats()
-        });
+            Ok(c.stats())
+        })
+        .unwrap();
         let events = sink.snapshot().unwrap();
         let sends: Vec<_> = events
             .iter()
@@ -561,11 +718,11 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             assert!(!c.trace_enabled());
             if c.rank() == 0 {
-                c.send(1, &[1.0]);
+                c.send(1, &[1.0])?;
             } else {
-                c.recv(0);
+                c.recv(0)?;
             }
-            c.clock()
+            Ok(c.clock())
         });
         assert!(res[0].value > 0.0);
         assert!(sink.is_empty());
@@ -574,8 +731,36 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn send_out_of_range_panics() {
-        run_spmd(&meiko_cs2(), 1, |c| {
-            c.send(5, &[1.0]);
+        run_spmd(&meiko_cs2(), 1, |c| c.send(5, &[1.0]));
+    }
+
+    #[test]
+    fn self_message_is_a_typed_error() {
+        let res = run_spmd_with(&meiko_cs2(), 1, SpmdOptions::default(), |c| c.recv(0));
+        let failure = res.unwrap_err();
+        let e = &failure.report.failures[0].error;
+        assert_eq!(e.code(), "self_message");
+        assert!(e.to_string().contains("self-message"), "{e}");
+    }
+
+    #[test]
+    fn scalar_payload_mismatch_is_typed() {
+        let res = run_spmd_with(&meiko_cs2(), 2, SpmdOptions::default(), |c| {
+            if c.rank() == 0 {
+                c.send(1, &[1.0, 2.0])?;
+                Ok(0.0)
+            } else {
+                c.recv_scalar(0)
+            }
         });
+        let failure = res.unwrap_err();
+        let f = failure
+            .report
+            .failures
+            .iter()
+            .find(|f| f.rank == 1)
+            .unwrap();
+        assert_eq!(f.error.code(), "payload_mismatch");
+        assert!(f.error.to_string().contains("expected 1"), "{}", f.error);
     }
 }

@@ -1,0 +1,239 @@
+//! Seeded, deterministic fault injection for SPMD jobs.
+//!
+//! A [`FaultPlan`] attached to `SpmdOptions` perturbs the job at
+//! specific communication operations: drop the n-th message on an
+//! edge, delay it by virtual seconds, or kill a rank outright at its
+//! k-th comm op. Plans are data, not callbacks, so a seeded plan
+//! reproduces the same failure on every run — the whole point of the
+//! subsystem is turning "the job hung on the Meiko again" into a
+//! replayable test case.
+//!
+//! When no plan is set the per-op cost is a single `Option` branch and
+//! job output is byte-identical to a build without this module.
+
+/// One deterministic perturbation of the job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Silently drop the `nth` (0-based) message sent on the edge
+    /// `from → to`. The sender is charged the full transfer as usual
+    /// (it believes the send succeeded); the receiver never sees the
+    /// message, which the deadlock detector then diagnoses.
+    Drop { from: usize, to: usize, nth: u64 },
+    /// Delay the `nth` (0-based) message on `from → to` by `seconds`
+    /// virtual seconds: the packet's availability clock is pushed
+    /// back, modeling a slow or retransmitted link.
+    Delay {
+        from: usize,
+        to: usize,
+        nth: u64,
+        seconds: f64,
+    },
+    /// Kill rank `rank` at its `at_op`-th (1-based) communication
+    /// operation: the op returns `CommError::InjectedCrash` before
+    /// touching the wire.
+    Crash { rank: usize, at_op: u64 },
+}
+
+/// A deterministic schedule of [`FaultAction`]s for one job.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    pub actions: Vec<FaultAction>,
+    /// The seed this plan was derived from, if any; carried for
+    /// reporting so a failing CI run names its reproducer.
+    pub seed: Option<u64>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder: drop the `nth` message on `from → to`.
+    pub fn drop_message(mut self, from: usize, to: usize, nth: u64) -> Self {
+        self.actions.push(FaultAction::Drop { from, to, nth });
+        self
+    }
+
+    /// Builder: delay the `nth` message on `from → to` by `seconds`
+    /// virtual seconds.
+    pub fn delay_message(mut self, from: usize, to: usize, nth: u64, seconds: f64) -> Self {
+        self.actions.push(FaultAction::Delay {
+            from,
+            to,
+            nth,
+            seconds,
+        });
+        self
+    }
+
+    /// Builder: crash `rank` at its `at_op`-th (1-based) comm op.
+    pub fn crash(mut self, rank: usize, at_op: u64) -> Self {
+        self.actions.push(FaultAction::Crash { rank, at_op });
+        self
+    }
+
+    /// Derive a single-fault plan from a seed for a `p`-rank job:
+    /// even seeds crash a rank early in the program, odd seeds drop a
+    /// message on a pseudo-random edge. Same seed + same `p` → same
+    /// plan, so CI failures quote their reproducer as `seed=N`.
+    pub fn seeded(seed: u64, p: usize) -> Self {
+        let mut s = seed;
+        let r1 = splitmix64(&mut s);
+        let r2 = splitmix64(&mut s);
+        let r3 = splitmix64(&mut s);
+        let p = p.max(2) as u64;
+        let mut plan = if seed.is_multiple_of(2) {
+            FaultPlan::new().crash((r1 % p) as usize, 1 + r2 % 4)
+        } else {
+            let from = r1 % p;
+            let to = (from + 1 + r2 % (p - 1)) % p;
+            FaultPlan::new().drop_message(from as usize, to as usize, r3 % 2)
+        };
+        plan.seed = Some(seed);
+        plan
+    }
+
+    /// Does any action in this plan involve `rank` as the acting side
+    /// (crash victim or sender of a dropped/delayed message)?
+    pub(crate) fn touches(&self, rank: usize) -> bool {
+        self.actions.iter().any(|a| match *a {
+            FaultAction::Drop { from, .. } | FaultAction::Delay { from, .. } => from == rank,
+            FaultAction::Crash { rank: r, .. } => r == rank,
+        })
+    }
+}
+
+/// `splitmix64`: the standard 64-bit mixer; tiny, seedable, and good
+/// enough for picking fault sites (this is not cryptography).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-rank fault bookkeeping, built once at launch for ranks the
+/// plan touches. Boxed behind an `Option` in `Comm` so the no-plan
+/// path costs one branch per op.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    /// Comm ops this rank has executed (sends + recvs, 1-based after
+    /// increment).
+    pub ops: u64,
+    /// First crash op for this rank, if any.
+    pub crash_at: Option<u64>,
+    /// Send perturbations: `(to, nth, what)`.
+    edge_faults: Vec<(usize, u64, EdgeFault)>,
+    /// Messages sent so far per destination.
+    sent: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EdgeFault {
+    Drop,
+    Delay(f64),
+}
+
+/// What a fault-checked send should do with the outgoing packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum SendDisposition {
+    Deliver,
+    Drop,
+    Delay(f64),
+}
+
+impl FaultState {
+    pub fn for_rank(plan: &FaultPlan, rank: usize, size: usize) -> Option<Box<FaultState>> {
+        if !plan.touches(rank) {
+            return None;
+        }
+        let mut st = FaultState {
+            ops: 0,
+            crash_at: None,
+            edge_faults: Vec::new(),
+            sent: vec![0; size],
+        };
+        for a in &plan.actions {
+            match *a {
+                FaultAction::Crash { rank: r, at_op } if r == rank => {
+                    st.crash_at = Some(st.crash_at.map_or(at_op, |c: u64| c.min(at_op)));
+                }
+                FaultAction::Drop { from, to, nth } if from == rank => {
+                    st.edge_faults.push((to, nth, EdgeFault::Drop));
+                }
+                FaultAction::Delay {
+                    from,
+                    to,
+                    nth,
+                    seconds,
+                } if from == rank => {
+                    st.edge_faults.push((to, nth, EdgeFault::Delay(seconds)));
+                }
+                _ => {}
+            }
+        }
+        Some(Box::new(st))
+    }
+
+    /// Count one comm op; `true` means the plan kills the rank here.
+    pub fn note_op(&mut self) -> bool {
+        self.ops += 1;
+        self.crash_at == Some(self.ops)
+    }
+
+    /// Count one outgoing message to `to` and decide its fate.
+    pub fn outgoing(&mut self, to: usize) -> SendDisposition {
+        let seq = self.sent[to];
+        self.sent[to] += 1;
+        for &(t, nth, what) in &self.edge_faults {
+            if t == to && nth == seq {
+                return match what {
+                    EdgeFault::Drop => SendDisposition::Drop,
+                    EdgeFault::Delay(s) => SendDisposition::Delay(s),
+                };
+            }
+        }
+        SendDisposition::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_in_range() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded(seed, 8);
+            let b = FaultPlan::seeded(seed, 8);
+            assert_eq!(a, b);
+            assert_eq!(a.seed, Some(seed));
+            assert_eq!(a.actions.len(), 1);
+            match a.actions[0] {
+                FaultAction::Crash { rank, at_op } => {
+                    assert!(seed % 2 == 0);
+                    assert!(rank < 8 && (1..=4).contains(&at_op));
+                }
+                FaultAction::Drop { from, to, nth } => {
+                    assert!(seed % 2 == 1);
+                    assert!(from < 8 && to < 8 && from != to && nth < 2);
+                }
+                FaultAction::Delay { .. } => panic!("seeded plans never delay"),
+            }
+        }
+    }
+
+    #[test]
+    fn fault_state_tracks_per_edge_sequence() {
+        let plan = FaultPlan::new().drop_message(0, 1, 1).crash(0, 3);
+        let mut st = FaultState::for_rank(&plan, 0, 2).unwrap();
+        assert_eq!(st.outgoing(1), SendDisposition::Deliver); // msg 0
+        assert_eq!(st.outgoing(1), SendDisposition::Drop); // msg 1
+        assert_eq!(st.outgoing(1), SendDisposition::Deliver);
+        assert!(!st.note_op());
+        assert!(!st.note_op());
+        assert!(st.note_op()); // third op crashes
+        assert!(FaultState::for_rank(&plan, 1, 2).is_none());
+    }
+}

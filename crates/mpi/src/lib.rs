@@ -16,22 +16,39 @@
 //! (Meiko CS-2, SPARC-20 Ethernet cluster, Enterprise SMP) while still
 //! computing real answers.
 //!
+//! Failures are data, not panics: every fallible operation returns a
+//! typed [`CommError`], blocked receives publish themselves into a
+//! shared wait-for registry so deadlocks are *diagnosed* (with the
+//! full cycle) instead of timed out, and [`run_spmd_with`] returns a
+//! [`JobResult`] whose error carries a per-rank [`FailureReport`]
+//! plus the surviving ranks' complete results. A seeded [`FaultPlan`]
+//! in [`SpmdOptions`] deterministically drops, delays, or crashes to
+//! exercise those paths end-to-end.
+//!
 //! ```
 //! use otter_mpi::{run_spmd, ReduceOp};
 //! use otter_machine::meiko_cs2;
 //!
 //! let results = run_spmd(&meiko_cs2(), 4, |comm| {
 //!     let mine = vec![comm.rank() as f64 + 1.0];
-//!     let total = comm.allreduce(&mine, ReduceOp::Sum);
-//!     total[0]
+//!     let total = comm.allreduce(&mine, ReduceOp::Sum)?;
+//!     Ok(total[0])
 //! });
 //! assert!(results.iter().all(|r| r.value == 10.0));
 //! ```
 
 pub mod collectives;
 pub mod comm;
+pub mod error;
+pub mod fault;
 pub mod runner;
+mod state;
 
 pub use collectives::{CollectiveAlgo, ReduceOp};
 pub use comm::{Comm, CommStats};
-pub use runner::{job_time, run_spmd, run_spmd_with, RankResult, SpmdOptions};
+pub use error::{CommError, WaitEdge};
+pub use fault::{FaultAction, FaultPlan};
+pub use runner::{
+    job_time, run_spmd, run_spmd_with, FailureReport, JobFailure, JobResult, RankFailure,
+    RankResult, SpmdOptions,
+};

@@ -1,11 +1,16 @@
 //! SPMD job launcher: builds the channel mesh and runs one closure per
-//! rank on its own OS thread.
+//! rank on its own OS thread, collecting either every rank's result or
+//! a structured per-rank failure report.
 
 use crate::collectives::CollectiveAlgo;
 use crate::comm::{Comm, Packet};
+use crate::error::CommError;
+use crate::fault::FaultPlan;
+use crate::state::JobState;
 use otter_machine::Machine;
 use otter_metrics::MetricsSnapshot;
 use otter_trace::{NoopSink, TraceSink};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -34,35 +39,188 @@ pub struct SpmdOptions {
     /// [`RankResult::metrics`] when the rank finishes. Off by default:
     /// the disabled path never constructs a registry or a key.
     pub metrics: bool,
+    /// Deterministic fault-injection schedule; `None` (the default)
+    /// costs one branch per comm op and perturbs nothing.
+    pub faults: Option<FaultPlan>,
 }
 
+/// How one rank failed, with the partial state it had accumulated.
+#[derive(Debug, Clone)]
+pub struct RankFailure {
+    pub rank: usize,
+    pub error: CommError,
+    /// Ranks that were blocked waiting on this rank when the job
+    /// ended (the inverted wait-for snapshot: "who was stuck on the
+    /// dead rank").
+    pub blocked_peers: Vec<usize>,
+    /// Virtual clock when the rank failed.
+    pub clock: f64,
+    /// Counters up to the failure point.
+    pub stats: crate::comm::CommStats,
+    /// Partial metric registry, when metrics were on.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// The value-erased portion of a job failure: which ranks failed and
+/// why. Engines propagate this upward without knowing the rank return
+/// type.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// Total ranks in the job.
+    pub size: usize,
+    /// Every failed rank, ordered by rank id.
+    pub failures: Vec<RankFailure>,
+    /// Ranks that completed the program.
+    pub survivor_ranks: Vec<usize>,
+}
+
+impl FailureReport {
+    /// The failed rank with the lowest id whose failure is primary
+    /// (not a reaction to another rank's death), falling back to the
+    /// first failure. "Primary" means anything that is not
+    /// peer-terminated: a crash, a panic, a typed misuse, a deadlock.
+    pub fn root_cause(&self) -> &RankFailure {
+        self.failures
+            .iter()
+            .find(|f| !matches!(f.error, CommError::PeerTerminated { .. }))
+            .unwrap_or(&self.failures[0])
+    }
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "SPMD job failed: {} of {} rank(s)",
+            self.failures.len(),
+            self.size
+        )?;
+        for rf in &self.failures {
+            write!(f, "  rank {}: {}", rf.rank, rf.error)?;
+            if !rf.blocked_peers.is_empty() {
+                write!(f, " [blocked peers:")?;
+                for p in &rf.blocked_peers {
+                    write!(f, " {p}")?;
+                }
+                write!(f, "]")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "  survivors: {:?}", self.survivor_ranks)
+    }
+}
+
+/// A failed SPMD job: the report plus everything the surviving ranks
+/// produced (full results, stats, and metrics — traces live in the
+/// caller's sink and are already complete up to the failure).
+#[derive(Debug)]
+pub struct JobFailure<R> {
+    pub report: FailureReport,
+    /// Results of the ranks that completed the program, ordered by
+    /// rank id.
+    pub survivors: Vec<RankResult<R>>,
+}
+
+impl<R> std::fmt::Display for JobFailure<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.report.fmt(f)
+    }
+}
+
+impl<R: std::fmt::Debug> std::error::Error for JobFailure<R> {}
+
+/// What a launched job yields: every rank's result, or the failure
+/// report with the survivors' partial output.
+pub type JobResult<R> = Result<Vec<RankResult<R>>, JobFailure<R>>;
+
 /// Run `body` on `p` ranks over the given machine model with default
-/// options (tree collectives, no tracing); results ordered by rank.
+/// options (tree collectives, no tracing, no faults); results ordered
+/// by rank.
 ///
 /// The modeled parallel execution time of the job is the maximum final
 /// clock over ranks — loosely synchronous SPMD programs end when their
 /// slowest rank does.
 ///
-/// Panics in any rank propagate (the whole job aborts), matching
-/// `MPI_Abort` semantics closely enough for test purposes.
+/// Any rank failure (a returned [`CommError`] or a panic in `body`)
+/// aborts the whole job with a panic carrying the formatted
+/// [`FailureReport`], matching `MPI_Abort` semantics closely enough
+/// for test purposes. Callers that want the report as data use
+/// [`run_spmd_with`].
 pub fn run_spmd<R, F>(machine: &Machine, p: usize, body: F) -> Vec<RankResult<R>>
 where
     R: Send,
-    F: Fn(&mut Comm) -> R + Sync,
+    F: Fn(&mut Comm) -> Result<R, CommError> + Sync,
 {
-    run_spmd_with(machine, p, SpmdOptions::default(), body)
+    match run_spmd_with(machine, p, SpmdOptions::default(), body) {
+        Ok(results) => results,
+        Err(failure) => panic!("{}", failure.report),
+    }
 }
 
-/// [`run_spmd`] with explicit [`SpmdOptions`].
-pub fn run_spmd_with<R, F>(
-    machine: &Machine,
-    p: usize,
-    opts: SpmdOptions,
-    body: F,
-) -> Vec<RankResult<R>>
+/// One rank's raw outcome, before job-level assembly.
+enum RankOutcome<R> {
+    Ok(RankResult<R>),
+    Failed(RankFailure),
+}
+
+/// Run one rank to completion: the body's panics are caught at this
+/// boundary and converted into [`CommError::Panicked`], and the
+/// rank's final state is published to the wait-for registry before
+/// its channel endpoints drop.
+fn run_rank<R, F>(mut comm: Comm, body: &F) -> RankOutcome<R>
+where
+    F: Fn(&mut Comm) -> Result<R, CommError>,
+{
+    let rank = comm.rank();
+    let job = Arc::clone(comm.job());
+    let result = match catch_unwind(AssertUnwindSafe(|| body(&mut comm))) {
+        Ok(r) => r,
+        Err(payload) => Err(CommError::Panicked {
+            rank,
+            message: panic_message(payload),
+        }),
+    };
+    job.set_done(rank, result.is_ok());
+    let clock = comm.clock();
+    let stats = comm.stats();
+    let metrics = comm.take_metrics().map(|r| r.snapshot());
+    match result {
+        Ok(value) => RankOutcome::Ok(RankResult {
+            rank,
+            value,
+            clock,
+            stats,
+            metrics,
+        }),
+        Err(error) => RankOutcome::Failed(RankFailure {
+            rank,
+            error,
+            blocked_peers: Vec::new(), // filled in at job assembly
+            clock,
+            stats,
+            metrics,
+        }),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_spmd`] with explicit [`SpmdOptions`], returning failures as
+/// data instead of panicking: the [`JobFailure`] names every failed
+/// rank, why it failed, and which peers were blocked on it, alongside
+/// the surviving ranks' complete results.
+pub fn run_spmd_with<R, F>(machine: &Machine, p: usize, opts: SpmdOptions, body: F) -> JobResult<R>
 where
     R: Send,
-    F: Fn(&mut Comm) -> R + Sync,
+    F: Fn(&mut Comm) -> Result<R, CommError> + Sync,
 {
     assert!(p >= 1, "need at least one rank");
     assert!(
@@ -73,6 +231,7 @@ where
     );
     let machine = Arc::new(machine.clone());
     let sink: Arc<dyn TraceSink> = opts.trace.clone().unwrap_or_else(|| Arc::new(NoopSink));
+    let job = Arc::new(JobState::new(p));
 
     // Build the p×p channel mesh: edges[s][d] connects rank s to rank d.
     let mut senders: Vec<Vec<Option<mpsc::Sender<Packet>>>> =
@@ -100,48 +259,62 @@ where
             rx,
             &opts,
             Arc::clone(&sink),
+            Arc::clone(&job),
         ));
     }
 
     let body = &body;
-    let mut out: Vec<Option<RankResult<R>>> = (0..p).map(|_| None).collect();
-    if p == 1 {
+    let outcomes: Vec<RankOutcome<R>> = if p == 1 {
         // Single rank: run inline, no thread overhead.
-        let mut comm = comms.pop().unwrap();
-        let value = body(&mut comm);
-        out[0] = Some(RankResult {
-            rank: 0,
-            value,
-            clock: comm.clock(),
-            stats: comm.stats(),
-            metrics: comm.take_metrics().map(|r| r.snapshot()),
-        });
+        vec![run_rank(comms.pop().unwrap(), body)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
-                .map(|mut comm| {
-                    scope.spawn(move || {
-                        let rank = comm.rank();
-                        let value = body(&mut comm);
-                        RankResult {
-                            rank,
-                            value,
-                            clock: comm.clock(),
-                            stats: comm.stats(),
-                            metrics: comm.take_metrics().map(|r| r.snapshot()),
-                        }
-                    })
-                })
+                .map(|comm| scope.spawn(move || run_rank(comm, body)))
                 .collect();
-            for h in handles {
-                let r = h.join().expect("rank panicked");
-                let i = r.rank;
-                out[i] = Some(r);
-            }
-        });
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panics are caught inside run_rank"))
+                .collect()
+        })
+    };
+
+    let mut results: Vec<RankResult<R>> = Vec::new();
+    let mut failures: Vec<RankFailure> = Vec::new();
+    for o in outcomes {
+        match o {
+            RankOutcome::Ok(r) => results.push(r),
+            RankOutcome::Failed(f) => failures.push(f),
+        }
     }
-    out.into_iter().map(Option::unwrap).collect()
+    results.sort_by_key(|r| r.rank);
+    if failures.is_empty() {
+        return Ok(results);
+    }
+
+    // Invert the wait-for edges: each failed rank learns which peers
+    // were blocked on it when the job ended.
+    failures.sort_by_key(|f| f.rank);
+    let waiting_edges: Vec<(usize, usize)> = failures
+        .iter()
+        .filter_map(|f| f.error.waiting_on().map(|on| (f.rank, on)))
+        .collect();
+    for f in &mut failures {
+        f.blocked_peers = waiting_edges
+            .iter()
+            .filter(|&&(_, on)| on == f.rank)
+            .map(|&(waiter, _)| waiter)
+            .collect();
+    }
+    Err(JobFailure {
+        report: FailureReport {
+            size: p,
+            failures,
+            survivor_ranks: results.iter().map(|r| r.rank).collect(),
+        },
+        survivors: results,
+    })
 }
 
 /// The modeled parallel runtime of a finished job: max final clock.
@@ -152,12 +325,13 @@ pub fn job_time<R>(results: &[RankResult<R>]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ReduceOp;
     use otter_machine::meiko_cs2;
     use otter_trace::{critical_path, timelines, MemorySink};
 
     #[test]
     fn ranks_are_ordered_and_complete() {
-        let res = run_spmd(&meiko_cs2(), 8, |c| c.rank() * 10);
+        let res = run_spmd(&meiko_cs2(), 8, |c| Ok(c.rank() * 10));
         assert_eq!(res.len(), 8);
         for (i, r) in res.iter().enumerate() {
             assert_eq!(r.rank, i);
@@ -169,7 +343,7 @@ mod tests {
     fn single_rank_runs_inline() {
         let res = run_spmd(&meiko_cs2(), 1, |c| {
             assert_eq!(c.size(), 1);
-            "done"
+            Ok("done")
         });
         assert_eq!(res[0].value, "done");
     }
@@ -177,13 +351,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "has only")]
     fn too_many_ranks_rejected() {
-        run_spmd(&meiko_cs2(), 17, |_| ());
+        run_spmd(&meiko_cs2(), 17, |_| Ok(()));
     }
 
     #[test]
     fn job_time_is_max_clock() {
         let res = run_spmd(&meiko_cs2(), 4, |c| {
             c.compute((c.rank() as f64 + 1.0) * 1e6);
+            Ok(())
         });
         let t = job_time(&res);
         assert!((t - res[3].clock).abs() < 1e-15);
@@ -199,8 +374,9 @@ mod tests {
         };
         let res = run_spmd_with(&meiko_cs2(), 4, opts, |c| {
             c.compute((c.rank() as f64 + 1.0) * 1e6);
-            c.allreduce_scalar(1.0, crate::ReduceOp::Sum);
-        });
+            c.allreduce_scalar(1.0, crate::ReduceOp::Sum)
+        })
+        .unwrap();
         let events = sink.snapshot().unwrap();
         let cp = critical_path(&events);
         let t = job_time(&res);
@@ -215,6 +391,241 @@ mod tests {
                 "rank {}",
                 tl.rank
             );
+        }
+    }
+
+    #[test]
+    fn deadlock_cycle_is_diagnosed_fast_with_both_edges() {
+        // Ranks 0 and 1 each wait for the other: a classic 2-cycle.
+        let t0 = std::time::Instant::now();
+        let res = run_spmd_with(&meiko_cs2(), 2, SpmdOptions::default(), |c| {
+            let peer = 1 - c.rank();
+            let v = c.recv(peer)?; // nobody ever sends
+            c.send(peer, &v)?;
+            Ok(())
+        });
+        let failure = res.unwrap_err();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "diagnosis must come from the wait-for graph, not a 60s timeout"
+        );
+        assert_eq!(failure.report.failures.len(), 2);
+        assert!(failure.report.survivor_ranks.is_empty());
+        for f in &failure.report.failures {
+            let peer = 1 - f.rank;
+            assert_eq!(f.error.code(), "deadlock", "{}", f.error);
+            assert_eq!(f.error.waiting_on(), Some(peer));
+            // Each rank's report names the peer that was stuck on it.
+            assert_eq!(f.blocked_peers, vec![peer]);
+            match &f.error {
+                CommError::Deadlock { cycle, .. } => {
+                    assert_eq!(cycle.len(), 2);
+                    assert_eq!(cycle[0].waiter, 0, "cycle is canonicalized");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_at_p8_names_dead_rank_and_blocked_peers() {
+        // The acceptance scenario: rank 3 is killed by the fault plan
+        // at its first comm op. Ranks 2 and 4 are blocked on it; ranks
+        // 5..8 never talk to it and survive with their stats intact.
+        let opts = SpmdOptions {
+            metrics: true,
+            faults: Some(FaultPlan::new().crash(3, 1)),
+            ..SpmdOptions::default()
+        };
+        let res = run_spmd_with(&meiko_cs2(), 8, opts, |c| {
+            match c.rank() {
+                2 => {
+                    c.send(3, &[2.0])?;
+                    c.recv(3)?;
+                }
+                4 => {
+                    c.recv(3)?;
+                }
+                3 => {
+                    let v = c.recv(2)?;
+                    c.send(2, &v)?;
+                    c.send(4, &[3.0])?;
+                }
+                0 | 1 => {
+                    // An independent pair that completes normally.
+                    let peer = 1 - c.rank();
+                    if c.rank() == 0 {
+                        c.send(peer, &[0.5])?;
+                    } else {
+                        c.recv(peer)?;
+                    }
+                }
+                _ => c.compute(1e6),
+            }
+            Ok(c.rank())
+        });
+        let failure = res.unwrap_err();
+        let report = &failure.report;
+        assert_eq!(report.size, 8);
+        // Rank 3 died by injection; 2 and 4 report the dead peer.
+        let failed: Vec<usize> = report.failures.iter().map(|f| f.rank).collect();
+        assert_eq!(failed, vec![2, 3, 4]);
+        let f3 = report.failures.iter().find(|f| f.rank == 3).unwrap();
+        assert_eq!(f3.error.code(), "injected_crash");
+        assert_eq!(f3.blocked_peers, vec![2, 4], "peers blocked on rank 3");
+        assert_eq!(report.root_cause().rank, 3);
+        for r in [2usize, 4] {
+            let f = report.failures.iter().find(|f| f.rank == r).unwrap();
+            assert_eq!(f.error.code(), "peer_terminated");
+            assert_eq!(f.error.waiting_on(), Some(3));
+        }
+        // Survivors kept complete results, stats, and metrics.
+        assert_eq!(report.survivor_ranks, vec![0, 1, 5, 6, 7]);
+        assert_eq!(failure.survivors.len(), 5);
+        let s0 = failure.survivors.iter().find(|r| r.rank == 0).unwrap();
+        assert_eq!(s0.stats.messages_sent, 1);
+        assert!(s0.metrics.is_some(), "partial metrics intact");
+        let s5 = failure.survivors.iter().find(|r| r.rank == 5).unwrap();
+        assert!(s5.stats.compute_time > 0.0);
+        // The formatted report names everything CI greps for.
+        let text = report.to_string();
+        assert!(text.contains("rank 3 crashed by fault plan"), "{text}");
+        assert!(text.contains("[blocked peers: 2 4]"), "{text}");
+        assert!(text.contains("survivors: [0, 1, 5, 6, 7]"), "{text}");
+    }
+
+    #[test]
+    fn dropped_message_becomes_a_diagnosed_deadlock() {
+        // Rank 0's first message to rank 1 is dropped; rank 1 then
+        // waits for a packet that never comes while rank 0 waits for
+        // the reply — a 2-cycle the detector must find.
+        let opts = SpmdOptions {
+            faults: Some(FaultPlan::new().drop_message(0, 1, 0)),
+            ..SpmdOptions::default()
+        };
+        let t0 = std::time::Instant::now();
+        let res = run_spmd_with(&meiko_cs2(), 2, opts, |c| {
+            if c.rank() == 0 {
+                c.send(1, &[1.0])?;
+                c.recv(1)?;
+            } else {
+                let v = c.recv(0)?;
+                c.send(0, &v)?;
+            }
+            Ok(())
+        });
+        let failure = res.unwrap_err();
+        assert!(t0.elapsed() < std::time::Duration::from_secs(10));
+        for f in &failure.report.failures {
+            assert_eq!(f.error.code(), "deadlock", "{}", f.error);
+        }
+        // The sender was charged for the dropped message.
+        let f0 = &failure.report.failures[0];
+        assert_eq!(f0.stats.messages_sent, 1);
+    }
+
+    #[test]
+    fn delayed_message_shifts_virtual_time_only() {
+        let run = |delay: Option<f64>| {
+            let opts = SpmdOptions {
+                faults: delay.map(|s| FaultPlan::new().delay_message(0, 1, 0, s)),
+                ..SpmdOptions::default()
+            };
+            run_spmd_with(&meiko_cs2(), 2, opts, |c| {
+                if c.rank() == 0 {
+                    c.send(1, &[1.0])?;
+                } else {
+                    c.recv(0)?;
+                }
+                Ok(c.clock())
+            })
+            .unwrap()
+        };
+        let base = run(None);
+        let delayed = run(Some(2.5));
+        assert_eq!(base[0].value, delayed[0].value, "sender unaffected");
+        let got = delayed[1].value - base[1].value;
+        assert!((got - 2.5).abs() < 1e-12, "receiver delayed by 2.5s: {got}");
+    }
+
+    #[test]
+    fn no_fault_plan_is_byte_identical() {
+        let run = |opts: SpmdOptions| {
+            run_spmd_with(&meiko_cs2(), 4, opts, |c| {
+                c.compute(1e5);
+                let s = c.allreduce_scalar(c.rank() as f64, ReduceOp::Sum)?;
+                Ok((s, c.clock().to_bits()))
+            })
+            .unwrap()
+            .iter()
+            .map(|r| (r.value.0.to_bits(), r.value.1))
+            .collect::<Vec<_>>()
+        };
+        // An empty plan (present but no actions) must match no plan.
+        let without = run(SpmdOptions::default());
+        let with_empty = run(SpmdOptions {
+            faults: Some(FaultPlan::new()),
+            ..SpmdOptions::default()
+        });
+        assert_eq!(without, with_empty);
+    }
+
+    #[test]
+    fn body_panic_is_captured_not_propagated() {
+        let res = run_spmd_with(&meiko_cs2(), 4, SpmdOptions::default(), |c| {
+            if c.rank() == 2 {
+                panic!("injected panic on rank 2");
+            }
+            c.allreduce_scalar(1.0, ReduceOp::Sum)
+        });
+        let failure = res.unwrap_err();
+        let f2 = failure
+            .report
+            .failures
+            .iter()
+            .find(|f| f.rank == 2)
+            .unwrap();
+        assert_eq!(f2.error.code(), "panicked");
+        assert!(
+            f2.error.to_string().contains("injected panic"),
+            "{}",
+            f2.error
+        );
+        // Everyone else was blocked on the collective and reports the
+        // dead peer rather than panicking themselves.
+        for f in failure.report.failures.iter().filter(|f| f.rank != 2) {
+            assert!(
+                matches!(f.error.code(), "peer_terminated" | "deadlock"),
+                "rank {}: {}",
+                f.rank,
+                f.error
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_fault_plans_reproduce_identical_reports() {
+        let run = |seed: u64| {
+            let opts = SpmdOptions {
+                faults: Some(FaultPlan::seeded(seed, 4)),
+                ..SpmdOptions::default()
+            };
+            run_spmd_with(&meiko_cs2(), 4, opts, |c| {
+                let s = c.allreduce_scalar(1.0, ReduceOp::Sum)?;
+                c.barrier()?;
+                Ok(s)
+            })
+        };
+        for seed in [0u64, 2, 4] {
+            let a = run(seed);
+            let b = run(seed);
+            match (a, b) {
+                (Err(fa), Err(fb)) => {
+                    assert_eq!(fa.report.to_string(), fb.report.to_string(), "seed {seed}");
+                }
+                (Ok(_), Ok(_)) => {} // fault site past the program's op count
+                _ => panic!("seed {seed}: runs disagreed on success"),
+            }
         }
     }
 }

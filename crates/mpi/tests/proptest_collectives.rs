@@ -56,10 +56,10 @@ fn allreduce_extremes_exact() {
         let expect_max = (0..p).map(val).fold(f64::NEG_INFINITY, f64::max);
         let expect_min = (0..p).map(val).fold(f64::INFINITY, f64::min);
         let res = run_spmd(&meiko_cs2(), p, move |c| {
-            (
-                c.allreduce_scalar(val(c.rank()), ReduceOp::Max),
-                c.allreduce_scalar(val(c.rank()), ReduceOp::Min),
-            )
+            Ok((
+                c.allreduce_scalar(val(c.rank()), ReduceOp::Max)?,
+                c.allreduce_scalar(val(c.rank()), ReduceOp::Min)?,
+            ))
         });
         for r in &res {
             assert_eq!(r.value.0, expect_max);
@@ -109,7 +109,7 @@ fn scatter_gather_roundtrip() {
             .collect();
         let expect = parts.clone();
         let res = run_spmd(&meiko_cs2(), p, move |c| {
-            let mine = c.scatter(0, &if c.rank() == 0 { parts.clone() } else { vec![] });
+            let mine = c.scatter(0, &if c.rank() == 0 { parts.clone() } else { vec![] })?;
             c.gather(0, &mine)
         });
         assert_eq!(res[0].value.as_ref().unwrap(), &expect);
@@ -132,9 +132,9 @@ fn barrier_is_a_time_fence() {
                 c.compute(2e6);
             }
             let before = c.clock();
-            c.barrier();
+            c.barrier()?;
             let after = c.clock();
-            (before, after)
+            Ok((before, after))
         });
         let slowest_before = res.iter().map(|r| r.value.0).fold(0.0, f64::max);
         for r in &res {

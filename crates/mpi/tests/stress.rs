@@ -24,12 +24,12 @@ fn all_pairs_exchange_no_deadlock() {
             // Lower rank sends first; buffered channels make this safe
             // either way, but keep a canonical order for determinism.
             if me < peer {
-                c.send(peer, &payload);
-                let got = c.recv(peer);
+                c.send(peer, &payload)?;
+                let got = c.recv(peer)?;
                 checksum += got.iter().sum::<f64>();
             } else {
-                let got = c.recv(peer);
-                c.send(peer, &payload);
+                let got = c.recv(peer)?;
+                c.send(peer, &payload)?;
                 checksum += got.iter().sum::<f64>();
             }
         }
@@ -54,13 +54,13 @@ fn message_storm_is_deterministic() {
             let prev = (me + p - 1) % p;
             let mut acc = 0.0;
             for round in 0..200 {
-                c.send_scalar(next, (me * 1000 + round) as f64);
-                let v = c.recv_scalar(prev);
+                c.send_scalar(next, (me * 1000 + round) as f64)?;
+                let v = c.recv_scalar(prev)?;
                 // FIFO check: the value must be this round's.
                 assert_eq!(v as usize % 1000, round, "out-of-order delivery");
                 acc += v;
             }
-            (acc, c.clock())
+            Ok((acc, c.clock()))
         });
         res.iter()
             .map(|r| (r.value.0, r.value.1.to_bits()))
@@ -80,19 +80,19 @@ fn interleaved_collectives_and_p2p() {
         let mut state = vec![me; 8];
         for round in 0..20 {
             // Collective phase.
-            state = c.allreduce(&state, ReduceOp::Sum);
+            state = c.allreduce(&state, ReduceOp::Sum)?;
             // Point-to-point phase: ring rotate.
             let p = c.size();
             let next = (c.rank() + 1) % p;
             let prev = (c.rank() + p - 1) % p;
-            c.send(next, &state);
-            state = c.recv(prev);
+            c.send(next, &state)?;
+            state = c.recv(prev)?;
             // Barrier keeps phases aligned.
             if round % 5 == 0 {
-                c.barrier();
+                c.barrier()?;
             }
         }
-        state[0]
+        Ok(state[0])
     });
     let first = res[0].value;
     assert!(first.is_finite());
@@ -105,8 +105,8 @@ fn interleaved_collectives_and_p2p() {
 fn sixteen_ranks_full_mesh() {
     let res = run_spmd(&meiko_cs2(), 16, |c| {
         // Everyone gathers from everyone.
-        let all = c.allgather(&[c.rank() as f64]);
-        all.iter().map(|v| v[0]).sum::<f64>()
+        let all = c.allgather(&[c.rank() as f64])?;
+        Ok(all.iter().map(|v| v[0]).sum::<f64>())
     });
     for r in &res {
         assert_eq!(r.value, 120.0); // 0+1+...+15

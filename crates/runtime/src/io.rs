@@ -11,9 +11,43 @@
 
 use crate::dense::Dense;
 use crate::matrix::DistMatrix;
-use otter_mpi::Comm;
+use otter_mpi::{Comm, CommError};
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// Failure of a distributed load: either an application-level file or
+/// parse problem (reported by rank 0, which coordinates I/O) or a
+/// communication failure of the scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadError {
+    /// File missing, unreadable, or malformed.
+    App(String),
+    /// The scatter itself failed.
+    Comm(CommError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::App(msg) => write!(f, "{msg}"),
+            LoadError::Comm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<CommError> for LoadError {
+    fn from(e: CommError) -> Self {
+        LoadError::Comm(e)
+    }
+}
+
+impl From<String> for LoadError {
+    fn from(msg: String) -> Self {
+        LoadError::App(msg)
+    }
+}
 
 /// Parse a matrix from the ASCII on-disk format.
 pub fn parse_matrix(text: &str) -> Result<Dense, String> {
@@ -58,14 +92,14 @@ pub fn write_matrix_file(path: &Path, m: &Dense) -> Result<(), String> {
 
 /// Distributed load: rank 0 reads the file and scatters
 /// (`ML_load`). Every rank must call.
-pub fn load_distributed(comm: &mut Comm, path: &Path) -> Result<DistMatrix, String> {
+pub fn load_distributed(comm: &mut Comm, path: &Path) -> Result<DistMatrix, LoadError> {
     let t0 = comm.clock();
     let dense = if comm.rank() == 0 {
         Some(read_matrix_file(path)?)
     } else {
         None
     };
-    let m = DistMatrix::scatter_from(comm, 0, dense.as_ref());
+    let m = DistMatrix::scatter_from(comm, 0, dense.as_ref())?;
     comm.emit_span(otter_trace::EventKind::Phase { name: "ML_load" }, t0);
     crate::note_rt_op(comm, "ML_load", t0);
     Ok(m)
@@ -74,12 +108,18 @@ pub fn load_distributed(comm: &mut Comm, path: &Path) -> Result<DistMatrix, Stri
 /// Distributed print (`ML_print_matrix`): gather onto rank 0, which
 /// renders; other ranks get `None`. The caller (the generated
 /// program's I/O shim) writes the string to stdout on rank 0 only.
-pub fn print_distributed(comm: &mut Comm, name: &str, m: &DistMatrix) -> Option<String> {
-    let full = m.gather_to(comm, 0)?;
+pub fn print_distributed(
+    comm: &mut Comm,
+    name: &str,
+    m: &DistMatrix,
+) -> Result<Option<String>, CommError> {
+    let Some(full) = m.gather_to(comm, 0)? else {
+        return Ok(None);
+    };
     let mut out = String::new();
     let _ = writeln!(out, "{name} =");
     let _ = write!(out, "{full}");
-    Some(out)
+    Ok(Some(out))
 }
 
 /// Render a replicated scalar the way MATLAB echoes it.

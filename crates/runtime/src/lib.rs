@@ -35,7 +35,9 @@ pub mod reduce;
 
 pub use dense::Dense;
 pub use dist::Block;
+pub use io::LoadError;
 pub use matrix::DistMatrix;
+pub use otter_mpi::CommError;
 
 /// Record one finished `ML_*` library call as an
 /// `rt_op_seconds{op=...}` observation of modeled virtual seconds.

@@ -6,7 +6,7 @@
 use crate::dense::Dense;
 use crate::dist::Block;
 use crate::matrix::DistMatrix;
-use otter_mpi::Comm;
+use otter_mpi::{Comm, CommError};
 use otter_trace::EventKind;
 
 impl DistMatrix {
@@ -18,9 +18,9 @@ impl DistMatrix {
     /// `A(:, k-range)` panel against the visiting `B` block:
     /// `p` steps, each moving `(k/p)·n` elements — the standard 1-D
     /// rotation algorithm a row-distributed 1998 run-time would use.
-    pub fn matmul(&self, comm: &mut Comm, other: &DistMatrix) -> DistMatrix {
+    pub fn matmul(&self, comm: &mut Comm, other: &DistMatrix) -> Result<DistMatrix, CommError> {
         let t0 = comm.clock();
-        let out = self.matmul_impl(comm, other);
+        let out = self.matmul_impl(comm, other)?;
         comm.emit_span(
             EventKind::Phase {
                 name: "ML_matrix_multiply",
@@ -28,10 +28,10 @@ impl DistMatrix {
             t0,
         );
         crate::note_rt_op(comm, "ML_matrix_multiply", t0);
-        out
+        Ok(out)
     }
 
-    fn matmul_impl(&self, comm: &mut Comm, other: &DistMatrix) -> DistMatrix {
+    fn matmul_impl(&self, comm: &mut Comm, other: &DistMatrix) -> Result<DistMatrix, CommError> {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -48,13 +48,13 @@ impl DistMatrix {
         // library still honours:
         if m == 1 && kk == 1 {
             // (1×1) · B — scalar scaling.
-            let s = self.get_bcast(comm, 0, 0);
-            return other.map_scalar(comm, s, otter_machine::OpClass::Mul, |x, v| x * v);
+            let s = self.get_bcast(comm, 0, 0)?;
+            return Ok(other.map_scalar(comm, s, otter_machine::OpClass::Mul, |x, v| x * v));
         }
         if kk == 1 && other.cols() == 1 {
             // A(m×1) · B(1×1) — scalar scaling from the right.
-            let s = other.get_bcast(comm, 0, 0);
-            return self.map_scalar(comm, s, otter_machine::OpClass::Mul, |x, v| x * v);
+            let s = other.get_bcast(comm, 0, 0)?;
+            return Ok(self.map_scalar(comm, s, otter_machine::OpClass::Mul, |x, v| x * v));
         }
         if kk == 1 && m > 1 && n > 1 {
             // (m×1) · (1×n) — outer product of a column by a row.
@@ -66,7 +66,7 @@ impl DistMatrix {
         // across ranks — it is small by definition.)
         if self.is_vector() && self.rows() == 1 {
             // (1×k) · (k×n) — row vector times matrix.
-            let x = self.gather_all(comm).into_data();
+            let x = self.gather_all(comm)?.into_data();
             let bb = Block::new(other.dist_extent(), p);
             // partial_j = Σ_{k local} x[k] · B[k, j]
             let mut partial = vec![0.0; n];
@@ -78,8 +78,8 @@ impl DistMatrix {
                 }
             }
             comm.compute(2.0 * bb.count(rank) as f64 * n as f64);
-            let full = comm.allreduce(&partial, otter_mpi::ReduceOp::Sum);
-            return DistMatrix::from_replicated(comm, &Dense::row_vector(&full));
+            let full = comm.allreduce(&partial, otter_mpi::ReduceOp::Sum)?;
+            return Ok(DistMatrix::from_replicated(comm, &Dense::row_vector(&full)));
         }
         if other.is_vector() && other.cols() == 1 {
             // (m×k) · (k×1) is a matvec.
@@ -114,12 +114,12 @@ impl DistMatrix {
                 // Rotate: pass my current B block left, take from right.
                 let left = (rank + p - 1) % p;
                 let right = (rank + 1) % p;
-                comm.send_concurrent(left, &cur, p);
-                cur = comm.recv(right);
+                comm.send_concurrent(left, &cur, p)?;
+                cur = comm.recv(right)?;
                 cur_owner = (cur_owner + 1) % p;
             }
         }
-        DistMatrix::from_local(comm, m, n, c_local)
+        Ok(DistMatrix::from_local(comm, m, n, c_local))
     }
 
     /// Distributed matrix–vector product
@@ -128,7 +128,7 @@ impl DistMatrix {
     /// `A`), then each rank multiplies its row panel; the result is
     /// already correctly distributed because `A`'s row blocks coincide
     /// with `y`'s element blocks.
-    pub fn matvec(&self, comm: &mut Comm, x: &DistMatrix) -> DistMatrix {
+    pub fn matvec(&self, comm: &mut Comm, x: &DistMatrix) -> Result<DistMatrix, CommError> {
         let t0 = comm.clock();
         assert!(x.is_vector(), "matvec needs a vector");
         assert_eq!(
@@ -139,7 +139,7 @@ impl DistMatrix {
             self.cols(),
             x.len()
         );
-        let x_full = x.gather_all(comm).into_data();
+        let x_full = x.gather_all(comm)?.into_data();
         let w = self.cols();
         let local: Vec<f64> = self
             .local()
@@ -154,17 +154,17 @@ impl DistMatrix {
             t0,
         );
         crate::note_rt_op(comm, "ML_matrix_vector_multiply", t0);
-        DistMatrix::from_local(comm, self.rows(), 1, local)
+        Ok(DistMatrix::from_local(comm, self.rows(), 1, local))
     }
 
     /// Outer product of two distributed vectors: `u · vᵀ`, row-block
     /// distributed like any `m×n` result. `v` is allgathered; `u` is
     /// already aligned with the result's rows.
-    pub fn outer(comm: &mut Comm, u: &DistMatrix, v: &DistMatrix) -> DistMatrix {
+    pub fn outer(comm: &mut Comm, u: &DistMatrix, v: &DistMatrix) -> Result<DistMatrix, CommError> {
         let t0 = comm.clock();
         assert!(u.is_vector() && v.is_vector(), "outer needs vectors");
         let (m, n) = (u.len(), v.len());
-        let v_full = v.gather_all(comm).into_data();
+        let v_full = v.gather_all(comm)?.into_data();
         let rows = Block::new(m, comm.size());
         // u's element blocks coincide with the result's row blocks.
         let mut local = vec![0.0; rows.count(comm.rank()) * n];
@@ -176,15 +176,15 @@ impl DistMatrix {
         comm.compute(u.local_els() as f64 * n as f64);
         comm.emit_span(EventKind::Phase { name: "ML_outer" }, t0);
         crate::note_rt_op(comm, "ML_outer", t0);
-        DistMatrix::from_local(comm, m, n, local)
+        Ok(DistMatrix::from_local(comm, m, n, local))
     }
 
     /// Distributed transpose: an all-to-all where rank `r` ships the
     /// intersection of its row panel with every destination's column
     /// panel.
-    pub fn transpose(&self, comm: &mut Comm) -> DistMatrix {
+    pub fn transpose(&self, comm: &mut Comm) -> Result<DistMatrix, CommError> {
         let t0 = comm.clock();
-        let out = self.transpose_impl(comm);
+        let out = self.transpose_impl(comm)?;
         comm.emit_span(
             EventKind::Phase {
                 name: "ML_transpose",
@@ -192,15 +192,15 @@ impl DistMatrix {
             t0,
         );
         crate::note_rt_op(comm, "ML_transpose", t0);
-        out
+        Ok(out)
     }
 
-    fn transpose_impl(&self, comm: &mut Comm) -> DistMatrix {
+    fn transpose_impl(&self, comm: &mut Comm) -> Result<DistMatrix, CommError> {
         let (m, n) = (self.rows(), self.cols());
         if self.is_vector() {
             // A vector transpose only flips orientation; both
             // orientations share the same element distribution.
-            return DistMatrix::from_local(comm, n, m, self.local().to_vec());
+            return Ok(DistMatrix::from_local(comm, n, m, self.local().to_vec()));
         }
         let p = comm.size();
         let rank = comm.rank();
@@ -219,7 +219,7 @@ impl DistMatrix {
                     payload.push(self.local()[li * n + j]);
                 }
             }
-            comm.send_concurrent(d, &payload, p - 1);
+            comm.send_concurrent(d, &payload, p - 1)?;
         }
         // Assemble phase: my Aᵀ rows are A's columns dst_rows.range(rank);
         // each source rank contributes the element block for its rows.
@@ -236,7 +236,7 @@ impl DistMatrix {
                 }
                 v
             } else {
-                comm.recv(s)
+                comm.recv(s)?
             };
             // chunk is (my_cols.len() × their_rows.len()) row-major in
             // transposed orientation already.
@@ -247,7 +247,7 @@ impl DistMatrix {
             }
         }
         comm.compute(local.len() as f64);
-        DistMatrix::from_local(comm, n, m, local)
+        Ok(DistMatrix::from_local(comm, n, m, local))
     }
 }
 
@@ -289,7 +289,7 @@ mod tests {
                 let res = run_spmd(&meiko_cs2(), p, move |c| {
                     let da = DistMatrix::from_replicated(c, &aa);
                     let db = DistMatrix::from_replicated(c, &bb);
-                    da.matmul(c, &db).gather_all(c)
+                    da.matmul(c, &db)?.gather_all(c)
                 });
                 for r in &res {
                     assert_close(&r.value, &oracle, 1e-12);
@@ -306,7 +306,7 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 3, move |c| {
             let da = DistMatrix::from_replicated(c, &a);
             let db = DistMatrix::from_replicated(c, &b);
-            da.matmul(c, &db).gather_all(c)
+            da.matmul(c, &db)?.gather_all(c)
         });
         assert_close(&res[0].value, &oracle, 1e-12);
     }
@@ -319,7 +319,7 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 4, move |c| {
             let da = DistMatrix::from_replicated(c, &a);
             let dx = DistMatrix::from_replicated(c, &x);
-            da.matmul(c, &dx).gather_all(c)
+            da.matmul(c, &dx)?.gather_all(c)
         });
         assert_close(&res[0].value, &oracle, 1e-12);
     }
@@ -334,7 +334,7 @@ mod tests {
             let res = run_spmd(&meiko_cs2(), p, move |c| {
                 let da = DistMatrix::from_replicated(c, &aa);
                 let dx = DistMatrix::from_replicated(c, &xx);
-                da.matvec(c, &dx).gather_all(c)
+                da.matvec(c, &dx)?.gather_all(c)
             });
             assert_close(&res[0].value, &oracle, 1e-12);
         }
@@ -348,7 +348,7 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 3, move |c| {
             let du = DistMatrix::from_replicated(c, &u);
             let dv = DistMatrix::from_replicated(c, &v);
-            DistMatrix::outer(c, &du, &dv).gather_all(c)
+            DistMatrix::outer(c, &du, &dv)?.gather_all(c)
         });
         assert_close(&res[0].value, &oracle, 1e-12);
     }
@@ -362,7 +362,7 @@ mod tests {
                 let aa = a.clone();
                 let res = run_spmd(&meiko_cs2(), p, move |c| {
                     let da = DistMatrix::from_replicated(c, &aa);
-                    da.transpose(c).gather_all(c)
+                    da.transpose(c)?.gather_all(c)
                 });
                 for r in &res {
                     assert_close(&r.value, &oracle, 0.0);
@@ -375,8 +375,8 @@ mod tests {
     fn transpose_vector_flips_orientation() {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             let v = DistMatrix::range(c, 1.0, 1.0, 5.0); // 1×5
-            let t = v.transpose(c);
-            (t.rows(), t.cols(), t.gather_all(c).into_data())
+            let t = v.transpose(c)?;
+            Ok((t.rows(), t.cols(), t.gather_all(c)?.into_data()))
         });
         assert_eq!(res[0].value, (5, 1, vec![1.0, 2.0, 3.0, 4.0, 5.0]));
     }
@@ -387,7 +387,7 @@ mod tests {
         let aa = a.clone();
         let res = run_spmd(&meiko_cs2(), 4, move |c| {
             let da = DistMatrix::from_replicated(c, &aa);
-            da.transpose(c).transpose(c).gather_all(c)
+            da.transpose(c)?.transpose(c)?.gather_all(c)
         });
         assert_close(&res[0].value, &a, 0.0);
     }
@@ -399,7 +399,7 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 3, move |c| {
             let da = DistMatrix::from_replicated(c, &aa);
             let i = DistMatrix::eye(c, 6);
-            da.matmul(c, &i).gather_all(c)
+            da.matmul(c, &i)?.gather_all(c)
         });
         assert_close(&res[0].value, &a, 1e-12);
     }
@@ -410,8 +410,8 @@ mod tests {
             let a = DistMatrix::ones(c, 32, 32);
             let b = DistMatrix::ones(c, 32, 32);
             let before = c.stats().compute_time;
-            let _ = a.matmul(c, &b);
-            c.stats().compute_time - before
+            let _ = a.matmul(c, &b)?;
+            Ok(c.stats().compute_time - before)
         });
         // 2·m·k·n/p flops per rank at 25 Mflop/s.
         let expect = 2.0 * 32.0 * 32.0 * 32.0 / 2.0 / 25e6;

@@ -18,7 +18,7 @@
 
 use crate::dense::Dense;
 use crate::dist::Block;
-use otter_mpi::Comm;
+use otter_mpi::{Comm, CommError};
 use otter_trace::EventKind;
 
 /// A matrix or vector distributed across the ranks of a job.
@@ -209,14 +209,18 @@ impl DistMatrix {
 
     /// Scatter a dense matrix held only by `root` (paper assumption 5:
     /// one processor coordinates I/O). Non-root ranks pass `None`.
-    pub fn scatter_from(comm: &mut Comm, root: usize, full: Option<&Dense>) -> DistMatrix {
+    pub fn scatter_from(
+        comm: &mut Comm,
+        root: usize,
+        full: Option<&Dense>,
+    ) -> Result<DistMatrix, CommError> {
         let t0 = comm.clock();
         // Broadcast the shape first.
         let shape = match full {
             Some(d) => vec![d.rows() as f64, d.cols() as f64],
             None => vec![0.0, 0.0],
         };
-        let shape = comm.broadcast(root, &shape);
+        let shape = comm.broadcast(root, &shape)?;
         let (rows, cols) = (shape[0] as usize, shape[1] as usize);
         let mut m = Self::alloc(comm, rows, cols);
         let b = m.block();
@@ -236,17 +240,17 @@ impl DistMatrix {
         } else {
             Vec::new()
         };
-        m.local = comm.scatter(root, &parts);
+        m.local = comm.scatter(root, &parts)?;
         comm.emit_span(EventKind::Phase { name: "ML_scatter" }, t0);
         crate::note_rt_op(comm, "ML_scatter", t0);
-        m
+        Ok(m)
     }
 
     /// Gather the full matrix onto every rank (used by `disp`, small
     /// intermediates, and test oracles).
-    pub fn gather_all(&self, comm: &mut Comm) -> Dense {
+    pub fn gather_all(&self, comm: &mut Comm) -> Result<Dense, CommError> {
         let t0 = comm.clock();
-        let parts = comm.allgather(&self.local);
+        let parts = comm.allgather(&self.local)?;
         let mut data = Vec::with_capacity(self.len());
         for p in parts {
             data.extend_from_slice(&p);
@@ -258,33 +262,33 @@ impl DistMatrix {
             t0,
         );
         crate::note_rt_op(comm, "ML_gather_all", t0);
-        if self.is_vector() && self.rows > 1 {
-            Dense::from_vec(self.rows, 1, data)
-        } else if self.is_vector() {
-            Dense::from_vec(1, self.cols, data)
-        } else {
-            Dense::from_vec(self.rows, self.cols, data)
-        }
-    }
-
-    /// Gather onto `root` only; others get `None`.
-    pub fn gather_to(&self, comm: &mut Comm, root: usize) -> Option<Dense> {
-        let t0 = comm.clock();
-        let parts = comm.gather(root, &self.local);
-        comm.emit_span(EventKind::Phase { name: "ML_gather" }, t0);
-        crate::note_rt_op(comm, "ML_gather", t0);
-        let parts = parts?;
-        let mut data = Vec::with_capacity(self.len());
-        for p in parts {
-            data.extend_from_slice(&p);
-        }
-        Some(if self.is_vector() && self.rows > 1 {
+        Ok(if self.is_vector() && self.rows > 1 {
             Dense::from_vec(self.rows, 1, data)
         } else if self.is_vector() {
             Dense::from_vec(1, self.cols, data)
         } else {
             Dense::from_vec(self.rows, self.cols, data)
         })
+    }
+
+    /// Gather onto `root` only; others get `None`.
+    pub fn gather_to(&self, comm: &mut Comm, root: usize) -> Result<Option<Dense>, CommError> {
+        let t0 = comm.clock();
+        let parts = comm.gather(root, &self.local)?;
+        comm.emit_span(EventKind::Phase { name: "ML_gather" }, t0);
+        crate::note_rt_op(comm, "ML_gather", t0);
+        let Some(parts) = parts else { return Ok(None) };
+        let mut data = Vec::with_capacity(self.len());
+        for p in parts {
+            data.extend_from_slice(&p);
+        }
+        Ok(Some(if self.is_vector() && self.rows > 1 {
+            Dense::from_vec(self.rows, 1, data)
+        } else if self.is_vector() {
+            Dense::from_vec(1, self.cols, data)
+        } else {
+            Dense::from_vec(self.rows, self.cols, data)
+        }))
     }
 
     // ---- element access ------------------------------------------------------
@@ -357,7 +361,7 @@ impl DistMatrix {
 
     /// `ML_broadcast`: fetch element (i, j) to every rank. The owner
     /// broadcasts; everyone must call.
-    pub fn get_bcast(&self, comm: &mut Comm, i: usize, j: usize) -> f64 {
+    pub fn get_bcast(&self, comm: &mut Comm, i: usize, j: usize) -> Result<f64, CommError> {
         let owner = self.owner_rank(i, j);
         let v = if owner == comm.rank() {
             self.get_local(i, j)
@@ -418,7 +422,7 @@ mod tests {
         for p in [1, 2, 3, 5, 8] {
             let res = run_spmd(&meiko_cs2(), p, |c| {
                 let m = DistMatrix::zeros(c, 10, 4);
-                m.local_els()
+                Ok(m.local_els())
             });
             let total: usize = res.iter().map(|r| r.value).sum();
             assert_eq!(total, 40, "p={p}");
@@ -458,12 +462,12 @@ mod tests {
         let dd = d.clone();
         let res = run_spmd(&meiko_cs2(), 3, move |c| {
             let via_scatter = if c.rank() == 0 {
-                DistMatrix::scatter_from(c, 0, Some(&dd))
+                DistMatrix::scatter_from(c, 0, Some(&dd))?
             } else {
-                DistMatrix::scatter_from(c, 0, None)
+                DistMatrix::scatter_from(c, 0, None)?
             };
             let via_repl = DistMatrix::from_replicated(c, &dd);
-            (via_scatter.local().to_vec(), via_repl.local().to_vec())
+            Ok((via_scatter.local().to_vec(), via_repl.local().to_vec()))
         });
         for r in &res {
             assert_eq!(r.value.0, r.value.1);
@@ -488,7 +492,7 @@ mod tests {
                     }
                 }
             }
-            owned
+            Ok(owned)
         });
         let mut all: Vec<(usize, usize)> = res.iter().flat_map(|r| r.value.clone()).collect();
         all.sort();
@@ -502,13 +506,13 @@ mod tests {
         // Row-contiguous property: all of row i has one owner.
         let res = run_spmd(&meiko_cs2(), 3, |c| {
             let m = DistMatrix::zeros(c, 8, 6);
-            (0..8).map(|i| m.owner_rank(i, 0)).collect::<Vec<_>>()
+            Ok((0..8).map(|i| m.owner_rank(i, 0)).collect::<Vec<_>>())
         });
         for i in 0..8 {
             let owner = res[0].value[i];
             let r = run_spmd(&meiko_cs2(), 3, move |c| {
                 let m = DistMatrix::zeros(c, 8, 6);
-                (0..6).all(|j| m.owner_rank(i, j) == owner)
+                Ok((0..6).all(|j| m.owner_rank(i, j) == owner))
             });
             assert!(r.iter().all(|x| x.value));
         }
@@ -531,8 +535,8 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 4, |c| {
             let mut m = DistMatrix::zeros(c, 8, 2);
             let wrote = m.set_if_owner(5, 1, 9.0);
-            let full = m.gather_all(c);
-            (wrote, full.get(5, 1), full.sum_all())
+            let full = m.gather_all(c)?;
+            Ok((wrote, full.get(5, 1), full.sum_all()))
         });
         let writers = res.iter().filter(|r| r.value.0).count();
         assert_eq!(writers, 1);
@@ -556,7 +560,7 @@ mod tests {
             let a = DistMatrix::zeros(c, 5, 5);
             let b = DistMatrix::ones(c, 5, 5);
             let v = DistMatrix::zeros(c, 5, 1);
-            (a.aligned_with(&b), a.aligned_with(&v))
+            Ok((a.aligned_with(&b), a.aligned_with(&v)))
         });
         assert_eq!(res[0].value, (true, false));
     }
@@ -566,7 +570,7 @@ mod tests {
         let d = counting_dense(4, 4);
         let res = run_spmd(&meiko_cs2(), 4, move |c| {
             let m = DistMatrix::from_replicated(c, &d);
-            m.gather_to(c, 2).is_some()
+            Ok(m.gather_to(c, 2)?.is_some())
         });
         let haves: Vec<bool> = res.iter().map(|r| r.value).collect();
         assert_eq!(haves, vec![false, false, true, false]);

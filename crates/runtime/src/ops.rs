@@ -14,7 +14,7 @@ use crate::dense::Dense;
 use crate::dist::Block;
 use crate::matrix::DistMatrix;
 use otter_machine::OpClass;
-use otter_mpi::Comm;
+use otter_mpi::{Comm, CommError};
 
 impl DistMatrix {
     /// Element-wise unary map; charges `len · weight` flop units.
@@ -86,11 +86,11 @@ impl DistMatrix {
     /// right), the ocean script's primitive. Each rank exchanges only
     /// the segments that cross block boundaries — O(|k| + n/p) data,
     /// not O(n).
-    pub fn circshift(&self, comm: &mut Comm, k: i64) -> DistMatrix {
+    pub fn circshift(&self, comm: &mut Comm, k: i64) -> Result<DistMatrix, CommError> {
         assert!(self.is_vector(), "circshift expects a vector");
         let n = self.len() as i64;
         if n == 0 {
-            return self.clone();
+            return Ok(self.clone());
         }
         let k = ((k % n) + n) % n; // normalized right-shift
         let b = self.block();
@@ -118,7 +118,7 @@ impl DistMatrix {
         for &(dest, llo, lhi) in &segments {
             if dest != rank {
                 let payload = self.local()[llo..lhi].to_vec();
-                comm.send(dest, &payload);
+                comm.send(dest, &payload)?;
             }
         }
         // Receive phase: my output element with global index g comes
@@ -147,13 +147,13 @@ impl DistMatrix {
                 let s0 = b.to_local(src_g);
                 out[llo..lhi].copy_from_slice(&self.local()[s0..s0 + (lhi - llo)]);
             } else {
-                let data = comm.recv(src);
+                let data = comm.recv(src)?;
                 assert_eq!(data.len(), lhi - llo, "shift segment length mismatch");
                 out[llo..lhi].copy_from_slice(&data);
             }
         }
         comm.compute(self.local_els() as f64); // copy traffic
-        DistMatrix::from_local(comm, self.rows(), self.cols(), out)
+        Ok(DistMatrix::from_local(comm, self.rows(), self.cols(), out))
     }
 
     // ---- slicing -----------------------------------------------------------
@@ -161,7 +161,7 @@ impl DistMatrix {
     /// Extract row `i` of a matrix as a distributed row vector
     /// (`a(i, :)`). The owner holds the whole row (row-contiguous
     /// distribution), so it broadcasts and every rank keeps its block.
-    pub fn extract_row(&self, comm: &mut Comm, i: usize) -> DistMatrix {
+    pub fn extract_row(&self, comm: &mut Comm, i: usize) -> Result<DistMatrix, CommError> {
         assert!(!self.is_vector(), "extract_row on a vector");
         assert!(i < self.rows(), "row {i} out of {}", self.rows());
         let owner = self.owner_rank(i, 0);
@@ -172,8 +172,8 @@ impl DistMatrix {
         } else {
             Vec::new()
         };
-        let full = comm.broadcast(owner, &row);
-        DistMatrix::from_replicated(comm, &Dense::row_vector(&full))
+        let full = comm.broadcast(owner, &row)?;
+        Ok(DistMatrix::from_replicated(comm, &Dense::row_vector(&full)))
     }
 
     /// Extract column `j` as a distributed column vector (`a(:, j)`).
@@ -190,20 +190,26 @@ impl DistMatrix {
 
     /// Store a distributed row vector into row `i` (`a(i, :) = v`).
     /// The row's owner gathers the vector.
-    pub fn assign_row(&mut self, comm: &mut Comm, i: usize, v: &DistMatrix) {
+    pub fn assign_row(
+        &mut self,
+        comm: &mut Comm,
+        i: usize,
+        v: &DistMatrix,
+    ) -> Result<(), CommError> {
         assert!(!self.is_vector());
         assert!(
             v.is_vector() && v.len() == self.cols(),
             "row assignment shape mismatch"
         );
         let owner = self.owner_rank(i, 0);
-        let full = v.gather_to(comm, owner);
+        let full = v.gather_to(comm, owner)?;
         if let Some(full) = full {
             let b = self.block();
             let li = i - b.start(owner);
             let w = self.cols();
             self.local_mut()[li * w..(li + 1) * w].copy_from_slice(full.data());
         }
+        Ok(())
     }
 
     /// Store a distributed column vector into column `j`
@@ -224,7 +230,12 @@ impl DistMatrix {
 
     /// Extract a contiguous element range of a vector
     /// (`v(lo..hi)`, 0-based half-open) as a new distributed vector.
-    pub fn extract_range(&self, comm: &mut Comm, lo: usize, hi: usize) -> DistMatrix {
+    pub fn extract_range(
+        &self,
+        comm: &mut Comm,
+        lo: usize,
+        hi: usize,
+    ) -> Result<DistMatrix, CommError> {
         assert!(self.is_vector(), "extract_range expects a vector");
         assert!(
             lo <= hi && hi <= self.len(),
@@ -251,7 +262,7 @@ impl DistMatrix {
         for &(dest, llo, lhi) in &sends {
             if dest != rank {
                 let payload = self.local()[llo..lhi].to_vec();
-                comm.send(dest, &payload);
+                comm.send(dest, &payload)?;
             }
         }
         // Receive: my new elements [dst_b.range(rank)] come from the
@@ -267,7 +278,7 @@ impl DistMatrix {
                 out[g - my_new.start..g - my_new.start + run]
                     .copy_from_slice(&self.local()[s0..s0 + run]);
             } else {
-                let data = comm.recv(src_owner);
+                let data = comm.recv(src_owner)?;
                 assert_eq!(data.len(), run, "range segment length mismatch");
                 out[g - my_new.start..g - my_new.start + run].copy_from_slice(&data);
             }
@@ -279,7 +290,7 @@ impl DistMatrix {
         } else {
             (n_new, 1)
         };
-        DistMatrix::from_local(comm, rows, cols, out)
+        Ok(DistMatrix::from_local(comm, rows, cols, out))
     }
 }
 
@@ -322,7 +333,7 @@ mod tests {
             let mut a = DistMatrix::ones(c, 4, 4);
             let b = dist_counting(c, 4, 4);
             a.zip_assign(c, &b, OpClass::Add, |x, y| x + y);
-            a.gather_all(c).sum_all()
+            Ok(a.gather_all(c)?.sum_all())
         });
         // sum(ones) + sum(0..16) = 16 + 120
         assert_eq!(res[0].value, 136.0);
@@ -336,8 +347,8 @@ mod tests {
                 let res = run_spmd(&meiko_cs2(), p, move |c| {
                     let d = Dense::row_vector(&(0..n).map(|x| x as f64).collect::<Vec<_>>());
                     let v = DistMatrix::from_replicated(c, &d);
-                    let shifted = v.circshift(c, k);
-                    (shifted.gather_all(c), d.circshift(k))
+                    let shifted = v.circshift(c, k)?;
+                    Ok((shifted.gather_all(c)?, d.circshift(k)))
                 });
                 for r in &res {
                     assert_eq!(r.value.0, r.value.1, "p={p} k={k}");
@@ -351,7 +362,7 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 3, |c| {
             let d = Dense::col_vector(&[1.0, 2.0, 3.0, 4.0, 5.0]);
             let v = DistMatrix::from_replicated(c, &d);
-            (v.circshift(c, 2).gather_all(c), d.circshift(2))
+            Ok((v.circshift(c, 2)?.gather_all(c)?, d.circshift(2)))
         });
         assert_eq!(res[0].value.0, res[0].value.1);
     }
@@ -363,8 +374,8 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 4, |c| {
             let v = DistMatrix::range(c, 1.0, 1.0, 1024.0);
             let before = c.stats().bytes_sent;
-            let _ = v.circshift(c, 1);
-            c.stats().bytes_sent - before
+            let _ = v.circshift(c, 1)?;
+            Ok(c.stats().bytes_sent - before)
         });
         let total: u64 = res.iter().map(|r| r.value).sum();
         // Worst case is ~n bytes total (each rank forwards its block
@@ -376,7 +387,7 @@ mod tests {
     fn extract_row_broadcasts_owner_data() {
         let res = run_spmd(&meiko_cs2(), 4, |c| {
             let a = dist_counting(c, 6, 3);
-            a.extract_row(c, 4).gather_all(c)
+            a.extract_row(c, 4)?.gather_all(c)
         });
         assert_eq!(res[0].value.data(), &[12.0, 13.0, 14.0]);
         assert_eq!(res[0].value.rows(), 1);
@@ -389,7 +400,7 @@ mod tests {
             let before = c.stats().messages_sent;
             let col = a.extract_col(c, 1);
             let sent_by_extract = c.stats().messages_sent - before;
-            (col.gather_all(c), sent_by_extract)
+            Ok((col.gather_all(c)?, sent_by_extract))
         });
         assert_eq!(res[0].value.0.data(), &[1.0, 4.0, 7.0, 10.0, 13.0, 16.0]);
         assert_eq!(res[0].value.0.cols(), 1);
@@ -407,7 +418,7 @@ mod tests {
             let r = DistMatrix::from_replicated(c, &Dense::row_vector(&[1.0, 2.0, 3.0, 4.0]));
             let v =
                 DistMatrix::from_replicated(c, &Dense::col_vector(&[10.0, 20.0, 30.0, 40.0, 50.0]));
-            a.assign_row(c, 2, &r);
+            a.assign_row(c, 2, &r)?;
             a.assign_col(c, 0, &v);
             a.gather_all(c)
         });
@@ -423,7 +434,7 @@ mod tests {
         for p in [1usize, 2, 3, 5] {
             let res = run_spmd(&meiko_cs2(), p, |c| {
                 let v = DistMatrix::range(c, 0.0, 1.0, 19.0); // 20 elements
-                let s = v.extract_range(c, 3, 11);
+                let s = v.extract_range(c, 3, 11)?;
                 s.gather_all(c)
             });
             assert_eq!(
@@ -438,9 +449,9 @@ mod tests {
     fn extract_range_empty_and_full() {
         let res = run_spmd(&meiko_cs2(), 3, |c| {
             let v = DistMatrix::range(c, 1.0, 1.0, 6.0);
-            let empty = v.extract_range(c, 2, 2);
-            let full = v.extract_range(c, 0, 6);
-            (empty.len(), full.gather_all(c).data().to_vec())
+            let empty = v.extract_range(c, 2, 2)?;
+            let full = v.extract_range(c, 0, 6)?;
+            Ok((empty.len(), full.gather_all(c)?.data().to_vec()))
         });
         assert_eq!(res[0].value.0, 0);
         assert_eq!(res[0].value.1, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
@@ -454,6 +465,7 @@ mod tests {
             let a = DistMatrix::zeros(c, 3, 2);
             let b = DistMatrix::zeros(c, 2, 3);
             a.zip(c, &b, OpClass::Add, |x, y| x + y);
+            Ok(())
         });
     }
 }
@@ -469,10 +481,10 @@ impl DistMatrix {
         lo: usize,
         step: i64,
         count: usize,
-    ) -> DistMatrix {
+    ) -> Result<DistMatrix, CommError> {
         assert!(self.is_vector(), "extract_strided expects a vector");
         assert!(step != 0, "stride must be nonzero");
-        let full = self.gather_all(comm);
+        let full = self.gather_all(comm)?;
         let mut data = Vec::with_capacity(count);
         let mut g = lo as i64;
         for _ in 0..count {
@@ -491,7 +503,7 @@ impl DistMatrix {
         } else {
             Dense::col_vector(&data)
         };
-        DistMatrix::from_replicated(comm, &dense)
+        Ok(DistMatrix::from_replicated(comm, &dense))
     }
 
     /// Scalar fill of row `i` (`a(i, :) = s`): communication-free —
@@ -542,7 +554,13 @@ impl DistMatrix {
     /// Vector store into a range (`v(lo..hi) = w`, 0-based half-open).
     /// `w` is gathered (it is at most the range's size); each rank
     /// writes its local overlap.
-    pub fn assign_range(&mut self, comm: &mut Comm, lo: usize, hi: usize, w: &DistMatrix) {
+    pub fn assign_range(
+        &mut self,
+        comm: &mut Comm,
+        lo: usize,
+        hi: usize,
+        w: &DistMatrix,
+    ) -> Result<(), CommError> {
         assert!(
             self.is_vector() && w.is_vector(),
             "assign_range expects vectors"
@@ -553,7 +571,7 @@ impl DistMatrix {
             self.len()
         );
         assert_eq!(w.len(), hi - lo, "assign_range length mismatch");
-        let full = w.gather_all(comm);
+        let full = w.gather_all(comm)?;
         let my = self.local_range();
         let a = my.start.max(lo);
         let b = my.end.min(hi);
@@ -562,6 +580,7 @@ impl DistMatrix {
             self.local_mut()[a - off..b - off].copy_from_slice(&full.data()[a - lo..b - lo]);
         }
         comm.compute((hi - lo) as f64);
+        Ok(())
     }
 }
 
@@ -577,7 +596,7 @@ mod slice_tests {
             let res = run_spmd(&meiko_cs2(), p, |c| {
                 let v = DistMatrix::range(c, 1.0, 1.0, 20.0);
                 // v(3:2:11) in MATLAB → lo=2 (0-based), step 2, 5 elems.
-                v.extract_strided(c, 2, 2, 5).gather_all(c)
+                v.extract_strided(c, 2, 2, 5)?.gather_all(c)
             });
             assert_eq!(res[0].value.data(), &[3.0, 5.0, 7.0, 9.0, 11.0], "p={p}");
         }
@@ -588,7 +607,7 @@ mod slice_tests {
         let res = run_spmd(&meiko_cs2(), 3, |c| {
             let v = DistMatrix::range(c, 1.0, 1.0, 10.0);
             // v(10:-3:1) → 10, 7, 4, 1.
-            v.extract_strided(c, 9, -3, 4).gather_all(c)
+            v.extract_strided(c, 9, -3, 4)?.gather_all(c)
         });
         assert_eq!(res[0].value.data(), &[10.0, 7.0, 4.0, 1.0]);
     }
@@ -601,7 +620,7 @@ mod slice_tests {
             a.fill_col(c, 2, 9.0);
             let mut v = DistMatrix::range(c, 0.0, 1.0, 9.0);
             v.fill_range(c, 3, 7, -1.0);
-            (a.gather_all(c), v.gather_all(c))
+            Ok((a.gather_all(c)?, v.gather_all(c)?))
         });
         let (a, v) = &res[0].value;
         assert_eq!(a.get(1, 0), 7.0);
@@ -620,7 +639,7 @@ mod slice_tests {
             let res = run_spmd(&meiko_cs2(), p, |c| {
                 let mut v = DistMatrix::zeros(c, 1, 12);
                 let w = DistMatrix::range(c, 1.0, 1.0, 4.0);
-                v.assign_range(c, 5, 9, &w);
+                v.assign_range(c, 5, 9, &w)?;
                 v.gather_all(c)
             });
             assert_eq!(

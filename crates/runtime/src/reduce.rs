@@ -8,12 +8,12 @@
 
 use crate::dense::Dense;
 use crate::matrix::DistMatrix;
-use otter_mpi::{Comm, ReduceOp};
+use otter_mpi::{Comm, CommError, ReduceOp};
 
 impl DistMatrix {
     /// Dot product of two aligned distributed objects viewed as flat
     /// vectors.
-    pub fn dot(&self, comm: &mut Comm, other: &DistMatrix) -> f64 {
+    pub fn dot(&self, comm: &mut Comm, other: &DistMatrix) -> Result<f64, CommError> {
         assert!(
             self.aligned_with(other)
                 || (self.is_vector() && other.is_vector() && self.len() == other.len()),
@@ -30,7 +30,7 @@ impl DistMatrix {
     }
 
     /// Sum of all elements, replicated everywhere.
-    pub fn sum_all(&self, comm: &mut Comm) -> f64 {
+    pub fn sum_all(&self, comm: &mut Comm) -> Result<f64, CommError> {
         let local: f64 = self.local().iter().sum();
         comm.compute(self.local_els() as f64);
         comm.allreduce_scalar(local, ReduceOp::Sum)
@@ -38,35 +38,35 @@ impl DistMatrix {
 
     /// Mean of all elements of a vector (MATLAB `mean` on vectors; the
     /// n-body script's usage).
-    pub fn mean_all(&self, comm: &mut Comm) -> f64 {
+    pub fn mean_all(&self, comm: &mut Comm) -> Result<f64, CommError> {
         assert!(!self.is_empty(), "mean of empty");
-        self.sum_all(comm) / self.len() as f64
+        Ok(self.sum_all(comm)? / self.len() as f64)
     }
 
     /// MATLAB `sum` convention: scalar total for vectors; column sums
     /// (as a replicated-then-distributed row vector) for matrices.
-    pub fn sum(&self, comm: &mut Comm) -> DistMatrix {
+    pub fn sum(&self, comm: &mut Comm) -> Result<DistMatrix, CommError> {
         self.col_reduce(comm, ReduceOp::Sum, |acc, x| acc + x, 0.0)
     }
 
     /// MATLAB `prod` with the `sum` conventions.
-    pub fn prod(&self, comm: &mut Comm) -> DistMatrix {
+    pub fn prod(&self, comm: &mut Comm) -> Result<DistMatrix, CommError> {
         self.col_reduce(comm, ReduceOp::Prod, |acc, x| acc * x, 1.0)
     }
 
     /// MATLAB `max` convention: scalar for vectors, column maxima for
     /// matrices.
-    pub fn max(&self, comm: &mut Comm) -> DistMatrix {
+    pub fn max(&self, comm: &mut Comm) -> Result<DistMatrix, CommError> {
         self.col_reduce(comm, ReduceOp::Max, f64::max, f64::NEG_INFINITY)
     }
 
     /// MATLAB `min` (see [`DistMatrix::max`]).
-    pub fn min(&self, comm: &mut Comm) -> DistMatrix {
+    pub fn min(&self, comm: &mut Comm) -> Result<DistMatrix, CommError> {
         self.col_reduce(comm, ReduceOp::Min, f64::min, f64::INFINITY)
     }
 
     /// MATLAB `any` with the `sum` conventions (0/1 results).
-    pub fn any(&self, comm: &mut Comm) -> DistMatrix {
+    pub fn any(&self, comm: &mut Comm) -> Result<DistMatrix, CommError> {
         self.col_reduce(
             comm,
             ReduceOp::Max,
@@ -76,7 +76,7 @@ impl DistMatrix {
     }
 
     /// MATLAB `all` with the `sum` conventions (0/1 results).
-    pub fn all(&self, comm: &mut Comm) -> DistMatrix {
+    pub fn all(&self, comm: &mut Comm) -> Result<DistMatrix, CommError> {
         self.col_reduce(
             comm,
             ReduceOp::Min,
@@ -86,21 +86,21 @@ impl DistMatrix {
     }
 
     /// Product of every element, replicated.
-    pub fn prod_all(&self, comm: &mut Comm) -> f64 {
+    pub fn prod_all(&self, comm: &mut Comm) -> Result<f64, CommError> {
         let local: f64 = self.local().iter().product();
         comm.compute(self.local_els() as f64);
         comm.allreduce_scalar(local, ReduceOp::Prod)
     }
 
     /// 1.0 if any element is nonzero.
-    pub fn any_all(&self, comm: &mut Comm) -> f64 {
+    pub fn any_all(&self, comm: &mut Comm) -> Result<f64, CommError> {
         let local = f64::from(self.local().iter().any(|&x| x != 0.0));
         comm.compute(self.local_els() as f64);
         comm.allreduce_scalar(local, ReduceOp::Max)
     }
 
     /// 1.0 if every element is nonzero.
-    pub fn all_all(&self, comm: &mut Comm) -> f64 {
+    pub fn all_all(&self, comm: &mut Comm) -> Result<f64, CommError> {
         let local = f64::from(self.local().iter().all(|&x| x != 0.0));
         comm.compute(self.local_els() as f64);
         comm.allreduce_scalar(local, ReduceOp::Min)
@@ -115,12 +115,15 @@ impl DistMatrix {
         comm_op: ReduceOp,
         fold: impl Fn(f64, f64) -> f64,
         identity: f64,
-    ) -> DistMatrix {
+    ) -> Result<DistMatrix, CommError> {
         if self.is_vector() {
             let local = self.local().iter().copied().fold(identity, &fold);
             comm.compute(self.local_els() as f64);
-            let s = comm.allreduce_scalar(local, comm_op);
-            return DistMatrix::from_replicated(comm, &Dense::from_vec(1, 1, vec![s]));
+            let s = comm.allreduce_scalar(local, comm_op)?;
+            return Ok(DistMatrix::from_replicated(
+                comm,
+                &Dense::from_vec(1, 1, vec![s]),
+            ));
         }
         let w = self.cols();
         let mut partial = vec![identity; w];
@@ -130,24 +133,24 @@ impl DistMatrix {
             }
         }
         comm.compute(self.local_els() as f64);
-        let full = comm.allreduce(&partial, comm_op);
-        DistMatrix::from_replicated(comm, &Dense::row_vector(&full))
+        let full = comm.allreduce(&partial, comm_op)?;
+        Ok(DistMatrix::from_replicated(comm, &Dense::row_vector(&full)))
     }
 
     /// MATLAB `mean` with the `sum` conventions.
-    pub fn mean(&self, comm: &mut Comm) -> DistMatrix {
+    pub fn mean(&self, comm: &mut Comm) -> Result<DistMatrix, CommError> {
         let n = if self.is_vector() {
             self.len()
         } else {
             self.rows()
         };
         assert!(n > 0, "mean of empty");
-        let s = self.sum(comm);
-        s.map_scalar(comm, n as f64, otter_machine::OpClass::Div, |x, d| x / d)
+        let s = self.sum(comm)?;
+        Ok(s.map_scalar(comm, n as f64, otter_machine::OpClass::Div, |x, d| x / d))
     }
 
     /// Largest element, replicated.
-    pub fn max_all(&self, comm: &mut Comm) -> f64 {
+    pub fn max_all(&self, comm: &mut Comm) -> Result<f64, CommError> {
         let local = self
             .local()
             .iter()
@@ -158,29 +161,29 @@ impl DistMatrix {
     }
 
     /// Smallest element, replicated.
-    pub fn min_all(&self, comm: &mut Comm) -> f64 {
+    pub fn min_all(&self, comm: &mut Comm) -> Result<f64, CommError> {
         let local = self.local().iter().copied().fold(f64::INFINITY, f64::min);
         comm.compute(self.local_els() as f64);
         comm.allreduce_scalar(local, ReduceOp::Min)
     }
 
     /// Euclidean norm of the object viewed as a flat vector.
-    pub fn norm2(&self, comm: &mut Comm) -> f64 {
+    pub fn norm2(&self, comm: &mut Comm) -> Result<f64, CommError> {
         let local: f64 = self.local().iter().map(|&x| x * x).sum();
         comm.compute(2.0 * self.local_els() as f64 + 8.0);
-        comm.allreduce_scalar(local, ReduceOp::Sum).sqrt()
+        Ok(comm.allreduce_scalar(local, ReduceOp::Sum)?.sqrt())
     }
 
     /// Unit-spacing trapezoidal integration of a distributed vector
     /// (MATLAB `trapz(y)`). Interior block boundaries need one
     /// boundary element from the right neighbour.
-    pub fn trapz(&self, comm: &mut Comm) -> f64 {
+    pub fn trapz(&self, comm: &mut Comm) -> Result<f64, CommError> {
         assert!(self.is_vector(), "trapz expects a vector");
         let n = self.len();
         if n < 2 {
-            return 0.0;
+            return Ok(0.0);
         }
-        let halo = self.halo_right(comm);
+        let halo = self.halo_right(comm)?;
         let local = self.local();
         let mut s = 0.0;
         for w in local.windows(2) {
@@ -195,15 +198,15 @@ impl DistMatrix {
 
     /// Trapezoidal integration of `y` against abscissae `x`
     /// (MATLAB `trapz(x, y)`; the ocean script's `trapz2`).
-    pub fn trapz_xy(comm: &mut Comm, x: &DistMatrix, y: &DistMatrix) -> f64 {
+    pub fn trapz_xy(comm: &mut Comm, x: &DistMatrix, y: &DistMatrix) -> Result<f64, CommError> {
         assert!(x.is_vector() && y.is_vector(), "trapz2 expects vectors");
         assert_eq!(x.len(), y.len(), "trapz2 length mismatch");
         let n = x.len();
         if n < 2 {
-            return 0.0;
+            return Ok(0.0);
         }
-        let hx = x.halo_right(comm);
-        let hy = y.halo_right(comm);
+        let hx = x.halo_right(comm)?;
+        let hy = y.halo_right(comm)?;
         let (xl, yl) = (x.local(), y.local());
         let mut s = 0.0;
         for i in 1..xl.len() {
@@ -225,7 +228,7 @@ impl DistMatrix {
     /// Deterministic schedule: every non-empty rank except the first
     /// sends its head element left; every non-empty rank except the
     /// last receives from the right-ward non-empty rank.
-    fn halo_right(&self, comm: &mut Comm) -> Option<f64> {
+    fn halo_right(&self, comm: &mut Comm) -> Result<Option<f64>, CommError> {
         let b = self.block();
         let rank = comm.rank();
 
@@ -236,20 +239,20 @@ impl DistMatrix {
             let left_owner = b.owner(my.start - 1);
             if left_owner != rank {
                 let head = self.local()[0];
-                comm.send_scalar(left_owner, head);
+                comm.send_scalar(left_owner, head)?;
             }
         }
         // Receive from the owner of my.end (if any and not me).
         if !my.is_empty() && my.end < b.n {
             let right_owner = b.owner(my.end);
             if right_owner != rank {
-                return Some(comm.recv_scalar(right_owner));
+                return Ok(Some(comm.recv_scalar(right_owner)?));
             }
             // Owner of my.end is me — cannot happen with contiguous
             // blocks, but keep the arm total.
-            return Some(self.local()[my.end - my.start]);
+            return Ok(Some(self.local()[my.end - my.start]));
         }
-        None
+        Ok(None)
     }
 }
 
@@ -287,7 +290,7 @@ mod tests {
     fn sums_and_means_replicated_everywhere() {
         let res = run_spmd(&meiko_cs2(), 4, |c| {
             let v = DistMatrix::range(c, 1.0, 1.0, 100.0);
-            (v.sum_all(c), v.mean_all(c))
+            Ok((v.sum_all(c)?, v.mean_all(c)?))
         });
         for r in &res {
             assert_eq!(r.value.0, 5050.0);
@@ -300,7 +303,7 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 3, |c| {
             let d = Dense::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
             let m = DistMatrix::from_replicated(c, &d);
-            m.sum(c).gather_all(c)
+            m.sum(c)?.gather_all(c)
         });
         assert_eq!(res[0].value.data(), &[16.0, 20.0]);
     }
@@ -310,7 +313,7 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 2, |c| {
             let d = Dense::from_vec(2, 2, vec![1.0, 10.0, 3.0, 30.0]);
             let m = DistMatrix::from_replicated(c, &d);
-            m.mean(c).gather_all(c)
+            m.mean(c)?.gather_all(c)
         });
         assert_eq!(res[0].value.data(), &[2.0, 20.0]);
     }
@@ -322,7 +325,7 @@ mod tests {
                 c,
                 &Dense::row_vector(&[3.0, -7.0, 2.0, 9.0, 0.0, -1.0]),
             );
-            (v.max_all(c), v.min_all(c))
+            Ok((v.max_all(c)?, v.min_all(c)?))
         });
         for r in &res {
             assert_eq!(r.value, (9.0, -7.0));
@@ -381,7 +384,7 @@ mod tests {
         let res = run_spmd(&meiko_cs2(), 4, |c| {
             let one = DistMatrix::from_replicated(c, &Dense::row_vector(&[5.0]));
             let two = DistMatrix::from_replicated(c, &Dense::row_vector(&[1.0, 3.0]));
-            (one.trapz(c), two.trapz(c))
+            Ok((one.trapz(c)?, two.trapz(c)?))
         });
         for r in &res {
             assert_eq!(r.value, (0.0, 2.0));
@@ -395,7 +398,7 @@ mod tests {
         let v = rand_vec(97, 6);
         let res = run_spmd(&meiko_cs2(), 8, move |c| {
             let x = DistMatrix::from_replicated(c, &Dense::row_vector(&v));
-            x.sum_all(c).to_bits()
+            Ok(x.sum_all(c)?.to_bits())
         });
         let first = res[0].value;
         assert!(res.iter().all(|r| r.value == first));

@@ -90,7 +90,7 @@ fn matmul_matches_dense() {
         let res = run_spmd(&meiko_cs2(), p, move |c| {
             let da = DistMatrix::from_replicated(c, &aa);
             let db = DistMatrix::from_replicated(c, &bb);
-            da.matmul(c, &db).gather_all(c)
+            da.matmul(c, &db)?.gather_all(c)
         });
         for (x, y) in res[0].value.data().iter().zip(oracle.data()) {
             assert!(close(*x, *y), "{x} vs {y}");
@@ -114,13 +114,13 @@ fn reductions_match_dense() {
             (d.sum_all(), d.max_all(), d.min_all(), d.norm2(), d.trapz());
         let res = run_spmd(&meiko_cs2(), p, move |c| {
             let x = DistMatrix::from_replicated(c, &d);
-            (
-                x.sum_all(c),
-                x.max_all(c),
-                x.min_all(c),
-                x.norm2(c),
-                x.trapz(c),
-            )
+            Ok((
+                x.sum_all(c)?,
+                x.max_all(c)?,
+                x.min_all(c)?,
+                x.norm2(c)?,
+                x.trapz(c)?,
+            ))
         });
         for r in &res {
             assert!(close(r.value.0, sum0));
@@ -146,7 +146,7 @@ fn circshift_matches_dense() {
         let oracle = d.circshift(k);
         let res = run_spmd(&meiko_cs2(), p, move |c| {
             DistMatrix::from_replicated(c, &d)
-                .circshift(c, k)
+                .circshift(c, k)?
                 .gather_all(c)
         });
         for r in &res {
@@ -172,9 +172,9 @@ fn transpose_matches_dense() {
         let dd = d.clone();
         let res = run_spmd(&meiko_cs2(), p, move |c| {
             let m = DistMatrix::from_replicated(c, &dd);
-            let t = m.transpose(c);
-            let tt = t.transpose(c);
-            (t.gather_all(c), tt.gather_all(c))
+            let t = m.transpose(c)?;
+            let tt = t.transpose(c)?;
+            Ok((t.gather_all(c)?, tt.gather_all(c)?))
         });
         assert_eq!(&res[0].value.0, &oracle);
         assert_eq!(&res[0].value.1, &d);
@@ -199,7 +199,7 @@ fn owner_is_a_partition() {
                     }
                 }
             }
-            owned
+            Ok(owned)
         });
         let total: usize = res.iter().map(|r| r.value).sum();
         assert_eq!(total, rows * cols);
@@ -235,15 +235,15 @@ fn column_reductions_match_dense() {
         let dd = d.clone();
         let res = run_spmd(&meiko_cs2(), p, move |c| {
             let m = DistMatrix::from_replicated(c, &dd);
-            (
-                m.sum(c).gather_all(c),
-                m.mean(c).gather_all(c),
-                m.prod(c).gather_all(c),
-                m.max(c).gather_all(c),
-                m.min(c).gather_all(c),
-                m.any(c).gather_all(c),
-                m.all(c).gather_all(c),
-            )
+            Ok((
+                m.sum(c)?.gather_all(c)?,
+                m.mean(c)?.gather_all(c)?,
+                m.prod(c)?.gather_all(c)?,
+                m.max(c)?.gather_all(c)?,
+                m.min(c)?.gather_all(c)?,
+                m.any(c)?.gather_all(c)?,
+                m.all(c)?.gather_all(c)?,
+            ))
         });
         let got = &res[0].value;
         for (i, (g, o)) in [
