@@ -35,9 +35,13 @@ pub struct BenchSpec {
     pub scale: Scale,
     /// Benchmark app id (`cg`/`ocean`/`nbody`/`tc`) or `all`.
     pub app_id: String,
-    /// Rank count for the SPMD engine (sequential engines always run
-    /// on one CPU).
-    pub ranks: usize,
+    /// Rank counts for the SPMD engine — one `otter` combination per
+    /// entry (sequential engines always run on one CPU, once).
+    pub ranks: Vec<usize>,
+    /// Worker-pool size for the SPMD scheduler; `None` uses the host's
+    /// parallelism. Deterministic outputs are identical either way, so
+    /// gated quantities never depend on this.
+    pub workers: Option<usize>,
     /// Measured repetitions per combination.
     pub repeat: usize,
     /// Untimed warm-up repetitions per combination.
@@ -49,7 +53,8 @@ impl Default for BenchSpec {
         BenchSpec {
             scale: Scale::Test,
             app_id: "all".to_string(),
-            ranks: 4,
+            ranks: vec![4],
+            workers: None,
             repeat: 5,
             warmup: 1,
         }
@@ -146,12 +151,19 @@ pub fn run_bench(spec: &BenchSpec) -> Result<BenchReport, OtterError> {
         )));
     }
     let repeat = spec.repeat.max(1);
-    let opts = EngineOptions::builder().metrics(true).build();
+    let mut opts = EngineOptions::builder().metrics(true).build();
+    opts.workers = spec.workers;
+    let ranks = if spec.ranks.is_empty() {
+        vec![4]
+    } else {
+        spec.ranks.clone()
+    };
     let mut results = Vec::new();
     for app in &apps {
         // Sequential engines model one CPU; only the SPMD engine sees
-        // the requested rank count.
-        let combos = [("interpreter", 1), ("matcom", 1), ("otter", spec.ranks)];
+        // the requested rank counts (one combination per count).
+        let mut combos = vec![("interpreter", 1), ("matcom", 1)];
+        combos.extend(ranks.iter().map(|&p| ("otter", p)));
         for (engine_name, p) in combos {
             for _ in 0..spec.warmup {
                 run_engine(

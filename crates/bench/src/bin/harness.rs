@@ -22,9 +22,14 @@
 //!                                # deterministic fault plan, print the typed
 //!                                # per-rank failure report (key=value lines),
 //!                                # exit 1 when the job failed
-//! harness bench <app|all> [--ranks N] [--repeat K] [--warmup W]
-//!               [--json out.json] [--check baseline.json] [--tolerance PCT]
+//! harness bench <app|all> [--ranks N[,N...]] [--workers W] [--repeat K]
+//!               [--warmup W] [--json out.json] [--check baseline.json]
+//!               [--tolerance PCT]
 //!                                # statistical bench + regression gate
+//! harness scale <app> [--ranks N[,N...]] [--workers W] [--json out.json]
+//!                                # virtual-rank sweep far past the paper's
+//!                                # 16 CPUs (default 64,256,1024,4096) on a
+//!                                # fixed worker pool
 //! harness all    [--paper]      # everything above
 //! ```
 //!
@@ -80,6 +85,7 @@ fn main() {
         "lint" => run_lint(&args[1..], scale),
         "faults" => run_faults(&args[1..], scale),
         "bench" => run_bench_cmd(&args[1..], scale),
+        "scale" => run_scale_cmd(&args[1..], scale),
         "ablation" => run_ablations(scale),
         "memory" => run_memory(scale),
         "passes" => run_passes(scale),
@@ -103,7 +109,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|faults|bench|ablation|memory|passes|all"
+                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|faults|bench|scale|ablation|memory|passes|all"
             );
             std::process::exit(2);
         }
@@ -432,7 +438,13 @@ fn run_bench_cmd(args: &[String], scale: Scale) {
                 .unwrap_or_else(|| bench_usage(name))
         };
         match a.as_str() {
-            "--ranks" | "-p" => spec.ranks = num("--ranks"),
+            "--ranks" | "-p" => {
+                spec.ranks = it
+                    .next()
+                    .and_then(|s| parse_ranks_list(s))
+                    .unwrap_or_else(|| bench_usage("--ranks"))
+            }
+            "--workers" => spec.workers = Some(num("--workers")),
             "--repeat" => spec.repeat = num("--repeat"),
             "--warmup" => spec.warmup = num("--warmup"),
             "--json" => {
@@ -513,11 +525,96 @@ fn run_bench_cmd(args: &[String], scale: Scale) {
 
 const BENCH_SCHEMA_NOTE: &str = otter_bench::BENCH_SCHEMA;
 
+/// `harness scale <app> [--ranks N[,N...]] [--workers W] [--json out.json]`:
+/// sweep one app's SPMD run across rank counts far beyond the
+/// machine's physical CPUs — the virtual-rank scheduler multiplexes
+/// them over a fixed worker pool. Prints the sweep table; optionally
+/// exports `otter-scale/v1` JSON.
+fn run_scale_cmd(args: &[String], scale: Scale) {
+    use otter_bench::scale::{run_scale, ScaleSpec, SCALE_SCHEMA};
+
+    let mut spec = ScaleSpec {
+        scale,
+        ..ScaleSpec::default()
+    };
+    let mut app_id = None;
+    let mut json_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ranks" | "-p" => {
+                spec.ranks = it
+                    .next()
+                    .and_then(|s| parse_ranks_list(s))
+                    .unwrap_or_else(|| scale_usage())
+            }
+            "--workers" => {
+                spec.workers = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&w: &usize| w >= 1)
+                        .unwrap_or_else(|| scale_usage()),
+                )
+            }
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| scale_usage()).clone()),
+            "--paper" => {}
+            "--csv" => eprintln!("harness scale: `--csv` is not supported here, ignoring"),
+            other if app_id.is_none() && !other.starts_with('-') => {
+                app_id = Some(other.to_string())
+            }
+            _ => scale_usage(),
+        }
+    }
+    if let Some(id) = app_id {
+        spec.app_id = id;
+    }
+
+    let report = run_scale(&spec).unwrap_or_else(|e| {
+        eprintln!("harness scale: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", report.render());
+
+    if let Some(path) = &json_path {
+        let mut text = report.to_json().to_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!();
+        println!("wrote scale report ({SCALE_SCHEMA}) to {path}");
+    }
+}
+
+/// Parse `--ranks` values: a non-empty comma-separated list of
+/// positive integers (`4` or `64,256,1024,4096`).
+fn parse_ranks_list(s: &str) -> Option<Vec<usize>> {
+    let ranks: Vec<usize> = s
+        .split(',')
+        .map(|part| part.trim().parse::<usize>().ok().filter(|&p| p >= 1))
+        .collect::<Option<_>>()?;
+    if ranks.is_empty() {
+        None
+    } else {
+        Some(ranks)
+    }
+}
+
+fn scale_usage() -> ! {
+    eprintln!(
+        "usage: harness scale <cg|ocean|nbody|tc> [--ranks N[,N...]] [--workers W] \
+         [--json out.json] [--paper]"
+    );
+    std::process::exit(2);
+}
+
 fn bench_usage(flag: &str) -> ! {
     eprintln!("harness bench: bad or incomplete argument near `{flag}`");
     eprintln!(
-        "usage: harness bench <cg|ocean|nbody|tc|all> [--ranks N] [--repeat K] \
-         [--warmup W] [--json out.json] [--check baseline.json] [--tolerance PCT] [--paper]"
+        "usage: harness bench <cg|ocean|nbody|tc|all> [--ranks N[,N...]] [--workers W] \
+         [--repeat K] [--warmup W] [--json out.json] [--check baseline.json] \
+         [--tolerance PCT] [--paper]"
     );
     std::process::exit(2);
 }

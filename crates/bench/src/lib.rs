@@ -22,6 +22,7 @@ pub mod ablation;
 pub mod bench;
 pub mod figures;
 pub mod render;
+pub mod scale;
 pub mod table1;
 
 pub use ablation::{
@@ -34,4 +35,5 @@ pub use bench::{
 pub use figures::{
     fig2, fig2_with, speedup_figure, Fig2Cell, Fig2Row, FigureData, Scale, SpeedupSeries,
 };
+pub use scale::{run_scale, ScalePoint, ScaleReport, ScaleSpec, SCALE_SCHEMA};
 pub use table1::TABLE1;

@@ -8,6 +8,9 @@
 //! otterc script.m --emit ast          # dump the resolved/SSA'd AST
 //! otterc script.m --run               # compile AND execute (1 CPU)
 //! otterc script.m --run -p 16 --machine meiko
+//! otterc script.m --run -p 4096 --workers 8
+//!                                      # thousands of virtual ranks on a
+//!                                      # fixed worker pool
 //! otterc script.m --run --trace       # per-rank timeline + critical path
 //! otterc script.m --no-peephole ...   # disable pass 6
 //! otterc script.m --timing            # per-pass wall time + sizes
@@ -36,6 +39,7 @@ struct Args {
     emit: Emit,
     run: bool,
     p: usize,
+    workers: Option<usize>,
     machine: Machine,
     no_peephole: bool,
     timing: bool,
@@ -55,8 +59,9 @@ enum Emit {
 fn usage() -> ! {
     eprintln!(
         "usage: otterc <script.m> [-o out.c] [--emit c|ir|ast] [--run] \
-         [-p N] [--machine meiko|cluster|smp|workstation] [--no-peephole] \
-         [--timing] [--trace] [--dump-after=<pass>|all] [--lint[=deny]]"
+         [-p N] [--workers W] [--machine meiko|cluster|smp|workstation] \
+         [--no-peephole] [--timing] [--trace] [--dump-after=<pass>|all] \
+         [--lint[=deny]]"
     );
     exit(2)
 }
@@ -67,6 +72,7 @@ fn parse_args() -> Args {
     let mut emit = Emit::C;
     let mut run = false;
     let mut p = 1usize;
+    let mut workers = None;
     let mut machine = meiko_cs2();
     let mut no_peephole = false;
     let mut timing = false;
@@ -92,6 +98,13 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--workers" => {
+                workers = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--machine" => {
                 machine = match it.next().as_deref() {
@@ -127,6 +140,7 @@ fn parse_args() -> Args {
         emit,
         run,
         p,
+        workers,
         machine,
         no_peephole,
         timing,
@@ -294,13 +308,14 @@ fn main() {
     }
 
     if args.run {
-        let opts = if args.trace {
+        let mut opts = if args.trace {
             EngineOptions::builder()
                 .trace(Arc::new(MemorySink::new()))
                 .build()
         } else {
             EngineOptions::default()
         };
+        opts.workers = args.workers;
         let mut engine = OtterEngine::from_compiled_with(compiled, opts);
         match engine.run(&args.machine, args.p) {
             Ok(r) => {

@@ -167,6 +167,10 @@ pub struct EngineOptions {
     /// (the default) perturbs nothing and the virtual-time results are
     /// byte-identical to a build without the fault subsystem.
     pub faults: Option<FaultPlan>,
+    /// Worker-pool size for the SPMD scheduler: how many logical
+    /// ranks may execute at once. `None` (the default) uses the host's
+    /// parallelism; deterministic outputs are identical for any value.
+    pub workers: Option<usize>,
 }
 
 impl fmt::Debug for EngineOptions {
@@ -179,6 +183,7 @@ impl fmt::Debug for EngineOptions {
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
             .field("metrics", &self.metrics)
             .field("faults", &self.faults)
+            .field("workers", &self.workers)
             .finish()
     }
 }
@@ -195,6 +200,8 @@ impl EngineOptions {
             trace: self.trace.clone(),
             metrics: self.metrics,
             faults: self.faults.clone(),
+            workers: self.workers,
+            ..SpmdOptions::default()
         }
     }
 }
@@ -261,6 +268,14 @@ impl EngineOptionsBuilder {
     /// the resulting failure report as data.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.opts.faults = Some(plan);
+        self
+    }
+
+    /// Fix the SPMD worker-pool size instead of using the host's
+    /// parallelism. Any value yields identical deterministic outputs;
+    /// small pools let many more ranks than cores run.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.opts.workers = Some(n);
         self
     }
 

@@ -3,31 +3,16 @@
 use crate::collectives::CollectiveAlgo;
 use crate::error::CommError;
 use crate::fault::{FaultState, SendDisposition};
+use crate::mailbox::Mailbox;
+use crate::sched::Scheduler;
 use crate::state::{JobState, RankState};
 use otter_machine::Machine;
 use otter_metrics::MetricsRegistry;
 use otter_trace::{EventKind, TraceEvent, TraceSink};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::cell::Cell;
+use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// How often a blocked receive wakes up to consult the wait-for
-/// registry. Short enough that a deadlock diagnosis lands in tens of
-/// milliseconds; a receive whose message is already buffered never
-/// waits at all.
-const POLL_INTERVAL: Duration = Duration::from_millis(20);
-
-/// How long a wait-for snapshot must hold before a cycle counts as a
-/// confirmed deadlock. Longer than one poll interval, so a peer that
-/// really did send to us (and whose packet is racing in) invalidates
-/// the snapshot by consuming-side epoch bumps before we conclude.
-const CONFIRM_WINDOW: Duration = Duration::from_millis(60);
-
-/// Hard fallback for a receive whose peer is still running but never
-/// sends (e.g. spinning in modeled compute). No cycle to diagnose, so
-/// this is the only case that still needs a timeout — far rarer and
-/// still half the old blanket 60s.
-const HARD_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// One message: a vector of doubles stamped with the sender's virtual
 /// clock at completion of the send.
@@ -61,19 +46,30 @@ impl CommStats {
     }
 }
 
-/// A rank's endpoint: its identity, its channels to every peer, and
+/// A rank's endpoint: its identity, the job-wide mailbox array, and
 /// its virtual clock.
 ///
-/// `Comm` is deliberately `!Sync`: exactly one thread owns each rank,
-/// mirroring MPI's process model.
+/// `Comm` is deliberately `!Sync`: exactly one carrier thread owns
+/// each rank, mirroring MPI's process model (enforced by the
+/// `PhantomData<Cell<()>>` marker, since the shared mailbox/scheduler
+/// handles would otherwise make it `Sync`).
 pub struct Comm {
     rank: usize,
     size: usize,
     machine: Arc<Machine>,
-    /// `senders[d]` transmits on the (self → d) edge.
-    senders: Vec<Sender<Packet>>,
-    /// `receivers[s]` receives on the (s → self) edge.
-    receivers: Vec<Receiver<Packet>>,
+    /// One mailbox per rank, shared by the whole job: `mailboxes[d]`
+    /// is rank d's inbox, and a send pushes straight into it.
+    mailboxes: Arc<Vec<Mailbox>>,
+    /// The job's worker-slot scheduler; a blocked receive releases its
+    /// slot here and re-acquires on wake.
+    sched: Arc<Scheduler>,
+    /// Deadlock-detector cadence (from `SpmdOptions`): how often a
+    /// blocked receive re-checks the wait-for registry, how long a
+    /// cycle snapshot must hold, and the hard fallback for a peer that
+    /// is alive but silent.
+    poll: Duration,
+    confirm: Duration,
+    stall: Duration,
     clock: f64,
     stats: CommStats,
     /// Schedule used by the un-suffixed collective methods.
@@ -96,6 +92,9 @@ pub struct Comm {
     /// `FaultPlan` targets this rank, so the healthy path is one
     /// branch per op.
     faults: Option<Box<FaultState>>,
+    /// Keeps `Comm: !Sync` (one owner per rank) despite the shared
+    /// `Arc`/`Mutex` fields above.
+    _not_sync: PhantomData<Cell<()>>,
 }
 
 impl Comm {
@@ -104,21 +103,23 @@ impl Comm {
         rank: usize,
         size: usize,
         machine: Arc<Machine>,
-        senders: Vec<Sender<Packet>>,
-        receivers: Vec<Receiver<Packet>>,
+        mailboxes: Arc<Vec<Mailbox>>,
+        sched: Arc<Scheduler>,
         opts: &crate::runner::SpmdOptions,
         sink: Arc<dyn TraceSink>,
         job: Arc<JobState>,
     ) -> Self {
-        debug_assert_eq!(senders.len(), size);
-        debug_assert_eq!(receivers.len(), size);
+        debug_assert_eq!(mailboxes.len(), size);
         let tracing = sink.enabled();
         Comm {
             rank,
             size,
             machine,
-            senders,
-            receivers,
+            mailboxes,
+            sched,
+            poll: opts.poll_interval,
+            confirm: opts.confirm_window,
+            stall: opts.stall_timeout,
             clock: 0.0,
             stats: CommStats::default(),
             algo: opts.algo,
@@ -132,6 +133,32 @@ impl Comm {
                 .faults
                 .as_ref()
                 .and_then(|plan| FaultState::for_rank(plan, rank, size)),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Claim a worker slot for this rank. Called once by the runner
+    /// before the rank body starts; the rank holds the slot except
+    /// while parked in a blocked receive.
+    pub(crate) fn acquire_worker(&self) {
+        self.sched.acquire(self.rank);
+    }
+
+    /// Return this rank's worker slot to the pool for good. Called by
+    /// the runner after the rank body (and its result snapshot) are
+    /// done.
+    pub(crate) fn release_worker(&self) {
+        self.sched.release();
+    }
+
+    /// Wake every rank currently parked waiting on *this* rank, so a
+    /// finishing/failing rank's peers re-check its state immediately
+    /// instead of sleeping out their poll interval (the replacement
+    /// for mpsc's disconnect signal). Called by the runner right after
+    /// `set_done`.
+    pub(crate) fn wake_ranks_blocked_on_me(&self) {
+        for r in self.job.waiters_on(self.rank) {
+            self.mailboxes[r].notify();
         }
     }
 
@@ -360,15 +387,27 @@ impl Comm {
                 SendDisposition::Delay(s) => send_clock += s,
             }
         }
-        self.senders[to]
-            .send(Packet {
-                data: data.to_vec(),
-                send_clock,
-            })
-            .map_err(|_| CommError::PeerTerminated {
+        // A terminated receiver can never consume this message; report
+        // it like the old mpsc disconnect did. Stats and time were
+        // already charged above, exactly as they were when the channel
+        // send failed after the charge.
+        match self.job.state_of(to) {
+            RankState::Finished | RankState::Failed => Err(CommError::PeerTerminated {
                 rank: self.rank,
                 peer: to,
-            })
+            }),
+            _ => {
+                self.mailboxes[to].push(
+                    self.rank,
+                    Packet {
+                        data: data.to_vec(),
+                        send_clock,
+                    },
+                );
+                self.job.note_progress();
+                Ok(())
+            }
+        }
     }
 
     /// Blocking send with no known fabric sharing.
@@ -376,75 +415,102 @@ impl Comm {
         self.send_concurrent(to, data, 1)
     }
 
-    /// Block until the next packet from `from` is available,
-    /// publishing the blocked state to the wait-for registry and
-    /// consulting it on every poll so deadlocks and dead peers are
-    /// diagnosed in tens of milliseconds.
+    /// Block until the next packet from `from` is available. This is
+    /// the scheduler's park point: a receive that finds nothing
+    /// buffered publishes its blocked state to the wait-for registry,
+    /// *releases its worker slot* so another virtual rank can run, and
+    /// sleeps on its own mailbox condvar — re-checking the registry on
+    /// every poll so deadlocks and dead peers are still diagnosed in
+    /// tens of milliseconds, then re-acquiring a slot once unblocked.
     fn recv_packet(&mut self, from: usize) -> Result<Packet, CommError> {
-        // Fast path: already buffered — never touches the registry.
-        if let Ok(p) = self.receivers[from].try_recv() {
+        // Fast path: already buffered — never touches the registry or
+        // the scheduler.
+        if let Some(p) = self.mailboxes[self.rank].try_pop(from) {
             return Ok(p);
         }
         self.job.set_waiting(self.rank, from);
-        let blocked_at = Instant::now();
+        self.sched.release();
+        // The poll interval backs off exponentially (capped at 16x the
+        // base) while nothing changes: packet arrival wakes the condvar
+        // directly, so backing off only delays *detection* of deadlocks
+        // and dead peers, and cuts the wakeup storm of thousands of
+        // parked ranks from O(p / poll) to a trickle.
+        let mut wait = self.poll;
+        let wait_cap = self.poll * 16;
+        // The stall clock restarts whenever the job as a whole makes
+        // progress: on a starved pool a rank may legitimately sit
+        // blocked for many multiples of the timeout while packets flow
+        // elsewhere. Only a globally-quiet 30s is a hang.
+        let mut blocked_at = Instant::now();
+        let mut last_progress = self.job.progress();
         let result = loop {
-            match self.receivers[from].recv_timeout(POLL_INTERVAL) {
-                Ok(p) => break Ok(p),
-                Err(RecvTimeoutError::Disconnected) => {
-                    // The peer's endpoint is gone: it finished, failed,
-                    // or panicked without serving us. A deadlock
-                    // verdict posted while we slept takes precedence.
-                    break Err(self.job.take_verdict(self.rank).unwrap_or(
-                        CommError::PeerTerminated {
-                            rank: self.rank,
-                            peer: from,
-                        },
-                    ));
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    if let Some(v) = self.job.take_verdict(self.rank) {
-                        match self.receivers[from].try_recv() {
-                            Ok(p) => break Ok(p), // verdict lost the race
-                            Err(_) => break Err(v),
-                        }
-                    }
-                    match self.job.state_of(from) {
-                        RankState::Finished | RankState::Failed => {
-                            // Final drain: the peer may have sent just
-                            // before ending.
-                            match self.receivers[from].try_recv() {
-                                Ok(p) => break Ok(p),
-                                Err(_) => {
-                                    break Err(CommError::PeerTerminated {
-                                        rank: self.rank,
-                                        peer: from,
-                                    })
-                                }
-                            }
-                        }
-                        RankState::WaitingOn(_) => {
-                            if let Some(err) =
-                                self.job.diagnose_deadlock(self.rank, from, CONFIRM_WINDOW)
-                            {
-                                match self.receivers[from].try_recv() {
-                                    Ok(p) => break Ok(p),
-                                    Err(_) => break Err(err),
-                                }
-                            }
-                        }
-                        RankState::Running => {}
-                    }
-                    if blocked_at.elapsed() >= HARD_STALL_TIMEOUT {
-                        break Err(CommError::Stalled {
-                            rank: self.rank,
-                            waiting_on: from,
-                            seconds: HARD_STALL_TIMEOUT.as_secs(),
-                        });
-                    }
+            if let Some(p) = self.mailboxes[self.rank].pop_or_wait(from, wait) {
+                break Ok(p);
+            }
+            wait = (wait * 2).min(wait_cap);
+            if let Some(v) = self.job.take_verdict(self.rank) {
+                match self.mailboxes[self.rank].try_pop(from) {
+                    Some(p) => break Ok(p), // verdict lost the race
+                    None => break Err(v),
                 }
             }
+            match self.job.state_of(from) {
+                RankState::Finished | RankState::Failed => {
+                    // Final drain: the peer may have sent just before
+                    // ending.
+                    match self.mailboxes[self.rank].try_pop(from) {
+                        Some(p) => break Ok(p),
+                        None => {
+                            break Err(CommError::PeerTerminated {
+                                rank: self.rank,
+                                peer: from,
+                            })
+                        }
+                    }
+                }
+                RankState::WaitingOn(_) => {
+                    let pending = |r: usize, s: usize| self.mailboxes[r].has_from(s);
+                    if let Some(err) =
+                        self.job
+                            .diagnose_deadlock(self.rank, from, self.confirm, pending)
+                    {
+                        match self.mailboxes[self.rank].try_pop(from) {
+                            Some(p) => break Ok(p),
+                            None => {
+                                // Wake the other members so they take
+                                // their verdicts now, not next poll.
+                                if let CommError::Deadlock { cycle, .. } = &err {
+                                    for e in cycle {
+                                        if e.waiter != self.rank {
+                                            self.mailboxes[e.waiter].notify();
+                                        }
+                                    }
+                                }
+                                break Err(err);
+                            }
+                        }
+                    }
+                }
+                RankState::Running => {}
+            }
+            let progress = self.job.progress();
+            if progress != last_progress {
+                last_progress = progress;
+                blocked_at = Instant::now();
+            }
+            if blocked_at.elapsed() >= self.stall {
+                break Err(CommError::Stalled {
+                    rank: self.rank,
+                    waiting_on: from,
+                    seconds: self.stall.as_secs(),
+                });
+            }
         };
+        // Clear the published wait *before* queueing for a slot: a
+        // rank that is merely waiting for a free worker must not look
+        // deadlocked to a detector walking the wait-for graph.
         self.job.set_running(self.rank);
+        self.sched.acquire(self.rank);
         result
     }
 
@@ -732,6 +798,35 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn send_out_of_range_panics() {
         run_spmd(&meiko_cs2(), 1, |c| c.send(5, &[1.0]));
+    }
+
+    #[test]
+    fn relay_chain_completes_on_one_worker() {
+        // Ranks 1..6 all block in recv immediately; rank 0 starts the
+        // relay. On a one-worker pool this only terminates if every
+        // blocked recv genuinely parks (releases its worker slot) —
+        // a rank that held its worker while blocked would starve the
+        // sender forever.
+        let p = 6;
+        let opts = SpmdOptions {
+            workers: Some(1),
+            ..SpmdOptions::default()
+        };
+        let res = run_spmd_with(&meiko_cs2(), p, opts, |c| {
+            if c.rank() == 0 {
+                c.send_scalar(1, 1.0)?;
+                c.recv_scalar(p - 1)
+            } else {
+                let v = c.recv_scalar(c.rank() - 1)?;
+                c.send_scalar((c.rank() + 1) % p, v + 1.0)?;
+                Ok(v)
+            }
+        })
+        .unwrap();
+        assert_eq!(res[0].value, p as f64); // went all the way around
+        for r in res.iter().skip(1) {
+            assert_eq!(r.value, r.rank as f64);
+        }
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub enum CommError {
     /// The rank body panicked; the panic was caught at the thread
     /// boundary instead of aborting the launcher.
     Panicked { rank: usize, message: String },
+    /// The job could not be launched at all: the `SpmdOptions` or the
+    /// rank count were invalid (zero ranks, a zero-worker pool). No
+    /// rank ever ran; the report carries this error on rank 0.
+    InvalidConfig { reason: String },
 }
 
 impl CommError {
@@ -91,12 +95,16 @@ impl CommError {
             CommError::InjectedCrash { .. } => "injected_crash",
             CommError::Stalled { .. } => "stalled",
             CommError::Panicked { .. } => "panicked",
+            CommError::InvalidConfig { .. } => "invalid_config",
         }
     }
 
-    /// The rank this error was observed on.
+    /// The rank this error was observed on. A launch-time
+    /// configuration error precedes any rank, and is attributed to
+    /// rank 0 by convention.
     pub fn rank(&self) -> usize {
         match *self {
+            CommError::InvalidConfig { .. } => 0,
             CommError::Deadlock { rank, .. }
             | CommError::PeerTerminated { rank, .. }
             | CommError::RankOutOfRange { rank, .. }
@@ -182,6 +190,9 @@ impl fmt::Display for CommError {
             ),
             CommError::Panicked { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")
+            }
+            CommError::InvalidConfig { reason } => {
+                write!(f, "invalid SPMD configuration: {reason}")
             }
         }
     }

@@ -4,10 +4,15 @@
 //! stand-in for the MPI library of the paper's Figure 1 stack
 //! (`MATLAB script → compiler → SPMD C + run-time library → MPI`).
 //!
-//! Each *rank* is an OS thread holding a [`Comm`] endpoint wired to
-//! every other rank through lock-free channels, so compiled programs
-//! really move data between really-parallel threads. On top of the
-//! real execution, every endpoint maintains a **virtual clock**
+//! Each *rank* is a schedulable virtual task holding a [`Comm`]
+//! endpoint: a fixed pool of `W` workers (host parallelism by
+//! default, [`SpmdOptions::workers`] to override) multiplexes `p`
+//! logical ranks, with a rank *parking* — releasing its worker —
+//! whenever it blocks in a receive. Messages travel through `p`
+//! per-rank mailboxes rather than a `p²` channel mesh, so jobs with
+//! thousands of ranks are feasible on a laptop. Compiled programs
+//! still really move data between really-parallel threads. On top of
+//! the real execution, every endpoint maintains a **virtual clock**
 //! charged against an [`otter_machine::Machine`] model: compute
 //! advances the local clock, a message delivers at
 //! `max(receiver clock, sender clock + α + bytes·β)` — a conservative
@@ -41,7 +46,9 @@ pub mod collectives;
 pub mod comm;
 pub mod error;
 pub mod fault;
+mod mailbox;
 pub mod runner;
+mod sched;
 mod state;
 
 pub use collectives::{CollectiveAlgo, ReduceOp};
@@ -49,6 +56,6 @@ pub use comm::{Comm, CommStats};
 pub use error::{CommError, WaitEdge};
 pub use fault::{FaultAction, FaultPlan};
 pub use runner::{
-    job_time, run_spmd, run_spmd_with, FailureReport, JobFailure, JobResult, RankFailure,
-    RankResult, SpmdOptions,
+    default_workers, job_time, run_spmd, run_spmd_with, FailureReport, JobFailure, JobResult,
+    RankFailure, RankResult, SpmdOptions,
 };

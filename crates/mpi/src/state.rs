@@ -26,6 +26,13 @@ pub(crate) struct JobState {
     /// deadlock cycle, so every member of the cycle reports the same
     /// diagnosis instead of a racy mix of deadlock/peer-terminated.
     verdicts: Vec<Mutex<Option<CommError>>>,
+    /// Job-wide delivery counter: bumped on every packet handed to a
+    /// mailbox and every rank completion. The stall timeout measures
+    /// against this, not wall time alone — on a starved worker pool a
+    /// rank can legitimately wait minutes for its turn while the job
+    /// is making steady progress, and only "nothing moved anywhere"
+    /// is evidence of a silent hang.
+    progress: AtomicU64,
 }
 
 /// A decoded slot.
@@ -43,7 +50,18 @@ impl JobState {
         JobState {
             slots: (0..p).map(|_| AtomicU64::new(TAG_RUNNING)).collect(),
             verdicts: (0..p).map(|_| Mutex::new(None)).collect(),
+            progress: AtomicU64::new(0),
         }
+    }
+
+    /// Note one unit of job-wide progress (a delivery or completion).
+    pub fn note_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current progress count, for stall-reset comparisons.
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
     }
 
     fn store(&self, rank: usize, tag: u64) {
@@ -83,6 +101,16 @@ impl JobState {
         self.load(rank).1
     }
 
+    /// Ranks currently blocked receiving from `rank`. A finishing rank
+    /// uses this to wake exactly the parked peers its termination
+    /// affects (the mailbox-world replacement for mpsc's disconnect
+    /// signal).
+    pub fn waiters_on(&self, rank: usize) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&r| r != rank && self.state_of(r) == RankState::WaitingOn(rank))
+            .collect()
+    }
+
     /// Take the one-shot verdict another rank may have posted for us.
     pub fn take_verdict(&self, rank: usize) -> Option<CommError> {
         self.verdicts[rank].lock().unwrap().take()
@@ -95,22 +123,29 @@ impl JobState {
         }
     }
 
-    /// Walk the wait-for chain from `start`. Returns the cycle as a
-    /// list of edges (canonicalized to begin at its smallest member)
+    /// Walk the wait-for chain from `start`. Returns the cycle as the
+    /// list of `(rank, epoch, waiting_on)` observations the walk made
     /// if the chain revisits a node; `None` if it reaches a running,
     /// finished, or failed rank — those cases resolve on their own.
-    fn find_cycle(&self, start: usize) -> Option<Vec<usize>> {
-        let mut path = vec![start];
+    ///
+    /// The epochs matter: the walk reads each slot at a different
+    /// instant, so the "cycle" may be a chimera stitched from waits
+    /// that never coexisted. The caller re-checks that every member
+    /// still holds its *observed* `(epoch, peer)` — epochs increment
+    /// on every transition, so an unchanged epoch proves the slot held
+    /// that exact wait for the whole interval between the two reads.
+    fn find_cycle(&self, start: usize) -> Option<Vec<(usize, u64, usize)>> {
+        let mut path: Vec<(usize, u64, usize)> = Vec::new();
         let mut cur = start;
         loop {
-            let next = match self.load(cur).1 {
-                RankState::WaitingOn(peer) => peer,
+            let (epoch, next) = match self.load(cur) {
+                (e, RankState::WaitingOn(peer)) => (e, peer),
                 _ => return None,
             };
-            if let Some(pos) = path.iter().position(|&r| r == next) {
+            path.push((cur, epoch, next));
+            if let Some(pos) = path.iter().position(|&(r, _, _)| r == next) {
                 return Some(path[pos..].to_vec());
             }
-            path.push(next);
             cur = next;
             if path.len() > self.slots.len() {
                 return None; // corrupt snapshot; let the poll retry
@@ -123,37 +158,57 @@ impl JobState {
     /// confirm it is stable across `confirm`, and if so post a
     /// verdict to every member and return this rank's error.
     ///
-    /// The confirmation re-read defeats the in-flight-message race: a
-    /// peer that really sent to us before blocking bumps our epoch
-    /// within one poll interval when we consume the packet, so a
-    /// snapshot that holds for longer than a poll is genuine.
+    /// Three guards defeat the in-flight-message race. First, every
+    /// member must still hold the exact `(epoch, peer)` the walk
+    /// observed — the walk reads slots at different instants, and a
+    /// rank that progressed between reads can stitch a chimera
+    /// "cycle" out of waits that never coexisted (the later reads are
+    /// real waits, the earlier ones already over); an unchanged epoch
+    /// proves the wait held continuously, so one consistent re-read
+    /// proves all the waits coexist *simultaneously*. Second, the
+    /// same re-read after the confirm window catches members that
+    /// made progress during it: consuming a packet bumps the
+    /// consumer's epoch. Third, the `pending` predicate — "does rank
+    /// r have a packet queued from rank s?", answered by the caller
+    /// from the mailboxes — catches members that *could* move but
+    /// haven't been scheduled: a starved rank can sit on a
+    /// deliverable packet for longer than any confirm window while
+    /// its slot still reads `WaitingOn`, and that wait is
+    /// satisfiable, not deadlocked. A cycle counts only if every
+    /// member's awaited edge is empty at both ends of the window.
     pub fn diagnose_deadlock(
         &self,
         rank: usize,
         waiting_on: usize,
         confirm: std::time::Duration,
+        pending: impl Fn(usize, usize) -> bool,
     ) -> Option<CommError> {
-        let members = self.find_cycle(rank)?;
-        let before: Vec<(u64, RankState)> = members.iter().map(|&r| self.load(r)).collect();
+        let observed = self.find_cycle(rank)?;
+        let still_observed = || {
+            observed
+                .iter()
+                .all(|&(r, epoch, s)| self.load(r) == (epoch, RankState::WaitingOn(s)))
+        };
+        let awaited_edges_empty = || observed.iter().all(|&(r, _, s)| !pending(r, s));
+        if !still_observed() || !awaited_edges_empty() {
+            return None;
+        }
         std::thread::sleep(confirm);
-        for (&r, &snap) in members.iter().zip(&before) {
-            if self.load(r) != snap {
-                return None;
-            }
+        if !still_observed() || !awaited_edges_empty() {
+            return None;
         }
         // Canonicalize: start the cycle at its smallest member.
-        let min_pos = members
+        let min_pos = observed
             .iter()
             .enumerate()
-            .min_by_key(|&(_, r)| r)
+            .min_by_key(|&(_, &(r, _, _))| r)
             .map(|(i, _)| i)
             .unwrap();
-        let n = members.len();
-        let ordered: Vec<usize> = (0..n).map(|i| members[(min_pos + i) % n]).collect();
+        let n = observed.len();
         let cycle: Vec<WaitEdge> = (0..n)
-            .map(|i| WaitEdge {
-                waiter: ordered[i],
-                waiting_on: ordered[(i + 1) % n],
+            .map(|i| {
+                let (waiter, _, waiting_on) = observed[(min_pos + i) % n];
+                WaitEdge { waiter, waiting_on }
             })
             .collect();
         for e in &cycle {
@@ -205,7 +260,7 @@ mod tests {
         js.set_waiting(2, 3);
         js.set_waiting(3, 2);
         let err = js
-            .diagnose_deadlock(3, 2, Duration::from_millis(1))
+            .diagnose_deadlock(3, 2, Duration::from_millis(1), |_, _| false)
             .expect("cycle must be found");
         match &err {
             CommError::Deadlock {
@@ -237,12 +292,47 @@ mod tests {
     }
 
     #[test]
+    fn waiters_on_inverts_the_wait_edges() {
+        let js = JobState::new(5);
+        js.set_waiting(1, 3);
+        js.set_waiting(2, 3);
+        js.set_waiting(4, 0);
+        assert_eq!(js.waiters_on(3), vec![1, 2]);
+        assert_eq!(js.waiters_on(0), vec![4]);
+        assert!(js.waiters_on(1).is_empty());
+        js.set_running(1);
+        assert_eq!(js.waiters_on(3), vec![2]);
+    }
+
+    #[test]
+    fn member_that_moves_mid_confirm_vetoes_the_diagnosis() {
+        // 2↔3 look deadlocked at walk time, but rank 3 makes progress
+        // during the confirm window and re-enters the *same* wait. The
+        // state alone is indistinguishable; the epoch is not.
+        let js = std::sync::Arc::new(JobState::new(4));
+        js.set_waiting(2, 3);
+        js.set_waiting(3, 2);
+        let mover = {
+            let js = std::sync::Arc::clone(&js);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                js.set_running(3);
+                js.set_waiting(3, 2);
+            })
+        };
+        let verdict = js.diagnose_deadlock(2, 3, Duration::from_millis(200), |_, _| false);
+        mover.join().unwrap();
+        assert!(verdict.is_none(), "a member that moved is not deadlocked");
+        assert!(js.take_verdict(3).is_none(), "no verdict may be posted");
+    }
+
+    #[test]
     fn chain_to_running_rank_is_not_a_deadlock() {
         let js = JobState::new(3);
         js.set_waiting(0, 1);
         js.set_waiting(1, 2); // rank 2 still running
         assert!(js
-            .diagnose_deadlock(0, 1, Duration::from_millis(1))
+            .diagnose_deadlock(0, 1, Duration::from_millis(1), |_, _| false)
             .is_none());
     }
 
@@ -255,7 +345,7 @@ mod tests {
         js.set_waiting(1, 2);
         js.set_waiting(2, 1);
         let err = js
-            .diagnose_deadlock(0, 1, Duration::from_millis(1))
+            .diagnose_deadlock(0, 1, Duration::from_millis(1), |_, _| false)
             .expect("transitive deadlock");
         match err {
             CommError::Deadlock { cycle, .. } => {
