@@ -1,7 +1,7 @@
 //! Wall-clock benches for the ablation studies: peephole on/off and
 //! compiler-pipeline cost itself (plain timing harness).
 
-use otter_core::{compile, CompileOptions, Compiled, Engine, OtterEngine};
+use otter_core::{compile, run, CompiledArtifact, EngineOptions, RunRequest};
 use otter_machine::meiko_cs2;
 use std::time::Instant;
 
@@ -18,24 +18,16 @@ fn bench(label: &str, mut f: impl FnMut()) {
     println!("{label:<40} {:>12.3} ms (best of {SAMPLES})", best * 1e3);
 }
 
-fn run_compiled(compiled: &Compiled, p: usize) {
-    OtterEngine::from_compiled(compiled.clone())
-        .run(&meiko_cs2(), p)
-        .unwrap();
+fn run_compiled(artifact: &CompiledArtifact, p: usize) {
+    run(artifact, &RunRequest::on(meiko_cs2(), p)).unwrap();
 }
 
 fn bench_peephole() {
     let app = otter_apps::cg::conjugate_gradient(otter_apps::cg::Params::test());
-    let with = compile(
-        &app.script,
-        &otter_frontend::EmptyProvider,
-        &CompileOptions::default(),
-    )
-    .unwrap();
+    let with = compile(&app.script, &EngineOptions::default()).unwrap();
     let without = compile(
         &app.script,
-        &otter_frontend::EmptyProvider,
-        &CompileOptions::default().without_pass("peephole"),
+        &EngineOptions::builder().disable_pass("peephole").build(),
     )
     .unwrap();
     println!("== ablation_peephole ==");

@@ -15,8 +15,8 @@
 //! wall-clock scaling with ranks is visible on multi-core hosts.
 
 use otter_core::{
-    compile_str, run_engine, Compiled, Engine, EngineOptions, InterpreterEngine, MatcomEngine,
-    OtterEngine,
+    compile, run, run_engine, CompiledArtifact, EngineOptions, InterpreterEngine, MatcomEngine,
+    RunRequest,
 };
 use otter_machine::{meiko_cs2, workstation, Machine};
 use std::time::Instant;
@@ -37,17 +37,15 @@ fn bench(label: &str, mut f: impl FnMut()) {
     println!("{label:<40} {:>12.3} ms (best of {SAMPLES})", best * 1e3);
 }
 
-fn run_compiled(compiled: &Compiled, machine: &Machine, p: usize) {
-    OtterEngine::from_compiled(compiled.clone())
-        .run(machine, p)
-        .unwrap();
+fn run_compiled(artifact: &CompiledArtifact, machine: &Machine, p: usize) {
+    run(artifact, &RunRequest::on(machine.clone(), p)).unwrap();
 }
 
 fn bench_fig2() {
     let ws = workstation();
     println!("== fig2_single_cpu ==");
     for app in otter_apps::test_apps() {
-        let compiled = compile_str(&app.script).expect("app compiles");
+        let compiled = compile(&app.script, &EngineOptions::default()).expect("app compiles");
         bench(&format!("interpreter/{}", app.id), || {
             run_engine(
                 &mut InterpreterEngine::new(EngineOptions::default()),
@@ -83,7 +81,7 @@ fn bench_speedup(figure: &str, app_id: &str) {
             .find(|a| a.id == app_id)
             .unwrap()
     };
-    let compiled = compile_str(&app.script).expect("app compiles");
+    let compiled = compile(&app.script, &EngineOptions::default()).expect("app compiles");
     println!("== {figure} ==");
     for p in [1usize, 2, 4, 8] {
         bench(&format!("{app_id}/p={p}"), || {

@@ -2,7 +2,7 @@
 
 use crate::figures::run_compiled;
 use otter_apps::App;
-use otter_core::{compile, run_engine, CompileOptions, EngineOptions, InterpreterEngine};
+use otter_core::{compile, run_engine, EngineOptions, InterpreterEngine};
 use otter_machine::{meiko_cs2, Machine};
 
 /// Pass-6 ablation result for one application.
@@ -25,16 +25,11 @@ pub struct PeepholeAblation {
 /// toggleable optional pass in the pass manager).
 pub fn peephole_ablation(app: &App, p: usize) -> PeepholeAblation {
     let machine = meiko_cs2();
-    let with = compile(
-        &app.script,
-        &otter_frontend::EmptyProvider,
-        &CompileOptions::default(),
-    )
-    .unwrap_or_else(|e| panic!("{}: {e}", app.id));
+    let with = compile(&app.script, &EngineOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", app.id));
     let without = compile(
         &app.script,
-        &otter_frontend::EmptyProvider,
-        &CompileOptions::default().without_pass("peephole"),
+        &EngineOptions::builder().disable_pass("peephole").build(),
     )
     .unwrap();
     let run_with = run_compiled(&with, &machine, p).unwrap();
@@ -47,8 +42,8 @@ pub fn peephole_ablation(app: &App, p: usize) -> PeepholeAblation {
     }
     PeepholeAblation {
         app: app.name.to_string(),
-        instrs_with: with.ir.instr_count(),
-        instrs_without: without.ir.instr_count(),
+        instrs_with: with.compiled().ir.instr_count(),
+        instrs_without: without.compiled().ir.instr_count(),
         p,
         seconds_with: run_with.modeled_seconds,
         seconds_without: run_without.modeled_seconds,
@@ -79,12 +74,8 @@ pub struct TypeInferAblation {
 pub fn typeinfer_ablation(app: &App, p: usize) -> TypeInferAblation {
     let real = meiko_cs2();
     let complex = real.assuming_complex();
-    let compiled = compile(
-        &app.script,
-        &otter_frontend::EmptyProvider,
-        &CompileOptions::default(),
-    )
-    .unwrap_or_else(|e| panic!("{}: {e}", app.id));
+    let compiled = compile(&app.script, &EngineOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", app.id));
     let run_real = run_compiled(&compiled, &real, p).unwrap();
     let run_complex = run_compiled(&compiled, &complex, p).unwrap();
     TypeInferAblation {
@@ -169,12 +160,7 @@ pub fn grain_sweep(machine: &Machine, p: usize, sizes: &[usize]) -> Vec<GrainPoi
                 1,
             )
             .unwrap();
-            let compiled = compile(
-                &app.script,
-                &otter_frontend::EmptyProvider,
-                &CompileOptions::default(),
-            )
-            .unwrap();
+            let compiled = compile(&app.script, &EngineOptions::default()).unwrap();
             let run = run_compiled(&compiled, machine, p).unwrap();
             GrainPoint {
                 n,

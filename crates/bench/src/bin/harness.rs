@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table and figure of the
-//! paper.
+//! paper, and fronts the serve/load machinery.
 //!
 //! ```text
 //! harness table1                 # Table 1 (survey)
@@ -30,13 +30,30 @@
 //!                                # virtual-rank sweep far past the paper's
 //!                                # 16 CPUs (default 64,256,1024,4096) on a
 //!                                # fixed worker pool
-//! harness all    [--paper]      # everything above
+//! harness serve  [--socket PATH] [--workers W] [--cache N]
+//!                [--metrics-addr HOST:PORT]
+//!                                # run the otterd compile-and-run service
+//!                                # in the foreground (otter-serve/v1)
+//! harness load   [--clients N] [--scripts M] [--requests R]
+//!                [--arrival open|closed] [--rate JOBS/S] [--ranks P]
+//!                [--workers W] [--machine M] [--socket PATH]
+//!                [--json out.json] [--check baseline.json]
+//!                [--tolerance PCT]
+//!                                # serve-mode traffic generator: throughput,
+//!                                # latency percentiles, cache-hit rate, and
+//!                                # a gated otter-bench section
+//! harness all    [--paper]      # every table and figure above
 //! ```
 //!
 //! `--paper` runs paper-scale problems (n = 2048 CG, 5 000-particle
 //! n-body, 512² transitive closure) — use a release build. The default
 //! test scale finishes in seconds. `--csv` prints figures as CSV for
 //! external plotting.
+//!
+//! Every subcommand shares one option parser: `--ranks`/`-p` and
+//! `--workers` are accepted (and validated) identically everywhere,
+//! and an unrecognized flag is a typed [`ArgError`] with exit code 2 —
+//! never silently ignored.
 
 use otter_bench::figures::{all_speedup_figures, fig2, Scale};
 use otter_bench::render::*;
@@ -45,54 +62,272 @@ use otter_bench::{
 };
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster};
 
+/// What a subcommand accepts beyond the shared flags.
+struct ArgSpec {
+    /// The subcommand name (for error prefixes).
+    cmd: &'static str,
+    /// Usage line printed with every argument error.
+    usage: &'static str,
+    /// Extra flags taking a value.
+    value_flags: &'static [&'static str],
+    /// Extra boolean switches.
+    switches: &'static [&'static str],
+    /// Maximum positional arguments (the `<app>` slot).
+    positionals: usize,
+}
+
+/// Flags every subcommand accepts: `--ranks N[,N...]` (alias `-p`) and
+/// `--workers W`, plus the `--paper` / `--csv` switches.
+const SHARED_VALUE_FLAGS: &[&str] = &["--ranks", "--workers"];
+const SHARED_SWITCHES: &[&str] = &["--paper", "--csv"];
+
+/// A typed argument error — what the shared parser rejects with.
+#[derive(Debug, Clone, PartialEq)]
+enum ArgError {
+    UnknownFlag(String),
+    MissingValue(String),
+    BadValue {
+        flag: String,
+        value: String,
+        expected: &'static str,
+    },
+    ExtraPositional(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            ArgError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value `{value}` for `{flag}` (expected {expected})"),
+            ArgError::ExtraPositional(arg) => write!(f, "unexpected argument `{arg}`"),
+        }
+    }
+}
+
+/// The parsed command line of one subcommand.
+struct ParsedArgs {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+    positionals: Vec<String>,
+}
+
+/// Parse `args` against `spec` plus the shared flags. `-p` is
+/// normalized to `--ranks` so every consumer sees one spelling.
+fn parse_args(args: &[String], spec: &ArgSpec) -> Result<ParsedArgs, ArgError> {
+    let mut out = ParsedArgs {
+        values: Vec::new(),
+        switches: Vec::new(),
+        positionals: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let name = if arg == "-p" { "--ranks" } else { arg.as_str() };
+        if SHARED_VALUE_FLAGS.contains(&name) || spec.value_flags.contains(&name) {
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+            out.values.push((name.to_string(), value.clone()));
+        } else if SHARED_SWITCHES.contains(&name) || spec.switches.contains(&name) {
+            out.switches.push(name.to_string());
+        } else if name.starts_with('-') {
+            return Err(ArgError::UnknownFlag(name.to_string()));
+        } else if out.positionals.len() < spec.positionals {
+            out.positionals.push(arg.clone());
+        } else {
+            return Err(ArgError::ExtraPositional(arg.clone()));
+        }
+    }
+    Ok(out)
+}
+
+impl ParsedArgs {
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn positional(&self) -> Option<&str> {
+        self.positionals.first().map(String::as_str)
+    }
+
+    /// A positive integer flag.
+    fn count(&self, flag: &str) -> Result<Option<usize>, ArgError> {
+        self.parse_with(flag, "a positive integer", |v| {
+            v.parse::<usize>().ok().filter(|&n| n >= 1)
+        })
+    }
+
+    /// A positive u64 flag (seeds).
+    fn seed(&self, flag: &str) -> Result<Option<u64>, ArgError> {
+        self.parse_with(flag, "an unsigned integer", |v| v.parse::<u64>().ok())
+    }
+
+    /// A positive float flag (rates, tolerances).
+    fn rate(&self, flag: &str) -> Result<Option<f64>, ArgError> {
+        self.parse_with(flag, "a positive number", |v| {
+            v.parse::<f64>().ok().filter(|&x| x > 0.0)
+        })
+    }
+
+    /// The shared `--ranks` list: `4` or `64,256,1024`.
+    fn ranks_list(&self) -> Result<Option<Vec<usize>>, ArgError> {
+        self.parse_with(
+            "--ranks",
+            "a comma-separated list of positive integers",
+            |v| {
+                let ranks: Vec<usize> = v
+                    .split(',')
+                    .map(|part| part.trim().parse::<usize>().ok().filter(|&p| p >= 1))
+                    .collect::<Option<_>>()?;
+                (!ranks.is_empty()).then_some(ranks)
+            },
+        )
+    }
+
+    /// The shared `--ranks` flag as a single count.
+    fn ranks_single(&self, default: usize) -> Result<usize, ArgError> {
+        Ok(self.count("--ranks")?.unwrap_or(default))
+    }
+
+    /// The shared `--workers` flag.
+    fn workers(&self) -> Result<Option<usize>, ArgError> {
+        self.count("--workers")
+    }
+
+    fn parse_with<T>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+        parse: impl Fn(&str) -> Option<T>,
+    ) -> Result<Option<T>, ArgError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(v) => parse(v).map(Some).ok_or_else(|| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected,
+            }),
+        }
+    }
+}
+
+/// Parse or die: argument errors print the typed message plus the
+/// subcommand usage and exit 2.
+fn parse_or_exit(args: &[String], spec: &ArgSpec) -> ParsedArgs {
+    match parse_args(args, spec) {
+        Ok(pa) => pa,
+        Err(e) => {
+            eprintln!("harness {}: {e}", spec.cmd);
+            eprintln!("usage: {}", spec.usage);
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resolve a value-level error (bad flag value) the same way.
+fn flag_or_exit<T>(result: Result<T, ArgError>, spec: &ArgSpec) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("harness {}: {e}", spec.cmd);
+            eprintln!("usage: {}", spec.usage);
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The spec for subcommands with no extra options (figures, tables,
+/// ablations).
+const fn plain_spec(cmd: &'static str, usage: &'static str) -> ArgSpec {
+    ArgSpec {
+        cmd,
+        usage,
+        value_flags: &[],
+        switches: &[],
+        positionals: 0,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let scale = if args.iter().any(|a| a == "--paper") {
-        Scale::Paper
+    let rest = if args.is_empty() {
+        &args[..]
     } else {
-        Scale::Test
-    };
-    let csv = args.iter().any(|a| a == "--csv");
-    let scale_note = match scale {
-        Scale::Paper => "paper-scale problems",
-        Scale::Test => "test-scale problems (pass --paper for full size)",
+        &args[1..]
     };
 
     match cmd {
-        "table1" => print!("{}", render_table1(TABLE1)),
+        "table1" => {
+            parse_or_exit(rest, &plain_spec("table1", "harness table1"));
+            print!("{}", render_table1(TABLE1));
+        }
         "fig2" => {
-            eprintln!("[fig2: {scale_note}]");
+            let spec = plain_spec("fig2", "harness fig2 [--paper] [--csv]");
+            let pa = parse_or_exit(rest, &spec);
+            let scale = scale_of(&pa);
+            eprintln!("[fig2: {}]", scale_note(scale));
             let rows = fig2(scale);
-            if csv {
+            if pa.has("--csv") {
                 print!("{}", render_fig2_csv(&rows));
             } else {
                 print!("{}", render_fig2(&rows));
             }
         }
         "fig3" | "fig4" | "fig5" | "fig6" => {
-            eprintln!("[{cmd}: {scale_note}]");
+            let spec = plain_spec("fig", "harness fig3|fig4|fig5|fig6 [--paper] [--csv]");
+            let pa = parse_or_exit(rest, &spec);
+            let scale = scale_of(&pa);
+            eprintln!("[{cmd}: {}]", scale_note(scale));
             let idx = cmd[3..].parse::<usize>().unwrap() - 3;
             let figs = all_speedup_figures(scale);
-            if csv {
+            if pa.has("--csv") {
                 print!("{}", render_figure_csv(&figs[idx]));
             } else {
                 print!("{}", render_figure(&figs[idx]));
             }
         }
-        "excerpts" => print_excerpts(),
-        "trace" => run_trace(&args[1..], scale),
-        "lint" => run_lint(&args[1..], scale),
-        "faults" => run_faults(&args[1..], scale),
-        "bench" => run_bench_cmd(&args[1..], scale),
-        "scale" => run_scale_cmd(&args[1..], scale),
-        "ablation" => run_ablations(scale),
-        "memory" => run_memory(scale),
-        "passes" => run_passes(scale),
+        "excerpts" => {
+            parse_or_exit(rest, &plain_spec("excerpts", "harness excerpts"));
+            print_excerpts();
+        }
+        "trace" => run_trace(rest),
+        "lint" => run_lint(rest),
+        "faults" => run_faults(rest),
+        "bench" => run_bench_cmd(rest),
+        "scale" => run_scale_cmd(rest),
+        "serve" => run_serve(rest),
+        "load" => run_load_cmd(rest),
+        "ablation" => {
+            let pa = parse_or_exit(rest, &plain_spec("ablation", "harness ablation [--paper]"));
+            run_ablations(scale_of(&pa));
+        }
+        "memory" => {
+            let pa = parse_or_exit(rest, &plain_spec("memory", "harness memory [--paper]"));
+            run_memory(scale_of(&pa));
+        }
+        "passes" => {
+            let pa = parse_or_exit(rest, &plain_spec("passes", "harness passes [--paper]"));
+            run_passes(scale_of(&pa));
+        }
         "all" => {
+            let pa = parse_or_exit(rest, &plain_spec("all", "harness all [--paper]"));
+            let scale = scale_of(&pa);
             print!("{}", render_table1(TABLE1));
             println!();
-            eprintln!("[fig2: {scale_note}]");
+            eprintln!("[fig2: {}]", scale_note(scale));
             print!("{}", render_fig2(&fig2(scale)));
             println!();
             for fig in all_speedup_figures(scale) {
@@ -109,66 +344,81 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|faults|bench|scale|ablation|memory|passes|all"
+                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|faults|bench|scale|serve|load|ablation|memory|passes|all"
             );
             std::process::exit(2);
         }
     }
 }
 
-/// `harness trace <app> [--ranks N] [--machine M] [--chrome out.json]`:
-/// run one benchmark app with a retaining trace sink and report the
-/// per-rank timeline plus the critical path; optionally dump the raw
-/// events as Chrome `trace_event` JSON for chrome://tracing / Perfetto.
-fn run_trace(args: &[String], scale: Scale) {
-    use otter_core::{run_engine, EngineOptions, OtterEngine};
-    use otter_trace::{chrome_trace, MemorySink, TraceSink};
-    use std::sync::Arc;
-
-    let mut app_id = None;
-    let mut ranks = 4usize;
-    let mut machine = meiko_cs2();
-    let mut chrome = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--ranks" | "-p" => {
-                ranks = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| trace_usage());
-            }
-            "--machine" => {
-                machine = match it.next().map(String::as_str) {
-                    Some("meiko") => meiko_cs2(),
-                    Some("cluster") => sparc20_cluster(),
-                    Some("smp") => enterprise_smp(),
-                    _ => trace_usage(),
-                }
-            }
-            "--chrome" => chrome = Some(it.next().unwrap_or_else(|| trace_usage()).clone()),
-            // `--paper` selects the problem scale globally, so it is
-            // accepted silently; `--csv` means nothing here.
-            "--paper" => {}
-            "--csv" => eprintln!("harness trace: `--csv` is not supported here, ignoring"),
-            other if app_id.is_none() && !other.starts_with('-') => {
-                app_id = Some(other.to_string())
-            }
-            _ => trace_usage(),
-        }
+fn scale_of(pa: &ParsedArgs) -> Scale {
+    if pa.has("--paper") {
+        Scale::Paper
+    } else {
+        Scale::Test
     }
-    let app_id = app_id.unwrap_or_else(|| trace_usage());
-    let app = scale
+}
+
+fn scale_note(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Paper => "paper-scale problems",
+        Scale::Test => "test-scale problems (pass --paper for full size)",
+    }
+}
+
+fn find_app(scale: Scale, app_id: &str) -> otter_apps::App {
+    scale
         .apps()
         .into_iter()
         .find(|a| a.id == app_id)
         .unwrap_or_else(|| {
             eprintln!("unknown app `{app_id}`; expected cg|ocean|nbody|tc");
             std::process::exit(2);
-        });
+        })
+}
+
+/// `harness trace <app> [--ranks N] [--machine M] [--chrome out.json]`:
+/// run one benchmark app with a retaining trace sink and report the
+/// per-rank timeline plus the critical path; optionally dump the raw
+/// events as Chrome `trace_event` JSON for chrome://tracing / Perfetto.
+fn run_trace(args: &[String]) {
+    use otter_core::{run_engine, EngineOptions, OtterEngine};
+    use otter_trace::{chrome_trace, MemorySink, TraceSink};
+    use std::sync::Arc;
+
+    let spec = ArgSpec {
+        cmd: "trace",
+        usage: "harness trace <cg|ocean|nbody|tc> [--ranks N] [--workers W] \
+                [--machine meiko|cluster|smp] [--chrome out.json] [--paper]",
+        value_flags: &["--machine", "--chrome"],
+        switches: &[],
+        positionals: 1,
+    };
+    let pa = parse_or_exit(args, &spec);
+    let scale = scale_of(&pa);
+    let ranks = flag_or_exit(pa.ranks_single(4), &spec);
+    let workers = flag_or_exit(pa.workers(), &spec);
+    let machine = flag_or_exit(
+        pa.parse_with("--machine", "meiko|cluster|smp", |v| match v {
+            "meiko" => Some(meiko_cs2()),
+            "cluster" => Some(sparc20_cluster()),
+            "smp" => Some(enterprise_smp()),
+            _ => None,
+        }),
+        &spec,
+    )
+    .unwrap_or_else(meiko_cs2);
+    let chrome = pa.get("--chrome").map(str::to_string);
+    let Some(app_id) = pa.positional() else {
+        eprintln!("harness trace: missing <app>");
+        eprintln!("usage: {}", spec.usage);
+        std::process::exit(2);
+    };
+    let app = find_app(scale, app_id);
 
     let sink = Arc::new(MemorySink::new());
-    let opts = EngineOptions::builder().trace(Arc::clone(&sink)).build();
+    let mut opts = EngineOptions::builder().trace(Arc::clone(&sink)).build();
+    opts.workers = workers;
     let report = run_engine(&mut OtterEngine::new(opts), &app.script, &machine, ranks)
         .unwrap_or_else(|e| {
             eprintln!("trace run failed: {e}");
@@ -221,23 +471,20 @@ fn run_trace(args: &[String], scale: Scale) {
 /// benchmark app and print the SPMD lint report — warnings, the
 /// communication-site census, and the divergence verdict. With
 /// `--deny` any warning exits non-zero, which is the CI smoke mode.
-fn run_lint(args: &[String], scale: Scale) {
+fn run_lint(args: &[String]) {
     use otter_core::compile_str;
 
-    let mut app_id = None;
-    let mut deny = false;
-    for a in args {
-        match a.as_str() {
-            "--deny" => deny = true,
-            "--paper" => {}
-            "--csv" => eprintln!("harness lint: `--csv` is not supported here, ignoring"),
-            other if app_id.is_none() && !other.starts_with('-') => {
-                app_id = Some(other.to_string())
-            }
-            _ => lint_usage(),
-        }
-    }
-    let app_id = app_id.unwrap_or_else(|| "all".to_string());
+    let spec = ArgSpec {
+        cmd: "lint",
+        usage: "harness lint <cg|ocean|nbody|tc|all> [--deny] [--paper]",
+        value_flags: &[],
+        switches: &["--deny"],
+        positionals: 1,
+    };
+    let pa = parse_or_exit(args, &spec);
+    let scale = scale_of(&pa);
+    let deny = pa.has("--deny");
+    let app_id = pa.positional().unwrap_or("all");
     let apps: Vec<_> = scale
         .apps()
         .into_iter()
@@ -285,46 +532,25 @@ fn run_lint(args: &[String], scale: Scale) {
 /// parse. Exits 1 when the job failed (the expected outcome for
 /// `crash`/`drop`), 0 when it completed (`delay` perturbs timing but
 /// not delivery; `none` runs the clean path).
-fn run_faults(args: &[String], scale: Scale) {
-    use otter_core::{compile_str, EngineOptions, OtterEngine};
+fn run_faults(args: &[String]) {
+    use otter_core::{compile, try_run, EngineOptions, RunRequest};
     use otter_mpi::FaultPlan;
 
-    let mut scenario = "crash".to_string();
-    let mut seed = 1u64;
-    let mut ranks = 8usize;
-    let mut app_id = "cg".to_string();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--scenario" => {
-                scenario = it.next().unwrap_or_else(|| faults_usage()).clone();
-            }
-            "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| faults_usage());
-            }
-            "--ranks" | "-p" => {
-                ranks = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| faults_usage());
-            }
-            "--app" => app_id = it.next().unwrap_or_else(|| faults_usage()).clone(),
-            "--paper" => {}
-            "--csv" => eprintln!("harness faults: `--csv` is not supported here, ignoring"),
-            _ => faults_usage(),
-        }
-    }
-    let app = scale
-        .apps()
-        .into_iter()
-        .find(|a| a.id == app_id)
-        .unwrap_or_else(|| {
-            eprintln!("unknown app `{app_id}`; expected cg|ocean|nbody|tc");
-            std::process::exit(2);
-        });
+    let spec = ArgSpec {
+        cmd: "faults",
+        usage: "harness faults [--scenario crash|drop|delay|seeded|none] [--seed S] \
+                [--ranks N] [--workers W] [--app cg|ocean|nbody|tc] [--paper]",
+        value_flags: &["--scenario", "--seed", "--app"],
+        switches: &[],
+        positionals: 0,
+    };
+    let pa = parse_or_exit(args, &spec);
+    let scale = scale_of(&pa);
+    let scenario = pa.get("--scenario").unwrap_or("crash").to_string();
+    let seed = flag_or_exit(pa.seed("--seed"), &spec).unwrap_or(1);
+    let ranks = flag_or_exit(pa.ranks_single(8), &spec);
+    let workers = flag_or_exit(pa.workers(), &spec);
+    let app = find_app(scale, pa.get("--app").unwrap_or("cg"));
 
     // Deterministic plans: the named scenarios pin the fault site so
     // the printed report is reproducible verbatim; `seeded` derives
@@ -339,17 +565,27 @@ fn run_faults(args: &[String], scale: Scale) {
         "delay" => Some(FaultPlan::new().delay_message(1 % ranks, 0, 0, 0.5)),
         "seeded" => Some(FaultPlan::seeded(seed, ranks)),
         "none" => None,
-        _ => faults_usage(),
+        other => flag_or_exit(
+            Err(ArgError::BadValue {
+                flag: "--scenario".to_string(),
+                value: other.to_string(),
+                expected: "crash|drop|delay|seeded|none",
+            }),
+            &spec,
+        ),
     };
 
-    let compiled = compile_str(&app.script).unwrap_or_else(|e| {
+    let mut opts = EngineOptions::builder().build();
+    opts.faults = plan.clone();
+    let artifact = compile(&app.script, &opts).unwrap_or_else(|e| {
         eprintln!("harness faults: {e}");
         std::process::exit(1);
     });
-    let mut opts = EngineOptions::builder().build();
-    opts.faults = plan.clone();
-    let mut engine = OtterEngine::from_compiled_with(compiled, opts);
-    let outcome = engine.try_run(&meiko_cs2(), ranks).unwrap_or_else(|e| {
+    let mut req = RunRequest::on(meiko_cs2(), ranks);
+    if let Some(w) = workers {
+        req = req.with_workers(w);
+    }
+    let outcome = try_run(&artifact, &req).unwrap_or_else(|e| {
         eprintln!("harness faults: {e}");
         std::process::exit(1);
     });
@@ -404,72 +640,46 @@ fn run_faults(args: &[String], scale: Scale) {
     }
 }
 
-fn faults_usage() -> ! {
-    eprintln!(
-        "usage: harness faults [--scenario crash|drop|delay|seeded|none] \
-         [--seed S] [--ranks N] [--app cg|ocean|nbody|tc]"
-    );
-    std::process::exit(2);
-}
-
 /// `harness bench <app|all> [--ranks N] [--repeat K] [--warmup W]
 /// [--json out.json] [--check baseline.json] [--tolerance PCT]`:
 /// run the statistical bench (all three engines per app, K measured
 /// repetitions after W warmups), print the summary table, optionally
 /// export `otter-bench/v1` JSON, and optionally gate the deterministic
 /// outputs against a baseline report — exiting 1 on any regression.
-fn run_bench_cmd(args: &[String], scale: Scale) {
+fn run_bench_cmd(args: &[String]) {
     use otter_bench::bench::{check, run_bench, BenchReport, BenchSpec};
     use otter_metrics::Json;
 
+    let argspec = ArgSpec {
+        cmd: "bench",
+        usage: "harness bench <cg|ocean|nbody|tc|all> [--ranks N[,N...]] [--workers W] \
+                [--repeat K] [--warmup W] [--json out.json] [--check baseline.json] \
+                [--tolerance PCT] [--paper]",
+        value_flags: &["--repeat", "--warmup", "--json", "--check", "--tolerance"],
+        switches: &[],
+        positionals: 1,
+    };
+    let pa = parse_or_exit(args, &argspec);
     let mut spec = BenchSpec {
-        scale,
+        scale: scale_of(&pa),
         ..BenchSpec::default()
     };
-    let mut app_id = None;
-    let mut json_path = None;
-    let mut check_path = None;
-    let mut tolerance = 10.0f64;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        let mut num = |name: &str| -> usize {
-            it.next()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or_else(|| bench_usage(name))
-        };
-        match a.as_str() {
-            "--ranks" | "-p" => {
-                spec.ranks = it
-                    .next()
-                    .and_then(|s| parse_ranks_list(s))
-                    .unwrap_or_else(|| bench_usage("--ranks"))
-            }
-            "--workers" => spec.workers = Some(num("--workers")),
-            "--repeat" => spec.repeat = num("--repeat"),
-            "--warmup" => spec.warmup = num("--warmup"),
-            "--json" => {
-                json_path = Some(it.next().unwrap_or_else(|| bench_usage("--json")).clone())
-            }
-            "--check" => {
-                check_path = Some(it.next().unwrap_or_else(|| bench_usage("--check")).clone())
-            }
-            "--tolerance" => {
-                tolerance = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| bench_usage("--tolerance"))
-            }
-            "--paper" => {}
-            "--csv" => eprintln!("harness bench: `--csv` is not supported here, ignoring"),
-            other if app_id.is_none() && !other.starts_with('-') => {
-                app_id = Some(other.to_string())
-            }
-            other => bench_usage(other),
-        }
+    if let Some(ranks) = flag_or_exit(pa.ranks_list(), &argspec) {
+        spec.ranks = ranks;
     }
-    if let Some(id) = app_id {
-        spec.app_id = id;
+    spec.workers = flag_or_exit(pa.workers(), &argspec);
+    if let Some(k) = flag_or_exit(pa.count("--repeat"), &argspec) {
+        spec.repeat = k;
     }
+    if let Some(w) = flag_or_exit(pa.count("--warmup"), &argspec) {
+        spec.warmup = w;
+    }
+    if let Some(id) = pa.positional() {
+        spec.app_id = id.to_string();
+    }
+    let json_path = pa.get("--json").map(str::to_string);
+    let check_path = pa.get("--check").map(str::to_string);
+    let tolerance = flag_or_exit(pa.rate("--tolerance"), &argspec).unwrap_or(10.0);
 
     let report = run_bench(&spec).unwrap_or_else(|e| {
         eprintln!("harness bench: {e}");
@@ -485,7 +695,10 @@ fn run_bench_cmd(args: &[String], scale: Scale) {
             std::process::exit(1);
         }
         println!();
-        println!("wrote bench report ({BENCH_SCHEMA_NOTE}) to {path}");
+        println!(
+            "wrote bench report ({}) to {path}",
+            otter_bench::BENCH_SCHEMA
+        );
     }
 
     if let Some(path) = &check_path {
@@ -523,51 +736,35 @@ fn run_bench_cmd(args: &[String], scale: Scale) {
     }
 }
 
-const BENCH_SCHEMA_NOTE: &str = otter_bench::BENCH_SCHEMA;
-
 /// `harness scale <app> [--ranks N[,N...]] [--workers W] [--json out.json]`:
 /// sweep one app's SPMD run across rank counts far beyond the
 /// machine's physical CPUs — the virtual-rank scheduler multiplexes
 /// them over a fixed worker pool. Prints the sweep table; optionally
 /// exports `otter-scale/v1` JSON.
-fn run_scale_cmd(args: &[String], scale: Scale) {
+fn run_scale_cmd(args: &[String]) {
     use otter_bench::scale::{run_scale, ScaleSpec, SCALE_SCHEMA};
 
+    let argspec = ArgSpec {
+        cmd: "scale",
+        usage: "harness scale <cg|ocean|nbody|tc> [--ranks N[,N...]] [--workers W] \
+                [--json out.json] [--paper]",
+        value_flags: &["--json"],
+        switches: &[],
+        positionals: 1,
+    };
+    let pa = parse_or_exit(args, &argspec);
     let mut spec = ScaleSpec {
-        scale,
+        scale: scale_of(&pa),
         ..ScaleSpec::default()
     };
-    let mut app_id = None;
-    let mut json_path = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--ranks" | "-p" => {
-                spec.ranks = it
-                    .next()
-                    .and_then(|s| parse_ranks_list(s))
-                    .unwrap_or_else(|| scale_usage())
-            }
-            "--workers" => {
-                spec.workers = Some(
-                    it.next()
-                        .and_then(|s| s.parse().ok())
-                        .filter(|&w: &usize| w >= 1)
-                        .unwrap_or_else(|| scale_usage()),
-                )
-            }
-            "--json" => json_path = Some(it.next().unwrap_or_else(|| scale_usage()).clone()),
-            "--paper" => {}
-            "--csv" => eprintln!("harness scale: `--csv` is not supported here, ignoring"),
-            other if app_id.is_none() && !other.starts_with('-') => {
-                app_id = Some(other.to_string())
-            }
-            _ => scale_usage(),
-        }
+    if let Some(ranks) = flag_or_exit(pa.ranks_list(), &argspec) {
+        spec.ranks = ranks;
     }
-    if let Some(id) = app_id {
-        spec.app_id = id;
+    spec.workers = flag_or_exit(pa.workers(), &argspec);
+    if let Some(id) = pa.positional() {
+        spec.app_id = id.to_string();
     }
+    let json_path = pa.get("--json").map(str::to_string);
 
     let report = run_scale(&spec).unwrap_or_else(|e| {
         eprintln!("harness scale: {e}");
@@ -587,49 +784,176 @@ fn run_scale_cmd(args: &[String], scale: Scale) {
     }
 }
 
-/// Parse `--ranks` values: a non-empty comma-separated list of
-/// positive integers (`4` or `64,256,1024,4096`).
-fn parse_ranks_list(s: &str) -> Option<Vec<usize>> {
-    let ranks: Vec<usize> = s
-        .split(',')
-        .map(|part| part.trim().parse::<usize>().ok().filter(|&p| p >= 1))
-        .collect::<Option<_>>()?;
-    if ranks.is_empty() {
-        None
-    } else {
-        Some(ranks)
+/// `harness serve [--socket PATH] [--workers W] [--cache N]
+/// [--metrics-addr HOST:PORT]`: run the otterd service in the
+/// foreground. Jobs arrive as `otter-serve/v1` JSON lines on the Unix
+/// socket; a `shutdown` op (or SIGTERM to the `otterd` binary proper)
+/// winds it down.
+fn run_serve(args: &[String]) {
+    use otter_serve::{ServeConfig, Server};
+
+    let argspec = ArgSpec {
+        cmd: "serve",
+        usage: "harness serve [--socket PATH] [--workers W] [--cache N] \
+                [--metrics-addr HOST:PORT]",
+        value_flags: &["--socket", "--cache", "--metrics-addr"],
+        switches: &[],
+        positionals: 0,
+    };
+    let pa = parse_or_exit(args, &argspec);
+    let mut cfg = ServeConfig::default();
+    if let Some(path) = pa.get("--socket") {
+        cfg.socket = path.into();
+    }
+    if let Some(w) = flag_or_exit(pa.workers(), &argspec) {
+        cfg.workers = w;
+    }
+    if let Some(c) = flag_or_exit(pa.count("--cache"), &argspec) {
+        cfg.cache_capacity = c;
+    }
+    if let Some(addr) = pa.get("--metrics-addr") {
+        cfg.metrics_addr = Some(addr.to_string());
+    }
+    let server = Server::bind(cfg).unwrap_or_else(|e| {
+        eprintln!("harness serve: bind failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("harness serve: listening on {}", server.socket().display());
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("harness serve: metrics on http://{addr}/metrics");
+    }
+    if let Err(e) = server.run() {
+        eprintln!("harness serve: accept loop failed: {e}");
+        std::process::exit(1);
     }
 }
 
-fn scale_usage() -> ! {
-    eprintln!(
-        "usage: harness scale <cg|ocean|nbody|tc> [--ranks N[,N...]] [--workers W] \
-         [--json out.json] [--paper]"
-    );
-    std::process::exit(2);
-}
+/// `harness load [--clients N] [--scripts M] [--requests R]
+/// [--arrival open|closed] [--rate JOBS/S] [--ranks P] [--workers W]
+/// [--machine M] [--socket PATH] [--json out.json]
+/// [--check baseline.json] [--tolerance PCT]`: the serve-mode traffic
+/// generator. Spins up an in-process daemon (or targets `--socket`),
+/// drives concurrent clients through distinct scripts, and reports
+/// throughput, latency percentiles, cold/warm compile times, and the
+/// cache-hit rate. The deterministic per-script outputs ride in an
+/// embedded `otter-bench/v1` section, gated by `--check` exactly like
+/// `harness bench`.
+fn run_load_cmd(args: &[String]) {
+    use otter_bench::load::{run_load, Arrival, LoadReport, LoadSpec, LOAD_SCHEMA};
+    use otter_metrics::Json;
 
-fn bench_usage(flag: &str) -> ! {
-    eprintln!("harness bench: bad or incomplete argument near `{flag}`");
-    eprintln!(
-        "usage: harness bench <cg|ocean|nbody|tc|all> [--ranks N[,N...]] [--workers W] \
-         [--repeat K] [--warmup W] [--json out.json] [--check baseline.json] \
-         [--tolerance PCT] [--paper]"
-    );
-    std::process::exit(2);
-}
+    let argspec = ArgSpec {
+        cmd: "load",
+        usage: "harness load [--clients N] [--scripts M] [--requests R] \
+                [--arrival open|closed] [--rate JOBS/S] [--ranks P] [--workers W] \
+                [--machine meiko|cluster|smp|workstation] [--socket PATH] \
+                [--json out.json] [--check baseline.json] [--tolerance PCT] [--paper]",
+        value_flags: &[
+            "--clients",
+            "--scripts",
+            "--requests",
+            "--arrival",
+            "--rate",
+            "--machine",
+            "--socket",
+            "--json",
+            "--check",
+            "--tolerance",
+        ],
+        switches: &[],
+        positionals: 0,
+    };
+    let pa = parse_or_exit(args, &argspec);
+    let mut spec = LoadSpec {
+        scale: scale_of(&pa),
+        ..LoadSpec::default()
+    };
+    if let Some(n) = flag_or_exit(pa.count("--clients"), &argspec) {
+        spec.clients = n;
+    }
+    if let Some(m) = flag_or_exit(pa.count("--scripts"), &argspec) {
+        spec.scripts = m;
+    }
+    if let Some(r) = flag_or_exit(pa.count("--requests"), &argspec) {
+        spec.requests = r;
+    }
+    spec.ranks = flag_or_exit(pa.ranks_single(spec.ranks), &argspec);
+    spec.workers = flag_or_exit(pa.workers(), &argspec);
+    if let Some(m) = pa.get("--machine") {
+        spec.machine = m.to_string();
+    }
+    if let Some(path) = pa.get("--socket") {
+        spec.socket = Some(path.into());
+    }
+    let rate = flag_or_exit(pa.rate("--rate"), &argspec);
+    spec.arrival = match pa.get("--arrival") {
+        None | Some("closed") => Arrival::Closed,
+        Some("open") => Arrival::Open {
+            rate: rate.unwrap_or(100.0),
+        },
+        Some(other) => flag_or_exit(
+            Err(ArgError::BadValue {
+                flag: "--arrival".to_string(),
+                value: other.to_string(),
+                expected: "open|closed",
+            }),
+            &argspec,
+        ),
+    };
+    let json_path = pa.get("--json").map(str::to_string);
+    let check_path = pa.get("--check").map(str::to_string);
+    let tolerance = flag_or_exit(pa.rate("--tolerance"), &argspec).unwrap_or(10.0);
 
-fn lint_usage() -> ! {
-    eprintln!("usage: harness lint <cg|ocean|nbody|tc|all> [--deny] [--paper]");
-    std::process::exit(2);
-}
+    let report = run_load(&spec).unwrap_or_else(|e| {
+        eprintln!("harness load: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", report.render());
 
-fn trace_usage() -> ! {
-    eprintln!(
-        "usage: harness trace <cg|ocean|nbody|tc> [--ranks N] \
-         [--machine meiko|cluster|smp] [--chrome out.json] [--paper]"
-    );
-    std::process::exit(2);
+    if let Some(path) = &json_path {
+        let mut text = report.to_json().to_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!();
+        println!("wrote load report ({LOAD_SCHEMA}) to {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = Json::parse(&text)
+            .and_then(|j| LoadReport::from_json(&j))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot parse baseline {path}: {e}");
+                std::process::exit(1);
+            });
+        if baseline.scale != report.scale {
+            eprintln!(
+                "harness load: baseline is {} scale but this run is {} scale",
+                baseline.scale, report.scale
+            );
+            std::process::exit(1);
+        }
+        let regressions = report.check_against(&baseline, tolerance);
+        println!();
+        if regressions.is_empty() {
+            println!(
+                "regression check against {path}: OK ({} script(s), tolerance {tolerance}%)",
+                baseline.bench.results.len()
+            );
+        } else {
+            eprintln!("regression check against {path} FAILED (tolerance {tolerance}%):");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Compile the paper's two §3 example statements and show the C.
@@ -667,9 +991,7 @@ fn print_excerpts() {
 /// Show the per-CPU memory high-water mark of the conjugate-gradient
 /// problem across machine sizes.
 fn run_memory(scale: Scale) {
-    use otter_core::{
-        compile_str, run_engine, Engine, EngineOptions, InterpreterEngine, OtterEngine,
-    };
+    use otter_core::{compile, run, run_engine, EngineOptions, InterpreterEngine, RunRequest};
     use otter_machine::workstation;
     let n = match scale {
         Scale::Paper => 2048,
@@ -687,7 +1009,7 @@ fn run_memory(scale: Scale) {
         1,
     )
     .unwrap();
-    let compiled = compile_str(&app.script).unwrap();
+    let artifact = compile(&app.script, &EngineOptions::default()).unwrap();
     println!("Paper §7 memory claim: per-CPU peak memory, conjugate gradient n = {n}.");
     println!("{:<34} {:>16}", "configuration", "peak MB per CPU");
     println!("{}", "-".repeat(52));
@@ -699,13 +1021,11 @@ fn run_memory(scale: Scale) {
     let m = meiko_cs2();
     let mut p = 1;
     while p <= m.max_cpus {
-        let run = OtterEngine::from_compiled(compiled.clone())
-            .run(&m, p)
-            .unwrap();
+        let run_report = run(&artifact, &RunRequest::on(m.clone(), p)).unwrap();
         println!(
             "{:<34} {:>16.2}",
             format!("Otter on {} CPU(s)", p),
-            run.peak_rank_bytes as f64 / 1e6
+            run_report.peak_rank_bytes as f64 / 1e6
         );
         p *= 2;
     }

@@ -6,19 +6,19 @@
 
 use otter_apps::App;
 use otter_core::{
-    compile, run_engine, standard_engines, CompileOptions, Compiled, Engine, EngineOptions,
-    EngineReport, OtterEngine,
+    compile, run, run_engine, standard_engines, CompiledArtifact, EngineOptions, EngineReport,
+    RunRequest,
 };
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
 use std::collections::BTreeMap;
 
-/// Run an already-compiled program on `p` CPUs of `machine`.
+/// Run a compiled artifact on `p` CPUs of `machine`.
 pub(crate) fn run_compiled(
-    compiled: &Compiled,
+    artifact: &CompiledArtifact,
     machine: &Machine,
     p: usize,
 ) -> otter_core::error::Result<EngineReport> {
-    OtterEngine::from_compiled(compiled.clone()).run(machine, p)
+    run(artifact, &RunRequest::on(machine.clone(), p))
 }
 
 /// Which problem sizes to run.
@@ -161,12 +161,8 @@ pub fn cpu_sweep(machine: &Machine) -> Vec<usize> {
 /// three modeled parallel machines.
 pub fn speedup_figure(figure: &'static str, app: &App) -> FigureData {
     let machines = [meiko_cs2(), sparc20_cluster(), enterprise_smp()];
-    let compiled = compile(
-        &app.script,
-        &otter_frontend::EmptyProvider,
-        &CompileOptions::default(),
-    )
-    .unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
+    let compiled = compile(&app.script, &EngineOptions::default())
+        .unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
     let mut series = Vec::new();
     let mut messages_at_max = 0;
     for m in &machines {

@@ -21,6 +21,7 @@
 pub mod ablation;
 pub mod bench;
 pub mod figures;
+pub mod load;
 pub mod render;
 pub mod scale;
 pub mod table1;
@@ -35,5 +36,6 @@ pub use bench::{
 pub use figures::{
     fig2, fig2_with, speedup_figure, Fig2Cell, Fig2Row, FigureData, Scale, SpeedupSeries,
 };
+pub use load::{run_load, Arrival, LatencyStats, LoadReport, LoadSpec, LOAD_SCHEMA};
 pub use scale::{run_scale, ScalePoint, ScaleReport, ScaleSpec, SCALE_SCHEMA};
 pub use table1::TABLE1;

@@ -15,8 +15,7 @@
 
 use crate::figures::Scale;
 use otter_core::{
-    compile, run_engine, CompileOptions, Engine, EngineOptions, InterpreterEngine, OtterEngine,
-    OtterError,
+    compile, run, run_engine, EngineOptions, InterpreterEngine, OtterError, RunRequest,
 };
 use otter_machine::meiko_cs2;
 use otter_metrics::Json;
@@ -99,19 +98,15 @@ pub fn run_scale(spec: &ScaleSpec) -> Result<ScaleReport, OtterError> {
         1,
     )?;
     let t0 = interp.modeled_seconds;
-    let compiled = compile(
-        &app.script,
-        &otter_frontend::EmptyProvider,
-        &CompileOptions::default(),
-    )
-    .map_err(|e| OtterError::execution(format!("scale: {}: compile: {e}", app.id)))?;
-    let mut opts = EngineOptions::builder().metrics(true).build();
-    opts.workers = spec.workers;
+    let opts = EngineOptions::builder().metrics(true).build();
+    let artifact = compile(&app.script, &opts)
+        .map_err(|e| OtterError::execution(format!("scale: {}: compile: {e}", app.id)))?;
     let mut points = Vec::new();
     for &p in &spec.ranks {
-        let mut engine = OtterEngine::from_compiled_with(compiled.clone(), opts.clone());
+        let mut req = RunRequest::on(machine.clone(), p);
+        req.workers = spec.workers;
         let wall0 = Instant::now();
-        let report = engine.run(&machine, p)?;
+        let report = run(&artifact, &req)?;
         let wall_seconds = wall0.elapsed().as_secs_f64();
         let imbalance = report
             .metrics

@@ -1,0 +1,455 @@
+//! The compile/run API split: a [`CompiledArtifact`] produced by
+//! [`compile`] and executed — any number of times, on any machine
+//! model, at any rank count — by [`run`]/[`try_run`].
+//!
+//! This is the surface every driver shares: `otterc`, the bench and
+//! figure harness, and the `otterd` compile-and-run service all go
+//! through the same two functions, so "compile once, run many" is the
+//! default shape rather than a special case. An artifact is cheaply
+//! cloneable (one `Arc` bump), carries the per-pass compile record,
+//! and identifies itself by a **cache key**: the FNV-1a hash of the
+//! exact source text plus [`EngineOptions::fingerprint`], the stable
+//! hash of every option that can change what compilation produces.
+//! Two compiles with equal cache keys are interchangeable; that
+//! equivalence is what `otter-serve`'s artifact cache banks on when a
+//! warm job skips passes 1–6 entirely.
+//!
+//! Run-time-only knobs — the worker-pool size, the machine model, the
+//! rank count — live in [`RunRequest`] and never enter the key.
+//!
+//! ```
+//! use otter_core::{compile, run, EngineOptions, RunRequest};
+//! use otter_machine::meiko_cs2;
+//!
+//! let opts = EngineOptions::default();
+//! let artifact = compile("a = [1, 2; 3, 4];\ns = sum(a(:, 1));", &opts).unwrap();
+//! let report = run(&artifact, &RunRequest::on(meiko_cs2(), 4)).unwrap();
+//! assert_eq!(report.scalar("s"), Some(4.0));
+//! // Same source + same options → same cache key.
+//! let again = compile("a = [1, 2; 3, 4];\ns = sum(a(:, 1));", &opts).unwrap();
+//! assert_eq!(artifact.cache_key(), again.cache_key());
+//! ```
+
+use crate::compile::{CompileOptions, Compiled};
+use crate::engines::{EngineOptions, EngineReport, RankCounters, SpmdJobFailure};
+use crate::error::{OtterError, Result};
+use crate::exec::{ExecError, ExecOptions, Executor, XVal};
+use crate::pass::{PassDump, PassManager, PassStats};
+use otter_interp::Value;
+use otter_machine::Machine;
+use otter_metrics::MetricsRegistry;
+use otter_mpi::run_spmd_with;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an FNV-1a state. The hash is stable across
+/// platforms and releases — it is a wire-visible cache key, not an
+/// in-process table hash, so `std::hash` (explicitly unstable) is the
+/// wrong tool.
+pub(crate) fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The stable 64-bit content hash of a script's exact source text.
+/// Any byte change — even whitespace or a comment — changes the hash:
+/// the cache trades a few spurious misses for never having to reason
+/// about which edits are semantic.
+pub fn source_hash(src: &str) -> u64 {
+    fnv1a(FNV_OFFSET, src.as_bytes())
+}
+
+/// Fingerprint accumulator: every field is folded with a one-byte
+/// domain tag so `["ab"]` and `["a","b"]` cannot collide.
+pub(crate) struct Fingerprint(u64);
+
+impl Fingerprint {
+    pub fn new() -> Self {
+        Fingerprint(FNV_OFFSET)
+    }
+
+    pub fn tag(&mut self, t: u8) -> &mut Self {
+        self.0 = fnv1a(self.0, &[t]);
+        self
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.0 = fnv1a(self.0, &(b.len() as u64).to_le_bytes());
+        self.0 = fnv1a(self.0, b);
+        self
+    }
+
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.0 = fnv1a(self.0, &v.to_le_bytes());
+        self
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A fully compiled, immutable, cheaply cloneable program: the output
+/// of [`compile`] and the unit the serve-side artifact cache stores.
+///
+/// Cloning bumps one `Arc`; the IR, the emitted C, the inference
+/// record, and the per-pass statistics are shared. The artifact also
+/// snapshots the [`EngineOptions`] it was compiled under, so a bare
+/// [`RunRequest`] (machine + ranks) is enough to execute it with the
+/// collective schedule, fault plan, and metrics setting the compiler
+/// saw.
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    inner: Arc<ArtifactInner>,
+}
+
+#[derive(Debug)]
+struct ArtifactInner {
+    compiled: Compiled,
+    passes: Vec<PassStats>,
+    opts: EngineOptions,
+    source_hash: u64,
+    options_fingerprint: u64,
+}
+
+impl CompiledArtifact {
+    /// Wrap the output of an explicitly configured [`PassManager`] run
+    /// (timing, dumps, custom pass sets). [`compile`] is the standard
+    /// path; this constructor exists for drivers like `otterc` that
+    /// configure the manager first.
+    pub fn from_parts(
+        compiled: Compiled,
+        passes: Vec<PassStats>,
+        src: &str,
+        opts: &EngineOptions,
+    ) -> Self {
+        CompiledArtifact {
+            inner: Arc::new(ArtifactInner {
+                compiled,
+                passes,
+                source_hash: source_hash(src),
+                options_fingerprint: opts.fingerprint(),
+                opts: opts.clone(),
+            }),
+        }
+    }
+
+    /// The compiled program (IR, emitted C, inference, lint report).
+    pub fn compiled(&self) -> &Compiled {
+        &self.inner.compiled
+    }
+
+    /// Per-pass wall time and size statistics from the compile.
+    pub fn pass_stats(&self) -> &[PassStats] {
+        &self.inner.passes
+    }
+
+    /// The options snapshot this artifact was compiled under.
+    pub fn options(&self) -> &EngineOptions {
+        &self.inner.opts
+    }
+
+    /// FNV-1a hash of the exact source text.
+    pub fn source_hash(&self) -> u64 {
+        self.inner.source_hash
+    }
+
+    /// [`EngineOptions::fingerprint`] of the compile options.
+    pub fn options_fingerprint(&self) -> u64 {
+        self.inner.options_fingerprint
+    }
+
+    /// The artifact-cache key: `(source hash, option fingerprint)`.
+    /// Artifacts with equal keys are interchangeable.
+    pub fn cache_key(&self) -> (u64, u64) {
+        (self.inner.source_hash, self.inner.options_fingerprint)
+    }
+}
+
+/// Compile a script under `opts` with the standard pipeline. The
+/// compile half of the API split: no machine, no rank count, nothing
+/// run-time enters here, so the result is reusable across every
+/// subsequent [`run`].
+pub fn compile(src: &str, opts: &EngineOptions) -> Result<CompiledArtifact> {
+    compile_managed(&PassManager::standard(), src, opts).map(|(artifact, _)| artifact)
+}
+
+/// [`compile`] through a caller-configured [`PassManager`] (disabled
+/// passes beyond the options, `--dump-after` requests). Returns the
+/// artifact plus any requested dumps.
+pub fn compile_managed(
+    pm: &PassManager,
+    src: &str,
+    opts: &EngineOptions,
+) -> Result<(CompiledArtifact, Vec<PassDump>)> {
+    let empty = otter_frontend::MapProvider::new();
+    let provider = opts.m_files.as_ref().unwrap_or(&empty);
+    let copts = CompileOptions {
+        data_dir: opts.data_dir.clone(),
+        disabled_passes: opts.disabled_passes.clone(),
+        lint: opts.lint,
+    };
+    let report = pm.compile(src, provider, &copts)?;
+    Ok((
+        CompiledArtifact::from_parts(report.compiled, report.passes, src, opts),
+        report.dumps,
+    ))
+}
+
+/// Everything that may vary per execution of one artifact: the machine
+/// model, the rank count, and the worker-pool size. None of it enters
+/// the cache key — two runs of the same artifact at different ranks
+/// share one compile.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// The machine model charged against the virtual clocks.
+    pub machine: Machine,
+    /// Logical SPMD ranks to execute.
+    pub ranks: usize,
+    /// Worker-pool override; `None` uses the artifact's compiled-in
+    /// setting (itself defaulting to host parallelism). Run-time-only:
+    /// deterministic outputs are identical for every value.
+    pub workers: Option<usize>,
+}
+
+impl RunRequest {
+    /// Execute on `ranks` CPUs of `machine`.
+    pub fn on(machine: Machine, ranks: usize) -> Self {
+        RunRequest {
+            machine,
+            ranks,
+            workers: None,
+        }
+    }
+
+    /// Builder: fix the scheduler's worker-pool size for this run.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+}
+
+impl Default for RunRequest {
+    fn default() -> Self {
+        RunRequest::on(otter_machine::meiko_cs2(), 1)
+    }
+}
+
+/// Execute a compiled artifact; fold any SPMD failure into
+/// [`OtterError`]. The run half of the API split — see [`try_run`]
+/// for the variant that returns failures as structured data.
+pub fn run(artifact: &CompiledArtifact, req: &RunRequest) -> Result<EngineReport> {
+    match try_run(artifact, req)? {
+        Ok(report) => Ok(report),
+        Err(failure) => Err(failure.report.into()),
+    }
+}
+
+/// Execute a compiled artifact on `req.ranks` modeled ranks of
+/// `req.machine`. A communication failure (deadlock, dead rank,
+/// injected fault) comes back as structured data — the typed
+/// failure report plus the surviving ranks' counters — instead of a
+/// formatted [`OtterError`]; program-level errors still use the `Err`
+/// channel.
+///
+/// Only run work happens here: passes 1–6 ran once, inside
+/// [`compile`]. A metrics-on run therefore reports **no**
+/// `compile_pass_seconds` series — that is the observable proof a
+/// cache-served job skipped compilation (the engine-level
+/// [`crate::Engine::run`], which owns its compile, merges the pass
+/// timings back in).
+pub fn try_run(
+    artifact: &CompiledArtifact,
+    req: &RunRequest,
+) -> Result<std::result::Result<EngineReport, SpmdJobFailure>> {
+    let opts = artifact.options();
+    let compiled = artifact.compiled();
+    let ir = compiled.ir.clone();
+    let exec_opts = ExecOptions {
+        data_dir: compiled.data_dir.clone(),
+        ..Default::default()
+    };
+    let mut spmd = opts.spmd_options();
+    if req.workers.is_some() {
+        spmd.workers = req.workers;
+    }
+    let job = run_spmd_with(&req.machine, req.ranks, spmd, move |comm| {
+        let opts = exec_opts.clone();
+        let executor = Executor::new(&ir, comm, opts);
+        let outcome = executor.run();
+        match outcome {
+            Ok(o) => {
+                // The program is done: snapshot the modeled time
+                // and traffic counters now, before the reporting
+                // gathers below (which are not part of the
+                // benchmarked computation). Tracing stops at the
+                // same point so event totals keep matching the
+                // stats snapshot.
+                let finished_at = comm.clock();
+                let finished_stats = comm.stats();
+                let finished_metrics = comm.take_metrics().map(|r| r.snapshot());
+                comm.suspend_tracing();
+                // Gather every matrix so rank 0 can report a
+                // machine-independent workspace. Iterate in sorted
+                // order: gathers are collectives, so every rank
+                // must visit variables in the same sequence.
+                let mut names: Vec<&String> = o.workspace.keys().collect();
+                names.sort();
+                let mut ws: HashMap<String, Value> = HashMap::new();
+                for name in names {
+                    let val = &o.workspace[name];
+                    match val {
+                        XVal::S(v) => {
+                            ws.insert(name.clone(), Value::Scalar(*v));
+                        }
+                        XVal::M(m) => {
+                            let full = m.gather_all(comm)?;
+                            ws.insert(name.clone(), Value::Matrix(full).normalized());
+                        }
+                    }
+                }
+                Ok(Ok((
+                    ws,
+                    o.output,
+                    finished_at,
+                    o.peak_local_bytes,
+                    o.peak_temp_bytes,
+                    o.op_counts,
+                    finished_stats,
+                    finished_metrics,
+                )))
+            }
+            // Application errors are SPMD-replicated: every rank
+            // raises the identical one, so they travel inside the
+            // rank's value and the job itself still succeeds.
+            Err(ExecError::App(e)) => Ok(Err(e.to_string())),
+            // Communication failures abort the job; the runner
+            // assembles the failure report.
+            Err(ExecError::Comm(e)) => Err(e),
+        }
+    });
+    let results = match job {
+        Ok(results) => results,
+        Err(failure) => {
+            let survivors = failure
+                .survivors
+                .iter()
+                .map(|r| RankCounters {
+                    rank: r.rank,
+                    messages: r.stats.messages_sent,
+                    bytes: r.stats.bytes_sent,
+                    clock: r.clock,
+                    peak_bytes: match &r.value {
+                        Ok(t) => t.4,
+                        Err(_) => 0,
+                    },
+                    compute_seconds: r.stats.compute_time,
+                    comm_seconds: r.stats.send_time,
+                    idle_seconds: r.stats.wait_time,
+                })
+                .collect();
+            return Ok(Err(SpmdJobFailure {
+                report: failure.report,
+                survivors,
+            }));
+        }
+    };
+    // All ranks computed the same workspace (and executed the same
+    // instruction sequence — SPMD); use rank 0's.
+    let mut iter = results.into_iter();
+    let first = iter.next().expect("at least one rank");
+    let rank0 = first.value.map_err(OtterError::execution)?;
+    let (
+        workspace,
+        output,
+        mut max_clock,
+        mut peak_rank_bytes,
+        mut peak_temp_bytes,
+        ops,
+        fstats,
+        mut job_metrics,
+    ) = rank0;
+    let op_counts: BTreeMap<String, u64> = ops.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    let mut messages = fstats.messages_sent;
+    let mut bytes = fstats.bytes_sent;
+    let mut per_rank = vec![RankCounters {
+        rank: 0,
+        messages: fstats.messages_sent,
+        bytes: fstats.bytes_sent,
+        clock: max_clock,
+        peak_bytes: peak_temp_bytes,
+        compute_seconds: fstats.compute_time,
+        comm_seconds: fstats.send_time,
+        idle_seconds: fstats.wait_time,
+    }];
+    for r in iter {
+        let (_, _, clock, peak, peak_temp, _, stats, rank_metrics) =
+            r.value.map_err(OtterError::execution)?;
+        max_clock = max_clock.max(clock);
+        peak_rank_bytes = peak_rank_bytes.max(peak);
+        peak_temp_bytes = peak_temp_bytes.max(peak_temp);
+        messages += stats.messages_sent;
+        bytes += stats.bytes_sent;
+        if let (Some(job), Some(m)) = (job_metrics.as_mut(), rank_metrics.as_ref()) {
+            job.merge_from(m);
+        }
+        per_rank.push(RankCounters {
+            rank: r.rank,
+            messages: stats.messages_sent,
+            bytes: stats.bytes_sent,
+            clock,
+            peak_bytes: peak_temp,
+            compute_seconds: stats.compute_time,
+            comm_seconds: stats.send_time,
+            idle_seconds: stats.wait_time,
+        });
+    }
+    // Job-wide series the per-rank registries cannot see.
+    if let Some(job) = job_metrics.as_mut() {
+        let mut reg = MetricsRegistry::new();
+        for rc in &per_rank {
+            reg.observe("rank_clock_seconds", &[], rc.clock);
+        }
+        let min_clock = per_rank
+            .iter()
+            .map(|r| r.clock)
+            .fold(f64::INFINITY, f64::min);
+        if min_clock > 0.0 {
+            reg.gauge_max("load_imbalance_ratio", &[], max_clock / min_clock);
+        }
+        job.merge_from(&reg.snapshot());
+    }
+    // With a retaining sink the critical path comes along for free.
+    let critical_path = opts
+        .trace
+        .as_ref()
+        .and_then(|sink| sink.snapshot())
+        .map(|events| otter_trace::critical_path(&events));
+    Ok(Ok(EngineReport {
+        engine: "otter",
+        workspace,
+        output,
+        modeled_seconds: max_clock,
+        op_counts,
+        messages,
+        bytes,
+        peak_rank_bytes,
+        peak_temp_bytes,
+        per_rank,
+        critical_path,
+        metrics: job_metrics,
+    }))
+}

@@ -23,8 +23,8 @@
 //! MATLAB path; `load` reads sample data files from the same place.
 
 use otter_core::{
-    CompileOptions, CompileReport, DumpRequest, Engine, EngineOptions, EngineReport, LintMode,
-    OtterEngine, PassManager,
+    run, CompileOptions, CompileReport, CompiledArtifact, DumpRequest, EngineOptions, EngineReport,
+    LintMode, PassManager, RunRequest,
 };
 use otter_frontend::DirProvider;
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
@@ -253,6 +253,7 @@ fn main() {
             println!();
         }
     }
+    let passes = report.passes;
     let compiled = report.compiled;
     if args.lint {
         for w in &compiled.lint.warnings {
@@ -308,16 +309,29 @@ fn main() {
     }
 
     if args.run {
-        let mut opts = if args.trace {
+        // Reconstruct the engine-level options this compile ran under
+        // so the artifact's fingerprint (and run-time knobs like the
+        // trace sink) match what the pipeline actually saw.
+        let mut eopts = if args.trace {
             EngineOptions::builder()
                 .trace(Arc::new(MemorySink::new()))
                 .build()
         } else {
             EngineOptions::default()
         };
-        opts.workers = args.workers;
-        let mut engine = OtterEngine::from_compiled_with(compiled, opts);
-        match engine.run(&args.machine, args.p) {
+        eopts.data_dir = compiled.data_dir.clone();
+        if args.no_peephole {
+            eopts.disabled_passes.push("peephole".to_string());
+        }
+        if args.lint_deny {
+            eopts.lint = LintMode::Deny;
+        }
+        let artifact = CompiledArtifact::from_parts(compiled, passes, &src, &eopts);
+        let mut req = RunRequest::on(args.machine.clone(), args.p);
+        if let Some(w) = args.workers {
+            req = req.with_workers(w);
+        }
+        match run(&artifact, &req) {
             Ok(r) => {
                 print!("{}", r.output);
                 eprintln!(

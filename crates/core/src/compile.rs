@@ -68,9 +68,11 @@ pub struct Compiled {
 }
 
 /// Compile a MATLAB script with the full pipeline (standard pass
-/// order, no instrumentation collected — use
-/// [`PassManager::compile`] directly for timing and dumps).
-pub fn compile(
+/// order, no instrumentation collected). This is the low-level,
+/// provider-explicit entry; most callers want [`crate::compile`],
+/// which takes [`crate::EngineOptions`] and returns a cacheable
+/// [`crate::CompiledArtifact`].
+pub fn compile_program(
     src: &str,
     provider: &dyn SourceProvider,
     opts: &CompileOptions,
@@ -82,7 +84,7 @@ pub fn compile(
 
 /// Convenience: compile with no M-files and defaults.
 pub fn compile_str(src: &str) -> Result<Compiled> {
-    compile(
+    compile_program(
         src,
         &otter_frontend::EmptyProvider,
         &CompileOptions::default(),

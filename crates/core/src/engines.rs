@@ -12,13 +12,13 @@
 //!   on `p` ranks over the machine model; modeled time = slowest
 //!   rank's virtual clock.
 
-use crate::compile::{CompileOptions, Compiled};
+use crate::artifact::{compile, run, CompiledArtifact, Fingerprint, RunRequest};
 use crate::error::{OtterError, Result};
-use crate::exec::{ExecError, ExecOptions, Executor, XVal};
 use otter_interp::{assemble_program, Interp, Value};
+use otter_lint::LintMode;
 use otter_machine::{ExecutionStyle, Machine};
 use otter_metrics::{MetricsRegistry, MetricsSnapshot};
-use otter_mpi::{run_spmd_with, CollectiveAlgo, FailureReport, FaultPlan, SpmdOptions};
+use otter_mpi::{CollectiveAlgo, FailureReport, FaultAction, FaultPlan, SpmdOptions};
 use otter_rt::Dense;
 use otter_trace::{CriticalPath, TraceSink};
 use std::collections::{BTreeMap, HashMap};
@@ -171,6 +171,10 @@ pub struct EngineOptions {
     /// ranks may execute at once. `None` (the default) uses the host's
     /// parallelism; deterministic outputs are identical for any value.
     pub workers: Option<usize>,
+    /// How the compile pipeline's lint pass treats its findings
+    /// ([`LintMode::Warn`] collects, [`LintMode::Deny`] fails the
+    /// compile on the first warning).
+    pub lint: LintMode,
 }
 
 impl fmt::Debug for EngineOptions {
@@ -184,6 +188,7 @@ impl fmt::Debug for EngineOptions {
             .field("metrics", &self.metrics)
             .field("faults", &self.faults)
             .field("workers", &self.workers)
+            .field("lint", &self.lint)
             .finish()
     }
 }
@@ -193,8 +198,76 @@ impl EngineOptions {
         EngineOptionsBuilder::default()
     }
 
+    /// A stable 64-bit fingerprint of every option that can change
+    /// what [`crate::compile`] produces or what a run of the artifact
+    /// deterministically reports: the data directory, the registered
+    /// M-files, disabled passes, the lint mode, the collective
+    /// schedule, the metrics switch, and the fault plan.
+    ///
+    /// **Excluded** as run-time-only: `workers` (the scheduler's pool
+    /// size is invisible to every deterministic output) and the trace
+    /// sink (observation, not behavior). The fingerprint is half of
+    /// the artifact-cache key — see
+    /// [`CompiledArtifact::cache_key`] — so it is FNV-1a over
+    /// explicitly serialized fields, stable across platforms and
+    /// releases, never `std::hash`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.tag(b'd');
+        match &self.data_dir {
+            Some(dir) => fp.str(&dir.display().to_string()),
+            None => fp.tag(0),
+        };
+        fp.tag(b'm');
+        if let Some(provider) = &self.m_files {
+            for (name, src) in provider.entries() {
+                fp.str(name).str(src);
+            }
+        }
+        fp.tag(b'p');
+        let mut disabled: Vec<&str> = self.disabled_passes.iter().map(String::as_str).collect();
+        disabled.sort_unstable();
+        disabled.dedup();
+        for pass in disabled {
+            fp.str(pass);
+        }
+        fp.tag(b'l').tag(match self.lint {
+            LintMode::Warn => 0,
+            LintMode::Deny => 1,
+        });
+        fp.tag(b'c').str(self.collective_algo.label());
+        fp.tag(b's').tag(self.metrics as u8);
+        fp.tag(b'f');
+        if let Some(plan) = &self.faults {
+            fp.u64(plan.seed.map_or(0, |s| s.wrapping_add(1)));
+            for action in &plan.actions {
+                match *action {
+                    FaultAction::Drop { from, to, nth } => {
+                        fp.tag(1).u64(from as u64).u64(to as u64).u64(nth);
+                    }
+                    FaultAction::Delay {
+                        from,
+                        to,
+                        nth,
+                        seconds,
+                    } => {
+                        fp.tag(2)
+                            .u64(from as u64)
+                            .u64(to as u64)
+                            .u64(nth)
+                            .u64(seconds.to_bits());
+                    }
+                    FaultAction::Crash { rank, at_op } => {
+                        fp.tag(3).u64(rank as u64).u64(at_op);
+                    }
+                }
+            }
+        }
+        fp.finish()
+    }
+
     /// The SPMD launch options these engine options imply.
-    fn spmd_options(&self) -> SpmdOptions {
+    pub(crate) fn spmd_options(&self) -> SpmdOptions {
         SpmdOptions {
             algo: self.collective_algo,
             trace: self.trace.clone(),
@@ -264,10 +337,16 @@ impl EngineOptionsBuilder {
     }
 
     /// Inject a deterministic fault schedule into the SPMD run (see
-    /// [`otter_mpi::FaultPlan`]). Use [`OtterEngine::try_run`] to get
-    /// the resulting failure report as data.
+    /// [`otter_mpi::FaultPlan`]). Use [`crate::try_run`] to get the
+    /// resulting failure report as data.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.opts.faults = Some(plan);
+        self
+    }
+
+    /// Treat lint warnings as compile errors.
+    pub fn deny_lints(mut self) -> Self {
+        self.opts.lint = LintMode::Deny;
         self
     }
 
@@ -451,244 +530,39 @@ impl Engine for MatcomEngine {
 
 // ---- the Otter SPMD engine ------------------------------------------------
 
-/// The real pipeline: compile to SPMD IR, execute on `p` modeled
-/// ranks.
+/// The real pipeline behind the [`Engine`] trait: a thin wrapper over
+/// the compile/run split. `prepare` is [`crate::compile`] (producing a
+/// cacheable [`CompiledArtifact`]); `run` is [`crate::run`] on that
+/// artifact, plus the compile-side pass timings merged back into the
+/// metrics snapshot (the engine owns its compile, so its report covers
+/// both halves — a cache-served `otterd` job, which only runs, shows
+/// no pass time at all).
 pub struct OtterEngine {
     opts: EngineOptions,
-    compiled: Option<Compiled>,
-    /// Per-pass compile timings as metrics, captured by `prepare` when
-    /// metrics are on and merged into the run's job snapshot.
-    compile_metrics: Option<MetricsSnapshot>,
+    artifact: Option<CompiledArtifact>,
 }
 
 impl OtterEngine {
     pub fn new(opts: EngineOptions) -> Self {
         OtterEngine {
             opts,
-            compiled: None,
-            compile_metrics: None,
+            artifact: None,
         }
     }
 
-    /// Wrap an already-compiled program (skips `prepare`).
-    pub fn from_compiled(compiled: Compiled) -> Self {
-        let opts = match &compiled.data_dir {
-            Some(d) => EngineOptions::builder().data_dir(d).build(),
-            None => EngineOptions::default(),
-        };
-        Self::from_compiled_with(compiled, opts)
-    }
-
-    /// Wrap an already-compiled program with explicit run options
-    /// (trace sink, collective schedule). The compiled artifact's data
-    /// directory wins over `opts.data_dir` when set.
-    pub fn from_compiled_with(compiled: Compiled, mut opts: EngineOptions) -> Self {
-        if let Some(d) = &compiled.data_dir {
-            opts.data_dir = Some(d.clone());
-        }
+    /// Wrap an already-compiled artifact (skips `prepare`). The
+    /// artifact's compiled-in options drive the run.
+    pub fn with_artifact(artifact: CompiledArtifact) -> Self {
         OtterEngine {
-            opts,
-            compiled: Some(compiled),
-            compile_metrics: None,
+            opts: artifact.options().clone(),
+            artifact: Some(artifact),
         }
     }
 
-    /// The compiled artifact, if `prepare` ran.
-    pub fn compiled(&self) -> Option<&Compiled> {
-        self.compiled.as_ref()
-    }
-
-    /// Like [`Engine::run`], but a communication failure (deadlock,
-    /// dead rank, injected fault) comes back as structured data — the
-    /// typed [`FailureReport`] plus the surviving ranks' counters —
-    /// instead of a formatted [`OtterError`]. Compile-side and
-    /// program-level errors still use the `Err` channel.
-    pub fn try_run(
-        &mut self,
-        machine: &Machine,
-        p: usize,
-    ) -> Result<std::result::Result<EngineReport, SpmdJobFailure>> {
-        let compiled = self
-            .compiled
-            .as_ref()
-            .ok_or_else(|| OtterError::execution("otter: prepare() not called"))?;
-        let ir = compiled.ir.clone();
-        let exec_opts = ExecOptions {
-            data_dir: compiled.data_dir.clone(),
-            ..Default::default()
-        };
-        let job = run_spmd_with(machine, p, self.opts.spmd_options(), move |comm| {
-            let opts = exec_opts.clone();
-            let executor = Executor::new(&ir, comm, opts);
-            let outcome = executor.run();
-            match outcome {
-                Ok(o) => {
-                    // The program is done: snapshot the modeled time
-                    // and traffic counters now, before the reporting
-                    // gathers below (which are not part of the
-                    // benchmarked computation). Tracing stops at the
-                    // same point so event totals keep matching the
-                    // stats snapshot.
-                    let finished_at = comm.clock();
-                    let finished_stats = comm.stats();
-                    let finished_metrics = comm.take_metrics().map(|r| r.snapshot());
-                    comm.suspend_tracing();
-                    // Gather every matrix so rank 0 can report a
-                    // machine-independent workspace. Iterate in sorted
-                    // order: gathers are collectives, so every rank
-                    // must visit variables in the same sequence.
-                    let mut names: Vec<&String> = o.workspace.keys().collect();
-                    names.sort();
-                    let mut ws: HashMap<String, Value> = HashMap::new();
-                    for name in names {
-                        let val = &o.workspace[name];
-                        match val {
-                            XVal::S(v) => {
-                                ws.insert(name.clone(), Value::Scalar(*v));
-                            }
-                            XVal::M(m) => {
-                                let full = m.gather_all(comm)?;
-                                ws.insert(name.clone(), Value::Matrix(full).normalized());
-                            }
-                        }
-                    }
-                    Ok(Ok((
-                        ws,
-                        o.output,
-                        finished_at,
-                        o.peak_local_bytes,
-                        o.peak_temp_bytes,
-                        o.op_counts,
-                        finished_stats,
-                        finished_metrics,
-                    )))
-                }
-                // Application errors are SPMD-replicated: every rank
-                // raises the identical one, so they travel inside the
-                // rank's value and the job itself still succeeds.
-                Err(ExecError::App(e)) => Ok(Err(e.to_string())),
-                // Communication failures abort the job; the runner
-                // assembles the failure report.
-                Err(ExecError::Comm(e)) => Err(e),
-            }
-        });
-        let results = match job {
-            Ok(results) => results,
-            Err(failure) => {
-                let survivors = failure
-                    .survivors
-                    .iter()
-                    .map(|r| RankCounters {
-                        rank: r.rank,
-                        messages: r.stats.messages_sent,
-                        bytes: r.stats.bytes_sent,
-                        clock: r.clock,
-                        peak_bytes: match &r.value {
-                            Ok(t) => t.4,
-                            Err(_) => 0,
-                        },
-                        compute_seconds: r.stats.compute_time,
-                        comm_seconds: r.stats.send_time,
-                        idle_seconds: r.stats.wait_time,
-                    })
-                    .collect();
-                return Ok(Err(SpmdJobFailure {
-                    report: failure.report,
-                    survivors,
-                }));
-            }
-        };
-        // All ranks computed the same workspace (and executed the same
-        // instruction sequence — SPMD); use rank 0's.
-        let mut iter = results.into_iter();
-        let first = iter.next().expect("at least one rank");
-        let rank0 = first.value.map_err(OtterError::execution)?;
-        let (
-            workspace,
-            output,
-            mut max_clock,
-            mut peak_rank_bytes,
-            mut peak_temp_bytes,
-            ops,
-            fstats,
-            mut job_metrics,
-        ) = rank0;
-        let op_counts: BTreeMap<String, u64> =
-            ops.iter().map(|(k, v)| (k.to_string(), *v)).collect();
-        let mut messages = fstats.messages_sent;
-        let mut bytes = fstats.bytes_sent;
-        let mut per_rank = vec![RankCounters {
-            rank: 0,
-            messages: fstats.messages_sent,
-            bytes: fstats.bytes_sent,
-            clock: max_clock,
-            peak_bytes: peak_temp_bytes,
-            compute_seconds: fstats.compute_time,
-            comm_seconds: fstats.send_time,
-            idle_seconds: fstats.wait_time,
-        }];
-        for r in iter {
-            let (_, _, clock, peak, peak_temp, _, stats, rank_metrics) =
-                r.value.map_err(OtterError::execution)?;
-            max_clock = max_clock.max(clock);
-            peak_rank_bytes = peak_rank_bytes.max(peak);
-            peak_temp_bytes = peak_temp_bytes.max(peak_temp);
-            messages += stats.messages_sent;
-            bytes += stats.bytes_sent;
-            if let (Some(job), Some(m)) = (job_metrics.as_mut(), rank_metrics.as_ref()) {
-                job.merge_from(m);
-            }
-            per_rank.push(RankCounters {
-                rank: r.rank,
-                messages: stats.messages_sent,
-                bytes: stats.bytes_sent,
-                clock,
-                peak_bytes: peak_temp,
-                compute_seconds: stats.compute_time,
-                comm_seconds: stats.send_time,
-                idle_seconds: stats.wait_time,
-            });
-        }
-        // Job-wide series the per-rank registries cannot see, plus the
-        // compile-side pass timings captured by `prepare`.
-        if let Some(job) = job_metrics.as_mut() {
-            let mut reg = MetricsRegistry::new();
-            for rc in &per_rank {
-                reg.observe("rank_clock_seconds", &[], rc.clock);
-            }
-            let min_clock = per_rank
-                .iter()
-                .map(|r| r.clock)
-                .fold(f64::INFINITY, f64::min);
-            if min_clock > 0.0 {
-                reg.gauge_max("load_imbalance_ratio", &[], max_clock / min_clock);
-            }
-            job.merge_from(&reg.snapshot());
-            if let Some(cm) = &self.compile_metrics {
-                job.merge_from(cm);
-            }
-        }
-        // With a retaining sink the critical path comes along for free.
-        let critical_path = self
-            .opts
-            .trace
-            .as_ref()
-            .and_then(|sink| sink.snapshot())
-            .map(|events| otter_trace::critical_path(&events));
-        Ok(Ok(EngineReport {
-            engine: "otter",
-            workspace,
-            output,
-            modeled_seconds: max_clock,
-            op_counts,
-            messages,
-            bytes,
-            peak_rank_bytes,
-            peak_temp_bytes,
-            per_rank,
-            critical_path,
-            metrics: job_metrics,
-        }))
+    /// The compiled artifact, if `prepare` ran (or the engine was
+    /// built with [`OtterEngine::with_artifact`]).
+    pub fn artifact(&self) -> Option<&CompiledArtifact> {
+        self.artifact.as_ref()
     }
 }
 
@@ -717,27 +591,23 @@ impl Engine for OtterEngine {
     }
 
     fn prepare(&mut self, src: &str) -> Result<()> {
-        let empty = otter_frontend::MapProvider::new();
-        let provider = self.opts.m_files.as_ref().unwrap_or(&empty);
-        let copts = CompileOptions {
-            data_dir: self.opts.data_dir.clone(),
-            disabled_passes: self.opts.disabled_passes.clone(),
-            ..Default::default()
-        };
-        let report = crate::pass::PassManager::standard().compile(src, provider, &copts)?;
-        self.compile_metrics = if self.opts.metrics {
-            Some(crate::pass::pass_metrics(&report.passes))
-        } else {
-            None
-        };
-        self.compiled = Some(report.compiled);
+        self.artifact = Some(compile(src, &self.opts)?);
         Ok(())
     }
 
     fn run(&mut self, machine: &Machine, p: usize) -> Result<EngineReport> {
-        match self.try_run(machine, p)? {
-            Ok(report) => Ok(report),
-            Err(failure) => Err(failure.report.into()),
+        let artifact = self
+            .artifact
+            .as_ref()
+            .ok_or_else(|| OtterError::execution("otter: prepare() not called"))?;
+        let mut report = run(artifact, &RunRequest::on(machine.clone(), p))?;
+        // The engine compiled this artifact itself, so its report
+        // accounts for the compile too: merge the per-pass timings
+        // into the job snapshot (run() alone reports none — that
+        // absence is how a cache hit proves passes 1-6 were skipped).
+        if let Some(job) = report.metrics.as_mut() {
+            job.merge_from(&crate::pass::pass_metrics(artifact.pass_stats()));
         }
+        Ok(report)
     }
 }

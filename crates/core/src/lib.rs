@@ -19,24 +19,39 @@
 //! modeled machine). Every engine reports through one
 //! [`EngineReport`] schema.
 //!
+//! The compile side and the run side are split: [`compile`] turns a
+//! script plus [`EngineOptions`] into a [`CompiledArtifact`] — an
+//! immutable, cheaply cloneable snapshot keyed by `(source hash,
+//! option fingerprint)` — and [`run`] executes an artifact on a
+//! machine described by a [`RunRequest`]. Long-lived services cache
+//! artifacts by [`CompiledArtifact::cache_key`] so repeat jobs skip
+//! passes 1–6 entirely.
+//!
 //! ```
-//! use otter_core::{compile_str, Engine, OtterEngine};
+//! use otter_core::{compile, run, EngineOptions, RunRequest};
 //! use otter_machine::meiko_cs2;
 //!
-//! let compiled = compile_str("a = [1, 2; 3, 4];\nb = a * a;\ns = sum(b(:, 1));").unwrap();
-//! assert!(compiled.c_source.contains("ML_matrix_multiply"));
-//! let mut engine = OtterEngine::from_compiled(compiled);
-//! let report = engine.run(&meiko_cs2(), 4).unwrap();
+//! let artifact = compile(
+//!     "a = [1, 2; 3, 4];\nb = a * a;\ns = sum(b(:, 1));",
+//!     &EngineOptions::default(),
+//! )
+//! .unwrap();
+//! assert!(artifact.compiled().c_source.contains("ML_matrix_multiply"));
+//! let report = run(&artifact, &RunRequest::on(meiko_cs2(), 4)).unwrap();
 //! assert_eq!(report.scalar("s"), Some(22.0));
 //! ```
 
+pub mod artifact;
 pub mod compile;
 pub mod engines;
 pub mod error;
 pub mod exec;
 pub mod pass;
 
-pub use compile::{compile, compile_str, CompileOptions, Compiled};
+pub use artifact::{
+    compile, compile_managed, run, source_hash, try_run, CompiledArtifact, RunRequest,
+};
+pub use compile::{compile_program, compile_str, CompileOptions, Compiled};
 pub use engines::{
     run_engine, standard_engines, Engine, EngineOptions, EngineReport, InterpreterEngine,
     MatcomEngine, OtterEngine, RankCounters, SpmdJobFailure,

@@ -12,7 +12,9 @@ fn run_compiled(
     machine: &Machine,
     p: usize,
 ) -> Result<EngineReport, OtterError> {
-    OtterEngine::from_compiled(compiled.clone()).run(machine, p)
+    let artifact =
+        CompiledArtifact::from_parts(compiled.clone(), Vec::new(), "", &EngineOptions::default());
+    run(&artifact, &RunRequest::on(machine.clone(), p))
 }
 
 /// Compile a script and execute on `p` CPUs; panic on any failure.
@@ -218,7 +220,7 @@ fn c_source_contains_runtime_calls() {
 fn peephole_reduces_instruction_count() {
     let src = "n = 32;\nv = ones(n, 1);\nw = ones(n, 1);\nd = sum(v .* w);";
     let with = compile_str(src).unwrap();
-    let without = compile(
+    let without = compile_program(
         src,
         &otter_frontend::EmptyProvider,
         &CompileOptions::default().without_pass("peephole"),

@@ -58,6 +58,18 @@ impl MapProvider {
     pub fn is_empty(&self) -> bool {
         self.files.is_empty()
     }
+
+    /// Registered `(name, source)` pairs in name order — a stable view
+    /// for content hashing (e.g. compile-cache option fingerprints).
+    pub fn entries(&self) -> Vec<(&str, &str)> {
+        let mut pairs: Vec<(&str, &str)> = self
+            .files
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
 }
 
 impl SourceProvider for MapProvider {

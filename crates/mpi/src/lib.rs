@@ -42,6 +42,7 @@
 //! assert!(results.iter().all(|r| r.value == 10.0));
 //! ```
 
+pub mod admission;
 pub mod collectives;
 pub mod comm;
 pub mod error;
@@ -51,6 +52,7 @@ pub mod runner;
 mod sched;
 mod state;
 
+pub use admission::{JobGate, JobPermit};
 pub use collectives::{CollectiveAlgo, ReduceOp};
 pub use comm::{Comm, CommStats};
 pub use error::{CommError, WaitEdge};

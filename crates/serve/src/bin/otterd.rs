@@ -1,0 +1,94 @@
+//! `otterd` — the Otter compile-and-run daemon.
+//!
+//! ```text
+//! otterd --socket /tmp/otter.sock --workers 8 --cache 64 \
+//!        --metrics-addr 127.0.0.1:9464
+//! ```
+//!
+//! Jobs arrive as `otter-serve/v1` JSON lines on the Unix socket;
+//! `GET /metrics` on the TCP address returns Prometheus text. SIGTERM
+//! or SIGINT (or a `shutdown` op) drains the accept loop, removes the
+//! socket file, and exits 0.
+
+use otter_serve::{ServeConfig, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; polled by the watcher thread.
+static STOP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    STOP_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Minimal signal(2) binding: std already links libc, and the handler
+/// only touches an atomic, which is async-signal-safe.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: otterd [--socket PATH] [--workers W] [--cache N] [--metrics-addr HOST:PORT]\n\
+     \n\
+     Persistent Otter compile-and-run service (otter-serve/v1).\n\
+     \n\
+     --socket PATH          Unix socket for jobs (default: a per-pid path in TMPDIR)\n\
+     --workers W            worker budget shared by concurrent jobs (default: host cores)\n\
+     --cache N              artifact cache capacity in entries (default: 64)\n\
+     --metrics-addr ADDR    serve Prometheus text on `GET http://ADDR/metrics`"
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return;
+    }
+    let cfg = match ServeConfig::from_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("otterd: {e}\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("otterd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    install_signal_handlers();
+    eprintln!("otterd: listening on {}", server.socket().display());
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("otterd: metrics on http://{addr}/metrics");
+    }
+
+    // The accept loop owns the server; a watcher thread forwards the
+    // signal flag to its stop handle.
+    let handle = server.handle();
+    std::thread::spawn(move || loop {
+        if STOP_REQUESTED.load(Ordering::SeqCst) {
+            handle.request_stop();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    });
+
+    match server.run() {
+        Ok(()) => {
+            eprintln!("otterd: shut down cleanly");
+        }
+        Err(e) => {
+            eprintln!("otterd: accept loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

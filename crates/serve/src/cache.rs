@@ -1,0 +1,184 @@
+//! The compiled-artifact cache.
+//!
+//! Keyed by [`CompiledArtifact::cache_key`] — `(source content hash,
+//! option fingerprint)` — so a repeat job with byte-identical source
+//! and compile-relevant options skips passes 1–6 entirely and reuses
+//! the artifact (one `Arc` bump). Eviction is least-recently-used over
+//! a fixed entry capacity: artifacts are a few kilobytes of IR and C
+//! text, so a small count bound is plenty, and LRU keeps the hot
+//! scripts of a repeat-traffic workload resident.
+
+use otter_core::{compile, CompiledArtifact, EngineOptions, OtterError};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// What a [`ArtifactCache::get_or_compile`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheOutcome {
+    /// True when the artifact came from the cache (no passes ran).
+    pub cache_hit: bool,
+    /// Wall seconds spent compiling; ~0 on a hit (one hash + lookup).
+    pub compile_seconds: f64,
+}
+
+/// LRU cache of compiled artifacts.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    capacity: usize,
+    entries: HashMap<(u64, u64), Entry>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    artifact: CompiledArtifact,
+    last_used: u64,
+}
+
+impl ArtifactCache {
+    /// A cache holding at most `capacity` artifacts (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Compile `src` under `opts`, unless an artifact with the same
+    /// cache key is already resident. This is the serve path's *only*
+    /// compile entry, so hit/miss counters are exact.
+    pub fn get_or_compile(
+        &mut self,
+        src: &str,
+        opts: &EngineOptions,
+    ) -> Result<(CompiledArtifact, CacheOutcome), OtterError> {
+        let started = Instant::now();
+        let key = (otter_core::source_hash(src), opts.fingerprint());
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.tick;
+            self.hits += 1;
+            return Ok((
+                entry.artifact.clone(),
+                CacheOutcome {
+                    cache_hit: true,
+                    compile_seconds: started.elapsed().as_secs_f64(),
+                },
+            ));
+        }
+        self.misses += 1;
+        let artifact = compile(src, opts)?;
+        debug_assert_eq!(artifact.cache_key(), key);
+        if self.entries.len() >= self.capacity {
+            if let Some(&oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                artifact: artifact.clone(),
+                last_used: self.tick,
+            },
+        );
+        Ok((
+            artifact,
+            CacheOutcome {
+                cache_hit: false,
+                compile_seconds: started.elapsed().as_secs_f64(),
+            },
+        ))
+    }
+
+    /// Resident artifact count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Artifacts dropped to stay under capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC_A: &str = "a = 1 + 1;\n";
+    const SRC_B: &str = "b = 2 + 2;\n";
+    const SRC_C: &str = "c = 3 + 3;\n";
+
+    #[test]
+    fn second_lookup_hits() {
+        let mut cache = ArtifactCache::new(8);
+        let opts = EngineOptions::default();
+        let (first, o1) = cache.get_or_compile(SRC_A, &opts).unwrap();
+        assert!(!o1.cache_hit);
+        let (second, o2) = cache.get_or_compile(SRC_A, &opts).unwrap();
+        assert!(o2.cache_hit);
+        assert_eq!(first.cache_key(), second.cache_key());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_entries() {
+        let mut cache = ArtifactCache::new(8);
+        cache
+            .get_or_compile(SRC_A, &EngineOptions::default())
+            .unwrap();
+        let (_, o) = cache
+            .get_or_compile(
+                SRC_A,
+                &EngineOptions::builder().disable_pass("peephole").build(),
+            )
+            .unwrap();
+        assert!(!o.cache_hit, "different options must not share an entry");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut cache = ArtifactCache::new(2);
+        let opts = EngineOptions::default();
+        cache.get_or_compile(SRC_A, &opts).unwrap();
+        cache.get_or_compile(SRC_B, &opts).unwrap();
+        // Touch A so B is the LRU victim.
+        cache.get_or_compile(SRC_A, &opts).unwrap();
+        cache.get_or_compile(SRC_C, &opts).unwrap();
+        assert_eq!(cache.evictions(), 1);
+        let (_, a) = cache.get_or_compile(SRC_A, &opts).unwrap();
+        assert!(a.cache_hit, "A was recently used and must survive");
+        let (_, b) = cache.get_or_compile(SRC_B, &opts).unwrap();
+        assert!(!b.cache_hit, "B was the LRU entry and must be gone");
+    }
+}

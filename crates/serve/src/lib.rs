@@ -1,0 +1,41 @@
+//! # otter-serve
+//!
+//! `otterd`: the compiler as a persistent service. Instead of paying
+//! passes 1–6 on every invocation, a daemon keeps a content-addressed
+//! cache of [`otter_core::CompiledArtifact`]s — keyed by `(source
+//! hash, option fingerprint)` — and serves compile and run jobs over
+//! a Unix-domain socket speaking newline-delimited JSON
+//! ([`proto::SERVE_SCHEMA`]). Concurrent jobs share one worker budget
+//! through [`otter_mpi::JobGate`], and the daemon exports `serve_*`
+//! metric families (plus merged per-job engine metrics) as Prometheus
+//! text on an optional HTTP endpoint.
+//!
+//! The split this crate rides on is the PR's core API change:
+//! [`otter_core::compile`] produces an immutable artifact,
+//! [`otter_core::run`] executes it — so a cache hit is an `Arc` clone
+//! and the warm path runs zero compiler passes.
+//!
+//! ```no_run
+//! use otter_serve::{JobOptions, ServeClient, ServeConfig, Server};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::bind(ServeConfig::default())?;
+//! let socket = server.socket().clone();
+//! std::thread::spawn(move || server.run());
+//! let mut client =
+//!     ServeClient::connect_with_retry(&socket, std::time::Duration::from_secs(2))?;
+//! let reply = client.run("x = 1 + 1;", JobOptions::default(), "meiko", 4, None)?;
+//! assert!(!reply.cache_hit); // first sight of this script
+//! client.shutdown()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use cache::{ArtifactCache, CacheOutcome};
+pub use client::{JobReply, ServeClient};
+pub use proto::{machine_by_name, JobOptions, Request, SERVE_SCHEMA};
+pub use server::{ServeConfig, Server, ServerHandle};

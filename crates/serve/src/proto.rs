@@ -1,0 +1,360 @@
+//! The `otter-serve/v1` wire protocol.
+//!
+//! Newline-delimited JSON over a Unix-domain socket: each request is
+//! one JSON object on one line, answered by one JSON object on one
+//! line. Every response carries `"schema": "otter-serve/v1"` and
+//! `"ok"`; errors come back as `{"ok": false, "error": "..."}` rather
+//! than closing the connection, so a client can keep a session open
+//! across bad requests.
+//!
+//! Operations (`"op"`):
+//!
+//! | op         | request fields                                        | response fields |
+//! |------------|-------------------------------------------------------|-----------------|
+//! | `ping`     | —                                                     | `schema` |
+//! | `compile`  | `source`, `options?`                                  | `cache_hit`, `compile_seconds`, `source_hash`, `options_fingerprint`, `ir_instrs` |
+//! | `run`      | `source`, `options?`, `machine?`, `ranks?`, `workers?`| compile fields + `run_seconds`, `modeled_seconds`, `messages`, `bytes`, `output`, `scalars` |
+//! | `stats`    | —                                                     | cache/gate counters |
+//! | `metrics`  | —                                                     | `text`: the Prometheus exposition |
+//! | `shutdown` | —                                                     | `stopping: true` |
+//!
+//! `options` is the compile-relevant [`EngineOptions`] subset that
+//! makes sense over a wire: `disabled_passes` (array of pass names),
+//! `collective_algo` (`"tree"`/`"linear"`), `metrics` (bool). The
+//! hashes echo the artifact's cache key so clients can correlate jobs
+//! with cache entries.
+
+use otter_core::EngineOptions;
+use otter_metrics::Json;
+use otter_mpi::CollectiveAlgo;
+
+/// The `"schema"` tag on every response.
+pub const SERVE_SCHEMA: &str = "otter-serve/v1";
+
+/// Compile-relevant options as they travel on the wire.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobOptions {
+    /// Optional passes to skip (e.g. `"peephole"`).
+    pub disabled_passes: Vec<String>,
+    /// `None` keeps the engine default (tree).
+    pub collective_algo: Option<CollectiveAlgo>,
+    /// Collect per-job metrics (merged into the daemon's exposition).
+    pub metrics: bool,
+}
+
+impl JobOptions {
+    /// The [`EngineOptions`] these wire options denote. Anything not
+    /// wire-expressible (fault plans, trace sinks, M-file providers)
+    /// stays at its default — the service compiles self-contained
+    /// scripts.
+    pub fn to_engine_options(&self) -> EngineOptions {
+        let mut b = EngineOptions::builder().metrics(self.metrics);
+        for pass in &self.disabled_passes {
+            b = b.disable_pass(pass.clone());
+        }
+        if let Some(algo) = self.collective_algo {
+            b = b.collective_algo(algo);
+        }
+        b.build()
+    }
+
+    /// Parse the `options` object of a request (absent → defaults).
+    pub fn from_json(json: Option<&Json>) -> Result<JobOptions, String> {
+        let mut opts = JobOptions::default();
+        let Some(json) = json else {
+            return Ok(opts);
+        };
+        if let Some(arr) = json.get("disabled_passes").and_then(Json::as_arr) {
+            for p in arr {
+                opts.disabled_passes.push(
+                    p.as_str()
+                        .ok_or("disabled_passes entries must be strings")?
+                        .to_string(),
+                );
+            }
+        }
+        if let Some(algo) = json.get("collective_algo") {
+            opts.collective_algo = Some(match algo.as_str() {
+                Some("tree") => CollectiveAlgo::Tree,
+                Some("linear") => CollectiveAlgo::Linear,
+                _ => return Err("collective_algo must be \"tree\" or \"linear\"".to_string()),
+            });
+        }
+        if let Some(m) = json.get("metrics") {
+            opts.metrics = matches!(m, Json::Bool(true));
+        }
+        Ok(opts)
+    }
+
+    /// The wire form (for clients building requests).
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if !self.disabled_passes.is_empty() {
+            fields.push((
+                "disabled_passes".to_string(),
+                Json::Arr(
+                    self.disabled_passes
+                        .iter()
+                        .map(|p| Json::Str(p.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(algo) = self.collective_algo {
+            fields.push((
+                "collective_algo".to_string(),
+                Json::Str(algo.label().to_string()),
+            ));
+        }
+        if self.metrics {
+            fields.push(("metrics".to_string(), Json::Bool(true)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Ping,
+    Compile {
+        source: String,
+        options: JobOptions,
+    },
+    Run {
+        source: String,
+        options: JobOptions,
+        /// Machine model name (`meiko`/`cluster`/`smp`/`workstation`).
+        machine: String,
+        ranks: usize,
+        workers: Option<usize>,
+    },
+    Stats,
+    Metrics,
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn from_json(json: &Json) -> Result<Request, String> {
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `op` field")?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            "compile" => Ok(Request::Compile {
+                source: required_source(json)?,
+                options: JobOptions::from_json(json.get("options"))?,
+            }),
+            "run" => {
+                let ranks = match json.get("ranks") {
+                    None => 1,
+                    Some(j) => as_count(j).ok_or("ranks must be a positive integer")?,
+                };
+                let workers = match json.get("workers") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => Some(as_count(j).ok_or("workers must be a positive integer")?),
+                };
+                let machine = json
+                    .get("machine")
+                    .map(|m| {
+                        m.as_str()
+                            .map(str::to_string)
+                            .ok_or("machine must be a string")
+                    })
+                    .transpose()?
+                    .unwrap_or_else(|| "meiko".to_string());
+                Ok(Request::Run {
+                    source: required_source(json)?,
+                    options: JobOptions::from_json(json.get("options"))?,
+                    machine,
+                    ranks,
+                    workers,
+                })
+            }
+            other => Err(format!(
+                "unknown op `{other}` (expected ping|compile|run|stats|metrics|shutdown)"
+            )),
+        }
+    }
+
+    /// The wire form (for clients).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => op_obj("ping", vec![]),
+            Request::Stats => op_obj("stats", vec![]),
+            Request::Metrics => op_obj("metrics", vec![]),
+            Request::Shutdown => op_obj("shutdown", vec![]),
+            Request::Compile { source, options } => op_obj(
+                "compile",
+                vec![
+                    ("source".to_string(), Json::Str(source.clone())),
+                    ("options".to_string(), options.to_json()),
+                ],
+            ),
+            Request::Run {
+                source,
+                options,
+                machine,
+                ranks,
+                workers,
+            } => {
+                let mut fields = vec![
+                    ("source".to_string(), Json::Str(source.clone())),
+                    ("options".to_string(), options.to_json()),
+                    ("machine".to_string(), Json::Str(machine.clone())),
+                    ("ranks".to_string(), Json::Num(*ranks as f64)),
+                ];
+                if let Some(w) = workers {
+                    fields.push(("workers".to_string(), Json::Num(*w as f64)));
+                }
+                op_obj("run", fields)
+            }
+        }
+    }
+
+    /// The `op` label used by the `serve_jobs_total` metric.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Compile { .. } => "compile",
+            Request::Run { .. } => "run",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn required_source(json: &Json) -> Result<String, String> {
+    json.get("source")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "request needs a string `source` field".to_string())
+}
+
+fn as_count(j: &Json) -> Option<usize> {
+    let n = j.as_num()?;
+    if n >= 1.0 && n.fract() == 0.0 {
+        Some(n as usize)
+    } else {
+        None
+    }
+}
+
+fn op_obj(op: &str, mut rest: Vec<(String, Json)>) -> Json {
+    let mut fields = vec![("op".to_string(), Json::Str(op.to_string()))];
+    fields.append(&mut rest);
+    Json::Obj(fields)
+}
+
+/// Build a success response: `ok`/`schema` plus op-specific fields.
+pub fn ok_response(mut fields: Vec<(String, Json)>) -> Json {
+    let mut all = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("schema".to_string(), Json::Str(SERVE_SCHEMA.to_string())),
+    ];
+    all.append(&mut fields);
+    Json::Obj(all)
+}
+
+/// Build an error response.
+pub fn err_response(message: impl Into<String>) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("schema".to_string(), Json::Str(SERVE_SCHEMA.to_string())),
+        ("error".to_string(), Json::Str(message.into())),
+    ])
+}
+
+/// Resolve a wire machine name to its model.
+pub fn machine_by_name(name: &str) -> Result<otter_machine::Machine, String> {
+    match name {
+        "meiko" => Ok(otter_machine::meiko_cs2()),
+        "cluster" => Ok(otter_machine::sparc20_cluster()),
+        "smp" => Ok(otter_machine::enterprise_smp()),
+        "workstation" => Ok(otter_machine::workstation()),
+        other => Err(format!(
+            "unknown machine `{other}` (expected meiko|cluster|smp|workstation)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Compile {
+                source: "x = 1;\n".to_string(),
+                options: JobOptions {
+                    disabled_passes: vec!["peephole".to_string()],
+                    collective_algo: Some(CollectiveAlgo::Linear),
+                    metrics: true,
+                },
+            },
+            Request::Run {
+                source: "x = 1;\n".to_string(),
+                options: JobOptions::default(),
+                machine: "cluster".to_string(),
+                ranks: 8,
+                workers: Some(2),
+            },
+        ];
+        for req in reqs {
+            let wire = req.to_json().to_string();
+            let parsed = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(parsed, req, "{wire}");
+        }
+    }
+
+    #[test]
+    fn run_defaults_fill_in() {
+        let json = Json::parse(r#"{"op":"run","source":"x = 1;"}"#).unwrap();
+        match Request::from_json(&json).unwrap() {
+            Request::Run {
+                machine,
+                ranks,
+                workers,
+                ..
+            } => {
+                assert_eq!(machine, "meiko");
+                assert_eq!(ranks, 1);
+                assert_eq!(workers, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_typed_errors() {
+        for (line, needle) in [
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"compile"}"#, "source"),
+            (r#"{"op":"run","source":"x=1;","ranks":0}"#, "ranks"),
+            (
+                r#"{"op":"run","source":"x=1;","options":{"collective_algo":"ring"}}"#,
+                "collective_algo",
+            ),
+        ] {
+            let err = Request::from_json(&Json::parse(line).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_machines_are_rejected() {
+        assert!(machine_by_name("meiko").is_ok());
+        assert!(machine_by_name("cray").is_err());
+    }
+}

@@ -1,0 +1,459 @@
+//! The daemon: a Unix-socket accept loop over the artifact cache, the
+//! job gate, and the metrics registry, plus a minimal HTTP listener
+//! for Prometheus scrapes.
+//!
+//! One thread per connection; a connection is a session of
+//! newline-delimited `otter-serve/v1` requests. Compiles go through
+//! the shared [`ArtifactCache`] (so concurrent sessions warm each
+//! other), runs are admitted onto the worker budget through a
+//! [`JobGate`] (so ten simultaneous jobs share the host instead of
+//! each claiming full parallelism), and every job updates the
+//! `serve_*` metric families. The stats endpoint speaks plain HTTP
+//! GET → Prometheus text exposition, so `curl` works against it.
+
+use crate::cache::ArtifactCache;
+use crate::proto::{err_response, machine_by_name, ok_response, Request, SERVE_SCHEMA};
+use otter_core::{try_run, RunRequest};
+use otter_metrics::{expo, Json, MetricsRegistry, MetricsSnapshot};
+use otter_mpi::JobGate;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the daemon is wired up.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Path of the Unix-domain job socket (created at bind, removed at
+    /// shutdown).
+    pub socket: PathBuf,
+    /// Worker budget shared by all concurrent jobs (the [`JobGate`]
+    /// total). Defaults to host parallelism.
+    pub workers: usize,
+    /// Artifact-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// TCP address for the Prometheus stats endpoint, e.g.
+    /// `127.0.0.1:9464`; `None` disables HTTP.
+    pub metrics_addr: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            socket: std::env::temp_dir().join(format!("otterd-{}.sock", std::process::id())),
+            workers: otter_mpi::default_workers(),
+            cache_capacity: 64,
+            metrics_addr: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Parse `--socket PATH --workers W --cache N --metrics-addr A`
+    /// (shared by `otterd` and `harness serve`). Unknown flags are a
+    /// typed error, not silently ignored.
+    pub fn from_args(args: &[String]) -> Result<ServeConfig, String> {
+        let mut cfg = ServeConfig::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("`{flag}` needs a value"))
+            };
+            match a.as_str() {
+                "--socket" => cfg.socket = PathBuf::from(value("--socket")?),
+                "--workers" => {
+                    cfg.workers = value("--workers")?
+                        .parse()
+                        .ok()
+                        .filter(|&w: &usize| w >= 1)
+                        .ok_or("`--workers` must be a positive integer")?;
+                }
+                "--cache" => {
+                    cfg.cache_capacity = value("--cache")?
+                        .parse()
+                        .ok()
+                        .filter(|&c: &usize| c >= 1)
+                        .ok_or("`--cache` must be a positive integer")?;
+                }
+                "--metrics-addr" => cfg.metrics_addr = Some(value("--metrics-addr")?),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Shared daemon state: everything a connection thread touches.
+struct ServerState {
+    cache: Mutex<ArtifactCache>,
+    gate: JobGate,
+    /// `serve_*` families (cache traffic, latencies, job counts).
+    metrics: Mutex<MetricsRegistry>,
+    /// Merged per-job engine metrics (only jobs that asked for them).
+    job_metrics: Mutex<MetricsSnapshot>,
+    stop: AtomicBool,
+}
+
+impl ServerState {
+    /// The full exposition: `serve_*` families plus cache gauges plus
+    /// any merged job metrics.
+    fn exposition(&self) -> String {
+        let mut snap = self.metrics.lock().unwrap().snapshot();
+        {
+            let cache = self.cache.lock().unwrap();
+            let mut reg = MetricsRegistry::new();
+            reg.inc("serve_cache_hits_total", &[], cache.hits());
+            reg.inc("serve_cache_misses_total", &[], cache.misses());
+            reg.inc("serve_cache_evictions_total", &[], cache.evictions());
+            reg.gauge_max("serve_cache_entries", &[], cache.len() as f64);
+            reg.gauge_max("serve_workers_total", &[], self.gate.total() as f64);
+            snap.merge_from(&reg.snapshot());
+        }
+        snap.merge_from(&self.job_metrics.lock().unwrap());
+        expo(&snap)
+    }
+}
+
+/// A handle for stopping a running server (from a signal handler's
+/// flag, a test, or the `shutdown` op itself).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Ask the accept loop to wind down; `Server::run` returns soon
+    /// after.
+    pub fn request_stop(&self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a stop was requested.
+    pub fn stopping(&self) -> bool {
+        self.state.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound (but not yet running) daemon.
+pub struct Server {
+    cfg: ServeConfig,
+    listener: UnixListener,
+    http: Option<std::net::TcpListener>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind the job socket (replacing a stale socket file) and the
+    /// optional HTTP stats listener.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        if cfg.socket.exists() {
+            std::fs::remove_file(&cfg.socket)?;
+        }
+        let listener = UnixListener::bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+        let http = match &cfg.metrics_addr {
+            Some(addr) => {
+                let l = std::net::TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let state = Arc::new(ServerState {
+            cache: Mutex::new(ArtifactCache::new(cfg.cache_capacity)),
+            gate: JobGate::new(cfg.workers),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            job_metrics: Mutex::new(MetricsSnapshot::default()),
+            stop: AtomicBool::new(false),
+        });
+        Ok(Server {
+            cfg,
+            listener,
+            http,
+            state,
+        })
+    }
+
+    /// The bound HTTP stats address (useful when the config asked for
+    /// port 0).
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// The job socket path.
+    pub fn socket(&self) -> &PathBuf {
+        &self.cfg.socket
+    }
+
+    /// A stop handle (clone freely; see [`ServerHandle`]).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Accept connections until a stop is requested, then remove the
+    /// socket file and return. Connection threads run detached; the
+    /// protocol is request/response, so in-flight jobs finish their
+    /// write before noticing the closed listener.
+    pub fn run(self) -> std::io::Result<()> {
+        loop {
+            if self.state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut idle = true;
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    idle = false;
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || handle_connection(stream, &state));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(e),
+            }
+            if let Some(http) = &self.http {
+                match http.accept() {
+                    Ok((stream, _)) => {
+                        idle = false;
+                        let state = Arc::clone(&self.state);
+                        std::thread::spawn(move || handle_http(stream, &state));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+            }
+            if idle {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let _ = std::fs::remove_file(&self.cfg.socket);
+        Ok(())
+    }
+}
+
+/// One job-socket session: lines in, lines out.
+fn handle_connection(stream: UnixStream, state: &Arc<ServerState>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Json::parse(&line).map_err(|e| format!("bad JSON: {e}")) {
+            Err(e) => err_response(e),
+            Ok(json) => match Request::from_json(&json) {
+                Err(e) => err_response(e),
+                Ok(req) => dispatch(&req, state),
+            },
+        };
+        let mut text = response.to_string();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Execute one request against the shared state.
+fn dispatch(req: &Request, state: &Arc<ServerState>) -> Json {
+    let job_started = Instant::now();
+    state
+        .metrics
+        .lock()
+        .unwrap()
+        .inc("serve_jobs_total", &[("op", req.op())], 1);
+    let response = match req {
+        Request::Ping => ok_response(vec![]),
+        Request::Shutdown => {
+            state.stop.store(true, Ordering::SeqCst);
+            ok_response(vec![("stopping".to_string(), Json::Bool(true))])
+        }
+        Request::Metrics => ok_response(vec![("text".to_string(), Json::Str(state.exposition()))]),
+        Request::Stats => {
+            let cache = state.cache.lock().unwrap();
+            ok_response(vec![
+                ("cache_entries".to_string(), Json::Num(cache.len() as f64)),
+                ("cache_hits".to_string(), Json::Num(cache.hits() as f64)),
+                ("cache_misses".to_string(), Json::Num(cache.misses() as f64)),
+                (
+                    "cache_evictions".to_string(),
+                    Json::Num(cache.evictions() as f64),
+                ),
+                (
+                    "workers_total".to_string(),
+                    Json::Num(state.gate.total() as f64),
+                ),
+                (
+                    "workers_available".to_string(),
+                    Json::Num(state.gate.available() as f64),
+                ),
+            ])
+        }
+        Request::Compile { source, options } => match compile_cached(state, source, options) {
+            Err(e) => err_response(e),
+            Ok((artifact, fields)) => {
+                let mut fields = fields;
+                fields.push((
+                    "ir_instrs".to_string(),
+                    Json::Num(artifact.compiled().ir.instr_count() as f64),
+                ));
+                ok_response(fields)
+            }
+        },
+        Request::Run {
+            source,
+            options,
+            machine,
+            ranks,
+            workers,
+        } => run_job(state, source, options, machine, *ranks, *workers),
+    };
+    state.metrics.lock().unwrap().observe(
+        "serve_job_seconds",
+        &[("op", req.op())],
+        job_started.elapsed().as_secs_f64(),
+    );
+    response
+}
+
+/// Compile through the shared cache; returns the artifact plus the
+/// response fields every compile-bearing op shares.
+#[allow(clippy::type_complexity)]
+fn compile_cached(
+    state: &Arc<ServerState>,
+    source: &str,
+    options: &crate::proto::JobOptions,
+) -> Result<(otter_core::CompiledArtifact, Vec<(String, Json)>), String> {
+    let eopts = options.to_engine_options();
+    let (artifact, outcome) = state
+        .cache
+        .lock()
+        .unwrap()
+        .get_or_compile(source, &eopts)
+        .map_err(|e| e.to_string())?;
+    let hit_label = if outcome.cache_hit { "true" } else { "false" };
+    state.metrics.lock().unwrap().observe(
+        "serve_compile_seconds",
+        &[("cache_hit", hit_label)],
+        outcome.compile_seconds,
+    );
+    Ok((
+        artifact.clone(),
+        vec![
+            ("cache_hit".to_string(), Json::Bool(outcome.cache_hit)),
+            (
+                "compile_seconds".to_string(),
+                Json::Num(outcome.compile_seconds),
+            ),
+            (
+                "source_hash".to_string(),
+                Json::Str(format!("{:016x}", artifact.source_hash())),
+            ),
+            (
+                "options_fingerprint".to_string(),
+                Json::Str(format!("{:016x}", artifact.options_fingerprint())),
+            ),
+        ],
+    ))
+}
+
+/// A full compile-and-run job.
+fn run_job(
+    state: &Arc<ServerState>,
+    source: &str,
+    options: &crate::proto::JobOptions,
+    machine: &str,
+    ranks: usize,
+    workers: Option<usize>,
+) -> Json {
+    let machine = match machine_by_name(machine) {
+        Ok(m) => m,
+        Err(e) => return err_response(e),
+    };
+    let (artifact, mut fields) = match compile_cached(state, source, options) {
+        Ok(pair) => pair,
+        Err(e) => return err_response(e),
+    };
+    // Admission: take workers from the shared budget for the duration
+    // of the run (released on drop, even if the job fails).
+    let permit = state.gate.admit(workers.unwrap_or(ranks));
+    let run_started = Instant::now();
+    let req = RunRequest::on(machine, ranks).with_workers(permit.workers());
+    let outcome = try_run(&artifact, &req);
+    let run_seconds = run_started.elapsed().as_secs_f64();
+    drop(permit);
+    state
+        .metrics
+        .lock()
+        .unwrap()
+        .observe("serve_run_seconds", &[], run_seconds);
+    fields.push(("run_seconds".to_string(), Json::Num(run_seconds)));
+    match outcome {
+        Err(e) => err_response(e.to_string()),
+        Ok(Err(failure)) => err_response(format!("SPMD job failed: {}", failure.report)),
+        Ok(Ok(report)) => {
+            if let Some(m) = &report.metrics {
+                state.job_metrics.lock().unwrap().merge_from(m);
+            }
+            let mut scalars: Vec<(String, Json)> = report
+                .workspace
+                .keys()
+                .filter_map(|name| report.scalar(name).map(|v| (name.clone(), Json::Num(v))))
+                .collect();
+            scalars.sort_by(|a, b| a.0.cmp(&b.0));
+            fields.push((
+                "modeled_seconds".to_string(),
+                Json::Num(report.modeled_seconds),
+            ));
+            fields.push(("messages".to_string(), Json::Num(report.messages as f64)));
+            fields.push(("bytes".to_string(), Json::Num(report.bytes as f64)));
+            fields.push(("output".to_string(), Json::Str(report.output.clone())));
+            fields.push(("scalars".to_string(), Json::Obj(scalars)));
+            ok_response(fields)
+        }
+    }
+}
+
+/// Minimal HTTP: any well-formed GET gets the Prometheus exposition;
+/// everything else gets a 404. Enough for `curl` and a scraper.
+fn handle_http(mut stream: std::net::TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 4096];
+    let n = match stream.read(&mut buf) {
+        Ok(n) => n,
+        Err(_) => return,
+    };
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let first = request.lines().next().unwrap_or("");
+    let response = if first.starts_with("GET /metrics") || first.starts_with("GET / ") {
+        let body = state.exposition();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let body = format!("{SERVE_SCHEMA}: only GET /metrics is served here\n");
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    let _ = stream.write_all(response.as_bytes());
+}

@@ -1,0 +1,182 @@
+//! End-to-end serve tests over a real Unix socket: an in-process
+//! [`Server`] on its own thread, a [`ServeClient`] session driving
+//! the `otter-serve/v1` protocol, all four benchmark apps submitted
+//! twice (round two must be all cache hits), the stats and metrics
+//! ops, the HTTP scrape endpoint, and a protocol-level shutdown.
+
+use otter_serve::{JobOptions, ServeClient, ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+struct Daemon {
+    socket: PathBuf,
+    metrics_addr: Option<std::net::SocketAddr>,
+    handle: ServerHandle,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+fn spawn_daemon(metrics: bool) -> Daemon {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let cfg = ServeConfig {
+        socket: std::env::temp_dir().join(format!(
+            "otter-e2e-{}-{}.sock",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        )),
+        workers: 4,
+        cache_capacity: 16,
+        metrics_addr: metrics.then(|| "127.0.0.1:0".to_string()),
+    };
+    let server = Server::bind(cfg).expect("bind");
+    Daemon {
+        socket: server.socket().clone(),
+        metrics_addr: server.metrics_addr(),
+        handle: server.handle(),
+        thread: Some(std::thread::spawn(move || server.run())),
+    }
+}
+
+impl Daemon {
+    fn client(&self) -> ServeClient {
+        ServeClient::connect_with_retry(&self.socket, Duration::from_secs(5)).expect("connect")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.handle.request_stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[test]
+fn four_apps_twice_second_round_is_all_hits() {
+    let daemon = spawn_daemon(false);
+    let mut client = daemon.client();
+    client.ping().expect("ping");
+    let apps = otter_apps::test_apps();
+    assert_eq!(apps.len(), 4);
+    for round in 0..2 {
+        for app in &apps {
+            let reply = client
+                .run(&app.script, JobOptions::default(), "meiko", 4, None)
+                .unwrap_or_else(|e| panic!("{} round {round}: {e}", app.id));
+            assert_eq!(
+                reply.cache_hit,
+                round == 1,
+                "{} round {round}: first sight compiles, second round must hit",
+                app.id
+            );
+        }
+    }
+    let stats = client.stats().expect("stats");
+    let num = |k: &str| {
+        stats
+            .get(k)
+            .and_then(otter_metrics::Json::as_num)
+            .unwrap_or(-1.0)
+    };
+    assert_eq!(num("cache_hits"), 4.0);
+    assert_eq!(num("cache_misses"), 4.0);
+    assert_eq!(num("cache_entries"), 4.0);
+}
+
+#[test]
+fn metrics_exposition_has_the_serve_families() {
+    let daemon = spawn_daemon(true);
+    let mut client = daemon.client();
+    client
+        .run("x = 1 + 1;", JobOptions::default(), "meiko", 2, None)
+        .expect("cold job");
+    client
+        .run("x = 1 + 1;", JobOptions::default(), "meiko", 2, None)
+        .expect("warm job");
+    let text = client.metrics_text().expect("metrics op");
+    for family in [
+        "otter_serve_jobs_total",
+        "otter_serve_cache_hits_total",
+        "otter_serve_cache_misses_total",
+        "otter_serve_compile_seconds",
+        "otter_serve_run_seconds",
+        "otter_serve_job_seconds",
+        "otter_serve_workers_total",
+    ] {
+        assert!(text.contains(family), "missing family {family} in:\n{text}");
+    }
+    assert!(
+        text.contains(r#"otter_serve_compile_seconds_count{cache_hit="true"}"#),
+        "warm compiles must be labeled cache_hit=\"true\":\n{text}"
+    );
+
+    // The same exposition over plain HTTP, as a scraper (or curl)
+    // would fetch it.
+    let addr = daemon.metrics_addr.expect("http listener");
+    let mut stream = std::net::TcpStream::connect(addr).expect("tcp connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+        .expect("send GET");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("otter_serve_jobs_total"), "{response}");
+}
+
+#[test]
+fn errors_are_replies_not_disconnects() {
+    let daemon = spawn_daemon(false);
+    let mut client = daemon.client();
+    let err = client
+        .run("x = 1;", JobOptions::default(), "cray", 2, None)
+        .expect_err("unknown machine must fail");
+    assert!(err.contains("unknown machine"), "{err}");
+    let err = client
+        .run("x = ][;", JobOptions::default(), "meiko", 2, None)
+        .expect_err("syntax error must fail");
+    assert!(!err.is_empty());
+    // The session survives both failures.
+    client.ping().expect("session still alive");
+}
+
+#[test]
+fn shutdown_op_stops_the_accept_loop_and_removes_the_socket() {
+    let daemon = spawn_daemon(false);
+    let mut client = daemon.client();
+    client.shutdown().expect("shutdown op");
+    let thread = {
+        // Take the thread out so Drop doesn't double-join.
+        let mut d = daemon;
+        d.thread.take().expect("thread")
+    };
+    let result = thread.join().expect("no panic");
+    assert!(result.is_ok(), "{result:?}");
+}
+
+#[test]
+fn concurrent_sessions_share_the_cache() {
+    let daemon = spawn_daemon(false);
+    let script = otter_apps::test_apps().remove(0).script;
+    // Warm the cache once, then hammer it from several sessions.
+    daemon
+        .client()
+        .run(&script, JobOptions::default(), "meiko", 4, None)
+        .expect("warm-up job");
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let script = &script;
+            let daemon = &daemon;
+            scope.spawn(move || {
+                let mut session = daemon.client();
+                for _ in 0..2 {
+                    let reply = session
+                        .run(script, JobOptions::default(), "meiko", 4, None)
+                        .expect("job");
+                    assert!(reply.cache_hit, "all post-warm-up jobs must hit");
+                }
+            });
+        }
+    });
+}

@@ -13,7 +13,7 @@
 //! cargo run --release --example heat_diffusion
 //! ```
 
-use otter_core::{compile_str, run_engine, Engine, EngineOptions, InterpreterEngine, OtterEngine};
+use otter_core::{compile, run, run_engine, EngineOptions, InterpreterEngine, RunRequest};
 use otter_machine::{meiko_cs2, workstation};
 
 fn main() {
@@ -53,11 +53,8 @@ center = u(floor(n / 2));
     )
     .expect("interpreter run");
     // ...then the unchanged script, compiled for the parallel machine.
-    let compiled = compile_str(&script).expect("compiles");
-    let machine = meiko_cs2();
-    let run16 = OtterEngine::from_compiled(compiled)
-        .run(&machine, 16)
-        .expect("p=16");
+    let artifact = compile(&script, &EngineOptions::default()).expect("compiles");
+    let run16 = run(&artifact, &RunRequest::on(meiko_cs2(), 16)).expect("p=16");
 
     println!("1-D heat diffusion, n = {n} points, {steps} explicit steps\n");
     println!(

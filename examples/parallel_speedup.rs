@@ -9,7 +9,7 @@
 //! ```
 
 use otter_apps::cg;
-use otter_core::{compile_str, run_engine, Engine, EngineOptions, InterpreterEngine, OtterEngine};
+use otter_core::{compile, run, run_engine, EngineOptions, InterpreterEngine, RunRequest};
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster};
 
 fn main() {
@@ -24,8 +24,7 @@ fn main() {
     });
     println!("Conjugate gradient, n = {n}: speedup over the MATLAB interpreter\n");
 
-    let compiled = compile_str(&app.script).expect("CG compiles");
-    let mut engine = OtterEngine::from_compiled(compiled);
+    let artifact = compile(&app.script, &EngineOptions::default()).expect("CG compiles");
     for machine in [meiko_cs2(), sparc20_cluster(), enterprise_smp()] {
         let interp = run_engine(
             &mut InterpreterEngine::new(EngineOptions::default()),
@@ -37,7 +36,7 @@ fn main() {
         print!("{:<22}", machine.name);
         let mut p = 1;
         while p <= machine.max_cpus {
-            let run = engine.run(&machine, p).expect("compiled run");
+            let run = run(&artifact, &RunRequest::on(machine.clone(), p)).expect("compiled run");
             print!(
                 "  p={p}: {:>6.1}x",
                 interp.modeled_seconds / run.modeled_seconds

@@ -6,7 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use otter_core::{compile_str, run_engine, Engine, EngineOptions, InterpreterEngine, OtterEngine};
+use otter_core::{compile, run, run_engine, EngineOptions, InterpreterEngine, RunRequest};
 use otter_machine::{meiko_cs2, workstation};
 
 fn main() {
@@ -26,7 +26,10 @@ resid = norm(b - A * x);
     println!("== MATLAB source ==\n{script}");
 
     // Compile: scan → parse → resolve → SSA → infer → rewrite → peephole → C.
-    let compiled = compile_str(script).expect("compiles");
+    // The artifact is immutable and cheaply cloneable — compile once,
+    // run at any rank count.
+    let artifact = compile(script, &EngineOptions::default()).expect("compiles");
+    let compiled = artifact.compiled();
     println!("== Compiler statistics ==");
     println!("  IR instructions : {}", compiled.ir.instr_count());
     println!("  peephole        : {:?}", compiled.peephole_stats);
@@ -43,11 +46,10 @@ resid = norm(b - A * x);
     }
     println!();
 
-    // Run on 1 and 16 CPUs of a modeled Meiko CS-2.
+    // Run on 1 and 16 CPUs of a modeled Meiko CS-2 — same artifact.
     let machine = meiko_cs2();
-    let mut engine = OtterEngine::from_compiled(compiled);
-    let t1 = engine.run(&machine, 1).expect("p=1 runs");
-    let t16 = engine.run(&machine, 16).expect("p=16 runs");
+    let t1 = run(&artifact, &RunRequest::on(machine.clone(), 1)).expect("p=1 runs");
+    let t16 = run(&artifact, &RunRequest::on(machine.clone(), 16)).expect("p=16 runs");
     let interp = run_engine(
         &mut InterpreterEngine::new(EngineOptions::default()),
         script,

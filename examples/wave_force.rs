@@ -9,7 +9,7 @@
 //! ```
 
 use otter_apps::ocean;
-use otter_core::{compile_str, run_engine, Engine, EngineOptions, InterpreterEngine, OtterEngine};
+use otter_core::{compile, run, run_engine, EngineOptions, InterpreterEngine, RunRequest};
 use otter_machine::{meiko_cs2, workstation};
 
 fn main() {
@@ -27,11 +27,8 @@ fn main() {
 
     // ...then compile the same script, unchanged, for the parallel
     // machine.
-    let compiled = compile_str(&app.script).expect("ocean script compiles");
-    let machine = meiko_cs2();
-    let parallel = OtterEngine::from_compiled(compiled)
-        .run(&machine, 16)
-        .expect("p=16 run");
+    let artifact = compile(&app.script, &EngineOptions::default()).expect("ocean script compiles");
+    let parallel = run(&artifact, &RunRequest::on(meiko_cs2(), 16)).expect("p=16 run");
 
     println!("Morrison-equation wave force on a submerged sphere");
     println!("(4096 time samples, 32 depth samples)\n");

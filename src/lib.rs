@@ -12,11 +12,11 @@
 //! cross-crate integration tests (`tests/`). Most users want:
 //!
 //! ```
-//! use otter::core::{compile_str, Engine, OtterEngine};
+//! use otter::core::{compile, run, EngineOptions, RunRequest};
 //! use otter::machine::meiko_cs2;
 //!
-//! let compiled = compile_str("v = 1:100;\ns = sum(v);").unwrap();
-//! let report = OtterEngine::from_compiled(compiled).run(&meiko_cs2(), 8).unwrap();
+//! let artifact = compile("v = 1:100;\ns = sum(v);", &EngineOptions::default()).unwrap();
+//! let report = run(&artifact, &RunRequest::on(meiko_cs2(), 8)).unwrap();
 //! assert_eq!(report.scalar("s"), Some(5050.0));
 //! ```
 

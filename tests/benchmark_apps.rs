@@ -7,13 +7,14 @@
 mod common;
 
 use common::{run_compiled, run_interpreter};
-use otter_core::{compile_str, EngineReport};
+use otter_core::{compile, EngineOptions, EngineReport};
 use otter_machine::{enterprise_smp, meiko_cs2, sparc20_cluster, workstation, Machine};
 
 fn assert_app_matches(app: &otter_apps::App, machine: &Machine, ps: &[usize]) {
     let base = run_interpreter(&app.script, &workstation())
         .unwrap_or_else(|e| panic!("{}: interpreter: {e}", app.id));
-    let compiled = compile_str(&app.script).unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
+    let compiled = compile(&app.script, &EngineOptions::default())
+        .unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
     for &p in ps {
         if p > machine.max_cpus {
             continue;
@@ -137,7 +138,7 @@ fn all_three_engines_agree_on_every_benchmark_app() {
 #[test]
 fn cg_actually_converges_in_compiled_form() {
     let app = otter_apps::cg::conjugate_gradient(otter_apps::cg::Params::test());
-    let compiled = compile_str(&app.script).unwrap();
+    let compiled = compile(&app.script, &EngineOptions::default()).unwrap();
     let run = run_compiled(&compiled, &meiko_cs2(), 8).unwrap();
     assert!(
         run.scalar("err").unwrap() < 1e-6,
@@ -150,7 +151,7 @@ fn cg_actually_converges_in_compiled_form() {
 fn transitive_closure_is_total_in_compiled_form() {
     let p = otter_apps::transitive::Params::test();
     let app = otter_apps::transitive::transitive_closure(p);
-    let compiled = compile_str(&app.script).unwrap();
+    let compiled = compile(&app.script, &EngineOptions::default()).unwrap();
     let run = run_compiled(&compiled, &meiko_cs2(), 6).unwrap();
     assert_eq!(run.scalar("reach"), Some((p.n * p.n) as f64));
 }

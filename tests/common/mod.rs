@@ -4,18 +4,18 @@
 #![allow(dead_code)]
 
 use otter_core::{
-    run_engine, Compiled, Engine, EngineOptions, EngineReport, InterpreterEngine, OtterEngine,
-    OtterError,
+    run, run_engine, CompiledArtifact, EngineOptions, EngineReport, InterpreterEngine, OtterEngine,
+    OtterError, RunRequest,
 };
 use otter_machine::Machine;
 
-/// Run an already-compiled program on `p` CPUs of `machine`.
+/// Run a compiled artifact on `p` CPUs of `machine`.
 pub fn run_compiled(
-    compiled: &Compiled,
+    artifact: &CompiledArtifact,
     machine: &Machine,
     p: usize,
 ) -> Result<EngineReport, OtterError> {
-    OtterEngine::from_compiled(compiled.clone()).run(machine, p)
+    run(artifact, &RunRequest::on(machine.clone(), p))
 }
 
 /// The interpreter baseline on one CPU of `machine`.

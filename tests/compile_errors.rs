@@ -39,9 +39,10 @@ fn recursion_rejected_with_interpreter_fallback() {
         "fact",
         "function y = fact(n)\nif n <= 1\ny = 1;\nelse\ny = n * fact(n - 1);\nend\n",
     );
-    let err = otter_core::compile("f = fact(5);", &m, &otter_core::CompileOptions::default())
-        .unwrap_err()
-        .to_string();
+    let err =
+        otter_core::compile_program("f = fact(5);", &m, &otter_core::CompileOptions::default())
+            .unwrap_err()
+            .to_string();
     assert!(err.contains("recursive"), "{err}");
     let out = run_script("f = fact(5);", Some(&m)).unwrap();
     assert_eq!(out.scalar("f"), Some(120.0));
@@ -114,7 +115,7 @@ fn unsupported_indexing_form_is_explicit() {
 #[test]
 fn conflicting_function_signatures_explained() {
     let m = otter_frontend::MapProvider::new().with("idy", "function y = idy(x)\ny = x;\n");
-    let err = otter_core::compile(
+    let err = otter_core::compile_program(
         "a = idy(1);\nb = idy(ones(2, 2));",
         &m,
         &otter_core::CompileOptions::default(),

@@ -7,7 +7,7 @@
 mod common;
 
 use common::run_compiled;
-use otter_core::compile_str;
+use otter_core::{compile, EngineOptions};
 use otter_machine::{meiko_cs2, sparc20_cluster};
 
 const SRC: &str = "\
@@ -24,7 +24,7 @@ z = norm(t - w);
 
 #[test]
 fn repeated_runs_are_bitwise_identical() {
-    let compiled = compile_str(SRC).unwrap();
+    let compiled = compile(SRC, &EngineOptions::default()).unwrap();
     let machine = meiko_cs2();
     let first = run_compiled(&compiled, &machine, 8).unwrap();
     for _ in 0..3 {
@@ -44,7 +44,7 @@ fn repeated_runs_are_bitwise_identical() {
 
 #[test]
 fn modeled_time_is_a_pure_function_of_machine_and_p() {
-    let compiled = compile_str(SRC).unwrap();
+    let compiled = compile(SRC, &EngineOptions::default()).unwrap();
     for machine in [meiko_cs2(), sparc20_cluster()] {
         for p in [1usize, 2, 5, 8] {
             let a = run_compiled(&compiled, &machine, p)
@@ -63,7 +63,7 @@ fn results_are_p_invariant_within_tolerance() {
     // Reductions reassociate across p, so exact bits may differ
     // between *different* processor counts — but values must agree to
     // tight tolerance.
-    let compiled = compile_str(SRC).unwrap();
+    let compiled = compile(SRC, &EngineOptions::default()).unwrap();
     let machine = meiko_cs2();
     let base = run_compiled(&compiled, &machine, 1).unwrap();
     for p in [2usize, 3, 7, 16] {
@@ -81,7 +81,7 @@ fn results_are_p_invariant_within_tolerance() {
 
 #[test]
 fn machine_model_changes_time_not_answers() {
-    let compiled = compile_str(SRC).unwrap();
+    let compiled = compile(SRC, &EngineOptions::default()).unwrap();
     let meiko = run_compiled(&compiled, &meiko_cs2(), 8).unwrap();
     let cluster = run_compiled(&compiled, &sparc20_cluster(), 8).unwrap();
     for v in ["d", "s", "z"] {
@@ -104,7 +104,7 @@ fn seeded_rand_is_p_invariant() {
     // elements are bitwise stable; sums only agree to reduction
     // tolerance (tree reassociation).
     let src = "a = rand(12, 12);\ns = sum(sum(a));\ne = a(3, 4);";
-    let compiled = compile_str(src).unwrap();
+    let compiled = compile(src, &EngineOptions::default()).unwrap();
     let machine = meiko_cs2();
     let r1 = run_compiled(&compiled, &machine, 1).unwrap();
     for p in [2usize, 5, 8] {

@@ -10,7 +10,7 @@
 //! constructed directly, exactly as the fixture's closure diverges on
 //! `rank()`).
 
-use otter_core::{Engine, EngineOptions, OtterEngine};
+use otter_core::{compile, try_run, Engine, EngineOptions, OtterEngine, RunRequest};
 use otter_ir::{Instr, MatInit, RedOp, SExpr};
 use otter_lint::divergence::lint_scope;
 use otter_machine::meiko_cs2;
@@ -263,9 +263,8 @@ fn injected_crash_at_p8_names_dead_rank_and_blocked_peers() {
         .faults(FaultPlan::new().crash(victim, 2))
         .build();
     opts.data_dir = None;
-    let mut engine = OtterEngine::new(opts);
-    engine.prepare(&app.script).expect("compiles");
-    let outcome = engine.try_run(&meiko_cs2(), 8).expect("no driver error");
+    let artifact = compile(&app.script, &opts).expect("compiles");
+    let outcome = try_run(&artifact, &RunRequest::on(meiko_cs2(), 8)).expect("no driver error");
     let failure = outcome.expect_err("the injected crash must surface");
 
     let root = failure.report.root_cause();

@@ -115,7 +115,7 @@ fn declarations_match_inferred_ranks() {
 fn functions_become_c_functions() {
     let provider = otter_frontend::MapProvider::new()
         .with("axpy", "function y = axpy(a, x, b)\ny = a * x + b;\n");
-    let compiled = otter_core::compile(
+    let compiled = otter_core::compile_program(
         "x = ones(4, 1);\nb = ones(4, 1);\ny = axpy(2, x, b);",
         &provider,
         &otter_core::CompileOptions::default(),

@@ -11,7 +11,7 @@
 //! Finally, linting must be read-only: disabling the pass changes
 //! nothing downstream.
 
-use otter_core::{compile, compile_str, CompileOptions, LintReport};
+use otter_core::{compile_program, compile_str, CompileOptions, LintReport};
 use otter_frontend::EmptyProvider;
 use otter_ir::{Instr, IrProgram, MatInit, RedOp, SBinOp, SExpr, VarRank};
 use otter_lint::lint_program;
@@ -79,14 +79,14 @@ fn churn_fixture_golden() {
 #[test]
 fn deny_mode_fails_the_pipeline() {
     let opts = CompileOptions::default().deny_lints();
-    let err = compile(DIST_FIXTURE, &EmptyProvider, &opts).unwrap_err();
+    let err = compile_program(DIST_FIXTURE, &EmptyProvider, &opts).unwrap_err();
     let msg = err.to_string();
     assert!(msg.starts_with("error[lint]"), "{msg}");
     assert!(msg.contains("dead distributed value"), "{msg}");
     assert!(msg.contains("1 more lint warning"), "{msg}");
     // Clean programs are unaffected by deny mode.
     for app in otter_apps::test_apps() {
-        compile(&app.script, &EmptyProvider, &opts)
+        compile_program(&app.script, &EmptyProvider, &opts)
             .unwrap_or_else(|e| panic!("{} under --lint=deny: {e}", app.id));
     }
 }
@@ -102,7 +102,7 @@ fn lint_is_read_only() {
         .collect();
     for src in sources {
         let with = compile_str(&src).unwrap();
-        let without = compile(
+        let without = compile_program(
             &src,
             &EmptyProvider,
             &CompileOptions::default().without_pass("lint"),

@@ -13,7 +13,7 @@
 mod common;
 
 use common::{run_compiled, run_interpreter};
-use otter_core::compile_str;
+use otter_core::{compile, EngineOptions};
 use otter_det::DetRng;
 use otter_machine::{meiko_cs2, workstation};
 
@@ -110,7 +110,7 @@ fn check_program(src: &str) {
         Ok(r) => r,
         Err(e) => panic!("interpreter rejected generated program: {e}\n{src}"),
     };
-    let compiled = match compile_str(src) {
+    let compiled = match compile(src, &EngineOptions::default()) {
         Ok(c) => c,
         Err(e) => panic!("compiler rejected generated program: {e}\n{src}"),
     };

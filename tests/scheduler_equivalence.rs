@@ -11,7 +11,7 @@
 
 mod common;
 
-use otter_core::{compile_str, Engine, EngineOptions, EngineReport, OtterEngine};
+use otter_core::{compile, run, EngineOptions, EngineReport, RunRequest};
 use otter_machine::meiko_cs2;
 use otter_mpi::{run_spmd_with, FaultPlan, SpmdOptions, WaitEdge};
 use std::time::Duration;
@@ -51,12 +51,11 @@ fn fingerprint(r: &EngineReport) -> String {
 }
 
 fn run_with_workers(script: &str, p: usize, workers: Option<usize>) -> EngineReport {
-    let compiled = compile_str(script).expect("app compiles");
-    let mut opts = EngineOptions::builder().metrics(true).build();
-    opts.workers = workers;
-    OtterEngine::from_compiled_with(compiled, opts)
-        .run(&meiko_cs2(), p)
-        .expect("job completes")
+    let opts = EngineOptions::builder().metrics(true).build();
+    let artifact = compile(script, &opts).expect("app compiles");
+    let mut req = RunRequest::on(meiko_cs2(), p);
+    req.workers = workers;
+    run(&artifact, &req).expect("job completes")
 }
 
 /// The headline property: every benchmark app, at every tested rank
@@ -110,14 +109,15 @@ fn trace_totals_are_worker_invariant() {
         .into_iter()
         .find(|a| a.id == "cg")
         .expect("cg app");
-    let compiled = compile_str(&app.script).expect("compiles");
-    let run = |workers: usize| {
+    let run_traced = |workers: usize| {
         let sink = Arc::new(MemorySink::new());
-        let mut opts = EngineOptions::builder().trace(Arc::clone(&sink)).build();
-        opts.workers = Some(workers);
-        OtterEngine::from_compiled_with(compiled.clone(), opts)
-            .run(&meiko_cs2(), 8)
-            .expect("job completes");
+        let opts = EngineOptions::builder().trace(Arc::clone(&sink)).build();
+        let artifact = compile(&app.script, &opts).expect("compiles");
+        run(
+            &artifact,
+            &RunRequest::on(meiko_cs2(), 8).with_workers(workers),
+        )
+        .expect("job completes");
         let events = sink.snapshot().unwrap_or_default();
         let cp = critical_path(&events);
         let mut tls = timelines(&events);
@@ -143,7 +143,11 @@ fn trace_totals_are_worker_invariant() {
             tl_text,
         )
     };
-    assert_eq!(run(1), run(8), "W=1 must trace identically to W=8");
+    assert_eq!(
+        run_traced(1),
+        run_traced(8),
+        "W=1 must trace identically to W=8"
+    );
 }
 
 /// Failure reports — which ranks failed, why, who was blocked on whom,
