@@ -398,7 +398,8 @@ fn infer_expr(e: &Expr, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<Option<Va
                 .base
                 .join(st.map(|t| t.base).unwrap_or(BaseTy::Integer))
                 .join(p.base);
-            // Static length when all parts are constants.
+            // Static length when all parts are constants; `1:n` with a
+            // unit step and a dimension-valued stop keeps the symbol.
             let len = match (s.konst, st.map(|t| t.konst).unwrap_or(Some(1.0)), p.konst) {
                 (Some(a), Some(d), Some(b)) if d != 0.0 => {
                     let n = if (d > 0.0 && a > b) || (d < 0.0 && a < b) {
@@ -408,6 +409,10 @@ fn infer_expr(e: &Expr, env: &mut ScopeTypes, ctx: &mut Ctx) -> Result<Option<Va
                     };
                     Dim::Known(n)
                 }
+                (Some(a), Some(d), None) if a == 1.0 && d == 1.0 => p
+                    .as_dim()
+                    .filter(|n| n.is_symbolic())
+                    .unwrap_or(Dim::Unknown),
                 _ => Dim::Unknown,
             };
             VarTy::matrix(
@@ -669,11 +674,24 @@ fn scalar_fold(op: BinOp, a: VarTy, b: VarTy) -> VarTy {
     } else {
         a.base.join(b.base)
     };
+    // Symbolic dimension facts flow through + and * so derived sizes
+    // (`m = n + 1`, `half = n * k`) stay symbolic when a constant is
+    // not available.
+    let dim_of = if konst.is_some() {
+        None
+    } else {
+        match (op, a.as_dim(), b.as_dim()) {
+            (Add, Some(x), Some(y)) => Some(Dim::add(x, y)).filter(|d| d.is_symbolic()),
+            (Mul | ElemMul, Some(x), Some(y)) => Some(Dim::mul(x, y)).filter(|d| d.is_symbolic()),
+            _ => None,
+        }
+    };
     VarTy {
         base,
         rank: RankTy::Scalar,
         shape: Shape::SCALAR,
         konst,
+        dim_of,
     }
 }
 
@@ -683,10 +701,7 @@ fn infer_index_result(bty: &VarTy, sels: &[IndexSel], span: Span) -> Result<VarT
         [IndexSel::One] => Ok(VarTy::scalar(base)),
         [IndexSel::All] => {
             // v(:) — flatten to a column.
-            let n = match (bty.shape.rows, bty.shape.cols) {
-                (Dim::Known(r), Dim::Known(c)) => Dim::Known(r * c),
-                _ => Dim::Unknown,
-            };
+            let n = bty.shape.numel();
             Ok(VarTy::matrix(
                 base,
                 Shape {
@@ -822,7 +837,21 @@ fn infer_call_multi(
     ctx.in_progress.push(callee.to_string());
     let mut fenv: ScopeTypes = BTreeMap::new();
     for (p, t) in func.params.iter().zip(&arg_tys) {
-        fenv.insert(p.clone(), *t);
+        let mut t = *t;
+        // Mint parameter symbols for dimensions the call site could
+        // not pin down, so facts inside the body render in terms of
+        // the formal (`f.x:rows`) instead of `?`. The recorded
+        // signature keeps the raw joined argument types — widening
+        // convergence depends on that.
+        if t.is_matrix() {
+            if t.shape.rows == Dim::Unknown {
+                t.shape.rows = Dim::sym(&format!("{callee}.{p}:rows"), None);
+            }
+            if t.shape.cols == Dim::Unknown {
+                t.shape.cols = Dim::sym(&format!("{callee}.{p}:cols"), None);
+            }
+        }
+        fenv.insert(p.clone(), t);
     }
     let result = infer_block(&func.body, &mut fenv, ctx);
     ctx.in_progress.pop();
@@ -867,10 +896,10 @@ fn infer_builtin(
         Ok(())
     };
     let dim_arg = |i: usize| -> Dim {
-        match arg_tys.get(i).and_then(|t| t.konst) {
-            Some(v) if v >= 0.0 && v.fract() == 0.0 => Dim::Known(v as usize),
-            _ => Dim::Unknown,
-        }
+        arg_tys
+            .get(i)
+            .and_then(|t| t.as_dim())
+            .unwrap_or(Dim::Unknown)
     };
     match callee {
         "zeros" | "ones" | "rand" => {
@@ -931,47 +960,50 @@ fn infer_builtin(
             if arg_tys.len() == 2 {
                 let t = arg_tys[0];
                 let d = arg_tys[1].konst;
-                let k = match d {
-                    Some(1.0) => t.shape.rows.as_known(),
-                    Some(2.0) => t.shape.cols.as_known(),
-                    _ => None,
+                let dim = match d {
+                    Some(1.0) => t.shape.rows,
+                    Some(2.0) => t.shape.cols,
+                    _ => Dim::Unknown,
                 };
-                return one(VarTy {
-                    konst: k.map(|n| n as f64),
-                    ..VarTy::scalar(BaseTy::Integer)
-                });
+                return one(VarTy::dim_scalar(dim));
             }
             one(VarTy::matrix(BaseTy::Integer, Shape::known(1, 2)))
         }
         "length" => {
             need(1)?;
             let t = arg_tys[0];
-            let k = match (t.rank, t.shape.rows.as_known(), t.shape.cols.as_known()) {
-                (RankTy::Scalar, _, _) => Some(1),
-                (_, Some(r), Some(c)) => Some(r.max(c)),
-                _ => None,
+            let dim = match (t.rank, t.shape.rows, t.shape.cols) {
+                (RankTy::Scalar, _, _) => Dim::Known(1),
+                (_, Dim::Known(r), Dim::Known(c)) => Dim::Known(r.max(c)),
+                (_, Dim::Known(1), c) => c,
+                (_, r, Dim::Known(1)) => r,
+                _ => Dim::Unknown,
             };
-            one(VarTy {
-                konst: k.map(|n| n as f64),
-                ..VarTy::scalar(BaseTy::Integer)
-            })
+            one(VarTy::dim_scalar(dim))
         }
         "numel" => {
             need(1)?;
             let t = arg_tys[0];
-            let k = match (t.rank, t.shape.rows.as_known(), t.shape.cols.as_known()) {
-                (RankTy::Scalar, _, _) => Some(1),
-                (_, Some(r), Some(c)) => Some(r * c),
-                _ => None,
+            let dim = match t.rank {
+                RankTy::Scalar => Dim::Known(1),
+                _ => t.shape.numel(),
             };
-            one(VarTy {
-                konst: k.map(|n| n as f64),
-                ..VarTy::scalar(BaseTy::Integer)
-            })
+            one(VarTy::dim_scalar(dim))
         }
         "abs" | "floor" | "ceil" | "round" | "sign" => {
             need(1)?;
-            one(arg_tys[0])
+            let t = arg_tys[0];
+            // Apply the function to the constant (previously the
+            // operand's constant leaked through unapplied).
+            let konst = t.konst.map(|v| match callee {
+                "abs" => v.abs(),
+                "floor" => v.floor(),
+                "ceil" => v.ceil(),
+                "round" => v.round(),
+                _ if v == 0.0 => 0.0,
+                _ => v.signum(),
+            });
+            one(VarTy { konst, ..t })
         }
         "sqrt" | "sin" | "cos" | "tan" | "exp" | "log" | "log2" => {
             need(1)?;
@@ -1007,7 +1039,8 @@ fn infer_builtin(
                 RankTy::Matrix => {
                     if t.shape.is_vector() {
                         one(VarTy::scalar(base))
-                    } else if t.shape.rows == Dim::Unknown && t.shape.cols == Dim::Unknown {
+                    } else if t.shape.rows.concrete().is_none() && t.shape.cols.concrete().is_none()
+                    {
                         Err(AnalysisError::new(
                             format!(
                                 "`{callee}` cannot be compiled: the operand's shape is \
@@ -1100,9 +1133,25 @@ fn infer_builtin(
             if sample.is_scalar() {
                 one(VarTy::scalar(base))
             } else {
+                // Non-trivial dimensions become named symbols carrying
+                // the sample value, so downstream facts render as
+                // `wave.dat:rows` while static decisions that need a
+                // number still get one via `Dim::concrete()`. Unit
+                // dims stay `Known(1)`: vector-ness must be a hard
+                // compile-time fact, exactly as in the paper.
+                let sym_dim = |n: usize, which: &str| -> Dim {
+                    if n >= 2 {
+                        Dim::sym(&format!("{fname}:{which}"), Some(n))
+                    } else {
+                        Dim::Known(n)
+                    }
+                };
                 one(VarTy::matrix(
                     base,
-                    Shape::known(sample.rows(), sample.cols()),
+                    Shape {
+                        rows: sym_dim(sample.rows(), "rows"),
+                        cols: sym_dim(sample.cols(), "cols"),
+                    },
                 ))
             }
         }
@@ -1338,7 +1387,11 @@ mod tests {
         )
         .unwrap();
         let t = inf.script_var("d").unwrap();
-        assert_eq!(t.shape, Shape::known(4, 2));
+        // Dimensions become named symbols carrying the sample extent.
+        assert!(t.shape.rows.is_symbolic(), "{:?}", t.shape);
+        assert!(t.shape.cols.is_symbolic(), "{:?}", t.shape);
+        assert_eq!(t.shape.concrete(), Some((4, 2)));
+        assert_eq!(t.shape.to_string(), "wave.dat:rowsxwave.dat:cols");
         assert_eq!(t.base, BaseTy::Real);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -12,7 +12,9 @@
 //! "static inference mechanism extracts information about variables
 //! from ... constants".
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 /// Base (element) type lattice: `Bottom < Integer < Real < Complex`,
 /// with `Literal` (strings) incomparable to the numeric chain.
@@ -78,27 +80,184 @@ impl RankTy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RankConflict;
 
-/// One dimension of a shape.
+/// A symbolic dimension expression: the affine vocabulary the paper's
+/// sample-file mechanism needs. Symbols are minted from sample-file
+/// dimensions (`"cg.dat:rows"`) and M-file parameters; sums, products
+/// and ceil-divisions arise from concatenation, flattening (`v(:)`),
+/// and block distribution (`⌈n/p⌉`).
+///
+/// Expressions are hash-consed into a process-global interner, so a
+/// [`Dim`] stays `Copy`/`Eq`/`Hash` and id-equality *is* structural
+/// equality — the inference fixpoint loops compare whole environments
+/// by `==` and must stay cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DimExpr {
+    /// A named symbol, with the concrete value observed in the sample
+    /// environment (`None` for parameters with no sample binding).
+    Sym { name: String, sample: Option<usize> },
+    /// `a + b`, operands canonically ordered.
+    Add(Dim, Dim),
+    /// `a * b`, operands canonically ordered.
+    Mul(Dim, Dim),
+    /// `ceil(a / k)` — block-distribution arithmetic.
+    CeilDiv(Dim, usize),
+}
+
+/// Handle of an interned [`DimExpr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimExprId(u32);
+
+#[derive(Default)]
+struct DimInterner {
+    exprs: Vec<DimExpr>,
+    ids: HashMap<DimExpr, u32>,
+}
+
+fn interner() -> &'static Mutex<DimInterner> {
+    static INTERNER: OnceLock<Mutex<DimInterner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(DimInterner::default()))
+}
+
+fn intern(e: DimExpr) -> DimExprId {
+    let mut t = interner().lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(&id) = t.ids.get(&e) {
+        return DimExprId(id);
+    }
+    let id = t.exprs.len() as u32;
+    t.exprs.push(e.clone());
+    t.ids.insert(e, id);
+    DimExprId(id)
+}
+
+/// One dimension of a shape: a known constant, a symbolic expression
+/// over minted dimension symbols, or nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dim {
     Known(usize),
+    Sym(DimExprId),
     Unknown,
 }
 
 impl Dim {
-    pub fn join(self, other: Dim) -> Dim {
-        match (self, other) {
-            (Dim::Known(a), Dim::Known(b)) if a == b => Dim::Known(a),
-            _ => Dim::Unknown,
+    /// Mint (or re-intern) a named dimension symbol.
+    pub fn sym(name: &str, sample: Option<usize>) -> Dim {
+        Dim::Sym(intern(DimExpr::Sym {
+            name: name.to_string(),
+            sample,
+        }))
+    }
+
+    /// Symbolic sum, constant-folded. `Unknown` absorbs.
+    #[allow(clippy::should_implement_trait)] // associated fn over the lattice, not `self + rhs`
+    pub fn add(a: Dim, b: Dim) -> Dim {
+        match (a, b) {
+            (Dim::Unknown, _) | (_, Dim::Unknown) => Dim::Unknown,
+            (Dim::Known(x), Dim::Known(y)) => Dim::Known(x + y),
+            (Dim::Known(0), d) | (d, Dim::Known(0)) => d,
+            (a, b) => {
+                let (a, b) = canonical_pair(a, b);
+                Dim::Sym(intern(DimExpr::Add(a, b)))
+            }
         }
     }
 
+    /// Symbolic product, constant-folded. Zero annihilates even
+    /// `Unknown`; one is the identity.
+    #[allow(clippy::should_implement_trait)] // associated fn over the lattice, not `self * rhs`
+    pub fn mul(a: Dim, b: Dim) -> Dim {
+        match (a, b) {
+            (Dim::Known(0), _) | (_, Dim::Known(0)) => Dim::Known(0),
+            (Dim::Unknown, _) | (_, Dim::Unknown) => Dim::Unknown,
+            (Dim::Known(x), Dim::Known(y)) => Dim::Known(x * y),
+            (Dim::Known(1), d) | (d, Dim::Known(1)) => d,
+            (a, b) => {
+                let (a, b) = canonical_pair(a, b);
+                Dim::Sym(intern(DimExpr::Mul(a, b)))
+            }
+        }
+    }
+
+    /// `ceil(a / k)`, constant-folded; `k` must be positive.
+    pub fn ceil_div(a: Dim, k: usize) -> Dim {
+        match (a, k) {
+            (_, 0) => Dim::Unknown,
+            (d, 1) => d,
+            (Dim::Known(n), k) => Dim::Known(n.div_ceil(k)),
+            (Dim::Unknown, _) => Dim::Unknown,
+            (d, k) => Dim::Sym(intern(DimExpr::CeilDiv(d, k))),
+        }
+    }
+
+    pub fn join(self, other: Dim) -> Dim {
+        if self == other {
+            self
+        } else {
+            Dim::Unknown
+        }
+    }
+
+    /// Statically known constant value (symbolic dims return `None`;
+    /// see [`Dim::concrete`] for the sample-evaluated variant).
     pub fn as_known(self) -> Option<usize> {
         match self {
             Dim::Known(n) => Some(n),
-            Dim::Unknown => None,
+            _ => None,
         }
     }
+
+    /// Is this dimension a symbolic expression?
+    pub fn is_symbolic(self) -> bool {
+        matches!(self, Dim::Sym(_))
+    }
+
+    /// The interned expression behind a symbolic dim.
+    pub fn expr(self) -> Option<DimExpr> {
+        match self {
+            Dim::Sym(id) => {
+                let t = interner().lock().unwrap_or_else(|p| p.into_inner());
+                Some(t.exprs[id.0 as usize].clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluate the dimension against the sample environment every
+    /// symbol was minted with: the value the compile actually saw.
+    pub fn eval_sample(self) -> Option<usize> {
+        match self {
+            Dim::Known(n) => Some(n),
+            Dim::Unknown => None,
+            Dim::Sym(_) => match self.expr()? {
+                DimExpr::Sym { sample, .. } => sample,
+                DimExpr::Add(a, b) => Some(a.eval_sample()? + b.eval_sample()?),
+                DimExpr::Mul(a, b) => Some(a.eval_sample()? * b.eval_sample()?),
+                DimExpr::CeilDiv(a, k) => Some(a.eval_sample()?.div_ceil(k)),
+            },
+        }
+    }
+
+    /// Known constant or sample-evaluated symbolic value. Within one
+    /// compile this is exact: symbols were minted from the same files
+    /// the run will load.
+    pub fn concrete(self) -> Option<usize> {
+        self.as_known().or_else(|| self.eval_sample())
+    }
+}
+
+/// Canonical operand order for commutative nodes so `a+b` and `b+a`
+/// intern to the same expression. The order compares the rendered
+/// text — deterministic across runs, unlike interner ids.
+fn canonical_pair(a: Dim, b: Dim) -> (Dim, Dim) {
+    if b.to_string() < a.to_string() {
+        (b, a)
+    } else {
+        (a, b)
+    }
+}
+
+/// Whether a dim renders as a sum (needs parens inside a product).
+fn is_sum(d: Dim) -> bool {
+    matches!(d.expr(), Some(DimExpr::Add(..)))
 }
 
 impl fmt::Display for Dim {
@@ -106,6 +265,24 @@ impl fmt::Display for Dim {
         match self {
             Dim::Known(n) => write!(f, "{n}"),
             Dim::Unknown => write!(f, "?"),
+            Dim::Sym(_) => match self.expr().expect("interned") {
+                DimExpr::Sym { name, .. } => write!(f, "{name}"),
+                DimExpr::Add(a, b) => write!(f, "{a}+{b}"),
+                DimExpr::Mul(a, b) => {
+                    if is_sum(a) {
+                        write!(f, "({a})")?;
+                    } else {
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, "*")?;
+                    if is_sum(b) {
+                        write!(f, "({b})")
+                    } else {
+                        write!(f, "{b}")
+                    }
+                }
+                DimExpr::CeilDiv(a, k) => write!(f, "ceil({a}/{k})"),
+            },
         }
     }
 }
@@ -152,6 +329,22 @@ impl Shape {
     pub fn is_vector(self) -> bool {
         self.rows == Dim::Known(1) || self.cols == Dim::Known(1)
     }
+
+    /// Both dimensions resolved to concrete values (constants or
+    /// sample-evaluated symbols).
+    pub fn concrete(self) -> Option<(usize, usize)> {
+        Some((self.rows.concrete()?, self.cols.concrete()?))
+    }
+
+    /// Total element count, symbolically.
+    pub fn numel(self) -> Dim {
+        Dim::mul(self.rows, self.cols)
+    }
+
+    /// Does either dimension carry a symbolic expression?
+    pub fn is_symbolic(self) -> bool {
+        self.rows.is_symbolic() || self.cols.is_symbolic()
+    }
 }
 
 impl fmt::Display for Shape {
@@ -169,6 +362,11 @@ pub struct VarTy {
     /// Statically known numeric value, when the variable is a
     /// compile-time constant scalar (drives static shapes).
     pub konst: Option<f64>,
+    /// When this scalar provably equals a (possibly symbolic)
+    /// dimension — `n = size(a, 1)` — the expression it equals, so
+    /// shapes like `zeros(n, 1)` stay symbolic instead of collapsing
+    /// to `Unknown`.
+    pub dim_of: Option<Dim>,
 }
 
 impl VarTy {
@@ -177,6 +375,7 @@ impl VarTy {
         rank: RankTy::Bottom,
         shape: Shape::UNKNOWN,
         konst: None,
+        dim_of: None,
     };
 
     /// An integer-valued scalar constant.
@@ -190,6 +389,7 @@ impl VarTy {
             rank: RankTy::Scalar,
             shape: Shape::SCALAR,
             konst: Some(v),
+            dim_of: None,
         }
     }
 
@@ -200,6 +400,20 @@ impl VarTy {
             rank: RankTy::Scalar,
             shape: Shape::SCALAR,
             konst: None,
+            dim_of: None,
+        }
+    }
+
+    /// An integer scalar known to equal a dimension expression.
+    /// `Dim::Unknown` normalizes to no fact at all, so fixpoint
+    /// comparisons never distinguish "unknown dim" from "no dim".
+    pub fn dim_scalar(dim: Dim) -> VarTy {
+        VarTy {
+            base: BaseTy::Integer,
+            rank: RankTy::Scalar,
+            shape: Shape::SCALAR,
+            konst: dim.as_known().map(|n| n as f64),
+            dim_of: if dim == Dim::Unknown { None } else { Some(dim) },
         }
     }
 
@@ -210,6 +424,7 @@ impl VarTy {
             rank: RankTy::Matrix,
             shape,
             konst: None,
+            dim_of: None,
         }
     }
 
@@ -220,6 +435,19 @@ impl VarTy {
             rank: RankTy::Scalar,
             shape: Shape::SCALAR,
             konst: None,
+            dim_of: None,
+        }
+    }
+
+    /// The dimension expression this scalar denotes, when known: an
+    /// explicit `dim_of` fact, or a non-negative integral constant.
+    pub fn as_dim(&self) -> Option<Dim> {
+        if let Some(d) = self.dim_of {
+            return Some(d);
+        }
+        match self.konst {
+            Some(v) if v >= 0.0 && v.fract() == 0.0 => Some(Dim::Known(v as usize)),
+            _ => None,
         }
     }
 
@@ -236,6 +464,10 @@ impl VarTy {
             rank: self.rank.join(other.rank)?,
             shape: self.shape.join(other.shape),
             konst: match (self.konst, other.konst) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+            dim_of: match (self.dim_of, other.dim_of) {
                 (Some(a), Some(b)) if a == b => Some(a),
                 _ => None,
             },
@@ -333,5 +565,90 @@ mod tests {
         let v = VarTy::matrix(BaseTy::Real, Shape::known(2048, 1));
         assert_eq!(v.to_string(), "real matrix 2048x1");
         assert_eq!(VarTy::scalar(BaseTy::Integer).to_string(), "integer scalar");
+    }
+
+    #[test]
+    fn symbolic_dims_hash_cons_to_structural_equality() {
+        let n = Dim::sym("cg.dat:rows", Some(96));
+        let n2 = Dim::sym("cg.dat:rows", Some(96));
+        assert_eq!(n, n2);
+        // Different sample value ⇒ a different symbol.
+        assert_ne!(n, Dim::sym("cg.dat:rows", Some(48)));
+        // Commutative nodes canonicalize: a+b == b+a, a*b == b*a.
+        let m = Dim::sym("cg.dat:cols", Some(96));
+        assert_eq!(Dim::add(n, m), Dim::add(m, n));
+        assert_eq!(Dim::mul(n, m), Dim::mul(m, n));
+        assert_ne!(Dim::add(n, m), Dim::mul(n, m));
+    }
+
+    #[test]
+    fn symbolic_constructors_fold_constants() {
+        let n = Dim::sym("n", Some(10));
+        assert_eq!(Dim::add(Dim::Known(2), Dim::Known(3)), Dim::Known(5));
+        assert_eq!(Dim::add(n, Dim::Known(0)), n);
+        assert_eq!(Dim::mul(n, Dim::Known(1)), n);
+        assert_eq!(Dim::mul(n, Dim::Known(0)), Dim::Known(0));
+        assert_eq!(Dim::mul(Dim::Unknown, Dim::Known(0)), Dim::Known(0));
+        assert_eq!(Dim::add(n, Dim::Unknown), Dim::Unknown);
+        assert_eq!(Dim::ceil_div(Dim::Known(10), 4), Dim::Known(3));
+        assert_eq!(Dim::ceil_div(n, 1), n);
+    }
+
+    #[test]
+    fn symbolic_eval_against_sample() {
+        let r = Dim::sym("f.dat:rows", Some(12));
+        let c = Dim::sym("f.dat:cols", Some(5));
+        assert_eq!(r.eval_sample(), Some(12));
+        assert_eq!(Dim::mul(r, c).eval_sample(), Some(60));
+        assert_eq!(Dim::add(r, Dim::Known(1)).eval_sample(), Some(13));
+        assert_eq!(Dim::ceil_div(r, 8).eval_sample(), Some(2));
+        // A parameter symbol with no sample cannot evaluate.
+        let p = Dim::sym("f.param:x", None);
+        assert_eq!(p.eval_sample(), None);
+        assert_eq!(Dim::add(r, p).eval_sample(), None);
+        // `concrete` unifies the two paths.
+        assert_eq!(Dim::Known(7).concrete(), Some(7));
+        assert_eq!(r.concrete(), Some(12));
+    }
+
+    #[test]
+    fn symbolic_display_renders_expressions() {
+        let r = Dim::sym("a:rows", Some(4));
+        let c = Dim::sym("a:cols", Some(2));
+        assert_eq!(r.to_string(), "a:rows");
+        assert_eq!(Dim::mul(r, c).to_string(), "a:cols*a:rows");
+        assert_eq!(Dim::add(r, Dim::Known(3)).to_string(), "3+a:rows");
+        assert_eq!(
+            Dim::mul(Dim::add(r, Dim::Known(1)), c).to_string(),
+            "(1+a:rows)*a:cols"
+        );
+        assert_eq!(Dim::ceil_div(r, 8).to_string(), "ceil(a:rows/8)");
+    }
+
+    #[test]
+    fn symbolic_join_keeps_equal_dims() {
+        let n = Dim::sym("n", Some(8));
+        assert_eq!(n.join(n), n);
+        assert_eq!(n.join(Dim::Known(8)), Dim::Unknown);
+        assert_eq!(n.join(Dim::sym("m", Some(8))), Dim::Unknown);
+        assert!(n.as_known().is_none());
+        assert!(n.is_symbolic());
+    }
+
+    #[test]
+    fn dim_scalar_carries_the_fact_through_join() {
+        let n = Dim::sym("n", Some(8));
+        let a = VarTy::dim_scalar(n);
+        assert_eq!(a.as_dim(), Some(n));
+        assert_eq!(a.konst, None);
+        let same = a.join(a).unwrap();
+        assert_eq!(same.dim_of, Some(n));
+        let other = VarTy::dim_scalar(Dim::sym("m", Some(9)));
+        assert_eq!(a.join(other).unwrap().dim_of, None);
+        // Plain integral constants also denote dims.
+        assert_eq!(VarTy::int_const(5.0).as_dim(), Some(Dim::Known(5)));
+        assert_eq!(VarTy::int_const(5.5).as_dim(), None);
+        // A known-constant dim scalar still folds.
+        assert_eq!(VarTy::dim_scalar(Dim::Known(4)).konst, Some(4.0));
     }
 }

@@ -16,6 +16,11 @@
 //!                                # per-rank timeline + critical path
 //! harness lint <app|all> [--deny]
 //!                                # SPMD lint report (deny: exit 1 on warnings)
+//! harness analyze <app|all> [--ranks N[,N...]] [--json out.json]
+//!                                # static comm-volume oracle vs the modeled
+//!                                # run: per-site messages(p)/bytes(p) table,
+//!                                # exact-equality verdict, in-place sets;
+//!                                # exit 1 on any mismatch or shape error
 //! harness faults [--scenario crash|drop|delay|seeded|none] [--seed S]
 //!                [--ranks N] [--app A]
 //!                                # fault-injection smoke: run one app under a
@@ -305,6 +310,7 @@ fn main() {
         }
         "trace" => run_trace(rest),
         "lint" => run_lint(rest),
+        "analyze" => run_analyze_cmd(rest),
         "faults" => run_faults(rest),
         "bench" => run_bench_cmd(rest),
         "scale" => run_scale_cmd(rest),
@@ -344,7 +350,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|faults|bench|scale|serve|load|ablation|memory|passes|all"
+                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|analyze|faults|bench|scale|serve|load|ablation|memory|passes|all"
             );
             std::process::exit(2);
         }
@@ -521,6 +527,63 @@ fn run_lint(args: &[String]) {
     }
     if deny && total_warnings > 0 {
         eprintln!("harness lint: {total_warnings} warning(s) with --deny");
+        std::process::exit(1);
+    }
+}
+
+/// `harness analyze <app|all> [--ranks N[,N...]] [--json out.json]`:
+/// run the static communication-volume oracle and verify it site by
+/// site against the modeled run — exact equality, no tolerance. Prints
+/// the per-site formula table; `--json` exports the `otter-analyze/v1`
+/// report. Exits 1 on any mismatch or compile-time shape error, which
+/// makes it a CI smoke step.
+fn run_analyze_cmd(args: &[String]) {
+    use otter_bench::analyze::{run_analyze, AnalyzeSpec, ANALYZE_SCHEMA};
+
+    let spec = ArgSpec {
+        cmd: "analyze",
+        usage: "harness analyze <cg|ocean|nbody|tc|all> [--ranks N[,N...]] \
+                [--json out.json] [--paper]",
+        value_flags: &["--json"],
+        switches: &[],
+        positionals: 1,
+    };
+    let pa = parse_or_exit(args, &spec);
+    let mut aspec = AnalyzeSpec {
+        scale: scale_of(&pa),
+        ..AnalyzeSpec::default()
+    };
+    if let Some(ranks) = flag_or_exit(pa.ranks_list(), &spec) {
+        aspec.ranks = ranks;
+    }
+    if let Some(id) = pa.positional() {
+        aspec.app_id = id.to_string();
+    }
+    let json_path = pa.get("--json").map(str::to_string);
+
+    let report = run_analyze(&aspec).unwrap_or_else(|e| {
+        eprintln!("harness analyze: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", report.render());
+
+    if let Some(path) = &json_path {
+        let mut text = report.to_json().to_string();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote analyze report ({ANALYZE_SCHEMA}) to {path}");
+    }
+
+    let shape_errors: usize = report.apps.iter().map(|a| a.shape_errors).sum();
+    if !report.matched() || shape_errors > 0 {
+        eprintln!(
+            "harness analyze: oracle mismatch or shape error(s) \
+             (matched={}, shape_errors={shape_errors})",
+            report.matched(),
+        );
         std::process::exit(1);
     }
 }

@@ -19,6 +19,7 @@
 //! the host.
 
 pub mod ablation;
+pub mod analyze;
 pub mod bench;
 pub mod figures;
 pub mod load;

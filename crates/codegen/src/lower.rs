@@ -39,6 +39,12 @@ pub fn lower(program: &Program, inference: &Inference) -> Result<IrProgram> {
     ir.def_spans = std::mem::take(&mut cx.def_spans);
     for (name, ty) in &inference.script_vars {
         ir.var_ranks.insert(name.clone(), rank_of(ty));
+        if ty.rank == RankTy::Matrix {
+            ir.var_shapes.insert(name.clone(), ty.shape);
+        }
+        if let Some(k) = ty.konst {
+            ir.var_consts.insert(name.clone(), k);
+        }
     }
     // Temps introduced during lowering.
     for name in cx.tmp_ranks_drain() {
@@ -66,6 +72,16 @@ pub fn lower(program: &Program, inference: &Inference) -> Result<IrProgram> {
         for (n, r) in fcx.tmp_ranks_drain() {
             var_ranks.insert(n, r);
         }
+        let mut var_shapes = std::collections::BTreeMap::new();
+        let mut var_consts = std::collections::BTreeMap::new();
+        for (n, t) in &sig.vars {
+            if t.rank == RankTy::Matrix {
+                var_shapes.insert(n.clone(), t.shape);
+            }
+            if let Some(k) = t.konst {
+                var_consts.insert(n.clone(), k);
+            }
+        }
         ir.functions.insert(
             f.name.clone(),
             IrFunction {
@@ -85,6 +101,9 @@ pub fn lower(program: &Program, inference: &Inference) -> Result<IrProgram> {
                 body,
                 var_ranks,
                 def_spans: std::mem::take(&mut fcx.def_spans),
+                var_shapes,
+                var_consts,
+                in_place: Default::default(),
             },
         );
     }
@@ -1407,16 +1426,18 @@ impl<'a> Cx<'a> {
             3 => DimSel::Length,
             _ => DimSel::Numel,
         };
-        // Static shapes fold to constants.
+        // Static shapes fold to constants; symbolic dims fold through
+        // their sample value (the sample file fixes the extent at
+        // compile time, paper §3).
         if let Some(ty) = self.types.get(var) {
             let k = match sel {
-                DimSel::Rows => ty.shape.rows.as_known(),
-                DimSel::Cols => ty.shape.cols.as_known(),
-                DimSel::Length => match (ty.shape.rows.as_known(), ty.shape.cols.as_known()) {
+                DimSel::Rows => ty.shape.rows.concrete(),
+                DimSel::Cols => ty.shape.cols.concrete(),
+                DimSel::Length => match (ty.shape.rows.concrete(), ty.shape.cols.concrete()) {
                     (Some(r), Some(c)) => Some(r.max(c)),
                     _ => None,
                 },
-                DimSel::Numel => match (ty.shape.rows.as_known(), ty.shape.cols.as_known()) {
+                DimSel::Numel => match (ty.shape.rows.concrete(), ty.shape.cols.concrete()) {
                     (Some(r), Some(c)) => Some(r * c),
                     _ => None,
                 },

@@ -31,7 +31,7 @@
 //! ```
 
 use crate::compile::{CompileOptions, Compiled};
-use crate::engines::{EngineOptions, EngineReport, RankCounters, SpmdJobFailure};
+use crate::engines::{CommSiteReport, EngineOptions, EngineReport, RankCounters, SpmdJobFailure};
 use crate::error::{OtterError, Result};
 use crate::exec::{ExecError, ExecOptions, Executor, XVal};
 use crate::pass::{PassDump, PassManager, PassStats};
@@ -280,6 +280,7 @@ pub fn try_run(
     let ir = compiled.ir.clone();
     let exec_opts = ExecOptions {
         data_dir: compiled.data_dir.clone(),
+        analyze: opts.analyze,
         ..Default::default()
     };
     let mut spmd = opts.spmd_options();
@@ -330,6 +331,7 @@ pub fn try_run(
                     o.op_counts,
                     finished_stats,
                     finished_metrics,
+                    o.site_comm,
                 )))
             }
             // Application errors are SPMD-replicated: every rank
@@ -381,6 +383,7 @@ pub fn try_run(
         ops,
         fstats,
         mut job_metrics,
+        mut site_comm,
     ) = rank0;
     let op_counts: BTreeMap<String, u64> = ops.iter().map(|(k, v)| (k.to_string(), *v)).collect();
     let mut messages = fstats.messages_sent;
@@ -396,8 +399,14 @@ pub fn try_run(
         idle_seconds: fstats.wait_time,
     }];
     for r in iter {
-        let (_, _, clock, peak, peak_temp, _, stats, rank_metrics) =
+        let (_, _, clock, peak, peak_temp, _, stats, rank_metrics, rank_sites) =
             r.value.map_err(OtterError::execution)?;
+        // Per-site traffic is a job-wide total (sum over ranks);
+        // execution counts are SPMD-replicated, so rank 0's stand.
+        for (total, rs) in site_comm.iter_mut().zip(&rank_sites) {
+            total.messages += rs.messages;
+            total.bytes += rs.bytes;
+        }
         max_clock = max_clock.max(clock);
         peak_rank_bytes = peak_rank_bytes.max(peak);
         peak_temp_bytes = peak_temp_bytes.max(peak_temp);
@@ -432,6 +441,21 @@ pub fn try_run(
         }
         job.merge_from(&reg.snapshot());
     }
+    // Rejoin the per-site totals with their site identities: the
+    // executor indexed them by `leaf_sites` order over this same IR,
+    // so a fresh enumeration lines up element-for-element.
+    let comm_sites: Vec<CommSiteReport> = otter_ir::leaf_sites(&compiled.ir)
+        .iter()
+        .zip(&site_comm)
+        .map(|(site, sc)| CommSiteReport {
+            site: site.id,
+            func: site.func.map(str::to_string),
+            opcode: site.instr.opcode().to_string(),
+            execs: sc.execs,
+            messages: sc.messages,
+            bytes: sc.bytes,
+        })
+        .collect();
     // With a retaining sink the critical path comes along for free.
     let critical_path = opts
         .trace
@@ -451,5 +475,6 @@ pub fn try_run(
         per_rank,
         critical_path,
         metrics: job_metrics,
+        comm_sites,
     }))
 }

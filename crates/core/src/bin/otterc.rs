@@ -17,6 +17,8 @@
 //! otterc script.m --dump-after=rewrite  # print the IR after pass 4
 //! otterc script.m --lint              # print SPMD lint warnings
 //! otterc script.m --lint=deny         # ...and fail the build on any
+//! otterc script.m --analyze           # static comm-volume oracle table
+//! otterc script.m --analyze -p 8      # ...evaluated at 8 ranks
 //! ```
 //!
 //! M-file functions are resolved from the script's directory, like the
@@ -47,6 +49,7 @@ struct Args {
     dump_after: Option<String>,
     lint: bool,
     lint_deny: bool,
+    analyze: bool,
 }
 
 #[derive(PartialEq)]
@@ -61,7 +64,7 @@ fn usage() -> ! {
         "usage: otterc <script.m> [-o out.c] [--emit c|ir|ast] [--run] \
          [-p N] [--workers W] [--machine meiko|cluster|smp|workstation] \
          [--no-peephole] [--timing] [--trace] [--dump-after=<pass>|all] \
-         [--lint[=deny]]"
+         [--lint[=deny]] [--analyze]"
     );
     exit(2)
 }
@@ -80,6 +83,7 @@ fn parse_args() -> Args {
     let mut dump_after = None;
     let mut lint = false;
     let mut lint_deny = false;
+    let mut analyze = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -119,6 +123,7 @@ fn parse_args() -> Args {
             "--timing" => timing = true,
             "--trace" => trace = true,
             "--lint" => lint = true,
+            "--analyze" => analyze = true,
             "--lint=deny" => {
                 lint = true;
                 lint_deny = true;
@@ -148,6 +153,7 @@ fn parse_args() -> Args {
         dump_after,
         lint,
         lint_deny,
+        analyze,
     }
 }
 
@@ -193,6 +199,65 @@ fn print_timing(report: &CompileReport) {
             s.runtime_calls_after,
             s.runtime_calls_after as i64 - s.runtime_calls_before as i64,
         );
+    }
+}
+
+/// The `--analyze` report: one line per leaf site — static trip
+/// count, symbolic messages/bytes formulas, and the model evaluated at
+/// the requested rank count — then the in-place legality sets.
+fn print_analysis(compiled: &otter_core::Compiled, p: usize) {
+    eprintln!(
+        "{:>4} {:<8} {:<15} {:>5} {:>6} {:>24} {:>10} {:>24} {:>12}",
+        "site", "scope", "opcode", "depth", "execs", "messages(p)", "@p", "bytes(p)", "@p"
+    );
+    for pred in &compiled.analysis {
+        let cost = pred.model.per_exec(p);
+        let execs = match pred.execs {
+            otter_core::analysis::Execs::Static(n) => n.to_string(),
+            otter_core::analysis::Execs::Dynamic => "dyn".to_string(),
+        };
+        eprintln!(
+            "{:>4} {:<8} {:<15} {:>5} {:>6} {:>24} {:>10} {:>24} {:>12}",
+            pred.site,
+            pred.func.as_deref().unwrap_or("main"),
+            pred.opcode,
+            pred.loop_depth,
+            execs,
+            pred.model.messages_formula(),
+            cost.map_or("?".to_string(), |c| c.messages.to_string()),
+            pred.model.bytes_formula(),
+            cost.map_or("?".to_string(), |c| c.bytes.to_string()),
+        );
+    }
+    let free = compiled
+        .analysis
+        .iter()
+        .filter(|s| s.model.is_free())
+        .count();
+    eprintln!(
+        "otterc: analyze: {} site(s), {} communication-free, evaluated at p={p}",
+        compiled.analysis.len(),
+        free,
+    );
+    if !compiled.ir.in_place.is_empty() {
+        eprintln!(
+            "otterc: analyze: in-place updatable (main): {}",
+            compiled
+                .ir
+                .in_place
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    for (name, f) in &compiled.ir.functions {
+        if !f.in_place.is_empty() {
+            eprintln!(
+                "otterc: analyze: in-place updatable ({name}): {}",
+                f.in_place.iter().cloned().collect::<Vec<_>>().join(", ")
+            );
+        }
     }
 }
 
@@ -270,6 +335,10 @@ fn main() {
                 ""
             },
         );
+    }
+
+    if args.analyze {
+        print_analysis(&compiled, args.p);
     }
 
     match args.emit {

@@ -8,6 +8,11 @@
 //! 5. owner-computes guards (audited post-lowering)      — `guards`
 //! 6. peephole optimization (optional)                   — `peephole`
 //! 7. temporaries de-allocation + C emission             — `frees`, `emit-c`
+//!
+//! Two read-only analyses ride along: `lint` (SPMD dataflow + shape
+//! safety, between 5 and 6) and `analyze` (the static communication
+//! oracle + in-place legality, between `frees` and `emit-c`, where the
+//! IR's leaf-site numbering matches what the executor instruments).
 
 use crate::error::Result;
 use crate::pass::{GuardStats, PassManager};
@@ -63,6 +68,9 @@ pub struct Compiled {
     pub guard_stats: GuardStats,
     /// What the lint pass found (empty when linting was disabled).
     pub lint: LintReport,
+    /// Static communication-volume predictions, one per leaf site in
+    /// [`otter_ir::leaf_sites`] order (from the `analyze` pass).
+    pub analysis: Vec<otter_lint::oracle::SitePrediction>,
     /// Data directory carried to execution.
     pub data_dir: Option<PathBuf>,
 }

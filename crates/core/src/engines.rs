@@ -47,6 +47,26 @@ pub struct RankCounters {
     pub idle_seconds: f64,
 }
 
+/// Realized communication at one leaf site, summed across every rank
+/// and every execution of the site. Populated only by the Otter engine
+/// when [`EngineOptions::analyze`] is on; the static oracle
+/// (`otter-lint::oracle`) predicts exactly these totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommSiteReport {
+    /// Site index in [`otter_ir::leaf_sites`] order.
+    pub site: u32,
+    /// Enclosing function, or `None` for the script body.
+    pub func: Option<String>,
+    /// The site's instruction opcode.
+    pub opcode: String,
+    /// Times rank 0 executed the site (SPMD: identical on all ranks).
+    pub execs: u64,
+    /// Messages all ranks sent from this site.
+    pub messages: u64,
+    /// Bytes all ranks sent from this site.
+    pub bytes: u64,
+}
+
 /// What every engine reports: results plus uniform counters, so
 /// Figure 2–6 comparisons and future backends share one schema.
 #[derive(Debug, Clone)]
@@ -86,6 +106,11 @@ pub struct EngineReport {
     /// plus job-wide series like `rank_clock_seconds`. `Some` only
     /// when the engine ran with [`EngineOptions::metrics`] on.
     pub metrics: Option<MetricsSnapshot>,
+    /// Per-leaf-site realized communication, in
+    /// [`otter_ir::leaf_sites`] order. Empty unless the run executed
+    /// with [`EngineOptions::analyze`] on (sequential engines never
+    /// fill it).
+    pub comm_sites: Vec<CommSiteReport>,
 }
 
 impl EngineReport {
@@ -122,6 +147,7 @@ impl EngineReport {
             }],
             critical_path: None,
             metrics: None,
+            comm_sites: Vec::new(),
         }
     }
 
@@ -175,6 +201,12 @@ pub struct EngineOptions {
     /// ([`LintMode::Warn`] collects, [`LintMode::Deny`] fails the
     /// compile on the first warning).
     pub lint: LintMode,
+    /// Run the static-analysis pass at compile time (symbolic shapes,
+    /// shape-safety lints, in-place legality, the communication-volume
+    /// oracle) and record per-site realized traffic at run time so the
+    /// two can be cross-validated. Off by default: analysis costs
+    /// compile time and a stats snapshot per executed instruction.
+    pub analyze: bool,
 }
 
 impl fmt::Debug for EngineOptions {
@@ -189,6 +221,7 @@ impl fmt::Debug for EngineOptions {
             .field("faults", &self.faults)
             .field("workers", &self.workers)
             .field("lint", &self.lint)
+            .field("analyze", &self.analyze)
             .finish()
     }
 }
@@ -202,7 +235,8 @@ impl EngineOptions {
     /// what [`crate::compile`] produces or what a run of the artifact
     /// deterministically reports: the data directory, the registered
     /// M-files, disabled passes, the lint mode, the collective
-    /// schedule, the metrics switch, and the fault plan.
+    /// schedule, the metrics switch, the fault plan, and the analyze
+    /// switch.
     ///
     /// **Excluded** as run-time-only: `workers` (the scheduler's pool
     /// size is invisible to every deterministic output) and the trace
@@ -263,6 +297,7 @@ impl EngineOptions {
                 }
             }
         }
+        fp.tag(b'a').tag(self.analyze as u8);
         fp.finish()
     }
 
@@ -347,6 +382,14 @@ impl EngineOptionsBuilder {
     /// Treat lint warnings as compile errors.
     pub fn deny_lints(mut self) -> Self {
         self.opts.lint = LintMode::Deny;
+        self
+    }
+
+    /// Run the static-analysis pass at compile time and record
+    /// per-site realized communication at run time (see
+    /// [`EngineOptions::analyze`]).
+    pub fn analyze(mut self, on: bool) -> Self {
+        self.opts.analyze = on;
         self
     }
 

@@ -116,6 +116,11 @@ pub struct ExecOptions {
     /// Seed for `rand` matrix initializers (replicated across ranks so
     /// every rank agrees on the data).
     pub rand_seed: u64,
+    /// Record per-site communication (messages/bytes/executions per
+    /// leaf instruction in [`otter_ir::leaf_sites`] order) so the
+    /// static oracle's predictions can be cross-validated against the
+    /// realized traffic.
+    pub analyze: bool,
 }
 
 impl Default for ExecOptions {
@@ -123,8 +128,21 @@ impl Default for ExecOptions {
         ExecOptions {
             data_dir: None,
             rand_seed: 0x07732,
+            analyze: false,
         }
     }
+}
+
+/// Realized communication at one leaf site, accumulated over every
+/// execution of that instruction on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteComm {
+    /// Messages this rank sent from this site.
+    pub messages: u64,
+    /// Bytes this rank sent from this site.
+    pub bytes: u64,
+    /// Times this rank executed the site.
+    pub execs: u64,
 }
 
 /// Per-rank executor state.
@@ -151,10 +169,23 @@ pub struct Executor<'a> {
     /// Opcode → pre-registered `op_seconds` histogram handle, so the
     /// metric record path does no key construction per instruction.
     op_ids: HashMap<&'static str, otter_metrics::MetricId>,
+    /// Leaf-instruction address → site id (only when `opts.analyze`).
+    /// Function bodies run by reference, so an instruction's address is
+    /// a stable identity for the whole run.
+    site_of: Option<HashMap<usize, u32>>,
+    /// Per-site realized communication, indexed by site id.
+    site_comm: Vec<SiteComm>,
 }
 
 impl<'a> Executor<'a> {
     pub fn new(program: &'a IrProgram, comm: &'a mut Comm, opts: ExecOptions) -> Self {
+        let site_of = opts.analyze.then(|| {
+            otter_ir::leaf_sites(program)
+                .iter()
+                .map(|s| (s.instr as *const Instr as usize, s.id))
+                .collect::<HashMap<usize, u32>>()
+        });
+        let site_comm = vec![SiteComm::default(); site_of.as_ref().map_or(0, |m| m.len())];
         Executor {
             program,
             comm,
@@ -166,6 +197,8 @@ impl<'a> Executor<'a> {
             peak_local_bytes: 0,
             op_counts: BTreeMap::new(),
             op_ids: HashMap::new(),
+            site_of,
+            site_comm,
         }
     }
 
@@ -197,6 +230,7 @@ impl<'a> Executor<'a> {
             peak_local_bytes: self.peak_local_bytes,
             peak_temp_bytes: otter_rt::alloc::peak_bytes(),
             op_counts: self.op_counts,
+            site_comm: self.site_comm,
         })
     }
 
@@ -340,6 +374,16 @@ impl<'a> Executor<'a> {
 
     fn exec_block(&mut self, block: &[Instr]) -> ExecResult<Flow> {
         for i in block {
+            // Per-site traffic attribution: every communication this
+            // rank performs happens inside the leaf instruction's own
+            // handler (control flow only *selects* leaves), so the
+            // stats delta across one `exec_instr` is exactly this
+            // site's contribution.
+            let site = self
+                .site_of
+                .as_ref()
+                .and_then(|m| m.get(&(i as *const Instr as usize)).copied());
+            let before = site.map(|_| self.comm.stats());
             let flow = if self.comm.trace_enabled() || self.comm.metrics_enabled() {
                 // One Statement span per IR instruction; control-flow
                 // instructions span their whole body, nesting the
@@ -364,6 +408,13 @@ impl<'a> Executor<'a> {
             } else {
                 self.exec_instr(i)?
             };
+            if let (Some(id), Some(before)) = (site, before) {
+                let after = self.comm.stats();
+                let slot = &mut self.site_comm[id as usize];
+                slot.messages += after.messages_sent - before.messages_sent;
+                slot.bytes += after.bytes_sent - before.bytes_sent;
+                slot.execs += 1;
+            }
             match flow {
                 Flow::Normal => {}
                 other => return Ok(other),
@@ -803,4 +854,7 @@ pub struct ExecOutcome {
     pub peak_temp_bytes: usize,
     /// Executed-instruction counts by opcode.
     pub op_counts: BTreeMap<&'static str, u64>,
+    /// Realized communication per leaf site in [`otter_ir::leaf_sites`]
+    /// order; empty unless [`ExecOptions::analyze`] was set.
+    pub site_comm: Vec<SiteComm>,
 }

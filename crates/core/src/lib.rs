@@ -58,6 +58,10 @@ pub use engines::{
 };
 pub use error::OtterError;
 pub use exec::{ExecError, ExecOptions, Executor, XVal};
+/// The static communication-volume oracle (re-exported so drivers can
+/// evaluate [`Compiled::analysis`] predictions without a direct
+/// `otter-lint` dependency).
+pub use otter_lint::oracle as analysis;
 pub use otter_lint::{lint_program, LintMode, LintReport};
 pub use pass::{
     pass_metrics, CompileReport, DumpRequest, GuardStats, Pass, PassDump, PassManager, PassStats,

@@ -35,6 +35,7 @@ pub struct PipelineState<'a> {
     pub peephole_stats: PeepholeStats,
     pub guard_stats: GuardStats,
     pub lint: LintReport,
+    pub analysis: Vec<otter_lint::oracle::SitePrediction>,
 }
 
 /// What the owner-computes guard pass found (pass 5). Lowering emits
@@ -155,7 +156,7 @@ impl PassManager {
 
     /// The standard pipeline, paper order: parse → resolve →
     /// ssa-infer → rewrite → guards → peephole (optional) → lint →
-    /// frees → emit-c.
+    /// frees → analyze → emit-c.
     pub fn standard() -> Self {
         let mut pm = PassManager::new();
         pm.register(Box::new(ParsePass));
@@ -166,6 +167,7 @@ impl PassManager {
         pm.register(Box::new(PeepholePass));
         pm.register(Box::new(LintPass));
         pm.register(Box::new(FreesPass));
+        pm.register(Box::new(AnalyzePass));
         pm.register(Box::new(EmitCPass));
         pm
     }
@@ -228,6 +230,7 @@ impl PassManager {
             peephole_stats: PeepholeStats::default(),
             guard_stats: GuardStats::default(),
             lint: LintReport::default(),
+            analysis: Vec::new(),
         };
         let mut stats = Vec::with_capacity(self.passes.len());
         let mut dumps = Vec::new();
@@ -277,6 +280,7 @@ impl PassManager {
             peephole_stats: state.peephole_stats,
             guard_stats: state.guard_stats,
             lint: std::mem::take(&mut state.lint),
+            analysis: std::mem::take(&mut state.analysis),
             data_dir: opts.data_dir.clone(),
         };
         Ok(CompileReport {
@@ -539,6 +543,35 @@ impl Pass for FreesPass {
     }
 }
 
+/// Static analysis over the final IR: the communication-volume oracle
+/// and the SSA-web in-place legality sets. Runs after `frees` so the
+/// leaf-site numbering it predicts is exactly the numbering the
+/// modeled executor instruments (`Free` instructions are sites), and
+/// before `emit-c` so the in-place annotation lands in the IR the rest
+/// of the toolchain sees. The annotation is metadata only — the
+/// emitted C is byte-identical with or without this pass.
+struct AnalyzePass;
+
+impl Pass for AnalyzePass {
+    fn name(&self) -> &'static str {
+        "analyze"
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let ir = state.ir.as_mut().expect("rewrite ran");
+        otter_lint::shape::annotate_in_place(ir);
+        state.analysis = otter_lint::oracle::predict(ir);
+        Ok(())
+    }
+
+    fn dump(&self, state: &PipelineState) -> String {
+        if state.analysis.is_empty() {
+            return "(analyze: no sites)\n".to_string();
+        }
+        state.analysis.iter().map(|p| format!("{p}\n")).collect()
+    }
+}
+
 /// Pass 7: C emission.
 struct EmitCPass;
 
@@ -578,6 +611,7 @@ mod tests {
                 "peephole",
                 "lint",
                 "frees",
+                "analyze",
                 "emit-c"
             ],
         );

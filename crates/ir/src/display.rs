@@ -442,8 +442,7 @@ mod tests {
                     dst: "y".into(),
                     expr: EwExpr::bin(EwOp::Mul, EwExpr::mat("x"), EwExpr::mat("x")),
                 }],
-                var_ranks: Default::default(),
-                def_spans: Default::default(),
+                ..Default::default()
             },
         );
         let prog = IrProgram {

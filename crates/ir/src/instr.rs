@@ -1,7 +1,8 @@
 //! IR node definitions.
 
+use otter_analysis::Shape;
 use otter_frontend::Span;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Scalar builtin functions usable inside replicated scalar
 /// expressions (pure C library calls in the emitted code).
@@ -726,7 +727,7 @@ pub enum VarRank {
 }
 
 /// A compiled function: parameters, returns, body.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct IrFunction {
     pub name: String,
     pub params: Vec<(String, VarRank)>,
@@ -738,6 +739,17 @@ pub struct IrFunction {
     /// diagnostics (the lint pass anchors its warnings here). Absent
     /// entries mean "no usable location".
     pub def_spans: BTreeMap<String, Span>,
+    /// Static (possibly symbolic) shape of each named local, from
+    /// pass-3 inference. Metadata for the static analyses; execution
+    /// and C emission never read it.
+    pub var_shapes: BTreeMap<String, Shape>,
+    /// Known constant value of each scalar local (pass-3 constant
+    /// propagation). Metadata only.
+    pub var_consts: BTreeMap<String, f64>,
+    /// Locals proven safe to update in place (no live SSA sibling
+    /// overlaps a write) — the legality fact fusion/copy-elision
+    /// passes will consume. Filled by the analyze pass; metadata only.
+    pub in_place: BTreeSet<String>,
 }
 
 /// A whole compiled program.
@@ -754,6 +766,16 @@ pub struct IrProgram {
     /// diagnostics. Purely metadata: execution and C emission never
     /// read it.
     pub def_spans: BTreeMap<String, Span>,
+    /// Static (possibly symbolic) shape of each named script variable,
+    /// from pass-3 inference. Metadata for the static analyses;
+    /// execution and C emission never read it.
+    pub var_shapes: BTreeMap<String, Shape>,
+    /// Known constant value of each scalar script variable (pass-3
+    /// constant propagation). Metadata only.
+    pub var_consts: BTreeMap<String, f64>,
+    /// Script variables proven safe to update in place. Filled by the
+    /// analyze pass; metadata only.
+    pub in_place: BTreeSet<String>,
 }
 
 impl IrProgram {

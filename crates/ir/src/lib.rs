@@ -19,6 +19,8 @@
 pub mod display;
 pub mod flow;
 pub mod instr;
+pub mod sites;
 
 pub use flow::{sexpr_reads, CommProfile};
 pub use instr::*;
+pub use sites::{is_leaf, leaf_sites, SiteRef};

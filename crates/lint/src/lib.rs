@@ -15,6 +15,13 @@
 //!   communication reachable only under rank-divergent control flow
 //!   (collective deadlock / unpaired point-to-point traffic), plus a
 //!   static census of communication sites.
+//! * [`shape`] — shape-safety *errors* (mismatched elementwise /
+//!   matmul / dot operands, constant indices provably out of bounds)
+//!   plus the SSA-web in-place legality analysis, both driven by the
+//!   symbolic shapes inference attaches to the IR.
+//! * [`oracle`] — the static communication-volume oracle: a closed-
+//!   form `messages(p)` / `bytes(p)` model per leaf site, exact
+//!   against the deterministic modeled run.
 //!
 //! Everything here is read-only over the IR: linting never changes
 //! what the pipeline emits.
@@ -22,6 +29,8 @@
 pub mod dataflow;
 pub mod dist;
 pub mod divergence;
+pub mod oracle;
+pub mod shape;
 
 use otter_frontend::{Diagnostic, Span};
 use otter_ir::{IrFunction, IrProgram, VarRank};
@@ -118,6 +127,32 @@ pub fn lint_program(p: &IrProgram) -> LintReport {
         .into_iter()
         .map(|(f, span)| Diagnostic::warning("lint", f.message).with_span(span))
         .collect();
+
+    // Shape-safety findings are error-severity: they identify aborts
+    // the run-time library would hit. Merging them into the same
+    // report means deny mode fails on them automatically and warn
+    // mode still surfaces them.
+    let main_shapes = oracle::refined_shapes(&p.main, &p.var_shapes, &p.var_consts);
+    report.warnings.extend(shape::lint_scope(
+        &p.main,
+        &main_shapes,
+        &p.var_consts,
+        &p.def_spans,
+        None,
+    ));
+    for f in p.functions.values() {
+        let f_shapes = oracle::refined_shapes(&f.body, &f.var_shapes, &f.var_consts);
+        report.warnings.extend(shape::lint_scope(
+            &f.body,
+            &f_shapes,
+            &f.var_consts,
+            &f.def_spans,
+            Some(&f.name),
+        ));
+    }
+    report.warnings.sort_by(|a, b| {
+        (a.span.line, a.span.col, &a.message).cmp(&(b.span.line, b.span.col, &b.message))
+    });
     report
 }
 
@@ -260,8 +295,7 @@ mod tests {
                     src: SExpr::bin(SBinOp::Add, SExpr::var("t"), SExpr::var("u")),
                 },
             ],
-            var_ranks: Default::default(),
-            def_spans: Default::default(),
+            ..Default::default()
         };
         f.var_ranks.insert("m".into(), VarRank::Matrix);
         let mut p = IrProgram::default();

@@ -1,0 +1,962 @@
+//! Shape-safety lints and the SSA-web in-place legality analysis.
+//!
+//! The lints are *errors* (not warnings): each one identifies a
+//! construct the deterministic run-time library would abort on —
+//! mismatched elementwise operand shapes, disagreeing matmul/matvec
+//! inner dimensions, dot/trapz length mismatches, and constant indices
+//! provably outside their matrix's inferred bounds. They fire only
+//! when every involved quantity is statically concrete (a known
+//! constant or a sample-evaluated symbolic dimension), so a program
+//! that compiles clean at the sample shapes stays clean.
+//!
+//! The in-place analysis groups a scope's matrix variables into SSA
+//! webs (shared base name before the `__N` rename suffix) and marks a
+//! web *in-place updatable* when its members' live ranges never
+//! overlap — each member's storage is dead by the time the next is
+//! defined, so one buffer could serve the whole web. The result is
+//! recorded on the IR (`IrProgram::in_place`) as a legality fact for
+//! later fusion/copy-elision work and reported by `--analyze`.
+
+use crate::oracle::Scope;
+use otter_frontend::{Diagnostic, Span};
+use otter_ir::{Arg, EwExpr, Instr, IrProgram, MatInit, PrintTarget, SExpr, VarRank};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A shape-safety finding: message + anchor variable (resolved to a
+/// span by the caller, like every other lint).
+struct ShapeFinding {
+    anchor: String,
+    message: String,
+}
+
+/// Lint one scope; returns error-severity diagnostics with spans.
+pub(crate) fn lint_scope(
+    body: &[Instr],
+    shapes: &BTreeMap<String, otter_analysis::Shape>,
+    consts: &BTreeMap<String, f64>,
+    def_spans: &BTreeMap<String, Span>,
+    func: Option<&str>,
+) -> Vec<Diagnostic> {
+    let cx = Scope { shapes, consts };
+    let mut findings = Vec::new();
+    walk(body, &cx, &mut findings);
+    findings
+        .into_iter()
+        .map(|f| {
+            let span = def_spans.get(&f.anchor).copied().unwrap_or(Span::DUMMY);
+            let message = match func {
+                Some(name) => format!("{} (in function `{}`)", f.message, name),
+                None => f.message,
+            };
+            Diagnostic::new("shape", message).with_span(span)
+        })
+        .collect()
+}
+
+fn walk(body: &[Instr], cx: &Scope, out: &mut Vec<ShapeFinding>) {
+    for i in body {
+        check_instr(i, cx, out);
+        match i {
+            Instr::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk(then_body, cx, out);
+                walk(else_body, cx, out);
+            }
+            Instr::While { pre, body, .. } => {
+                walk(pre, cx, out);
+                walk(body, cx, out);
+            }
+            Instr::For { body, .. } => walk(body, cx, out),
+            _ => {}
+        }
+    }
+}
+
+/// Concrete `(rows, cols)` when both dims resolve.
+fn dims(cx: &Scope, v: &str) -> Option<(usize, usize)> {
+    cx.shape(v).concrete()
+}
+
+fn numel(cx: &Scope, v: &str) -> Option<usize> {
+    dims(cx, v).map(|(r, c)| r * c)
+}
+
+fn shape_str(cx: &Scope, v: &str) -> String {
+    cx.shape(v).to_string()
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_instr(i: &Instr, cx: &Scope, out: &mut Vec<ShapeFinding>) {
+    let mut err = |anchor: &str, message: String| {
+        out.push(ShapeFinding {
+            anchor: anchor.to_string(),
+            message,
+        });
+    };
+
+    // 1-based index against an inclusive bound, when both are known.
+    let index_oob = |idx: &SExpr, bound: Option<usize>| -> Option<(i64, usize)> {
+        let v = cx.eval(idx)?;
+        let bound = bound?;
+        if v.fract() != 0.0 {
+            return None;
+        }
+        let v = v as i64;
+        (v < 1 || v > bound as i64).then_some((v, bound))
+    };
+
+    match i {
+        Instr::ElemWise { dst, expr } => {
+            let mut ops = Vec::new();
+            expr.mat_operands(&mut ops);
+            ops.dedup();
+            // All matrix operands of one fused loop must be aligned:
+            // identical shapes, element for element.
+            for pair in ops.windows(2) {
+                let (a, b) = (&pair[0], &pair[1]);
+                if let (Some(da), Some(db)) = (dims(cx, a), dims(cx, b)) {
+                    if da != db {
+                        err(
+                            dst,
+                            format!(
+                                "elementwise shape mismatch: `{a}` is {} but `{b}` is {}",
+                                shape_str(cx, a),
+                                shape_str(cx, b)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        Instr::MatMul { dst, a, b } => {
+            if let (Some((_, ka)), Some((kb, _))) = (dims(cx, a), dims(cx, b)) {
+                if ka != kb {
+                    err(
+                        dst,
+                        format!(
+                            "matmul inner dimensions disagree: `{a}` is {} but `{b}` is {}",
+                            shape_str(cx, a),
+                            shape_str(cx, b)
+                        ),
+                    );
+                }
+            }
+        }
+        Instr::MatVec { dst, a, x } => {
+            if let (Some((_, ka)), Some(nx)) = (dims(cx, a), numel(cx, x)) {
+                if ka != nx {
+                    err(
+                        dst,
+                        format!(
+                            "matvec dimensions disagree: `{a}` is {} but `{x}` has {nx} elements",
+                            shape_str(cx, a)
+                        ),
+                    );
+                }
+            }
+            if let Some((r, c)) = dims(cx, x) {
+                if r != 1 && c != 1 {
+                    err(
+                        dst,
+                        format!("matvec needs a vector: `{x}` is {}", shape_str(cx, x)),
+                    );
+                }
+            }
+        }
+        Instr::Outer { dst, u, v } => {
+            for op in [u, v] {
+                if let Some((r, c)) = dims(cx, op) {
+                    if r != 1 && c != 1 {
+                        err(
+                            dst,
+                            format!("outer needs vectors: `{op}` is {}", shape_str(cx, op)),
+                        );
+                    }
+                }
+            }
+        }
+        Instr::Dot { dst, a, b } => {
+            if let (Some(na), Some(nb)) = (numel(cx, a), numel(cx, b)) {
+                if na != nb {
+                    err(
+                        dst,
+                        format!("dot length mismatch: `{a}` has {na} elements but `{b}` has {nb}"),
+                    );
+                }
+            }
+        }
+        Instr::TrapzXY { dst, x, y } => {
+            if let (Some(nx), Some(ny)) = (numel(cx, x), numel(cx, y)) {
+                if nx != ny {
+                    err(
+                        dst,
+                        format!(
+                            "trapz length mismatch: `{x}` has {nx} elements but `{y}` has {ny}"
+                        ),
+                    );
+                }
+            }
+        }
+        Instr::Shift { dst, v, .. } => {
+            if let Some((r, c)) = dims(cx, v) {
+                if r != 1 && c != 1 {
+                    err(
+                        dst,
+                        format!("circshift needs a vector: `{v}` is {}", shape_str(cx, v)),
+                    );
+                }
+            }
+        }
+        Instr::BroadcastElem { dst, m, i, j } => {
+            check_elem_index(cx, dst, m, i, j.as_ref(), &mut err);
+        }
+        Instr::StoreElem { m, i, j, .. } => {
+            let m2 = m.clone();
+            check_elem_index(cx, &m2, m, i, j.as_ref(), &mut err);
+        }
+        Instr::ExtractRow { dst, m, i } => {
+            if let Some((idx, rows)) = index_oob(i, dims(cx, m).map(|(r, _)| r)) {
+                err(
+                    dst,
+                    format!("row index {idx} out of bounds: `{m}` has {rows} rows"),
+                );
+            }
+        }
+        Instr::AssignRow { m, i, v } => {
+            if let Some((idx, rows)) = index_oob(i, dims(cx, m).map(|(r, _)| r)) {
+                err(
+                    m,
+                    format!("row index {idx} out of bounds: `{m}` has {rows} rows"),
+                );
+            }
+            if let (Some((_, cols)), Some(nv)) = (dims(cx, m), numel(cx, v)) {
+                if cols != nv {
+                    err(
+                        m,
+                        format!(
+                            "row assignment length mismatch: `{m}` has {cols} columns but `{v}` has {nv} elements"
+                        ),
+                    );
+                }
+            }
+        }
+        Instr::ExtractCol { dst, m, j } => {
+            if let Some((idx, cols)) = index_oob(j, dims(cx, m).map(|(_, c)| c)) {
+                err(
+                    dst,
+                    format!("column index {idx} out of bounds: `{m}` has {cols} columns"),
+                );
+            }
+        }
+        Instr::AssignCol { m, j, v } => {
+            if let Some((idx, cols)) = index_oob(j, dims(cx, m).map(|(_, c)| c)) {
+                err(
+                    m,
+                    format!("column index {idx} out of bounds: `{m}` has {cols} columns"),
+                );
+            }
+            if let (Some((rows, _)), Some(nv)) = (dims(cx, m), numel(cx, v)) {
+                if rows != nv {
+                    err(
+                        m,
+                        format!(
+                            "column assignment length mismatch: `{m}` has {rows} rows but `{v}` has {nv} elements"
+                        ),
+                    );
+                }
+            }
+        }
+        Instr::FillRow { m, i, .. } => {
+            if let Some((idx, rows)) = index_oob(i, dims(cx, m).map(|(r, _)| r)) {
+                err(
+                    m,
+                    format!("row index {idx} out of bounds: `{m}` has {rows} rows"),
+                );
+            }
+        }
+        Instr::FillCol { m, j, .. } => {
+            if let Some((idx, cols)) = index_oob(j, dims(cx, m).map(|(_, c)| c)) {
+                err(
+                    m,
+                    format!("column index {idx} out of bounds: `{m}` has {cols} columns"),
+                );
+            }
+        }
+        Instr::ExtractRange { dst, v, lo, hi } => {
+            check_range(cx, dst, v, lo, hi, &mut err);
+        }
+        Instr::FillRange { m, lo, hi, .. } => {
+            let m2 = m.clone();
+            check_range(cx, &m2, m, lo, hi, &mut err);
+        }
+        Instr::AssignRange { m, lo, hi, v } => {
+            let m2 = m.clone();
+            check_range(cx, &m2, m, lo, hi, &mut err);
+            if let (Some(l), Some(h), Some(nv)) = (cx.eval(lo), cx.eval(hi), numel(cx, v)) {
+                if l.fract() == 0.0 && h.fract() == 0.0 && h >= l {
+                    let want = (h - l) as usize + 1;
+                    if want != nv {
+                        err(
+                            m,
+                            format!(
+                                "range assignment length mismatch: `{m}({l}:{h})` has {want} elements but `{v}` has {nv}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        Instr::ExtractStrided {
+            dst,
+            v,
+            lo,
+            step,
+            hi,
+        } => {
+            if let (Some(l), Some(s), Some(h), Some(n)) =
+                (cx.eval(lo), cx.eval(step), cx.eval(hi), numel(cx, v))
+            {
+                // A non-empty strided range touches exactly its two
+                // end points' extremes.
+                let non_empty = (s > 0.0 && l <= h) || (s < 0.0 && l >= h);
+                if non_empty && (l.min(h) < 1.0 || l.max(h) > n as f64) {
+                    err(
+                        dst,
+                        format!("strided range {l}:{s}:{h} out of bounds: `{v}` has {n} elements"),
+                    );
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Element access `m(i)` / `m(i, j)` against inferred bounds.
+fn check_elem_index(
+    cx: &Scope,
+    anchor: &str,
+    m: &str,
+    i: &SExpr,
+    j: Option<&SExpr>,
+    err: &mut impl FnMut(&str, String),
+) {
+    let Some((rows, cols)) = dims(cx, m) else {
+        return;
+    };
+    let as_int = |e: &SExpr| cx.eval(e).filter(|v| v.fract() == 0.0).map(|v| v as i64);
+    match j {
+        Some(j) => {
+            if let Some(iv) = as_int(i) {
+                if iv < 1 || iv > rows as i64 {
+                    err(
+                        anchor,
+                        format!("row index {iv} out of bounds: `{m}` is {}", cx.shape(m)),
+                    );
+                }
+            }
+            if let Some(jv) = as_int(j) {
+                if jv < 1 || jv > cols as i64 {
+                    err(
+                        anchor,
+                        format!("column index {jv} out of bounds: `{m}` is {}", cx.shape(m)),
+                    );
+                }
+            }
+        }
+        None => {
+            // Linear (vector) indexing bounds by element count.
+            if let Some(iv) = as_int(i) {
+                if iv < 1 || iv > (rows * cols) as i64 {
+                    err(
+                        anchor,
+                        format!(
+                            "index {iv} out of bounds: `{m}` has {} elements",
+                            rows * cols
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `v(lo:hi)` bounds; empty ranges (`lo > hi`) are legal MATLAB.
+fn check_range(
+    cx: &Scope,
+    anchor: &str,
+    v: &str,
+    lo: &SExpr,
+    hi: &SExpr,
+    err: &mut impl FnMut(&str, String),
+) {
+    let (Some(l), Some(h), Some(n)) = (cx.eval(lo), cx.eval(hi), numel(cx, v)) else {
+        return;
+    };
+    if l.fract() != 0.0 || h.fract() != 0.0 || h < l {
+        return;
+    }
+    if l < 1.0 || h > n as f64 {
+        err(
+            anchor,
+            format!("range {l}:{h} out of bounds: `{v}` has {n} elements"),
+        );
+    }
+}
+
+// ---- SSA-web in-place legality ---------------------------------------------
+
+/// The SSA web a renamed variable belongs to: the base name before
+/// the `__N` suffix the renamer appends.
+fn web_base(name: &str) -> &str {
+    if let Some(pos) = name.rfind("__") {
+        let (base, suffix) = (&name[..pos], &name[pos + 2..]);
+        if !base.is_empty() && !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+            return base;
+        }
+    }
+    name
+}
+
+/// One flattened def/use event.
+#[derive(Default)]
+struct Event {
+    defs: Vec<String>,
+    uses: Vec<String>,
+}
+
+fn sexpr_uses(e: &SExpr, uses: &mut Vec<String>) {
+    match e {
+        SExpr::Const(_) | SExpr::OwnElem => {}
+        // Scalar variable reads don't pin matrix storage, but a
+        // dimension query does: the matrix must still be allocated.
+        SExpr::Var(_) => {}
+        SExpr::DimOf { var, .. } => uses.push(var.clone()),
+        SExpr::Neg(e) | SExpr::Not(e) => sexpr_uses(e, uses),
+        SExpr::Bin(_, a, b) => {
+            sexpr_uses(a, uses);
+            sexpr_uses(b, uses);
+        }
+        SExpr::Call(_, args) => {
+            for a in args {
+                sexpr_uses(a, uses);
+            }
+        }
+    }
+}
+
+fn ewexpr_uses(e: &EwExpr, uses: &mut Vec<String>) {
+    match e {
+        EwExpr::Mat(m) => uses.push(m.clone()),
+        EwExpr::Scalar(s) => sexpr_uses(s, uses),
+        EwExpr::Neg(e) | EwExpr::Not(e) => ewexpr_uses(e, uses),
+        EwExpr::Bin(_, a, b) => {
+            ewexpr_uses(a, uses);
+            ewexpr_uses(b, uses);
+        }
+        EwExpr::Call(_, args) => {
+            for a in args {
+                ewexpr_uses(a, uses);
+            }
+        }
+    }
+}
+
+/// Matrix defs and uses of one instruction (scalar defs recorded too;
+/// the web grouping filters by rank later).
+#[allow(clippy::too_many_lines)]
+fn event_of(i: &Instr) -> Event {
+    let mut ev = Event::default();
+    let s = |e: &SExpr, ev: &mut Event| sexpr_uses(e, &mut ev.uses);
+    match i {
+        Instr::AssignScalar { dst, src } => {
+            s(src, &mut ev);
+            ev.defs.push(dst.clone());
+        }
+        Instr::InitMatrix { dst, init } => {
+            match init {
+                MatInit::Zeros { rows, cols }
+                | MatInit::Ones { rows, cols }
+                | MatInit::Rand { rows, cols } => {
+                    s(rows, &mut ev);
+                    s(cols, &mut ev);
+                }
+                MatInit::Eye { n } => s(n, &mut ev),
+                MatInit::Range { start, step, stop } => {
+                    s(start, &mut ev);
+                    s(step, &mut ev);
+                    s(stop, &mut ev);
+                }
+                MatInit::Literal { rows } => {
+                    for row in rows {
+                        for e in row {
+                            s(e, &mut ev);
+                        }
+                    }
+                }
+                MatInit::Linspace { a, b, n } => {
+                    s(a, &mut ev);
+                    s(b, &mut ev);
+                    s(n, &mut ev);
+                }
+            }
+            ev.defs.push(dst.clone());
+        }
+        Instr::CopyMatrix { dst, src } => {
+            ev.uses.push(src.clone());
+            ev.defs.push(dst.clone());
+        }
+        Instr::LoadFile { dst, .. } => ev.defs.push(dst.clone()),
+        Instr::ElemWise { dst, expr } => {
+            ewexpr_uses(expr, &mut ev.uses);
+            ev.defs.push(dst.clone());
+        }
+        Instr::MatMul { dst, a, b } | Instr::Dot { dst, a, b } => {
+            ev.uses.push(a.clone());
+            ev.uses.push(b.clone());
+            ev.defs.push(dst.clone());
+        }
+        Instr::MatVec { dst, a, x } => {
+            ev.uses.push(a.clone());
+            ev.uses.push(x.clone());
+            ev.defs.push(dst.clone());
+        }
+        Instr::Outer { dst, u, v } => {
+            ev.uses.push(u.clone());
+            ev.uses.push(v.clone());
+            ev.defs.push(dst.clone());
+        }
+        Instr::Transpose { dst, a } => {
+            ev.uses.push(a.clone());
+            ev.defs.push(dst.clone());
+        }
+        Instr::BroadcastElem { dst, m, i, j } => {
+            ev.uses.push(m.clone());
+            s(i, &mut ev);
+            if let Some(j) = j {
+                s(j, &mut ev);
+            }
+            ev.defs.push(dst.clone());
+        }
+        Instr::StoreElem { m, i, j, val } => {
+            // Read-modify-write of m's storage: both use and def.
+            ev.uses.push(m.clone());
+            ev.defs.push(m.clone());
+            s(i, &mut ev);
+            if let Some(j) = j {
+                s(j, &mut ev);
+            }
+            s(val, &mut ev);
+        }
+        Instr::Reduce { dst, m, .. } => {
+            ev.uses.push(m.clone());
+            ev.defs.push(dst.clone());
+        }
+        Instr::TrapzXY { dst, x, y } => {
+            ev.uses.push(x.clone());
+            ev.uses.push(y.clone());
+            ev.defs.push(dst.clone());
+        }
+        Instr::ColReduce { dst, m, .. } => {
+            ev.uses.push(m.clone());
+            ev.defs.push(dst.clone());
+        }
+        Instr::Shift { dst, v, k } => {
+            ev.uses.push(v.clone());
+            s(k, &mut ev);
+            ev.defs.push(dst.clone());
+        }
+        Instr::ExtractRow { dst, m, i } => {
+            ev.uses.push(m.clone());
+            s(i, &mut ev);
+            ev.defs.push(dst.clone());
+        }
+        Instr::ExtractCol { dst, m, j } => {
+            ev.uses.push(m.clone());
+            s(j, &mut ev);
+            ev.defs.push(dst.clone());
+        }
+        Instr::AssignRow { m, i, v } => {
+            ev.uses.push(m.clone());
+            ev.uses.push(v.clone());
+            s(i, &mut ev);
+            ev.defs.push(m.clone());
+        }
+        Instr::AssignCol { m, j, v } => {
+            ev.uses.push(m.clone());
+            ev.uses.push(v.clone());
+            s(j, &mut ev);
+            ev.defs.push(m.clone());
+        }
+        Instr::ExtractRange { dst, v, lo, hi } => {
+            ev.uses.push(v.clone());
+            s(lo, &mut ev);
+            s(hi, &mut ev);
+            ev.defs.push(dst.clone());
+        }
+        Instr::ExtractStrided {
+            dst,
+            v,
+            lo,
+            step,
+            hi,
+        } => {
+            ev.uses.push(v.clone());
+            s(lo, &mut ev);
+            s(step, &mut ev);
+            s(hi, &mut ev);
+            ev.defs.push(dst.clone());
+        }
+        Instr::FillRow { m, i, val } => {
+            ev.uses.push(m.clone());
+            s(i, &mut ev);
+            s(val, &mut ev);
+            ev.defs.push(m.clone());
+        }
+        Instr::FillCol { m, j, val } => {
+            ev.uses.push(m.clone());
+            s(j, &mut ev);
+            s(val, &mut ev);
+            ev.defs.push(m.clone());
+        }
+        Instr::FillRange { m, lo, hi, val } => {
+            ev.uses.push(m.clone());
+            s(lo, &mut ev);
+            s(hi, &mut ev);
+            s(val, &mut ev);
+            ev.defs.push(m.clone());
+        }
+        Instr::AssignRange { m, lo, hi, v } => {
+            ev.uses.push(m.clone());
+            ev.uses.push(v.clone());
+            s(lo, &mut ev);
+            s(hi, &mut ev);
+            ev.defs.push(m.clone());
+        }
+        // `Free` releases storage; it neither reads the value nor
+        // extends the live range.
+        Instr::Free { .. } => {}
+        Instr::Call { args, outs, .. } => {
+            for a in args {
+                match a {
+                    Arg::Scalar(e) => s(e, &mut ev),
+                    Arg::Matrix(m) => ev.uses.push(m.clone()),
+                }
+            }
+            ev.defs.extend(outs.iter().cloned());
+        }
+        Instr::Print { target, .. } => match target {
+            PrintTarget::Scalar(e) => s(e, &mut ev),
+            PrintTarget::Matrix(m) => ev.uses.push(m.clone()),
+        },
+        Instr::If { cond, .. } => s(cond, &mut ev),
+        Instr::While { cond, .. } => s(cond, &mut ev),
+        Instr::For {
+            start, step, stop, ..
+        } => {
+            s(start, &mut ev);
+            s(step, &mut ev);
+            s(stop, &mut ev);
+        }
+        Instr::Break | Instr::Continue => {}
+    }
+    ev
+}
+
+/// Flatten a scope into a linear event sequence. Loop bodies are
+/// emitted twice so a value defined in one iteration and read in the
+/// next (a back-edge use) shows an overlapping interval — the classic
+/// conservative unrolling for interval-based liveness.
+fn flatten(body: &[Instr], out: &mut Vec<Event>) {
+    for i in body {
+        out.push(event_of(i));
+        match i {
+            Instr::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                flatten(then_body, out);
+                flatten(else_body, out);
+            }
+            Instr::While { pre, body, .. } => {
+                for _ in 0..2 {
+                    flatten(pre, out);
+                    flatten(body, out);
+                }
+            }
+            Instr::For { body, .. } => {
+                for _ in 0..2 {
+                    flatten(body, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Matrix variables of one scope proven safe to update in place:
+/// members of a multi-member SSA web whose live intervals never
+/// overlap and whose concrete shapes agree, so the whole web could
+/// share one distributed buffer.
+pub(crate) fn in_place_scope(
+    body: &[Instr],
+    ranks: &BTreeMap<String, VarRank>,
+    shapes: &BTreeMap<String, otter_analysis::Shape>,
+    live_out: &[String],
+) -> BTreeSet<String> {
+    let mut events = Vec::new();
+    flatten(body, &mut events);
+
+    // Live interval [first def, last mention] per variable.
+    let mut interval: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for (idx, ev) in events.iter().enumerate() {
+        for name in ev.defs.iter().chain(&ev.uses) {
+            interval
+                .entry(name.clone())
+                .and_modify(|(_, end)| *end = idx)
+                .or_insert((idx, idx));
+        }
+    }
+    // Scope outputs stay live past the last instruction.
+    for name in live_out {
+        if let Some((_, end)) = interval.get_mut(name) {
+            *end = events.len();
+        }
+    }
+
+    let mut webs: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for name in interval.keys() {
+        if ranks.get(name) == Some(&VarRank::Matrix) {
+            webs.entry(web_base(name)).or_default().push(name);
+        }
+    }
+
+    let mut ok = BTreeSet::new();
+    for (_, mut members) in webs {
+        if members.len() < 2 {
+            continue;
+        }
+        members.sort_by_key(|m| interval[*m].0);
+        let shapes_agree = members
+            .windows(2)
+            .all(|w| match (shapes.get(w[0]), shapes.get(w[1])) {
+                (Some(a), Some(b)) => a.concrete().is_some() && a.concrete() == b.concrete(),
+                _ => false,
+            });
+        // Consecutive intervals may touch at the defining instruction
+        // (the in-place update point: `x__1 = f(x)` reads x exactly
+        // where x__1 is born) but never extend past it.
+        let disjoint = members
+            .windows(2)
+            .all(|w| interval[w[0]].1 <= interval[w[1]].0);
+        if shapes_agree && disjoint {
+            ok.extend(members.iter().map(|m| m.to_string()));
+        }
+    }
+    ok
+}
+
+/// Annotate a whole program's `in_place` legality sets.
+pub fn annotate_in_place(prog: &mut IrProgram) {
+    let main_shapes = crate::oracle::refined_shapes(&prog.main, &prog.var_shapes, &prog.var_consts);
+    prog.in_place = in_place_scope(&prog.main, &prog.var_ranks, &main_shapes, &[]);
+    let names: Vec<String> = prog.functions.keys().cloned().collect();
+    for name in names {
+        let f = prog.functions.get_mut(&name).expect("key exists");
+        let outs: Vec<String> = f.outs.iter().map(|(n, _)| n.clone()).collect();
+        let f_shapes = crate::oracle::refined_shapes(&f.body, &f.var_shapes, &f.var_consts);
+        f.in_place = in_place_scope(&f.body, &f.var_ranks, &f_shapes, &outs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otter_analysis::Shape;
+    use otter_ir::RedOp;
+
+    fn scope<'a>(
+        shapes: &'a BTreeMap<String, Shape>,
+        consts: &'a BTreeMap<String, f64>,
+    ) -> Scope<'a> {
+        Scope { shapes, consts }
+    }
+
+    fn shapes(pairs: &[(&str, usize, usize)]) -> BTreeMap<String, Shape> {
+        pairs
+            .iter()
+            .map(|&(n, r, c)| (n.to_string(), Shape::known(r, c)))
+            .collect()
+    }
+
+    #[test]
+    fn web_base_strips_ssa_suffix() {
+        assert_eq!(web_base("c__1"), "c");
+        assert_eq!(web_base("c__12"), "c");
+        assert_eq!(web_base("c"), "c");
+        assert_eq!(web_base("ML_tmp3"), "ML_tmp3");
+        assert_eq!(web_base("a__b"), "a__b");
+        assert_eq!(web_base("__1"), "__1");
+    }
+
+    #[test]
+    fn mismatched_dot_and_oob_index_are_errors() {
+        let shapes = shapes(&[("a", 1, 16), ("b", 1, 9), ("m", 4, 4)]);
+        let consts = BTreeMap::new();
+        let cx = scope(&shapes, &consts);
+        let body = vec![
+            Instr::Dot {
+                dst: "s".into(),
+                a: "a".into(),
+                b: "b".into(),
+            },
+            Instr::BroadcastElem {
+                dst: "t".into(),
+                m: "m".into(),
+                i: SExpr::c(5.0),
+                j: Some(SExpr::c(1.0)),
+            },
+        ];
+        let mut findings = Vec::new();
+        walk(&body, &cx, &mut findings);
+        assert_eq!(
+            findings.len(),
+            2,
+            "{:?}",
+            findings.iter().map(|f| &f.message).collect::<Vec<_>>()
+        );
+        assert!(findings[0].message.contains("dot length mismatch"));
+        assert!(findings[1].message.contains("row index 5 out of bounds"));
+    }
+
+    #[test]
+    fn clean_and_unknown_shapes_stay_silent() {
+        // Unknown shapes must never fire an error-severity lint.
+        let shapes = shapes(&[("a", 1, 16)]);
+        let consts = BTreeMap::new();
+        let cx = scope(&shapes, &consts);
+        let body = vec![
+            Instr::Dot {
+                dst: "s".into(),
+                a: "a".into(),
+                b: "unknown_b".into(),
+            },
+            Instr::Dot {
+                dst: "t".into(),
+                a: "a".into(),
+                b: "a".into(),
+            },
+        ];
+        let mut findings = Vec::new();
+        walk(&body, &cx, &mut findings);
+        assert!(
+            findings.is_empty(),
+            "{:?}",
+            findings.first().map(|f| &f.message)
+        );
+    }
+
+    #[test]
+    fn legal_empty_range_is_not_flagged() {
+        let shapes = shapes(&[("v", 1, 8)]);
+        let consts = BTreeMap::new();
+        let cx = scope(&shapes, &consts);
+        let body = vec![
+            // v(5:4) is empty — legal.
+            Instr::ExtractRange {
+                dst: "w".into(),
+                v: "v".into(),
+                lo: SExpr::c(5.0),
+                hi: SExpr::c(4.0),
+            },
+            // v(3:9) overruns — error.
+            Instr::ExtractRange {
+                dst: "u".into(),
+                v: "v".into(),
+                lo: SExpr::c(3.0),
+                hi: SExpr::c(9.0),
+            },
+        ];
+        let mut findings = Vec::new();
+        walk(&body, &cx, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("range 3:9 out of bounds"));
+    }
+
+    #[test]
+    fn in_place_web_requires_disjoint_intervals() {
+        let ranks: BTreeMap<String, VarRank> = [
+            ("c".to_string(), VarRank::Matrix),
+            ("c__1".to_string(), VarRank::Matrix),
+            ("s".to_string(), VarRank::Scalar),
+        ]
+        .into();
+        let shapes = shapes(&[("c", 4, 4), ("c__1", 4, 4)]);
+
+        // c's last use is exactly c__1's def → in place.
+        let sequential = vec![
+            Instr::InitMatrix {
+                dst: "c".into(),
+                init: MatInit::Eye { n: SExpr::c(4.0) },
+            },
+            Instr::MatMul {
+                dst: "c__1".into(),
+                a: "c".into(),
+                b: "c".into(),
+            },
+            Instr::Reduce {
+                dst: "s".into(),
+                op: RedOp::SumAll,
+                m: "c__1".into(),
+            },
+        ];
+        let ok = in_place_scope(&sequential, &ranks, &shapes, &[]);
+        assert!(ok.contains("c") && ok.contains("c__1"), "{ok:?}");
+
+        // c is read again after c__1 exists → interference.
+        let mut overlapping = sequential.clone();
+        overlapping.push(Instr::Reduce {
+            dst: "s".into(),
+            op: RedOp::SumAll,
+            m: "c".into(),
+        });
+        let bad = in_place_scope(&overlapping, &ranks, &shapes, &[]);
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn loop_back_edges_count_as_overlap() {
+        let ranks: BTreeMap<String, VarRank> = [
+            ("a".to_string(), VarRank::Matrix),
+            ("a__1".to_string(), VarRank::Matrix),
+        ]
+        .into();
+        let shapes = shapes(&[("a", 4, 4), ("a__1", 4, 4)]);
+        // Inside a loop, a__1 = f(a) then a = g(a__1): the next
+        // iteration reads a again, so the doubled body overlaps the
+        // intervals (def of a__1 in copy 1 precedes use of a in copy
+        // 2 only if a's interval is extended — which the second copy
+        // does).
+        let body = vec![Instr::For {
+            var: "i".into(),
+            start: SExpr::c(1.0),
+            step: SExpr::c(1.0),
+            stop: SExpr::c(3.0),
+            body: vec![
+                Instr::Transpose {
+                    dst: "a__1".into(),
+                    a: "a".into(),
+                },
+                Instr::Transpose {
+                    dst: "a".into(),
+                    a: "a__1".into(),
+                },
+            ],
+        }];
+        let ok = in_place_scope(&body, &ranks, &shapes, &[]);
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+}

@@ -490,9 +490,11 @@ impl DistMatrix {
         for _ in 0..count {
             assert!(
                 g >= 0 && (g as usize) < self.len(),
-                "strided index {} out of bounds ({} elements)",
-                g + 1,
-                self.len()
+                "strided index out of bounds: element ({}, {}) of a {}x{} matrix",
+                if self.rows() == 1 { 1 } else { g + 1 },
+                if self.rows() == 1 { g + 1 } else { 1 },
+                self.rows(),
+                self.cols()
             );
             data.push(full.data()[g as usize]);
             g += step;
@@ -600,6 +602,17 @@ mod slice_tests {
             });
             assert_eq!(res[0].value.data(), &[3.0, 5.0, 7.0, 9.0, 11.0], "p={p}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "strided index out of bounds: element (1, 13) of a 1x10 matrix")]
+    fn strided_oob_reports_shape_and_position() {
+        // p = 1 runs inline, so the panic message survives intact.
+        run_spmd(&meiko_cs2(), 1, |c| {
+            let v = DistMatrix::range(c, 1.0, 1.0, 10.0);
+            // v(7:3:13) walks past the end: 7, 10, 13 → element 13 of 10.
+            v.extract_strided(c, 6, 3, 3)?.gather_all(c)
+        });
     }
 
     #[test]

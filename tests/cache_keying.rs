@@ -6,7 +6,8 @@
 //!
 //! * Any source edit (even a comment) and any compile-relevant option
 //!   knob (disabled pass, collective algorithm, fault plan, metrics,
-//!   lint mode, data dir, M-file set) must give a distinct key.
+//!   lint mode, analyze mode, data dir, M-file set) must give a
+//!   distinct key.
 //! * Run-time-only knobs — the worker-pool size, a trace sink — must
 //!   NOT change the key: a warm artifact serves jobs at any pool size.
 //! * A cache hit must be *observably* a re-run of the same program:
@@ -73,6 +74,7 @@ fn every_compile_relevant_knob_changes_the_fingerprint() {
         ),
         ("metrics", EngineOptions::builder().metrics(true).build()),
         ("lint mode", EngineOptions::builder().deny_lints().build()),
+        ("analyze", EngineOptions::builder().analyze(true).build()),
         (
             "data dir",
             EngineOptions::builder().data_dir("/tmp/otter-data").build(),

@@ -1,0 +1,9 @@
+% Lint fixture: shape-safety errors the run-time would abort on.
+a = ones(3, 4);
+x = a(5, 2);
+a(4, 1) = 7;
+u = linspace(0, 1, 8);
+w = linspace(0, 1, 9);
+s = dot(u, w);
+r = u(3:12);
+total = x + s + sum(r) + sum(sum(a));

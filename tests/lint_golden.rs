@@ -18,6 +18,7 @@ use otter_lint::lint_program;
 
 const DIST_FIXTURE: &str = include_str!("fixtures/lint_dist.m");
 const CHURN_FIXTURE: &str = include_str!("fixtures/lint_churn.m");
+const SHAPE_FIXTURE: &str = include_str!("fixtures/lint_shape.m");
 
 fn lint_of(src: &str) -> LintReport {
     compile_str(src).expect("fixture compiles").lint
@@ -77,6 +78,38 @@ fn churn_fixture_golden() {
 }
 
 #[test]
+fn shape_fixture_golden() {
+    // Each category of shape-safety error the lint pack proves
+    // statically, with exact spans: constant-index reads and writes
+    // past the matrix extent, dot-product length disagreement, and a
+    // constant range overrunning its vector. These are run-time aborts
+    // caught at compile time, so they render as errors, not warnings.
+    let report = lint_of(SHAPE_FIXTURE);
+    assert_eq!(
+        rendered(&report),
+        [
+            "error[shape] 2:1: row index 4 out of bounds: `a` is 3x4",
+            "error[shape] 3:1: row index 5 out of bounds: `a` is 3x4",
+            "error[shape] 7:1: dot length mismatch: `u` has 8 elements but `w` has 9",
+            "error[shape] 8:1: range 3:12 out of bounds: `u` has 8 elements",
+        ]
+    );
+    // The fixture's problems are shape problems only — control flow is
+    // uniform and no distribution lint fires.
+    assert!(report.divergence_free);
+    assert!(report.sendrecv_matched);
+}
+
+#[test]
+fn shape_errors_fail_deny_mode() {
+    let opts = CompileOptions::default().deny_lints();
+    let err = compile_program(SHAPE_FIXTURE, &EmptyProvider, &opts).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.starts_with("error[lint]"), "{msg}");
+    assert!(msg.contains("out of bounds"), "{msg}");
+}
+
+#[test]
 fn deny_mode_fails_the_pipeline() {
     let opts = CompileOptions::default().deny_lints();
     let err = compile_program(DIST_FIXTURE, &EmptyProvider, &opts).unwrap_err();
@@ -98,7 +131,11 @@ fn lint_is_read_only() {
     let sources: Vec<String> = otter_apps::test_apps()
         .into_iter()
         .map(|a| a.script)
-        .chain([DIST_FIXTURE.to_string(), CHURN_FIXTURE.to_string()])
+        .chain([
+            DIST_FIXTURE.to_string(),
+            CHURN_FIXTURE.to_string(),
+            SHAPE_FIXTURE.to_string(),
+        ])
         .collect();
     for src in sources {
         let with = compile_str(&src).unwrap();
