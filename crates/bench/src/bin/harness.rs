@@ -22,11 +22,16 @@
 //!                                # exact-equality verdict, in-place sets;
 //!                                # exit 1 on any mismatch or shape error
 //! harness faults [--scenario crash|drop|delay|seeded|none] [--seed S]
-//!                [--ranks N] [--app A]
+//!                [--ranks N] [--app A] [--postmortem-dir D]
 //!                                # fault-injection smoke: run one app under a
 //!                                # deterministic fault plan, print the typed
-//!                                # per-rank failure report (key=value lines),
+//!                                # per-rank failure report (key=value lines)
+//!                                # plus the postmortem bundle path,
 //!                                # exit 1 when the job failed
+//! harness postmortem <bundle.json>
+//!                                # pretty-print an otter-postmortem/v1 bundle
+//!                                # and re-run the deadlock-cycle diagnosis
+//!                                # offline, from the bundle alone
 //! harness bench <app|all> [--ranks N[,N...]] [--workers W] [--repeat K]
 //!               [--warmup W] [--json out.json] [--check baseline.json]
 //!               [--tolerance PCT]
@@ -36,7 +41,7 @@
 //!                                # 16 CPUs (default 64,256,1024,4096) on a
 //!                                # fixed worker pool
 //! harness serve  [--socket PATH] [--workers W] [--cache N]
-//!                [--metrics-addr HOST:PORT]
+//!                [--metrics-addr HOST:PORT] [--postmortem-dir D]
 //!                                # run the otterd compile-and-run service
 //!                                # in the foreground (otter-serve/v1)
 //! harness load   [--clients N] [--scripts M] [--requests R]
@@ -312,6 +317,7 @@ fn main() {
         "lint" => run_lint(rest),
         "analyze" => run_analyze_cmd(rest),
         "faults" => run_faults(rest),
+        "postmortem" => run_postmortem(rest),
         "bench" => run_bench_cmd(rest),
         "scale" => run_scale_cmd(rest),
         "serve" => run_serve(rest),
@@ -350,7 +356,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|analyze|faults|bench|scale|serve|load|ablation|memory|passes|all"
+                "unknown command `{other}`; expected table1|fig2|fig3|fig4|fig5|fig6|excerpts|trace|lint|analyze|faults|postmortem|bench|scale|serve|load|ablation|memory|passes|all"
             );
             std::process::exit(2);
         }
@@ -589,21 +595,27 @@ fn run_analyze_cmd(args: &[String]) {
 }
 
 /// `harness faults [--scenario crash|drop|delay|seeded|none] [--seed S]
-/// [--ranks N] [--app A]`: the fault-injection smoke mode. Compile one
-/// benchmark app, run it under a deterministic fault plan, and print
-/// the typed failure report as stable `key=value` lines a CI step can
-/// parse. Exits 1 when the job failed (the expected outcome for
-/// `crash`/`drop`), 0 when it completed (`delay` perturbs timing but
-/// not delivery; `none` runs the clean path).
+/// [--ranks N] [--app A] [--postmortem-dir D]`: the fault-injection
+/// smoke mode. Compile one benchmark app, run it under a deterministic
+/// fault plan, and print the typed failure report as stable
+/// `key=value` lines a CI step can parse. A failed job also writes its
+/// `otter-postmortem/v1` bundle (default under the system temp dir)
+/// and reports the path as `postmortem=...`. Exits 1 when the job
+/// failed (the expected outcome for `crash`/`drop`), 0 when it
+/// completed (`delay` perturbs timing but not delivery; `none` runs
+/// the clean path).
 fn run_faults(args: &[String]) {
-    use otter_core::{compile, try_run, EngineOptions, RunRequest};
+    use otter_core::{
+        build_postmortem, compile, try_run, write_postmortem, EngineOptions, RunRequest,
+    };
     use otter_mpi::FaultPlan;
 
     let spec = ArgSpec {
         cmd: "faults",
         usage: "harness faults [--scenario crash|drop|delay|seeded|none] [--seed S] \
-                [--ranks N] [--workers W] [--app cg|ocean|nbody|tc] [--paper]",
-        value_flags: &["--scenario", "--seed", "--app"],
+                [--ranks N] [--workers W] [--app cg|ocean|nbody|tc] \
+                [--postmortem-dir D] [--paper]",
+        value_flags: &["--scenario", "--seed", "--app", "--postmortem-dir"],
         switches: &[],
         positionals: 0,
     };
@@ -614,6 +626,10 @@ fn run_faults(args: &[String]) {
     let ranks = flag_or_exit(pa.ranks_single(8), &spec);
     let workers = flag_or_exit(pa.workers(), &spec);
     let app = find_app(scale, pa.get("--app").unwrap_or("cg"));
+    let postmortem_dir = pa
+        .get("--postmortem-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("otter-postmortem"));
 
     // Deterministic plans: the named scenarios pin the fault site so
     // the printed report is reproducible verbatim; `seeded` derives
@@ -648,10 +664,13 @@ fn run_faults(args: &[String]) {
     if let Some(w) = workers {
         req = req.with_workers(w);
     }
-    let outcome = try_run(&artifact, &req).unwrap_or_else(|e| {
-        eprintln!("harness faults: {e}");
-        std::process::exit(1);
-    });
+    let outcome = match try_run(&artifact, &req) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("harness faults: {e}");
+            std::process::exit(1);
+        }
+    };
 
     println!(
         "fault-smoke app={} ranks={} scenario={} seed={} actions={}",
@@ -669,13 +688,25 @@ fn run_faults(args: &[String]) {
             );
         }
         Err(failure) => {
+            // Persist the postmortem bundle first, so the key=value
+            // report can point at it; a disk error degrades to a note
+            // rather than masking the failure report.
+            let bundle = build_postmortem(&artifact, &failure);
+            let postmortem = match write_postmortem(&postmortem_dir, &bundle) {
+                Ok(path) => path.display().to_string(),
+                Err(e) => {
+                    eprintln!("harness faults: cannot write postmortem bundle: {e}");
+                    "-".to_string()
+                }
+            };
             let root = failure.report.root_cause();
             println!(
-                "result=failed failed_ranks={} survivors={} root_cause_rank={} root_cause_code={}",
+                "result=failed failed_ranks={} survivors={} root_cause_rank={} root_cause_code={} postmortem={}",
                 failure.report.failures.len(),
                 failure.survivors.len(),
                 root.rank,
                 root.error.code(),
+                postmortem,
             );
             for f in &failure.report.failures {
                 let blocked: Vec<String> = f.blocked_peers.iter().map(usize::to_string).collect();
@@ -701,6 +732,101 @@ fn run_faults(args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// `harness postmortem <bundle.json>`: decode an `otter-postmortem/v1`
+/// bundle and reconstruct the failure story offline — the correlated
+/// job id, the typed per-rank failure report, each involved rank's
+/// final flight-recorder events, and the deadlock-cycle diagnosis
+/// re-run from the serialized wait-for snapshot (independent of what
+/// the live detector concluded). Everything comes from the bundle
+/// alone: no source, no artifact, no daemon.
+fn run_postmortem(args: &[String]) {
+    use otter_core::parse_postmortem;
+
+    let spec = ArgSpec {
+        cmd: "postmortem",
+        usage: "harness postmortem <bundle.json>",
+        value_flags: &[],
+        switches: &[],
+        positionals: 1,
+    };
+    let pa = parse_or_exit(args, &spec);
+    let Some(path) = pa.positional() else {
+        eprintln!("harness postmortem: missing <bundle.json>");
+        eprintln!("usage: {}", spec.usage);
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("harness postmortem: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let s = parse_postmortem(&text).unwrap_or_else(|e| {
+        eprintln!("harness postmortem: {path}: {e}");
+        std::process::exit(1);
+    });
+
+    let ranks = |list: &[usize]| {
+        if list.is_empty() {
+            "-".to_string()
+        } else {
+            list.iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    };
+    println!(
+        "postmortem job_id={} ranks={} source_hash={} options_fingerprint={}",
+        s.job_id, s.size, s.source_hash, s.options_fingerprint
+    );
+    println!("summary: {}", s.summary);
+    println!(
+        "root_cause rank={} code={} error=\"{}\"",
+        s.root_cause_rank, s.root_cause_code, s.root_cause_message
+    );
+    for (rank, code, message, blocked) in &s.failures {
+        println!(
+            "failure rank={rank} code={code} blocked_peers={} error=\"{message}\"",
+            ranks(blocked),
+        );
+    }
+    println!("survivors={}", ranks(&s.survivor_ranks));
+
+    // The offline half of the deadlock diagnosis: re-derive the cycle
+    // from the bundled wait-for edges.
+    for e in &s.wait_for {
+        println!("wait_for {e}");
+    }
+    match s.diagnose_cycle() {
+        Some(cycle) => {
+            let mut spine: Vec<String> = cycle.iter().map(|e| e.waiter.to_string()).collect();
+            spine.push(cycle[0].waiter.to_string());
+            println!("deadlock_cycle={}", spine.join("->"));
+        }
+        None => println!("deadlock_cycle=none"),
+    }
+
+    // Every involved rank's final flight-recorder events, oldest
+    // first — what each rank saw in its last moments.
+    for f in &s.flight {
+        println!("flight rank={} events={}", f.rank, f.events.len());
+        for ev in &f.events {
+            println!(
+                "  seq={} clock={:.6} level={} code={} a={} b={}",
+                ev.seq,
+                ev.clock,
+                ev.level.as_str(),
+                ev.code,
+                ev.a,
+                ev.b
+            );
+        }
+    }
+    println!(
+        "metrics={}",
+        if s.has_metrics { "bundled" } else { "absent" }
+    );
 }
 
 /// `harness bench <app|all> [--ranks N] [--repeat K] [--warmup W]
@@ -858,8 +984,8 @@ fn run_serve(args: &[String]) {
     let argspec = ArgSpec {
         cmd: "serve",
         usage: "harness serve [--socket PATH] [--workers W] [--cache N] \
-                [--metrics-addr HOST:PORT]",
-        value_flags: &["--socket", "--cache", "--metrics-addr"],
+                [--metrics-addr HOST:PORT] [--postmortem-dir D]",
+        value_flags: &["--socket", "--cache", "--metrics-addr", "--postmortem-dir"],
         switches: &[],
         positionals: 0,
     };
@@ -876,6 +1002,9 @@ fn run_serve(args: &[String]) {
     }
     if let Some(addr) = pa.get("--metrics-addr") {
         cfg.metrics_addr = Some(addr.to_string());
+    }
+    if let Some(dir) = pa.get("--postmortem-dir") {
+        cfg.postmortem_dir = dir.into();
     }
     let server = Server::bind(cfg).unwrap_or_else(|e| {
         eprintln!("harness serve: bind failed: {e}");

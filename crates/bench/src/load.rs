@@ -175,6 +175,11 @@ pub struct LoadReport {
     pub cold_over_warm: f64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Every daemon-minted job id this run exercised, for
+    /// cross-referencing against the daemon's `GET /jobs` table.
+    /// Printed, never serialized (ids are fresh each run, so they
+    /// would churn baselines without gating anything).
+    pub job_ids: Vec<String>,
     /// Deterministic per-script outputs in `otter-bench/v1` form, for
     /// the shared regression gate.
     pub bench: BenchReport,
@@ -213,6 +218,9 @@ fn load_scripts(scale: Scale, count: usize) -> Vec<LoadScript> {
 /// Everything one job contributes to the report.
 struct JobSample {
     script: usize,
+    /// The daemon-minted correlation id, for cross-referencing this
+    /// job against the daemon's `GET /jobs` table.
+    job_id: String,
     latency: f64,
     cache_hit: bool,
     compile_seconds: f64,
@@ -293,6 +301,7 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, OtterError> {
                                 |k: &str| reply.body.get(k).and_then(Json::as_num).unwrap_or(0.0);
                             samples.lock().unwrap().push(JobSample {
                                 script,
+                                job_id: reply.job_id.clone(),
                                 latency: t0.elapsed().as_secs_f64(),
                                 cache_hit: reply.cache_hit,
                                 compile_seconds: reply.compile_seconds,
@@ -399,6 +408,7 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, OtterError> {
         },
         cache_hits: warm.len() as u64,
         cache_misses: cold.len() as u64,
+        job_ids: samples.iter().map(|s| s.job_id.clone()).collect(),
         bench,
     })
 }
@@ -491,6 +501,7 @@ impl LoadReport {
             cold_over_warm: num_field("cold_over_warm")?,
             cache_hits: num_field("cache_hits")? as u64,
             cache_misses: num_field("cache_misses")? as u64,
+            job_ids: Vec::new(),
             bench: BenchReport::from_json(json.get("bench").ok_or("load report missing `bench`")?)?,
         })
     }
@@ -540,6 +551,13 @@ impl LoadReport {
                 0.0
             }
         );
+        if !self.job_ids.is_empty() {
+            let _ = writeln!(
+                out,
+                "job_ids   {}  (cross-reference against GET /jobs)",
+                self.job_ids.join(" ")
+            );
+        }
         out
     }
 
@@ -590,6 +608,15 @@ mod tests {
         let report = run_load(&spec).expect("load run succeeds");
         assert_eq!(report.completed, 8);
         assert_eq!(report.cache_hits + report.cache_misses, 8);
+        assert_eq!(report.job_ids.len(), 8, "one job_id per completed job");
+        for id in &report.job_ids {
+            assert_eq!(id.len(), 16, "job ids are 16-hex: {id}");
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
+        }
+        assert!(
+            report.render().contains("job_ids   "),
+            "render surfaces the served ids"
+        );
         assert!(
             report.cache_hits >= 4,
             "8 jobs over 2 scripts leave at most 4 cold compiles (2 clients racing), \

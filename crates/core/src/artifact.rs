@@ -36,8 +36,9 @@ use crate::error::{OtterError, Result};
 use crate::exec::{ExecError, ExecOptions, Executor, XVal};
 use crate::pass::{PassDump, PassManager, PassStats};
 use otter_interp::Value;
+use otter_log::JobId;
 use otter_machine::Machine;
-use otter_metrics::MetricsRegistry;
+use otter_metrics::{MetricsRegistry, MetricsSnapshot};
 use otter_mpi::run_spmd_with;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -213,7 +214,7 @@ pub fn compile_managed(
 /// model, the rank count, and the worker-pool size. None of it enters
 /// the cache key — two runs of the same artifact at different ranks
 /// share one compile.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunRequest {
     /// The machine model charged against the virtual clocks.
     pub machine: Machine,
@@ -223,6 +224,31 @@ pub struct RunRequest {
     /// setting (itself defaulting to host parallelism). Run-time-only:
     /// deterministic outputs are identical for every value.
     pub workers: Option<usize>,
+    /// Correlation key stamped on every observability artifact of this
+    /// run (trace events, flight-recorder tails, failure reports,
+    /// postmortem bundles). `None` mints a fresh process-unique id at
+    /// run time; `otterd` passes its request-scoped id so client,
+    /// server, and engine all agree on the key. Run-time-only: never
+    /// part of the cache key, never affects modeled results.
+    pub job_id: Option<JobId>,
+    /// Trace-sink override for this run; `None` uses the artifact's
+    /// compiled-in sink (usually none). `otterd` attaches a retaining
+    /// sink here to serve `GET /trace/<job_id>` from cached artifacts
+    /// that were compiled without one. Run-time-only: tracing observes
+    /// the virtual clocks and never charges them.
+    pub trace: Option<Arc<dyn otter_trace::TraceSink>>,
+}
+
+impl std::fmt::Debug for RunRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunRequest")
+            .field("machine", &self.machine)
+            .field("ranks", &self.ranks)
+            .field("workers", &self.workers)
+            .field("job_id", &self.job_id)
+            .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
 }
 
 impl RunRequest {
@@ -232,12 +258,26 @@ impl RunRequest {
             machine,
             ranks,
             workers: None,
+            job_id: None,
+            trace: None,
         }
     }
 
     /// Builder: fix the scheduler's worker-pool size for this run.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Builder: correlate this run under a caller-minted [`JobId`].
+    pub fn with_job_id(mut self, job_id: JobId) -> Self {
+        self.job_id = Some(job_id);
+        self
+    }
+
+    /// Builder: record trace events into `sink` for this run only.
+    pub fn with_trace(mut self, sink: Arc<impl otter_trace::TraceSink + 'static>) -> Self {
+        self.trace = Some(sink);
         self
     }
 }
@@ -283,9 +323,14 @@ pub fn try_run(
         analyze: opts.analyze,
         ..Default::default()
     };
+    let job_id = req.job_id.unwrap_or_else(JobId::mint);
     let mut spmd = opts.spmd_options();
+    spmd.job_id = job_id;
     if req.workers.is_some() {
         spmd.workers = req.workers;
+    }
+    if req.trace.is_some() {
+        spmd.trace = req.trace.clone();
     }
     let job = run_spmd_with(&req.machine, req.ranks, spmd, move |comm| {
         let opts = exec_opts.clone();
@@ -363,9 +408,38 @@ pub fn try_run(
                     idle_seconds: r.stats.wait_time,
                 })
                 .collect();
+            // Every rank's flight-recorder tail — failed and surviving
+            // alike — keyed by rank, ordered by rank: the postmortem's
+            // event context.
+            let mut flight: Vec<(usize, Vec<otter_log::FlightEvent>)> = failure
+                .report
+                .failures
+                .iter()
+                .map(|f| (f.rank, f.flight.clone()))
+                .chain(failure.survivors.iter().map(|r| (r.rank, r.flight.clone())))
+                .collect();
+            flight.sort_by_key(|&(rank, _)| rank);
+            // Merge the partial registries of failed ranks with the
+            // survivors' complete ones, mirroring the success path.
+            let mut metrics: Option<MetricsSnapshot> = None;
+            let rank_metrics = failure
+                .report
+                .failures
+                .iter()
+                .filter_map(|f| f.metrics.as_ref())
+                .chain(failure.survivors.iter().filter_map(|r| r.metrics.as_ref()));
+            for m in rank_metrics {
+                match metrics.as_mut() {
+                    Some(merged) => merged.merge_from(m),
+                    None => metrics = Some(m.clone()),
+                }
+            }
             return Ok(Err(SpmdJobFailure {
+                job_id,
                 report: failure.report,
                 survivors,
+                flight,
+                metrics,
             }));
         }
     };
@@ -457,13 +531,15 @@ pub fn try_run(
         })
         .collect();
     // With a retaining sink the critical path comes along for free.
-    let critical_path = opts
+    let critical_path = req
         .trace
         .as_ref()
+        .or(opts.trace.as_ref())
         .and_then(|sink| sink.snapshot())
         .map(|events| otter_trace::critical_path(&events));
     Ok(Ok(EngineReport {
         engine: "otter",
+        job_id,
         workspace,
         output,
         modeled_seconds: max_clock,

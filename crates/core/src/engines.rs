@@ -16,6 +16,7 @@ use crate::artifact::{compile, run, CompiledArtifact, Fingerprint, RunRequest};
 use crate::error::{OtterError, Result};
 use otter_interp::{assemble_program, Interp, Value};
 use otter_lint::LintMode;
+use otter_log::{FlightEvent, JobId};
 use otter_machine::{ExecutionStyle, Machine};
 use otter_metrics::{MetricsRegistry, MetricsSnapshot};
 use otter_mpi::{CollectiveAlgo, FailureReport, FaultAction, FaultPlan, SpmdOptions};
@@ -73,6 +74,10 @@ pub struct CommSiteReport {
 pub struct EngineReport {
     /// Which engine produced this (`interpreter`, `matcom`, `otter`).
     pub engine: &'static str,
+    /// Correlation key of the run that produced this report.
+    /// [`crate::try_run`] mints one when the [`RunRequest`] does not
+    /// carry one; sequential engines report `JobId(0)` (uncorrelated).
+    pub job_id: JobId,
     /// Final workspace (fully gathered — machine-independent).
     pub workspace: HashMap<String, Value>,
     /// Captured display output.
@@ -127,6 +132,7 @@ impl EngineReport {
     ) -> EngineReport {
         EngineReport {
             engine,
+            job_id: JobId(0),
             workspace,
             output,
             modeled_seconds,
@@ -614,10 +620,20 @@ impl OtterEngine {
 /// that completed the program.
 #[derive(Debug, Clone)]
 pub struct SpmdJobFailure {
+    /// Correlation key of the failed run (same id its trace events,
+    /// flight events, and metrics carry).
+    pub job_id: JobId,
     /// The typed per-rank failure report.
     pub report: FailureReport,
     /// Counters of the surviving ranks, ordered by rank id.
     pub survivors: Vec<RankCounters>,
+    /// Flight-recorder tails of every rank in the job — failed ranks
+    /// and survivors alike — ordered by rank id. This is the event
+    /// context a postmortem bundle serializes.
+    pub flight: Vec<(usize, Vec<FlightEvent>)>,
+    /// Every rank's metric registry merged (failed ranks' partial
+    /// registries included); `None` when metrics were off.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl fmt::Display for SpmdJobFailure {

@@ -205,8 +205,23 @@ impl<'a> Executor<'a> {
     /// Run the whole program; returns the final script workspace.
     pub fn run(mut self) -> ExecResult<ExecOutcome> {
         otter_rt::alloc::reset();
+        self.comm.log(
+            otter_log::LogLevel::Info,
+            "exec.start",
+            self.program.main.len() as u64,
+            0,
+        );
         let main = &self.program.main;
-        self.exec_block(main)?;
+        if let Err(e) = self.exec_block(main) {
+            // Comm failures logged their own terminal event inside
+            // `Comm`; application errors get theirs here so a rank's
+            // flight tail always ends with *why* it stopped.
+            if matches!(e, ExecError::App(_)) {
+                self.comm
+                    .log(otter_log::LogLevel::Error, "exec.app_error", 0, 0);
+            }
+            return Err(e);
+        }
         self.note_memory();
         let peak_local = self.peak_local_bytes;
         // Fold the always-on opcode tallies and allocator high-water

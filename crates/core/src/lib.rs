@@ -47,6 +47,7 @@ pub mod engines;
 pub mod error;
 pub mod exec;
 pub mod pass;
+pub mod postmortem;
 
 pub use artifact::{
     compile, compile_managed, run, source_hash, try_run, CompiledArtifact, RunRequest,
@@ -66,6 +67,9 @@ pub use otter_lint::{lint_program, LintMode, LintReport};
 pub use pass::{
     pass_metrics, CompileReport, DumpRequest, GuardStats, Pass, PassDump, PassManager, PassStats,
     PipelineState,
+};
+pub use postmortem::{
+    build_postmortem, parse_postmortem, write_postmortem, PostmortemSummary, POSTMORTEM_SCHEMA,
 };
 
 #[cfg(test)]

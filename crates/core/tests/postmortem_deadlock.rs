@@ -1,0 +1,123 @@
+//! Postmortem bundles for deadlocked jobs: the serialized wait-for
+//! snapshot must let `diagnose_cycle` reproduce the blocking cycle
+//! offline, and every cycle rank's flight tail must end with the
+//! events of its death — so a bundle alone, with no live job, tells
+//! the whole story.
+
+use otter_core::{
+    build_postmortem, compile, parse_postmortem, try_run, EngineOptions, RunRequest, SpmdJobFailure,
+};
+use otter_log::JobId;
+use otter_machine::meiko_cs2;
+use otter_mpi::{run_spmd_with, FaultPlan, SpmdOptions, WaitEdge};
+
+/// Enough cross-rank traffic that one dropped packet strands everyone.
+const SRC: &str = "a = ones(32, 32);\nb = a * a;\ns = sum(b(:, 1));";
+
+/// The last two flight events of a rank that died deadlocked must be
+/// the deadlock diagnosis followed by the rank's failure marker.
+fn assert_dies_deadlocked(summary: &otter_core::PostmortemSummary, rank: usize) {
+    let tail = summary
+        .flight
+        .iter()
+        .find(|f| f.rank == rank)
+        .unwrap_or_else(|| panic!("rank {rank} must have a flight tail"));
+    let codes: Vec<&str> = tail.events.iter().map(|e| e.code.as_str()).collect();
+    assert!(
+        codes.ends_with(&["comm.deadlock", "rank.failed"]),
+        "rank {rank}: final events must record the deadlock, got {codes:?}"
+    );
+}
+
+/// The canonical PR-5 fixture — two ranks each blocked receiving from
+/// the other — run at the substrate layer, then wrapped the same way
+/// the engine wraps failures, bundled, and re-diagnosed offline.
+#[test]
+fn recv_recv_cycle_bundle_rediagnoses_the_exact_cycle_offline() {
+    let opts = SpmdOptions {
+        job_id: JobId::mint(),
+        ..SpmdOptions::default()
+    };
+    let failure = run_spmd_with(&meiko_cs2(), 2, opts.clone(), |c| {
+        let peer = 1 - c.rank();
+        let v = c.recv(peer)?; // nobody ever sends
+        c.send(peer, &v)?;
+        Ok(())
+    })
+    .unwrap_err();
+    let mut flight: Vec<_> = failure
+        .report
+        .failures
+        .iter()
+        .map(|f| (f.rank, f.flight.clone()))
+        .chain(failure.survivors.iter().map(|r| (r.rank, r.flight.clone())))
+        .collect();
+    flight.sort_by_key(|&(rank, _)| rank);
+    let job_failure = SpmdJobFailure {
+        job_id: opts.job_id,
+        report: failure.report,
+        survivors: Vec::new(),
+        flight,
+        metrics: None,
+    };
+    // Any artifact supplies the provenance hashes; the failure is the
+    // substrate fixture's.
+    let artifact = compile(SRC, &EngineOptions::default()).expect("compiles");
+    let bundle = build_postmortem(&artifact, &job_failure);
+    let summary = parse_postmortem(&bundle.to_string()).expect("bundle parses");
+
+    assert_eq!(summary.job_id, opts.job_id);
+    assert_eq!(summary.root_cause_code, "deadlock");
+    // Offline re-diagnosis over the serialized snapshot finds the
+    // canonical 2-cycle — exactly the edges the live detector saw.
+    let cycle = summary.diagnose_cycle().expect("cycle must reproduce");
+    assert_eq!(
+        cycle,
+        vec![
+            WaitEdge {
+                waiter: 0,
+                waiting_on: 1
+            },
+            WaitEdge {
+                waiter: 1,
+                waiting_on: 0
+            },
+        ]
+    );
+    for edge in &cycle {
+        assert_dies_deadlocked(&summary, edge.waiter);
+    }
+}
+
+/// The full engine path: a fault plan drops one packet of a compiled
+/// app, the job deadlocks, and the bundle built from the resulting
+/// [`SpmdJobFailure`] re-diagnoses the cycle with no live state.
+#[test]
+fn dropped_packet_deadlock_bundles_an_offline_reproducible_cycle() {
+    let opts = EngineOptions::builder()
+        .faults(FaultPlan::new().drop_message(0, 1, 0))
+        .build();
+    let artifact = compile(SRC, &opts).expect("compiles");
+    let failure = try_run(&artifact, &RunRequest::on(meiko_cs2(), 2))
+        .expect("no driver error")
+        .expect_err("the dropped packet must strand the job");
+
+    assert_eq!(failure.report.root_cause().error.code(), "deadlock");
+    let bundle = build_postmortem(&artifact, &failure);
+    let summary = parse_postmortem(&bundle.to_string()).expect("bundle parses");
+    assert_eq!(summary.job_id, failure.job_id);
+    assert_ne!(summary.job_id.0, 0, "engine runs are always correlated");
+    assert_eq!(
+        summary.source_hash,
+        format!("{:016x}", artifact.source_hash())
+    );
+    // The serialized snapshot alone reproduces a cycle, and every rank
+    // on it is a failed rank whose tail records its deadlocked death.
+    let cycle = summary.diagnose_cycle().expect("cycle must reproduce");
+    assert!(!cycle.is_empty());
+    let failed: Vec<usize> = summary.failures.iter().map(|f| f.0).collect();
+    for edge in &cycle {
+        assert!(failed.contains(&edge.waiter), "{edge} not a failed rank");
+        assert_dies_deadlocked(&summary, edge.waiter);
+    }
+}

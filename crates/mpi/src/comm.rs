@@ -6,6 +6,7 @@ use crate::fault::{FaultState, SendDisposition};
 use crate::mailbox::Mailbox;
 use crate::sched::Scheduler;
 use crate::state::{JobState, RankState};
+use otter_log::{FlightEvent, FlightRecorder, JobId, LogLevel};
 use otter_machine::Machine;
 use otter_metrics::MetricsRegistry;
 use otter_trace::{EventKind, TraceEvent, TraceSink};
@@ -92,6 +93,13 @@ pub struct Comm {
     /// `FaultPlan` targets this rank, so the healthy path is one
     /// branch per op.
     faults: Option<Box<FaultState>>,
+    /// Correlation key for every observability artifact of this job.
+    job_id: JobId,
+    /// Always-on bounded flight recorder: the last few dozen comm /
+    /// scheduler / executor events, kept even when tracing and metrics
+    /// are off. Single-writer (this rank), fixed memory, and strictly
+    /// wall-side — it observes the virtual clock but never charges it.
+    flight: FlightRecorder,
     /// Keeps `Comm: !Sync` (one owner per rank) despite the shared
     /// `Arc`/`Mutex` fields above.
     _not_sync: PhantomData<Cell<()>>,
@@ -133,6 +141,8 @@ impl Comm {
                 .faults
                 .as_ref()
                 .and_then(|plan| FaultState::for_rank(plan, rank, size)),
+            job_id: opts.job_id,
+            flight: FlightRecorder::with_capacity(opts.recorder_capacity),
             _not_sync: PhantomData,
         }
     }
@@ -234,10 +244,39 @@ impl Comm {
         &self.job
     }
 
+    /// The job's correlation key ([`JobId`] 0 when the launcher did
+    /// not assign one).
+    pub fn job_id(&self) -> JobId {
+        self.job_id
+    }
+
+    /// Record one structured log event into this rank's flight
+    /// recorder. Always on and allocation-free: the ring overwrites
+    /// its oldest event when full, so layers above `Comm` (runtime
+    /// library, executor) log freely without gating.
+    pub fn log(&mut self, level: LogLevel, code: &'static str, a: u64, b: u64) {
+        self.flight.record(level, code, a, b, self.clock);
+    }
+
+    /// Read-only view of this rank's flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Drain the flight recorder into an owned event list (oldest
+    /// first). The runner does this when the rank finishes, moving the
+    /// tail into the rank's result or failure record.
+    pub fn take_flight(&mut self) -> Vec<FlightEvent> {
+        let events = self.flight.events();
+        self.flight = FlightRecorder::with_capacity(self.flight.capacity());
+        events
+    }
+
     /// Record one finished collective: an invocation counter labeled
     /// by collective and schedule, plus a duration histogram.
     pub(crate) fn note_collective(&mut self, name: &'static str, algo: &'static str, t0: f64) {
         let dt = self.clock - t0;
+        self.log(LogLevel::Debug, "comm.collective", 0, 0);
         if let Some(m) = self.metrics.as_deref_mut() {
             m.inc("collectives_total", &[("coll", name), ("algo", algo)], 1);
             m.observe("collective_seconds", &[("coll", name)], dt);
@@ -328,9 +367,11 @@ impl Comm {
     fn fault_op(&mut self) -> Result<(), CommError> {
         if let Some(f) = self.faults.as_deref_mut() {
             if f.note_op() {
+                let op_index = f.ops;
+                self.log(LogLevel::Error, "fault.crash", op_index, 0);
                 return Err(CommError::InjectedCrash {
                     rank: self.rank,
-                    op_index: f.ops,
+                    op_index,
                 });
             }
         }
@@ -377,14 +418,20 @@ impl Comm {
             m.observe("message_bytes", &[], bytes as f64);
             m.observe("send_seconds", &[], dt);
         }
+        self.log(LogLevel::Debug, "comm.send", to as u64, bytes as u64);
         let mut send_clock = self.clock;
-        if let Some(f) = self.faults.as_deref_mut() {
-            match f.outgoing(to) {
-                SendDisposition::Deliver => {}
-                // The sender believes the send succeeded: time and
-                // stats are charged, the packet just never arrives.
-                SendDisposition::Drop => return Ok(()),
-                SendDisposition::Delay(s) => send_clock += s,
+        let disposition = self.faults.as_deref_mut().map(|f| f.outgoing(to));
+        match disposition {
+            None | Some(SendDisposition::Deliver) => {}
+            // The sender believes the send succeeded: time and
+            // stats are charged, the packet just never arrives.
+            Some(SendDisposition::Drop) => {
+                self.log(LogLevel::Warn, "fault.drop", to as u64, bytes as u64);
+                return Ok(());
+            }
+            Some(SendDisposition::Delay(s)) => {
+                self.log(LogLevel::Warn, "fault.delay", to as u64, bytes as u64);
+                send_clock += s;
             }
         }
         // A terminated receiver can never consume this message; report
@@ -392,10 +439,13 @@ impl Comm {
         // already charged above, exactly as they were when the channel
         // send failed after the charge.
         match self.job.state_of(to) {
-            RankState::Finished | RankState::Failed => Err(CommError::PeerTerminated {
-                rank: self.rank,
-                peer: to,
-            }),
+            RankState::Finished | RankState::Failed => {
+                self.log(LogLevel::Error, "comm.dead_peer", to as u64, 0);
+                Err(CommError::PeerTerminated {
+                    rank: self.rank,
+                    peer: to,
+                })
+            }
             _ => {
                 self.mailboxes[to].push(
                     self.rank,
@@ -428,6 +478,7 @@ impl Comm {
         if let Some(p) = self.mailboxes[self.rank].try_pop(from) {
             return Ok(p);
         }
+        self.log(LogLevel::Debug, "sched.park", from as u64, 0);
         self.job.set_waiting(self.rank, from);
         self.sched.release();
         // The poll interval backs off exponentially (capped at 16x the
@@ -511,6 +562,16 @@ impl Comm {
         // deadlocked to a detector walking the wait-for graph.
         self.job.set_running(self.rank);
         self.sched.acquire(self.rank);
+        match &result {
+            Ok(_) => self.log(LogLevel::Debug, "sched.unpark", from as u64, 0),
+            Err(CommError::Deadlock { waiting_on, .. }) => {
+                self.log(LogLevel::Error, "comm.deadlock", *waiting_on as u64, 0)
+            }
+            Err(CommError::Stalled { waiting_on, .. }) => {
+                self.log(LogLevel::Error, "comm.stall", *waiting_on as u64, 0)
+            }
+            Err(_) => self.log(LogLevel::Error, "comm.dead_peer", from as u64, 0),
+        }
         result
     }
 
@@ -543,6 +604,12 @@ impl Comm {
                 entered_at,
             );
         }
+        self.log(
+            LogLevel::Debug,
+            "comm.recv",
+            from as u64,
+            (pkt.data.len() * 8) as u64,
+        );
         Ok(pkt.data)
     }
 

@@ -21,6 +21,56 @@ impl fmt::Display for WaitEdge {
     }
 }
 
+/// Find a wait-for cycle in a static edge snapshot, canonicalized to
+/// start at its smallest member — the same spelling the live detector
+/// (`JobState::diagnose_deadlock`) produces.
+///
+/// This is the *offline* half of deadlock diagnosis: a postmortem
+/// bundle serializes the final wait-for edges, and `harness postmortem`
+/// re-runs the cycle search from the bundle alone, with no live job.
+/// Unlike the live detector there are no epochs or confirmation
+/// windows to consult; the snapshot is already final.
+pub fn find_wait_cycle(edges: &[WaitEdge]) -> Option<Vec<WaitEdge>> {
+    // Walk from each waiter in turn; the first closed walk wins. Edges
+    // come from per-rank failure records, so each waiter appears once.
+    let next_of = |r: usize| edges.iter().find(|e| e.waiter == r).map(|e| e.waiting_on);
+    let mut starts: Vec<usize> = edges.iter().map(|e| e.waiter).collect();
+    starts.sort_unstable();
+    for &start in &starts {
+        let mut path: Vec<usize> = Vec::new();
+        let mut cur = start;
+        while let Some(next) = next_of(cur) {
+            path.push(cur);
+            if let Some(pos) = path.iter().position(|&r| r == next) {
+                let cycle = &path[pos..];
+                let min_pos = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &r)| r)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let n = cycle.len();
+                return Some(
+                    (0..n)
+                        .map(|i| {
+                            let waiter = cycle[(min_pos + i) % n];
+                            WaitEdge {
+                                waiter,
+                                waiting_on: next_of(waiter).unwrap(),
+                            }
+                        })
+                        .collect(),
+                );
+            }
+            if path.len() > edges.len() {
+                break;
+            }
+            cur = next;
+        }
+    }
+    None
+}
+
 /// Why a communication operation failed on one rank.
 ///
 /// The display strings are stable enough to grep in CI; the

@@ -55,7 +55,7 @@ mod state;
 pub use admission::{JobGate, JobPermit};
 pub use collectives::{CollectiveAlgo, ReduceOp};
 pub use comm::{Comm, CommStats};
-pub use error::{CommError, WaitEdge};
+pub use error::{find_wait_cycle, CommError, WaitEdge};
 pub use fault::{FaultAction, FaultPlan};
 pub use runner::{
     default_workers, job_time, run_spmd, run_spmd_with, FailureReport, JobFailure, JobResult,

@@ -16,6 +16,7 @@ use crate::fault::FaultPlan;
 use crate::mailbox::Mailbox;
 use crate::sched::Scheduler;
 use crate::state::JobState;
+use otter_log::{FlightEvent, JobId, DEFAULT_RECORDER_CAPACITY};
 use otter_machine::Machine;
 use otter_metrics::MetricsSnapshot;
 use otter_trace::{NoopSink, TraceSink};
@@ -68,6 +69,9 @@ pub struct RankResult<R> {
     /// Frozen per-rank metric registry; `None` unless the job ran with
     /// [`SpmdOptions::metrics`] on.
     pub metrics: Option<MetricsSnapshot>,
+    /// The rank's flight-recorder tail (always on; bounded by
+    /// [`SpmdOptions::recorder_capacity`]), oldest first.
+    pub flight: Vec<FlightEvent>,
 }
 
 /// Launch-time configuration for an SPMD job.
@@ -98,6 +102,14 @@ pub struct SpmdOptions {
     pub confirm_window: Duration,
     /// Hard fallback for a receive whose peer is alive but silent.
     pub stall_timeout: Duration,
+    /// Correlation key stamped on every observability artifact this
+    /// job produces (flight events, failure reports, postmortems).
+    /// Purely observational: it never affects modeled results.
+    /// `JobId(0)` (the default) means "not correlated".
+    pub job_id: JobId,
+    /// Per-rank flight-recorder ring capacity (events, not bytes).
+    /// The recorder is always on; this bounds its memory.
+    pub recorder_capacity: usize,
 }
 
 impl Default for SpmdOptions {
@@ -111,6 +123,8 @@ impl Default for SpmdOptions {
             poll_interval: DEFAULT_POLL_INTERVAL,
             confirm_window: DEFAULT_CONFIRM_WINDOW,
             stall_timeout: DEFAULT_STALL_TIMEOUT,
+            job_id: JobId(0),
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
         }
     }
 }
@@ -130,6 +144,9 @@ pub struct RankFailure {
     pub stats: crate::comm::CommStats,
     /// Partial metric registry, when metrics were on.
     pub metrics: Option<MetricsSnapshot>,
+    /// The rank's flight-recorder tail at the moment of failure,
+    /// oldest first — the event context a postmortem bundles up.
+    pub flight: Vec<FlightEvent>,
 }
 
 /// The value-erased portion of a job failure: which ranks failed and
@@ -256,9 +273,19 @@ where
     job.set_done(rank, result.is_ok());
     job.note_progress();
     comm.wake_ranks_blocked_on_me();
+    match &result {
+        Ok(_) => comm.log(otter_log::LogLevel::Info, "rank.done", 0, 0),
+        Err(e) => comm.log(
+            otter_log::LogLevel::Error,
+            "rank.failed",
+            e.rank() as u64,
+            0,
+        ),
+    }
     let clock = comm.clock();
     let stats = comm.stats();
     let metrics = comm.take_metrics().map(|r| r.snapshot());
+    let flight = comm.take_flight();
     comm.release_worker();
     match result {
         Ok(value) => RankOutcome::Ok(RankResult {
@@ -267,6 +294,7 @@ where
             clock,
             stats,
             metrics,
+            flight,
         }),
         Err(error) => RankOutcome::Failed(RankFailure {
             rank,
@@ -275,6 +303,7 @@ where
             clock,
             stats,
             metrics,
+            flight,
         }),
     }
 }
@@ -295,6 +324,7 @@ fn invalid_config<R>(p: usize, reason: &str) -> JobFailure<R> {
                 clock: 0.0,
                 stats: crate::comm::CommStats::default(),
                 metrics: None,
+                flight: Vec::new(),
             }],
             survivor_ranks: Vec::new(),
         },

@@ -1,0 +1,86 @@
+//! Property tests for the always-on flight recorder: its memory is
+//! bounded by `recorder_capacity` at every rank count, what survives
+//! is exactly the *last* window of events (contiguous, oldest-first),
+//! and small jobs that never overflow keep their full history.
+
+use otter_machine::meiko_cs2;
+use otter_mpi::{run_spmd_with, Comm, CommError, ReduceOp, SpmdOptions};
+
+/// A message-heavy body: every round does modeled compute, a ring
+/// exchange (when there are peers), and an allreduce — several flight
+/// events per round on every rank, at any `p`.
+fn chatty(c: &mut Comm, rounds: usize) -> Result<u64, CommError> {
+    let p = c.size();
+    let mut acc = 0.0;
+    for i in 0..rounds {
+        c.compute(1e3);
+        if p > 1 {
+            let to = (c.rank() + 1) % p;
+            let from = (c.rank() + p - 1) % p;
+            c.send(to, &[i as f64])?;
+            acc += c.recv(from)?[0];
+        }
+        acc += c.allreduce_scalar(1.0, ReduceOp::Sum)?;
+    }
+    Ok(acc.to_bits())
+}
+
+#[test]
+fn recorder_memory_is_bounded_at_every_rank_count() {
+    const ROUNDS: usize = 16;
+    for p in [1usize, 2, 4, 8] {
+        for capacity in [1usize, 4, 8] {
+            let opts = SpmdOptions {
+                recorder_capacity: capacity,
+                ..SpmdOptions::default()
+            };
+            let results = run_spmd_with(&meiko_cs2(), p, opts, |c| chatty(c, ROUNDS))
+                .unwrap_or_else(|f| panic!("p={p} cap={capacity}: {}", f.report));
+            assert_eq!(results.len(), p);
+            for r in &results {
+                // The bound: never more retained events than capacity.
+                assert!(
+                    r.flight.len() <= capacity,
+                    "p={p} cap={capacity} rank={}: retained {} events",
+                    r.rank,
+                    r.flight.len()
+                );
+                // The job recorded far more than it retained (seq
+                // counts every recorded event, retained or not), so
+                // the ring really did overwrite — and once it has, it
+                // stays exactly full.
+                let last = r.flight.last().expect("chatty ranks record events");
+                let recorded = last.seq + 1;
+                assert!(
+                    recorded > capacity as u64,
+                    "p={p} cap={capacity} rank={}: only {recorded} events recorded; \
+                     the fixture must overflow the ring to test the bound",
+                    r.rank
+                );
+                assert_eq!(r.flight.len(), capacity, "overflowed rings are full");
+                // What survives is the final contiguous window,
+                // oldest first.
+                for w in r.flight.windows(2) {
+                    assert_eq!(w[1].seq, w[0].seq + 1, "rank {}: gap in tail", r.rank);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn small_jobs_keep_their_full_history() {
+    let results = run_spmd_with(&meiko_cs2(), 4, SpmdOptions::default(), |c| chatty(c, 2))
+        .expect("chatty job succeeds");
+    for r in &results {
+        let first = r.flight.first().expect("events recorded");
+        assert_eq!(first.seq, 0, "nothing overwritten: history starts at 0");
+        let last = r.flight.last().unwrap();
+        assert_eq!(last.code, "rank.done");
+        assert_eq!(
+            r.flight.len() as u64,
+            last.seq + 1,
+            "under capacity, retained == recorded"
+        );
+    }
+}

@@ -22,6 +22,10 @@ pub struct ServeClient {
 /// response).
 #[derive(Debug, Clone)]
 pub struct JobReply {
+    /// The daemon-minted correlation key: the same id appears in the
+    /// `GET /jobs` table, any retained trace, and any postmortem
+    /// bundle of this job. Empty only against pre-`job_id` daemons.
+    pub job_id: String,
     /// Whether the daemon served the compile from its artifact cache.
     pub cache_hit: bool,
     /// Daemon-side seconds spent in (or skipping) compilation.
@@ -59,6 +63,23 @@ impl ServeClient {
     /// Send one request, read one response. Protocol-level failures
     /// (`ok: false`) are returned as `Err` with the daemon's message.
     pub fn request(&mut self, req: &Request) -> Result<Json, String> {
+        let json = self.request_raw(req)?;
+        match json.get("ok") {
+            Some(Json::Bool(true)) => Ok(json),
+            _ => Err(json
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("server reported failure with no error message")
+                .to_string()),
+        }
+    }
+
+    /// Send one request, read one response, and return the response
+    /// object whether or not the daemon reported success — for callers
+    /// that need the correlation fields (`job_id`, `postmortem`) an
+    /// error response still carries. Only transport-level problems are
+    /// `Err`.
+    pub fn request_raw(&mut self, req: &Request) -> Result<Json, String> {
         let mut line = req.to_json().to_string();
         line.push('\n');
         self.writer
@@ -72,15 +93,7 @@ impl ServeClient {
         if reply.is_empty() {
             return Err("server closed the connection".to_string());
         }
-        let json = Json::parse(&reply).map_err(|e| format!("bad response JSON: {e}"))?;
-        match json.get("ok") {
-            Some(Json::Bool(true)) => Ok(json),
-            _ => Err(json
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("server reported failure with no error message")
-                .to_string()),
-        }
+        Json::parse(&reply).map_err(|e| format!("bad response JSON: {e}"))
     }
 
     /// Round-trip liveness check.
@@ -131,6 +144,18 @@ impl ServeClient {
             .ok_or_else(|| "metrics response missing `text`".to_string())
     }
 
+    /// Recent daemon flight-recorder events at or above `level`
+    /// (`"error"`/`"warn"`/`"info"`/`"debug"`).
+    pub fn logs(&mut self, level: &str) -> Result<Vec<Json>, String> {
+        let level = otter_log::LogLevel::parse(level)
+            .ok_or_else(|| format!("bad level `{level}` (expected error|warn|info|debug)"))?;
+        let body = self.request(&Request::Logs { level })?;
+        match body.get("events") {
+            Some(Json::Arr(events)) => Ok(events.clone()),
+            _ => Err("logs response missing `events`".to_string()),
+        }
+    }
+
     /// Ask the daemon to stop accepting and exit.
     pub fn shutdown(&mut self) -> Result<(), String> {
         self.request(&Request::Shutdown).map(|_| ())
@@ -140,6 +165,11 @@ impl ServeClient {
 fn decode_job(body: Json) -> JobReply {
     let num = |k: &str| body.get(k).and_then(Json::as_num).unwrap_or(0.0);
     JobReply {
+        job_id: body
+            .get("job_id")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
         cache_hit: matches!(body.get("cache_hit"), Some(Json::Bool(true))),
         compile_seconds: num("compile_seconds"),
         run_seconds: num("run_seconds"),

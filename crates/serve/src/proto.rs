@@ -16,15 +16,22 @@
 //! | `run`      | `source`, `options?`, `machine?`, `ranks?`, `workers?`| compile fields + `run_seconds`, `modeled_seconds`, `messages`, `bytes`, `output`, `scalars` |
 //! | `stats`    | —                                                     | cache/gate counters |
 //! | `metrics`  | —                                                     | `text`: the Prometheus exposition |
+//! | `logs`     | `level?`                                              | `events`: recent daemon flight-recorder events at or above `level` |
 //! | `shutdown` | —                                                     | `stopping: true` |
 //!
 //! `options` is the compile-relevant [`EngineOptions`] subset that
 //! makes sense over a wire: `disabled_passes` (array of pass names),
-//! `collective_algo` (`"tree"`/`"linear"`), `metrics` (bool). The
-//! hashes echo the artifact's cache key so clients can correlate jobs
-//! with cache entries.
+//! `collective_algo` (`"tree"`/`"linear"`), `metrics` (bool),
+//! `crash` (`{"rank": R, "op": N}`: inject a rank crash to exercise
+//! the failure path), plus the run-time-only `trace` (bool: retain a
+//! Chrome trace for `GET /trace/<job_id>`). The hashes echo the
+//! artifact's cache key so
+//! clients can correlate jobs with cache entries; `compile` and `run`
+//! responses additionally carry the daemon-minted `job_id` correlation
+//! key (also the row key of `GET /jobs`).
 
 use otter_core::EngineOptions;
+use otter_log::LogLevel;
 use otter_metrics::Json;
 use otter_mpi::CollectiveAlgo;
 
@@ -40,13 +47,24 @@ pub struct JobOptions {
     pub collective_algo: Option<CollectiveAlgo>,
     /// Collect per-job metrics (merged into the daemon's exposition).
     pub metrics: bool,
+    /// Retain a Chrome trace of the run, served afterwards by
+    /// `GET /trace/<job_id>`. Run-time-only: the daemon attaches the
+    /// sink to the [`otter_core::RunRequest`], so the artifact-cache
+    /// key is unaffected.
+    pub trace: bool,
+    /// Inject a rank crash: `(rank, op_index)` terminates `rank` at
+    /// its `op_index`-th communication operation. The one
+    /// fault-injection knob exposed over the wire, for exercising the
+    /// failure path (postmortem bundles, the `/jobs` table) against a
+    /// live daemon. Enters the fingerprint like any fault plan.
+    pub crash: Option<(usize, u64)>,
 }
 
 impl JobOptions {
     /// The [`EngineOptions`] these wire options denote. Anything not
-    /// wire-expressible (fault plans, trace sinks, M-file providers)
-    /// stays at its default — the service compiles self-contained
-    /// scripts.
+    /// wire-expressible (general fault plans, trace sinks, M-file
+    /// providers) stays at its default — the service compiles
+    /// self-contained scripts.
     pub fn to_engine_options(&self) -> EngineOptions {
         let mut b = EngineOptions::builder().metrics(self.metrics);
         for pass in &self.disabled_passes {
@@ -54,6 +72,9 @@ impl JobOptions {
         }
         if let Some(algo) = self.collective_algo {
             b = b.collective_algo(algo);
+        }
+        if let Some((rank, op)) = self.crash {
+            b = b.faults(otter_mpi::FaultPlan::new().crash(rank, op));
         }
         b.build()
     }
@@ -83,6 +104,19 @@ impl JobOptions {
         if let Some(m) = json.get("metrics") {
             opts.metrics = matches!(m, Json::Bool(true));
         }
+        if let Some(t) = json.get("trace") {
+            opts.trace = matches!(t, Json::Bool(true));
+        }
+        if let Some(c) = json.get("crash") {
+            let rank = c.get("rank").and_then(Json::as_num);
+            let op = c.get("op").and_then(Json::as_num);
+            match (rank, op) {
+                (Some(r), Some(o)) if r >= 0.0 && r.fract() == 0.0 && o >= 0.0 => {
+                    opts.crash = Some((r as usize, o as u64));
+                }
+                _ => return Err("crash must be an object with numeric `rank` and `op`".to_string()),
+            }
+        }
         Ok(opts)
     }
 
@@ -109,6 +143,18 @@ impl JobOptions {
         if self.metrics {
             fields.push(("metrics".to_string(), Json::Bool(true)));
         }
+        if self.trace {
+            fields.push(("trace".to_string(), Json::Bool(true)));
+        }
+        if let Some((rank, op)) = self.crash {
+            fields.push((
+                "crash".to_string(),
+                Json::Obj(vec![
+                    ("rank".to_string(), Json::Num(rank as f64)),
+                    ("op".to_string(), Json::Num(op as f64)),
+                ]),
+            ));
+        }
         Json::Obj(fields)
     }
 }
@@ -131,6 +177,12 @@ pub enum Request {
     },
     Stats,
     Metrics,
+    /// Recent daemon-side flight-recorder events at or above `level`
+    /// (`Error` is the most selective filter, `Debug` returns
+    /// everything retained).
+    Logs {
+        level: LogLevel,
+    },
     Shutdown,
 }
 
@@ -146,6 +198,16 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
+            "logs" => {
+                let level = match json.get("level") {
+                    None => LogLevel::Info,
+                    Some(l) => l
+                        .as_str()
+                        .and_then(LogLevel::parse)
+                        .ok_or("level must be error|warn|info|debug")?,
+                };
+                Ok(Request::Logs { level })
+            }
             "compile" => Ok(Request::Compile {
                 source: required_source(json)?,
                 options: JobOptions::from_json(json.get("options"))?,
@@ -177,7 +239,7 @@ impl Request {
                 })
             }
             other => Err(format!(
-                "unknown op `{other}` (expected ping|compile|run|stats|metrics|shutdown)"
+                "unknown op `{other}` (expected ping|compile|run|stats|metrics|logs|shutdown)"
             )),
         }
     }
@@ -189,6 +251,10 @@ impl Request {
             Request::Stats => op_obj("stats", vec![]),
             Request::Metrics => op_obj("metrics", vec![]),
             Request::Shutdown => op_obj("shutdown", vec![]),
+            Request::Logs { level } => op_obj(
+                "logs",
+                vec![("level".to_string(), Json::Str(level.as_str().to_string()))],
+            ),
             Request::Compile { source, options } => op_obj(
                 "compile",
                 vec![
@@ -225,6 +291,7 @@ impl Request {
             Request::Run { .. } => "run",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::Logs { .. } => "logs",
             Request::Shutdown => "shutdown",
         }
     }
@@ -295,17 +362,26 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
+            Request::Logs {
+                level: LogLevel::Warn,
+            },
             Request::Compile {
                 source: "x = 1;\n".to_string(),
                 options: JobOptions {
                     disabled_passes: vec!["peephole".to_string()],
                     collective_algo: Some(CollectiveAlgo::Linear),
                     metrics: true,
+                    trace: false,
+                    crash: None,
                 },
             },
             Request::Run {
                 source: "x = 1;\n".to_string(),
-                options: JobOptions::default(),
+                options: JobOptions {
+                    trace: true,
+                    crash: Some((3, 2)),
+                    ..JobOptions::default()
+                },
                 machine: "cluster".to_string(),
                 ranks: 8,
                 workers: Some(2),
@@ -346,10 +422,26 @@ mod tests {
                 r#"{"op":"run","source":"x=1;","options":{"collective_algo":"ring"}}"#,
                 "collective_algo",
             ),
+            (r#"{"op":"logs","level":"verbose"}"#, "level"),
+            (
+                r#"{"op":"run","source":"x=1;","options":{"crash":{"rank":1}}}"#,
+                "crash",
+            ),
         ] {
             let err = Request::from_json(&Json::parse(line).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn logs_level_defaults_to_info() {
+        let json = Json::parse(r#"{"op":"logs"}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&json).unwrap(),
+            Request::Logs {
+                level: LogLevel::Info
+            }
+        );
     }
 
     #[test]

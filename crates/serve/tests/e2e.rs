@@ -2,13 +2,31 @@
 //! [`Server`] on its own thread, a [`ServeClient`] session driving
 //! the `otter-serve/v1` protocol, all four benchmark apps submitted
 //! twice (round two must be all cache hits), the stats and metrics
-//! ops, the HTTP scrape endpoint, and a protocol-level shutdown.
+//! ops, the HTTP scrape endpoint (`/metrics`, `/jobs`,
+//! `/trace/<job_id>`), the `logs` op, the postmortem path of a
+//! crashed job, and a protocol-level shutdown.
 
-use otter_serve::{JobOptions, ServeClient, ServeConfig, Server, ServerHandle};
+use otter_metrics::Json;
+use otter_serve::{JobOptions, Request, ServeClient, ServeConfig, Server, ServerHandle};
 use std::io::{Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// A script whose matrix multiply and column reduction keep all ranks
+/// talking — enough traffic for crash injection to strand peers.
+const COMM_HEAVY: &str = "a = ones(32, 32);\nb = a * a;\ns = sum(b(:, 1));";
+
+/// One plain HTTP GET against the daemon's stats listener.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("tcp connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+        .expect("send GET");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
 
 struct Daemon {
     socket: PathBuf,
@@ -19,15 +37,17 @@ struct Daemon {
 
 fn spawn_daemon(metrics: bool) -> Daemon {
     static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     let cfg = ServeConfig {
-        socket: std::env::temp_dir().join(format!(
-            "otter-e2e-{}-{}.sock",
-            std::process::id(),
-            SEQ.fetch_add(1, Ordering::Relaxed)
-        )),
+        socket: std::env::temp_dir().join(format!("otter-e2e-{}-{}.sock", std::process::id(), seq)),
         workers: 4,
         cache_capacity: 16,
         metrics_addr: metrics.then(|| "127.0.0.1:0".to_string()),
+        postmortem_dir: std::env::temp_dir().join(format!(
+            "otter-e2e-{}-{}-postmortem",
+            std::process::id(),
+            seq
+        )),
     };
     let server = Server::bind(cfg).expect("bind");
     Daemon {
@@ -115,14 +135,125 @@ fn metrics_exposition_has_the_serve_families() {
     // The same exposition over plain HTTP, as a scraper (or curl)
     // would fetch it.
     let addr = daemon.metrics_addr.expect("http listener");
-    let mut stream = std::net::TcpStream::connect(addr).expect("tcp connect");
-    stream
-        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
-        .expect("send GET");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read response");
+    let response = http_get(addr, "/metrics");
     assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(
+        response.contains("Content-Type: text/plain; version=0.0.4"),
+        "Prometheus scrapers key on the versioned text content type:\n{response}"
+    );
     assert!(response.contains("otter_serve_jobs_total"), "{response}");
+}
+
+#[test]
+fn crashed_job_yields_postmortem_bundle_jobs_row_and_error_log() {
+    let daemon = spawn_daemon(true);
+    let mut client = daemon.client();
+    // A healthy run first, so the jobs table carries both outcomes.
+    let healthy = client
+        .run(COMM_HEAVY, JobOptions::default(), "meiko", 4, None)
+        .expect("healthy job");
+    assert!(!healthy.job_id.is_empty(), "run replies carry a job_id");
+    // Now the same script with rank 3 crashing at its 2nd comm op.
+    let body = client
+        .request_raw(&Request::Run {
+            source: COMM_HEAVY.to_string(),
+            options: JobOptions {
+                metrics: true,
+                crash: Some((3, 2)),
+                ..JobOptions::default()
+            },
+            machine: "meiko".to_string(),
+            ranks: 8,
+            workers: None,
+        })
+        .expect("transport");
+    assert!(matches!(body.get("ok"), Some(Json::Bool(false))), "{body}");
+    let job_id = body
+        .get("job_id")
+        .and_then(Json::as_str)
+        .expect("failure responses still carry the job_id")
+        .to_string();
+    let path = body
+        .get("postmortem")
+        .and_then(Json::as_str)
+        .expect("failed runs must point at their postmortem bundle")
+        .to_string();
+    // The bundle on disk parses, carries the same correlation key, and
+    // names the injected crash as root cause.
+    let text = std::fs::read_to_string(&path).expect("bundle on disk");
+    let summary = otter_core::parse_postmortem(&text).expect("valid otter-postmortem/v1");
+    assert_eq!(summary.job_id.to_string(), job_id);
+    assert_eq!(summary.root_cause_rank, 3);
+    assert_eq!(summary.root_cause_code, "injected_crash");
+    assert!(summary.has_metrics, "metrics: true runs bundle a snapshot");
+    // The recent-job table knows both jobs; the failed row links the
+    // bundle.
+    let jobs = http_get(daemon.metrics_addr.expect("http"), "/jobs");
+    assert!(jobs.starts_with("HTTP/1.1 200 OK"), "{jobs}");
+    assert!(jobs.contains("Content-Type: application/json"), "{jobs}");
+    assert!(jobs.contains(&job_id), "{jobs}");
+    assert!(jobs.contains(&healthy.job_id), "{jobs}");
+    assert!(jobs.contains("\"status\":\"failed\""), "{jobs}");
+    assert!(jobs.contains("\"status\":\"ok\""), "{jobs}");
+    assert!(jobs.contains(&path), "{jobs}");
+    // The daemon's own flight recorder saw the failure; level
+    // filtering separates it from routine traffic.
+    let errors = client.logs("error").expect("logs op");
+    assert!(
+        errors.iter().any(|e| {
+            e.get("code").and_then(Json::as_str) == Some("serve.run_failed")
+                && e.get("a").and_then(Json::as_num)
+                    == Some(u64::from_str_radix(&job_id, 16).expect("hex id") as f64)
+        }),
+        "{errors:?}"
+    );
+    let everything = client.logs("debug").expect("logs op");
+    assert!(everything.len() > errors.len(), "debug must include more");
+}
+
+#[test]
+fn trace_endpoint_serves_retained_chrome_traces() {
+    let daemon = spawn_daemon(true);
+    let mut client = daemon.client();
+    let traced = client
+        .run(
+            COMM_HEAVY,
+            JobOptions {
+                trace: true,
+                ..JobOptions::default()
+            },
+            "meiko",
+            4,
+            None,
+        )
+        .expect("traced job");
+    // Per-phase spans chain off the job's root span — one correlation
+    // key from the request through compile and run.
+    let spans = traced.body.get("spans").expect("run replies carry spans");
+    assert_eq!(
+        spans.get("request").and_then(Json::as_str),
+        Some(format!("{}/0", traced.job_id).as_str())
+    );
+    assert_eq!(
+        spans.get("compile").and_then(Json::as_str),
+        Some(format!("{}/1", traced.job_id).as_str())
+    );
+    assert_eq!(
+        spans.get("run").and_then(Json::as_str),
+        Some(format!("{}/2", traced.job_id).as_str())
+    );
+    let plain = client
+        .run(COMM_HEAVY, JobOptions::default(), "meiko", 4, None)
+        .expect("untraced job");
+    let addr = daemon.metrics_addr.expect("http listener");
+    let got = http_get(addr, &format!("/trace/{}", traced.job_id));
+    assert!(got.starts_with("HTTP/1.1 200 OK"), "{got}");
+    assert!(got.contains("traceEvents"), "{got}");
+    // Untraced runs retain nothing; unknown ids 404 likewise.
+    let missing = http_get(addr, &format!("/trace/{}", plain.job_id));
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    let bogus = http_get(addr, "/trace/not-a-job-id");
+    assert!(bogus.starts_with("HTTP/1.1 404"), "{bogus}");
 }
 
 #[test]
