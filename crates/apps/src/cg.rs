@@ -42,6 +42,16 @@ impl Params {
             tol: 1e-10,
         }
     }
+
+    /// Large scale: big enough that kernel wall time dominates the
+    /// executor's per-instruction overhead, small enough for CI.
+    pub fn large() -> Params {
+        Params {
+            n: 512,
+            iters: 40,
+            tol: 1e-10,
+        }
+    }
 }
 
 /// Build the CG benchmark script.

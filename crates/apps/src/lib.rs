@@ -59,6 +59,18 @@ pub fn test_apps() -> Vec<App> {
     ]
 }
 
+/// All four applications at large scale — between test and paper:
+/// big enough that kernel wall time dominates per-instruction
+/// dispatch, small enough for a CI wall-time gate.
+pub fn large_apps() -> Vec<App> {
+    vec![
+        cg::conjugate_gradient(cg::Params::large()),
+        ocean::ocean_engineering(ocean::Params::large()),
+        nbody::n_body(nbody::Params::large()),
+        transitive::transitive_closure(transitive::Params::large()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

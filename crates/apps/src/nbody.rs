@@ -36,6 +36,11 @@ impl Params {
     pub fn test() -> Params {
         Params { n: 200, steps: 20 }
     }
+
+    /// Large scale: long particle vectors over more steps.
+    pub fn large() -> Params {
+        Params { n: 2000, steps: 50 }
+    }
 }
 
 /// Build the n-body benchmark script.

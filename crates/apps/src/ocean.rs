@@ -36,6 +36,11 @@ impl Params {
     pub fn test() -> Params {
         Params { nt: 256, nz: 8 }
     }
+
+    /// Large scale: O(n) vector kernels over a long time series.
+    pub fn large() -> Params {
+        Params { nt: 4096, nz: 32 }
+    }
 }
 
 /// Build the ocean-engineering benchmark script.

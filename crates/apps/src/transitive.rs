@@ -34,6 +34,12 @@ impl Params {
     pub fn test() -> Params {
         Params { n: 48 }
     }
+
+    /// Large scale: matmul-bound (log₂ n squarings of an n × n
+    /// matrix), sized so kernel time dominates dispatch overhead.
+    pub fn large() -> Params {
+        Params { n: 192 }
+    }
 }
 
 /// Build the transitive-closure benchmark script.

@@ -11,8 +11,10 @@
 //!   These are what [`check`] gates regressions on: a committed
 //!   baseline stays valid across hosts and CI runners.
 //! * **Host wall-clock statistics** — median/min/max/IQR over the
-//!   measured repetitions — informational only, never gated (they vary
-//!   with the machine and its load).
+//!   measured repetitions. These vary with the machine and its load,
+//!   so [`check`] never gates them; the opt-in [`check_wall`] gate
+//!   compares medians under a noise tolerance (percentage plus the
+//!   baseline's own IQR) for same-host runs such as CI wall gates.
 //!
 //! Reports round-trip through the hand-rolled [`Json`] tree under the
 //! `otter-bench/v1` schema, so `harness bench --check baseline.json`
@@ -83,14 +85,21 @@ impl WallStats {
         } else {
             (s[n / 2 - 1] + s[n / 2]) / 2.0
         };
-        // Nearest-rank quartiles: stable for the small K a bench uses.
-        let q1 = s[(n - 1) / 4];
-        let q3 = s[(3 * (n - 1)) / 4];
+        // Nearest-rank quartiles degenerate below four samples: both
+        // rank formulas land on interior (or identical) elements and
+        // report a zero IQR for genuinely dispersed data. Clamp small
+        // samples to the conservative full range instead — one sample
+        // has no dispersion at all, so it stays zero.
+        let iqr = match n {
+            1 => 0.0,
+            2 | 3 => s[n - 1] - s[0],
+            _ => s[(3 * (n - 1)) / 4] - s[(n - 1) / 4],
+        };
         WallStats {
             median,
             min: s[0],
             max: s[n - 1],
-            iqr: q3 - q1,
+            iqr,
         }
     }
 }
@@ -203,6 +212,7 @@ pub fn run_bench(spec: &BenchSpec) -> Result<BenchReport, OtterError> {
         scale: match spec.scale {
             Scale::Paper => "paper".to_string(),
             Scale::Test => "test".to_string(),
+            Scale::Large => "large".to_string(),
         },
         machine: machine.name,
         repeat,
@@ -343,7 +353,7 @@ pub struct Regression {
     pub engine: String,
     pub ranks: usize,
     /// Which gated quantity regressed (`modeled_seconds`, `messages`,
-    /// `bytes`, or `missing`).
+    /// `bytes`, `wall_seconds`, or `missing`).
     pub what: String,
     pub baseline: f64,
     pub current: f64,
@@ -403,6 +413,46 @@ pub fn check(baseline: &BenchReport, current: &BenchReport, tolerance_pct: f64) 
     regressions
 }
 
+/// Opt-in wall-clock gate: for every combination present in both
+/// reports, the current `wall_seconds` median must not exceed the
+/// baseline median by more than `wall_tolerance_pct` percent *plus*
+/// the baseline's IQR. The additive IQR term is the noise tolerance —
+/// a run whose median moved less than the baseline's own dispersion is
+/// indistinguishable from load jitter and must not fail a gate.
+///
+/// Only meaningful when baseline and current ran on comparable hosts
+/// (e.g. the same CI runner class); [`check`] deliberately excludes
+/// wall time for that reason. Combinations missing from `current` are
+/// flagged by [`check`], not here.
+pub fn check_wall(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    wall_tolerance_pct: f64,
+) -> Vec<Regression> {
+    let allowed = 1.0 + wall_tolerance_pct / 100.0;
+    let mut regressions = Vec::new();
+    for b in &baseline.results {
+        let Some(c) = current
+            .results
+            .iter()
+            .find(|c| c.app == b.app && c.engine == b.engine && c.ranks == b.ranks)
+        else {
+            continue;
+        };
+        if c.wall.median > b.wall.median * allowed + b.wall.iqr {
+            regressions.push(Regression {
+                app: b.app.clone(),
+                engine: b.engine.clone(),
+                ranks: b.ranks,
+                what: "wall_seconds".to_string(),
+                baseline: b.wall.median,
+                current: c.wall.median,
+            });
+        }
+    }
+    regressions
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +466,26 @@ mod tests {
         assert_eq!(s.iqr, 2.0, "q3=4, q1=2 under nearest-rank");
         let even = WallStats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(even.median, 2.5);
+    }
+
+    #[test]
+    fn wall_stats_small_samples_do_not_degenerate() {
+        // One sample: no dispersion to report.
+        let one = WallStats::from_samples(&[7.0]);
+        assert_eq!(one.median, 7.0);
+        assert_eq!(one.iqr, 0.0);
+        // Two and three samples: nearest-rank quartiles would both
+        // land on s[0] (n=2) or report a misleading interior spread
+        // (n=3); the clamp reports the conservative full range.
+        let two = WallStats::from_samples(&[1.0, 5.0]);
+        assert_eq!(two.median, 3.0);
+        assert_eq!(two.iqr, 4.0);
+        let three = WallStats::from_samples(&[1.0, 2.0, 9.0]);
+        assert_eq!(three.median, 2.0);
+        assert_eq!(three.iqr, 8.0);
+        // Four samples: back on nearest-rank (q1 = s[0], q3 = s[2]).
+        let four = WallStats::from_samples(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(four.iqr, 2.0);
     }
 
     fn tiny_report(modeled: f64, messages: u64) -> BenchReport {
@@ -480,5 +550,37 @@ mod tests {
     fn faster_is_never_a_regression() {
         let base = tiny_report(1.0, 100);
         assert!(check(&base, &tiny_report(0.2, 10), 0.0).is_empty());
+    }
+
+    fn with_wall(median: f64, iqr: f64) -> BenchReport {
+        let mut r = tiny_report(1.0, 100);
+        r.results[0].wall.median = median;
+        r.results[0].wall.iqr = iqr;
+        r
+    }
+
+    #[test]
+    fn wall_gate_tolerates_noise_but_catches_regressions() {
+        let base = with_wall(0.100, 0.010);
+        // Within pct tolerance + baseline IQR: jitter, not regression.
+        assert!(check_wall(&base, &with_wall(0.115, 0.0), 10.0).is_empty());
+        // Faster is never a regression.
+        assert!(check_wall(&base, &with_wall(0.020, 0.0), 0.0).is_empty());
+        // Past tolerance + IQR: flagged, against the wall median.
+        let slow = check_wall(&base, &with_wall(0.200, 0.0), 10.0);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].what, "wall_seconds");
+        assert_eq!(slow[0].baseline, 0.100);
+        assert_eq!(slow[0].current, 0.200);
+    }
+
+    #[test]
+    fn wall_gate_skips_missing_combinations() {
+        // `check` owns missing-combination reporting; the wall gate
+        // must not double-flag.
+        let base = with_wall(0.1, 0.0);
+        let mut cur = with_wall(0.1, 0.0);
+        cur.results[0].ranks = 8;
+        assert!(check_wall(&base, &cur, 10.0).is_empty());
     }
 }

@@ -33,9 +33,12 @@
 //!                                # and re-run the deadlock-cycle diagnosis
 //!                                # offline, from the bundle alone
 //! harness bench <app|all> [--ranks N[,N...]] [--workers W] [--repeat K]
-//!               [--warmup W] [--json out.json] [--check baseline.json]
-//!               [--tolerance PCT]
+//!               [--warmup W] [--scale test|large|paper] [--json out.json]
+//!               [--check baseline.json] [--tolerance PCT]
+//!               [--wall-tolerance PCT]
 //!                                # statistical bench + regression gate
+//!                                # (--wall-tolerance also gates wall
+//!                                # medians, same-host baselines only)
 //! harness scale <app> [--ranks N[,N...]] [--workers W] [--json out.json]
 //!                                # virtual-rank sweep far past the paper's
 //!                                # 16 CPUs (default 64,256,1024,4096) on a
@@ -375,6 +378,7 @@ fn scale_note(scale: Scale) -> &'static str {
     match scale {
         Scale::Paper => "paper-scale problems",
         Scale::Test => "test-scale problems (pass --paper for full size)",
+        Scale::Large => "large-scale problems (kernel-bound, CI wall gate)",
     }
 }
 
@@ -830,27 +834,51 @@ fn run_postmortem(args: &[String]) {
 }
 
 /// `harness bench <app|all> [--ranks N] [--repeat K] [--warmup W]
-/// [--json out.json] [--check baseline.json] [--tolerance PCT]`:
+/// [--scale test|large|paper] [--json out.json] [--check baseline.json]
+/// [--tolerance PCT] [--wall-tolerance PCT]`:
 /// run the statistical bench (all three engines per app, K measured
 /// repetitions after W warmups), print the summary table, optionally
-/// export `otter-bench/v1` JSON, and optionally gate the deterministic
-/// outputs against a baseline report — exiting 1 on any regression.
+/// export `otter-bench/v1` JSON, and optionally gate against a
+/// baseline report — exiting 1 on any regression. The deterministic
+/// outputs are always gated; `--wall-tolerance` additionally gates
+/// `wall_seconds` medians under its percentage plus the baseline's
+/// IQR (same-host baselines only — wall time is machine-dependent).
 fn run_bench_cmd(args: &[String]) {
-    use otter_bench::bench::{check, run_bench, BenchReport, BenchSpec};
+    use otter_bench::bench::{check, check_wall, run_bench, BenchReport, BenchSpec};
     use otter_metrics::Json;
 
     let argspec = ArgSpec {
         cmd: "bench",
         usage: "harness bench <cg|ocean|nbody|tc|all> [--ranks N[,N...]] [--workers W] \
-                [--repeat K] [--warmup W] [--json out.json] [--check baseline.json] \
-                [--tolerance PCT] [--paper]",
-        value_flags: &["--repeat", "--warmup", "--json", "--check", "--tolerance"],
+                [--repeat K] [--warmup W] [--scale test|large|paper] [--json out.json] \
+                [--check baseline.json] [--tolerance PCT] [--wall-tolerance PCT] [--paper]",
+        value_flags: &[
+            "--repeat",
+            "--warmup",
+            "--scale",
+            "--json",
+            "--check",
+            "--tolerance",
+            "--wall-tolerance",
+        ],
         switches: &[],
         positionals: 1,
     };
     let pa = parse_or_exit(args, &argspec);
+    // `--scale` names the size directly; the shared `--paper` switch
+    // stays as the back-compatible spelling of `--scale paper`.
+    let scale = flag_or_exit(
+        pa.parse_with("--scale", "test|large|paper", |v| match v {
+            "test" => Some(Scale::Test),
+            "large" => Some(Scale::Large),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }),
+        &argspec,
+    )
+    .unwrap_or_else(|| scale_of(&pa));
     let mut spec = BenchSpec {
-        scale: scale_of(&pa),
+        scale,
         ..BenchSpec::default()
     };
     if let Some(ranks) = flag_or_exit(pa.ranks_list(), &argspec) {
@@ -869,6 +897,7 @@ fn run_bench_cmd(args: &[String]) {
     let json_path = pa.get("--json").map(str::to_string);
     let check_path = pa.get("--check").map(str::to_string);
     let tolerance = flag_or_exit(pa.rate("--tolerance"), &argspec).unwrap_or(10.0);
+    let wall_tolerance = flag_or_exit(pa.rate("--wall-tolerance"), &argspec);
 
     let report = run_bench(&spec).unwrap_or_else(|e| {
         eprintln!("harness bench: {e}");
@@ -908,11 +937,18 @@ fn run_bench_cmd(args: &[String]) {
             );
             std::process::exit(1);
         }
-        let regressions = check(&baseline, &report, tolerance);
+        let mut regressions = check(&baseline, &report, tolerance);
+        if let Some(wt) = wall_tolerance {
+            regressions.extend(check_wall(&baseline, &report, wt));
+        }
         println!();
         if regressions.is_empty() {
+            let wall_note = match wall_tolerance {
+                Some(wt) => format!(", wall tolerance {wt}% + baseline IQR"),
+                None => String::new(),
+            };
             println!(
-                "regression check against {path}: OK ({} combination(s), tolerance {tolerance}%)",
+                "regression check against {path}: OK ({} combination(s), tolerance {tolerance}%{wall_note})",
                 baseline.results.len()
             );
         } else {
@@ -1188,6 +1224,7 @@ fn run_memory(scale: Scale) {
     let n = match scale {
         Scale::Paper => 2048,
         Scale::Test => 256,
+        Scale::Large => 512,
     };
     let app = otter_apps::cg::conjugate_gradient(otter_apps::cg::Params {
         n,
@@ -1282,6 +1319,7 @@ fn run_ablations(scale: Scale) {
     let sizes: &[usize] = match scale {
         Scale::Paper => &[128, 256, 512, 1024, 2048],
         Scale::Test => &[32, 64, 128, 256],
+        Scale::Large => &[64, 128, 256, 512],
     };
     let pts = grain_sweep(&meiko_cs2(), 8, sizes);
     print!("{}", render_grain("Meiko CS-2", 8, &pts));

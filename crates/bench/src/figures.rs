@@ -28,6 +28,10 @@ pub enum Scale {
     Paper,
     /// Scaled-down problems for CI and debug builds.
     Test,
+    /// Between test and paper: large enough that kernel wall time
+    /// dominates dispatch overhead, so the wall-time bench gate sees
+    /// kernel wins and regressions above noise.
+    Large,
 }
 
 impl Scale {
@@ -35,6 +39,7 @@ impl Scale {
         match self {
             Scale::Paper => otter_apps::paper_apps(),
             Scale::Test => otter_apps::test_apps(),
+            Scale::Large => otter_apps::large_apps(),
         }
     }
 }

@@ -363,6 +363,7 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, OtterError> {
         scale: match spec.scale {
             Scale::Paper => "paper".to_string(),
             Scale::Test => "test".to_string(),
+            Scale::Large => "large".to_string(),
         },
         machine: spec.machine.clone(),
         repeat: requests,

@@ -1,0 +1,529 @@
+//! Loop fusion over IR loop nests.
+//!
+//! The peephole pass (pass 6) collapses *calls*; this pass collapses
+//! *loops*: a producer whose only consumer is the next instruction in
+//! the same block fuses into one instruction, eliminating the
+//! full-matrix temporary between them (and the `Free` the frees pass
+//! inserted for it). Three producer→consumer shapes fuse:
+//!
+//! 1. **ElemWise → ElemWise** — the producer's expression substitutes
+//!    into the consumer's `Mat(tmp)` leaves: two element loops become
+//!    one, with no temporary at all.
+//! 2. **MatMul/MatVec → ElemWise** — the element-wise epilogue applies
+//!    in place over the product buffer ([`Instr::MatMulEw`] /
+//!    [`Instr::MatVecEw`]).
+//! 3. **ElemWise → Reduce** — the reduction folds the producer's
+//!    expression on the fly ([`Instr::ReduceEw`]); no temporary is
+//!    materialized. Only allreduce-backed reductions fuse (`Trapz`
+//!    needs a halo exchange over the materialized vector; `any`/`all`
+//!    quantize through 0/1 first).
+//!
+//! Legality is deliberately strict: the temporary must be
+//! compiler-generated (an `ML_tmp*` or an SSA rename containing
+//! `"__"`), every read of it program-wide must sit inside the adjacent
+//! consumer, and it must not escape as a function output. Producer and
+//! consumer are adjacent, so fusing never reorders reads or writes —
+//! results are bit-identical with fusion on or off. The pass runs
+//! after `frees` (so the temporary's `Free` exists to consume) and
+//! iterates to a fixed point so chains fuse end-to-end.
+
+use otter_ir::*;
+use std::collections::HashMap;
+
+/// What one fusion run rewrote (exposed for the ablation bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// ElemWise → ElemWise substitutions (two loops → one).
+    pub elemwise_chains: usize,
+    /// MatMul → ElemWise epilogues.
+    pub matmul_epilogues: usize,
+    /// MatVec → ElemWise epilogues.
+    pub matvec_epilogues: usize,
+    /// ElemWise → Reduce on-the-fly folds.
+    pub reduce_epilogues: usize,
+    /// Full-matrix temporaries no longer materialized.
+    pub temps_eliminated: usize,
+    /// `Free` instructions consumed along with their temporaries.
+    pub frees_consumed: usize,
+}
+
+impl FusionStats {
+    pub fn fused(&self) -> usize {
+        self.elemwise_chains + self.matmul_epilogues + self.matvec_epilogues + self.reduce_epilogues
+    }
+}
+
+/// Fuse a program in place; returns what was rewritten.
+pub fn fuse(p: &mut IrProgram) -> FusionStats {
+    let mut stats = FusionStats::default();
+    // One site per iteration: every rewrite invalidates the read
+    // counts, so recount from scratch (programs are small).
+    loop {
+        let counts = read_counts(p);
+        let mut fused = fuse_one(&mut p.main, &[], &counts, &mut stats);
+        if !fused {
+            for f in p.functions.values_mut() {
+                let outs: Vec<String> = f.outs.iter().map(|(n, _)| n.clone()).collect();
+                if fuse_one(&mut f.body, &outs, &counts, &mut stats) {
+                    fused = true;
+                    break;
+                }
+            }
+        }
+        if !fused {
+            return stats;
+        }
+    }
+}
+
+/// A temporary the compiler made up (never a user variable).
+fn eligible(name: &str) -> bool {
+    name.starts_with("ML_tmp") || name.contains("__")
+}
+
+/// Read occurrences of every name across the whole program
+/// (`Instr::reads` recurses into nested blocks; `Free` is not a read).
+fn read_counts(p: &IrProgram) -> HashMap<String, usize> {
+    let mut reads = Vec::new();
+    for i in &p.main {
+        i.reads(&mut reads);
+    }
+    for f in p.functions.values() {
+        for i in &f.body {
+            i.reads(&mut reads);
+        }
+    }
+    let mut counts = HashMap::new();
+    for r in reads {
+        *counts.entry(r).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Occurrences of `Mat(name)` in an element-wise expression.
+fn mat_uses(expr: &EwExpr, name: &str) -> usize {
+    let mut mats = Vec::new();
+    expr.mat_operands(&mut mats);
+    mats.iter().filter(|m| m.as_str() == name).count()
+}
+
+/// Replace every `Mat(name)` leaf with a copy of `sub`.
+fn substitute(expr: &EwExpr, name: &str, sub: &EwExpr) -> EwExpr {
+    match expr {
+        EwExpr::Mat(m) if m == name => sub.clone(),
+        EwExpr::Mat(_) | EwExpr::Scalar(_) => expr.clone(),
+        EwExpr::Neg(x) => EwExpr::Neg(Box::new(substitute(x, name, sub))),
+        EwExpr::Not(x) => EwExpr::Not(Box::new(substitute(x, name, sub))),
+        EwExpr::Bin(op, a, b) => EwExpr::Bin(
+            *op,
+            Box::new(substitute(a, name, sub)),
+            Box::new(substitute(b, name, sub)),
+        ),
+        EwExpr::Call(f, args) => {
+            EwExpr::Call(*f, args.iter().map(|a| substitute(a, name, sub)).collect())
+        }
+    }
+}
+
+/// Every program-wide read of `t` sits inside the adjacent consumer,
+/// and `t` never escapes the block (function output).
+fn dead_after(
+    t: &str,
+    uses_in_consumer: usize,
+    counts: &HashMap<String, usize>,
+    live_out: &[String],
+) -> bool {
+    eligible(t)
+        && uses_in_consumer > 0
+        && !live_out.iter().any(|n| n == t)
+        && counts.get(t) == Some(&uses_in_consumer)
+}
+
+/// Reductions that fold through one allreduce of a running scalar.
+fn fusible_reduction(op: RedOp) -> bool {
+    matches!(
+        op,
+        RedOp::SumAll
+            | RedOp::MeanAll
+            | RedOp::MaxAll
+            | RedOp::MinAll
+            | RedOp::ProdAll
+            | RedOp::Norm2
+    )
+}
+
+/// Find one fusion site (left to right, outer before nested) and apply
+/// it. Returns whether anything changed.
+fn fuse_one(
+    block: &mut Vec<Instr>,
+    live_out: &[String],
+    counts: &HashMap<String, usize>,
+    stats: &mut FusionStats,
+) -> bool {
+    let mut i = 0;
+    while i < block.len() {
+        if i + 1 < block.len() {
+            if let Some((fused, tmp)) = try_pair(&block[i], &block[i + 1], counts, live_out, stats)
+            {
+                block[i] = fused;
+                block.remove(i + 1);
+                // Consume the temporary's Free (present for ML_tmp*;
+                // SSA renames never got one).
+                if matches!(block.get(i + 1), Some(Instr::Free { name }) if *name == tmp) {
+                    block.remove(i + 1);
+                    stats.frees_consumed += 1;
+                }
+                stats.temps_eliminated += 1;
+                return true;
+            }
+        }
+        // Recurse into nested blocks.
+        let nested = match &mut block[i] {
+            Instr::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                fuse_one(then_body, live_out, counts, stats)
+                    || fuse_one(else_body, live_out, counts, stats)
+            }
+            Instr::While { pre, body, .. } => {
+                // Global read counts already include the condition's
+                // reads, so no extra liveness threading is needed.
+                fuse_one(pre, live_out, counts, stats) || fuse_one(body, live_out, counts, stats)
+            }
+            Instr::For { body, .. } => fuse_one(body, live_out, counts, stats),
+            _ => false,
+        };
+        if nested {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Try the three producer→consumer shapes on one adjacent pair.
+/// Returns the fused instruction and the eliminated temporary's name.
+fn try_pair(
+    producer: &Instr,
+    consumer: &Instr,
+    counts: &HashMap<String, usize>,
+    live_out: &[String],
+    stats: &mut FusionStats,
+) -> Option<(Instr, String)> {
+    match (producer, consumer) {
+        // 1. ElemWise → ElemWise: substitute, two loops become one.
+        (Instr::ElemWise { dst: t, expr: e1 }, Instr::ElemWise { dst, expr: e2 })
+            if dead_after(t, mat_uses(e2, t), counts, live_out) =>
+        {
+            stats.elemwise_chains += 1;
+            Some((
+                Instr::ElemWise {
+                    dst: dst.clone(),
+                    expr: substitute(e2, t, e1),
+                },
+                t.clone(),
+            ))
+        }
+        // 2. MatMul/MatVec → ElemWise: epilogue over the product.
+        (Instr::MatMul { dst: t, a, b }, Instr::ElemWise { dst, expr })
+            if dead_after(t, mat_uses(expr, t), counts, live_out) =>
+        {
+            stats.matmul_epilogues += 1;
+            Some((
+                Instr::MatMulEw {
+                    dst: dst.clone(),
+                    a: a.clone(),
+                    b: b.clone(),
+                    tmp: t.clone(),
+                    expr: expr.clone(),
+                },
+                t.clone(),
+            ))
+        }
+        (Instr::MatVec { dst: t, a, x }, Instr::ElemWise { dst, expr })
+            if dead_after(t, mat_uses(expr, t), counts, live_out) =>
+        {
+            stats.matvec_epilogues += 1;
+            Some((
+                Instr::MatVecEw {
+                    dst: dst.clone(),
+                    a: a.clone(),
+                    x: x.clone(),
+                    tmp: t.clone(),
+                    expr: expr.clone(),
+                },
+                t.clone(),
+            ))
+        }
+        // 3. ElemWise → Reduce: fold the expression on the fly.
+        (Instr::ElemWise { dst: t, expr }, Instr::Reduce { dst, op, m })
+            if m == t && fusible_reduction(*op) && dead_after(t, 1, counts, live_out) =>
+        {
+            stats.reduce_epilogues += 1;
+            Some((
+                Instr::ReduceEw {
+                    dst: dst.clone(),
+                    op: *op,
+                    tmp: t.clone(),
+                    expr: expr.clone(),
+                },
+                t.clone(),
+            ))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(main: Vec<Instr>) -> IrProgram {
+        IrProgram {
+            main,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn matmul_epilogue_fuses_and_consumes_free() {
+        // tc kernel shape: c__1 = c*c; c = c__1 > 0 (SSA rename, no Free).
+        let mut p = prog(vec![
+            Instr::MatMul {
+                dst: "ML_tmp1".into(),
+                a: "c".into(),
+                b: "c".into(),
+            },
+            Instr::ElemWise {
+                dst: "c".into(),
+                expr: EwExpr::bin(
+                    EwOp::Gt,
+                    EwExpr::mat("ML_tmp1"),
+                    EwExpr::Scalar(SExpr::c(0.0)),
+                ),
+            },
+            Instr::Free {
+                name: "ML_tmp1".into(),
+            },
+        ]);
+        let stats = fuse(&mut p);
+        assert_eq!(stats.matmul_epilogues, 1);
+        assert_eq!(stats.frees_consumed, 1);
+        assert_eq!(p.main.len(), 1);
+        assert!(matches!(&p.main[0], Instr::MatMulEw { dst, tmp, .. }
+                if dst == "c" && tmp == "ML_tmp1"));
+    }
+
+    #[test]
+    fn matvec_epilogue_fuses() {
+        // cg residual: ML_tmp1 = A*x; r = b - ML_tmp1.
+        let mut p = prog(vec![
+            Instr::MatVec {
+                dst: "ML_tmp1".into(),
+                a: "A".into(),
+                x: "x".into(),
+            },
+            Instr::ElemWise {
+                dst: "r".into(),
+                expr: EwExpr::bin(EwOp::Sub, EwExpr::mat("b"), EwExpr::mat("ML_tmp1")),
+            },
+            Instr::Free {
+                name: "ML_tmp1".into(),
+            },
+        ]);
+        let stats = fuse(&mut p);
+        assert_eq!(stats.matvec_epilogues, 1);
+        assert_eq!(p.main.len(), 1);
+    }
+
+    #[test]
+    fn reduce_epilogue_fuses_norm2() {
+        let mut p = prog(vec![
+            Instr::ElemWise {
+                dst: "ML_tmp2".into(),
+                expr: EwExpr::bin(EwOp::Sub, EwExpr::mat("x"), EwExpr::mat("y")),
+            },
+            Instr::Reduce {
+                dst: "d".into(),
+                op: RedOp::Norm2,
+                m: "ML_tmp2".into(),
+            },
+            Instr::Free {
+                name: "ML_tmp2".into(),
+            },
+        ]);
+        let stats = fuse(&mut p);
+        assert_eq!(stats.reduce_epilogues, 1);
+        assert_eq!(p.main.len(), 1);
+        assert!(matches!(
+            &p.main[0],
+            Instr::ReduceEw {
+                op: RedOp::Norm2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn elemwise_chain_substitutes() {
+        let mut p = prog(vec![
+            Instr::ElemWise {
+                dst: "ML_tmp1".into(),
+                expr: EwExpr::bin(EwOp::Add, EwExpr::mat("a"), EwExpr::mat("b")),
+            },
+            Instr::ElemWise {
+                dst: "c".into(),
+                expr: EwExpr::bin(EwOp::Mul, EwExpr::mat("ML_tmp1"), EwExpr::mat("d")),
+            },
+            Instr::Free {
+                name: "ML_tmp1".into(),
+            },
+        ]);
+        let stats = fuse(&mut p);
+        assert_eq!(stats.elemwise_chains, 1);
+        assert_eq!(p.main.len(), 1);
+        let Instr::ElemWise { expr, .. } = &p.main[0] else {
+            panic!("expected one fused elemwise: {:?}", p.main)
+        };
+        assert_eq!(mat_uses(expr, "a"), 1);
+        assert_eq!(mat_uses(expr, "ML_tmp1"), 0);
+    }
+
+    #[test]
+    fn chains_fuse_to_a_fixed_point() {
+        // t1 = a + b; t2 = t1 * t1; s = sum(t2) → one ReduceEw.
+        let mut p = prog(vec![
+            Instr::ElemWise {
+                dst: "ML_tmp1".into(),
+                expr: EwExpr::bin(EwOp::Add, EwExpr::mat("a"), EwExpr::mat("b")),
+            },
+            Instr::ElemWise {
+                dst: "ML_tmp2".into(),
+                expr: EwExpr::bin(EwOp::Mul, EwExpr::mat("ML_tmp1"), EwExpr::mat("ML_tmp1")),
+            },
+            Instr::Reduce {
+                dst: "s".into(),
+                op: RedOp::SumAll,
+                m: "ML_tmp2".into(),
+            },
+            Instr::Free {
+                name: "ML_tmp2".into(),
+            },
+        ]);
+        let stats = fuse(&mut p);
+        assert_eq!(stats.elemwise_chains, 1);
+        assert_eq!(stats.reduce_epilogues, 1);
+        assert_eq!(p.main.len(), 1);
+        assert!(matches!(&p.main[0], Instr::ReduceEw { .. }));
+    }
+
+    #[test]
+    fn user_variables_never_fuse() {
+        let mut p = prog(vec![
+            Instr::MatMul {
+                dst: "u".into(),
+                a: "a".into(),
+                b: "b".into(),
+            },
+            Instr::ElemWise {
+                dst: "v".into(),
+                expr: EwExpr::bin(EwOp::Gt, EwExpr::mat("u"), EwExpr::Scalar(SExpr::c(0.0))),
+            },
+        ]);
+        assert_eq!(fuse(&mut p).fused(), 0);
+    }
+
+    #[test]
+    fn temp_with_later_reader_stays() {
+        let mut p = prog(vec![
+            Instr::MatMul {
+                dst: "ML_tmp1".into(),
+                a: "a".into(),
+                b: "b".into(),
+            },
+            Instr::ElemWise {
+                dst: "c".into(),
+                expr: EwExpr::bin(
+                    EwOp::Gt,
+                    EwExpr::mat("ML_tmp1"),
+                    EwExpr::Scalar(SExpr::c(0.0)),
+                ),
+            },
+            Instr::Reduce {
+                dst: "s".into(),
+                op: RedOp::SumAll,
+                m: "ML_tmp1".into(),
+            },
+        ]);
+        assert_eq!(fuse(&mut p).fused(), 0);
+    }
+
+    #[test]
+    fn halo_reductions_do_not_fuse() {
+        let mut p = prog(vec![
+            Instr::ElemWise {
+                dst: "ML_tmp1".into(),
+                expr: EwExpr::bin(EwOp::Mul, EwExpr::mat("x"), EwExpr::mat("x")),
+            },
+            Instr::Reduce {
+                dst: "s".into(),
+                op: RedOp::Trapz,
+                m: "ML_tmp1".into(),
+            },
+        ]);
+        assert_eq!(fuse(&mut p).fused(), 0);
+    }
+
+    #[test]
+    fn fuses_inside_loops() {
+        let mut p = prog(vec![Instr::While {
+            pre: vec![],
+            cond: SExpr::bin(SBinOp::Gt, SExpr::var("d"), SExpr::c(0.5)),
+            body: vec![
+                Instr::MatVec {
+                    dst: "ML_tmp1".into(),
+                    a: "A".into(),
+                    x: "x".into(),
+                },
+                Instr::ElemWise {
+                    dst: "r".into(),
+                    expr: EwExpr::bin(EwOp::Sub, EwExpr::mat("b"), EwExpr::mat("ML_tmp1")),
+                },
+                Instr::Free {
+                    name: "ML_tmp1".into(),
+                },
+            ],
+        }]);
+        let stats = fuse(&mut p);
+        assert_eq!(stats.matvec_epilogues, 1);
+        let Instr::While { body, .. } = &p.main[0] else {
+            panic!()
+        };
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn multiple_consumer_occurrences_fuse() {
+        // d = t .* t where t is the product: both leaves read the
+        // product buffer before each element is overwritten.
+        let mut p = prog(vec![
+            Instr::MatMul {
+                dst: "ML_tmp1".into(),
+                a: "a".into(),
+                b: "b".into(),
+            },
+            Instr::ElemWise {
+                dst: "d".into(),
+                expr: EwExpr::bin(EwOp::Mul, EwExpr::mat("ML_tmp1"), EwExpr::mat("ML_tmp1")),
+            },
+            Instr::Free {
+                name: "ML_tmp1".into(),
+            },
+        ]);
+        let stats = fuse(&mut p);
+        assert_eq!(stats.matmul_epilogues, 1);
+        assert_eq!(p.main.len(), 1);
+    }
+}

@@ -16,11 +16,13 @@
 pub mod c_emit;
 pub mod error;
 pub mod frees;
+pub mod fusion;
 pub mod lower;
 pub mod peephole;
 
 pub use c_emit::emit_c;
 pub use error::CodegenError;
 pub use frees::insert_frees;
+pub use fusion::{fuse, FusionStats};
 pub use lower::lower;
 pub use peephole::peephole;

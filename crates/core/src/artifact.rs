@@ -198,9 +198,13 @@ pub fn compile_managed(
 ) -> Result<(CompiledArtifact, Vec<PassDump>)> {
     let empty = otter_frontend::MapProvider::new();
     let provider = opts.m_files.as_ref().unwrap_or(&empty);
+    let mut disabled_passes = opts.disabled_passes.clone();
+    if !opts.fusion && !disabled_passes.iter().any(|p| p == "fusion") {
+        disabled_passes.push("fusion".to_string());
+    }
     let copts = CompileOptions {
         data_dir: opts.data_dir.clone(),
-        disabled_passes: opts.disabled_passes.clone(),
+        disabled_passes,
         lint: opts.lint,
     };
     let report = pm.compile(src, provider, &copts)?;
@@ -318,9 +322,16 @@ pub fn try_run(
     let opts = artifact.options();
     let compiled = artifact.compiled();
     let ir = compiled.ir.clone();
+    // Hybrid ranks × threads: split the worker budget across the
+    // logical ranks, at least one kernel thread each.
+    let budget = req.workers.or(opts.workers).unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
     let exec_opts = ExecOptions {
         data_dir: compiled.data_dir.clone(),
         analyze: opts.analyze,
+        tile_size: opts.tile_size,
+        threads: (budget / req.ranks.max(1)).max(1),
         ..Default::default()
     };
     let job_id = req.job_id.unwrap_or_else(JobId::mint);

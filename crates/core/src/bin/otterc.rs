@@ -13,6 +13,7 @@
 //!                                      # fixed worker pool
 //! otterc script.m --run --trace       # per-rank timeline + critical path
 //! otterc script.m --no-peephole ...   # disable pass 6
+//! otterc script.m --no-fusion ...     # disable the loop-fusion pass
 //! otterc script.m --timing            # per-pass wall time + sizes
 //! otterc script.m --dump-after=rewrite  # print the IR after pass 4
 //! otterc script.m --lint              # print SPMD lint warnings
@@ -44,6 +45,7 @@ struct Args {
     workers: Option<usize>,
     machine: Machine,
     no_peephole: bool,
+    no_fusion: bool,
     timing: bool,
     trace: bool,
     dump_after: Option<String>,
@@ -63,7 +65,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: otterc <script.m> [-o out.c] [--emit c|ir|ast] [--run] \
          [-p N] [--workers W] [--machine meiko|cluster|smp|workstation] \
-         [--no-peephole] [--timing] [--trace] [--dump-after=<pass>|all] \
+         [--no-peephole] [--no-fusion] [--timing] [--trace] [--dump-after=<pass>|all] \
          [--lint[=deny]] [--analyze]"
     );
     exit(2)
@@ -78,6 +80,7 @@ fn parse_args() -> Args {
     let mut workers = None;
     let mut machine = meiko_cs2();
     let mut no_peephole = false;
+    let mut no_fusion = false;
     let mut timing = false;
     let mut trace = false;
     let mut dump_after = None;
@@ -120,6 +123,7 @@ fn parse_args() -> Args {
                 }
             }
             "--no-peephole" => no_peephole = true,
+            "--no-fusion" => no_fusion = true,
             "--timing" => timing = true,
             "--trace" => trace = true,
             "--lint" => lint = true,
@@ -148,6 +152,7 @@ fn parse_args() -> Args {
         workers,
         machine,
         no_peephole,
+        no_fusion,
         timing,
         trace,
         dump_after,
@@ -290,6 +295,9 @@ fn main() {
     if args.no_peephole {
         opts = opts.without_pass("peephole");
     }
+    if args.no_fusion {
+        opts = opts.without_pass("fusion");
+    }
     if let Some(name) = &args.dump_after {
         let req = if name == "all" {
             DumpRequest::All
@@ -391,6 +399,9 @@ fn main() {
         eopts.data_dir = compiled.data_dir.clone();
         if args.no_peephole {
             eopts.disabled_passes.push("peephole".to_string());
+        }
+        if args.no_fusion {
+            eopts.fusion = false;
         }
         if args.lint_deny {
             eopts.lint = LintMode::Deny;

@@ -18,6 +18,7 @@ use crate::error::Result;
 use crate::pass::{GuardStats, PassManager};
 use otter_analysis::Inference;
 use otter_codegen::peephole::PeepholeStats;
+use otter_codegen::FusionStats;
 use otter_frontend::SourceProvider;
 use otter_ir::IrProgram;
 use otter_lint::{LintMode, LintReport};
@@ -64,6 +65,8 @@ pub struct Compiled {
     pub c_source: String,
     /// What pass 6 rewrote.
     pub peephole_stats: PeepholeStats,
+    /// What the loop-fusion pass rewrote (zeros when disabled).
+    pub fusion_stats: FusionStats,
     /// What pass 5 audited.
     pub guard_stats: GuardStats,
     /// What the lint pass found (empty when linting was disabled).

@@ -177,7 +177,7 @@ impl EngineReport {
 /// struct is `#[non_exhaustive]` so future knobs — like the trace sink
 /// added in this revision — stop being breaking struct-literal
 /// changes.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 #[non_exhaustive]
 pub struct EngineOptions {
     /// Directory `load` resolves data files against.
@@ -213,6 +213,35 @@ pub struct EngineOptions {
     /// two can be cross-validated. Off by default: analysis costs
     /// compile time and a stats snapshot per executed instruction.
     pub analyze: bool,
+    /// Run the loop-fusion pass (on by default). Fused and unfused
+    /// programs produce bit-identical results; fusion only removes
+    /// temporaries and loop passes. Equivalent to disabling the
+    /// `fusion` pass, but keyed separately so artifact caches
+    /// distinguish the two pipelines.
+    pub fusion: bool,
+    /// k-tile of the cache-blocked runtime kernels (see
+    /// [`otter_rt::kernels`]). Any tile yields bit-identical results;
+    /// the knob is baked into the artifact so cached runs honor it.
+    pub tile_size: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            data_dir: None,
+            m_files: None,
+            disabled_passes: Vec::new(),
+            collective_algo: CollectiveAlgo::default(),
+            trace: None,
+            metrics: false,
+            faults: None,
+            workers: None,
+            lint: LintMode::default(),
+            analyze: false,
+            fusion: true,
+            tile_size: otter_rt::kernels::DEFAULT_TILE,
+        }
+    }
 }
 
 impl fmt::Debug for EngineOptions {
@@ -228,6 +257,8 @@ impl fmt::Debug for EngineOptions {
             .field("workers", &self.workers)
             .field("lint", &self.lint)
             .field("analyze", &self.analyze)
+            .field("fusion", &self.fusion)
+            .field("tile_size", &self.tile_size)
             .finish()
     }
 }
@@ -304,6 +335,8 @@ impl EngineOptions {
             }
         }
         fp.tag(b'a').tag(self.analyze as u8);
+        fp.tag(b'u').tag(self.fusion as u8);
+        fp.tag(b't').u64(self.tile_size as u64);
         fp.finish()
     }
 
@@ -404,6 +437,19 @@ impl EngineOptionsBuilder {
     /// small pools let many more ranks than cores run.
     pub fn workers(mut self, n: usize) -> Self {
         self.opts.workers = Some(n);
+        self
+    }
+
+    /// Toggle the loop-fusion pass (see [`EngineOptions::fusion`]).
+    pub fn fusion(mut self, on: bool) -> Self {
+        self.opts.fusion = on;
+        self
+    }
+
+    /// k-tile for the cache-blocked runtime kernels (see
+    /// [`EngineOptions::tile_size`]).
+    pub fn tile_size(mut self, tile: usize) -> Self {
+        self.opts.tile_size = tile;
         self
     }
 

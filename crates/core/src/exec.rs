@@ -15,7 +15,7 @@ use crate::error::{OtterError, Result};
 use otter_det::DetRng;
 use otter_ir::*;
 use otter_machine::{ExecutionStyle, StyleCosts};
-use otter_mpi::{Comm, CommError};
+use otter_mpi::{Comm, CommError, ReduceOp};
 use otter_rt::{io as rtio, Dense, DistMatrix, LoadError};
 use otter_trace::EventKind;
 use std::collections::{BTreeMap, HashMap};
@@ -121,6 +121,13 @@ pub struct ExecOptions {
     /// static oracle's predictions can be cross-validated against the
     /// realized traffic.
     pub analyze: bool,
+    /// k-tile of the cache-blocked kernels this rank runs
+    /// (see [`otter_rt::kernels`]). Never changes results — the
+    /// kernels accumulate in ascending k for every tile size.
+    pub tile_size: usize,
+    /// Intra-rank kernel threads (the hybrid ranks × threads level).
+    /// Never changes results — threads split disjoint output rows.
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
@@ -129,6 +136,8 @@ impl Default for ExecOptions {
             data_dir: None,
             rand_seed: 0x07732,
             analyze: false,
+            tile_size: otter_rt::kernels::DEFAULT_TILE,
+            threads: 1,
         }
     }
 }
@@ -205,6 +214,8 @@ impl<'a> Executor<'a> {
     /// Run the whole program; returns the final script workspace.
     pub fn run(mut self) -> ExecResult<ExecOutcome> {
         otter_rt::alloc::reset();
+        // Each rank is an OS thread; give it its kernel budget.
+        otter_rt::kernels::configure(self.opts.tile_size, self.opts.threads);
         self.comm.log(
             otter_log::LogLevel::Info,
             "exec.start",
@@ -281,6 +292,23 @@ impl<'a> Executor<'a> {
             .ok_or_else(|| OtterError::execution(format!("IR variable `{name}` is not a matrix")))
     }
 
+    /// Move a matrix out of the innermost scope (for mutate-in-place
+    /// handlers that re-insert it when done — no copy of the payload).
+    fn take_mat(&mut self, name: &str) -> Result<DistMatrix> {
+        match self.env().remove(name) {
+            Some(XVal::M(m)) => Ok(m),
+            Some(v) => {
+                self.env().insert(name.to_string(), v);
+                Err(OtterError::execution(format!(
+                    "IR variable `{name}` is not a matrix"
+                )))
+            }
+            None => Err(OtterError::execution(format!(
+                "undefined IR variable `{name}`"
+            ))),
+        }
+    }
+
     fn get_scalar(&self, name: &str) -> Result<f64> {
         self.get(name)?
             .as_scalar()
@@ -335,18 +363,24 @@ impl<'a> Executor<'a> {
 
     // ---- element-wise loops ------------------------------------------------
 
-    fn exec_elemwise(&mut self, dst: &str, expr: &EwExpr) -> Result<()> {
-        // Gather operand names, check alignment, snapshot local slices.
+    /// Dedup operand names (first occurrence wins) and check that every
+    /// operand is aligned with the first. Returns the operand list.
+    fn ew_operands(&self, expr: &EwExpr, skip: Option<&str>) -> Result<Vec<String>> {
         let mut names = Vec::new();
         expr.mat_operands(&mut names);
-        let first = names
-            .first()
-            .cloned()
-            .ok_or_else(|| OtterError::execution("element-wise loop without matrix operands"))?;
-        let model = self.get_mat(&first)?.clone();
-        for n in &names {
-            let m = self.get_mat(n)?;
-            if !m.aligned_with(&model) {
+        let mut ops: Vec<String> = Vec::new();
+        for n in names {
+            if Some(n.as_str()) != skip && !ops.contains(&n) {
+                ops.push(n);
+            }
+        }
+        Ok(ops)
+    }
+
+    fn check_ew_alignment(&self, first: &str, model: &DistMatrix, others: &[String]) -> Result<()> {
+        for n in others {
+            let m = env_mat(&self.scopes, n)?;
+            if !m.aligned_with(model) {
                 return Err(OtterError::execution(format!(
                     "element-wise operands `{first}` and `{n}` are not aligned \
                      ({}x{} vs {}x{})",
@@ -357,32 +391,194 @@ impl<'a> Executor<'a> {
                 )));
             }
         }
-        let len = model.local_els();
-        let mut out = vec![0.0; len];
-        for (k, slot) in out.iter_mut().enumerate() {
-            *slot = self.eval_ew(expr, k)?;
-        }
-        self.comm.compute(len as f64 * expr.flop_weight().max(1.0));
-        let result = model.with_local(out);
-        self.env().insert(dst.to_string(), XVal::M(result));
         Ok(())
     }
 
-    fn eval_ew(&self, e: &EwExpr, k: usize) -> Result<f64> {
+    /// Compile an element-wise expression against an operand list:
+    /// scalar subtrees fold to constants once (the environment cannot
+    /// change mid-loop) and matrix leaves resolve to slice indices, so
+    /// the per-element loop does no name lookups or scalar re-evaluation.
+    /// `dst_alias` maps one matrix name to [`CEw::Dst`] — the buffer the
+    /// loop writes (in-place destination or fused product).
+    fn compile_ew(&self, e: &EwExpr, slices: &[String], dst_alias: Option<&str>) -> Result<CEw> {
         Ok(match e {
-            EwExpr::Mat(m) => self.get_mat(m)?.local()[k],
-            EwExpr::Scalar(s) => self.eval_s(s)?,
-            EwExpr::Neg(x) => -self.eval_ew(x, k)?,
-            EwExpr::Not(x) => f64::from(self.eval_ew(x, k)? == 0.0),
-            EwExpr::Bin(op, a, b) => op.eval(self.eval_ew(a, k)?, self.eval_ew(b, k)?),
-            EwExpr::Call(f, args) => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval_ew(a, k)?);
+            EwExpr::Mat(m) => {
+                if Some(m.as_str()) == dst_alias {
+                    CEw::Dst
+                } else {
+                    CEw::Slice(
+                        slices
+                            .iter()
+                            .position(|n| n == m)
+                            .expect("every matrix operand is in the slice list"),
+                    )
                 }
-                f.eval(&vals)
+            }
+            EwExpr::Scalar(s) => CEw::Const(self.eval_s(s)?),
+            EwExpr::Neg(x) => CEw::Neg(Box::new(self.compile_ew(x, slices, dst_alias)?)),
+            EwExpr::Not(x) => CEw::Not(Box::new(self.compile_ew(x, slices, dst_alias)?)),
+            EwExpr::Bin(op, a, b) => CEw::Bin(
+                *op,
+                Box::new(self.compile_ew(a, slices, dst_alias)?),
+                Box::new(self.compile_ew(b, slices, dst_alias)?),
+            ),
+            EwExpr::Call(f, args) => {
+                let mut compiled = Vec::with_capacity(args.len());
+                for a in args {
+                    compiled.push(self.compile_ew(a, slices, dst_alias)?);
+                }
+                CEw::Call(*f, compiled)
             }
         })
+    }
+
+    fn exec_elemwise(&mut self, dst: &str, expr: &EwExpr) -> Result<()> {
+        let ops = self.ew_operands(expr, None)?;
+        let first = ops
+            .first()
+            .cloned()
+            .ok_or_else(|| OtterError::execution("element-wise loop without matrix operands"))?;
+        // Reuse the destination's buffer when it is already an aligned
+        // matrix: no allocation, and reads of the old value (`Dst`
+        // leaves) happen before the write of each element.
+        let inplace = {
+            let model = env_mat(&self.scopes, &first)?;
+            self.check_ew_alignment(&first, model, &ops[1..])?;
+            matches!(self.scopes.last().unwrap().get(dst),
+                     Some(XVal::M(d)) if d.aligned_with(model))
+        };
+        let len;
+        if inplace {
+            let slice_names: Vec<String> =
+                ops.iter().filter(|n| n.as_str() != dst).cloned().collect();
+            let cew = self.compile_ew(expr, &slice_names, Some(dst))?;
+            let Some(XVal::M(mut dmat)) = self.scopes.last_mut().unwrap().remove(dst) else {
+                unreachable!("checked matrix above")
+            };
+            {
+                let scopes = &self.scopes;
+                let slices = collect_slices(scopes, &slice_names)?;
+                let buf = dmat.local_mut();
+                len = buf.len();
+                for k in 0..len {
+                    let v = ceval(&cew, &slices, buf, k);
+                    buf[k] = v;
+                }
+            }
+            self.env().insert(dst.to_string(), XVal::M(dmat));
+        } else {
+            let cew = self.compile_ew(expr, &ops, None)?;
+            let result = {
+                let model = env_mat(&self.scopes, &first)?;
+                let slices = collect_slices(&self.scopes, &ops)?;
+                len = model.local_els();
+                let mut out = vec![0.0; len];
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = ceval(&cew, &slices, &[], k);
+                }
+                model.with_local(out)
+            };
+            self.env().insert(dst.to_string(), XVal::M(result));
+        }
+        self.comm.compute(len as f64 * expr.flop_weight().max(1.0));
+        Ok(())
+    }
+
+    /// Apply a fused element-wise epilogue in place over the just-computed
+    /// product (`Mat(tmp)` leaves read the buffer being overwritten), then
+    /// bind it to `dst`. Charges exactly what the eliminated stand-alone
+    /// `ElemWise` would have charged.
+    fn exec_fused_epilogue(
+        &mut self,
+        dst: &str,
+        tmp: &str,
+        mut prod: DistMatrix,
+        expr: &EwExpr,
+    ) -> Result<()> {
+        let ops = self.ew_operands(expr, Some(tmp))?;
+        self.check_ew_alignment(tmp, &prod, &ops)?;
+        let cew = self.compile_ew(expr, &ops, Some(tmp))?;
+        let len = prod.local_els();
+        {
+            let slices = collect_slices(&self.scopes, &ops)?;
+            let buf = prod.local_mut();
+            for k in 0..len {
+                let v = ceval(&cew, &slices, buf, k);
+                buf[k] = v;
+            }
+        }
+        self.comm.compute(len as f64 * expr.flop_weight().max(1.0));
+        self.env().insert(dst.to_string(), XVal::M(prod));
+        Ok(())
+    }
+
+    /// Fused ElemWise → Reduce: evaluate the producer expression on the
+    /// fly and fold it per-element — no temporary matrix is materialized.
+    /// Charges mirror the eliminated `ElemWise` plus the exact fold and
+    /// allreduce of [`otter_rt`]'s reduction kernels.
+    fn exec_fused_reduce(&mut self, op: RedOp, expr: &EwExpr) -> ExecResult<f64> {
+        let ops = self.ew_operands(expr, None)?;
+        let first = ops
+            .first()
+            .cloned()
+            .ok_or_else(|| OtterError::execution("element-wise loop without matrix operands"))?;
+        {
+            let model = env_mat(&self.scopes, &first)?;
+            self.check_ew_alignment(&first, model, &ops[1..])?;
+        }
+        let cew = self.compile_ew(expr, &ops, None)?;
+        let (len, global_len, local) = {
+            let model = env_mat(&self.scopes, &first)?;
+            let len = model.local_els();
+            let slices = collect_slices(&self.scopes, &ops)?;
+            let each = |k: usize| ceval(&cew, &slices, &[], k);
+            let local = match op {
+                RedOp::SumAll | RedOp::MeanAll => (0..len).map(each).sum::<f64>(),
+                RedOp::MaxAll => (0..len).map(each).fold(f64::NEG_INFINITY, f64::max),
+                RedOp::MinAll => (0..len).map(each).fold(f64::INFINITY, f64::min),
+                RedOp::ProdAll => (0..len).map(each).product::<f64>(),
+                RedOp::Norm2 => (0..len).map(each).map(|x| x * x).sum::<f64>(),
+                RedOp::AnyAll | RedOp::AllAll | RedOp::Trapz => {
+                    return Err(OtterError::execution(format!(
+                        "reduction `{}` cannot be fused",
+                        op.c_name()
+                    ))
+                    .into())
+                }
+            };
+            (len, model.len(), local)
+        };
+        // The eliminated element-wise loop's charge...
+        self.comm.compute(len as f64 * expr.flop_weight().max(1.0));
+        // ...then the reduction kernel's own fold + allreduce charges.
+        let v = match op {
+            RedOp::SumAll => {
+                self.comm.compute(len as f64);
+                self.comm.allreduce_scalar(local, ReduceOp::Sum)?
+            }
+            RedOp::MeanAll => {
+                self.comm.compute(len as f64);
+                self.comm.allreduce_scalar(local, ReduceOp::Sum)? / global_len as f64
+            }
+            RedOp::MaxAll => {
+                self.comm.compute(len as f64);
+                self.comm.allreduce_scalar(local, ReduceOp::Max)?
+            }
+            RedOp::MinAll => {
+                self.comm.compute(len as f64);
+                self.comm.allreduce_scalar(local, ReduceOp::Min)?
+            }
+            RedOp::ProdAll => {
+                self.comm.compute(len as f64);
+                self.comm.allreduce_scalar(local, ReduceOp::Prod)?
+            }
+            RedOp::Norm2 => {
+                self.comm.compute(2.0 * len as f64 + 8.0);
+                self.comm.allreduce_scalar(local, ReduceOp::Sum)?.sqrt()
+            }
+            RedOp::AnyAll | RedOp::AllAll | RedOp::Trapz => unreachable!("rejected above"),
+        };
+        Ok(v)
     }
 
     // ---- instructions ---------------------------------------------------------
@@ -473,37 +669,69 @@ impl<'a> Executor<'a> {
             }
             Instr::MatMul { dst, a, b } => {
                 self.comm.compute(self.costs.op_overhead);
-                let (a, b) = (self.get_mat(a)?.clone(), self.get_mat(b)?.clone());
-                let m = a.matmul(self.comm, &b)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let m = env_mat(scopes, a)?.matmul(comm, env_mat(scopes, b)?)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::MatVec { dst, a, x } => {
                 self.comm.compute(self.costs.op_overhead);
-                let (a, x) = (self.get_mat(a)?.clone(), self.get_mat(x)?.clone());
-                let m = a.matvec(self.comm, &x)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let m = env_mat(scopes, a)?.matvec(comm, env_mat(scopes, x)?)?;
                 self.env().insert(dst.clone(), XVal::M(m));
+            }
+            Instr::MatMulEw {
+                dst,
+                a,
+                b,
+                tmp,
+                expr,
+            } => {
+                // One runtime-call overhead for the fused pair; the
+                // product and the epilogue then charge exactly what
+                // their stand-alone forms would.
+                self.comm.compute(self.costs.op_overhead);
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let prod = env_mat(scopes, a)?.matmul(comm, env_mat(scopes, b)?)?;
+                self.exec_fused_epilogue(dst, tmp, prod, expr)?;
+            }
+            Instr::MatVecEw {
+                dst,
+                a,
+                x,
+                tmp,
+                expr,
+            } => {
+                self.comm.compute(self.costs.op_overhead);
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let prod = env_mat(scopes, a)?.matvec(comm, env_mat(scopes, x)?)?;
+                self.exec_fused_epilogue(dst, tmp, prod, expr)?;
+            }
+            Instr::ReduceEw { dst, op, expr, .. } => {
+                self.comm.compute(self.costs.op_overhead);
+                let v = self.exec_fused_reduce(*op, expr)?;
+                self.env().insert(dst.clone(), XVal::S(v));
             }
             Instr::Outer { dst, u, v } => {
                 self.comm.compute(self.costs.op_overhead);
-                let (u, v) = (self.get_mat(u)?.clone(), self.get_mat(v)?.clone());
-                let m = DistMatrix::outer(self.comm, &u, &v)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let m = DistMatrix::outer(comm, env_mat(scopes, u)?, env_mat(scopes, v)?)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::Transpose { dst, a } => {
                 self.comm.compute(self.costs.op_overhead);
-                let a = self.get_mat(a)?.clone();
-                let m = a.transpose(self.comm)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let m = env_mat(scopes, a)?.transpose(comm)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::BroadcastElem { dst, m, i, j } => {
                 self.comm.compute(self.costs.op_overhead);
                 let mi = self.eval_index(i)?;
-                let mat = self.get_mat(m)?.clone();
                 let (r, c) = match j {
                     Some(j) => (mi, self.eval_index(j)?),
-                    None => linear_to_rc(&mat, mi)?,
+                    None => linear_to_rc(env_mat(&self.scopes, m)?, mi)?,
                 };
-                let v = mat.get_bcast(self.comm, r, c)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let v = env_mat(scopes, m)?.get_bcast(comm, r, c)?;
                 self.env().insert(dst.clone(), XVal::S(v));
             }
             Instr::StoreElem { m, i, j, val } => {
@@ -528,91 +756,103 @@ impl<'a> Executor<'a> {
             }
             Instr::Reduce { dst, op, m } => {
                 self.comm.compute(self.costs.op_overhead);
-                let mat = self.get_mat(m)?.clone();
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let mat = env_mat(scopes, m)?;
                 let v = match op {
-                    RedOp::SumAll => mat.sum_all(self.comm)?,
-                    RedOp::MeanAll => mat.mean_all(self.comm)?,
-                    RedOp::MaxAll => mat.max_all(self.comm)?,
-                    RedOp::MinAll => mat.min_all(self.comm)?,
-                    RedOp::ProdAll => mat.prod_all(self.comm)?,
-                    RedOp::AnyAll => mat.any_all(self.comm)?,
-                    RedOp::AllAll => mat.all_all(self.comm)?,
-                    RedOp::Norm2 => mat.norm2(self.comm)?,
-                    RedOp::Trapz => mat.trapz(self.comm)?,
+                    RedOp::SumAll => mat.sum_all(comm)?,
+                    RedOp::MeanAll => mat.mean_all(comm)?,
+                    RedOp::MaxAll => mat.max_all(comm)?,
+                    RedOp::MinAll => mat.min_all(comm)?,
+                    RedOp::ProdAll => mat.prod_all(comm)?,
+                    RedOp::AnyAll => mat.any_all(comm)?,
+                    RedOp::AllAll => mat.all_all(comm)?,
+                    RedOp::Norm2 => mat.norm2(comm)?,
+                    RedOp::Trapz => mat.trapz(comm)?,
                 };
                 self.env().insert(dst.clone(), XVal::S(v));
             }
             Instr::Dot { dst, a, b } => {
                 self.comm.compute(self.costs.op_overhead);
-                let (a, b) = (self.get_mat(a)?.clone(), self.get_mat(b)?.clone());
-                let v = a.dot(self.comm, &b)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let v = env_mat(scopes, a)?.dot(comm, env_mat(scopes, b)?)?;
                 self.env().insert(dst.clone(), XVal::S(v));
             }
             Instr::TrapzXY { dst, x, y } => {
                 self.comm.compute(self.costs.op_overhead);
-                let (x, y) = (self.get_mat(x)?.clone(), self.get_mat(y)?.clone());
-                let v = DistMatrix::trapz_xy(self.comm, &x, &y)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let v = DistMatrix::trapz_xy(comm, env_mat(scopes, x)?, env_mat(scopes, y)?)?;
                 self.env().insert(dst.clone(), XVal::S(v));
             }
             Instr::ColReduce { dst, op, m } => {
                 self.comm.compute(self.costs.op_overhead);
-                let mat = self.get_mat(m)?.clone();
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let mat = env_mat(scopes, m)?;
                 let r = match op {
-                    ColRedOp::Sum => mat.sum(self.comm)?,
-                    ColRedOp::Mean => mat.mean(self.comm)?,
-                    ColRedOp::Prod => mat.prod(self.comm)?,
-                    ColRedOp::Max => mat.max(self.comm)?,
-                    ColRedOp::Min => mat.min(self.comm)?,
-                    ColRedOp::Any => mat.any(self.comm)?,
-                    ColRedOp::All => mat.all(self.comm)?,
+                    ColRedOp::Sum => mat.sum(comm)?,
+                    ColRedOp::Mean => mat.mean(comm)?,
+                    ColRedOp::Prod => mat.prod(comm)?,
+                    ColRedOp::Max => mat.max(comm)?,
+                    ColRedOp::Min => mat.min(comm)?,
+                    ColRedOp::Any => mat.any(comm)?,
+                    ColRedOp::All => mat.all(comm)?,
                 };
                 self.env().insert(dst.clone(), XVal::M(r));
             }
             Instr::Shift { dst, v, k } => {
                 self.comm.compute(self.costs.op_overhead);
                 let kk = self.eval_s(k)? as i64;
-                let vm = self.get_mat(v)?.clone();
-                let m = vm.circshift(self.comm, kk)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let m = env_mat(scopes, v)?.circshift(comm, kk)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::ExtractRow { dst, m, i } => {
                 self.comm.compute(self.costs.op_overhead);
                 let mi = self.eval_index(i)?;
-                let mat = self.get_mat(m)?.clone();
-                let r = mat.extract_row(self.comm, mi)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let r = env_mat(scopes, m)?.extract_row(comm, mi)?;
                 self.env().insert(dst.clone(), XVal::M(r));
             }
             Instr::ExtractCol { dst, m, j } => {
                 self.comm.compute(self.costs.op_overhead);
                 let mj = self.eval_index(j)?;
-                let mat = self.get_mat(m)?.clone();
-                let c = mat.extract_col(self.comm, mj);
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let c = env_mat(scopes, m)?.extract_col(comm, mj);
                 self.env().insert(dst.clone(), XVal::M(c));
             }
             Instr::AssignRow { m, i, v } => {
                 self.comm.compute(self.costs.op_overhead);
                 let mi = self.eval_index(i)?;
-                let vv = self.get_mat(v)?.clone();
-                let name = m.clone();
-                let mut mat = self.get_mat(&name)?.clone();
-                mat.assign_row(self.comm, mi, &vv)?;
-                self.env().insert(name, XVal::M(mat));
+                // Take the target out of the environment, mutate it
+                // without copying, and put it back.
+                let mut mat = self.take_mat(m)?;
+                if v == m {
+                    let vv = mat.clone();
+                    mat.assign_row(self.comm, mi, &vv)?;
+                } else {
+                    let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                    mat.assign_row(comm, mi, env_mat(scopes, v)?)?;
+                }
+                self.env().insert(m.clone(), XVal::M(mat));
             }
             Instr::AssignCol { m, j, v } => {
                 self.comm.compute(self.costs.op_overhead);
                 let mj = self.eval_index(j)?;
-                let vv = self.get_mat(v)?.clone();
-                let name = m.clone();
-                let mut mat = self.get_mat(&name)?.clone();
-                mat.assign_col(self.comm, mj, &vv);
-                self.env().insert(name, XVal::M(mat));
+                let mut mat = self.take_mat(m)?;
+                if v == m {
+                    let vv = mat.clone();
+                    mat.assign_col(self.comm, mj, &vv);
+                } else {
+                    let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                    mat.assign_col(comm, mj, env_mat(scopes, v)?);
+                }
+                self.env().insert(m.clone(), XVal::M(mat));
             }
             Instr::ExtractRange { dst, v, lo, hi } => {
                 self.comm.compute(self.costs.op_overhead);
                 let l = self.eval_index(lo)?;
                 let h = self.eval_s(hi)? as usize; // inclusive 1-based == exclusive 0-based
-                let vm = self.get_mat(v)?.clone();
-                let m = vm.extract_range(self.comm, l, h)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let m = env_mat(scopes, v)?.extract_range(comm, l, h)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::ExtractStrided {
@@ -634,47 +874,48 @@ impl<'a> Executor<'a> {
                 } else {
                     0
                 };
-                let vm = self.get_mat(v)?.clone();
-                let m = vm.extract_strided(self.comm, l, st, count)?;
+                let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                let m = env_mat(scopes, v)?.extract_strided(comm, l, st, count)?;
                 self.env().insert(dst.clone(), XVal::M(m));
             }
             Instr::FillRow { m, i, val } => {
                 self.comm.compute(self.costs.op_overhead);
                 let mi = self.eval_index(i)?;
                 let v = self.eval_s(val)?;
-                let name = m.clone();
-                let mut mat = self.get_mat(&name)?.clone();
+                let mut mat = self.take_mat(m)?;
                 mat.fill_row(self.comm, mi, v);
-                self.env().insert(name, XVal::M(mat));
+                self.env().insert(m.clone(), XVal::M(mat));
             }
             Instr::FillCol { m, j, val } => {
                 self.comm.compute(self.costs.op_overhead);
                 let mj = self.eval_index(j)?;
                 let v = self.eval_s(val)?;
-                let name = m.clone();
-                let mut mat = self.get_mat(&name)?.clone();
+                let mut mat = self.take_mat(m)?;
                 mat.fill_col(self.comm, mj, v);
-                self.env().insert(name, XVal::M(mat));
+                self.env().insert(m.clone(), XVal::M(mat));
             }
             Instr::FillRange { m, lo, hi, val } => {
                 self.comm.compute(self.costs.op_overhead);
                 let l = self.eval_index(lo)?;
                 let h = self.eval_s(hi)? as usize;
                 let v = self.eval_s(val)?;
-                let name = m.clone();
-                let mut mat = self.get_mat(&name)?.clone();
+                let mut mat = self.take_mat(m)?;
                 mat.fill_range(self.comm, l, h, v);
-                self.env().insert(name, XVal::M(mat));
+                self.env().insert(m.clone(), XVal::M(mat));
             }
             Instr::AssignRange { m, lo, hi, v } => {
                 self.comm.compute(self.costs.op_overhead);
                 let l = self.eval_index(lo)?;
                 let h = self.eval_s(hi)? as usize;
-                let w = self.get_mat(v)?.clone();
-                let name = m.clone();
-                let mut mat = self.get_mat(&name)?.clone();
-                mat.assign_range(self.comm, l, h, &w)?;
-                self.env().insert(name, XVal::M(mat));
+                let mut mat = self.take_mat(m)?;
+                if v == m {
+                    let vv = mat.clone();
+                    mat.assign_range(self.comm, l, h, &vv)?;
+                } else {
+                    let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                    mat.assign_range(comm, l, h, env_mat(scopes, v)?)?;
+                }
+                self.env().insert(m.clone(), XVal::M(mat));
             }
             Instr::If {
                 cond,
@@ -767,8 +1008,10 @@ impl<'a> Executor<'a> {
                         }
                     }
                     PrintTarget::Matrix(m) => {
-                        let mat = self.get_mat(m)?.clone();
-                        if let Some(text) = rtio::print_distributed(self.comm, name, &mat)? {
+                        let (scopes, comm) = (&self.scopes, &mut *self.comm);
+                        if let Some(text) =
+                            rtio::print_distributed(comm, name, env_mat(scopes, m)?)?
+                        {
                             self.output.push_str(&text);
                         }
                     }
@@ -832,6 +1075,58 @@ impl<'a> Executor<'a> {
                 DistMatrix::from_replicated(self.comm, &dense)
             }
         })
+    }
+}
+
+/// Borrow a matrix out of the innermost scope without going through
+/// `&self`, so matrix-op handlers can hold operand borrows while
+/// reborrowing the `Comm` field mutably — no per-op operand clones.
+fn env_mat<'e>(scopes: &'e [HashMap<String, XVal>], name: &str) -> Result<&'e DistMatrix> {
+    scopes
+        .last()
+        .unwrap()
+        .get(name)
+        .ok_or_else(|| OtterError::execution(format!("undefined IR variable `{name}`")))?
+        .as_matrix()
+        .ok_or_else(|| OtterError::execution(format!("IR variable `{name}` is not a matrix")))
+}
+
+fn collect_slices<'e>(
+    scopes: &'e [HashMap<String, XVal>],
+    names: &[String],
+) -> Result<Vec<&'e [f64]>> {
+    names
+        .iter()
+        .map(|n| env_mat(scopes, n).map(DistMatrix::local))
+        .collect()
+}
+
+/// One node of a compiled element-wise expression (see
+/// [`Executor::compile_ew`]).
+enum CEw {
+    /// Element `k` of operand slice `i`.
+    Slice(usize),
+    /// Element `k` of the destination buffer's previous contents.
+    Dst,
+    Const(f64),
+    Neg(Box<CEw>),
+    Not(Box<CEw>),
+    Bin(EwOp, Box<CEw>, Box<CEw>),
+    Call(SFun, Vec<CEw>),
+}
+
+fn ceval(e: &CEw, slices: &[&[f64]], dst: &[f64], k: usize) -> f64 {
+    match e {
+        CEw::Slice(i) => slices[*i][k],
+        CEw::Dst => dst[k],
+        CEw::Const(v) => *v,
+        CEw::Neg(x) => -ceval(x, slices, dst, k),
+        CEw::Not(x) => f64::from(ceval(x, slices, dst, k) == 0.0),
+        CEw::Bin(op, a, b) => op.eval(ceval(a, slices, dst, k), ceval(b, slices, dst, k)),
+        CEw::Call(f, args) => {
+            let vals: Vec<f64> = args.iter().map(|a| ceval(a, slices, dst, k)).collect();
+            f.eval(&vals)
+        }
     }
 }
 

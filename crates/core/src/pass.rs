@@ -14,7 +14,7 @@ use crate::compile::{CompileOptions, Compiled};
 use crate::error::{OtterError, Result};
 use otter_analysis::{infer, resolve_program, ssa_rename, InferOptions, Inference};
 use otter_codegen::peephole::PeepholeStats;
-use otter_codegen::{emit_c, insert_frees, lower, peephole};
+use otter_codegen::{emit_c, fuse, insert_frees, lower, peephole, FusionStats};
 use otter_frontend::{parse, Program, Severity, SourceProvider};
 use otter_ir::{Instr, IrProgram};
 use otter_lint::{lint_program, LintMode, LintReport};
@@ -33,6 +33,7 @@ pub struct PipelineState<'a> {
     pub ir: Option<IrProgram>,
     pub c_source: Option<String>,
     pub peephole_stats: PeepholeStats,
+    pub fusion_stats: FusionStats,
     pub guard_stats: GuardStats,
     pub lint: LintReport,
     pub analysis: Vec<otter_lint::oracle::SitePrediction>,
@@ -156,7 +157,7 @@ impl PassManager {
 
     /// The standard pipeline, paper order: parse → resolve →
     /// ssa-infer → rewrite → guards → peephole (optional) → lint →
-    /// frees → analyze → emit-c.
+    /// frees → fusion (optional) → analyze → emit-c.
     pub fn standard() -> Self {
         let mut pm = PassManager::new();
         pm.register(Box::new(ParsePass));
@@ -167,6 +168,7 @@ impl PassManager {
         pm.register(Box::new(PeepholePass));
         pm.register(Box::new(LintPass));
         pm.register(Box::new(FreesPass));
+        pm.register(Box::new(FusionPass));
         pm.register(Box::new(AnalyzePass));
         pm.register(Box::new(EmitCPass));
         pm
@@ -228,6 +230,7 @@ impl PassManager {
             ir: None,
             c_source: None,
             peephole_stats: PeepholeStats::default(),
+            fusion_stats: FusionStats::default(),
             guard_stats: GuardStats::default(),
             lint: LintReport::default(),
             analysis: Vec::new(),
@@ -278,6 +281,7 @@ impl PassManager {
             })?,
             c_source: state.c_source.take().unwrap_or_default(),
             peephole_stats: state.peephole_stats,
+            fusion_stats: state.fusion_stats,
             guard_stats: state.guard_stats,
             lint: std::mem::take(&mut state.lint),
             analysis: std::mem::take(&mut state.analysis),
@@ -543,6 +547,28 @@ impl Pass for FreesPass {
     }
 }
 
+/// Loop fusion (optional — the ablation and the `fusion` engine knob
+/// toggle it). Runs after `frees` so each fused temporary's `Free`
+/// exists to consume, and before `analyze` so the oracle predicts the
+/// fused program's communication sites.
+struct FusionPass;
+
+impl Pass for FusionPass {
+    fn name(&self) -> &'static str {
+        "fusion"
+    }
+
+    fn optional(&self) -> bool {
+        true
+    }
+
+    fn run(&self, state: &mut PipelineState) -> Result<()> {
+        let ir = state.ir.as_mut().expect("rewrite ran");
+        state.fusion_stats = fuse(ir);
+        Ok(())
+    }
+}
+
 /// Static analysis over the final IR: the communication-volume oracle
 /// and the SSA-web in-place legality sets. Runs after `frees` so the
 /// leaf-site numbering it predicts is exactly the numbering the
@@ -611,16 +637,17 @@ mod tests {
                 "peephole",
                 "lint",
                 "frees",
+                "fusion",
                 "analyze",
                 "emit-c"
             ],
         );
         // The paper's numbered passes 1–6 appear in order once the
-        // lint addition is filtered out.
+        // lint and fusion additions are filtered out.
         let paper: Vec<_> = pm
             .pass_names()
             .into_iter()
-            .filter(|n| *n != "lint")
+            .filter(|n| *n != "lint" && *n != "fusion")
             .take(6)
             .collect();
         assert_eq!(

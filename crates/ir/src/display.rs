@@ -210,6 +210,40 @@ pub fn write_instr(out: &mut String, i: &Instr, indent: usize) {
         Instr::TrapzXY { dst, x, y } => {
             let _ = writeln!(out, "{pad}{dst} = trapz({x}, {y});");
         }
+        Instr::MatMulEw {
+            dst,
+            a,
+            b,
+            tmp,
+            expr,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}fused: {tmp} = matmul({a}, {b}); forall k: {dst}[k] = {};",
+                ewexpr_to_string(expr)
+            );
+        }
+        Instr::MatVecEw {
+            dst,
+            a,
+            x,
+            tmp,
+            expr,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}fused: {tmp} = matvec({a}, {x}); forall k: {dst}[k] = {};",
+                ewexpr_to_string(expr)
+            );
+        }
+        Instr::ReduceEw { dst, op, tmp, expr } => {
+            let _ = writeln!(
+                out,
+                "{pad}fused: forall k: {tmp}[k] = {}; {dst} = {}({tmp});",
+                ewexpr_to_string(expr),
+                op.c_name()
+            );
+        }
         Instr::ColReduce { dst, op, m } => {
             let name = match op {
                 ColRedOp::Sum => "colsum",

@@ -33,6 +33,16 @@ fn collect_dimof(e: &SExpr, out: &mut Vec<String>) {
     }
 }
 
+/// Reads of a fused element-wise epilogue: every matrix operand and
+/// scalar input *except* the eliminated temporary `tmp`, which exists
+/// only inside the fused instruction and is never a live variable.
+fn ew_reads_except(expr: &EwExpr, tmp: &str, out: &mut Vec<String>) {
+    let mut mats = Vec::new();
+    expr.mat_operands(&mut mats);
+    out.extend(mats.into_iter().filter(|m| m != tmp));
+    collect_ew_scalars(expr, out);
+}
+
 fn collect_ew_scalars(e: &EwExpr, out: &mut Vec<String>) {
     match e {
         EwExpr::Scalar(s) => sexpr_reads(s, out),
@@ -108,7 +118,10 @@ impl Instr {
             | Instr::ExtractCol { dst, .. }
             | Instr::ExtractRange { dst, .. }
             | Instr::ExtractStrided { dst, .. }
-            | Instr::AssignScalar { dst, .. } => Some(dst),
+            | Instr::AssignScalar { dst, .. }
+            | Instr::MatMulEw { dst, .. }
+            | Instr::MatVecEw { dst, .. }
+            | Instr::ReduceEw { dst, .. } => Some(dst),
             _ => None,
         }
     }
@@ -134,7 +147,10 @@ impl Instr {
             | Instr::ExtractCol { dst, .. }
             | Instr::ExtractRange { dst, .. }
             | Instr::ExtractStrided { dst, .. }
-            | Instr::AssignScalar { dst, .. } => Some(dst),
+            | Instr::AssignScalar { dst, .. }
+            | Instr::MatMulEw { dst, .. }
+            | Instr::MatVecEw { dst, .. }
+            | Instr::ReduceEw { dst, .. } => Some(dst),
             _ => None,
         }
     }
@@ -206,6 +222,23 @@ impl Instr {
             Instr::MatVec { a, x, .. } => {
                 out.push(a.clone());
                 out.push(x.clone());
+            }
+            Instr::MatMulEw {
+                a, b, tmp, expr, ..
+            } => {
+                out.push(a.clone());
+                out.push(b.clone());
+                ew_reads_except(expr, tmp, out);
+            }
+            Instr::MatVecEw {
+                a, x, tmp, expr, ..
+            } => {
+                out.push(a.clone());
+                out.push(x.clone());
+                ew_reads_except(expr, tmp, out);
+            }
+            Instr::ReduceEw { tmp, expr, .. } => {
+                ew_reads_except(expr, tmp, out);
             }
             Instr::Outer { u, v, .. } => {
                 out.push(u.clone());
@@ -351,6 +384,8 @@ impl Instr {
             | Instr::TrapzXY { .. }
             | Instr::ColReduce { .. }
             | Instr::MatVec { .. }
+            | Instr::MatVecEw { .. }
+            | Instr::ReduceEw { .. }
             | Instr::Outer { .. }
             | Instr::ExtractRow { .. }
             | Instr::ExtractStrided { .. }
@@ -365,8 +400,9 @@ impl Instr {
                 CommProfile::POINT_TO_POINT
             }
             // Matmul allreduces partial tiles on one path and runs a
-            // send/recv ring on the other.
-            Instr::MatMul { .. } => CommProfile {
+            // send/recv ring on the other; the fused epilogue adds
+            // only local element-wise work on top.
+            Instr::MatMul { .. } | Instr::MatMulEw { .. } => CommProfile {
                 collective: true,
                 point_to_point: true,
             },

@@ -504,6 +504,42 @@ pub enum Instr {
         x: String,
         y: String,
     },
+    // ---- fused pairs (loop-fusion pass output) ----
+    /// Fused `tmp = matmul(a, b); dst(k) = expr(k)` pair. The
+    /// element-wise epilogue reads the product through `Mat(tmp)`
+    /// leaves; at run time the product is folded straight into the
+    /// epilogue without materializing `tmp`. The temporary's name is
+    /// kept so the C emitter can reconstruct the unfused sequence
+    /// byte-for-byte (decls, loop counters, and the trailing
+    /// `ML_free` all reappear unchanged).
+    MatMulEw {
+        dst: String,
+        a: String,
+        b: String,
+        tmp: String,
+        expr: EwExpr,
+    },
+    /// Fused `tmp = matvec(a, x); dst(k) = expr(k)` pair (see
+    /// [`Instr::MatMulEw`] for the `tmp` contract).
+    MatVecEw {
+        dst: String,
+        a: String,
+        x: String,
+        tmp: String,
+        expr: EwExpr,
+    },
+    /// Fused `tmp(k) = expr(k); dst = reduce(tmp)` pair: the reduction
+    /// folds the element-wise expression directly, so the full-size
+    /// temporary never exists at run time. Only allocation-free
+    /// whole-object reductions are legal here (`sum`/`mean`/`max`/
+    /// `min`/`prod`/`norm2`); `trapz` needs neighbor halo elements and
+    /// the boolean reductions are excluded by the fusion pass.
+    ReduceEw {
+        dst: String,
+        op: RedOp,
+        tmp: String,
+        expr: EwExpr,
+    },
     /// MATLAB `sum`/`mean` of a true matrix → row vector of column
     /// aggregates.
     ColReduce {
@@ -648,6 +684,9 @@ impl Instr {
             Instr::Reduce { .. } => "reduce",
             Instr::Dot { .. } => "dot",
             Instr::TrapzXY { .. } => "trapz",
+            Instr::MatMulEw { .. } => "matmul-ew",
+            Instr::MatVecEw { .. } => "matvec-ew",
+            Instr::ReduceEw { .. } => "reduce-ew",
             Instr::ColReduce { .. } => "col-reduce",
             Instr::Shift { .. } => "shift",
             Instr::ExtractRow { .. } => "extract-row",

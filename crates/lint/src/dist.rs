@@ -153,6 +153,7 @@ impl Analysis for DistAnalysis<'_> {
             Instr::AssignScalar { .. }
             | Instr::BroadcastElem { .. }
             | Instr::Reduce { .. }
+            | Instr::ReduceEw { .. }
             | Instr::Dot { .. }
             | Instr::TrapzXY { .. } => Some(DistState::Replicated),
             Instr::InitMatrix { init, .. } => Some(if vector_init(init) {
@@ -160,10 +161,13 @@ impl Analysis for DistAnalysis<'_> {
             } else {
                 DistState::RowDist
             }),
-            Instr::LoadFile { .. } | Instr::MatMul { .. } | Instr::Outer { .. } => {
-                Some(DistState::RowDist)
+            Instr::LoadFile { .. }
+            | Instr::MatMul { .. }
+            | Instr::MatMulEw { .. }
+            | Instr::Outer { .. } => Some(DistState::RowDist),
+            Instr::MatVec { .. } | Instr::MatVecEw { .. } | Instr::ColReduce { .. } => {
+                Some(DistState::BlockVec)
             }
-            Instr::MatVec { .. } | Instr::ColReduce { .. } => Some(DistState::BlockVec),
             Instr::ExtractRow { .. }
             | Instr::ExtractCol { .. }
             | Instr::ExtractRange { .. }

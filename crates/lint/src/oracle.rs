@@ -498,6 +498,43 @@ fn allreduce(len: Dim) -> Vec<Atom> {
     vec![Atom::Reduce { len }, Atom::Bcast { len }]
 }
 
+/// Communication of `matmul(a, b)`, mirroring `matmul_impl`'s
+/// shape-based dispatch in the run-time library.
+fn matmul_model(cx: &Scope, a: &str, b: &str) -> Model {
+    let atoms = |v: Vec<Atom>| Model::Atoms(v);
+    let (sa, sb) = (cx.shape(a), cx.shape(b));
+    let Some((m, kk)) = sa.concrete() else {
+        return Model::Unknown;
+    };
+    let Some((kb, n)) = sb.concrete() else {
+        return Model::Unknown;
+    };
+    if kk != kb {
+        return Model::Unknown; // the run-time would abort
+    }
+    // Mirror `matmul_impl`'s dispatch.
+    if kk == 1 && (m == 1 || n == 1) {
+        // Scalar scaling via one owner broadcast.
+        atoms(vec![Atom::Bcast { len: Dim::Known(1) }])
+    } else if kk == 1 && m > 1 && n > 1 {
+        // Outer product: allgather the row-vector operand.
+        atoms(allgather(cx.numel(b), Dim::Known(1)))
+    } else if m == 1 {
+        // (1×k)·(k×n): allgather x, local partials, allreduce.
+        let mut v = allgather(cx.numel(a), Dim::Known(1));
+        v.extend(allreduce(sb.cols));
+        atoms(v)
+    } else if n == 1 {
+        // (m×k)·(k×1) is a matvec: allgather x.
+        atoms(allgather(cx.numel(b), Dim::Known(1)))
+    } else {
+        atoms(vec![Atom::Ring {
+            kk: sa.cols,
+            n: sb.cols,
+        }])
+    }
+}
+
 /// Build the communication model of one leaf instruction, mirroring
 /// the run-time library's dispatch.
 fn model_of(i: &Instr, cx: &Scope, ranks: &BTreeMap<String, VarRank>) -> Model {
@@ -525,41 +562,16 @@ fn model_of(i: &Instr, cx: &Scope, ranks: &BTreeMap<String, VarRank>) -> Model {
             None => Model::Unknown,
         },
 
-        Instr::MatMul { dst: _, a, b } => {
-            let (sa, sb) = (cx.shape(a), cx.shape(b));
-            let Some((m, kk)) = sa.concrete() else {
-                return Model::Unknown;
-            };
-            let Some((kb, n)) = sb.concrete() else {
-                return Model::Unknown;
-            };
-            if kk != kb {
-                return Model::Unknown; // the run-time would abort
-            }
-            // Mirror `matmul_impl`'s dispatch.
-            if kk == 1 && (m == 1 || n == 1) {
-                // Scalar scaling via one owner broadcast.
-                atoms(vec![Atom::Bcast { len: Dim::Known(1) }])
-            } else if kk == 1 && m > 1 && n > 1 {
-                // Outer product: allgather the row-vector operand.
-                atoms(allgather(cx.numel(b), Dim::Known(1)))
-            } else if m == 1 {
-                // (1×k)·(k×n): allgather x, local partials, allreduce.
-                let mut v = allgather(cx.numel(a), Dim::Known(1));
-                v.extend(allreduce(sb.cols));
-                atoms(v)
-            } else if n == 1 {
-                // (m×k)·(k×1) is a matvec: allgather x.
-                atoms(allgather(cx.numel(b), Dim::Known(1)))
-            } else {
-                atoms(vec![Atom::Ring {
-                    kk: sa.cols,
-                    n: sb.cols,
-                }])
-            }
+        // The fused variants communicate exactly like their base op —
+        // the element-wise half is local (aligned operands).
+        Instr::MatMul { a, b, .. } | Instr::MatMulEw { a, b, .. } => matmul_model(cx, a, b),
+
+        Instr::MatVec { x, .. } | Instr::MatVecEw { x, .. } => {
+            atoms(allgather(cx.numel(x), Dim::Known(1)))
         }
 
-        Instr::MatVec { x, .. } => atoms(allgather(cx.numel(x), Dim::Known(1))),
+        // Only allreduce-backed reductions are fused (no Trapz halo).
+        Instr::ReduceEw { .. } => atoms(allreduce(Dim::Known(1))),
         Instr::Outer { v, .. } => atoms(allgather(cx.numel(v), Dim::Known(1))),
 
         Instr::Transpose { a, .. } => match cx.is_vector(a) {
@@ -797,10 +809,12 @@ fn refine_walk(
                     .and_then(|m| dims(m))
                     .map(|(r, c)| (dst.clone(), r, c))
             }
-            Instr::MatMul { dst, a, b } => dims(a)
+            Instr::MatMul { dst, a, b } | Instr::MatMulEw { dst, a, b, .. } => dims(a)
                 .zip(dims(b))
                 .map(|((m, _), (_, n))| (dst.clone(), m, n)),
-            Instr::MatVec { dst, a, .. } => dims(a).map(|(m, _)| (dst.clone(), m, 1)),
+            Instr::MatVec { dst, a, .. } | Instr::MatVecEw { dst, a, .. } => {
+                dims(a).map(|(m, _)| (dst.clone(), m, 1))
+            }
             Instr::Outer { dst, u, v } => dims(u)
                 .zip(dims(v))
                 .map(|((ur, uc), (vr, vc))| (dst.clone(), ur * uc, vr * vc)),

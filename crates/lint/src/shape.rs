@@ -166,6 +166,56 @@ fn check_instr(i: &Instr, cx: &Scope, out: &mut Vec<ShapeFinding>) {
                 }
             }
         }
+        Instr::MatMulEw { dst, a, b, .. } => {
+            if let (Some((_, ka)), Some((kb, _))) = (dims(cx, a), dims(cx, b)) {
+                if ka != kb {
+                    err(
+                        dst,
+                        format!(
+                            "matmul inner dimensions disagree: `{a}` is {} but `{b}` is {}",
+                            shape_str(cx, a),
+                            shape_str(cx, b)
+                        ),
+                    );
+                }
+            }
+        }
+        Instr::MatVecEw { dst, a, x, .. } => {
+            if let (Some((_, ka)), Some(nx)) = (dims(cx, a), numel(cx, x)) {
+                if ka != nx {
+                    err(
+                        dst,
+                        format!(
+                            "matvec dimensions disagree: `{a}` is {} but `{x}` has {nx} elements",
+                            shape_str(cx, a)
+                        ),
+                    );
+                }
+            }
+        }
+        Instr::ReduceEw { dst, tmp, expr, .. } => {
+            // Same alignment rule as `ElemWise`, minus the internal
+            // temporary.
+            let mut ops = Vec::new();
+            expr.mat_operands(&mut ops);
+            ops.retain(|m| m != tmp);
+            ops.dedup();
+            for pair in ops.windows(2) {
+                let (a, b) = (&pair[0], &pair[1]);
+                if let (Some(da), Some(db)) = (dims(cx, a), dims(cx, b)) {
+                    if da != db {
+                        err(
+                            dst,
+                            format!(
+                                "elementwise shape mismatch: `{a}` is {} but `{b}` is {}",
+                                shape_str(cx, a),
+                                shape_str(cx, b)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
         Instr::Outer { dst, u, v } => {
             for op in [u, v] {
                 if let Some((r, c)) = dims(cx, op) {
@@ -464,6 +514,14 @@ fn ewexpr_uses(e: &EwExpr, uses: &mut Vec<String>) {
     }
 }
 
+/// Uses of a fused element-wise epilogue, skipping the eliminated
+/// temporary `tmp` (it lives only inside the fused instruction).
+fn fused_ew_uses(expr: &EwExpr, tmp: &str, ev: &mut Event) {
+    let mut uses = Vec::new();
+    ewexpr_uses(expr, &mut uses);
+    ev.uses.extend(uses.into_iter().filter(|u| u != tmp));
+}
+
 /// Matrix defs and uses of one instruction (scalar defs recorded too;
 /// the web grouping filters by rank later).
 #[allow(clippy::too_many_lines)]
@@ -552,6 +610,36 @@ fn event_of(i: &Instr) -> Event {
         }
         Instr::Reduce { dst, m, .. } => {
             ev.uses.push(m.clone());
+            ev.defs.push(dst.clone());
+        }
+        // Fused pairs: the eliminated temporary is internal to the
+        // instruction — it is neither a use nor a def.
+        Instr::MatMulEw {
+            dst,
+            a,
+            b,
+            tmp,
+            expr,
+        } => {
+            ev.uses.push(a.clone());
+            ev.uses.push(b.clone());
+            fused_ew_uses(expr, tmp, &mut ev);
+            ev.defs.push(dst.clone());
+        }
+        Instr::MatVecEw {
+            dst,
+            a,
+            x,
+            tmp,
+            expr,
+        } => {
+            ev.uses.push(a.clone());
+            ev.uses.push(x.clone());
+            fused_ew_uses(expr, tmp, &mut ev);
+            ev.defs.push(dst.clone());
+        }
+        Instr::ReduceEw { dst, tmp, expr, .. } => {
+            fused_ew_uses(expr, tmp, &mut ev);
             ev.defs.push(dst.clone());
         }
         Instr::TrapzXY { dst, x, y } => {

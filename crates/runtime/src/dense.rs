@@ -207,6 +207,11 @@ impl Dense {
     // ---- linear algebra --------------------------------------------------
 
     /// Matrix product. Panics on inner-dimension mismatch.
+    ///
+    /// Delegates to the branchless tiled kernel: every input value —
+    /// zero, NaN, infinity — takes the same code path, so IEEE
+    /// specials propagate and the running time depends only on the
+    /// shapes involved.
     pub fn matmul(&self, other: &Dense) -> Dense {
         assert_eq!(
             self.cols, other.rows,
@@ -214,21 +219,16 @@ impl Dense {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Dense::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams through `other` rows, cache-friendly
-        // for row-major data.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (c, &b) in crow.iter_mut().zip(orow) {
-                    *c += a * b;
-                }
-            }
-        }
+        crate::kernels::matmul_accumulate(
+            &mut out.data,
+            self.rows,
+            other.cols,
+            self.cols,
+            &self.data,
+            self.cols,
+            0,
+            &other.data,
+        );
         out
     }
 
@@ -236,9 +236,9 @@ impl Dense {
     /// flat vector of length `rows`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum())
-            .collect()
+        let mut y = vec![0.0; self.rows];
+        crate::kernels::matvec_into(&mut y, &self.data, self.cols, x);
+        y
     }
 
     /// Transpose.
@@ -543,6 +543,56 @@ mod tests {
         let a = Dense::from_vec(2, 2, vec![3.0, -1.0, 2.0, 0.5]);
         assert_eq!(a.matmul(&Dense::eye(2)), a);
         assert_eq!(Dense::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_entries() {
+        // Regression: the old kernel skipped k terms where A(i,k) was
+        // exactly 0.0, silently dropping 0·NaN and 0·∞ contributions
+        // that IEEE 754 defines as NaN. Row 0 of A is [0, 1]: the
+        // zero must still multiply B's specials.
+        let a = Dense::from_vec(2, 2, vec![0.0, 1.0, 1.0, 1.0]);
+        let b = Dense::from_vec(2, 2, vec![f64::NAN, f64::INFINITY, 1.0, 1.0]);
+        let c = a.matmul(&b);
+        assert!(
+            c.get(0, 0).is_nan(),
+            "0·NaN + 1·1 = NaN, got {}",
+            c.get(0, 0)
+        );
+        assert!(c.get(0, 1).is_nan(), "0·∞ + 1·1 = NaN, got {}", c.get(0, 1));
+        // Row 1 has no zero factor: NaN/∞ propagate arithmetically.
+        assert!(c.get(1, 0).is_nan());
+        assert_eq!(c.get(1, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn matmul_wall_time_is_input_independent() {
+        // The kernel must not branch on values: an all-zeros operand
+        // takes the same arithmetic path as a dense one. The old
+        // zero-skip made the zeros case ~n× faster; branchless, the
+        // two medians agree within ordinary timer noise. The bound is
+        // deliberately loose (5×) — it catches the O(nnz) shortcut
+        // coming back, not scheduler jitter.
+        let n = 96;
+        let zeros = Dense::zeros(n, n);
+        let ones = Dense::ones(n, n);
+        let time = |a: &Dense, b: &Dense| {
+            let mut samples: Vec<f64> = (0..9)
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    std::hint::black_box(a.matmul(b));
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            samples[samples.len() / 2]
+        };
+        let t_dense = time(&ones, &ones);
+        let t_zero = time(&zeros, &ones);
+        assert!(
+            t_dense < t_zero * 5.0,
+            "zero input ran {t_zero}s vs dense {t_dense}s — value-dependent skip?"
+        );
     }
 
     #[test]

@@ -28,9 +28,11 @@ pub mod alloc;
 pub mod dense;
 pub mod dist;
 pub mod io;
+pub mod kernels;
 pub mod linalg;
 pub mod matrix;
 pub mod ops;
+pub mod pool;
 pub mod reduce;
 
 pub use dense::Dense;

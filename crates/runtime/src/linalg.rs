@@ -93,22 +93,20 @@ impl DistMatrix {
         let mut cur: Vec<f64> = other.local().to_vec();
         let mut cur_owner = rank;
         for step in 0..p {
-            // Multiply my A panel for the k-range owned by cur_owner.
+            // Multiply my A panel for the k-range owned by cur_owner —
+            // the branchless tiled kernel, accumulating the visiting
+            // block's contributions in ascending k.
             let krange = b_rows.range(cur_owner);
-            for li in 0..my_rows {
-                let arow = &self.local()[li * kk..(li + 1) * kk];
-                for (bk, gk) in krange.clone().enumerate() {
-                    let a = arow[gk];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = &cur[bk * n..(bk + 1) * n];
-                    let crow = &mut c_local[li * n..(li + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += a * bv;
-                    }
-                }
-            }
+            crate::kernels::matmul_accumulate(
+                &mut c_local,
+                my_rows,
+                n,
+                krange.len(),
+                self.local(),
+                kk,
+                krange.start,
+                &cur,
+            );
             comm.compute(2.0 * my_rows as f64 * krange.len() as f64 * n as f64);
             if step + 1 < p {
                 // Rotate: pass my current B block left, take from right.
@@ -141,11 +139,8 @@ impl DistMatrix {
         );
         let x_full = x.gather_all(comm)?.into_data();
         let w = self.cols();
-        let local: Vec<f64> = self
-            .local()
-            .chunks_exact(w)
-            .map(|row| row.iter().zip(&x_full).map(|(&a, &b)| a * b).sum())
-            .collect();
+        let mut local = vec![0.0; self.local().len() / w.max(1)];
+        crate::kernels::matvec_into(&mut local, self.local(), w, &x_full);
         comm.compute(2.0 * local.len() as f64 * w as f64);
         comm.emit_span(
             EventKind::Phase {
@@ -402,6 +397,61 @@ mod tests {
             da.matmul(c, &i)?.gather_all(c)
         });
         assert_close(&res[0].value, &a, 1e-12);
+    }
+
+    #[test]
+    fn distributed_matmul_propagates_nan_through_zero_entries() {
+        // Same regression as the Dense kernel, through the ring
+        // algorithm: a 0.0 in A must still multiply a NaN in the
+        // visiting B block.
+        for p in [1usize, 2, 3] {
+            let mut a = Dense::eye(6);
+            a.set(0, 5, 0.0); // explicit zero against B's NaN row
+            let mut b = Dense::ones(6, 6);
+            b.set(5, 0, f64::NAN);
+            let res = run_spmd(&meiko_cs2(), p, move |c| {
+                let da = DistMatrix::from_replicated(c, &a);
+                let db = DistMatrix::from_replicated(c, &b);
+                da.matmul(c, &db)?.gather_all(c)
+            });
+            for r in &res {
+                assert!(
+                    r.value.get(0, 0).is_nan(),
+                    "p={p}: 0·NaN dropped: {}",
+                    r.value.get(0, 0)
+                );
+                // Rows without a NaN factor stay finite.
+                assert_eq!(r.value.get(1, 1), 1.0, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_bits_stable_across_tile_sizes() {
+        // The ring algorithm's per-rank k order is fixed by the
+        // rotation schedule; within a visit the kernel accumulates in
+        // ascending k for every tile size, so the distributed product
+        // is byte-identical across tiles.
+        let a = rand_dense(12, 12, 21);
+        let b = rand_dense(12, 12, 22);
+        let mut reference: Option<Vec<u64>> = None;
+        for tile in [1usize, 5, 64] {
+            let (aa, bb) = (a.clone(), b.clone());
+            let res = run_spmd(&meiko_cs2(), 4, move |c| {
+                crate::kernels::configure(tile, 1);
+                let da = DistMatrix::from_replicated(c, &aa);
+                let db = DistMatrix::from_replicated(c, &bb);
+                let out = da.matmul(c, &db)?.gather_all(c)?;
+                crate::kernels::configure(crate::kernels::DEFAULT_TILE, 1);
+                Ok(out.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+            });
+            match &reference {
+                None => reference = Some(res[0].value.clone()),
+                Some(bits) => {
+                    assert_eq!(bits, &res[0].value, "tile {tile} changed product bits")
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! A hand-rolled intra-rank worker pool for the tiled kernels.
+//!
+//! Ranks in this reproduction are OS threads; the kernel layer adds a
+//! second level of data parallelism *inside* a rank by splitting a
+//! kernel's output rows over pool threads (the hybrid ranks × threads
+//! execution the paper's cluster-of-SMPs hardware would use). The pool
+//! is dependency-free: a global set of persistent worker threads
+//! behind a `Mutex<VecDeque<Job>>` + `Condvar` queue, grown on demand
+//! and never torn down (workers park in `Condvar::wait` until process
+//! exit).
+//!
+//! Two properties the kernels rely on:
+//!
+//! * **No allocation accounting on workers.** Pool threads only write
+//!   into row chunks borrowed from the caller; they never construct a
+//!   [`crate::DistMatrix`] or touch the thread-local [`crate::alloc`]
+//!   counters, so per-rank memory accounting stays exact.
+//! * **Caller-blocking scope.** [`parallel_for`] does not return until
+//!   every part has run, which is what makes lending the caller's
+//!   stack borrows to `'static` jobs sound (see the safety comment).
+//!
+//! A panic inside a part is caught on the worker, the remaining parts
+//! are abandoned by that worker, and the panic is re-raised on the
+//! caller once all helpers have drained.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+static QUEUE: OnceLock<Queue> = OnceLock::new();
+static WORKERS: Mutex<usize> = Mutex::new(0);
+
+/// Upper bound on pool threads — far above any sane `threads` knob;
+/// protects against a runaway configuration spawning unbounded OS
+/// threads.
+const MAX_WORKERS: usize = 64;
+
+fn queue() -> &'static Queue {
+    QUEUE.get_or_init(|| Queue {
+        jobs: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    })
+}
+
+/// Grow the worker set to at least `n` threads (capped at
+/// [`MAX_WORKERS`]). Workers are spawned lazily so a sequential run
+/// never pays for threads it does not use.
+fn ensure_workers(n: usize) {
+    let n = n.min(MAX_WORKERS);
+    let mut count = WORKERS.lock().unwrap();
+    while *count < n {
+        std::thread::Builder::new()
+            .name(format!("otter-kernel-{}", *count))
+            .spawn(|| {
+                let q = queue();
+                loop {
+                    let job = {
+                        let mut jobs = q.jobs.lock().unwrap();
+                        loop {
+                            if let Some(j) = jobs.pop_front() {
+                                break j;
+                            }
+                            jobs = q.ready.wait(jobs).unwrap();
+                        }
+                    };
+                    job();
+                }
+            })
+            .expect("spawn kernel worker");
+        *count += 1;
+    }
+}
+
+/// State shared between the caller and its helper jobs for one
+/// [`parallel_for`] call.
+struct Run {
+    /// Next unclaimed part index.
+    next: AtomicUsize,
+    parts: usize,
+    /// The caller's part body with its borrow lifetime erased to
+    /// `'static`. Valid for exactly as long as the caller blocks in
+    /// [`parallel_for`].
+    body: *const (dyn Fn(usize) + Sync + 'static),
+    panicked: AtomicBool,
+    /// Helper jobs still running (the caller's own drain loop is not
+    /// counted).
+    pending: Mutex<usize>,
+    done: Condvar,
+}
+
+// SAFETY: `body` is only dereferenced while the issuing caller blocks
+// inside `parallel_for`, which keeps the pointee alive; all other
+// fields are Sync primitives.
+unsafe impl Send for Run {}
+unsafe impl Sync for Run {}
+
+impl Run {
+    fn drain(&self) {
+        // SAFETY: see the struct-level invariant — the caller is
+        // blocked in `parallel_for` until `pending` reaches zero, so
+        // the closure behind `body` is alive for every call made here.
+        let body = unsafe { &*self.body };
+        while !self.panicked.load(Ordering::Relaxed) {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.parts {
+                break;
+            }
+            if catch_unwind(AssertUnwindSafe(|| body(i))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Run `body(part)` for every `part` in `0..parts`, spreading parts
+/// over up to `threads` threads *including the caller*. Blocks until
+/// every part has finished; a panic in any part is re-raised here.
+///
+/// `threads <= 1` (or fewer than two parts) runs inline without
+/// touching the pool — the sequential engines and any
+/// single-CPU-budget rank never pay for synchronization.
+pub fn parallel_for(parts: usize, threads: usize, body: &(dyn Fn(usize) + Sync)) {
+    if threads <= 1 || parts <= 1 {
+        for i in 0..parts {
+            body(i);
+        }
+        return;
+    }
+    let helpers = threads.min(parts).min(MAX_WORKERS + 1) - 1;
+    ensure_workers(helpers);
+    // SAFETY: erasing the borrow lifetime to 'static is sound because
+    // this function blocks until `pending` drains, after which no job
+    // can dereference `body` again.
+    let body: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+        std::mem::transmute::<
+            *const (dyn Fn(usize) + Sync + '_),
+            *const (dyn Fn(usize) + Sync + 'static),
+        >(std::ptr::from_ref(body))
+    };
+    let run = std::sync::Arc::new(Run {
+        next: AtomicUsize::new(0),
+        parts,
+        body,
+        panicked: AtomicBool::new(false),
+        pending: Mutex::new(helpers),
+        done: Condvar::new(),
+    });
+    {
+        let q = queue();
+        let mut jobs = q.jobs.lock().unwrap();
+        for _ in 0..helpers {
+            let r = std::sync::Arc::clone(&run);
+            jobs.push_back(Box::new(move || {
+                r.drain();
+                let mut pending = r.pending.lock().unwrap();
+                *pending -= 1;
+                if *pending == 0 {
+                    r.done.notify_all();
+                }
+            }));
+        }
+        drop(jobs);
+        q.ready.notify_all();
+    }
+    run.drain();
+    let mut pending = run.pending.lock().unwrap();
+    while *pending > 0 {
+        pending = run.done.wait(pending).unwrap();
+    }
+    drop(pending);
+    if run.panicked.load(Ordering::Relaxed) {
+        panic!("kernel worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_part_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            let hits: Vec<AtomicU64> = (0..37).map(|_| AtomicU64::new(0)).collect();
+            parallel_for(hits.len(), threads, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "part {i} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_parts_is_fine() {
+        let hits = AtomicU64::new(0);
+        parallel_for(2, 16, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn zero_parts_is_a_noop() {
+        parallel_for(0, 4, &|_| panic!("no parts to run"));
+    }
+
+    #[test]
+    fn writes_land_in_disjoint_chunks() {
+        let mut data = vec![0.0f64; 64];
+        let chunk = 16;
+        {
+            let base = data.as_mut_ptr() as usize;
+            parallel_for(4, 4, &move |i| {
+                // SAFETY: each part touches its own disjoint 16-element
+                // chunk, and `data` outlives the blocking call.
+                let slice = unsafe {
+                    std::slice::from_raw_parts_mut((base as *mut f64).add(i * chunk), chunk)
+                };
+                for (j, v) in slice.iter_mut().enumerate() {
+                    *v = (i * chunk + j) as f64;
+                }
+            });
+        }
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, k as f64);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = catch_unwind(|| {
+            parallel_for(8, 4, &|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+}

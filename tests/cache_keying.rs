@@ -85,6 +85,8 @@ fn every_compile_relevant_knob_changes_the_fingerprint() {
                 .m_files(otter_frontend::MapProvider::new().with("f", "function y = f(x)\ny = x;"))
                 .build(),
         ),
+        ("fusion", EngineOptions::builder().fusion(false).build()),
+        ("tile size", EngineOptions::builder().tile_size(8).build()),
     ];
     let mut seen = vec![("default", base)];
     for (what, opts) in &variants {

@@ -1,0 +1,120 @@
+//! Loop fusion and kernel tiling are pure optimizations: for a fixed
+//! processor count they may not change a single result bit, and fusion
+//! may only ever *lower* the temporary-memory high-water mark. These
+//! properties let the fusion pass default to on without invalidating
+//! any figure, golden file, or cached artifact result.
+
+mod common;
+
+use common::run_compiled;
+use otter_core::{compile, EngineOptions, EngineReport};
+use otter_machine::meiko_cs2;
+
+/// FNV-1a over every result variable's dimensions and element bits —
+/// byte-identical runs hash identically, any flipped bit does not.
+fn result_fingerprint(app: &otter_apps::App, report: &EngineReport) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for v in &app.result_vars {
+        eat(v.as_bytes());
+        let m = report
+            .workspace
+            .get(*v)
+            .and_then(|val| val.to_matrix())
+            .unwrap_or_else(|| panic!("{}: missing result `{v}`", app.id));
+        eat(&(m.rows() as u64).to_le_bytes());
+        eat(&(m.cols() as u64).to_le_bytes());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                eat(&m.get(r, c).to_bits().to_le_bytes());
+            }
+        }
+    }
+    h
+}
+
+fn run_with(app: &otter_apps::App, opts: &EngineOptions, p: usize) -> EngineReport {
+    let compiled =
+        compile(&app.script, opts).unwrap_or_else(|e| panic!("{}: compile: {e}", app.id));
+    run_compiled(&compiled, &meiko_cs2(), p).unwrap_or_else(|e| panic!("{}: p={p}: {e}", app.id))
+}
+
+#[test]
+fn fusion_and_tiling_never_change_a_result_bit() {
+    // Every knob combination — fusion on/off crossed with degenerate,
+    // small, and default k-tiles — at every processor count, on all
+    // four benchmark apps: one fingerprint per (app, p).
+    for app in otter_apps::test_apps() {
+        for p in [1usize, 2, 4, 8] {
+            let reference = result_fingerprint(&app, &run_with(&app, &EngineOptions::default(), p));
+            for fusion in [true, false] {
+                for tile in [1usize, 8, 64] {
+                    let opts = EngineOptions::builder()
+                        .fusion(fusion)
+                        .tile_size(tile)
+                        .build();
+                    let got = result_fingerprint(&app, &run_with(&app, &opts, p));
+                    assert_eq!(
+                        got, reference,
+                        "{} p={p}: fusion={fusion} tile={tile} changed result bits",
+                        app.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fusion_never_raises_the_workspace_peak() {
+    // Fusion eliminates full-matrix temporaries; the per-rank
+    // allocator high-water mark must never grow because of it.
+    for app in otter_apps::test_apps() {
+        for p in [1usize, 4] {
+            let peak = |fusion: bool| {
+                let opts = EngineOptions::builder()
+                    .metrics(true)
+                    .fusion(fusion)
+                    .build();
+                let report = run_with(&app, &opts, p);
+                report
+                    .metrics
+                    .as_ref()
+                    .and_then(|m| m.gauge("workspace_peak_bytes", &[]))
+                    .unwrap_or_else(|| panic!("{}: no workspace_peak_bytes gauge", app.id))
+            };
+            let (fused, unfused) = (peak(true), peak(false));
+            assert!(
+                fused <= unfused,
+                "{} p={p}: fusion raised the peak ({fused} > {unfused})",
+                app.id
+            );
+        }
+    }
+}
+
+#[test]
+fn fig2_with_knobs_off_is_byte_identical_to_the_prechange_figure() {
+    // With fusion disabled, the new kernels and knobs must reproduce
+    // the committed Figure 2 CSV byte for byte — tiling and the knob
+    // plumbing are invisible to every modeled number and op count.
+    use otter_bench::figures::{fig2_with, Scale};
+    use otter_bench::render::render_fig2_csv;
+    let fixture = include_str!("fixtures/fig2_test.csv");
+    for tile in [8usize, 64] {
+        let opts = EngineOptions::builder()
+            .fusion(false)
+            .tile_size(tile)
+            .build();
+        let csv = render_fig2_csv(&fig2_with(Scale::Test, &opts));
+        assert_eq!(
+            csv, fixture,
+            "fig2 CSV drifted with fusion off, tile={tile}"
+        );
+    }
+}
